@@ -1,0 +1,348 @@
+package ivmf_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (Section 6), each delegating to the corresponding
+// experiment runner in internal/experiments at a reduced scale so
+// `go test -bench=.` completes in minutes. Reported custom metrics carry
+// the experiment's headline number (H-mean, RMSE, F1, or NMI) so bench
+// output doubles as a regression record of the reproduced shapes.
+// Run `cmd/experiments -full` for paper-scale numbers.
+//
+// Micro-benchmarks for the substrates and ablation benchmarks for the
+// design choices called out in DESIGN.md (interval-product semantics,
+// ILSA assignment algorithm) follow at the end.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eig"
+	"repro/internal/experiments"
+	"repro/internal/imatrix"
+	"repro/internal/ipmf"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+// benchConfig is the reduced-scale experiment configuration used by the
+// benchmarks.
+func benchConfig() experiments.Config {
+	return experiments.Config{Seed: 1, Trials: 2, Scale: 0.15}
+}
+
+// runExperiment executes one experiment per iteration and reports the
+// named headline values as custom metrics.
+func runExperiment(b *testing.B, id string, metricKeys ...string) {
+	b.Helper()
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, k := range metricKeys {
+		if v, ok := last.Values[k]; ok {
+			b.ReportMetric(v, k)
+		}
+	}
+}
+
+func BenchmarkFig3Alignment(b *testing.B) {
+	runExperiment(b, "fig3", "meanBefore", "meanAfter")
+}
+
+func BenchmarkFig5Recompute(b *testing.B) {
+	runExperiment(b, "fig5", "meanVBefore", "meanVAfter")
+}
+
+func BenchmarkFig6Accuracy(b *testing.B) {
+	runExperiment(b, "fig6a", "ISVD0-c", "ISVD4-b")
+}
+
+func BenchmarkFig6Phases(b *testing.B) {
+	runExperiment(b, "fig6b", "ISVD0", "ISVD4")
+}
+
+func BenchmarkTable2IntervalDensity(b *testing.B) {
+	runExperiment(b, "table2a", "100%/ISVD4-b")
+}
+
+func BenchmarkTable2IntervalIntensity(b *testing.B) {
+	runExperiment(b, "table2b", "100%/ISVD4-b")
+}
+
+func BenchmarkTable2MatrixDensity(b *testing.B) {
+	runExperiment(b, "table2c", "90%/ISVD4-b")
+}
+
+func BenchmarkTable2MatrixShape(b *testing.B) {
+	runExperiment(b, "table2d", "25-by-400/ISVD4-b")
+}
+
+func BenchmarkTable2TargetRank(b *testing.B) {
+	runExperiment(b, "table2e", "40/ISVD4-b")
+}
+
+func BenchmarkFig7Anonymized(b *testing.B) {
+	runExperiment(b, "fig7", "high/ISVD4-b@40")
+}
+
+func BenchmarkFig8Reconstruction(b *testing.B) {
+	runExperiment(b, "fig8a", "ISVD4-b@10", "NMF@10")
+}
+
+func BenchmarkFig8NN(b *testing.B) {
+	runExperiment(b, "fig8b", "ISVD2-b@20", "NMF@20")
+}
+
+func BenchmarkFig8Clustering(b *testing.B) {
+	runExperiment(b, "fig8c", "ISVD2-b@20", "NMF@20")
+}
+
+func BenchmarkTable3(b *testing.B) {
+	runExperiment(b, "table3", "16x16/isvd2b", "16x16/interval")
+}
+
+func BenchmarkFig9Ciao(b *testing.B) {
+	runExperiment(b, "fig9a", "ISVD4-b@28", "ISVD0-c@28")
+}
+
+func BenchmarkFig9Epinions(b *testing.B) {
+	runExperiment(b, "fig9b", "ISVD4-b@27", "ISVD0-c@27")
+}
+
+func BenchmarkFig9MovieLens(b *testing.B) {
+	runExperiment(b, "fig9c", "ISVD4-b@19", "ISVD0-c@19")
+}
+
+func BenchmarkFig10CF(b *testing.B) {
+	runExperiment(b, "fig10", "PMF@10", "AI-PMF@10")
+}
+
+// --- Substrate micro-benchmarks ---
+
+func benchIntervalMatrix(rng *rand.Rand, rows, cols int) *imatrix.IMatrix {
+	m := imatrix.New(rows, cols)
+	for i := range m.Lo.Data {
+		v := rng.Float64()
+		m.Lo.Data[i] = v
+		m.Hi.Data[i] = v + rng.Float64()*0.5
+	}
+	return m
+}
+
+func BenchmarkIntervalMatMulExact(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := benchIntervalMatrix(rng, 60, 80)
+	y := benchIntervalMatrix(rng, 80, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imatrix.Mul(x, y)
+	}
+}
+
+func BenchmarkIntervalMatMulEndpoints(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := benchIntervalMatrix(rng, 60, 80)
+	y := benchIntervalMatrix(rng, 80, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imatrix.MulEndpoints(x, y)
+	}
+}
+
+func BenchmarkSVD100x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := matrix.New(100, 100)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eig.SVD(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymEig200(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	n := 200
+	m := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eig.SymEig(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkISVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	m := dataset.MustGenerateUniform(dataset.DefaultSynthetic(), rng)
+	for _, method := range core.Methods() {
+		b.Run(method.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Decompose(m, method, core.Options{Rank: 20, Target: core.TargetB}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHungarian(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 64
+	score := make([][]float64, n)
+	for i := range score {
+		score[i] = make([]float64, n)
+		for j := range score[i] {
+			score[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assign.SolveHungarian(score)
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+// AblationAlgebra compares the paper's endpoint-product semantics against
+// exact interval algebra inside ISVD4 under TargetA (interval factors),
+// where the width difference shows: exact algebra is sound but inflates
+// the factor intervals and loses most of the accuracy when spans are
+// large.
+func BenchmarkAblationAlgebra(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := dataset.DefaultSynthetic()
+	cfg.Rows, cfg.Cols = 40, 60
+	m := dataset.MustGenerateUniform(cfg, rng)
+	for _, exact := range []bool{false, true} {
+		name := "endpoint"
+		if exact {
+			name = "exact"
+		}
+		b.Run(name, func(b *testing.B) {
+			var h, span float64
+			for i := 0; i < b.N; i++ {
+				d, err := core.Decompose(m, core.ISVD4, core.Options{
+					Rank: 20, Target: core.TargetA, ExactAlgebra: exact,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h = d.Evaluate(m).HMean
+				span = d.U.TotalSpan() / float64(d.U.Rows()*d.U.Cols())
+			}
+			b.ReportMetric(h, "H-mean")
+			b.ReportMetric(span, "U-span")
+		})
+	}
+}
+
+// AblationAssign compares the three ILSA matching algorithms (Hungarian =
+// the paper's optimal Problem 2, Greedy = Supplementary Algorithm 6,
+// stable marriage = Problem 1) on decomposition accuracy and time.
+func BenchmarkAblationAssign(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	m := dataset.MustGenerateUniform(dataset.DefaultSynthetic(), rng)
+	for _, method := range []assign.Method{assign.Hungarian, assign.Greedy, assign.StableMarriage} {
+		b.Run(method.String(), func(b *testing.B) {
+			var h float64
+			for i := 0; i < b.N; i++ {
+				d, err := core.Decompose(m, core.ISVD4, core.Options{
+					Rank: 20, Target: core.TargetB, Assign: method,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				h = d.Evaluate(m).HMean
+			}
+			b.ReportMetric(h, "H-mean")
+		})
+	}
+}
+
+// AblationAlignment quantifies what ILSA itself buys: ISVD1 with
+// alignment (normal) vs ISVD0 (no alignment possible) on cosine and
+// H-mean, plus the K-means NMI with and without interval features.
+func BenchmarkAblationAlignment(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	m := dataset.MustGenerateUniform(dataset.DefaultSynthetic(), rng)
+	b.Run("ISVD1-aligned", func(b *testing.B) {
+		var after float64
+		for i := 0; i < b.N; i++ {
+			d, err := core.Decompose(m, core.ISVD1, core.Options{Rank: 20, Target: core.TargetB})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var s float64
+			for _, c := range d.CosVAligned {
+				s += c
+			}
+			after = s / float64(len(d.CosVAligned))
+		}
+		b.ReportMetric(after, "meanCos")
+	})
+	b.Run("unaligned", func(b *testing.B) {
+		var before float64
+		for i := 0; i < b.N; i++ {
+			svdLo, err := eig.SVD(m.Lo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			svdHi, err := eig.SVD(m.Hi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cs := align.ColumnCosines(svdLo.Truncate(20).V, svdHi.Truncate(20).V)
+			var s float64
+			for _, c := range cs {
+				s += c
+			}
+			before = s / float64(len(cs))
+		}
+		b.ReportMetric(before, "meanCos")
+	})
+}
+
+// BenchmarkRMSEPredict covers the CF prediction path end to end at a
+// small scale.
+func BenchmarkCFPredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	rc := dataset.MovieLensLike().Scaled(0.05)
+	data, err := dataset.GenerateRatings(rc, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iv := data.CFIntervals()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := ipmf.TrainAIPMF(iv, ipmf.Config{Rank: 8, Epochs: 40, LearningRate: 0.01}, rng)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pred := make([]float64, len(data.Ratings))
+		truth := make([]float64, len(data.Ratings))
+		for k, r := range data.Ratings {
+			pred[k] = model.Predict(r.User, r.Item)
+			truth[k] = r.Value
+		}
+		b.ReportMetric(metrics.RMSE(pred, truth), "trainRMSE")
+	}
+}

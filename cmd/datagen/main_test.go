@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunKinds(t *testing.T) {
+	// Output goes to stdout; we only verify the generators succeed.
+	cases := []struct {
+		kind    string
+		privacy string
+	}{
+		{"uniform", "medium"},
+		{"anonymized", "high"},
+		{"anonymized", "medium"},
+		{"anonymized", "low"},
+		{"faces", "medium"},
+		{"ratings", "medium"},
+	}
+	for _, c := range cases {
+		if err := run(c.kind, 8, 6, 0, 1, 1, c.privacy, 0.02, 1); err != nil {
+			t.Errorf("%s/%s: %v", c.kind, c.privacy, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("nope", 8, 6, 0, 1, 1, "medium", 0.1, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run("anonymized", 8, 6, 0, 1, 1, "nope", 0.1, 1); err == nil {
+		t.Error("unknown privacy accepted")
+	}
+	if err := run("uniform", -1, 6, 0, 1, 1, "medium", 0.1, 1); err == nil {
+		t.Error("bad shape accepted")
+	}
+}

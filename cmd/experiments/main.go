@@ -1,0 +1,77 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments [flags] <id>...     # e.g. fig6a table2a fig10
+//	experiments [flags] all
+//
+// Flags:
+//
+//	-full        paper-scale run (100 trials, full datasets, LP on)
+//	-trials N    override the trial count
+//	-scale F     override the dataset scale factor
+//	-seed N      RNG seed (default 1)
+//	-lp          include the (slow) LP competitor class
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	full := flag.Bool("full", false, "paper-scale configuration")
+	trials := flag.Int("trials", 0, "override trial count")
+	scale := flag.Float64("scale", 0, "override dataset scale")
+	seed := flag.Int64("seed", 0, "RNG seed")
+	withLP := flag.Bool("lp", false, "include the LP competitor class")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		}
+		return
+	}
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Full()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *withLP {
+		cfg.WithLP = true
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiment ids given; use -list to see them or 'all' to run everything")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s — %s (%.1fs) ==\n%s\n", res.ID, res.Title, time.Since(start).Seconds(), res.Text)
+	}
+}

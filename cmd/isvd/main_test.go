@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "m.csv")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const sample = "1,2..3,0.5\n0.9..1.1,2,0.6\n2,4..4.2,1.2\n0.4,1,0.3\n"
+
+func TestRunDecomposes(t *testing.T) {
+	in := writeTemp(t, sample)
+	out := filepath.Join(t.TempDir(), "recon.csv")
+	if err := run(in, out, 2, 4, "b"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty reconstruction written")
+	}
+}
+
+func TestRunAllMethodsTargets(t *testing.T) {
+	in := writeTemp(t, sample)
+	for m := 0; m <= 4; m++ {
+		for _, tgt := range []string{"a", "b", "c"} {
+			if err := run(in, "", 2, m, tgt); err != nil {
+				t.Fatalf("method %d target %s: %v", m, tgt, err)
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	in := writeTemp(t, sample)
+	if err := run("", "", 2, 4, "b"); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run(in, "", 2, 9, "b"); err == nil {
+		t.Error("bad method accepted")
+	}
+	if err := run(in, "", 2, 4, "z"); err == nil {
+		t.Error("bad target accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), "", 2, 4, "b"); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeTemp(t, "1,abc\n")
+	if err := run(bad, "", 2, 4, "b"); err == nil {
+		t.Error("bad CSV accepted")
+	}
+}

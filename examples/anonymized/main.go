@@ -1,0 +1,88 @@
+// Anonymized-data analysis: privacy-preserving publishing replaces
+// precise values with generalization intervals (k-anonymity recoding).
+// This example generalizes a numeric table at three privacy levels and
+// shows that interval-aware decomposition (ISVD4-b) retains more of the
+// data's structure than naively averaging the intervals (ISVD0) —
+// the paper's Figure 7 scenario.
+//
+// Run with: go run ./examples/anonymized
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	ivmf "repro"
+)
+
+// generalize snaps v ∈ [0, 1) to a bucket of width 1/k, the recoding
+// primitive of value-generalization anonymization.
+func generalize(v float64, buckets int) ivmf.Interval {
+	k := float64(buckets)
+	b := math.Floor(v * k)
+	if b >= k {
+		b = k - 1
+	}
+	return ivmf.Interval{Lo: b / k, Hi: (b + 1) / k}
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// A low-rank "microdata" table: 60 individuals × 30 numeric
+	// attributes driven by 4 latent traits, scaled to [0, 1).
+	const n, mCols, rank = 60, 30, 4
+	traits := make([][]float64, n)
+	loadings := make([][]float64, mCols)
+	for i := range traits {
+		traits[i] = randVec(rng, rank)
+	}
+	for j := range loadings {
+		loadings[j] = randVec(rng, rank)
+	}
+	value := func(i, j int) float64 {
+		var s float64
+		for t := 0; t < rank; t++ {
+			s += traits[i][t] * loadings[j][t]
+		}
+		return 1 / (1 + math.Exp(-s)) // squash into (0, 1)
+	}
+
+	for _, level := range []struct {
+		name    string
+		buckets int
+	}{
+		{"low privacy (100 buckets)", 100},
+		{"medium privacy (20 buckets)", 20},
+		{"high privacy (5 buckets)", 5},
+	} {
+		published := ivmf.NewIntervalMatrix(n, mCols)
+		for i := 0; i < n; i++ {
+			for j := 0; j < mCols; j++ {
+				published.Set(i, j, generalize(value(i, j), level.buckets))
+			}
+		}
+		naive, err := ivmf.Decompose(published, ivmf.ISVD0, ivmf.Options{Rank: rank})
+		if err != nil {
+			log.Fatal(err)
+		}
+		aware, err := ivmf.Decompose(published, ivmf.ISVD4, ivmf.Options{Rank: rank, Target: ivmf.TargetB})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-30s ISVD0 H-mean = %.4f   ISVD4-b H-mean = %.4f\n",
+			level.name, naive.Evaluate(published).HMean, aware.Evaluate(published).HMean)
+	}
+	fmt.Println("\nISVD4-b preserves more structure at every privacy level; the gap")
+	fmt.Println("matters most when the published intervals are wide (high privacy).")
+}
+
+func randVec(rng *rand.Rand, k int) []float64 {
+	v := make([]float64, k)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

@@ -1,0 +1,111 @@
+// Recommender: collaborative filtering when user ratings are ambiguous.
+// A user who rates several movies of a genre between 2 and 5 stars is
+// better modeled by the interval [2, 5] than by any single number. This
+// example trains PMF (scalar), I-PMF, and the paper's AI-PMF on a
+// synthetic ratings corpus and compares held-out RMSE — the Figure 10
+// scenario.
+//
+// Run with: go run ./examples/recommender
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	ivmf "repro"
+)
+
+const (
+	users   = 120
+	items   = 200
+	rank    = 8
+	nRating = 3000
+)
+
+type rating struct {
+	u, i int
+	v    float64
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Latent-factor ground truth discretized to 1..5 stars.
+	p := randMat(rng, users, rank)
+	q := randMat(rng, items, rank)
+	var ratings []rating
+	seen := map[[2]int]bool{}
+	for len(ratings) < nRating {
+		u, i := rng.Intn(users), rng.Intn(items)
+		if seen[[2]int{u, i}] {
+			continue
+		}
+		seen[[2]int{u, i}] = true
+		var dot float64
+		for t := 0; t < rank; t++ {
+			dot += p[u][t] * q[i][t]
+		}
+		v := math.Round(3 + 1.2*dot + 0.4*rng.NormFloat64())
+		ratings = append(ratings, rating{u, i, clamp(v)})
+	}
+	train, test := ratings[:nRating*4/5], ratings[nRating*4/5:]
+
+	// Scalar matrix for PMF; interval matrix for I-PMF/AI-PMF. The
+	// interval for each observed rating spans ±1 star of ambiguity
+	// (clipped to the 1..5 scale), mimicking the paper's α·std rule.
+	scalar := ivmf.NewMatrix(users, items)
+	intervals := ivmf.NewIntervalMatrix(users, items)
+	for _, r := range train {
+		scalar.Set(r.u, r.i, r.v)
+		intervals.Set(r.u, r.i, ivmf.Interval{Lo: clamp(r.v - 1), Hi: clamp(r.v + 1)})
+	}
+
+	cfg := ivmf.PMFConfig{Rank: rank, Epochs: 60, LearningRate: 0.01}
+	pmf, err := ivmf.TrainPMF(scalar, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ipmfModel, err := ivmf.TrainIPMF(intervals, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	aipmf, err := ivmf.TrainAIPMF(intervals, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("held-out RMSE over %d ratings:\n", len(test))
+	fmt.Printf("  PMF    %.4f\n", rmse(test, pmf.Predict))
+	fmt.Printf("  I-PMF  %.4f\n", rmse(test, ipmfModel.Predict))
+	fmt.Printf("  AI-PMF %.4f\n", rmse(test, aipmf.Predict))
+
+	// AI-PMF also yields interval predictions — useful for surfacing
+	// uncertain recommendations.
+	lo, hi := aipmf.PredictInterval(test[0].u, test[0].i)
+	fmt.Printf("\nexample interval prediction for user %d, item %d: [%.2f, %.2f] (true %.0f)\n",
+		test[0].u, test[0].i, lo, hi, test[0].v)
+}
+
+func rmse(test []rating, predict func(i, j int) float64) float64 {
+	var se float64
+	for _, r := range test {
+		d := clamp(predict(r.u, r.i)) - r.v
+		se += d * d
+	}
+	return math.Sqrt(se / float64(len(test)))
+}
+
+func clamp(v float64) float64 { return math.Min(math.Max(v, 1), 5) }
+
+func randMat(rng *rand.Rand, n, k int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, k)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64() / math.Sqrt(float64(k))
+		}
+	}
+	return out
+}

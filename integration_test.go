@@ -1,0 +1,170 @@
+package ivmf_test
+
+// Integration tests exercising multi-module pipelines end to end:
+// data generation → decomposition → downstream task → metric.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	ivmf "repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+func TestIntegrationFacePipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fc := dataset.FaceConfig{Subjects: 8, ImagesPerSubject: 6, Res: 16, Radius: 1, Alpha: 1}
+	fd, err := dataset.GenerateFaces(fc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ivmf.Decompose(fd.Interval, ivmf.ISVD2, ivmf.Options{Rank: 12, Target: ivmf.TargetB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := d.U.Mid()
+	feat := imatrix.FromEndpoints(matrix.Mul(u, d.Sigma.Lo), matrix.Mul(u, d.Sigma.Hi))
+	feat.AverageReplace()
+
+	trainIdx, testIdx := dataset.TrainTestSplit(fd.Labels, 0.5, rng)
+	sub := func(idx []int) (*imatrix.IMatrix, []int) {
+		s := imatrix.New(len(idx), feat.Cols())
+		l := make([]int, len(idx))
+		for p, i := range idx {
+			copy(s.Lo.RowView(p), feat.Lo.RowView(i))
+			copy(s.Hi.RowView(p), feat.Hi.RowView(i))
+			l[p] = fd.Labels[i]
+		}
+		return s, l
+	}
+	trainF, trainL := sub(trainIdx)
+	testF, testL := sub(testIdx)
+	pred, err := cluster.Classify1NN(trainF, trainL, testF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 := metrics.F1Macro(pred, testL); f1 < 0.3 {
+		t.Fatalf("end-to-end face F1 = %.3f, far below chance-adjusted floor", f1)
+	}
+}
+
+func TestIntegrationRatingsPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rc := dataset.RatingsConfig{Users: 50, Items: 80, Genres: 6, NumRatings: 900, LatentRank: 4, Alpha: 0.5}
+	data, err := dataset.GenerateRatings(rc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruction path: user-genre interval matrix through ISVD4-b.
+	ug := data.UserGenreIntervals()
+	d, err := ivmf.Decompose(ug, ivmf.ISVD4, ivmf.Options{Rank: 3, Target: ivmf.TargetB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := d.Evaluate(ug).HMean; h < 0.2 {
+		t.Fatalf("user-genre H-mean = %.3f", h)
+	}
+	// CF path: AI-PMF on the interval user-item matrix.
+	train, test := data.SplitRatings(0.8, rng)
+	trainData := *data
+	trainData.Ratings = train
+	model, err := ivmf.TrainAIPMF(trainData.CFIntervals(), ivmf.PMFConfig{Rank: 5, Epochs: 40}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := make([]float64, len(test))
+	truth := make([]float64, len(test))
+	for i, r := range test {
+		p := model.Predict(r.User, r.Item)
+		if p < 1 {
+			p = 1
+		} else if p > 5 {
+			p = 5
+		}
+		pred[i] = p
+		truth[i] = r.Value
+	}
+	if rmse := metrics.RMSE(pred, truth); rmse > 2.0 {
+		t.Fatalf("CF RMSE = %.3f, worse than predicting the midpoint blindly", rmse)
+	}
+}
+
+func TestIntegrationAnonymizedPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := dataset.GenerateAnonymized(30, 40, dataset.HighAnonymity, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := ivmf.Decompose(m, ivmf.ISVD0, ivmf.Options{Rank: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aware, err := ivmf.Decompose(m, ivmf.ISVD4, ivmf.Options{Rank: 30, Target: ivmf.TargetB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hn := naive.Evaluate(m).HMean
+	ha := aware.Evaluate(m).HMean
+	// Paper Figure 7, high privacy, full rank: option-b clearly beats ISVD0.
+	if ha < hn {
+		t.Fatalf("ISVD4-b (%.3f) below ISVD0 (%.3f) on high-privacy data", ha, hn)
+	}
+}
+
+func TestIntegrationExactAlgebraAblation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := dataset.DefaultSynthetic()
+	cfg.Rows, cfg.Cols = 25, 30
+	m := dataset.MustGenerateUniform(cfg, rng)
+	endpoint, err := core.Decompose(m, core.ISVD4, core.Options{Rank: 10, Target: core.TargetB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := core.Decompose(m, core.ISVD4, core.Options{Rank: 10, Target: core.TargetB, ExactAlgebra: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	he := endpoint.Evaluate(m).HMean
+	hx := exact.Evaluate(m).HMean
+	// Exact interval algebra is sound but much looser: with the default
+	// interval intensity it must not beat the endpoint semantics.
+	if hx > he+1e-9 {
+		t.Fatalf("exact algebra H-mean %.3f beats endpoint %.3f", hx, he)
+	}
+	if !exact.U.IsWellFormed() || !exact.Sigma.IsWellFormed() {
+		t.Fatal("exact-algebra output misordered")
+	}
+}
+
+func TestIntegrationCSVThroughDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := dataset.DefaultSynthetic()
+	cfg.Rows, cfg.Cols = 10, 8
+	m := dataset.MustGenerateUniform(cfg, rng)
+	// Round-trip through the CSV codec, then decompose the parsed copy.
+	var buf bytes.Buffer
+	if err := dataset.WriteIntervalCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := dataset.ReadIntervalCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := ivmf.Decompose(m, ivmf.ISVD3, ivmf.Options{Rank: 4, Target: ivmf.TargetB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ivmf.Decompose(back, ivmf.ISVD3, ivmf.Options{Rank: 4, Target: ivmf.TargetB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1, h2 := d1.Evaluate(m).HMean, d2.Evaluate(back).HMean; h1 != h2 {
+		t.Fatalf("CSV round trip changed the decomposition: %.6f vs %.6f", h1, h2)
+	}
+}

@@ -1,0 +1,130 @@
+// Package align implements Interval-Valued Latent Semantic Alignment
+// (ILSA, Section 3.3 and Supplementary Algorithm 6 of the paper).
+//
+// Given the minimum-side and maximum-side factor matrices V* and V^*
+// produced by decomposing the endpoints of an interval-valued matrix
+// independently, ILSA pairs each column of V^* with the column of V* it
+// best aligns with (preference = |cos|), and flips the direction of
+// paired columns whose cosine is negative, so that the combined
+// interval-valued latent space has v* ≈ v^* per basis vector.
+package align
+
+import (
+	"math"
+
+	"repro/internal/assign"
+	"repro/internal/matrix"
+)
+
+// Result describes an alignment between the columns of a minimum-side
+// matrix Vlo and a maximum-side matrix Vhi.
+type Result struct {
+	// Perm maps each Vlo column index j to the Vhi column Perm[j] it is
+	// paired with (apply as: alignedHi[:, j] = Vhi[:, Perm[j]]).
+	Perm []int
+	// Flip[j] reports that the paired Vhi column points in the opposite
+	// direction (cosine < 0) and must be negated after permutation.
+	Flip []bool
+	// Cos[j] is |cos| between Vlo[:, j] and its aligned partner.
+	Cos []float64
+}
+
+// ILSA aligns the columns of vhi to the columns of vlo using the given
+// assignment method (the paper's Problem 2 uses Hungarian; Supplementary
+// Algorithm 6 uses Greedy; Problem 1 uses StableMarriage). Both matrices
+// must share the same shape.
+func ILSA(vlo, vhi *matrix.Dense, method assign.Method) Result {
+	if vlo.Rows != vhi.Rows || vlo.Cols != vhi.Cols {
+		panic("align: ILSA: shape mismatch")
+	}
+	r := vlo.Cols
+	// score[i][j] = |cos(vhi[:,i], vlo[:,j])|: rows index Vhi columns,
+	// columns index Vlo columns, so perm[j] (row for column j) is directly
+	// the Vhi column paired with Vlo column j.
+	score := make([][]float64, r)
+	for i := 0; i < r; i++ {
+		score[i] = make([]float64, r)
+		hi := vhi.Col(i)
+		for j := 0; j < r; j++ {
+			score[i][j] = math.Abs(Cosine(hi, vlo.Col(j)))
+		}
+	}
+	perm := assign.Solve(score, method)
+	flip := make([]bool, r)
+	cos := make([]float64, r)
+	for j := 0; j < r; j++ {
+		c := Cosine(vlo.Col(j), vhi.Col(perm[j]))
+		flip[j] = c < 0
+		cos[j] = math.Abs(c)
+	}
+	return Result{Perm: perm, Flip: flip, Cos: cos}
+}
+
+// Apply permutes and sign-flips the columns of the given maximum-side
+// matrices in place according to the alignment. Any of the arguments may
+// be nil. sigmaHi, when non-nil, is a diagonal matrix whose diagonal is
+// permuted (signs are never flipped on singular values).
+func (res Result) Apply(uHi, vHi, sigmaHi *matrix.Dense) {
+	r := len(res.Perm)
+	permCols := func(m *matrix.Dense) {
+		if m == nil {
+			return
+		}
+		orig := m.Clone()
+		for j := 0; j < r; j++ {
+			src := res.Perm[j]
+			for i := 0; i < m.Rows; i++ {
+				v := orig.At(i, src)
+				if res.Flip[j] {
+					v = -v
+				}
+				m.Set(i, j, v)
+			}
+		}
+	}
+	permCols(uHi)
+	permCols(vHi)
+	if sigmaHi != nil {
+		orig := sigmaHi.Diagonal()
+		for j := 0; j < r; j++ {
+			sigmaHi.Set(j, j, orig[res.Perm[j]])
+		}
+	}
+}
+
+// ApplyToDiag permutes a plain diagonal slice according to the alignment.
+func (res Result) ApplyToDiag(d []float64) []float64 {
+	out := make([]float64, len(d))
+	for j := range res.Perm {
+		out[j] = d[res.Perm[j]]
+	}
+	return out
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors;
+// it returns 0 when either vector has zero norm.
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// ColumnCosines returns |cos| between corresponding columns of a and b
+// without alignment — the "before" series of the paper's Figures 3 and 5.
+func ColumnCosines(a, b *matrix.Dense) []float64 {
+	if a.Cols != b.Cols {
+		panic("align: ColumnCosines: column mismatch")
+	}
+	out := make([]float64, a.Cols)
+	for j := 0; j < a.Cols; j++ {
+		out[j] = math.Abs(Cosine(a.Col(j), b.Col(j)))
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+// Package assign provides the matching algorithms behind the paper's
+// interval latent semantic alignment (ILSA):
+//
+//   - Hungarian: the O(r³) optimal linear-assignment solver the paper
+//     recommends for Problem 2 (Optimal Min-Max Vector Alignment);
+//   - Greedy: the conflict-resolving heuristic of Supplementary
+//     Algorithm 6 (procedure MAPPING);
+//   - StableMarriage: Gale–Shapley for Problem 1 (Stable Min-Max Vector
+//     Alignment), the O(r²) stable-but-not-optimal alternative.
+//
+// All solvers MAXIMIZE the total score of a square score matrix
+// score[i][j] (row i matched to column j) and return perm with
+// perm[j] = i, i.e. the row assigned to each column.
+package assign
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Method selects an assignment algorithm.
+type Method int
+
+const (
+	// Hungarian solves the assignment optimally in O(r³).
+	Hungarian Method = iota
+	// Greedy resolves column-wise argmax conflicts per Supplementary
+	// Algorithm 6; not optimal but fast and faithful to the reference
+	// implementation.
+	Greedy
+	// StableMarriage runs Gale–Shapley with rows proposing.
+	StableMarriage
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case Hungarian:
+		return "hungarian"
+	case Greedy:
+		return "greedy"
+	case StableMarriage:
+		return "stable-marriage"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Solve dispatches to the selected method. score must be square.
+func Solve(score [][]float64, m Method) []int {
+	switch m {
+	case Hungarian:
+		return SolveHungarian(score)
+	case Greedy:
+		return SolveGreedy(score)
+	case StableMarriage:
+		return SolveStable(score)
+	default:
+		panic("assign: unknown method")
+	}
+}
+
+// TotalScore sums score[perm[j]][j] over all columns.
+func TotalScore(score [][]float64, perm []int) float64 {
+	var s float64
+	for j, i := range perm {
+		s += score[i][j]
+	}
+	return s
+}
+
+func checkSquare(score [][]float64) int {
+	n := len(score)
+	for _, row := range score {
+		if len(row) != n {
+			panic("assign: score matrix not square")
+		}
+	}
+	return n
+}
+
+// SolveHungarian returns the max-total-score assignment via the
+// Kuhn–Munkres algorithm with potentials (O(n³)).
+func SolveHungarian(score [][]float64) []int {
+	n := checkSquare(score)
+	if n == 0 {
+		return nil
+	}
+	// Convert maximization to minimization.
+	const inf = math.MaxFloat64
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = -score[i][j]
+		}
+	}
+	// 1-indexed potentials formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row matched to column j
+	way := make([]int, n+1) // way[j] = previous column on alternating path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	perm := make([]int, n)
+	for j := 1; j <= n; j++ {
+		perm[j-1] = p[j] - 1
+	}
+	return perm
+}
+
+// SolveGreedy implements the MAPPING procedure of Supplementary
+// Algorithm 6: each column first claims its argmax row; columns that lose
+// a conflict (a row claimed by several columns keeps only its best
+// claimant) are reassigned to the best still-unclaimed row, in descending
+// order of their original similarity.
+func SolveGreedy(score [][]float64) []int {
+	n := checkSquare(score)
+	perm := make([]int, n)
+	for j := 0; j < n; j++ {
+		best := 0
+		for i := 1; i < n; i++ {
+			if score[i][j] > score[best][j] {
+				best = i
+			}
+		}
+		perm[j] = best
+	}
+	claimed := make(map[int][]int) // row -> columns claiming it
+	for j, i := range perm {
+		claimed[i] = append(claimed[i], j)
+	}
+	var losers []int
+	usedRow := make([]bool, n)
+	for i, cols := range claimed {
+		// Keep the claimant with the highest similarity.
+		winner := cols[0]
+		for _, j := range cols[1:] {
+			if score[i][j] > score[i][winner] {
+				winner = j
+			}
+		}
+		usedRow[i] = true
+		for _, j := range cols {
+			if j != winner {
+				losers = append(losers, j)
+			}
+		}
+	}
+	// Reassign losers (best-first) to their best spare row.
+	sort.Slice(losers, func(a, b int) bool {
+		ja, jb := losers[a], losers[b]
+		if score[perm[ja]][ja] != score[perm[jb]][jb] {
+			return score[perm[ja]][ja] > score[perm[jb]][jb]
+		}
+		return ja < jb
+	})
+	for _, j := range losers {
+		best, bestScore := -1, math.Inf(-1)
+		for i := 0; i < n; i++ {
+			if !usedRow[i] && score[i][j] > bestScore {
+				best, bestScore = i, score[i][j]
+			}
+		}
+		perm[j] = best
+		usedRow[best] = true
+	}
+	return perm
+}
+
+// SolveStable runs Gale–Shapley with rows proposing to columns; both
+// sides rank partners by score (ties broken by index). The result is
+// stable: no row/column pair prefers each other over their matches.
+func SolveStable(score [][]float64) []int {
+	n := checkSquare(score)
+	if n == 0 {
+		return nil
+	}
+	// Row i's preference list over columns, best first.
+	prefs := make([][]int, n)
+	for i := 0; i < n; i++ {
+		prefs[i] = make([]int, n)
+		for j := range prefs[i] {
+			prefs[i][j] = j
+		}
+		row := score[i]
+		sort.SliceStable(prefs[i], func(a, b int) bool {
+			return row[prefs[i][a]] > row[prefs[i][b]]
+		})
+	}
+	next := make([]int, n)     // next column row i will propose to
+	colMatch := make([]int, n) // colMatch[j] = row matched to column j
+	for j := range colMatch {
+		colMatch[j] = -1
+	}
+	free := make([]int, n)
+	for i := range free {
+		free[i] = i
+	}
+	for len(free) > 0 {
+		i := free[len(free)-1]
+		free = free[:len(free)-1]
+		j := prefs[i][next[i]]
+		next[i]++
+		cur := colMatch[j]
+		if cur == -1 {
+			colMatch[j] = i
+		} else if score[i][j] > score[cur][j] {
+			colMatch[j] = i
+			free = append(free, cur)
+		} else {
+			free = append(free, i)
+		}
+	}
+	return colMatch
+}
+
+// IsStable reports whether perm (perm[j] = row of column j) is a stable
+// matching under the given score matrix: there is no pair (i, j) where
+// both i prefers j over its current column and j prefers i over its
+// current row.
+func IsStable(score [][]float64, perm []int) bool {
+	n := len(perm)
+	rowOf := make([]int, n) // column matched to each row
+	for j, i := range perm {
+		rowOf[i] = j
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if perm[j] == i {
+				continue
+			}
+			curColScore := score[i][rowOf[i]]
+			curRowScore := score[perm[j]][j]
+			if score[i][j] > curColScore && score[i][j] > curRowScore {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,203 @@
+package assign
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randScore(r *rand.Rand, n int) [][]float64 {
+	s := make([][]float64, n)
+	for i := range s {
+		s[i] = make([]float64, n)
+		for j := range s[i] {
+			s[i][j] = r.Float64()
+		}
+	}
+	return s
+}
+
+func isPermutation(p []int) bool {
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestHungarianKnown(t *testing.T) {
+	// Optimal assignment is the anti-diagonal (total 3.0).
+	score := [][]float64{
+		{0.1, 0.2, 1.0},
+		{0.3, 1.0, 0.2},
+		{1.0, 0.1, 0.3},
+	}
+	perm := SolveHungarian(score)
+	want := []int{2, 1, 0}
+	for j := range want {
+		if perm[j] != want[j] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+}
+
+func TestHungarianIdentityOptimal(t *testing.T) {
+	// Diagonal dominance: identity must be chosen.
+	score := [][]float64{
+		{10, 1, 1},
+		{1, 10, 1},
+		{1, 1, 10},
+	}
+	perm := SolveHungarian(score)
+	for j, i := range perm {
+		if i != j {
+			t.Fatalf("perm = %v, want identity", perm)
+		}
+	}
+}
+
+func TestGreedyNoConflicts(t *testing.T) {
+	score := [][]float64{
+		{0.9, 0.1},
+		{0.1, 0.9},
+	}
+	perm := SolveGreedy(score)
+	if perm[0] != 0 || perm[1] != 1 {
+		t.Fatalf("perm = %v", perm)
+	}
+}
+
+func TestGreedyConflictResolution(t *testing.T) {
+	// Both columns prefer row 0; column 0 has the stronger claim, so
+	// column 1 falls back to row 1.
+	score := [][]float64{
+		{0.9, 0.8},
+		{0.2, 0.3},
+	}
+	perm := SolveGreedy(score)
+	if perm[0] != 0 || perm[1] != 1 {
+		t.Fatalf("perm = %v, want [0 1]", perm)
+	}
+	if !isPermutation(perm) {
+		t.Fatal("not a permutation")
+	}
+}
+
+func TestStableMarriageKnown(t *testing.T) {
+	score := [][]float64{
+		{0.9, 0.5},
+		{0.6, 0.8},
+	}
+	perm := SolveStable(score)
+	if !isPermutation(perm) {
+		t.Fatalf("not a permutation: %v", perm)
+	}
+	if !IsStable(score, perm) {
+		t.Fatalf("unstable matching: %v", perm)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	for _, m := range []Method{Hungarian, Greedy, StableMarriage} {
+		if got := Solve(nil, m); len(got) != 0 {
+			t.Errorf("%v: empty input gave %v", m, got)
+		}
+		got := Solve([][]float64{{0.5}}, m)
+		if len(got) != 1 || got[0] != 0 {
+			t.Errorf("%v: single input gave %v", m, got)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Hungarian.String() != "hungarian" || Greedy.String() != "greedy" ||
+		StableMarriage.String() != "stable-marriage" {
+		t.Fatal("Method String wrong")
+	}
+	if Method(99).String() == "" {
+		t.Fatal("unknown method should still render")
+	}
+}
+
+// Property: all solvers produce valid permutations; Hungarian's total is
+// never beaten by Greedy or StableMarriage or by random permutations.
+func TestPropHungarianOptimalityBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		score := randScore(r, n)
+		h := SolveHungarian(score)
+		g := SolveGreedy(score)
+		s := SolveStable(score)
+		if !isPermutation(h) || !isPermutation(g) || !isPermutation(s) {
+			return false
+		}
+		ht := TotalScore(score, h)
+		if TotalScore(score, g) > ht+1e-9 || TotalScore(score, s) > ht+1e-9 {
+			return false
+		}
+		// Check against a few random permutations too.
+		perm := r.Perm(n)
+		return TotalScore(score, perm) <= ht+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Hungarian matches brute force on small instances.
+func TestPropHungarianBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		score := randScore(r, n)
+		h := TotalScore(score, SolveHungarian(score))
+		best := bruteForceBest(score)
+		return h >= best-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func bruteForceBest(score [][]float64) float64 {
+	n := len(score)
+	perm := make([]int, n)
+	used := make([]bool, n)
+	best := -1.0
+	var rec func(j int, acc float64)
+	rec = func(j int, acc float64) {
+		if j == n {
+			if acc > best {
+				best = acc
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				used[i] = true
+				perm[j] = i
+				rec(j+1, acc+score[i][j])
+				used[i] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+// Property: Gale–Shapley always yields a stable matching.
+func TestPropStability(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		score := randScore(r, n)
+		return IsStable(score, SolveStable(score))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

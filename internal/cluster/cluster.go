@@ -1,0 +1,185 @@
+// Package cluster implements the classification and clustering tasks of
+// the paper's face experiments (Section 6.4): 1-nearest-neighbor
+// classification and K-means clustering, both over interval-valued
+// feature vectors using the interval Euclidean distance
+//
+//	dist(a, b) = sqrt( Σ (a*−b*)² + (a^*−b^*)² ).
+//
+// Scalar features are the degenerate case (Lo == Hi), for which the
+// distance reduces to √2 times the ordinary Euclidean distance — a
+// monotone transform that leaves neighbor ranking and cluster assignments
+// unchanged.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/imatrix"
+)
+
+// rowDist2 returns the squared interval Euclidean distance between row i
+// of a and row j of b.
+func rowDist2(a *imatrix.IMatrix, i int, b *imatrix.IMatrix, j int) float64 {
+	alo := a.Lo.RowView(i)
+	ahi := a.Hi.RowView(i)
+	blo := b.Lo.RowView(j)
+	bhi := b.Hi.RowView(j)
+	var s float64
+	for k := range alo {
+		dl := alo[k] - blo[k]
+		dh := ahi[k] - bhi[k]
+		s += dl*dl + dh*dh
+	}
+	return s
+}
+
+// Classify1NN labels every row of test with the label of its nearest
+// train row under the interval Euclidean distance.
+func Classify1NN(train *imatrix.IMatrix, trainLabels []int, test *imatrix.IMatrix) ([]int, error) {
+	if train.Rows() != len(trainLabels) {
+		return nil, fmt.Errorf("cluster: %d train rows but %d labels", train.Rows(), len(trainLabels))
+	}
+	if train.Cols() != test.Cols() {
+		return nil, fmt.Errorf("cluster: feature width mismatch %d vs %d", train.Cols(), test.Cols())
+	}
+	out := make([]int, test.Rows())
+	for i := 0; i < test.Rows(); i++ {
+		best, bestD := -1, math.Inf(1)
+		for t := 0; t < train.Rows(); t++ {
+			if d := rowDist2(test, i, train, t); d < bestD {
+				best, bestD = t, d
+			}
+		}
+		out[i] = trainLabels[best]
+	}
+	return out, nil
+}
+
+// KMeansResult carries cluster assignments and the final centroids.
+type KMeansResult struct {
+	Assignments []int
+	Centroids   *imatrix.IMatrix
+	Iterations  int
+}
+
+// KMeans clusters the rows of data into k clusters using Lloyd's
+// algorithm with k-means++ seeding, interval Euclidean distances, and
+// per-endpoint mean centroids. maxIter bounds the Lloyd iterations
+// (default 50 when <= 0).
+func KMeans(data *imatrix.IMatrix, k, maxIter int, rng *rand.Rand) (*KMeansResult, error) {
+	n := data.Rows()
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("cluster: k = %d with %d rows", k, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	centroids := seedPlusPlus(data, k, rng)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		changed := false
+		for i := 0; i < n; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				if d := rowDist2(data, i, centroids, c); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		recomputeCentroids(data, assign, centroids, rng)
+	}
+	return &KMeansResult{Assignments: assign, Centroids: centroids, Iterations: iters}, nil
+}
+
+// seedPlusPlus picks k initial centroids with k-means++ sampling.
+func seedPlusPlus(data *imatrix.IMatrix, k int, rng *rand.Rand) *imatrix.IMatrix {
+	n := data.Rows()
+	centroids := imatrix.New(k, data.Cols())
+	first := rng.Intn(n)
+	copyRow(centroids, 0, data, first)
+	d2 := make([]float64, n)
+	for i := range d2 {
+		d2[i] = rowDist2(data, i, centroids, 0)
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			u := rng.Float64() * total
+			acc := 0.0
+			for i, d := range d2 {
+				acc += d
+				if u <= acc {
+					pick = i
+					break
+				}
+			}
+		}
+		copyRow(centroids, c, data, pick)
+		for i := range d2 {
+			if d := rowDist2(data, i, centroids, c); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// recomputeCentroids replaces each centroid with the per-endpoint mean of
+// its members; empty clusters are re-seeded from a random row.
+func recomputeCentroids(data *imatrix.IMatrix, assign []int, centroids *imatrix.IMatrix, rng *rand.Rand) {
+	k := centroids.Rows()
+	cols := data.Cols()
+	counts := make([]int, k)
+	for i := range centroids.Lo.Data {
+		centroids.Lo.Data[i] = 0
+		centroids.Hi.Data[i] = 0
+	}
+	for i, c := range assign {
+		counts[c]++
+		cl := centroids.Lo.RowView(c)
+		ch := centroids.Hi.RowView(c)
+		dl := data.Lo.RowView(i)
+		dh := data.Hi.RowView(i)
+		for j := 0; j < cols; j++ {
+			cl[j] += dl[j]
+			ch[j] += dh[j]
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			copyRow(centroids, c, data, rng.Intn(data.Rows()))
+			continue
+		}
+		inv := 1 / float64(counts[c])
+		cl := centroids.Lo.RowView(c)
+		ch := centroids.Hi.RowView(c)
+		for j := 0; j < cols; j++ {
+			cl[j] *= inv
+			ch[j] *= inv
+		}
+	}
+}
+
+func copyRow(dst *imatrix.IMatrix, di int, src *imatrix.IMatrix, si int) {
+	copy(dst.Lo.RowView(di), src.Lo.RowView(si))
+	copy(dst.Hi.RowView(di), src.Hi.RowView(si))
+}

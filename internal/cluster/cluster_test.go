@@ -1,0 +1,148 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+	"repro/internal/metrics"
+)
+
+// blobs builds k well-separated interval clusters of sz points each in
+// dim dimensions; returns the data and true labels.
+func blobs(rng *rand.Rand, k, sz, dim int, halfSpan float64) (*imatrix.IMatrix, []int) {
+	n := k * sz
+	data := imatrix.New(n, dim)
+	labels := make([]int, n)
+	for c := 0; c < k; c++ {
+		center := make([]float64, dim)
+		for d := range center {
+			center[d] = float64(c*20) + rng.Float64()
+		}
+		for p := 0; p < sz; p++ {
+			row := c*sz + p
+			labels[row] = c
+			for d := 0; d < dim; d++ {
+				v := center[d] + rng.NormFloat64()*0.5
+				data.Set(row, d, interval.New(v-halfSpan, v+halfSpan))
+			}
+		}
+	}
+	return data, labels
+}
+
+func TestClassify1NNSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data, labels := blobs(rng, 3, 10, 4, 0.2)
+	// Odd rows train, even rows test.
+	train := imatrix.New(15, 4)
+	test := imatrix.New(15, 4)
+	var trainLabels, testLabels []int
+	ti, si := 0, 0
+	for i := 0; i < data.Rows(); i++ {
+		if i%2 == 0 {
+			copy(train.Lo.RowView(ti), data.Lo.RowView(i))
+			copy(train.Hi.RowView(ti), data.Hi.RowView(i))
+			trainLabels = append(trainLabels, labels[i])
+			ti++
+		} else {
+			copy(test.Lo.RowView(si), data.Lo.RowView(i))
+			copy(test.Hi.RowView(si), data.Hi.RowView(i))
+			testLabels = append(testLabels, labels[i])
+			si++
+		}
+	}
+	pred, err := Classify1NN(train, trainLabels, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := metrics.Accuracy(pred, testLabels); acc != 1 {
+		t.Fatalf("separated clusters 1-NN accuracy = %g", acc)
+	}
+}
+
+func TestClassify1NNValidation(t *testing.T) {
+	a := imatrix.New(2, 3)
+	if _, err := Classify1NN(a, []int{1}, a); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	b := imatrix.New(2, 4)
+	if _, err := Classify1NN(a, []int{1, 2}, b); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data, labels := blobs(rng, 4, 12, 3, 0.3)
+	res, err := KMeans(data, 4, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi := metrics.NMI(res.Assignments, labels); nmi < 0.99 {
+		t.Fatalf("K-means NMI = %g on separated blobs", nmi)
+	}
+	if res.Iterations <= 0 {
+		t.Fatal("iterations not reported")
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := imatrix.New(3, 2)
+	if _, err := KMeans(data, 0, 10, rng); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KMeans(data, 5, 10, rng); err == nil {
+		t.Fatal("k>n accepted")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data, _ := blobs(rng, 2, 3, 2, 0.1)
+	res, err := KMeans(data, data.Rows(), 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With k == n each point can sit in its own cluster; assignments valid.
+	for _, a := range res.Assignments {
+		if a < 0 || a >= data.Rows() {
+			t.Fatalf("bad assignment %d", a)
+		}
+	}
+}
+
+func TestKMeansDeterministicGivenSeed(t *testing.T) {
+	data, _ := blobs(rand.New(rand.NewSource(5)), 3, 8, 3, 0.2)
+	r1, err := KMeans(data, 3, 50, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := KMeans(data, 3, 50, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Assignments {
+		if r1.Assignments[i] != r2.Assignments[i] {
+			t.Fatal("same seed gave different clusterings")
+		}
+	}
+}
+
+func TestScalarDegenerateCase(t *testing.T) {
+	// Scalar features (Lo == Hi) must work identically.
+	rng := rand.New(rand.NewSource(6))
+	data, labels := blobs(rng, 3, 10, 4, 0)
+	if data.MaxSpan() != 0 {
+		t.Fatal("expected degenerate data")
+	}
+	res, err := KMeans(data, 3, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi := metrics.NMI(res.Assignments, labels); nmi < 0.99 {
+		t.Fatalf("scalar K-means NMI = %g", nmi)
+	}
+}

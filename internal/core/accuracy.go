@@ -1,0 +1,71 @@
+package core
+
+import (
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+)
+
+// AccuracyResult carries the decomposition-accuracy measures of
+// Definition 5 of the paper.
+type AccuracyResult struct {
+	// DeltaLo and DeltaHi are the relative Frobenius reconstruction
+	// errors of the minimum and maximum endpoint matrices.
+	DeltaLo, DeltaHi float64
+	// ThetaLo and ThetaHi are the clamped accuracies max(0, 1-Δ).
+	ThetaLo, ThetaHi float64
+	// HMean is the harmonic mean of ThetaLo and ThetaHi — the headline
+	// metric of the paper's Tables 2 and Figures 6, 7, and 9.
+	HMean float64
+}
+
+// Accuracy scores a reconstruction against the original interval matrix
+// per Definition 5: Δ(M, M̃) = ‖M − M̃‖_F / ‖M‖_F per endpoint,
+// Θ = max(0, 1-Δ), combined by harmonic mean.
+func Accuracy(orig, recon *imatrix.IMatrix) AccuracyResult {
+	dLo := relativeError(orig.Lo, recon.Lo)
+	dHi := relativeError(orig.Hi, recon.Hi)
+	tLo := clampAccuracy(dLo)
+	tHi := clampAccuracy(dHi)
+	return AccuracyResult{
+		DeltaLo: dLo,
+		DeltaHi: dHi,
+		ThetaLo: tLo,
+		ThetaHi: tHi,
+		HMean:   HarmonicMean(tLo, tHi),
+	}
+}
+
+// Evaluate is a convenience helper running Reconstruct and Accuracy.
+func (d *Decomposition) Evaluate(orig *imatrix.IMatrix) AccuracyResult {
+	return Accuracy(orig, d.Reconstruct())
+}
+
+// relativeError returns ‖a − b‖_F / ‖a‖_F, with the conventions that a
+// zero reference with zero error is perfect (0) and a zero reference with
+// any error is total (1).
+func relativeError(a, b *matrix.Dense) float64 {
+	ref := a.Frobenius()
+	diff := matrix.Sub(a, b).Frobenius()
+	if ref == 0 {
+		if diff == 0 {
+			return 0
+		}
+		return 1
+	}
+	return diff / ref
+}
+
+func clampAccuracy(delta float64) float64 {
+	if acc := 1 - delta; acc > 0 {
+		return acc
+	}
+	return 0
+}
+
+// HarmonicMean returns 2ab/(a+b), or 0 when a+b is 0.
+func HarmonicMean(a, b float64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return 2 * a * b / (a + b)
+}

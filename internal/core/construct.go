@@ -1,0 +1,92 @@
+package core
+
+import (
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+)
+
+// construct assembles the final U†, Σ†, V† matrices from the aligned
+// endpoint parts according to the decomposition target (Section 3.4 and
+// the "Renormalization" / "Restoring Intervals" rows of Figure 4).
+func construct(d *Decomposition, p parts) {
+	switch d.Target {
+	case TargetA:
+		constructA(d, p)
+	case TargetB:
+		constructB(d, p)
+	case TargetC:
+		constructC(d, p)
+	default:
+		panic("core: construct: unknown target")
+	}
+}
+
+// AssembleDecomposition builds a Decomposition from endpoint factor
+// matrices and singular-value diagonals that were produced outside the
+// ISVD pipelines (e.g. by the LP competitor in internal/lp), applying the
+// same target-specific construction rules of Section 3.4.
+func AssembleDecomposition(method Method, target Target, u, v *imatrix.IMatrix, sLo, sHi []float64) *Decomposition {
+	d := &Decomposition{Method: method, Target: target, Rank: len(sLo)}
+	construct(d, parts{U: u, V: v, SLo: sLo, SHi: sHi})
+	return d
+}
+
+// constructA keeps everything interval-valued (Section 3.4.1): endpoint
+// pairs become intervals, and misordered pairs are replaced by their
+// average.
+func constructA(d *Decomposition, p parts) {
+	u := p.U.Clone()
+	v := p.V.Clone()
+	u.AverageReplace()
+	v.AverageReplace()
+	sigma := imatrix.DiagFromEndpoints(p.SLo, p.SHi)
+	sigma.AverageReplace()
+	d.U, d.V, d.Sigma = u, v, sigma
+}
+
+// renormalizedFactors averages the endpoint factors and renormalizes
+// their columns to unit length, returning the scalar factors and the
+// per-column rescale coefficients ρ_j = colNormU[j] · colNormV[j]
+// (Section 3.4.2 / Supplementary Algorithm 5).
+func renormalizedFactors(p parts) (uAvg, vAvg *matrix.Dense, rho []float64) {
+	uAvg = p.U.Mid()
+	vAvg = p.V.Mid()
+	normU := uAvg.NormalizeColumns()
+	normV := vAvg.NormalizeColumns()
+	rho = make([]float64, len(normU))
+	for j := range rho {
+		rho[j] = normU[j] * normV[j]
+	}
+	return uAvg, vAvg, rho
+}
+
+// constructB produces scalar factors and an interval core (Section
+// 3.4.2): U and V are the renormalized averaged factors and the core
+// endpoints are rescaled by ρ_j to absorb the renormalization.
+func constructB(d *Decomposition, p parts) {
+	uAvg, vAvg, rho := renormalizedFactors(p)
+	sLo := make([]float64, len(p.SLo))
+	sHi := make([]float64, len(p.SHi))
+	for j := range sLo {
+		sLo[j] = rho[j] * p.SLo[j]
+		sHi[j] = rho[j] * p.SHi[j]
+	}
+	sigma := imatrix.DiagFromEndpoints(sLo, sHi)
+	sigma.AverageReplace()
+	d.U = imatrix.FromScalar(uAvg)
+	d.V = imatrix.FromScalar(vAvg)
+	d.Sigma = sigma
+}
+
+// constructC produces scalar factors and a scalar core (Section 3.4.3):
+// like TargetB but with each core interval replaced by its mean.
+func constructC(d *Decomposition, p parts) {
+	uAvg, vAvg, rho := renormalizedFactors(p)
+	s := make([]float64, len(p.SLo))
+	for j := range s {
+		s[j] = rho[j] * (p.SLo[j] + p.SHi[j]) / 2
+	}
+	d.U = imatrix.FromScalar(uAvg)
+	d.V = imatrix.FromScalar(vAvg)
+	d.Sigma = imatrix.DiagFromValues(s)
+}

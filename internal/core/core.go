@@ -1,0 +1,201 @@
+// Package core implements the paper's primary contribution: singular
+// value decomposition of interval-valued matrices (ISVD0 through ISVD4,
+// Section 4 and Figure 4), the three decomposition targets (a, b, c;
+// Section 3.4), interval-valued reconstruction (Supplementary
+// Algorithms 12-14), and the decomposition-accuracy metric of
+// Definition 5.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/imatrix"
+)
+
+// Target selects the application semantics of the decomposition output
+// (Section 3.4).
+type Target int
+
+const (
+	// TargetA produces interval-valued U†, Σ†, and V†.
+	TargetA Target = iota
+	// TargetB produces scalar U and V with an interval-valued core Σ†.
+	TargetB
+	// TargetC produces scalar U, Σ, and V.
+	TargetC
+)
+
+// String returns "a", "b", or "c".
+func (t Target) String() string {
+	switch t {
+	case TargetA:
+		return "a"
+	case TargetB:
+		return "b"
+	case TargetC:
+		return "c"
+	default:
+		return fmt.Sprintf("Target(%d)", int(t))
+	}
+}
+
+// Method selects one of the paper's decomposition strategies.
+type Method int
+
+const (
+	// ISVD0 averages the intervals and runs plain SVD (Section 4.1).
+	ISVD0 Method = iota
+	// ISVD1 decomposes the endpoint matrices independently and aligns
+	// the latent spaces afterwards (Section 4.2).
+	ISVD1
+	// ISVD2 eigen-decomposes the interval Gram matrix, solves for the
+	// left factors per side, then aligns (Section 4.3).
+	ISVD2
+	// ISVD3 aligns right after the eigen-decomposition and solves for the
+	// interval-valued U† with interval matrix algebra (Section 4.4).
+	ISVD3
+	// ISVD4 additionally recomputes V† from the solved U† to tighten the
+	// factor intervals (Section 4.5).
+	ISVD4
+	// LP labels decompositions produced by the linear-programming
+	// competitor pipeline (Deif/Seif interval eigenproblem; package
+	// internal/lp). It is not dispatched by Decompose.
+	LP
+)
+
+// String returns the canonical method name, e.g. "ISVD3".
+func (m Method) String() string {
+	if m == LP {
+		return "LP"
+	}
+	if m < ISVD0 || m > ISVD4 {
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+	return fmt.Sprintf("ISVD%d", int(m))
+}
+
+// Options configures a decomposition.
+type Options struct {
+	// Rank is the target rank r; it is clamped to min(n, m). Zero means
+	// full rank.
+	Rank int
+	// Target selects the output semantics (default TargetA).
+	Target Target
+	// Assign selects the ILSA matching algorithm (default Hungarian,
+	// the paper's Problem 2 formulation).
+	Assign assign.Method
+	// CondThreshold is the condition-number bound above which the
+	// Moore-Penrose pseudo-inverse replaces plain inversion in ISVD3/4
+	// (paper parameter condThr; default 1e8).
+	CondThreshold float64
+	// PinvCutoff is the singular-value cutoff of the pseudo-inverse
+	// (paper: "replace singular values smaller than 0.1 with zero";
+	// default 0.1).
+	PinvCutoff float64
+	// ExactAlgebra switches ISVD2-4 and TargetA reconstruction from the
+	// paper's Algorithm 1 endpoint products (min/max over the endpoint
+	// matrix products — the reference implementation's semantics, and the
+	// default here) to exact inclusion-correct interval matrix products.
+	// Exact algebra yields wider, sound intervals but much lower H-mean
+	// accuracy when spans are large; see the AblationAlgebra benchmark.
+	ExactAlgebra bool
+}
+
+func (o Options) withDefaults(m *imatrix.IMatrix) Options {
+	maxRank := m.Rows()
+	if m.Cols() < maxRank {
+		maxRank = m.Cols()
+	}
+	if o.Rank <= 0 || o.Rank > maxRank {
+		o.Rank = maxRank
+	}
+	if o.CondThreshold == 0 {
+		o.CondThreshold = 1e8
+	}
+	if o.PinvCutoff == 0 {
+		o.PinvCutoff = 0.1
+	}
+	return o
+}
+
+// Timings records per-phase wall-clock durations of a decomposition,
+// matching the phase breakdown of the paper's Figure 6(b).
+type Timings struct {
+	Preprocess time.Duration // interval Gram computation / averaging
+	Decompose  time.Duration // SVD / eigen-decomposition of the endpoints
+	Align      time.Duration // ILSA
+	Solve      time.Duration // recovery of U† (and V† recomputation)
+	Construct  time.Duration // target-specific assembly
+}
+
+// Total returns the sum of all phases.
+func (t Timings) Total() time.Duration {
+	return t.Preprocess + t.Decompose + t.Align + t.Solve + t.Construct
+}
+
+// Decomposition is the result of an interval-valued SVD. For TargetB the
+// U and V matrices are degenerate (scalar) intervals; for TargetC the
+// core Σ is degenerate too. Use Reconstruct to obtain M̃† and Accuracy to
+// score it against the input.
+type Decomposition struct {
+	Method Method
+	Target Target
+	Rank   int
+
+	// U is n×r, Sigma is r×r diagonal, V is m×r.
+	U, Sigma, V *imatrix.IMatrix
+
+	// ExactAlgebra records which interval-product semantics produced the
+	// factors; Reconstruct uses the same semantics.
+	ExactAlgebra bool
+
+	// Diagnostics for the paper's Figures 3 and 5: |cos| between the
+	// minimum- and maximum-side basis vectors per latent dimension.
+	CosVUnaligned  []float64 // before ILSA (Figure 3a)
+	CosVAligned    []float64 // after ILSA (Figure 3b)
+	CosURecovered  []float64 // U side after solving (Figure 5a, ISVD2-4)
+	CosVRecomputed []float64 // V side after ISVD4 recomputation (Figure 5b)
+
+	Timings Timings
+}
+
+// ValidateInput checks that an interval matrix is a legal decomposition
+// input: finite endpoints and Lo <= Hi everywhere.
+func ValidateInput(m *imatrix.IMatrix) error {
+	if !m.Lo.IsFinite() || !m.Hi.IsFinite() {
+		return fmt.Errorf("core: input contains NaN or Inf endpoints")
+	}
+	if !m.IsWellFormed() {
+		return fmt.Errorf("core: input contains misordered intervals (lo > hi); repair with AverageReplace or FromUnordered")
+	}
+	return nil
+}
+
+// Decompose runs the selected ISVD method on the interval matrix m.
+func Decompose(m *imatrix.IMatrix, method Method, opts Options) (*Decomposition, error) {
+	if err := ValidateInput(m); err != nil {
+		return nil, err
+	}
+	switch method {
+	case ISVD0:
+		return DecomposeISVD0(m, opts)
+	case ISVD1:
+		return DecomposeISVD1(m, opts)
+	case ISVD2:
+		return DecomposeISVD2(m, opts)
+	case ISVD3:
+		return DecomposeISVD3(m, opts)
+	case ISVD4:
+		return DecomposeISVD4(m, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", method)
+	}
+}
+
+// Methods lists all decomposition methods in order.
+func Methods() []Method { return []Method{ISVD0, ISVD1, ISVD2, ISVD3, ISVD4} }
+
+// Targets lists all decomposition targets in order.
+func Targets() []Target { return []Target{TargetA, TargetB, TargetC} }

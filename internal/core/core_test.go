@@ -1,0 +1,322 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+	"repro/internal/matrix"
+)
+
+func randScalarMatrix(r *rand.Rand, rows, cols int) *matrix.Dense {
+	m := matrix.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func defaultInterval(t *testing.T, seed int64) *imatrix.IMatrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := dataset.DefaultSynthetic()
+	cfg.Rows, cfg.Cols = 20, 35 // scaled down for unit-test speed
+	m, err := dataset.GenerateUniform(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStrings(t *testing.T) {
+	if ISVD3.String() != "ISVD3" || TargetB.String() != "b" {
+		t.Fatal("String() wrong")
+	}
+	if Method(9).String() == "" || Target(9).String() == "" {
+		t.Fatal("out-of-range String empty")
+	}
+}
+
+func TestMethodsTargetsEnumerations(t *testing.T) {
+	if len(Methods()) != 5 || len(Targets()) != 3 {
+		t.Fatal("enumeration sizes wrong")
+	}
+}
+
+// Degenerate (scalar) input at full rank must reconstruct near-exactly
+// for every method and target.
+func TestScalarInputExactReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	s := randScalarMatrix(r, 12, 8)
+	m := imatrix.FromScalar(s)
+	for _, method := range Methods() {
+		for _, target := range Targets() {
+			d, err := Decompose(m, method, Options{Target: target})
+			if err != nil {
+				t.Fatalf("%v-%v: %v", method, target, err)
+			}
+			acc := d.Evaluate(m)
+			if acc.HMean < 1-1e-6 {
+				t.Errorf("%v-%v: scalar full-rank H-mean = %.9f, want ≈1", method, target, acc.HMean)
+			}
+		}
+	}
+}
+
+func TestRankClampAndDefaults(t *testing.T) {
+	m := defaultInterval(t, 1)
+	d, err := Decompose(m, ISVD1, Options{Rank: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rank != 20 { // min(20, 35)
+		t.Fatalf("rank = %d, want 20", d.Rank)
+	}
+	if d.U.Rows() != 20 || d.U.Cols() != 20 || d.V.Rows() != 35 || d.V.Cols() != 20 {
+		t.Fatalf("factor shapes wrong: U %dx%d, V %dx%d", d.U.Rows(), d.U.Cols(), d.V.Rows(), d.V.Cols())
+	}
+	if d.Sigma.Rows() != 20 || d.Sigma.Cols() != 20 {
+		t.Fatal("sigma shape wrong")
+	}
+}
+
+func TestAllMethodsProduceWellFormedOutput(t *testing.T) {
+	m := defaultInterval(t, 2)
+	for _, method := range Methods() {
+		for _, target := range Targets() {
+			d, err := Decompose(m, method, Options{Rank: 8, Target: target})
+			if err != nil {
+				t.Fatalf("%v-%v: %v", method, target, err)
+			}
+			if !d.U.IsWellFormed() || !d.V.IsWellFormed() || !d.Sigma.IsWellFormed() {
+				t.Errorf("%v-%v: misordered output intervals", method, target)
+			}
+			if !d.U.Lo.IsFinite() || !d.U.Hi.IsFinite() ||
+				!d.V.Lo.IsFinite() || !d.V.Hi.IsFinite() ||
+				!d.Sigma.Lo.IsFinite() || !d.Sigma.Hi.IsFinite() {
+				t.Errorf("%v-%v: non-finite factors", method, target)
+			}
+			// Singular values non-negative.
+			for j := 0; j < d.Rank; j++ {
+				if d.Sigma.Lo.At(j, j) < -1e-9 {
+					t.Errorf("%v-%v: negative σ_lo[%d] = %g", method, target, j, d.Sigma.Lo.At(j, j))
+				}
+			}
+			acc := d.Evaluate(m)
+			if acc.HMean < 0 || acc.HMean > 1 {
+				t.Errorf("%v-%v: H-mean out of range: %g", method, target, acc.HMean)
+			}
+		}
+	}
+}
+
+func TestScalarTargetsAreDegenerate(t *testing.T) {
+	m := defaultInterval(t, 3)
+	for _, method := range Methods() {
+		db, err := Decompose(m, method, Options{Rank: 5, Target: TargetB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if db.U.MaxSpan() != 0 || db.V.MaxSpan() != 0 {
+			t.Errorf("%v-b: factors not scalar", method)
+		}
+		dc, err := Decompose(m, method, Options{Rank: 5, Target: TargetC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dc.U.MaxSpan() != 0 || dc.V.MaxSpan() != 0 || dc.Sigma.MaxSpan() != 0 {
+			t.Errorf("%v-c: output not fully scalar", method)
+		}
+	}
+}
+
+func TestTargetBFactorsUnitColumns(t *testing.T) {
+	m := defaultInterval(t, 4)
+	for _, method := range []Method{ISVD1, ISVD2, ISVD3, ISVD4} {
+		d, err := Decompose(m, method, Options{Rank: 6, Target: TargetB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < d.Rank; j++ {
+			if n := d.U.Mid().ColNorm(j); math.Abs(n-1) > 1e-9 && n != 0 {
+				t.Errorf("%v: ‖U[:,%d]‖ = %g", method, j, n)
+			}
+			if n := d.V.Mid().ColNorm(j); math.Abs(n-1) > 1e-9 && n != 0 {
+				t.Errorf("%v: ‖V[:,%d]‖ = %g", method, j, n)
+			}
+		}
+	}
+}
+
+func TestAlignmentImprovesCosines(t *testing.T) {
+	m := defaultInterval(t, 5)
+	for _, method := range []Method{ISVD1, ISVD2, ISVD3, ISVD4} {
+		d, err := Decompose(m, method, Options{Rank: 10, Target: TargetB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var before, after float64
+		for j := range d.CosVAligned {
+			before += d.CosVUnaligned[j]
+			after += d.CosVAligned[j]
+		}
+		if after < before-1e-9 {
+			t.Errorf("%v: ILSA decreased total alignment: %.4f -> %.4f", method, before, after)
+		}
+	}
+}
+
+func TestISVD4RecomputedCosines(t *testing.T) {
+	// Figure 5: after the recomputation step the V-side min/max cosines
+	// should be high (close to the U-side ones).
+	m := defaultInterval(t, 6)
+	d, err := Decompose(m, ISVD4, Options{Rank: 10, Target: TargetB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.CosVRecomputed) != 10 || len(d.CosURecovered) != 10 {
+		t.Fatal("diagnostics missing")
+	}
+	var rec, aligned float64
+	for j := range d.CosVRecomputed {
+		rec += d.CosVRecomputed[j]
+		aligned += d.CosVAligned[j]
+	}
+	if rec/10 < 0.75 {
+		t.Errorf("mean recomputed V cosine = %.3f, want high (≥0.75)", rec/10)
+	}
+	if rec < aligned-1e-6 {
+		t.Errorf("recomputation lowered mean V alignment: %.4f -> %.4f", aligned/10, rec/10)
+	}
+}
+
+func TestLowRankAccuracyOrdering(t *testing.T) {
+	// Higher rank must not reduce accuracy (information monotonicity) for
+	// the option-b pipeline on the default workload.
+	m := defaultInterval(t, 7)
+	prev := -1.0
+	for _, rank := range []int{2, 5, 10, 20} {
+		d, err := Decompose(m, ISVD4, Options{Rank: rank, Target: TargetB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := d.Evaluate(m).HMean
+		if h < prev-0.02 { // small tolerance: renormalization is not strictly monotone
+			t.Errorf("rank %d H-mean %.4f dropped below previous %.4f", rank, h, prev)
+		}
+		prev = h
+	}
+}
+
+func TestTimingsPopulated(t *testing.T) {
+	m := defaultInterval(t, 8)
+	d, err := Decompose(m, ISVD3, Options{Rank: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Timings.Total() <= 0 {
+		t.Fatal("timings not collected")
+	}
+	if d.Timings.Preprocess <= 0 || d.Timings.Decompose <= 0 {
+		t.Fatal("phase timings missing")
+	}
+}
+
+func TestDecomposeUnknownMethod(t *testing.T) {
+	m := defaultInterval(t, 9)
+	if _, err := Decompose(m, Method(42), Options{}); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestReconstructShapes(t *testing.T) {
+	m := defaultInterval(t, 10)
+	for _, target := range Targets() {
+		d, err := Decompose(m, ISVD2, Options{Rank: 4, Target: target})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := d.Reconstruct()
+		if rec.Rows() != m.Rows() || rec.Cols() != m.Cols() {
+			t.Fatalf("target %v: reconstruction shape %dx%d", target, rec.Rows(), rec.Cols())
+		}
+		if !rec.IsWellFormed() {
+			t.Fatalf("target %v: reconstruction misordered", target)
+		}
+	}
+}
+
+func TestAccuracyMetric(t *testing.T) {
+	a := imatrix.FromScalar(matrix.FromRows([][]float64{{3, 4}}))
+	// Perfect reconstruction.
+	res := Accuracy(a, a.Clone())
+	if res.HMean != 1 || res.DeltaLo != 0 {
+		t.Fatalf("perfect accuracy = %+v", res)
+	}
+	// Zero reconstruction: Δ = 1 → Θ = 0 → H-mean 0.
+	zero := imatrix.New(1, 2)
+	res = Accuracy(a, zero)
+	if res.HMean != 0 || res.ThetaLo != 0 {
+		t.Fatalf("zero accuracy = %+v", res)
+	}
+	// Overshoot beyond 2× norm clamps Θ at 0.
+	big := imatrix.FromScalar(matrix.FromRows([][]float64{{300, 400}}))
+	res = Accuracy(a, big)
+	if res.ThetaLo != 0 || res.HMean != 0 {
+		t.Fatalf("overshoot accuracy = %+v", res)
+	}
+}
+
+func TestAccuracyZeroReference(t *testing.T) {
+	zero := imatrix.New(2, 2)
+	if res := Accuracy(zero, zero.Clone()); res.HMean != 1 {
+		t.Fatalf("zero/zero should be perfect, got %+v", res)
+	}
+	nonzero := imatrix.New(2, 2)
+	nonzero.Set(0, 0, interval.Scalar(1))
+	if res := Accuracy(zero, nonzero); res.HMean != 0 {
+		t.Fatalf("zero reference with error should be 0, got %+v", res)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if HarmonicMean(0, 0) != 0 {
+		t.Fatal("HM(0,0) != 0")
+	}
+	if got := HarmonicMean(1, 1); got != 1 {
+		t.Fatalf("HM(1,1) = %g", got)
+	}
+	if got := HarmonicMean(0.5, 1); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("HM(0.5,1) = %g", got)
+	}
+}
+
+// The headline comparison of Figure 6(a)/Table 2: with heavy intervals,
+// the aligned option-b methods should beat the naive ISVD0 baseline, and
+// ISVD3/4 should be at least as good as ISVD1/2.
+func TestOptionBBeatsNaiveOnHeavyIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfg := dataset.DefaultSynthetic()
+	cfg.Rows, cfg.Cols = 40, 60
+	var h [5]float64
+	const trials = 5
+	for trial := 0; trial < trials; trial++ {
+		m := dataset.MustGenerateUniform(cfg, rng)
+		for _, method := range Methods() {
+			d, err := Decompose(m, method, Options{Rank: 20, Target: TargetB})
+			if err != nil {
+				t.Fatal(err)
+			}
+			h[method] += d.Evaluate(m).HMean / trials
+		}
+	}
+	if h[ISVD4] < h[ISVD0] {
+		t.Errorf("ISVD4-b (%.4f) did not beat ISVD0 (%.4f)", h[ISVD4], h[ISVD0])
+	}
+	if h[ISVD3] < h[ISVD1]-0.01 {
+		t.Errorf("ISVD3-b (%.4f) clearly below ISVD1-b (%.4f)", h[ISVD3], h[ISVD1])
+	}
+}

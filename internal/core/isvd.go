@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/align"
+	"repro/internal/eig"
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+)
+
+// parts is the shared intermediate state of ISVD1-4 right before the
+// target-specific construction step: endpoint factor matrices (possibly
+// min-max misordered, which is legitimate at this stage per
+// Section 4.2.1) and the two singular-value diagonals.
+type parts struct {
+	U, V     *imatrix.IMatrix
+	SLo, SHi []float64
+}
+
+// DecomposeISVD0 implements the naive average-and-decompose strategy
+// (Section 4.1): plain SVD of the interval midpoint matrix. The result is
+// scalar-valued and therefore only compatible with TargetC semantics, but
+// it is returned under whatever target was requested, with degenerate
+// intervals.
+func DecomposeISVD0(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
+	opts = opts.withDefaults(m)
+	var tm Timings
+	t0 := time.Now()
+	avg := m.Mid()
+	tm.Preprocess = time.Since(t0)
+
+	t0 = time.Now()
+	res, err := eig.SVD(avg)
+	if err != nil {
+		return nil, fmt.Errorf("core: ISVD0: %w", err)
+	}
+	res = res.Truncate(opts.Rank)
+	tm.Decompose = time.Since(t0)
+
+	t0 = time.Now()
+	d := &Decomposition{
+		Method:       ISVD0,
+		Target:       opts.Target,
+		Rank:         opts.Rank,
+		ExactAlgebra: opts.ExactAlgebra,
+		U:            imatrix.FromScalar(res.U),
+		Sigma:        imatrix.DiagFromValues(res.S),
+		V:            imatrix.FromScalar(res.V),
+	}
+	tm.Construct = time.Since(t0)
+	d.Timings = tm
+	return d, nil
+}
+
+// DecomposeISVD1 implements decompose-and-align (Section 4.2): the
+// endpoint matrices M* and M^* are SVD-decomposed independently, then the
+// maximum-side factors are permuted and sign-flipped by ILSA to align
+// with the minimum side.
+func DecomposeISVD1(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
+	opts = opts.withDefaults(m)
+	var tm Timings
+
+	// The two endpoint SVDs are independent; run them concurrently.
+	t0 := time.Now()
+	var svdLo, svdHi *eig.SVDResult
+	var errLo, errHi error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		svdHi, errHi = eig.SVD(m.Hi)
+	}()
+	svdLo, errLo = eig.SVD(m.Lo)
+	wg.Wait()
+	if errLo != nil {
+		return nil, fmt.Errorf("core: ISVD1: min side: %w", errLo)
+	}
+	if errHi != nil {
+		return nil, fmt.Errorf("core: ISVD1: max side: %w", errHi)
+	}
+	svdLo = svdLo.Truncate(opts.Rank)
+	svdHi = svdHi.Truncate(opts.Rank)
+	tm.Decompose = time.Since(t0)
+
+	d := &Decomposition{Method: ISVD1, Target: opts.Target, Rank: opts.Rank, ExactAlgebra: opts.ExactAlgebra}
+
+	t0 = time.Now()
+	uHi := svdHi.U.Clone()
+	vHi := svdHi.V.Clone()
+	d.CosVUnaligned = align.ColumnCosines(svdLo.V, vHi)
+	res := align.ILSA(svdLo.V, vHi, opts.Assign)
+	res.Apply(uHi, vHi, nil)
+	sHi := res.ApplyToDiag(svdHi.S)
+	d.CosVAligned = res.Cos
+	tm.Align = time.Since(t0)
+
+	p := parts{
+		U:   imatrix.FromEndpoints(svdLo.U.Clone(), uHi),
+		V:   imatrix.FromEndpoints(svdLo.V.Clone(), vHi),
+		SLo: append([]float64(nil), svdLo.S...),
+		SHi: sHi,
+	}
+	t0 = time.Now()
+	construct(d, p)
+	tm.Construct = time.Since(t0)
+	d.Timings = tm
+	return d, nil
+}
+
+// gramEig computes the truncated eigen-decomposition of both endpoint
+// Gram matrices A† = M†ᵀ × M† (interval matrix multiplication), returning
+// per-side right singular vectors and singular values (sqrt of clamped
+// eigenvalues).
+func gramEig(m *imatrix.IMatrix, rank int, exact bool) (vLo, vHi *matrix.Dense, sLo, sHi []float64, pre, dec time.Duration, err error) {
+	t0 := time.Now()
+	var a *imatrix.IMatrix
+	if exact {
+		a = imatrix.Mul(m.T(), m)
+	} else {
+		a = imatrix.MulEndpoints(m.T(), m)
+	}
+	pre = time.Since(t0)
+
+	// The two endpoint eigen-decompositions are independent; run them
+	// concurrently (they dominate the decomposition cost, Figure 6b).
+	t0 = time.Now()
+	var valsLo, valsHi []float64
+	var vecsLo, vecsHi *matrix.Dense
+	var errLo, errHi error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		valsHi, vecsHi, errHi = eig.SymEig(a.Hi)
+	}()
+	valsLo, vecsLo, errLo = eig.SymEig(a.Lo)
+	wg.Wait()
+	if errLo != nil {
+		return nil, nil, nil, nil, 0, 0, fmt.Errorf("eig of A*: %w", errLo)
+	}
+	if errHi != nil {
+		return nil, nil, nil, nil, 0, 0, fmt.Errorf("eig of A^*: %w", errHi)
+	}
+	dec = time.Since(t0)
+
+	vLo = vecsLo.SubMatrix(0, vecsLo.Rows, 0, rank)
+	vHi = vecsHi.SubMatrix(0, vecsHi.Rows, 0, rank)
+	sLo = sqrtClamped(valsLo[:rank])
+	sHi = sqrtClamped(valsHi[:rank])
+	return vLo, vHi, sLo, sHi, pre, dec, nil
+}
+
+func sqrtClamped(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		if v > 0 {
+			out[i] = math.Sqrt(v)
+		}
+	}
+	return out
+}
+
+// recoverU computes U = M · V · diag(1/s) for one endpoint side. For the
+// orthonormal V returned by the symmetric eigensolver this equals the
+// paper's U = M·(Vᵀ)⁻¹·Σ⁻¹ (the pseudo-inverse of the transpose of an
+// orthonormal-column matrix is the matrix itself). Zero singular values
+// yield zero columns.
+func recoverU(m, v *matrix.Dense, s []float64) *matrix.Dense {
+	mv := matrix.Mul(m, v)
+	for j, sv := range s {
+		invS := 0.0
+		if sv != 0 {
+			invS = 1 / sv
+		}
+		for i := 0; i < mv.Rows; i++ {
+			mv.Set(i, j, mv.At(i, j)*invS)
+		}
+	}
+	return mv
+}
+
+// DecomposeISVD2 implements decompose-solve-align (Section 4.3): the
+// interval Gram matrix is eigen-decomposed per side, the left factors are
+// recovered per side from the SVD identity, and only then are the latent
+// spaces aligned.
+func DecomposeISVD2(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
+	opts = opts.withDefaults(m)
+	var tm Timings
+
+	vLo, vHi, sLo, sHi, pre, dec, err := gramEig(m, opts.Rank, opts.ExactAlgebra)
+	if err != nil {
+		return nil, fmt.Errorf("core: ISVD2: %w", err)
+	}
+	tm.Preprocess, tm.Decompose = pre, dec
+
+	t0 := time.Now()
+	uLo := recoverU(m.Lo, vLo, sLo)
+	uHi := recoverU(m.Hi, vHi, sHi)
+	tm.Solve = time.Since(t0)
+
+	d := &Decomposition{Method: ISVD2, Target: opts.Target, Rank: opts.Rank, ExactAlgebra: opts.ExactAlgebra}
+
+	t0 = time.Now()
+	d.CosVUnaligned = align.ColumnCosines(vLo, vHi)
+	res := align.ILSA(vLo, vHi, opts.Assign)
+	res.Apply(uHi, vHi, nil)
+	sHi = res.ApplyToDiag(sHi)
+	d.CosVAligned = res.Cos
+	d.CosURecovered = align.ColumnCosines(uLo, uHi)
+	tm.Align = time.Since(t0)
+
+	p := parts{
+		U:   imatrix.FromEndpoints(uLo, uHi),
+		V:   imatrix.FromEndpoints(vLo, vHi),
+		SLo: sLo,
+		SHi: sHi,
+	}
+	t0 = time.Now()
+	construct(d, p)
+	tm.Construct = time.Since(t0)
+	d.Timings = tm
+	return d, nil
+}
+
+// invertAveraged inverts the midpoint of an interval factor matrix,
+// falling back to the Moore-Penrose pseudo-inverse when the matrix is
+// rectangular or ill-conditioned (Section 4.4.2.2).
+func invertAveraged(avg *matrix.Dense, opts Options) (*matrix.Dense, error) {
+	if avg.Rows == avg.Cols && eig.Cond2(avg) <= opts.CondThreshold {
+		inv, err := matrix.Inverse(avg)
+		if err == nil {
+			return inv, nil
+		}
+		// Singular despite the condition estimate: fall through to pinv.
+	}
+	return eig.PInv(avg, opts.PinvCutoff)
+}
+
+// isvd34Common runs the shared ISVD3/ISVD4 pipeline through the solve
+// step: interval Gram eigen-decomposition, early ILSA, and interval
+// recovery of U† = M† × ((V†)ᵀ)⁻¹ × (Σ†)⁻¹.
+func isvd34Common(m *imatrix.IMatrix, opts Options, d *Decomposition, tm *Timings) (p parts, sigmaInv *matrix.Dense, err error) {
+	vLo, vHi, sLo, sHi, pre, dec, err := gramEig(m, opts.Rank, opts.ExactAlgebra)
+	if err != nil {
+		return parts{}, nil, err
+	}
+	tm.Preprocess, tm.Decompose = pre, dec
+
+	t0 := time.Now()
+	d.CosVUnaligned = align.ColumnCosines(vLo, vHi)
+	res := align.ILSA(vLo, vHi, opts.Assign)
+	res.Apply(nil, vHi, nil)
+	sHi = res.ApplyToDiag(sHi)
+	d.CosVAligned = res.Cos
+	tm.Align = time.Since(t0)
+
+	t0 = time.Now()
+	v := imatrix.FromEndpoints(vLo, vHi)
+	vInv, err := invertAveraged(v.Mid(), opts) // r×m
+	if err != nil {
+		return parts{}, nil, fmt.Errorf("inverting V: %w", err)
+	}
+	sigma := imatrix.DiagFromEndpoints(sLo, sHi)
+	sigmaInv = imatrix.InverseDiag(sigma) // r×r scalar (Algorithm 4)
+	// U† = M† × ((V†)ᵀ)⁻¹ × (Σ†)⁻¹ with scalar right operand.
+	right := matrix.Mul(vInv.T(), sigmaInv)
+	var u *imatrix.IMatrix
+	if opts.ExactAlgebra {
+		u = imatrix.MulScalarRight(m, right)
+	} else {
+		u = imatrix.MulEndpointsScalarRight(m, right)
+	}
+	d.CosURecovered = align.ColumnCosines(u.Lo, u.Hi)
+	tm.Solve = time.Since(t0)
+
+	return parts{U: u, V: v, SLo: sLo, SHi: sHi}, sigmaInv, nil
+}
+
+// DecomposeISVD3 implements decompose-align-solve (Section 4.4).
+func DecomposeISVD3(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
+	opts = opts.withDefaults(m)
+	d := &Decomposition{Method: ISVD3, Target: opts.Target, Rank: opts.Rank, ExactAlgebra: opts.ExactAlgebra}
+	var tm Timings
+	p, _, err := isvd34Common(m, opts, d, &tm)
+	if err != nil {
+		return nil, fmt.Errorf("core: ISVD3: %w", err)
+	}
+	t0 := time.Now()
+	construct(d, p)
+	tm.Construct = time.Since(t0)
+	d.Timings = tm
+	return d, nil
+}
+
+// DecomposeISVD4 implements decompose-align-solve-recompute
+// (Section 4.5): after recovering U† as in ISVD3, the right factor is
+// recomputed as V† = [(Σ†)⁻¹ × (U†)⁻¹ × M†]ᵀ, which tightens the V
+// intervals by propagating the alignment benefits of the U side.
+func DecomposeISVD4(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
+	opts = opts.withDefaults(m)
+	d := &Decomposition{Method: ISVD4, Target: opts.Target, Rank: opts.Rank, ExactAlgebra: opts.ExactAlgebra}
+	var tm Timings
+	p, sigmaInv, err := isvd34Common(m, opts, d, &tm)
+	if err != nil {
+		return nil, fmt.Errorf("core: ISVD4: %w", err)
+	}
+
+	t0 := time.Now()
+	uInv, err := invertAveraged(p.U.Mid(), opts) // r×n
+	if err != nil {
+		return nil, fmt.Errorf("core: ISVD4: inverting U: %w", err)
+	}
+	left := matrix.Mul(sigmaInv, uInv)
+	var vT *imatrix.IMatrix // r×m
+	if opts.ExactAlgebra {
+		vT = imatrix.MulScalarLeft(left, m)
+	} else {
+		vT = imatrix.MulEndpointsScalarLeft(left, m)
+	}
+	p.V = vT.T()
+	d.CosVRecomputed = align.ColumnCosines(p.V.Lo, p.V.Hi)
+	tm.Solve += time.Since(t0)
+
+	t0 = time.Now()
+	construct(d, p)
+	tm.Construct = time.Since(t0)
+	d.Timings = tm
+	return d, nil
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+)
+
+// Reconstruct recombines the factors into M̃† = U† × Σ† × V†ᵀ using the
+// reconstruction semantics matching the decomposition target
+// (Supplementary Algorithms 12-14). The result is always an interval
+// matrix; for TargetC it is degenerate (scalar).
+func (d *Decomposition) Reconstruct() *imatrix.IMatrix {
+	switch d.Target {
+	case TargetA:
+		// Full interval algebra: M̃† = (U† × Σ†) × V†ᵀ, using the same
+		// product semantics that produced the factors.
+		if d.ExactAlgebra {
+			return imatrix.Mul(imatrix.Mul(d.U, d.Sigma), d.V.T())
+		}
+		return imatrix.MulEndpoints(imatrix.MulEndpoints(d.U, d.Sigma), d.V.T())
+	case TargetB:
+		// Scalar factors, interval core: per-endpoint scalar products.
+		u := d.U.Mid()
+		vt := d.V.Mid().T()
+		lo := matrix.Mul(matrix.Mul(u, d.Sigma.Lo), vt)
+		hi := matrix.Mul(matrix.Mul(u, d.Sigma.Hi), vt)
+		out := imatrix.FromEndpoints(lo, hi)
+		out.AverageReplace()
+		return out
+	case TargetC:
+		// All scalar.
+		u := d.U.Mid()
+		vt := d.V.Mid().T()
+		return imatrix.FromScalar(matrix.Mul(matrix.Mul(u, d.Sigma.Mid()), vt))
+	default:
+		panic("core: Reconstruct: unknown target")
+	}
+}

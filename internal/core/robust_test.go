@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+)
+
+// Zero rows and columns must not break any variant (they produce zero
+// singular directions, exercising the 1/σ = 0 guards).
+func TestZeroRowsAndColumns(t *testing.T) {
+	m := defaultInterval(t, 31)
+	// Blank out a row and a column.
+	for j := 0; j < m.Cols(); j++ {
+		m.Set(3, j, interval.Scalar(0))
+	}
+	for i := 0; i < m.Rows(); i++ {
+		m.Set(i, 5, interval.Scalar(0))
+	}
+	for _, method := range Methods() {
+		for _, target := range Targets() {
+			d, err := Decompose(m, method, Options{Rank: 10, Target: target})
+			if err != nil {
+				t.Fatalf("%v-%v: %v", method, target, err)
+			}
+			if !d.U.Lo.IsFinite() || !d.Sigma.Hi.IsFinite() || !d.V.Lo.IsFinite() {
+				t.Fatalf("%v-%v: non-finite output", method, target)
+			}
+			rec := d.Reconstruct()
+			if !rec.Lo.IsFinite() || !rec.Hi.IsFinite() {
+				t.Fatalf("%v-%v: non-finite reconstruction", method, target)
+			}
+		}
+	}
+}
+
+// Fully zero input: every factor and the reconstruction must be zero,
+// and the accuracy convention reports a perfect score.
+func TestAllZeroMatrix(t *testing.T) {
+	m := imatrix.New(6, 5)
+	for _, method := range Methods() {
+		d, err := Decompose(m, method, Options{Rank: 3, Target: TargetB})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		rec := d.Reconstruct()
+		if rec.Lo.MaxAbs() > 1e-12 || rec.Hi.MaxAbs() > 1e-12 {
+			t.Fatalf("%v: zero matrix reconstructed non-zero", method)
+		}
+		if acc := Accuracy(m, rec); acc.HMean != 1 {
+			t.Fatalf("%v: zero/zero accuracy = %v", method, acc.HMean)
+		}
+	}
+}
+
+// Rank exceeding the number of non-zero singular values: the surplus
+// directions carry zero weight and reconstruction still works.
+func TestRankBeyondNumericalRank(t *testing.T) {
+	// Rank-2 data asked for rank 6.
+	m := imatrix.New(8, 7)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 7; j++ {
+			v := float64(i+1)*0.5 + float64(j+1)*float64(i%2)
+			m.Set(i, j, interval.New(v, v+0.1))
+		}
+	}
+	for _, method := range Methods() {
+		d, err := Decompose(m, method, Options{Rank: 6, Target: TargetB})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if h := d.Evaluate(m).HMean; h < 0.95 {
+			t.Errorf("%v: H-mean %.4f on exactly low-rank data", method, h)
+		}
+	}
+}
+
+// A single-column matrix degenerates every Gram matrix to 1×1; all
+// variants must handle it.
+func TestSingleColumn(t *testing.T) {
+	m := imatrix.New(6, 1)
+	for i := 0; i < 6; i++ {
+		m.Set(i, 0, interval.New(float64(i), float64(i)+0.5))
+	}
+	for _, method := range Methods() {
+		d, err := Decompose(m, method, Options{Rank: 1, Target: TargetB})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if h := d.Evaluate(m).HMean; h < 0.8 {
+			t.Errorf("%v: single-column H-mean %.4f", method, h)
+		}
+	}
+}
+
+// Sparse matrices (90% zeros, Table 2c's extreme) through every method.
+func TestVerySparse(t *testing.T) {
+	cfg := dataset.DefaultSynthetic()
+	cfg.Rows, cfg.Cols = 25, 30
+	cfg.ZeroFrac = 0.9
+	m := defaultSparse(t, cfg)
+	for _, method := range Methods() {
+		d, err := Decompose(m, method, Options{Rank: 8, Target: TargetB})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if !d.Sigma.Hi.IsFinite() {
+			t.Fatalf("%v: non-finite sigma", method)
+		}
+	}
+}
+
+func defaultSparse(t *testing.T, cfg dataset.SyntheticConfig) *imatrix.IMatrix {
+	t.Helper()
+	m, err := dataset.GenerateUniform(cfg, randSource(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+	"repro/internal/matrix"
+)
+
+func TestValidateInputRejectsNaN(t *testing.T) {
+	m := imatrix.New(2, 2)
+	m.Lo.Set(0, 0, math.NaN())
+	m.Hi.Set(0, 0, math.NaN())
+	if err := ValidateInput(m); err == nil {
+		t.Fatal("NaN input accepted")
+	}
+	for _, method := range Methods() {
+		if _, err := Decompose(m, method, Options{}); err == nil {
+			t.Fatalf("%v: decomposed NaN input", method)
+		}
+	}
+}
+
+func TestValidateInputRejectsInf(t *testing.T) {
+	m := imatrix.New(2, 2)
+	m.Set(1, 1, interval.Interval{Lo: 0, Hi: math.Inf(1)})
+	if err := ValidateInput(m); err == nil {
+		t.Fatal("Inf input accepted")
+	}
+}
+
+func TestValidateInputRejectsMisordered(t *testing.T) {
+	m := imatrix.New(2, 2)
+	m.Lo.Set(0, 1, 5)
+	m.Hi.Set(0, 1, 2)
+	if err := ValidateInput(m); err == nil {
+		t.Fatal("misordered input accepted")
+	}
+	// After repair it is accepted.
+	m.AverageReplace()
+	if err := ValidateInput(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateInputAcceptsScalar(t *testing.T) {
+	if err := ValidateInput(imatrix.FromScalar(matrix.Identity(3))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Decomposition determinism: the whole pipeline is deterministic given
+// identical input (no hidden randomness in any ISVD variant).
+func TestDecomposeDeterministic(t *testing.T) {
+	m := defaultInterval(t, 77)
+	for _, method := range Methods() {
+		d1, err := Decompose(m, method, Options{Rank: 6, Target: TargetB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := Decompose(m, method, Options{Rank: 6, Target: TargetB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.Equal(d1.U.Lo, d2.U.Lo, 0) || !matrix.Equal(d1.Sigma.Hi, d2.Sigma.Hi, 0) ||
+			!matrix.Equal(d1.V.Lo, d2.V.Lo, 0) {
+			t.Fatalf("%v: non-deterministic output", method)
+		}
+	}
+}
+
+// A matrix of all-identical rows is exactly rank 1: a rank-1 option-b
+// decomposition must reconstruct it nearly perfectly.
+func TestRankOneStructure(t *testing.T) {
+	m := imatrix.New(8, 5)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 5; j++ {
+			v := float64(j + 1)
+			m.Set(i, j, interval.New(v, v+0.2))
+		}
+	}
+	for _, method := range []Method{ISVD1, ISVD2, ISVD3, ISVD4} {
+		d, err := Decompose(m, method, Options{Rank: 1, Target: TargetB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h := d.Evaluate(m).HMean; h < 0.97 {
+			t.Errorf("%v: rank-1 structure H-mean = %.4f", method, h)
+		}
+	}
+}
+
+// Scaling invariance: scaling the input by a positive constant scales
+// the singular values and leaves the H-mean unchanged.
+func TestScaleInvariance(t *testing.T) {
+	m := defaultInterval(t, 13)
+	scaled := imatrix.FromEndpoints(m.Lo.Scale(100), m.Hi.Scale(100))
+	d1, err := Decompose(m, ISVD4, Options{Rank: 5, Target: TargetB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Decompose(scaled, ISVD4, Options{Rank: 5, Target: TargetB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1 := d1.Evaluate(m).HMean
+	h2 := d2.Evaluate(scaled).HMean
+	if math.Abs(h1-h2) > 1e-6 {
+		t.Fatalf("H-mean not scale invariant: %.6f vs %.6f", h1, h2)
+	}
+	for j := 0; j < 5; j++ {
+		ratio := d2.Sigma.Lo.At(j, j) / d1.Sigma.Lo.At(j, j)
+		if math.Abs(ratio-100) > 1e-6*100 {
+			t.Fatalf("σ[%d] ratio = %g, want 100", j, ratio)
+		}
+	}
+}
+
+// Tall and wide orientations of the same data must give the same
+// accuracy (the decomposition is transpose-symmetric up to U/V swap).
+func TestTransposeSymmetryOfAccuracy(t *testing.T) {
+	m := defaultInterval(t, 21)
+	mt := m.T()
+	for _, method := range []Method{ISVD0, ISVD1} {
+		d1, err := Decompose(m, method, Options{Rank: 8, Target: TargetB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := Decompose(mt, method, Options{Rank: 8, Target: TargetB})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h1 := d1.Evaluate(m).HMean
+		h2 := d2.Evaluate(mt).HMean
+		if math.Abs(h1-h2) > 0.02 {
+			t.Errorf("%v: transpose changed H-mean %.4f -> %.4f", method, h1, h2)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+)
+
+// GeneralizationLevel identifies one of the paper's four recoding levels:
+// L1 divides the value domain into 100 generalization intervals, L2 into
+// 50, L3 into 20, and L4 into 5 (higher level = coarser = more
+// anonymized).
+type GeneralizationLevel int
+
+const (
+	L1 GeneralizationLevel = iota // 100 buckets
+	L2                            // 50 buckets
+	L3                            // 20 buckets
+	L4                            // 5 buckets
+)
+
+// Buckets returns the number of generalization intervals of the level.
+func (l GeneralizationLevel) Buckets() int {
+	switch l {
+	case L1:
+		return 100
+	case L2:
+		return 50
+	case L3:
+		return 20
+	case L4:
+		return 5
+	default:
+		panic(fmt.Sprintf("dataset: unknown generalization level %d", int(l)))
+	}
+}
+
+// AnonymizationMix gives the probability with which each cell is
+// generalized at levels L1..L4. The weights must sum to 1.
+type AnonymizationMix [4]float64
+
+// The paper's three anonymization scenarios (Section 6.1.1).
+var (
+	// HighAnonymity skews towards coarse levels: L1 10%, L2 20%, L3 30%, L4 40%.
+	HighAnonymity = AnonymizationMix{0.10, 0.20, 0.30, 0.40}
+	// MediumAnonymity uses all levels equally.
+	MediumAnonymity = AnonymizationMix{0.25, 0.25, 0.25, 0.25}
+	// LowAnonymity skews towards fine levels: L1 40%, L2 30%, L3 20%, L4 10%.
+	LowAnonymity = AnonymizationMix{0.40, 0.30, 0.20, 0.10}
+)
+
+// Validate checks that the mixture is a probability distribution.
+func (m AnonymizationMix) Validate() error {
+	var s float64
+	for _, w := range m {
+		if w < 0 {
+			return fmt.Errorf("dataset: negative mixture weight %g", w)
+		}
+		s += w
+	}
+	if math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("dataset: mixture weights sum to %g, want 1", s)
+	}
+	return nil
+}
+
+// sampleLevel draws a generalization level from the mixture.
+func (m AnonymizationMix) sampleLevel(rng *rand.Rand) GeneralizationLevel {
+	u := rng.Float64()
+	acc := 0.0
+	for i, w := range m {
+		acc += w
+		if u < acc {
+			return GeneralizationLevel(i)
+		}
+	}
+	return L4
+}
+
+// Generalize replaces the scalar v ∈ [0, 1) with the generalization
+// interval (bucket) containing it at the given level — the value-recoding
+// primitive of k-anonymity publishing (Sweeney).
+func Generalize(v float64, level GeneralizationLevel) interval.Interval {
+	k := float64(level.Buckets())
+	b := math.Floor(v * k)
+	if b >= k { // v == 1 boundary
+		b = k - 1
+	}
+	return interval.New(b/k, (b+1)/k)
+}
+
+// GenerateAnonymized draws a rows×cols random matrix with values uniform
+// in [0, 1) and generalizes every cell at a level sampled from the mix,
+// producing the anonymized interval matrices of Section 6.1.1.
+func GenerateAnonymized(rows, cols int, mix AnonymizationMix, rng *rand.Rand) (*imatrix.IMatrix, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("dataset: non-positive shape %dx%d", rows, cols)
+	}
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	m := imatrix.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := rng.Float64()
+			m.Set(i, j, Generalize(v, mix.sampleLevel(rng)))
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/imatrix"
+)
+
+// Interval CSV cell format: a scalar cell is a plain number ("1.5"); an
+// interval cell is "lo..hi" ("1.0..2.5"). This keeps files readable and
+// avoids quoting (no commas inside cells).
+
+// WriteIntervalCSV writes m in the interval CSV format.
+func WriteIntervalCSV(w io.Writer, m *imatrix.IMatrix) error {
+	cw := csv.NewWriter(w)
+	row := make([]string, m.Cols())
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			iv := m.At(i, j)
+			if iv.IsScalar() {
+				row[j] = formatFloat(iv.Lo)
+			} else {
+				row[j] = formatFloat(iv.Lo) + ".." + formatFloat(iv.Hi)
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ReadIntervalCSV parses the interval CSV format into an interval matrix.
+func ReadIntervalCSV(r io.Reader) (*imatrix.IMatrix, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 || len(records[0]) == 0 {
+		return nil, fmt.Errorf("dataset: empty CSV")
+	}
+	m := imatrix.New(len(records), len(records[0]))
+	for i, rec := range records {
+		if len(rec) != m.Cols() {
+			return nil, fmt.Errorf("dataset: row %d has %d cells, want %d", i, len(rec), m.Cols())
+		}
+		for j, cell := range rec {
+			lo, hi, err := parseCell(cell)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d col %d: %w", i, j, err)
+			}
+			m.Lo.Set(i, j, lo)
+			m.Hi.Set(i, j, hi)
+		}
+	}
+	if !m.IsWellFormed() {
+		return nil, fmt.Errorf("dataset: CSV contains misordered intervals (lo > hi)")
+	}
+	return m, nil
+}
+
+func parseCell(cell string) (lo, hi float64, err error) {
+	cell = strings.TrimSpace(cell)
+	if idx := strings.Index(cell, ".."); idx >= 0 {
+		lo, err = strconv.ParseFloat(cell[:idx], 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad lower endpoint %q", cell[:idx])
+		}
+		hi, err = strconv.ParseFloat(cell[idx+2:], 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad upper endpoint %q", cell[idx+2:])
+		}
+		return lo, hi, nil
+	}
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad scalar %q", cell)
+	}
+	return v, v, nil
+}

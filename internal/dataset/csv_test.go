@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/matrix"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultSynthetic()
+	cfg.Rows, cfg.Cols = 7, 5
+	cfg.IntervalDensity = 0.5
+	m := MustGenerateUniform(cfg, rng)
+	var b strings.Builder
+	if err := WriteIntervalCSV(&b, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIntervalCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matrix.Equal(m.Lo, back.Lo, 0) || !matrix.Equal(m.Hi, back.Hi, 0) {
+		t.Fatal("round trip lost data")
+	}
+}
+
+func TestCSVParseForms(t *testing.T) {
+	m, err := ReadIntervalCSV(strings.NewReader("1.5,2..3\n-1,0..0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.At(0, 0).Equal(interval.Scalar(1.5)) {
+		t.Fatalf("scalar cell = %v", m.At(0, 0))
+	}
+	if !m.At(0, 1).Equal(interval.New(2, 3)) {
+		t.Fatalf("interval cell = %v", m.At(0, 1))
+	}
+	if !m.At(1, 0).Equal(interval.Scalar(-1)) {
+		t.Fatalf("negative scalar = %v", m.At(1, 0))
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"",         // empty
+		"1,abc\n",  // bad scalar
+		"1,2..x\n", // bad endpoint
+		"3..1\n",   // misordered
+		"1,2\n3\n", // ragged (csv reader errors)
+		"x..2\n",   // bad lower
+	}
+	for _, c := range cases {
+		if _, err := ReadIntervalCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q accepted", c)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func TestGenerateUniformDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultSynthetic()
+	m, err := GenerateUniform(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 40 || m.Cols() != 250 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if !m.IsWellFormed() {
+		t.Fatal("misordered intervals")
+	}
+	st := Stats(m)
+	if st.MatrixDensity < 0.99 {
+		t.Errorf("default should be fully dense, got %g", st.MatrixDensity)
+	}
+	if st.IntervalDensity < 0.95 {
+		t.Errorf("default interval density should be ≈1, got %g", st.IntervalDensity)
+	}
+}
+
+func TestGenerateUniformZeroFrac(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultSynthetic()
+	cfg.ZeroFrac = 0.9
+	m, err := GenerateUniform(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats(m)
+	if math.Abs(st.MatrixDensity-0.1) > 0.03 {
+		t.Errorf("density = %g, want ≈0.1", st.MatrixDensity)
+	}
+}
+
+func TestGenerateUniformIntensityBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultSynthetic()
+	cfg.Intensity = 0.25
+	m, err := GenerateUniform(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Lo.Data {
+		lo, hi := m.Lo.Data[i], m.Hi.Data[i]
+		if lo == 0 {
+			continue
+		}
+		if hi-lo > 0.25*lo+1e-12 {
+			t.Fatalf("span %g exceeds intensity bound %g", hi-lo, 0.25*lo)
+		}
+	}
+}
+
+func TestGenerateUniformValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bad := DefaultSynthetic()
+	bad.IntervalDensity = 1.5
+	if _, err := GenerateUniform(bad, rng); err == nil {
+		t.Fatal("expected validation error")
+	}
+	bad = DefaultSynthetic()
+	bad.Rows = 0
+	if _, err := GenerateUniform(bad, rng); err == nil {
+		t.Fatal("expected shape error")
+	}
+}
+
+func TestGeneralize(t *testing.T) {
+	// L4 has 5 buckets of width 0.2; 0.37 lands in [0.2, 0.4).
+	iv := Generalize(0.37, L4)
+	if math.Abs(iv.Lo-0.2) > 1e-12 || math.Abs(iv.Hi-0.4) > 1e-12 {
+		t.Fatalf("Generalize = %v", iv)
+	}
+	// Boundary value 1.0 stays in the last bucket.
+	iv = Generalize(1.0, L4)
+	if math.Abs(iv.Hi-1.0) > 1e-12 {
+		t.Fatalf("boundary bucket = %v", iv)
+	}
+	// Finer levels give narrower buckets.
+	if Generalize(0.5, L1).Span() >= Generalize(0.5, L4).Span() {
+		t.Fatal("L1 should be finer than L4")
+	}
+}
+
+func TestLevelBuckets(t *testing.T) {
+	want := map[GeneralizationLevel]int{L1: 100, L2: 50, L3: 20, L4: 5}
+	for l, n := range want {
+		if l.Buckets() != n {
+			t.Errorf("%d buckets = %d", l, l.Buckets())
+		}
+	}
+}
+
+func TestGenerateAnonymized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, mix := range []AnonymizationMix{HighAnonymity, MediumAnonymity, LowAnonymity} {
+		m, err := GenerateAnonymized(30, 20, mix, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.IsWellFormed() {
+			t.Fatal("misordered")
+		}
+		// Every cell is an interval with span matching one of the levels.
+		validSpans := map[float64]bool{0.01: true, 0.02: true, 0.05: true, 0.2: true}
+		for i := range m.Lo.Data {
+			span := m.Hi.Data[i] - m.Lo.Data[i]
+			found := false
+			for s := range validSpans {
+				if math.Abs(span-s) < 1e-9 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("unexpected span %g", span)
+			}
+		}
+	}
+	// Higher anonymity ⇒ larger average span.
+	mh, _ := GenerateAnonymized(50, 50, HighAnonymity, rng)
+	ml, _ := GenerateAnonymized(50, 50, LowAnonymity, rng)
+	if mh.TotalSpan() <= ml.TotalSpan() {
+		t.Errorf("high anonymity span %g not larger than low %g", mh.TotalSpan(), ml.TotalSpan())
+	}
+}
+
+func TestAnonymizationMixValidate(t *testing.T) {
+	if err := (AnonymizationMix{0.5, 0.5, 0.1, 0}).Validate(); err == nil {
+		t.Fatal("non-normalized mix accepted")
+	}
+	if err := (AnonymizationMix{-0.5, 1.5, 0, 0}).Validate(); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := MediumAnonymity.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateFaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := FaceConfig{Subjects: 5, ImagesPerSubject: 4, Res: 16, Radius: 1, Alpha: 1}
+	fd, err := GenerateFaces(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Scalar.Rows != 20 || fd.Scalar.Cols != 256 {
+		t.Fatalf("shape %dx%d", fd.Scalar.Rows, fd.Scalar.Cols)
+	}
+	if len(fd.Labels) != 20 || fd.Labels[0] != 0 || fd.Labels[19] != 4 {
+		t.Fatalf("labels wrong: %v", fd.Labels)
+	}
+	// Pixels in range.
+	for _, v := range fd.Scalar.Data {
+		if v < 0 || v > 255 {
+			t.Fatalf("pixel %g outside [0,255]", v)
+		}
+	}
+	// Intervals well-formed and centered on the scalar pixels.
+	if !fd.Interval.IsWellFormed() {
+		t.Fatal("intervals misordered")
+	}
+	for i := range fd.Scalar.Data {
+		lo, hi := fd.Interval.Lo.Data[i], fd.Interval.Hi.Data[i]
+		if lo < 0 {
+			t.Fatal("negative interval endpoint")
+		}
+		mid := (lo + hi) / 2
+		// Intervals are centered on the pixel except where the lower
+		// endpoint was clamped at 0.
+		if lo > 0 && math.Abs(mid-fd.Scalar.Data[i]) > 1e-9 {
+			t.Fatal("interval not centered on pixel")
+		}
+		if hi < fd.Scalar.Data[i] {
+			t.Fatal("upper endpoint below pixel")
+		}
+	}
+	// Same-subject images must be more similar than cross-subject ones
+	// (class structure the classification experiments rely on).
+	same := rowDist(fd.Scalar, 0, 1)
+	diff := rowDist(fd.Scalar, 0, 4)
+	if same >= diff {
+		t.Errorf("same-subject distance %g ≥ cross-subject %g", same, diff)
+	}
+}
+
+func rowDist(m *matrix.Dense, i, j int) float64 {
+	var s float64
+	ri, rj := m.RowView(i), m.RowView(j)
+	for k := range ri {
+		d := ri[k] - rj[k]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestFaceIntervalsFlatImage(t *testing.T) {
+	// A constant image has zero neighborhood std everywhere → scalar intervals.
+	pix := matrix.New(1, 16)
+	for i := range pix.Data {
+		pix.Data[i] = 100
+	}
+	iv := FaceIntervals(pix, 4, 1, 1)
+	if iv.MaxSpan() != 0 {
+		t.Fatalf("flat image produced span %g", iv.MaxSpan())
+	}
+}
+
+func TestFaceIntervalsAlphaScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pix := matrix.New(2, 64)
+	// Keep values near mid-gray with small variance so no endpoint is
+	// clamped at 0 and spans scale exactly with alpha.
+	for i := range pix.Data {
+		pix.Data[i] = 120 + rng.Float64()*16
+	}
+	iv1 := FaceIntervals(pix, 8, 1, 1)
+	iv2 := FaceIntervals(pix, 8, 1, 2)
+	if math.Abs(iv2.TotalSpan()-2*iv1.TotalSpan()) > 1e-6 {
+		t.Fatalf("spans do not scale with alpha: %g vs %g", iv1.TotalSpan(), iv2.TotalSpan())
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	labels := make([]int, 40)
+	for i := range labels {
+		labels[i] = i / 10 // 4 classes × 10
+	}
+	train, test := TrainTestSplit(labels, 0.5, rng)
+	if len(train) != 20 || len(test) != 20 {
+		t.Fatalf("split sizes %d/%d", len(train), len(test))
+	}
+	// Stratified: 5 per class in each side.
+	cnt := map[int]int{}
+	for _, i := range train {
+		cnt[labels[i]]++
+	}
+	for c := 0; c < 4; c++ {
+		if cnt[c] != 5 {
+			t.Fatalf("class %d train count %d", c, cnt[c])
+		}
+	}
+	// No overlap.
+	seen := map[int]bool{}
+	for _, i := range train {
+		seen[i] = true
+	}
+	for _, i := range test {
+		if seen[i] {
+			t.Fatal("train/test overlap")
+		}
+	}
+}
+
+func TestGenerateRatings(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := MovieLensLike().Scaled(0.05)
+	data, err := GenerateRatings(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Ratings) != cfg.NumRatings {
+		t.Fatalf("got %d ratings", len(data.Ratings))
+	}
+	seen := map[[2]int]bool{}
+	for _, r := range data.Ratings {
+		if r.Value < 1 || r.Value > 5 || r.Value != math.Round(r.Value) {
+			t.Fatalf("bad rating %v", r)
+		}
+		key := [2]int{r.User, r.Item}
+		if seen[key] {
+			t.Fatal("duplicate rating cell")
+		}
+		seen[key] = true
+	}
+}
+
+func TestUserGenreIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	cfg := RatingsConfig{Users: 30, Items: 60, Genres: 5, NumRatings: 400, LatentRank: 4, Alpha: 0.5}
+	data, err := GenerateRatings(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := data.UserGenreIntervals()
+	if m.Rows() != 30 || m.Cols() != 5 {
+		t.Fatalf("shape %dx%d", m.Rows(), m.Cols())
+	}
+	if !m.IsWellFormed() {
+		t.Fatal("misordered")
+	}
+	// Check one cell against a direct recomputation.
+	u, g := data.Ratings[0].User, data.ItemGenre[data.Ratings[0].Item]
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range data.Ratings {
+		if r.User == u && data.ItemGenre[r.Item] == g {
+			lo = math.Min(lo, r.Value)
+			hi = math.Max(hi, r.Value)
+		}
+	}
+	got := m.At(u, g)
+	if got.Lo != lo || got.Hi != hi {
+		t.Fatalf("cell (%d,%d) = %v, want [%g,%g]", u, g, got, lo, hi)
+	}
+}
+
+func TestCFIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := RatingsConfig{Users: 20, Items: 30, Genres: 4, NumRatings: 150, LatentRank: 4, Alpha: 0.5}
+	data, err := GenerateRatings(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := data.CFIntervals()
+	if !m.IsWellFormed() {
+		t.Fatal("misordered")
+	}
+	// Observed cells are centered on the rating; unobserved cells are zero.
+	obs := map[[2]int]float64{}
+	for _, r := range data.Ratings {
+		obs[[2]int{r.User, r.Item}] = r.Value
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			iv := m.At(i, j)
+			if v, ok := obs[[2]int{i, j}]; ok {
+				if math.Abs(iv.Mid()-v) > 1e-9 {
+					t.Fatalf("cell (%d,%d) mid %g != rating %g", i, j, iv.Mid(), v)
+				}
+			} else if iv.Lo != 0 || iv.Hi != 0 {
+				t.Fatalf("unobserved cell (%d,%d) = %v", i, j, iv)
+			}
+		}
+	}
+	// Alpha = 0 gives scalar intervals.
+	cfg.Alpha = 0
+	data2, _ := GenerateRatings(cfg, rand.New(rand.NewSource(11)))
+	if data2.CFIntervals().MaxSpan() != 0 {
+		t.Fatal("alpha=0 should give scalars")
+	}
+}
+
+func TestSplitRatings(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cfg := RatingsConfig{Users: 20, Items: 30, Genres: 4, NumRatings: 100, LatentRank: 4, Alpha: 0.5}
+	data, _ := GenerateRatings(cfg, rng)
+	train, test := data.SplitRatings(0.8, rng)
+	if len(train) != 80 || len(test) != 20 {
+		t.Fatalf("split %d/%d", len(train), len(test))
+	}
+}
+
+func TestRatingsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	bad := RatingsConfig{Users: 2, Items: 2, Genres: 1, NumRatings: 100, LatentRank: 2}
+	if _, err := GenerateRatings(bad, rng); err == nil {
+		t.Fatal("oversubscribed NumRatings accepted")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	c := MovieLensLike().Scaled(0.1)
+	if c.Users != 94 || c.Genres != 19 {
+		t.Fatalf("scaled config %+v", c)
+	}
+	tiny := MovieLensLike().Scaled(0.000001)
+	if tiny.Users < 8 || tiny.NumRatings > tiny.Users*tiny.Items/2 || tiny.NumRatings < 1 {
+		t.Fatalf("scaling floor/cap not applied: %+v", tiny)
+	}
+	if err := tiny.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generalization intervals always contain the original value.
+func TestPropGeneralizeContains(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := rng.Float64()
+		for _, l := range []GeneralizationLevel{L1, L2, L3, L4} {
+			iv := Generalize(v, l)
+			if !iv.Contains(v) {
+				return false
+			}
+			want := 1 / float64(l.Buckets())
+			if math.Abs(iv.Span()-want) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+package eig
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func randSym(r *rand.Rand, n int) *matrix.Dense {
+	a := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func randDense(r *rand.Rand, rows, cols int) *matrix.Dense {
+	m := matrix.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func TestSymEigKnown2x2(t *testing.T) {
+	a := matrix.FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Reconstruct: V diag(vals) Vᵀ == A.
+	recon := matrix.Mul(matrix.Mul(vecs, matrix.Diag(vals)), vecs.T())
+	if !matrix.Equal(recon, a, 1e-10) {
+		t.Fatalf("reconstruction failed:\n%v", recon)
+	}
+}
+
+func TestSymEigDiagonal(t *testing.T) {
+	a := matrix.Diag([]float64{5, -1, 3})
+	vals, _, err := SymEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, -1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+}
+
+func TestSymEigNotSquare(t *testing.T) {
+	if _, _, err := SymEig(matrix.New(2, 3)); err == nil {
+		t.Fatal("expected error for non-square input")
+	}
+}
+
+func TestSymEigProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 5, 10, 25, 60} {
+		a := randSym(r, n)
+		vals, vecs, err := SymEig(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("n=%d: eigenvalues not descending: %v", n, vals)
+			}
+		}
+		// Orthonormality: VᵀV = I.
+		if !matrix.Equal(matrix.TMul(vecs, vecs), matrix.Identity(n), 1e-9) {
+			t.Fatalf("n=%d: eigenvectors not orthonormal", n)
+		}
+		// Reconstruction.
+		recon := matrix.Mul(matrix.Mul(vecs, matrix.Diag(vals)), vecs.T())
+		if !matrix.Equal(recon, a, 1e-8*float64(n)) {
+			t.Fatalf("n=%d: reconstruction error %g", n, matrix.Sub(recon, a).MaxAbs())
+		}
+	}
+}
+
+func TestSVDKnown(t *testing.T) {
+	// Rank-1 matrix: singular values are [sqrt(30), 0].
+	a := matrix.FromRows([][]float64{{1, 2}, {2, 4}, {1, 2}})
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.S[0]-math.Sqrt(30)) > 1e-10 {
+		t.Fatalf("σ₁ = %g, want %g", res.S[0], math.Sqrt(30))
+	}
+	if res.S[1] > 1e-10 {
+		t.Fatalf("σ₂ = %g, want 0", res.S[1])
+	}
+}
+
+func checkSVD(t *testing.T, a *matrix.Dense, res *SVDResult, tag string) {
+	t.Helper()
+	k := len(res.S)
+	// Descending non-negative.
+	for i := 0; i < k; i++ {
+		if res.S[i] < 0 {
+			t.Fatalf("%s: negative singular value %g", tag, res.S[i])
+		}
+		if i > 0 && res.S[i] > res.S[i-1]+1e-12 {
+			t.Fatalf("%s: singular values not sorted: %v", tag, res.S)
+		}
+	}
+	// Orthonormal columns.
+	if !matrix.Equal(matrix.TMul(res.U, res.U), matrix.Identity(k), 1e-9) {
+		t.Fatalf("%s: U columns not orthonormal", tag)
+	}
+	if !matrix.Equal(matrix.TMul(res.V, res.V), matrix.Identity(k), 1e-9) {
+		t.Fatalf("%s: V columns not orthonormal", tag)
+	}
+	// Reconstruction.
+	recon := matrix.Mul(matrix.Mul(res.U, matrix.Diag(res.S)), res.V.T())
+	scale := a.Frobenius()
+	if scale == 0 {
+		scale = 1
+	}
+	if matrix.Sub(recon, a).Frobenius()/scale > 1e-9 {
+		t.Fatalf("%s: reconstruction relative error %g", tag,
+			matrix.Sub(recon, a).Frobenius()/scale)
+	}
+}
+
+func TestSVDShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	shapes := [][2]int{{1, 1}, {2, 2}, {5, 3}, {3, 5}, {10, 10}, {40, 25}, {25, 40}, {60, 8}}
+	for _, sh := range shapes {
+		a := randDense(r, sh[0], sh[1])
+		res, err := SVD(a)
+		if err != nil {
+			t.Fatalf("%v: %v", sh, err)
+		}
+		checkSVD(t, a, res, "shape")
+	}
+}
+
+func TestSVDZeroMatrix(t *testing.T) {
+	a := matrix.New(4, 3)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.S {
+		if s != 0 {
+			t.Fatalf("zero matrix has σ = %v", res.S)
+		}
+	}
+}
+
+func TestSVDTruncate(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := randDense(r, 8, 6)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Truncate(2)
+	if tr.U.Cols != 2 || tr.V.Cols != 2 || len(tr.S) != 2 {
+		t.Fatal("Truncate dimensions wrong")
+	}
+	// Truncating to more than available is a no-op.
+	if res.Truncate(100) != res {
+		t.Fatal("over-truncate should return original")
+	}
+	// Eckart–Young sanity: rank-2 approximation error equals sqrt(Σ_{i>2} σ²).
+	recon := matrix.Mul(matrix.Mul(tr.U, matrix.Diag(tr.S)), tr.V.T())
+	var tail float64
+	for _, s := range res.S[2:] {
+		tail += s * s
+	}
+	got := matrix.Sub(a, recon).Frobenius()
+	if math.Abs(got-math.Sqrt(tail)) > 1e-9 {
+		t.Fatalf("Eckart–Young violated: err %g vs %g", got, math.Sqrt(tail))
+	}
+}
+
+func TestSVDAgreesWithSymEig(t *testing.T) {
+	// Singular values of A equal sqrt of eigenvalues of AᵀA.
+	r := rand.New(rand.NewSource(5))
+	a := randDense(r, 12, 7)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, _, err := SymEig(matrix.TMul(a, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.S {
+		want := math.Sqrt(math.Max(vals[i], 0))
+		if math.Abs(res.S[i]-want) > 1e-9 {
+			t.Fatalf("σ[%d] = %g, eig sqrt = %g", i, res.S[i], want)
+		}
+	}
+}
+
+func TestPInv(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	a := randDense(r, 6, 4)
+	p, err := PInv(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Moore-Penrose conditions: A·A⁺·A = A and A⁺·A·A⁺ = A⁺.
+	if !matrix.Equal(matrix.Mul(matrix.Mul(a, p), a), a, 1e-9) {
+		t.Error("A·A⁺·A != A")
+	}
+	if !matrix.Equal(matrix.Mul(matrix.Mul(p, a), p), p, 1e-9) {
+		t.Error("A⁺·A·A⁺ != A⁺")
+	}
+	// Symmetry of projectors.
+	ap := matrix.Mul(a, p)
+	if !matrix.Equal(ap, ap.T(), 1e-9) {
+		t.Error("A·A⁺ not symmetric")
+	}
+}
+
+func TestPInvSquareInvertible(t *testing.T) {
+	a := matrix.FromRows([][]float64{{4, 7}, {2, 6}})
+	p, err := PInv(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, _ := matrix.Inverse(a)
+	if !matrix.Equal(p, inv, 1e-10) {
+		t.Fatal("PInv != Inverse for invertible matrix")
+	}
+}
+
+func TestPInvCutoff(t *testing.T) {
+	// Diagonal [10, 0.05]: with cutoff 0.1 the small value is dropped.
+	a := matrix.Diag([]float64{10, 0.05})
+	p, err := PInv(a, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.At(0, 0)-0.1) > 1e-12 {
+		t.Errorf("p[0][0] = %g", p.At(0, 0))
+	}
+	if p.At(1, 1) != 0 {
+		t.Errorf("small singular value not zeroed: %g", p.At(1, 1))
+	}
+}
+
+func TestCond2(t *testing.T) {
+	a := matrix.Diag([]float64{100, 1})
+	if c := Cond2(a); math.Abs(c-100) > 1e-9 {
+		t.Errorf("Cond2 = %g, want 100", c)
+	}
+	sing := matrix.FromRows([][]float64{{1, 2}, {2, 4}})
+	if c := Cond2(sing); c < 1e15 {
+		t.Errorf("singular matrix cond = %g, want huge", c)
+	}
+}
+
+// Property: SVD of random matrices reconstructs and stays orthonormal.
+func TestPropSVD(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(12), 1+r.Intn(12)
+		a := randDense(r, rows, cols)
+		res, err := SVD(a)
+		if err != nil {
+			return false
+		}
+		k := len(res.S)
+		recon := matrix.Mul(matrix.Mul(res.U, matrix.Diag(res.S)), res.V.T())
+		ortho := matrix.Equal(matrix.TMul(res.U, res.U), matrix.Identity(k), 1e-8) &&
+			matrix.Equal(matrix.TMul(res.V, res.V), matrix.Identity(k), 1e-8)
+		return ortho && matrix.Equal(recon, a, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eigenvalues of AᵀA are non-negative up to rounding.
+func TestPropGramEigNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randDense(r, 2+r.Intn(8), 2+r.Intn(8))
+		vals, _, err := SymEig(matrix.TMul(a, a))
+		if err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if v < -1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package eig
+
+import (
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// PInv returns the Moore-Penrose pseudo-inverse of a, computed from the
+// SVD. Singular values below cutoff are treated as zero, mirroring the
+// paper's Section 4.4.2.2 ("replace singular values smaller than 0.1 with
+// zero") — pass 0.1 for paper-faithful behaviour, or a relative threshold
+// of your own. A cutoff <= 0 selects the conventional machine-precision
+// threshold max(m,n)·σ₁·1e-15.
+func PInv(a *matrix.Dense, cutoff float64) (*matrix.Dense, error) {
+	res, err := SVD(a)
+	if err != nil {
+		return nil, err
+	}
+	if cutoff <= 0 {
+		dim := a.Rows
+		if a.Cols > dim {
+			dim = a.Cols
+		}
+		if len(res.S) > 0 {
+			cutoff = float64(dim) * res.S[0] * 1e-15
+		}
+	}
+	// pinv = V · diag(1/s) · Uᵀ for s > cutoff.
+	k := len(res.S)
+	inv := make([]float64, k)
+	for i, s := range res.S {
+		if s > cutoff {
+			inv[i] = 1 / s
+		}
+	}
+	// out[i][j] = Σ_t V[i][t] * inv[t] * U[j][t]
+	out := matrix.New(a.Cols, a.Rows)
+	for i := 0; i < a.Cols; i++ {
+		for t := 0; t < k; t++ {
+			vit := res.V.At(i, t) * inv[t]
+			if vit == 0 {
+				continue
+			}
+			for j := 0; j < a.Rows; j++ {
+				out.Data[i*out.Cols+j] += vit * res.U.At(j, t)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Cond2 returns the 2-norm condition number σ_max/σ_min of a.
+// A singular matrix reports +Inf (as does an SVD failure).
+func Cond2(a *matrix.Dense) float64 {
+	res, err := SVD(a)
+	if err != nil || len(res.S) == 0 {
+		return inf()
+	}
+	smin := res.S[len(res.S)-1]
+	if smin == 0 {
+		return inf()
+	}
+	return res.S[0] / smin
+}
+
+func inf() float64 { return math.Inf(1) }

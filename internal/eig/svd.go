@@ -1,0 +1,359 @@
+package eig
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+const maxSVDIterations = 75
+
+// SVDResult holds a thin singular value decomposition A ≈ U·diag(S)·Vᵀ
+// with k = min(rows, cols) columns in U and V and S sorted descending.
+type SVDResult struct {
+	U *matrix.Dense // rows × k, orthonormal columns
+	S []float64     // k singular values, descending, non-negative
+	V *matrix.Dense // cols × k, orthonormal columns
+}
+
+// SVD computes the thin singular value decomposition of a by the
+// Golub-Reinsch algorithm (Householder bidiagonalization followed by
+// implicit-shift QR on the bidiagonal). The input is not modified.
+func SVD(a *matrix.Dense) (*SVDResult, error) {
+	if a.Rows >= a.Cols {
+		return svdTall(a)
+	}
+	// Wide matrix: decompose the transpose and swap factors.
+	res, err := svdTall(a.T())
+	if err != nil {
+		return nil, err
+	}
+	return &SVDResult{U: res.V, S: res.S, V: res.U}, nil
+}
+
+// Truncate returns the rank-r truncation of the decomposition (shared
+// backing arrays are not copied for S; U and V are new matrices).
+func (r *SVDResult) Truncate(rank int) *SVDResult {
+	if rank >= len(r.S) {
+		return r
+	}
+	return &SVDResult{
+		U: r.U.SubMatrix(0, r.U.Rows, 0, rank),
+		S: r.S[:rank],
+		V: r.V.SubMatrix(0, r.V.Rows, 0, rank),
+	}
+}
+
+// svdTall computes the SVD of a matrix with Rows >= Cols.
+func svdTall(in *matrix.Dense) (*SVDResult, error) {
+	m, n := in.Rows, in.Cols
+	a := in.Clone() // becomes U
+	v := matrix.New(n, n)
+	w := make([]float64, n)
+	rv1 := make([]float64, n)
+
+	var c, f, h, s, x, y, z float64
+	var anorm, g, scale float64
+	var l int
+
+	// Householder reduction to bidiagonal form.
+	for i := 0; i < n; i++ {
+		l = i + 1
+		rv1[i] = scale * g
+		g, s, scale = 0, 0, 0
+		if i < m {
+			for k := i; k < m; k++ {
+				scale += math.Abs(a.At(k, i))
+			}
+			if scale != 0 {
+				for k := i; k < m; k++ {
+					a.Set(k, i, a.At(k, i)/scale)
+					s += a.At(k, i) * a.At(k, i)
+				}
+				f = a.At(i, i)
+				g = -math.Copysign(math.Sqrt(s), f)
+				h = f*g - s
+				a.Set(i, i, f-g)
+				if i != n-1 {
+					for j := l; j < n; j++ {
+						s = 0
+						for k := i; k < m; k++ {
+							s += a.At(k, i) * a.At(k, j)
+						}
+						f = s / h
+						for k := i; k < m; k++ {
+							a.Set(k, j, a.At(k, j)+f*a.At(k, i))
+						}
+					}
+				}
+				for k := i; k < m; k++ {
+					a.Set(k, i, a.At(k, i)*scale)
+				}
+			}
+		}
+		w[i] = scale * g
+
+		g, s, scale = 0, 0, 0
+		if i < m && i != n-1 {
+			for k := l; k < n; k++ {
+				scale += math.Abs(a.At(i, k))
+			}
+			if scale != 0 {
+				for k := l; k < n; k++ {
+					a.Set(i, k, a.At(i, k)/scale)
+					s += a.At(i, k) * a.At(i, k)
+				}
+				f = a.At(i, l)
+				g = -math.Copysign(math.Sqrt(s), f)
+				h = f*g - s
+				a.Set(i, l, f-g)
+				for k := l; k < n; k++ {
+					rv1[k] = a.At(i, k) / h
+				}
+				if i != m-1 {
+					for j := l; j < m; j++ {
+						s = 0
+						for k := l; k < n; k++ {
+							s += a.At(j, k) * a.At(i, k)
+						}
+						for k := l; k < n; k++ {
+							a.Set(j, k, a.At(j, k)+s*rv1[k])
+						}
+					}
+				}
+				for k := l; k < n; k++ {
+					a.Set(i, k, a.At(i, k)*scale)
+				}
+			}
+		}
+		anorm = math.Max(anorm, math.Abs(w[i])+math.Abs(rv1[i]))
+	}
+
+	// Accumulate right-hand transformations.
+	for i := n - 1; i >= 0; i-- {
+		if i < n-1 {
+			if g != 0 {
+				for j := l; j < n; j++ {
+					v.Set(j, i, (a.At(i, j)/a.At(i, l))/g)
+				}
+				for j := l; j < n; j++ {
+					s = 0
+					for k := l; k < n; k++ {
+						s += a.At(i, k) * v.At(k, j)
+					}
+					for k := l; k < n; k++ {
+						v.Set(k, j, v.At(k, j)+s*v.At(k, i))
+					}
+				}
+			}
+			for j := l; j < n; j++ {
+				v.Set(i, j, 0)
+				v.Set(j, i, 0)
+			}
+		}
+		v.Set(i, i, 1)
+		g = rv1[i]
+		l = i
+	}
+
+	// Accumulate left-hand transformations.
+	for i := n - 1; i >= 0; i-- {
+		l = i + 1
+		g = w[i]
+		if i < n-1 {
+			for j := l; j < n; j++ {
+				a.Set(i, j, 0)
+			}
+		}
+		if g != 0 {
+			g = 1 / g
+			if i != n-1 {
+				for j := l; j < n; j++ {
+					s = 0
+					for k := l; k < m; k++ {
+						s += a.At(k, i) * a.At(k, j)
+					}
+					f = (s / a.At(i, i)) * g
+					for k := i; k < m; k++ {
+						a.Set(k, j, a.At(k, j)+f*a.At(k, i))
+					}
+				}
+			}
+			for j := i; j < m; j++ {
+				a.Set(j, i, a.At(j, i)*g)
+			}
+		} else {
+			for j := i; j < m; j++ {
+				a.Set(j, i, 0)
+			}
+		}
+		a.Set(i, i, a.At(i, i)+1)
+	}
+
+	// Diagonalize the bidiagonal form.
+	for k := n - 1; k >= 0; k-- {
+		for its := 0; ; its++ {
+			if its >= maxSVDIterations {
+				return nil, ErrNoConvergence
+			}
+			flag := true
+			var nm int
+			for l = k; l >= 0; l-- {
+				nm = l - 1
+				if math.Abs(rv1[l])+anorm == anorm {
+					flag = false
+					break
+				}
+				if math.Abs(w[nm])+anorm == anorm {
+					break
+				}
+			}
+			if flag {
+				// Cancellation of rv1[l] when w[nm] is negligible.
+				c, s = 0, 1
+				for i := l; i <= k; i++ {
+					f = s * rv1[i]
+					rv1[i] = c * rv1[i]
+					if math.Abs(f)+anorm == anorm {
+						break
+					}
+					g = w[i]
+					h = math.Hypot(f, g)
+					w[i] = h
+					h = 1 / h
+					c = g * h
+					s = -f * h
+					for j := 0; j < m; j++ {
+						y = a.At(j, nm)
+						z = a.At(j, i)
+						a.Set(j, nm, y*c+z*s)
+						a.Set(j, i, z*c-y*s)
+					}
+				}
+			}
+			z = w[k]
+			if l == k {
+				// Converged; enforce non-negative singular value.
+				if z < 0 {
+					w[k] = -z
+					for j := 0; j < n; j++ {
+						v.Set(j, k, -v.At(j, k))
+					}
+				}
+				break
+			}
+			// Shift from bottom 2×2 minor.
+			x = w[l]
+			nm = k - 1
+			y = w[nm]
+			g = rv1[nm]
+			h = rv1[k]
+			f = ((y-z)*(y+z) + (g-h)*(g+h)) / (2 * h * y)
+			g = math.Hypot(f, 1)
+			f = ((x-z)*(x+z) + h*((y/(f+math.Copysign(g, f)))-h)) / x
+
+			// Next QR transformation.
+			c, s = 1, 1
+			for j := l; j <= nm; j++ {
+				i := j + 1
+				g = rv1[i]
+				y = w[i]
+				h = s * g
+				g = c * g
+				z = math.Hypot(f, h)
+				rv1[j] = z
+				c = f / z
+				s = h / z
+				f = x*c + g*s
+				g = g*c - x*s
+				h = y * s
+				y = y * c
+				for jj := 0; jj < n; jj++ {
+					x = v.At(jj, j)
+					z = v.At(jj, i)
+					v.Set(jj, j, x*c+z*s)
+					v.Set(jj, i, z*c-x*s)
+				}
+				z = math.Hypot(f, h)
+				w[j] = z
+				if z != 0 {
+					z = 1 / z
+					c = f * z
+					s = h * z
+				}
+				f = c*g + s*y
+				x = c*y - s*g
+				for jj := 0; jj < m; jj++ {
+					y = a.At(jj, j)
+					z = a.At(jj, i)
+					a.Set(jj, j, y*c+z*s)
+					a.Set(jj, i, z*c-y*s)
+				}
+			}
+			rv1[l] = 0
+			rv1[k] = f
+			w[k] = x
+		}
+	}
+
+	sortSVD(a, w, v)
+	canonicalizeSVDSigns(a, v)
+	return &SVDResult{U: a, S: w, V: v}, nil
+}
+
+// sortSVD permutes the decomposition so singular values descend.
+func sortSVD(u *matrix.Dense, w []float64, v *matrix.Dense) {
+	n := len(w)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return w[idx[a]] > w[idx[b]] })
+	permuted := false
+	for i, j := range idx {
+		if i != j {
+			permuted = true
+			break
+		}
+	}
+	if !permuted {
+		return
+	}
+	w2 := make([]float64, n)
+	u2 := matrix.New(u.Rows, u.Cols)
+	v2 := matrix.New(v.Rows, v.Cols)
+	for newJ, oldJ := range idx {
+		w2[newJ] = w[oldJ]
+		for i := 0; i < u.Rows; i++ {
+			u2.Set(i, newJ, u.At(i, oldJ))
+		}
+		for i := 0; i < v.Rows; i++ {
+			v2.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	copy(w, w2)
+	copy(u.Data, u2.Data)
+	copy(v.Data, v2.Data)
+}
+
+// canonicalizeSVDSigns orients each (u_j, v_j) pair so the
+// largest-magnitude entry of v_j is non-negative, for determinism.
+func canonicalizeSVDSigns(u, v *matrix.Dense) {
+	for j := 0; j < v.Cols; j++ {
+		best, bestAbs := 0.0, 0.0
+		for i := 0; i < v.Rows; i++ {
+			if a := math.Abs(v.At(i, j)); a > bestAbs {
+				bestAbs, best = a, v.At(i, j)
+			}
+		}
+		if best < 0 {
+			for i := 0; i < v.Rows; i++ {
+				v.Set(i, j, -v.At(i, j))
+			}
+			for i := 0; i < u.Rows; i++ {
+				u.Set(i, j, -u.At(i, j))
+			}
+		}
+	}
+}

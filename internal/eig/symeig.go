@@ -1,0 +1,247 @@
+// Package eig provides the numerical linear-algebra kernels the paper's
+// algorithms rely on: a symmetric eigensolver (Householder
+// tridiagonalization followed by implicit-shift QL iteration), a full
+// Golub-Reinsch singular value decomposition, the Moore-Penrose
+// pseudo-inverse, and 2-norm condition-number estimation. All results are
+// deterministic and sorted by descending eigen/singular value.
+package eig
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// ErrNoConvergence is returned when an iterative eigen or SVD sweep fails
+// to converge within its iteration budget.
+var ErrNoConvergence = errors.New("eig: iteration did not converge")
+
+const maxQLIterations = 64
+
+// SymEig computes the eigen-decomposition of the symmetric matrix a.
+// It returns the eigenvalues sorted in descending order and the matrix of
+// corresponding eigenvectors in its columns, such that a ≈ V·diag(vals)·Vᵀ.
+// Only the lower triangle semantics of a symmetric matrix are assumed;
+// the input is not modified.
+func SymEig(a *matrix.Dense) (vals []float64, vecs *matrix.Dense, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, errors.New("eig: SymEig: matrix not square")
+	}
+	n := a.Rows
+	z := a.Clone()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(z, d, e)
+	if err := tql2(z, d, e); err != nil {
+		return nil, nil, err
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool { return d[idx[x]] > d[idx[y]] })
+	vals = make([]float64, n)
+	vecs = matrix.New(n, n)
+	for newJ, oldJ := range idx {
+		vals[newJ] = d[oldJ]
+		for i := 0; i < n; i++ {
+			vecs.Set(i, newJ, z.At(i, oldJ))
+		}
+	}
+	canonicalizeColumnSigns(vecs)
+	return vals, vecs, nil
+}
+
+// tred2 reduces the symmetric matrix held in z to tridiagonal form using
+// Householder transformations, accumulating the orthogonal transform in z.
+// On return d holds the diagonal and e the subdiagonal (e[0] is unused).
+// This is the classical EISPACK TRED2 routine, written against the
+// backing slice directly: the O(n³) inner loops run over contiguous rows
+// wherever the access pattern allows.
+func tred2(z *matrix.Dense, d, e []float64) {
+	n := z.Rows
+	a := z.Data
+	row := func(i int) []float64 { return a[i*n : (i+1)*n] }
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		ri := row(i)
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(ri[k])
+			}
+			if scale == 0 {
+				e[i] = ri[l]
+			} else {
+				for k := 0; k <= l; k++ {
+					ri[k] /= scale
+					h += ri[k] * ri[k]
+				}
+				f := ri[l]
+				g := math.Sqrt(h)
+				if f >= 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				ri[l] = f - g
+				f = 0
+				for j := 0; j <= l; j++ {
+					rj := row(j)
+					rj[i] = ri[j] / h
+					g = 0
+					for k := 0; k <= j; k++ {
+						g += rj[k] * ri[k]
+					}
+					for k := j + 1; k <= l; k++ {
+						g += a[k*n+j] * ri[k]
+					}
+					e[j] = g / h
+					f += e[j] * ri[j]
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = ri[j]
+					g = e[j] - hh*f
+					e[j] = g
+					rj := row(j)
+					for k := 0; k <= j; k++ {
+						rj[k] -= f*e[k] + g*ri[k]
+					}
+				}
+			}
+		} else {
+			e[i] = ri[l]
+		}
+		d[i] = h
+	}
+	d[0] = 0
+	e[0] = 0
+	// Accumulation phase, restructured for row-contiguous access:
+	// g = Z[0..l,0..l]ᵀ·ri is a row-wise matvec and the update
+	// Z[0..l,0..l] -= u·gᵀ (u = column i) a row-wise rank-1 update.
+	g := make([]float64, n)
+	for i := 0; i < n; i++ {
+		l := i - 1
+		ri := row(i)
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				g[j] = 0
+			}
+			for k := 0; k <= l; k++ {
+				rk := row(k)
+				if f := ri[k]; f != 0 {
+					for j := 0; j <= l; j++ {
+						g[j] += f * rk[j]
+					}
+				}
+			}
+			for k := 0; k <= l; k++ {
+				rk := row(k)
+				if u := rk[i]; u != 0 {
+					for j := 0; j <= l; j++ {
+						rk[j] -= g[j] * u
+					}
+				}
+			}
+		}
+		d[i] = ri[i]
+		ri[i] = 1
+		for j := 0; j <= l; j++ {
+			a[j*n+i] = 0
+			ri[j] = 0
+		}
+	}
+}
+
+// tql2 diagonalizes a symmetric tridiagonal matrix (diagonal d,
+// subdiagonal e with e[0] unused) by the implicit-shift QL algorithm,
+// accumulating eigenvectors into z. This is the classical EISPACK TQL2.
+// The O(n³) Givens rotations of the eigenvector matrix are applied to a
+// transposed copy so each rotation touches two contiguous rows.
+func tql2(z *matrix.Dense, d, e []float64) error {
+	n := z.Rows
+	zt := z.T() // rows of zt are eigenvector columns of z
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		iter := 0
+		for {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= math.SmallestNonzeroFloat64+dd*1e-16 {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			iter++
+			if iter > maxQLIterations {
+				return ErrNoConvergence
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				rowI := zt.Data[i*n : (i+1)*n]
+				rowI1 := zt.Data[(i+1)*n : (i+2)*n]
+				for k := 0; k < n; k++ {
+					f = rowI1[k]
+					rowI1[k] = s*rowI[k] + c*f
+					rowI[k] = c*rowI[k] - s*f
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	copy(z.Data, zt.T().Data)
+	return nil
+}
+
+// canonicalizeColumnSigns flips each column so its largest-magnitude
+// entry is non-negative, giving deterministic eigenvector orientation.
+func canonicalizeColumnSigns(v *matrix.Dense) {
+	for j := 0; j < v.Cols; j++ {
+		best, bestAbs := 0.0, 0.0
+		for i := 0; i < v.Rows; i++ {
+			if a := math.Abs(v.At(i, j)); a > bestAbs {
+				bestAbs, best = a, v.At(i, j)
+			}
+		}
+		if best < 0 {
+			for i := 0; i < v.Rows; i++ {
+				v.Set(i, j, -v.At(i, j))
+			}
+		}
+	}
+}

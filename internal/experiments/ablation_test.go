@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+func TestAblationAlgebra(t *testing.T) {
+	res, err := Run("ablation-algebra", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact interval algebra must not beat the endpoint semantics, and
+	// its factor spans must be wider at full intensity.
+	if res.Values["100%/exact"] > res.Values["100%/endpoint"]+1e-9 {
+		t.Errorf("exact (%v) beats endpoint (%v)", res.Values["100%/exact"], res.Values["100%/endpoint"])
+	}
+	if res.Values["100%/spanRatio"] < 1 {
+		t.Errorf("exact spans narrower than endpoint: ratio %v", res.Values["100%/spanRatio"])
+	}
+}
+
+func TestAblationAssign(t *testing.T) {
+	res, err := Run("ablation-assign", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All three matchers yield close accuracy at this scale.
+	h := res.Values["hungarian"]
+	for _, k := range []string{"greedy", "stable-marriage"} {
+		if diff := h - res.Values[k]; diff > 0.05 || diff < -0.05 {
+			t.Errorf("%s H-mean %v far from hungarian %v", k, res.Values[k], h)
+		}
+	}
+}
+
+func TestAblationTarget(t *testing.T) {
+	res, err := Run("ablation-target", tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Target-a degrades with intensity much faster than target-b.
+	dropA := res.Values["10%/a"] - res.Values["100%/a"]
+	dropB := res.Values["10%/b"] - res.Values["100%/b"]
+	if dropA <= dropB {
+		t.Errorf("target-a drop %.3f not larger than target-b drop %.3f", dropA, dropB)
+	}
+}

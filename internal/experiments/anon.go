@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/imatrix"
+)
+
+func init() {
+	register("fig7", "Figure 7: accuracy on anonymized data (high/medium/low privacy, ranks 100%/50%/5%)", runFig7)
+}
+
+// rankGrid returns the paper's 100%/50%/5% target ranks for a full rank.
+func rankGrid(full int) []int {
+	half := full / 2
+	if half < 1 {
+		half = 1
+	}
+	five := full / 20
+	if five < 1 {
+		five = 1
+	}
+	return []int{full, half, five}
+}
+
+// hMeanOrderTable renders the paper's Figure 7/9 layout: one row per
+// method, H-mean and rank-order columns per target rank.
+func hMeanOrderTable(gen func(*rand.Rand) *imatrix.IMatrix, fullRank int, cfg Config, rng *rand.Rand) (*table, map[string]float64, error) {
+	mts := grid13()
+	ranks := rankGrid(fullRank)
+	header := []string{"method"}
+	for _, r := range ranks {
+		header = append(header, fmt.Sprintf("H@r=%d", r), "Ord")
+	}
+	cols := make([][]float64, len(ranks))
+	for ri, r := range ranks {
+		h, err := avgHMean(gen, mts, r, cfg.Trials, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		cols[ri] = h
+	}
+	orders := make([][]int, len(ranks))
+	for ri := range cols {
+		orders[ri] = rankOrders(cols[ri])
+	}
+	tbl := &table{header: header}
+	vals := map[string]float64{}
+	for i, mt := range mts {
+		cells := []string{mt.label()}
+		for ri := range ranks {
+			cells = append(cells, f3(cols[ri][i]), fmt.Sprintf("%d", orders[ri][i]))
+			vals[fmt.Sprintf("%s@%d", mt.label(), ranks[ri])] = cols[ri][i]
+		}
+		tbl.addRow(cells...)
+	}
+	return tbl, vals, nil
+}
+
+func runFig7(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mixes := []struct {
+		name string
+		mix  dataset.AnonymizationMix
+	}{
+		{"high privacy [10,20,30,40]", dataset.HighAnonymity},
+		{"medium privacy [25,25,25,25]", dataset.MediumAnonymity},
+		{"low privacy [40,30,20,10]", dataset.LowAnonymity},
+	}
+	var b strings.Builder
+	vals := map[string]float64{}
+	const rows, colsN = 40, 250
+	for _, mx := range mixes {
+		gen := func(rng *rand.Rand) *imatrix.IMatrix {
+			m, err := dataset.GenerateAnonymized(rows, colsN, mx.mix, rng)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}
+		tbl, v, err := hMeanOrderTable(gen, rows, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(&b, "-- %s --\n%s\n", mx.name, tbl)
+		prefix := strings.SplitN(mx.name, " ", 2)[0]
+		for k, hv := range v {
+			vals[prefix+"/"+k] = hv
+		}
+	}
+	return &Result{Text: b.String(), Values: vals}, nil
+}

@@ -1,0 +1,194 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section 6). Each experiment is a named Runner
+// producing a text rendering of the same rows/series the paper reports;
+// cmd/experiments exposes them on the command line and the repository's
+// bench_test.go wraps them in testing.B benchmarks.
+//
+// Absolute numbers differ from the paper (synthetic stand-ins replace the
+// ORL/MovieLens/Ciao/Epinions datasets and the hardware differs); the
+// comparisons of record are the shapes: method orderings, parameter
+// trends, and crossover points. EXPERIMENTS.md tracks paper-vs-measured
+// for each experiment.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config controls the scale of an experiment run.
+type Config struct {
+	// Seed drives all randomness; a fixed seed reproduces a run exactly.
+	Seed int64
+	// Trials is the number of random matrices averaged per cell
+	// (the paper uses 100; the quick default is 10).
+	Trials int
+	// Scale shrinks the face/ratings datasets (1.0 = paper size).
+	Scale float64
+	// WithLP includes the (very slow) LP competitor class where the
+	// paper reports it.
+	WithLP bool
+}
+
+// Quick returns the fast default configuration used by `go test` and the
+// CLI without flags.
+func Quick() Config { return Config{Seed: 1, Trials: 10, Scale: 0.25} }
+
+// Full returns the paper-scale configuration.
+func Full() Config { return Config{Seed: 1, Trials: 100, Scale: 1.0, WithLP: true} }
+
+func (c Config) withDefaults() Config {
+	if c.Trials <= 0 {
+		c.Trials = 10
+	}
+	if c.Scale <= 0 {
+		c.Scale = 0.25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is the output of one experiment run.
+type Result struct {
+	ID    string
+	Title string
+	Text  string
+	// Values exposes headline numbers keyed by row/series labels so tests
+	// and benchmarks can assert on shapes without parsing Text.
+	Values map[string]float64
+}
+
+// Runner executes one experiment.
+type Runner func(Config) (*Result, error)
+
+type registration struct {
+	id, title string
+	run       Runner
+}
+
+var registry []registration
+
+func register(id, title string, run Runner) {
+	registry = append(registry, registration{id: id, title: title, run: run})
+}
+
+// IDs returns all experiment ids in registration (paper) order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.id
+	}
+	return out
+}
+
+// Describe returns the one-line title of an experiment id.
+func Describe(id string) string {
+	for _, r := range registry {
+		if r.id == id {
+			return r.title
+		}
+	}
+	return ""
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	for _, r := range registry {
+		if r.id == id {
+			res, err := r.run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s: %w", id, err)
+			}
+			res.ID = r.id
+			res.Title = r.title
+			return res, nil
+		}
+	}
+	known := strings.Join(IDs(), ", ")
+	return nil, fmt.Errorf("unknown experiment %q (known: %s)", id, known)
+}
+
+// table renders rows of cells with aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// series renders a labeled numeric series ("1:0.93 2:0.91 …").
+func series(vals []float64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%d:%.3f", i+1, v)
+	}
+	return strings.Join(parts, " ")
+}
+
+// rankOrders annotates a column of H-means with their descending rank
+// order (1 = best), matching the paper's "Order" columns in Figures 7/9.
+func rankOrders(h []float64) []int {
+	idx := make([]int, len(h))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return h[idx[a]] > h[idx[b]] })
+	orders := make([]int, len(h))
+	for rank, i := range idx {
+		orders[i] = rank + 1
+	}
+	return orders
+}
+
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}

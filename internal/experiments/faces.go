@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/nmf"
+)
+
+func init() {
+	register("fig8a", "Figure 8(a): ORL-like face reconstruction RMSE vs rank", runFig8a)
+	register("fig8b", "Figure 8(b): ORL-like 1-NN classification F1 vs rank", runFig8b)
+	register("fig8c", "Figure 8(c): ORL-like K-means clustering NMI vs rank", runFig8c)
+	register("table3", "Table 3: clustering accuracy and execution time (scalar vs interval vs ISVD2-b)", runTable3)
+}
+
+// faceConfig scales the ORL workload: full scale is 40 subjects at 32×32;
+// quick runs shrink both the subject count and the resolution.
+func faceConfig(cfg Config) dataset.FaceConfig {
+	fc := dataset.DefaultFaces()
+	if cfg.Scale < 1 {
+		fc.Subjects = max(8, int(float64(fc.Subjects)*cfg.Scale))
+		fc.Res = 16
+	}
+	return fc
+}
+
+// nmfIterations bounds the multiplicative-update count on the large face
+// matrices.
+const nmfIterations = 30
+
+// svdFeatures extracts the paper's classification features for SVD-based
+// schemes: the interval [U·Σ*, U·Σ^*] (scalar for degenerate cores).
+func svdFeatures(d *core.Decomposition) *imatrix.IMatrix {
+	u := d.U.Mid()
+	out := imatrix.FromEndpoints(matrix.Mul(u, d.Sigma.Lo), matrix.Mul(u, d.Sigma.Hi))
+	out.AverageReplace()
+	return out
+}
+
+// faceMethod is one curve of Figure 8: a name plus feature/reconstruction
+// extractors at a given rank.
+type faceMethod struct {
+	name string
+	// run returns (features, reconstruction midpoint); either may be nil
+	// if unused by the experiment.
+	run func(fd *dataset.FaceData, rank int, rng *rand.Rand) (*imatrix.IMatrix, *matrix.Dense, error)
+}
+
+func isvdFaceMethod(m core.Method, t core.Target) faceMethod {
+	return faceMethod{
+		name: methodTarget{m, t}.label(),
+		run: func(fd *dataset.FaceData, rank int, _ *rand.Rand) (*imatrix.IMatrix, *matrix.Dense, error) {
+			d, err := core.Decompose(fd.Interval, m, core.Options{Rank: rank, Target: t})
+			if err != nil {
+				return nil, nil, err
+			}
+			return svdFeatures(d), d.Reconstruct().Mid(), nil
+		},
+	}
+}
+
+func nmfFaceMethod() faceMethod {
+	return faceMethod{
+		name: "NMF",
+		run: func(fd *dataset.FaceData, rank int, rng *rand.Rand) (*imatrix.IMatrix, *matrix.Dense, error) {
+			model, err := nmf.Train(fd.Interval.Mid(), nmf.Config{Rank: rank, Iterations: nmfIterations}, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			return imatrix.FromScalar(model.U), model.Reconstruct(), nil
+		},
+	}
+}
+
+func inmfFaceMethod() faceMethod {
+	return faceMethod{
+		name: "I-NMF",
+		run: func(fd *dataset.FaceData, rank int, rng *rand.Rand) (*imatrix.IMatrix, *matrix.Dense, error) {
+			model, err := nmf.TrainInterval(fd.Interval, nmf.Config{Rank: rank, Iterations: nmfIterations}, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			return imatrix.FromScalar(model.U), model.Reconstruct().Mid(), nil
+		},
+	}
+}
+
+func runFig8a(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fc := faceConfig(cfg)
+	fd, err := dataset.GenerateFaces(fc, rng)
+	if err != nil {
+		return nil, err
+	}
+	maxRank := min(fd.Scalar.Rows, fd.Scalar.Cols)
+	var ranks []int
+	for _, r := range []int{10, 100, 200} {
+		if r <= maxRank {
+			ranks = append(ranks, r)
+		} else if len(ranks) == 0 || ranks[len(ranks)-1] != maxRank {
+			ranks = append(ranks, maxRank)
+		}
+	}
+	methods := []faceMethod{
+		isvdFaceMethod(core.ISVD0, core.TargetC),
+		isvdFaceMethod(core.ISVD1, core.TargetB),
+		isvdFaceMethod(core.ISVD4, core.TargetB),
+		isvdFaceMethod(core.ISVD4, core.TargetC),
+		nmfFaceMethod(),
+		inmfFaceMethod(),
+	}
+	tbl := &table{header: append([]string{"method"}, ranksHeader(ranks)...)}
+	vals := map[string]float64{}
+	for _, fm := range methods {
+		cells := []string{fm.name}
+		for _, r := range ranks {
+			_, recon, err := fm.run(fd, r, rng)
+			if err != nil {
+				return nil, fmt.Errorf("%s@%d: %w", fm.name, r, err)
+			}
+			rmse := metrics.MatrixRMSE(recon.Data, fd.Scalar.Data)
+			cells = append(cells, f3(rmse))
+			vals[fmt.Sprintf("%s@%d", fm.name, r)] = rmse
+		}
+		tbl.addRow(cells...)
+	}
+	text := fmt.Sprintf("%d subjects x %d images at %dx%d (RMSE, lower is better)\n%s",
+		fc.Subjects, fc.ImagesPerSubject, fc.Res, fc.Res, tbl)
+	return &Result{Text: text, Values: vals}, nil
+}
+
+func ranksHeader(ranks []int) []string {
+	out := make([]string, len(ranks))
+	for i, r := range ranks {
+		out[i] = fmt.Sprintf("r=%d", r)
+	}
+	return out
+}
+
+func classificationRanks(cfg Config, maxRank int) []int {
+	candidates := []int{5, 10, 20, 40}
+	if cfg.Scale >= 1 {
+		candidates = []int{10, 30, 60, 100, 150, 200}
+	}
+	var ranks []int
+	for _, r := range candidates {
+		if r <= maxRank {
+			ranks = append(ranks, r)
+		}
+	}
+	if len(ranks) == 0 {
+		ranks = []int{maxRank}
+	}
+	return ranks
+}
+
+func classificationMethods() []faceMethod {
+	return []faceMethod{
+		isvdFaceMethod(core.ISVD0, core.TargetC),
+		isvdFaceMethod(core.ISVD1, core.TargetB),
+		isvdFaceMethod(core.ISVD2, core.TargetB),
+		isvdFaceMethod(core.ISVD4, core.TargetB),
+		nmfFaceMethod(),
+		inmfFaceMethod(),
+	}
+}
+
+// splitFeatures extracts the train/test sub-matrices of an interval
+// feature matrix by row index.
+func splitFeatures(feat *imatrix.IMatrix, idx []int) *imatrix.IMatrix {
+	out := imatrix.New(len(idx), feat.Cols())
+	for pos, i := range idx {
+		copy(out.Lo.RowView(pos), feat.Lo.RowView(i))
+		copy(out.Hi.RowView(pos), feat.Hi.RowView(i))
+	}
+	return out
+}
+
+func pickLabels(labels []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for pos, i := range idx {
+		out[pos] = labels[i]
+	}
+	return out
+}
+
+func runFig8b(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fc := faceConfig(cfg)
+	fd, err := dataset.GenerateFaces(fc, rng)
+	if err != nil {
+		return nil, err
+	}
+	ranks := classificationRanks(cfg, min(fd.Scalar.Rows, fd.Scalar.Cols))
+	trainIdx, testIdx := dataset.TrainTestSplit(fd.Labels, 0.5, rng)
+	trainLabels := pickLabels(fd.Labels, trainIdx)
+	testLabels := pickLabels(fd.Labels, testIdx)
+
+	tbl := &table{header: append([]string{"method"}, ranksHeader(ranks)...)}
+	vals := map[string]float64{}
+	for _, fm := range classificationMethods() {
+		cells := []string{fm.name}
+		for _, r := range ranks {
+			feat, _, err := fm.run(fd, r, rng)
+			if err != nil {
+				return nil, fmt.Errorf("%s@%d: %w", fm.name, r, err)
+			}
+			pred, err := cluster.Classify1NN(splitFeatures(feat, trainIdx), trainLabels, splitFeatures(feat, testIdx))
+			if err != nil {
+				return nil, err
+			}
+			f1 := metrics.F1Macro(pred, testLabels)
+			cells = append(cells, f3(f1))
+			vals[fmt.Sprintf("%s@%d", fm.name, r)] = f1
+		}
+		tbl.addRow(cells...)
+	}
+	text := fmt.Sprintf("1-NN classification F1 (higher is better), %d train / %d test rows\n%s",
+		len(trainIdx), len(testIdx), tbl)
+	return &Result{Text: text, Values: vals}, nil
+}
+
+func runFig8c(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fc := faceConfig(cfg)
+	fd, err := dataset.GenerateFaces(fc, rng)
+	if err != nil {
+		return nil, err
+	}
+	ranks := classificationRanks(cfg, min(fd.Scalar.Rows, fd.Scalar.Cols))
+	tbl := &table{header: append([]string{"method"}, ranksHeader(ranks)...)}
+	vals := map[string]float64{}
+	for _, fm := range classificationMethods() {
+		cells := []string{fm.name}
+		for _, r := range ranks {
+			feat, _, err := fm.run(fd, r, rng)
+			if err != nil {
+				return nil, fmt.Errorf("%s@%d: %w", fm.name, r, err)
+			}
+			res, err := cluster.KMeans(feat, fc.Subjects, 50, rand.New(rand.NewSource(cfg.Seed)))
+			if err != nil {
+				return nil, err
+			}
+			nmi := metrics.NMI(res.Assignments, fd.Labels)
+			cells = append(cells, f3(nmi))
+			vals[fmt.Sprintf("%s@%d", fm.name, r)] = nmi
+		}
+		tbl.addRow(cells...)
+	}
+	text := fmt.Sprintf("K-means (K=%d) clustering NMI (higher is better)\n%s", fc.Subjects, tbl)
+	return &Result{Text: text, Values: vals}, nil
+}
+
+func runTable3(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	resolutions := []int{16, 32}
+	if cfg.Scale >= 1 {
+		resolutions = []int{32, 64}
+	}
+	tbl := &table{header: []string{"res", "variant", "NMI", "time(s)"}}
+	vals := map[string]float64{}
+	for _, res := range resolutions {
+		fc := faceConfig(cfg)
+		fc.Res = res
+		fd, err := dataset.GenerateFaces(fc, rng)
+		if err != nil {
+			return nil, err
+		}
+		k := fc.Subjects
+		seed := cfg.Seed + int64(res)
+
+		runKMeans := func(feat *imatrix.IMatrix) (float64, time.Duration, error) {
+			start := time.Now()
+			r, err := cluster.KMeans(feat, k, 50, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				return 0, 0, err
+			}
+			return metrics.NMI(r.Assignments, fd.Labels), time.Since(start), nil
+		}
+
+		// Scalar pixel vectors.
+		nmiS, tS, err := runKMeans(imatrix.FromScalar(fd.Scalar))
+		if err != nil {
+			return nil, err
+		}
+		// Interval pixel vectors.
+		nmiI, tI, err := runKMeans(fd.Interval)
+		if err != nil {
+			return nil, err
+		}
+		// ISVD2-b rank-20 features.
+		start := time.Now()
+		d, err := core.Decompose(fd.Interval, core.ISVD2, core.Options{Rank: min(20, fd.Scalar.Rows), Target: core.TargetB})
+		if err != nil {
+			return nil, err
+		}
+		decompTime := time.Since(start)
+		nmiD, tD, err := runKMeans(svdFeatures(d))
+		if err != nil {
+			return nil, err
+		}
+
+		resLabel := fmt.Sprintf("%dx%d", res, res)
+		tbl.addRow(resLabel, "scalar vectors", f3(nmiS), secs(tS))
+		tbl.addRow(resLabel, "interval vectors", f3(nmiI), secs(tI))
+		tbl.addRow(resLabel, "ISVD2-b (r=20)", f3(nmiD),
+			fmt.Sprintf("%s (%s+%s)", secs(decompTime+tD), secs(decompTime), secs(tD)))
+		vals[resLabel+"/scalar"] = nmiS
+		vals[resLabel+"/interval"] = nmiI
+		vals[resLabel+"/isvd2b"] = nmiD
+		vals[resLabel+"/scalarTime"] = tS.Seconds()
+		vals[resLabel+"/intervalTime"] = tI.Seconds()
+		vals[resLabel+"/isvd2bTime"] = (decompTime + tD).Seconds()
+	}
+	return &Result{Text: tbl.String(), Values: vals}, nil
+}
+
+func secs(d time.Duration) string {
+	return fmt.Sprintf("%.2f", math.Max(d.Seconds(), 0))
+}

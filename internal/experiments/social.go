@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/imatrix"
+	"repro/internal/ipmf"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register("fig9a", "Figure 9(a): reconstruction accuracy on the Ciao-like user-category matrix", runFig9a)
+	register("fig9b", "Figure 9(b): reconstruction accuracy on the Epinions-like user-category matrix", runFig9b)
+	register("fig9c", "Figure 9(c): reconstruction accuracy on the MovieLens-like user-genre matrix", runFig9c)
+	register("fig10", "Figure 10: collaborative filtering RMSE (PMF vs I-PMF vs AI-PMF) on MovieLens-like data", runFig10)
+}
+
+// socialTrials keeps the heavyweight social-matrix experiments bounded:
+// the paper averages over one fixed real dataset, so a handful of
+// generator draws is the equivalent.
+func socialTrials(cfg Config) int {
+	if cfg.Trials < 3 {
+		return cfg.Trials
+	}
+	return 3
+}
+
+func runFig9(cfg Config, name string, base dataset.RatingsConfig) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rc := base.Scaled(cfg.Scale)
+	gen := func(rng *rand.Rand) *imatrix.IMatrix {
+		data, err := dataset.GenerateRatings(rc, rng)
+		if err != nil {
+			panic(err)
+		}
+		return data.UserGenreIntervals()
+	}
+	sub := cfg
+	sub.Trials = socialTrials(cfg)
+	tbl, vals, err := hMeanOrderTable(gen, rc.Genres, sub, rng)
+	if err != nil {
+		return nil, err
+	}
+	sample, _ := dataset.GenerateRatings(rc, rand.New(rand.NewSource(cfg.Seed)))
+	st := dataset.Stats(sample.UserGenreIntervals())
+	text := fmt.Sprintf("%s-like user-genre matrix: %d users x %d genres, matrix density %.2f, interval density %.2f, mean intensity %.2f\n%s",
+		name, rc.Users, rc.Genres, st.MatrixDensity, st.IntervalDensity, st.MeanIntensity, tbl)
+	return &Result{Text: text, Values: vals}, nil
+}
+
+func runFig9a(cfg Config) (*Result, error) { return runFig9(cfg, "Ciao", dataset.CiaoLike()) }
+func runFig9b(cfg Config) (*Result, error) { return runFig9(cfg, "Epinions", dataset.EpinionsLike()) }
+func runFig9c(cfg Config) (*Result, error) {
+	return runFig9(cfg, "MovieLens", dataset.MovieLensLike())
+}
+
+// clampRating restricts predictions to the 1..5 star scale.
+func clampRating(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	if v > 5 {
+		return 5
+	}
+	return v
+}
+
+func runFig10(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rc := dataset.MovieLensLike().Scaled(cfg.Scale)
+	data, err := dataset.GenerateRatings(rc, rng)
+	if err != nil {
+		return nil, err
+	}
+	train, test := data.SplitRatings(0.8, rng)
+	// Training matrices contain only the training ratings.
+	trainData := *data
+	trainData.Ratings = train
+	scalar := trainData.UserItemScalar()
+	intervals := trainData.CFIntervals()
+
+	maxRank := rc.Items
+	if rc.Users < maxRank {
+		maxRank = rc.Users
+	}
+	var ranks []int
+	for _, r := range []int{10, 40, 80, 150, 250} {
+		if r <= maxRank {
+			ranks = append(ranks, r)
+		}
+	}
+	if cfg.Trials <= 10 && len(ranks) > 3 {
+		ranks = ranks[:3]
+	}
+
+	pmfCfg := ipmf.Config{Epochs: 40, LearningRate: 0.01}
+	evalScalar := func(m *ipmf.Model) float64 {
+		pred := make([]float64, len(test))
+		truth := make([]float64, len(test))
+		for i, r := range test {
+			pred[i] = clampRating(m.Predict(r.User, r.Item))
+			truth[i] = r.Value
+		}
+		return metrics.RMSE(pred, truth)
+	}
+	evalInterval := func(m *ipmf.IntervalModel) float64 {
+		pred := make([]float64, len(test))
+		truth := make([]float64, len(test))
+		for i, r := range test {
+			pred[i] = clampRating(m.Predict(r.User, r.Item))
+			truth[i] = r.Value
+		}
+		return metrics.RMSE(pred, truth)
+	}
+
+	tbl := &table{header: []string{"rank", "PMF", "I-PMF", "AI-PMF"}}
+	vals := map[string]float64{}
+	for _, r := range ranks {
+		c := pmfCfg
+		c.Rank = r
+		pm, err := ipmf.TrainPMF(scalar, c, rand.New(rand.NewSource(cfg.Seed+int64(r))))
+		if err != nil {
+			return nil, err
+		}
+		im, err := ipmf.TrainIPMF(intervals, c, rand.New(rand.NewSource(cfg.Seed+int64(r))))
+		if err != nil {
+			return nil, err
+		}
+		am, err := ipmf.TrainAIPMF(intervals, c, rand.New(rand.NewSource(cfg.Seed+int64(r))))
+		if err != nil {
+			return nil, err
+		}
+		rp, ri, ra := evalScalar(pm), evalInterval(im), evalInterval(am)
+		tbl.addRow(fmt.Sprintf("%d", r), f3(rp), f3(ri), f3(ra))
+		vals[fmt.Sprintf("PMF@%d", r)] = rp
+		vals[fmt.Sprintf("I-PMF@%d", r)] = ri
+		vals[fmt.Sprintf("AI-PMF@%d", r)] = ra
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "MovieLens-like CF: %d users x %d items, %d train / %d test ratings (RMSE, lower is better)\n",
+		rc.Users, rc.Items, len(train), len(test))
+	b.WriteString(tbl.String())
+	// Headline comparison: AI-PMF vs I-PMF across ranks.
+	var iSum, aSum float64
+	for _, r := range ranks {
+		iSum += vals[fmt.Sprintf("I-PMF@%d", r)]
+		aSum += vals[fmt.Sprintf("AI-PMF@%d", r)]
+	}
+	fmt.Fprintf(&b, "mean I-PMF RMSE = %.4f, mean AI-PMF RMSE = %.4f (AI-PMF should not be worse)\n",
+		iSum/float64(len(ranks)), aSum/float64(len(ranks)))
+	if math.IsNaN(iSum) || math.IsNaN(aSum) {
+		return nil, fmt.Errorf("fig10: NaN RMSE")
+	}
+	return &Result{Text: b.String(), Values: vals}, nil
+}

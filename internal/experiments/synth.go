@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/imatrix"
+	"repro/internal/lp"
+)
+
+func init() {
+	register("fig3", "Figure 3: cos(V*, V^*) before/after ILSA (default synthetic, ISVD1, r=20)", runFig3)
+	register("fig5", "Figure 5: cos(V*, V^*) and cos(U*, U^*) before/after ISVD4 recomputation", runFig5)
+	register("fig6a", "Figure 6(a): decomposition accuracy of all ISVD variants (+LP) on the default synthetic config", runFig6a)
+	register("fig6b", "Figure 6(b): execution-time breakdown per decomposition phase", runFig6b)
+	register("table2a", "Table 2(a): H-mean vs interval density (option-b)", runTable2a)
+	register("table2b", "Table 2(b): H-mean vs interval intensity (option-b)", runTable2b)
+	register("table2c", "Table 2(c): H-mean vs matrix density (option-b)", runTable2c)
+	register("table2d", "Table 2(d): H-mean vs matrix configuration (option-b)", runTable2d)
+	register("table2e", "Table 2(e): H-mean vs target rank (option-b)", runTable2e)
+}
+
+// methodTarget identifies one cell of the paper's 13-method grid.
+type methodTarget struct {
+	m core.Method
+	t core.Target
+}
+
+func (mt methodTarget) label() string {
+	return fmt.Sprintf("%s-%s", mt.m, mt.t)
+}
+
+// grid13 lists the paper's 13 ISVD variants: options a and b for
+// ISVD1-4, option c for ISVD0-4.
+func grid13() []methodTarget {
+	var out []methodTarget
+	for _, t := range []core.Target{core.TargetA, core.TargetB} {
+		for _, m := range []core.Method{core.ISVD1, core.ISVD2, core.ISVD3, core.ISVD4} {
+			out = append(out, methodTarget{m, t})
+		}
+	}
+	out = append(out, methodTarget{core.ISVD0, core.TargetC})
+	for _, m := range []core.Method{core.ISVD1, core.ISVD2, core.ISVD3, core.ISVD4} {
+		out = append(out, methodTarget{m, core.TargetC})
+	}
+	return out
+}
+
+// optionBRow is the method set of Table 2: ISVD0 plus the option-b variants.
+func optionBRow() []methodTarget {
+	return []methodTarget{
+		{core.ISVD0, core.TargetC},
+		{core.ISVD1, core.TargetB},
+		{core.ISVD2, core.TargetB},
+		{core.ISVD3, core.TargetB},
+		{core.ISVD4, core.TargetB},
+	}
+}
+
+func optionBHeader() []string {
+	return []string{"ISVD0", "ISVD1-b", "ISVD2-b", "ISVD3-b", "ISVD4-b"}
+}
+
+// avgHMean decomposes `trials` fresh matrices from gen and returns the
+// mean H-mean per methodTarget. Matrices are drawn sequentially from rng
+// (keeping runs deterministic for a given seed); the method grid is then
+// evaluated concurrently, since decompositions are independent and
+// deterministic.
+func avgHMean(gen func(*rand.Rand) *imatrix.IMatrix, mts []methodTarget, rank, trials int, rng *rand.Rand) ([]float64, error) {
+	sums := make([]float64, len(mts))
+	for trial := 0; trial < trials; trial++ {
+		m := gen(rng)
+		hs := make([]float64, len(mts))
+		errs := make([]error, len(mts))
+		var wg sync.WaitGroup
+		for i, mt := range mts {
+			wg.Add(1)
+			go func(i int, mt methodTarget) {
+				defer wg.Done()
+				d, err := core.Decompose(m, mt.m, core.Options{Rank: rank, Target: mt.t})
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", mt.label(), err)
+					return
+				}
+				hs[i] = d.Evaluate(m).HMean
+			}(i, mt)
+		}
+		wg.Wait()
+		for i := range mts {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			sums[i] += hs[i]
+		}
+	}
+	for i := range sums {
+		sums[i] /= float64(trials)
+	}
+	return sums, nil
+}
+
+const defaultRank = 20
+
+func defaultGen(cfg dataset.SyntheticConfig) func(*rand.Rand) *imatrix.IMatrix {
+	return func(rng *rand.Rand) *imatrix.IMatrix {
+		return dataset.MustGenerateUniform(cfg, rng)
+	}
+}
+
+func runFig3(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := defaultGen(dataset.DefaultSynthetic())
+	before := make([]float64, defaultRank)
+	after := make([]float64, defaultRank)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		m := gen(rng)
+		d, err := core.Decompose(m, core.ISVD1, core.Options{Rank: defaultRank, Target: core.TargetB})
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < defaultRank; j++ {
+			before[j] += d.CosVUnaligned[j] / float64(cfg.Trials)
+			after[j] += d.CosVAligned[j] / float64(cfg.Trials)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "(a) before alignment: %s\n", series(before))
+	fmt.Fprintf(&b, "(b) after alignment:  %s\n", series(after))
+	fmt.Fprintf(&b, "mean before = %.3f, mean after = %.3f (higher is better)\n", mean(before), mean(after))
+	return &Result{Text: b.String(), Values: map[string]float64{
+		"meanBefore": mean(before), "meanAfter": mean(after),
+	}}, nil
+}
+
+func runFig5(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := defaultGen(dataset.DefaultSynthetic())
+	vBefore := make([]float64, defaultRank)
+	uSeries := make([]float64, defaultRank)
+	vAfter := make([]float64, defaultRank)
+	for trial := 0; trial < cfg.Trials; trial++ {
+		m := gen(rng)
+		d, err := core.Decompose(m, core.ISVD4, core.Options{Rank: defaultRank, Target: core.TargetB})
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < defaultRank; j++ {
+			vBefore[j] += d.CosVAligned[j] / float64(cfg.Trials)
+			uSeries[j] += d.CosURecovered[j] / float64(cfg.Trials)
+			vAfter[j] += d.CosVRecomputed[j] / float64(cfg.Trials)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "(a) V before recomputation: %s\n", series(vBefore))
+	fmt.Fprintf(&b, "(a) U after solve:          %s\n", series(uSeries))
+	fmt.Fprintf(&b, "(b) V after recomputation:  %s\n", series(vAfter))
+	fmt.Fprintf(&b, "mean V before = %.3f, mean U = %.3f, mean V after = %.3f\n",
+		mean(vBefore), mean(uSeries), mean(vAfter))
+	return &Result{Text: b.String(), Values: map[string]float64{
+		"meanVBefore": mean(vBefore), "meanU": mean(uSeries), "meanVAfter": mean(vAfter),
+	}}, nil
+}
+
+func runFig6a(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mts := grid13()
+	h, err := avgHMean(defaultGen(dataset.DefaultSynthetic()), mts, defaultRank, cfg.Trials, rng)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &table{header: []string{"method", "H-mean"}}
+	vals := map[string]float64{}
+	for i, mt := range mts {
+		tbl.addRow(mt.label(), f3(h[i]))
+		vals[mt.label()] = h[i]
+	}
+	var b strings.Builder
+	b.WriteString(tbl.String())
+	if cfg.WithLP {
+		// The LP competitor is O(rank·dim) simplex solves; run it on a
+		// transposed/reduced instance (Gram dimension 40) as the paper's
+		// qualitative comparison point.
+		lpCfg := dataset.DefaultSynthetic()
+		lpCfg.Rows, lpCfg.Cols = 250, 40
+		m := dataset.MustGenerateUniform(lpCfg, rng)
+		start := time.Now()
+		d, err := lp.Decompose(m, lp.Options{Rank: defaultRank, Target: core.TargetB})
+		if err != nil {
+			return nil, err
+		}
+		lpH := d.Evaluate(m).HMean
+		vals["LP-b"] = lpH
+		fmt.Fprintf(&b, "LP-b (Deif/Seif competitor, 250x40 instance): H-mean = %.3f in %v\n",
+			lpH, time.Since(start).Round(time.Millisecond))
+	}
+	return &Result{Text: b.String(), Values: vals}, nil
+}
+
+func runFig6b(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := defaultGen(dataset.DefaultSynthetic())
+	methods := core.Methods()
+	type phases struct{ pre, dec, ali, sol, con float64 }
+	acc := make([]phases, len(methods))
+	for trial := 0; trial < cfg.Trials; trial++ {
+		m := gen(rng)
+		for i, method := range methods {
+			d, err := core.Decompose(m, method, core.Options{Rank: defaultRank, Target: core.TargetB})
+			if err != nil {
+				return nil, err
+			}
+			ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+			acc[i].pre += ms(d.Timings.Preprocess)
+			acc[i].dec += ms(d.Timings.Decompose)
+			acc[i].ali += ms(d.Timings.Align)
+			acc[i].sol += ms(d.Timings.Solve)
+			acc[i].con += ms(d.Timings.Construct)
+		}
+	}
+	tbl := &table{header: []string{"method", "preprocess(ms)", "decompose(ms)", "align(ms)", "solve(ms)", "construct(ms)", "total(ms)"}}
+	vals := map[string]float64{}
+	for i, method := range methods {
+		n := float64(cfg.Trials)
+		p := acc[i]
+		total := (p.pre + p.dec + p.ali + p.sol + p.con) / n
+		tbl.addRow(method.String(), f3(p.pre/n), f3(p.dec/n), f3(p.ali/n), f3(p.sol/n), f3(p.con/n), f3(total))
+		vals[method.String()] = total
+	}
+	return &Result{Text: tbl.String(), Values: vals}, nil
+}
+
+// runTable2 sweeps one SyntheticConfig dimension for the option-b methods.
+func runTable2(cfg Config, paramName string, values []string, configs []dataset.SyntheticConfig, rank func(dataset.SyntheticConfig) int) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tbl := &table{header: append([]string{paramName}, optionBHeader()...)}
+	vals := map[string]float64{}
+	for vi, sc := range configs {
+		h, err := avgHMean(defaultGen(sc), optionBRow(), rank(sc), cfg.Trials, rng)
+		if err != nil {
+			return nil, err
+		}
+		cells := []string{values[vi]}
+		for i, hv := range h {
+			cells = append(cells, f3(hv))
+			vals[values[vi]+"/"+optionBHeader()[i]] = hv
+		}
+		tbl.addRow(cells...)
+	}
+	return &Result{Text: tbl.String(), Values: vals}, nil
+}
+
+func fixedRank(r int) func(dataset.SyntheticConfig) int {
+	return func(dataset.SyntheticConfig) int { return r }
+}
+
+func runTable2a(cfg Config) (*Result, error) {
+	densities := []float64{0.10, 0.25, 0.75, 1.00}
+	var configs []dataset.SyntheticConfig
+	var labels []string
+	for _, d := range densities {
+		sc := dataset.DefaultSynthetic()
+		sc.IntervalDensity = d
+		configs = append(configs, sc)
+		labels = append(labels, fmt.Sprintf("%.0f%%", d*100))
+	}
+	return runTable2(cfg, "int.density", labels, configs, fixedRank(defaultRank))
+}
+
+func runTable2b(cfg Config) (*Result, error) {
+	intensities := []float64{0.10, 0.25, 0.75, 1.00}
+	var configs []dataset.SyntheticConfig
+	var labels []string
+	for _, x := range intensities {
+		sc := dataset.DefaultSynthetic()
+		sc.Intensity = x
+		configs = append(configs, sc)
+		labels = append(labels, fmt.Sprintf("%.0f%%", x*100))
+	}
+	return runTable2(cfg, "int.intensity", labels, configs, fixedRank(defaultRank))
+}
+
+func runTable2c(cfg Config) (*Result, error) {
+	zeros := []float64{0, 0.5, 0.9}
+	var configs []dataset.SyntheticConfig
+	var labels []string
+	for _, z := range zeros {
+		sc := dataset.DefaultSynthetic()
+		sc.ZeroFrac = z
+		configs = append(configs, sc)
+		labels = append(labels, fmt.Sprintf("%.0f%%", z*100))
+	}
+	return runTable2(cfg, "mat.density(zeros)", labels, configs, fixedRank(defaultRank))
+}
+
+func runTable2d(cfg Config) (*Result, error) {
+	shapes := [][2]int{{25, 400}, {40, 250}, {250, 40}, {400, 250}, {250, 400}}
+	var configs []dataset.SyntheticConfig
+	var labels []string
+	for _, sh := range shapes {
+		sc := dataset.DefaultSynthetic()
+		sc.Rows, sc.Cols = sh[0], sh[1]
+		configs = append(configs, sc)
+		labels = append(labels, fmt.Sprintf("%d-by-%d", sh[0], sh[1]))
+	}
+	return runTable2(cfg, "matrix conf.", labels, configs, fixedRank(defaultRank))
+}
+
+func runTable2e(cfg Config) (*Result, error) {
+	ranks := []int{5, 10, 20, 40}
+	var configs []dataset.SyntheticConfig
+	var labels []string
+	for _, r := range ranks {
+		configs = append(configs, dataset.DefaultSynthetic())
+		labels = append(labels, fmt.Sprintf("%d", r))
+	}
+	i := -1
+	return runTable2(cfg, "rank", labels, configs, func(dataset.SyntheticConfig) int {
+		i++
+		return ranks[i%len(ranks)]
+	})
+}

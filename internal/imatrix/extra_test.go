@@ -1,0 +1,59 @@
+package imatrix
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/matrix"
+)
+
+func TestString(t *testing.T) {
+	m := New(1, 2)
+	m.Set(0, 0, interval.New(1, 2))
+	m.Set(0, 1, interval.Scalar(3))
+	s := m.String()
+	if !strings.Contains(s, "[1, 2]") || !strings.Contains(s, "3") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestDiagConstructors(t *testing.T) {
+	d := DiagFromValues([]float64{1, 2})
+	if !d.At(0, 0).Equal(interval.Scalar(1)) || !d.At(1, 1).Equal(interval.Scalar(2)) {
+		t.Fatal("DiagFromValues wrong")
+	}
+	if !d.At(0, 1).Equal(interval.Scalar(0)) {
+		t.Fatal("off-diagonal not zero")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DiagFromEndpoints length mismatch did not panic")
+		}
+	}()
+	DiagFromEndpoints([]float64{1}, []float64{1, 2})
+}
+
+func TestPanicsOnShapeMismatch(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	check("FromEndpoints", func() { FromEndpoints(matrix.New(2, 2), matrix.New(2, 3)) })
+	check("Mul", func() { Mul(New(2, 3), New(2, 3)) })
+	check("MulEndpoints", func() { MulEndpoints(New(2, 3), New(2, 3)) })
+	check("MulScalarRight", func() { MulScalarRight(New(2, 3), matrix.New(2, 2)) })
+	check("MulScalarLeft", func() { MulScalarLeft(matrix.New(2, 2), New(3, 2)) })
+	check("Hull", func() { Hull(New(2, 2), New(2, 3)) })
+	check("InverseDiag", func() { InverseDiag(New(2, 3)) })
+}
+
+func TestContainsScalarShapeMismatch(t *testing.T) {
+	if New(2, 2).ContainsScalar(matrix.New(2, 3), 0) {
+		t.Fatal("shape mismatch reported as contained")
+	}
+}

@@ -1,0 +1,340 @@
+// Package imatrix implements interval-valued matrices M† = [M*, M^*] and
+// the interval matrix algebra the paper's ISVD algorithms are built on:
+// interval matrix multiplication (Supplementary Algorithm 1), average
+// replacement of misordered entries (Algorithms 2-3), the inverse of a
+// non-negative interval-valued diagonal core matrix (Algorithm 4), and
+// assorted helpers (hulls, spans, midpoint extraction).
+package imatrix
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/interval"
+	"repro/internal/matrix"
+)
+
+// IMatrix is an n×m interval-valued matrix stored as two parallel dense
+// matrices of the minimum (Lo) and maximum (Hi) endpoints.
+type IMatrix struct {
+	Lo, Hi *matrix.Dense
+}
+
+// New allocates a zero interval matrix of the given shape.
+func New(rows, cols int) *IMatrix {
+	return &IMatrix{Lo: matrix.New(rows, cols), Hi: matrix.New(rows, cols)}
+}
+
+// FromEndpoints wraps existing Lo and Hi matrices (no copy). It panics on
+// shape mismatch. Lo entries are not required to be <= Hi entries: several
+// intermediate ISVD states are legitimately misordered (Section 4.2.1) and
+// are repaired later by AverageReplace.
+func FromEndpoints(lo, hi *matrix.Dense) *IMatrix {
+	if lo.Rows != hi.Rows || lo.Cols != hi.Cols {
+		panic(fmt.Sprintf("imatrix: FromEndpoints: %dx%d vs %dx%d", lo.Rows, lo.Cols, hi.Rows, hi.Cols))
+	}
+	return &IMatrix{Lo: lo, Hi: hi}
+}
+
+// FromScalar lifts a scalar matrix to the degenerate interval matrix
+// [M, M] (endpoints are copies).
+func FromScalar(m *matrix.Dense) *IMatrix {
+	return &IMatrix{Lo: m.Clone(), Hi: m.Clone()}
+}
+
+// Rows returns the number of rows.
+func (m *IMatrix) Rows() int { return m.Lo.Rows }
+
+// Cols returns the number of columns.
+func (m *IMatrix) Cols() int { return m.Lo.Cols }
+
+// At returns element (i, j) as an Interval.
+func (m *IMatrix) At(i, j int) interval.Interval {
+	return interval.Interval{Lo: m.Lo.At(i, j), Hi: m.Hi.At(i, j)}
+}
+
+// Set stores iv at element (i, j).
+func (m *IMatrix) Set(i, j int, iv interval.Interval) {
+	m.Lo.Set(i, j, iv.Lo)
+	m.Hi.Set(i, j, iv.Hi)
+}
+
+// Clone returns a deep copy.
+func (m *IMatrix) Clone() *IMatrix {
+	return &IMatrix{Lo: m.Lo.Clone(), Hi: m.Hi.Clone()}
+}
+
+// T returns the transpose.
+func (m *IMatrix) T() *IMatrix {
+	return &IMatrix{Lo: m.Lo.T(), Hi: m.Hi.T()}
+}
+
+// Mid returns the scalar midpoint matrix (M* + M^*) / 2, the "average
+// matrix" used by ISVD0 and by the interval-matrix inversion fallbacks.
+func (m *IMatrix) Mid() *matrix.Dense { return matrix.Mean(m.Lo, m.Hi) }
+
+// Row returns row i as an interval vector (copies).
+func (m *IMatrix) Row(i int) interval.Vector {
+	return interval.Vector{Lo: m.Lo.Row(i), Hi: m.Hi.Row(i)}
+}
+
+// Col returns column j as an interval vector (copies).
+func (m *IMatrix) Col(j int) interval.Vector {
+	return interval.Vector{Lo: m.Lo.Col(j), Hi: m.Hi.Col(j)}
+}
+
+// IsWellFormed reports whether every entry satisfies Lo <= Hi.
+func (m *IMatrix) IsWellFormed() bool {
+	for i, lo := range m.Lo.Data {
+		if lo > m.Hi.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxSpan returns the largest interval span in the matrix.
+func (m *IMatrix) MaxSpan() float64 {
+	mx := 0.0
+	for i, lo := range m.Lo.Data {
+		if s := m.Hi.Data[i] - lo; s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// TotalSpan returns the sum of all interval spans — a global imprecision
+// measure used by tests and ablation benchmarks.
+func (m *IMatrix) TotalSpan() float64 {
+	var s float64
+	for i, lo := range m.Lo.Data {
+		s += m.Hi.Data[i] - lo
+	}
+	return s
+}
+
+// AverageReplace repairs misordered entries in place: any (i, j) with
+// Lo > Hi is replaced by the scalar mean of the two endpoints
+// (Supplementary Algorithm 3).
+func (m *IMatrix) AverageReplace() {
+	for i, lo := range m.Lo.Data {
+		if hi := m.Hi.Data[i]; lo > hi {
+			mean := (lo + hi) / 2
+			m.Lo.Data[i], m.Hi.Data[i] = mean, mean
+		}
+	}
+}
+
+// Mul returns the exact interval matrix product a × b defined by
+// Section 2.1 of the paper: every element is the interval dot product of
+// a row of a with a column of b, computed with interval addition and
+// multiplication. The result is inclusion-correct: for any member scalar
+// matrices A ∈ a and B ∈ b, A·B ∈ Mul(a, b).
+func Mul(a, b *IMatrix) *IMatrix {
+	if a.Cols() != b.Rows() {
+		panic(fmt.Sprintf("imatrix: Mul: %dx%d · %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols()))
+	}
+	n, k, m := a.Rows(), a.Cols(), b.Cols()
+	out := New(n, m)
+	for i := 0; i < n; i++ {
+		aLo := a.Lo.RowView(i)
+		aHi := a.Hi.RowView(i)
+		oLo := out.Lo.RowView(i)
+		oHi := out.Hi.RowView(i)
+		for t := 0; t < k; t++ {
+			al, ah := aLo[t], aHi[t]
+			bLo := b.Lo.RowView(t)
+			bHi := b.Hi.RowView(t)
+			for j := 0; j < m; j++ {
+				bl, bh := bLo[j], bHi[j]
+				p1 := al * bl
+				p2 := al * bh
+				p3 := ah * bl
+				p4 := ah * bh
+				lo := math.Min(math.Min(p1, p2), math.Min(p3, p4))
+				hi := math.Max(math.Max(p1, p2), math.Max(p3, p4))
+				oLo[j] += lo
+				oHi[j] += hi
+			}
+		}
+	}
+	return out
+}
+
+// MulEndpoints returns the approximate interval matrix product of
+// Supplementary Algorithm 1: four scalar products of the endpoint
+// matrices, combined elementwise by min and max. It is cheaper than Mul
+// and exact when both operands are entrywise non-negative (as with the
+// Gram matrices of non-negative data), but for mixed-sign operands it may
+// underestimate the true product range: its result is always contained in
+// Mul(a, b).
+func MulEndpoints(a, b *IMatrix) *IMatrix {
+	if a.Cols() != b.Rows() {
+		panic(fmt.Sprintf("imatrix: MulEndpoints: %dx%d · %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols()))
+	}
+	t1 := matrix.Mul(a.Lo, b.Lo)
+	t2 := matrix.Mul(a.Lo, b.Hi)
+	t3 := matrix.Mul(a.Hi, b.Lo)
+	t4 := matrix.Mul(a.Hi, b.Hi)
+	lo := matrix.New(a.Rows(), b.Cols())
+	hi := matrix.New(a.Rows(), b.Cols())
+	for i := range lo.Data {
+		lo.Data[i] = math.Min(math.Min(t1.Data[i], t2.Data[i]), math.Min(t3.Data[i], t4.Data[i]))
+		hi.Data[i] = math.Max(math.Max(t1.Data[i], t2.Data[i]), math.Max(t3.Data[i], t4.Data[i]))
+	}
+	return &IMatrix{Lo: lo, Hi: hi}
+}
+
+// MulScalarRight returns the exact interval product a × s for a scalar
+// right operand s: each term a[i,t]×s[t,j] is the interval scaled by the
+// scalar, so the endpoint roles swap only where s is negative.
+func MulScalarRight(a *IMatrix, s *matrix.Dense) *IMatrix {
+	if a.Cols() != s.Rows {
+		panic(fmt.Sprintf("imatrix: MulScalarRight: %dx%d · %dx%d", a.Rows(), a.Cols(), s.Rows, s.Cols))
+	}
+	// Split s into positive and negative parts: a×s = [aLo·s⁺ + aHi·s⁻,
+	// aHi·s⁺ + aLo·s⁻] where s⁺ has the non-negative entries and s⁻ the
+	// negative ones.
+	sp, sn := splitSigns(s)
+	lo := matrix.Add(matrix.Mul(a.Lo, sp), matrix.Mul(a.Hi, sn))
+	hi := matrix.Add(matrix.Mul(a.Hi, sp), matrix.Mul(a.Lo, sn))
+	return &IMatrix{Lo: lo, Hi: hi}
+}
+
+// MulScalarLeft returns the exact interval product s × a for a scalar
+// left operand s.
+func MulScalarLeft(s *matrix.Dense, a *IMatrix) *IMatrix {
+	if s.Cols != a.Rows() {
+		panic(fmt.Sprintf("imatrix: MulScalarLeft: %dx%d · %dx%d", s.Rows, s.Cols, a.Rows(), a.Cols()))
+	}
+	sp, sn := splitSigns(s)
+	lo := matrix.Add(matrix.Mul(sp, a.Lo), matrix.Mul(sn, a.Hi))
+	hi := matrix.Add(matrix.Mul(sp, a.Hi), matrix.Mul(sn, a.Lo))
+	return &IMatrix{Lo: lo, Hi: hi}
+}
+
+// MulEndpointsScalarRight is the Algorithm 1 (endpoint) counterpart of
+// MulScalarRight: with a scalar right operand the four endpoint products
+// collapse to two, a.Lo·s and a.Hi·s, combined elementwise by min/max.
+// This is the semantics the paper's reference implementation uses inside
+// ISVD3/ISVD4, and it produces much tighter (though not inclusion-
+// complete) intervals than the exact product when spans are large.
+func MulEndpointsScalarRight(a *IMatrix, s *matrix.Dense) *IMatrix {
+	t1 := matrix.Mul(a.Lo, s)
+	t2 := matrix.Mul(a.Hi, s)
+	return minMaxCombine(t1, t2)
+}
+
+// MulEndpointsScalarLeft is the endpoint counterpart of MulScalarLeft.
+func MulEndpointsScalarLeft(s *matrix.Dense, a *IMatrix) *IMatrix {
+	t1 := matrix.Mul(s, a.Lo)
+	t2 := matrix.Mul(s, a.Hi)
+	return minMaxCombine(t1, t2)
+}
+
+func minMaxCombine(t1, t2 *matrix.Dense) *IMatrix {
+	lo := matrix.New(t1.Rows, t1.Cols)
+	hi := matrix.New(t1.Rows, t1.Cols)
+	for i := range lo.Data {
+		lo.Data[i] = math.Min(t1.Data[i], t2.Data[i])
+		hi.Data[i] = math.Max(t1.Data[i], t2.Data[i])
+	}
+	return &IMatrix{Lo: lo, Hi: hi}
+}
+
+// splitSigns returns the non-negative and negative parts of s,
+// with s = sp + sn.
+func splitSigns(s *matrix.Dense) (sp, sn *matrix.Dense) {
+	sp = matrix.New(s.Rows, s.Cols)
+	sn = matrix.New(s.Rows, s.Cols)
+	for i, v := range s.Data {
+		if v >= 0 {
+			sp.Data[i] = v
+		} else {
+			sn.Data[i] = v
+		}
+	}
+	return sp, sn
+}
+
+// Hull returns the elementwise interval hull of a and b.
+func Hull(a, b *IMatrix) *IMatrix {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		panic("imatrix: Hull: shape mismatch")
+	}
+	out := New(a.Rows(), a.Cols())
+	for i := range out.Lo.Data {
+		out.Lo.Data[i] = math.Min(a.Lo.Data[i], b.Lo.Data[i])
+		out.Hi.Data[i] = math.Max(a.Hi.Data[i], b.Hi.Data[i])
+	}
+	return out
+}
+
+// InverseDiag returns the scalar inverse of a non-negative interval-valued
+// diagonal core matrix Σ† per Supplementary Algorithm 4 and
+// Section 4.4.2.1: the optimal inverse entry is the scalar
+// 2 / (σ_lo + σ_hi); zero diagonals invert to zero.
+func InverseDiag(sigma *IMatrix) *matrix.Dense {
+	if sigma.Rows() != sigma.Cols() {
+		panic("imatrix: InverseDiag: not square")
+	}
+	r := sigma.Rows()
+	out := matrix.New(r, r)
+	for i := 0; i < r; i++ {
+		lo, hi := sigma.Lo.At(i, i), sigma.Hi.At(i, i)
+		switch {
+		case lo == 0 && hi == 0:
+			out.Set(i, i, 0)
+		case lo == 0:
+			out.Set(i, i, 2/hi)
+		case hi == 0:
+			out.Set(i, i, 2/lo)
+		default:
+			out.Set(i, i, 2/(lo+hi))
+		}
+	}
+	return out
+}
+
+// DiagFromValues builds a degenerate (scalar) interval diagonal matrix.
+func DiagFromValues(d []float64) *IMatrix {
+	return FromScalar(matrix.Diag(d))
+}
+
+// DiagFromEndpoints builds an interval diagonal matrix from two diagonals.
+func DiagFromEndpoints(lo, hi []float64) *IMatrix {
+	if len(lo) != len(hi) {
+		panic("imatrix: DiagFromEndpoints: length mismatch")
+	}
+	return &IMatrix{Lo: matrix.Diag(lo), Hi: matrix.Diag(hi)}
+}
+
+// ContainsScalar reports whether the scalar matrix s lies elementwise
+// inside m (within tol slack at the endpoints).
+func (m *IMatrix) ContainsScalar(s *matrix.Dense, tol float64) bool {
+	if s.Rows != m.Rows() || s.Cols != m.Cols() {
+		return false
+	}
+	for i, v := range s.Data {
+		if v < m.Lo.Data[i]-tol || v > m.Hi.Data[i]+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the interval matrix row by row.
+func (m *IMatrix) String() string {
+	s := ""
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += m.At(i, j).String()
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,314 @@
+package imatrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/interval"
+	"repro/internal/matrix"
+)
+
+func randIMatrix(r *rand.Rand, rows, cols int) *IMatrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			a := r.NormFloat64()
+			b := a + r.Float64()
+			m.Set(i, j, interval.New(a, b))
+		}
+	}
+	return m
+}
+
+func TestAccessorsAndClone(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, interval.New(-1, 4))
+	if got := m.At(1, 2); !got.Equal(interval.New(-1, 4)) {
+		t.Fatalf("At = %v", got)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatal("shape wrong")
+	}
+	c := m.Clone()
+	c.Set(1, 2, interval.Scalar(0))
+	if !m.At(1, 2).Equal(interval.New(-1, 4)) {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestFromScalarAndMid(t *testing.T) {
+	s := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	m := FromScalar(s)
+	if !m.IsWellFormed() || m.MaxSpan() != 0 {
+		t.Fatal("FromScalar should be degenerate")
+	}
+	m.Set(0, 0, interval.New(0, 2))
+	if mid := m.Mid(); mid.At(0, 0) != 1 || mid.At(1, 1) != 4 {
+		t.Fatalf("Mid wrong:\n%v", mid)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := New(2, 3)
+	m.Set(0, 2, interval.New(1, 5))
+	mt := m.T()
+	if !mt.At(2, 0).Equal(interval.New(1, 5)) {
+		t.Fatal("transpose lost entry")
+	}
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatal("transpose shape wrong")
+	}
+}
+
+func TestMulDegenerateMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := matrix.New(3, 4)
+	b := matrix.New(4, 2)
+	for i := range a.Data {
+		a.Data[i] = r.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = r.NormFloat64()
+	}
+	got := Mul(FromScalar(a), FromScalar(b))
+	want := matrix.Mul(a, b)
+	if !matrix.Equal(got.Lo, want, 1e-12) || !matrix.Equal(got.Hi, want, 1e-12) {
+		t.Fatal("degenerate interval product disagrees with scalar product")
+	}
+}
+
+func TestMulKnownInterval(t *testing.T) {
+	// [1,2] × [3,4] + [0,1] × [-1,1] = [3,8] + [-1,1] = [2,9]
+	a := New(1, 2)
+	a.Set(0, 0, interval.New(1, 2))
+	a.Set(0, 1, interval.New(0, 1))
+	b := New(2, 1)
+	b.Set(0, 0, interval.New(3, 4))
+	b.Set(1, 0, interval.New(-1, 1))
+	got := Mul(a, b).At(0, 0)
+	if !got.ApproxEqual(interval.New(2, 9), 1e-12) {
+		t.Fatalf("Mul = %v, want [2, 9]", got)
+	}
+}
+
+func TestMulEndpointsContainedInMul(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		a := randIMatrix(r, 1+r.Intn(4), 1+r.Intn(4))
+		b := randIMatrix(r, a.Cols(), 1+r.Intn(4))
+		exact := Mul(a, b)
+		approx := MulEndpoints(a, b)
+		for i := range exact.Lo.Data {
+			if approx.Lo.Data[i] < exact.Lo.Data[i]-1e-9 ||
+				approx.Hi.Data[i] > exact.Hi.Data[i]+1e-9 {
+				t.Fatalf("trial %d: MulEndpoints not contained in Mul", trial)
+			}
+		}
+	}
+}
+
+func TestMulEndpointsExactForNonNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	a := New(3, 4)
+	b := New(4, 2)
+	for _, m := range []*IMatrix{a, b} {
+		for i := range m.Lo.Data {
+			lo := r.Float64()
+			m.Lo.Data[i] = lo
+			m.Hi.Data[i] = lo + r.Float64()
+		}
+	}
+	exact := Mul(a, b)
+	approx := MulEndpoints(a, b)
+	if !matrix.Equal(exact.Lo, approx.Lo, 1e-12) || !matrix.Equal(exact.Hi, approx.Hi, 1e-12) {
+		t.Fatal("MulEndpoints should be exact for non-negative operands")
+	}
+}
+
+func TestMulScalarSides(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := randIMatrix(r, 3, 4)
+	s := matrix.New(4, 2)
+	for i := range s.Data {
+		s.Data[i] = r.NormFloat64()
+	}
+	right := MulScalarRight(a, s)
+	full := Mul(a, FromScalar(s))
+	if !matrix.Equal(right.Lo, full.Lo, 1e-12) || !matrix.Equal(right.Hi, full.Hi, 1e-12) {
+		t.Fatal("MulScalarRight disagrees with Mul")
+	}
+	s2 := matrix.New(2, 3)
+	for i := range s2.Data {
+		s2.Data[i] = r.NormFloat64()
+	}
+	left := MulScalarLeft(s2, a)
+	full2 := Mul(FromScalar(s2), a)
+	if !matrix.Equal(left.Lo, full2.Lo, 1e-12) || !matrix.Equal(left.Hi, full2.Hi, 1e-12) {
+		t.Fatal("MulScalarLeft disagrees with Mul")
+	}
+}
+
+func TestAverageReplace(t *testing.T) {
+	m := New(1, 2)
+	m.Lo.Set(0, 0, 5)
+	m.Hi.Set(0, 0, 1) // misordered
+	m.Set(0, 1, interval.New(1, 2))
+	if m.IsWellFormed() {
+		t.Fatal("should be misordered")
+	}
+	m.AverageReplace()
+	if !m.IsWellFormed() {
+		t.Fatal("AverageReplace did not repair")
+	}
+	if got := m.At(0, 0); !got.Equal(interval.Scalar(3)) {
+		t.Fatalf("averaged to %v", got)
+	}
+	if got := m.At(0, 1); !got.Equal(interval.New(1, 2)) {
+		t.Fatal("well-formed entry disturbed")
+	}
+}
+
+func TestInverseDiag(t *testing.T) {
+	s := DiagFromEndpoints([]float64{2, 0, 4}, []float64{4, 0, 4})
+	inv := InverseDiag(s)
+	// 2/(2+4) = 1/3 for the interval entry; 0 for zero; 2/(4+4)=0.25 scalar.
+	if math.Abs(inv.At(0, 0)-1.0/3) > 1e-12 {
+		t.Errorf("inv[0][0] = %g", inv.At(0, 0))
+	}
+	if inv.At(1, 1) != 0 {
+		t.Errorf("zero diagonal inverted to %g", inv.At(1, 1))
+	}
+	if math.Abs(inv.At(2, 2)-0.25) > 1e-12 {
+		t.Errorf("inv[2][2] = %g", inv.At(2, 2))
+	}
+}
+
+func TestInverseDiagEpsilonOptimality(t *testing.T) {
+	// Section 4.4.2.1: σ = 2/(lo+hi) minimizes ε with σ·lo = 1-ε, σ·hi = 1+ε.
+	lo, hi := 3.0, 5.0
+	s := DiagFromEndpoints([]float64{lo}, []float64{hi})
+	sigma := InverseDiag(s).At(0, 0)
+	eps := 1 - sigma*lo
+	if math.Abs((sigma*hi)-(1+eps)) > 1e-12 {
+		t.Fatalf("ε asymmetric: lo gives %g, hi gives %g", 1-sigma*lo, sigma*hi-1)
+	}
+	want := (hi - lo) / (hi + lo)
+	if math.Abs(eps-want) > 1e-12 {
+		t.Fatalf("ε = %g, want %g", eps, want)
+	}
+}
+
+func TestHullAndContains(t *testing.T) {
+	a := New(1, 1)
+	a.Set(0, 0, interval.New(0, 2))
+	b := New(1, 1)
+	b.Set(0, 0, interval.New(1, 5))
+	h := Hull(a, b)
+	if !h.At(0, 0).Equal(interval.New(0, 5)) {
+		t.Fatalf("Hull = %v", h.At(0, 0))
+	}
+	s := matrix.FromRows([][]float64{{3}})
+	if !h.ContainsScalar(s, 0) {
+		t.Fatal("ContainsScalar false negative")
+	}
+	s.Set(0, 0, 6)
+	if h.ContainsScalar(s, 0) {
+		t.Fatal("ContainsScalar false positive")
+	}
+}
+
+func TestRowColVectors(t *testing.T) {
+	m := New(2, 2)
+	m.Set(0, 1, interval.New(1, 2))
+	row := m.Row(0)
+	if !row.At(1).Equal(interval.New(1, 2)) {
+		t.Fatal("Row wrong")
+	}
+	col := m.Col(1)
+	if !col.At(0).Equal(interval.New(1, 2)) {
+		t.Fatal("Col wrong")
+	}
+}
+
+func TestSpanMeasures(t *testing.T) {
+	m := New(1, 3)
+	m.Set(0, 0, interval.New(0, 1))
+	m.Set(0, 1, interval.New(0, 3))
+	if m.MaxSpan() != 3 || m.TotalSpan() != 4 {
+		t.Fatalf("MaxSpan=%g TotalSpan=%g", m.MaxSpan(), m.TotalSpan())
+	}
+}
+
+// Property: interval matrix multiplication is inclusion-correct — for any
+// member scalar matrices A ∈ A†, B ∈ B†, A·B ∈ A†×B†.
+func TestPropMulInclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, k, m := 1+r.Intn(4), 1+r.Intn(4), 1+r.Intn(4)
+		a := randIMatrix(r, n, k)
+		b := randIMatrix(r, k, m)
+		prod := Mul(a, b)
+		for trial := 0; trial < 5; trial++ {
+			// Sample member matrices at the endpoints (the extreme points,
+			// where violations would appear first).
+			sa := matrix.New(n, k)
+			for i := range sa.Data {
+				if r.Intn(2) == 0 {
+					sa.Data[i] = a.Lo.Data[i]
+				} else {
+					sa.Data[i] = a.Hi.Data[i]
+				}
+			}
+			sb := matrix.New(k, m)
+			for i := range sb.Data {
+				if r.Intn(2) == 0 {
+					sb.Data[i] = b.Lo.Data[i]
+				} else {
+					sb.Data[i] = b.Hi.Data[i]
+				}
+			}
+			if !prod.ContainsScalar(matrix.Mul(sa, sb), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: AverageReplace is idempotent and never widens spans.
+func TestPropAverageReplace(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := New(3, 3)
+		for i := range m.Lo.Data {
+			m.Lo.Data[i] = r.NormFloat64()
+			m.Hi.Data[i] = r.NormFloat64() // possibly misordered
+		}
+		before := m.Clone()
+		m.AverageReplace()
+		if !m.IsWellFormed() {
+			return false
+		}
+		once := m.Clone()
+		m.AverageReplace()
+		if !matrix.Equal(m.Lo, once.Lo, 0) || !matrix.Equal(m.Hi, once.Hi, 0) {
+			return false
+		}
+		// Spans never exceed |before| spans.
+		for i := range m.Lo.Data {
+			bs := math.Abs(before.Hi.Data[i] - before.Lo.Data[i])
+			if (m.Hi.Data[i] - m.Lo.Data[i]) > bs+1e-15 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

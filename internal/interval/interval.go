@@ -1,0 +1,148 @@
+// Package interval implements the interval algebra of Sunaga that the
+// paper adopts in Section 2.1 (Definitions 1-3): closed real intervals
+// [lo, hi] with addition, subtraction, multiplication, span, and a small
+// set of helpers (midpoint, containment, scaling) used throughout the
+// interval-valued matrix decomposition code.
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed interval [Lo, Hi] on the real line (Definition 1).
+// An Interval with Lo == Hi is scalar. The zero value is the scalar 0.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// New returns the interval [lo, hi]. It panics if lo > hi (after allowing
+// for NaN propagation, which is preserved): malformed intervals are
+// programming errors; use FromUnordered to build an interval from two
+// unordered endpoints.
+func New(lo, hi float64) Interval {
+	if lo > hi {
+		panic(fmt.Sprintf("interval: New(%g, %g): lo > hi", lo, hi))
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// FromUnordered returns the interval spanned by two unordered endpoints.
+func FromUnordered(a, b float64) Interval {
+	if a > b {
+		a, b = b, a
+	}
+	return Interval{Lo: a, Hi: b}
+}
+
+// Scalar returns the degenerate interval [v, v].
+func Scalar(v float64) Interval { return Interval{Lo: v, Hi: v} }
+
+// IsScalar reports whether the interval is degenerate (Lo == Hi).
+func (a Interval) IsScalar() bool { return a.Lo == a.Hi }
+
+// IsValid reports whether Lo <= Hi and both endpoints are finite.
+func (a Interval) IsValid() bool {
+	return a.Lo <= a.Hi && !math.IsInf(a.Lo, 0) && !math.IsInf(a.Hi, 0) &&
+		!math.IsNaN(a.Lo) && !math.IsNaN(a.Hi)
+}
+
+// Span returns the width hi - lo of the interval (Definition 2).
+func (a Interval) Span() float64 { return a.Hi - a.Lo }
+
+// Mid returns the midpoint (lo + hi) / 2 of the interval.
+func (a Interval) Mid() float64 { return (a.Lo + a.Hi) / 2 }
+
+// Radius returns half the span.
+func (a Interval) Radius() float64 { return (a.Hi - a.Lo) / 2 }
+
+// Contains reports whether v lies inside the closed interval.
+func (a Interval) Contains(v float64) bool { return a.Lo <= v && v <= a.Hi }
+
+// ContainsInterval reports whether b is entirely inside a.
+func (a Interval) ContainsInterval(b Interval) bool {
+	return a.Lo <= b.Lo && b.Hi <= a.Hi
+}
+
+// Intersects reports whether a and b share at least one point.
+func (a Interval) Intersects(b Interval) bool {
+	return a.Lo <= b.Hi && b.Lo <= a.Hi
+}
+
+// Add returns a + b (Definition 3).
+func (a Interval) Add(b Interval) Interval {
+	return Interval{Lo: a.Lo + b.Lo, Hi: a.Hi + b.Hi}
+}
+
+// Sub returns a - b (Definition 3): [a.Lo - b.Hi, a.Hi - b.Lo].
+func (a Interval) Sub(b Interval) Interval {
+	return Interval{Lo: a.Lo - b.Hi, Hi: a.Hi - b.Lo}
+}
+
+// Mul returns a × b (Definition 3): the min and max over the four
+// endpoint products.
+func (a Interval) Mul(b Interval) Interval {
+	p1 := a.Lo * b.Lo
+	p2 := a.Lo * b.Hi
+	p3 := a.Hi * b.Lo
+	p4 := a.Hi * b.Hi
+	return Interval{
+		Lo: math.Min(math.Min(p1, p2), math.Min(p3, p4)),
+		Hi: math.Max(math.Max(p1, p2), math.Max(p3, p4)),
+	}
+}
+
+// Scale returns the interval scaled by the scalar s. For s >= 0 the
+// result is [s*lo, s*hi]; for s < 0 the endpoints swap.
+func (a Interval) Scale(s float64) Interval {
+	if s >= 0 {
+		return Interval{Lo: s * a.Lo, Hi: s * a.Hi}
+	}
+	return Interval{Lo: s * a.Hi, Hi: s * a.Lo}
+}
+
+// Neg returns -a.
+func (a Interval) Neg() Interval { return Interval{Lo: -a.Hi, Hi: -a.Lo} }
+
+// Sq returns a × a. Unlike Mul(a, a), Sq uses the dependency-aware square:
+// the result is the true range of x² for x in a, which is tighter when the
+// interval straddles zero.
+func (a Interval) Sq() Interval {
+	lo2, hi2 := a.Lo*a.Lo, a.Hi*a.Hi
+	switch {
+	case a.Lo >= 0:
+		return Interval{Lo: lo2, Hi: hi2}
+	case a.Hi <= 0:
+		return Interval{Lo: hi2, Hi: lo2}
+	default:
+		return Interval{Lo: 0, Hi: math.Max(lo2, hi2)}
+	}
+}
+
+// Hull returns the smallest interval containing both a and b.
+func (a Interval) Hull(b Interval) Interval {
+	return Interval{Lo: math.Min(a.Lo, b.Lo), Hi: math.Max(a.Hi, b.Hi)}
+}
+
+// Clamp returns a with both endpoints clamped to [lo, hi].
+func (a Interval) Clamp(lo, hi float64) Interval {
+	cl := math.Min(math.Max(a.Lo, lo), hi)
+	ch := math.Min(math.Max(a.Hi, lo), hi)
+	return Interval{Lo: cl, Hi: ch}
+}
+
+// Equal reports exact endpoint equality.
+func (a Interval) Equal(b Interval) bool { return a.Lo == b.Lo && a.Hi == b.Hi }
+
+// ApproxEqual reports endpoint equality within tol.
+func (a Interval) ApproxEqual(b Interval, tol float64) bool {
+	return math.Abs(a.Lo-b.Lo) <= tol && math.Abs(a.Hi-b.Hi) <= tol
+}
+
+// String renders the interval as "[lo, hi]" or a bare scalar.
+func (a Interval) String() string {
+	if a.IsScalar() {
+		return fmt.Sprintf("%g", a.Lo)
+	}
+	return fmt.Sprintf("[%g, %g]", a.Lo, a.Hi)
+}

@@ -1,0 +1,212 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnMisordered(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(2,1) did not panic")
+		}
+	}()
+	New(2, 1)
+}
+
+func TestFromUnordered(t *testing.T) {
+	iv := FromUnordered(3, -1)
+	if iv.Lo != -1 || iv.Hi != 3 {
+		t.Fatalf("got %v", iv)
+	}
+}
+
+func TestScalarAndSpan(t *testing.T) {
+	s := Scalar(4.5)
+	if !s.IsScalar() || s.Span() != 0 || s.Mid() != 4.5 {
+		t.Fatalf("scalar misbehaved: %v", s)
+	}
+	iv := New(1, 5)
+	if iv.Span() != 4 || iv.Mid() != 3 || iv.Radius() != 2 {
+		t.Fatalf("span/mid/radius wrong: %v", iv)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, b := New(1, 2), New(3, 5)
+	if got := a.Add(b); !got.Equal(New(4, 7)) {
+		t.Errorf("Add: got %v", got)
+	}
+	if got := a.Sub(b); !got.Equal(New(-4, -1)) {
+		t.Errorf("Sub: got %v", got)
+	}
+}
+
+func TestMulSignCases(t *testing.T) {
+	cases := []struct{ a, b, want Interval }{
+		{New(1, 2), New(3, 4), New(3, 8)},
+		{New(-2, -1), New(3, 4), New(-8, -3)},
+		{New(-2, 3), New(-1, 4), New(-8, 12)},
+		{New(-2, -1), New(-4, -3), New(3, 8)},
+		{Scalar(0), New(-5, 7), Scalar(0)},
+	}
+	for _, c := range cases {
+		if got := c.a.Mul(c.b); !got.Equal(c.want) {
+			t.Errorf("%v × %v = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	iv := New(1, 3)
+	if got := iv.Scale(2); !got.Equal(New(2, 6)) {
+		t.Errorf("Scale(2) = %v", got)
+	}
+	if got := iv.Scale(-1); !got.Equal(New(-3, -1)) {
+		t.Errorf("Scale(-1) = %v", got)
+	}
+	// Scale must agree with Mul by the scalar interval.
+	if got, want := iv.Scale(-2.5), iv.Mul(Scalar(-2.5)); !got.Equal(want) {
+		t.Errorf("Scale(-2.5)=%v, Mul=%v", got, want)
+	}
+}
+
+func TestSqTighterThanMul(t *testing.T) {
+	a := New(-2, 3)
+	sq := a.Sq()
+	if !sq.Equal(New(0, 9)) {
+		t.Errorf("Sq = %v, want [0,9]", sq)
+	}
+	// Naive Mul(a, a) would give [-6, 9]; Sq must be contained in it.
+	if !a.Mul(a).ContainsInterval(sq) {
+		t.Error("Sq not contained in Mul(a,a)")
+	}
+}
+
+func TestHullClampContains(t *testing.T) {
+	a, b := New(1, 2), New(4, 6)
+	if got := a.Hull(b); !got.Equal(New(1, 6)) {
+		t.Errorf("Hull = %v", got)
+	}
+	if got := New(-1, 9).Clamp(0, 5); !got.Equal(New(0, 5)) {
+		t.Errorf("Clamp = %v", got)
+	}
+	if !a.Contains(1.5) || a.Contains(3) {
+		t.Error("Contains wrong")
+	}
+	if !New(0, 10).ContainsInterval(b) || b.ContainsInterval(New(0, 10)) {
+		t.Error("ContainsInterval wrong")
+	}
+	if !a.Intersects(New(2, 3)) || a.Intersects(New(2.1, 3)) {
+		t.Error("Intersects wrong")
+	}
+}
+
+func TestNegAndString(t *testing.T) {
+	if got := New(1, 2).Neg(); !got.Equal(New(-2, -1)) {
+		t.Errorf("Neg = %v", got)
+	}
+	if s := Scalar(3).String(); s != "3" {
+		t.Errorf("scalar String = %q", s)
+	}
+	if s := New(1, 2).String(); s != "[1, 2]" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestIsValid(t *testing.T) {
+	if !New(0, 1).IsValid() {
+		t.Error("valid interval reported invalid")
+	}
+	if (Interval{Lo: 2, Hi: 1}).IsValid() {
+		t.Error("misordered interval reported valid")
+	}
+	if (Interval{Lo: math.NaN(), Hi: 1}).IsValid() {
+		t.Error("NaN interval reported valid")
+	}
+	if (Interval{Lo: 0, Hi: math.Inf(1)}).IsValid() {
+		t.Error("Inf interval reported valid")
+	}
+}
+
+// randInterval produces a bounded random interval for property tests.
+func randInterval(r *rand.Rand) Interval {
+	a := r.Float64()*20 - 10
+	b := r.Float64()*20 - 10
+	return FromUnordered(a, b)
+}
+
+// Property: interval multiplication is inclusion-correct — the product of
+// any two member points lies inside the product interval.
+func TestPropMulInclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randInterval(r), randInterval(r)
+		prod := a.Mul(b)
+		for trial := 0; trial < 20; trial++ {
+			x := a.Lo + r.Float64()*a.Span()
+			y := b.Lo + r.Float64()*b.Span()
+			if !prod.Contains(x*y) && math.Abs(x*y-prod.Lo) > 1e-12 && math.Abs(x*y-prod.Hi) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add/Sub are inclusion-correct and Mul is commutative.
+func TestPropAlgebraLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randInterval(r), randInterval(r)
+		if !a.Mul(b).ApproxEqual(b.Mul(a), 1e-12) {
+			return false
+		}
+		if !a.Add(b).ApproxEqual(b.Add(a), 1e-12) {
+			return false
+		}
+		// x - y for members must be inside a.Sub(b).
+		sub := a.Sub(b)
+		x := a.Lo + r.Float64()*a.Span()
+		y := b.Lo + r.Float64()*b.Span()
+		return sub.Contains(x-y) || math.Abs(x-y-sub.Lo) < 1e-12 || math.Abs(x-y-sub.Hi) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Theorem 1 — a product of two non-zero intervals is scalar only
+// when both operands are scalar.
+func TestPropScalarTheorem(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randInterval(r), randInterval(r)
+		// Force genuinely non-scalar, non-zero intervals.
+		if a.Span() < 1e-6 {
+			a.Hi += 1
+		}
+		if b.Span() < 1e-6 {
+			b.Hi += 1
+		}
+		if a.Contains(0) && a.Lo == 0 && a.Hi == 0 {
+			return true
+		}
+		prod := a.Mul(b)
+		zeroA := a.Lo == 0 && a.Hi == 0
+		zeroB := b.Lo == 0 && b.Hi == 0
+		if !zeroA && !zeroB && prod.IsScalar() {
+			// Only possible when one operand is the zero interval.
+			return prod.Lo == 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,114 @@
+package interval
+
+import "math"
+
+// Vector is a dense interval-valued vector stored as two parallel
+// float64 slices (minimum and maximum endpoints). The split layout
+// mirrors the paper's M† = [M*, M^*] representation and lets scalar
+// linear-algebra kernels operate on each side without conversion.
+type Vector struct {
+	Lo, Hi []float64
+}
+
+// NewVector allocates a zero interval vector of length n.
+func NewVector(n int) Vector {
+	return Vector{Lo: make([]float64, n), Hi: make([]float64, n)}
+}
+
+// VectorOf builds a Vector from a slice of Intervals.
+func VectorOf(vals []Interval) Vector {
+	v := NewVector(len(vals))
+	for i, iv := range vals {
+		v.Lo[i], v.Hi[i] = iv.Lo, iv.Hi
+	}
+	return v
+}
+
+// Len returns the vector length.
+func (v Vector) Len() int { return len(v.Lo) }
+
+// At returns element i as an Interval.
+func (v Vector) At(i int) Interval { return Interval{Lo: v.Lo[i], Hi: v.Hi[i]} }
+
+// Set stores iv at position i.
+func (v Vector) Set(i int, iv Interval) { v.Lo[i], v.Hi[i] = iv.Lo, iv.Hi }
+
+// Clone returns a deep copy of the vector.
+func (v Vector) Clone() Vector {
+	out := NewVector(v.Len())
+	copy(out.Lo, v.Lo)
+	copy(out.Hi, v.Hi)
+	return out
+}
+
+// Dot returns the interval dot product v·w using interval multiplication
+// and addition (the operation underlying Theorem 2 of the paper).
+func (v Vector) Dot(w Vector) Interval {
+	if v.Len() != w.Len() {
+		panic("interval: Dot: length mismatch")
+	}
+	var acc Interval
+	for i := range v.Lo {
+		acc = acc.Add(v.At(i).Mul(w.At(i)))
+	}
+	return acc
+}
+
+// SelfDot returns v·v using the dependency-aware square, which is the
+// exact range of Σ x_i² (Theorem 2: scalar only when v is scalar).
+func (v Vector) SelfDot() Interval {
+	var acc Interval
+	for i := range v.Lo {
+		acc = acc.Add(v.At(i).Sq())
+	}
+	return acc
+}
+
+// MaxSpan returns the largest element span in the vector.
+func (v Vector) MaxSpan() float64 {
+	max := 0.0
+	for i := range v.Lo {
+		if s := v.Hi[i] - v.Lo[i]; s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// AverageReplace repairs misordered elements in place: whenever
+// Lo[i] > Hi[i], both endpoints are replaced by their mean
+// (Supplementary Algorithm 2).
+func (v Vector) AverageReplace() {
+	for i := range v.Lo {
+		if v.Lo[i] > v.Hi[i] {
+			m := (v.Lo[i] + v.Hi[i]) / 2
+			v.Lo[i], v.Hi[i] = m, m
+		}
+	}
+}
+
+// Mids returns the vector of midpoints.
+func (v Vector) Mids() []float64 {
+	out := make([]float64, v.Len())
+	for i := range out {
+		out[i] = (v.Lo[i] + v.Hi[i]) / 2
+	}
+	return out
+}
+
+// EuclideanDist returns the interval-valued Euclidean distance used by
+// the paper's NN classifier (Section 6.1.2):
+//
+//	dist(a, b) = sqrt( Σ (a.Lo-b.Lo)² + (a.Hi-b.Hi)² )
+func EuclideanDist(a, b Vector) float64 {
+	if a.Len() != b.Len() {
+		panic("interval: EuclideanDist: length mismatch")
+	}
+	var s float64
+	for i := range a.Lo {
+		dl := a.Lo[i] - b.Lo[i]
+		dh := a.Hi[i] - b.Hi[i]
+		s += dl*dl + dh*dh
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,144 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorBasics(t *testing.T) {
+	v := NewVector(3)
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	v.Set(1, New(2, 4))
+	if got := v.At(1); !got.Equal(New(2, 4)) {
+		t.Fatalf("At(1) = %v", got)
+	}
+	c := v.Clone()
+	c.Set(1, Scalar(0))
+	if !v.At(1).Equal(New(2, 4)) {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestVectorOfAndMids(t *testing.T) {
+	v := VectorOf([]Interval{New(0, 2), New(1, 3), Scalar(5)})
+	mids := v.Mids()
+	want := []float64{1, 2, 5}
+	for i := range want {
+		if mids[i] != want[i] {
+			t.Fatalf("mids[%d] = %g, want %g", i, mids[i], want[i])
+		}
+	}
+	if v.MaxSpan() != 2 {
+		t.Fatalf("MaxSpan = %g", v.MaxSpan())
+	}
+}
+
+func TestVectorDotScalarCase(t *testing.T) {
+	// All-scalar vectors must reproduce the ordinary dot product.
+	a := VectorOf([]Interval{Scalar(1), Scalar(2), Scalar(3)})
+	b := VectorOf([]Interval{Scalar(4), Scalar(-5), Scalar(6)})
+	got := a.Dot(b)
+	if !got.IsScalar() || got.Lo != 12 {
+		t.Fatalf("Dot = %v, want 12", got)
+	}
+}
+
+func TestSelfDotTheorem2(t *testing.T) {
+	// Theorem 2: x·x is scalar only if all entries are scalar.
+	scalarV := VectorOf([]Interval{Scalar(1), Scalar(-2)})
+	if !scalarV.SelfDot().IsScalar() {
+		t.Error("scalar vector SelfDot not scalar")
+	}
+	iv := VectorOf([]Interval{New(1, 2), Scalar(3)})
+	if iv.SelfDot().IsScalar() {
+		t.Error("interval vector SelfDot claims scalar")
+	}
+	// SelfDot lower bound uses the true square range: [-1,1]² ∋ 0.
+	straddle := VectorOf([]Interval{New(-1, 1)})
+	if got := straddle.SelfDot(); got.Lo != 0 || got.Hi != 1 {
+		t.Errorf("straddle SelfDot = %v, want [0,1]", got)
+	}
+}
+
+func TestAverageReplace(t *testing.T) {
+	v := NewVector(2)
+	v.Lo[0], v.Hi[0] = 3, 1 // misordered
+	v.Lo[1], v.Hi[1] = 1, 3 // fine
+	v.AverageReplace()
+	if v.Lo[0] != 2 || v.Hi[0] != 2 {
+		t.Errorf("misordered not averaged: [%g, %g]", v.Lo[0], v.Hi[0])
+	}
+	if v.Lo[1] != 1 || v.Hi[1] != 3 {
+		t.Errorf("well-formed entry disturbed: [%g, %g]", v.Lo[1], v.Hi[1])
+	}
+}
+
+func TestEuclideanDist(t *testing.T) {
+	a := VectorOf([]Interval{Scalar(0), Scalar(0)})
+	b := VectorOf([]Interval{Scalar(3), Scalar(4)})
+	// Scalar case: dist = sqrt(2)·usual distance because both endpoints move.
+	got := EuclideanDist(a, b)
+	want := math.Sqrt(2 * 25)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("dist = %g, want %g", got, want)
+	}
+	if EuclideanDist(a, a) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+}
+
+// Property: SelfDot of a vector always contains the squared norm of any
+// member scalar vector.
+func TestPropSelfDotInclusion(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(8)
+		v := NewVector(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, randInterval(r))
+		}
+		sd := v.SelfDot()
+		for trial := 0; trial < 10; trial++ {
+			var norm2 float64
+			for i := 0; i < n; i++ {
+				x := v.Lo[i] + r.Float64()*(v.Hi[i]-v.Lo[i])
+				norm2 += x * x
+			}
+			if norm2 < sd.Lo-1e-9 || norm2 > sd.Hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EuclideanDist is a metric on the endpoint representation
+// (symmetry and triangle inequality).
+func TestPropEuclideanMetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		mk := func() Vector {
+			v := NewVector(n)
+			for i := 0; i < n; i++ {
+				v.Set(i, randInterval(r))
+			}
+			return v
+		}
+		a, b, c := mk(), mk(), mk()
+		if math.Abs(EuclideanDist(a, b)-EuclideanDist(b, a)) > 1e-12 {
+			return false
+		}
+		return EuclideanDist(a, c) <= EuclideanDist(a, b)+EuclideanDist(b, c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package ipca implements the classical interval-valued PCA family the
+// paper discusses as related work (Section 2.3, refs [27]-[30]): the
+// Centers method (PCA of the midpoint matrix with interval scores
+// obtained by projecting the data boxes) and the Vertices method
+// (PCA of the vertex-expanded data, approximated here by its standard
+// moment-matching formulation to avoid the 2^m vertex blow-up).
+//
+// These serve as additional baselines: unlike ISVD they produce only a
+// row-space embedding (principal axes and interval scores), not a full
+// U·Σ·Vᵀ factorization, which is exactly the limitation the paper's
+// introduction motivates ISVD with.
+package ipca
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/eig"
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+)
+
+// Result of an interval PCA: principal axes (columns), their variances
+// (descending), and interval-valued scores of each input row.
+type Result struct {
+	// Axes is m×k, one principal axis per column (unit length).
+	Axes *matrix.Dense
+	// Variances holds the k leading eigenvalues of the covariance used.
+	Variances []float64
+	// Scores is n×k: the interval projection of every row box onto every
+	// axis.
+	Scores *imatrix.IMatrix
+	// CenterMeans is the column mean vector that was subtracted.
+	CenterMeans []float64
+}
+
+// ErrBadRank is returned for non-positive or too-large ranks.
+var ErrBadRank = errors.New("ipca: rank out of range")
+
+// Centers runs the Centers interval PCA: the principal axes are the
+// eigenvectors of the covariance of the interval midpoints, and each
+// data box projects to the exact interval of dot products between the
+// box and the axis.
+func Centers(m *imatrix.IMatrix, rank int) (*Result, error) {
+	if rank <= 0 || rank > m.Cols() {
+		return nil, fmt.Errorf("%w: %d with %d columns", ErrBadRank, rank, m.Cols())
+	}
+	mid := m.Mid()
+	means := columnMeans(mid)
+	cov := covariance(mid, means)
+	vals, vecs, err := eig.SymEig(cov)
+	if err != nil {
+		return nil, fmt.Errorf("ipca: Centers: %w", err)
+	}
+	axes := vecs.SubMatrix(0, vecs.Rows, 0, rank)
+	res := &Result{
+		Axes:        axes,
+		Variances:   clampNonNegative(vals[:rank]),
+		CenterMeans: means,
+	}
+	res.Scores = projectBoxes(m, axes, means)
+	return res, nil
+}
+
+// Vertices runs the moment-matching approximation of the Vertices
+// interval PCA: the covariance of the full vertex set of the data boxes
+// decomposes as cov(midpoints) + E[diag(radius²)/3] (each coordinate of
+// a box contributes an independent uniform spread), so the axes account
+// for the interval widths, not just the centers.
+func Vertices(m *imatrix.IMatrix, rank int) (*Result, error) {
+	if rank <= 0 || rank > m.Cols() {
+		return nil, fmt.Errorf("%w: %d with %d columns", ErrBadRank, rank, m.Cols())
+	}
+	mid := m.Mid()
+	means := columnMeans(mid)
+	cov := covariance(mid, means)
+	// Add the per-column mean squared radius / 3 to the diagonal.
+	n := float64(m.Rows())
+	for j := 0; j < m.Cols(); j++ {
+		var s float64
+		for i := 0; i < m.Rows(); i++ {
+			r := (m.Hi.At(i, j) - m.Lo.At(i, j)) / 2
+			s += r * r
+		}
+		cov.Set(j, j, cov.At(j, j)+s/(3*n))
+	}
+	vals, vecs, err := eig.SymEig(cov)
+	if err != nil {
+		return nil, fmt.Errorf("ipca: Vertices: %w", err)
+	}
+	axes := vecs.SubMatrix(0, vecs.Rows, 0, rank)
+	res := &Result{
+		Axes:        axes,
+		Variances:   clampNonNegative(vals[:rank]),
+		CenterMeans: means,
+	}
+	res.Scores = projectBoxes(m, axes, means)
+	return res, nil
+}
+
+// ReconstructMid maps the interval scores back through the axes to an
+// approximate reconstruction of the input (midpoints of the score
+// intervals; the axes are orthonormal so the pseudo-inverse is the
+// transpose).
+func (r *Result) ReconstructMid() *matrix.Dense {
+	scoreMid := r.Scores.Mid()
+	recon := matrix.MulT(scoreMid, r.Axes.T().T()) // scores·axesᵀ
+	for i := 0; i < recon.Rows; i++ {
+		row := recon.RowView(i)
+		for j := range row {
+			row[j] += r.CenterMeans[j]
+		}
+	}
+	return recon
+}
+
+// projectBoxes computes the exact interval of (x - mean)·axis over all
+// member points x of each row box: per coordinate, the negative or
+// positive endpoint is selected by the sign of the axis loading.
+func projectBoxes(m *imatrix.IMatrix, axes *matrix.Dense, means []float64) *imatrix.IMatrix {
+	n, k := m.Rows(), axes.Cols
+	scores := imatrix.New(n, k)
+	for i := 0; i < n; i++ {
+		lo := m.Lo.RowView(i)
+		hi := m.Hi.RowView(i)
+		for c := 0; c < k; c++ {
+			var sLo, sHi float64
+			for j := 0; j < m.Cols(); j++ {
+				a := axes.At(j, c)
+				l := lo[j] - means[j]
+				h := hi[j] - means[j]
+				if a >= 0 {
+					sLo += a * l
+					sHi += a * h
+				} else {
+					sLo += a * h
+					sHi += a * l
+				}
+			}
+			scores.Lo.Set(i, c, sLo)
+			scores.Hi.Set(i, c, sHi)
+		}
+	}
+	return scores
+}
+
+func columnMeans(m *matrix.Dense) []float64 {
+	means := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(m.Rows)
+	}
+	return means
+}
+
+// covariance returns the (population) covariance matrix of the rows.
+func covariance(m *matrix.Dense, means []float64) *matrix.Dense {
+	centered := m.Clone()
+	for i := 0; i < m.Rows; i++ {
+		row := centered.RowView(i)
+		for j := range row {
+			row[j] -= means[j]
+		}
+	}
+	cov := matrix.TMul(centered, centered)
+	inv := 1 / float64(m.Rows)
+	for i := range cov.Data {
+		cov.Data[i] *= inv
+	}
+	return cov
+}
+
+func clampNonNegative(vals []float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = math.Max(v, 0)
+	}
+	return out
+}

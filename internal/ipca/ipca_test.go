@@ -1,0 +1,188 @@
+package ipca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+	"repro/internal/matrix"
+)
+
+// elongatedCloud builds interval boxes around points stretched along a
+// known direction.
+func elongatedCloud(rng *rand.Rand, n int, halfSpan float64) *imatrix.IMatrix {
+	m := imatrix.New(n, 2)
+	for i := 0; i < n; i++ {
+		t := rng.NormFloat64() * 5 // dominant direction (1, 1)/√2
+		u := rng.NormFloat64() * 0.3
+		x := (t + u) / math.Sqrt2
+		y := (t - u) / math.Sqrt2
+		m.Set(i, 0, interval.New(x-halfSpan, x+halfSpan))
+		m.Set(i, 1, interval.New(y-halfSpan, y+halfSpan))
+	}
+	return m
+}
+
+func TestCentersFindsDominantDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := elongatedCloud(rng, 200, 0.2)
+	res, err := Centers(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First axis ≈ (1,1)/√2.
+	a0 := res.Axes.Col(0)
+	cos := math.Abs(a0[0]+a0[1]) / math.Sqrt2
+	if cos < 0.99 {
+		t.Fatalf("first axis %v not along (1,1): |cos| = %.4f", a0, cos)
+	}
+	if res.Variances[0] <= res.Variances[1] {
+		t.Fatal("variances not descending")
+	}
+}
+
+func TestScoresContainMemberProjections(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := elongatedCloud(rng, 50, 0.5)
+	res, err := Centers(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any member point's centered projection must lie inside the score
+	// interval of its row.
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(m.Rows())
+		x := make([]float64, 2)
+		for j := 0; j < 2; j++ {
+			iv := m.At(i, j)
+			x[j] = iv.Lo + rng.Float64()*iv.Span()
+		}
+		for c := 0; c < 2; c++ {
+			var p float64
+			for j := 0; j < 2; j++ {
+				p += (x[j] - res.CenterMeans[j]) * res.Axes.At(j, c)
+			}
+			sc := res.Scores.At(i, c)
+			if p < sc.Lo-1e-9 || p > sc.Hi+1e-9 {
+				t.Fatalf("projection %g outside score %v", p, sc)
+			}
+		}
+	}
+}
+
+func TestScalarDegenerateMatchesPCA(t *testing.T) {
+	// Scalar input: Centers and Vertices coincide and scores are scalar.
+	rng := rand.New(rand.NewSource(3))
+	s := matrix.New(40, 5)
+	for i := range s.Data {
+		s.Data[i] = rng.NormFloat64()
+	}
+	m := imatrix.FromScalar(s)
+	c, err := Centers(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Vertices(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Scores.MaxSpan() > 1e-12 {
+		t.Fatal("scalar input gave interval scores")
+	}
+	for i := range c.Variances {
+		if math.Abs(c.Variances[i]-v.Variances[i]) > 1e-9 {
+			t.Fatalf("Centers and Vertices disagree on scalar input: %v vs %v", c.Variances, v.Variances)
+		}
+	}
+}
+
+func TestVerticesAccountsForSpread(t *testing.T) {
+	// Two columns with equal midpoint variance, but column 1 has wide
+	// intervals: Vertices must allocate it more variance than Centers.
+	rng := rand.New(rand.NewSource(4))
+	m := imatrix.New(100, 2)
+	for i := 0; i < 100; i++ {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		m.Set(i, 0, interval.Scalar(a))
+		m.Set(i, 1, interval.New(b-2, b+2))
+	}
+	c, err := Centers(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Vertices(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Variances[0] <= c.Variances[0] {
+		t.Fatalf("Vertices top variance %.3f not above Centers %.3f", v.Variances[0], c.Variances[0])
+	}
+	// The wide column should dominate the first Vertices axis.
+	if math.Abs(v.Axes.At(1, 0)) < math.Abs(v.Axes.At(0, 0)) {
+		t.Fatalf("Vertices first axis ignores the wide column: %v", v.Axes.Col(0))
+	}
+}
+
+func TestReconstructMid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := elongatedCloud(rng, 60, 0.1)
+	res, err := Centers(m, 2) // full rank → near-exact reconstruction
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := res.ReconstructMid()
+	mid := m.Mid()
+	rel := matrix.Sub(mid, recon).Frobenius() / mid.Frobenius()
+	if rel > 1e-9 {
+		t.Fatalf("full-rank reconstruction error %g", rel)
+	}
+}
+
+func TestBadRank(t *testing.T) {
+	m := imatrix.New(4, 3)
+	if _, err := Centers(m, 0); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	if _, err := Vertices(m, 4); err == nil {
+		t.Fatal("rank > cols accepted")
+	}
+}
+
+// Property: axes are orthonormal and variances descending for both
+// methods on random interval data.
+func TestPropAxesOrthonormal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, mcols := 5+rng.Intn(20), 2+rng.Intn(4)
+		m := imatrix.New(n, mcols)
+		for i := 0; i < n; i++ {
+			for j := 0; j < mcols; j++ {
+				a := rng.NormFloat64()
+				m.Set(i, j, interval.New(a, a+rng.Float64()))
+			}
+		}
+		for _, method := range []func(*imatrix.IMatrix, int) (*Result, error){Centers, Vertices} {
+			res, err := method(m, mcols)
+			if err != nil {
+				return false
+			}
+			gram := matrix.TMul(res.Axes, res.Axes)
+			if !matrix.Equal(gram, matrix.Identity(mcols), 1e-8) {
+				return false
+			}
+			for i := 1; i < len(res.Variances); i++ {
+				if res.Variances[i] > res.Variances[i-1]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,279 @@
+// Package ipmf implements probabilistic matrix factorization for scalar
+// and interval-valued matrices: PMF (Salakhutdinov & Mnih, Section 2.2.3
+// of the paper), I-PMF (Shen et al., Section 5), and the paper's proposed
+// AI-PMF, which adds interval latent semantic alignment (ILSA) to the
+// I-PMF gradient-descent loop.
+//
+// All variants treat zero cells as unobserved (the indicator I_ij of the
+// PMF likelihood) and train with stochastic gradient descent over the
+// observed cells.
+package ipmf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/align"
+	"repro/internal/assign"
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+)
+
+// Config holds the hyper-parameters shared by PMF, I-PMF, and AI-PMF.
+type Config struct {
+	// Rank is the latent dimensionality r.
+	Rank int
+	// LearningRate of the SGD updates (default 0.005).
+	LearningRate float64
+	// LambdaU and LambdaV are the ridge penalties λ_U and λ_V
+	// (default 0.05).
+	LambdaU, LambdaV float64
+	// Epochs is the number of full passes over the observed cells
+	// (default 60).
+	Epochs int
+	// AlignEvery applies ILSA to (V*, V^*) every k epochs in AI-PMF
+	// (default 1, i.e. every epoch). Ignored by PMF and I-PMF.
+	AlignEvery int
+	// AlignBurnIn is the fraction of epochs to run before the first
+	// alignment (default 0.25). Aligning a still-forming latent space
+	// permutes essentially random columns and hurts convergence; after
+	// burn-in, ILSA only repairs genuinely mismatched or sign-flipped
+	// dimensions.
+	AlignBurnIn float64
+	// Assign selects the ILSA matching algorithm (default Hungarian).
+	Assign assign.Method
+}
+
+func (c Config) withDefaults() Config {
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.005
+	}
+	if c.LambdaU == 0 {
+		c.LambdaU = 0.05
+	}
+	if c.LambdaV == 0 {
+		c.LambdaV = 0.05
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 60
+	}
+	if c.AlignEvery == 0 {
+		c.AlignEvery = 1
+	}
+	if c.AlignBurnIn == 0 {
+		c.AlignBurnIn = 0.25
+	}
+	return c
+}
+
+func (c Config) validate(rank int) error {
+	if c.Rank <= 0 {
+		return fmt.Errorf("ipmf: non-positive rank %d", c.Rank)
+	}
+	_ = rank
+	return nil
+}
+
+// Model is a trained scalar PMF model.
+type Model struct {
+	U, V *matrix.Dense // n×r and m×r
+}
+
+// Predict returns the model's estimate for cell (i, j).
+func (m *Model) Predict(i, j int) float64 {
+	var s float64
+	ui := m.U.RowView(i)
+	vj := m.V.RowView(j)
+	for t := range ui {
+		s += ui[t] * vj[t]
+	}
+	return s
+}
+
+// IntervalModel is a trained interval PMF model (I-PMF or AI-PMF):
+// a shared scalar U with interval-valued V† = [V*, V^*].
+type IntervalModel struct {
+	U        *matrix.Dense
+	VLo, VHi *matrix.Dense
+}
+
+// Predict returns the midpoint estimate U_i · mid(V†)_j for cell (i, j).
+func (m *IntervalModel) Predict(i, j int) float64 {
+	var s float64
+	ui := m.U.RowView(i)
+	lo := m.VLo.RowView(j)
+	hi := m.VHi.RowView(j)
+	for t := range ui {
+		s += ui[t] * (lo[t] + hi[t]) / 2
+	}
+	return s
+}
+
+// PredictInterval returns the interval estimate [U_i·V*_j, U_i·V^*_j]
+// (endpoints swapped into order if needed).
+func (m *IntervalModel) PredictInterval(i, j int) (lo, hi float64) {
+	var a, b float64
+	ui := m.U.RowView(i)
+	vl := m.VLo.RowView(j)
+	vh := m.VHi.RowView(j)
+	for t := range ui {
+		a += ui[t] * vl[t]
+		b += ui[t] * vh[t]
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return a, b
+}
+
+// cell is one observed training entry.
+type cell struct{ i, j int }
+
+// observedScalar lists the non-zero cells of a scalar matrix.
+func observedScalar(m *matrix.Dense) []cell {
+	var out []cell
+	for i := 0; i < m.Rows; i++ {
+		row := m.RowView(i)
+		for j, v := range row {
+			if v != 0 {
+				out = append(out, cell{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// observedInterval lists the cells of an interval matrix where either
+// endpoint is non-zero.
+func observedInterval(m *imatrix.IMatrix) []cell {
+	var out []cell
+	for i := 0; i < m.Rows(); i++ {
+		lo := m.Lo.RowView(i)
+		hi := m.Hi.RowView(i)
+		for j := range lo {
+			if lo[j] != 0 || hi[j] != 0 {
+				out = append(out, cell{i, j})
+			}
+		}
+	}
+	return out
+}
+
+func randFactor(rows, cols int, rng *rand.Rand) *matrix.Dense {
+	m := matrix.New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * 0.1
+	}
+	return m
+}
+
+// TrainPMF fits the scalar PMF baseline on the non-zero cells of m.
+func TrainPMF(m *matrix.Dense, cfg Config, rng *rand.Rand) (*Model, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(cfg.Rank); err != nil {
+		return nil, err
+	}
+	r := cfg.Rank
+	u := randFactor(m.Rows, r, rng)
+	v := randFactor(m.Cols, r, rng)
+	obs := observedScalar(m)
+	lr := cfg.LearningRate
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(obs), func(a, b int) { obs[a], obs[b] = obs[b], obs[a] })
+		for _, c := range obs {
+			ui := u.RowView(c.i)
+			vj := v.RowView(c.j)
+			var pred float64
+			for t := 0; t < r; t++ {
+				pred += ui[t] * vj[t]
+			}
+			e := pred - m.At(c.i, c.j)
+			for t := 0; t < r; t++ {
+				gu := e*vj[t] + cfg.LambdaU*ui[t]
+				gv := e*ui[t] + cfg.LambdaV*vj[t]
+				ui[t] -= lr * gu
+				vj[t] -= lr * gv
+			}
+		}
+	}
+	return &Model{U: u, V: v}, nil
+}
+
+// trainInterval is the shared I-PMF/AI-PMF loop (Section 5; Supplementary
+// Algorithm 15). When alignEvery > 0 the V† sides are re-aligned by ILSA,
+// making it AI-PMF.
+func trainInterval(m *imatrix.IMatrix, cfg Config, rng *rand.Rand, alignEach bool) (*IntervalModel, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(cfg.Rank); err != nil {
+		return nil, err
+	}
+	r := cfg.Rank
+	u := randFactor(m.Rows(), r, rng)
+	vLo := randFactor(m.Cols(), r, rng)
+	vHi := randFactor(m.Cols(), r, rng)
+	obs := observedInterval(m)
+	lr := cfg.LearningRate
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(obs), func(a, b int) { obs[a], obs[b] = obs[b], obs[a] })
+		for _, c := range obs {
+			ui := u.RowView(c.i)
+			lo := vLo.RowView(c.j)
+			hi := vHi.RowView(c.j)
+			var pLo, pHi float64
+			for t := 0; t < r; t++ {
+				pLo += ui[t] * lo[t]
+				pHi += ui[t] * hi[t]
+			}
+			eLo := pLo - m.Lo.At(c.i, c.j)
+			eHi := pHi - m.Hi.At(c.i, c.j)
+			for t := 0; t < r; t++ {
+				gu := eLo*lo[t] + eHi*hi[t] + cfg.LambdaU*ui[t]
+				gLo := eLo*ui[t] + cfg.LambdaV*lo[t]
+				gHi := eHi*ui[t] + cfg.LambdaV*hi[t]
+				ui[t] -= lr * gu
+				lo[t] -= lr * gLo
+				hi[t] -= lr * gHi
+			}
+		}
+		// AI-PMF: re-align the V sides between epochs ("in each gradient
+		// descent iteration", Section 5). The alignment permutes/flips V*
+		// columns to match V^*; subsequent epochs let U co-adapt, pulling
+		// the two sides toward a shared latent space. No alignment runs
+		// after the final epoch, so the returned factors are always
+		// SGD-consistent with U.
+		burnIn := int(cfg.AlignBurnIn * float64(cfg.Epochs))
+		if alignEach && epoch >= burnIn && epoch < cfg.Epochs-1 && (epoch+1)%cfg.AlignEvery == 0 {
+			realign(vLo, vHi, cfg.Assign)
+		}
+	}
+	return &IntervalModel{U: u, VLo: vLo, VHi: vHi}, nil
+}
+
+// realign applies ILSA between the V sides: the minimum-side columns are
+// permuted and sign-flipped to match the maximum side (Algorithm 15 lines
+// 19-26 permute V*; here the matched Vlo column replaces column j). The
+// alignment is applied only when it strictly improves the summed |cos|
+// over the current identity pairing, so a converged, already-aligned
+// model is never perturbed.
+func realign(vLo, vHi *matrix.Dense, method assign.Method) {
+	res := align.ILSA(vHi, vLo, method) // align vLo's columns to vHi's
+	var matched, identity float64
+	idCos := align.ColumnCosines(vHi, vLo)
+	for j := range res.Cos {
+		matched += res.Cos[j]
+		identity += idCos[j]
+	}
+	if matched > identity+1e-9 {
+		res.Apply(nil, vLo, nil)
+	}
+}
+
+// TrainIPMF fits I-PMF (no alignment).
+func TrainIPMF(m *imatrix.IMatrix, cfg Config, rng *rand.Rand) (*IntervalModel, error) {
+	return trainInterval(m, cfg, rng, false)
+}
+
+// TrainAIPMF fits the paper's aligned interval PMF.
+func TrainAIPMF(m *imatrix.IMatrix, cfg Config, rng *rand.Rand) (*IntervalModel, error) {
+	return trainInterval(m, cfg, rng, true)
+}

@@ -1,0 +1,189 @@
+package ipmf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+	"repro/internal/matrix"
+)
+
+// lowRankScalar builds a noiseless rank-k rating-like matrix with a
+// sparse observation mask.
+func lowRankScalar(rng *rand.Rand, n, m, k int, density float64) *matrix.Dense {
+	p := matrix.New(n, k)
+	q := matrix.New(m, k)
+	for i := range p.Data {
+		p.Data[i] = rng.NormFloat64()
+	}
+	for i := range q.Data {
+		q.Data[i] = rng.NormFloat64()
+	}
+	full := matrix.MulT(p, q)
+	out := matrix.New(n, m)
+	for i := range full.Data {
+		if rng.Float64() < density {
+			out.Data[i] = full.Data[i] + 3 // shift away from 0 so cells count as observed
+		}
+	}
+	return out
+}
+
+func TestPMFFitsLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := lowRankScalar(rng, 30, 25, 3, 0.6)
+	model, err := TrainPMF(m, Config{Rank: 5, Epochs: 150, LearningRate: 0.01}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training error on observed cells should be small.
+	var se, n float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != 0 {
+				d := model.Predict(i, j) - m.At(i, j)
+				se += d * d
+				n++
+			}
+		}
+	}
+	rmse := math.Sqrt(se / n)
+	if rmse > 0.25 {
+		t.Fatalf("PMF training RMSE = %.3f, want < 0.25", rmse)
+	}
+}
+
+func TestPMFValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := matrix.New(4, 4)
+	if _, err := TrainPMF(m, Config{Rank: 0}, rng); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+}
+
+func intervalLowRank(rng *rand.Rand, n, m, k int, density, halfSpan float64) *imatrix.IMatrix {
+	base := lowRankScalar(rng, n, m, k, density)
+	out := imatrix.New(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if v := base.At(i, j); v != 0 {
+				out.Set(i, j, interval.New(v-halfSpan, v+halfSpan))
+			}
+		}
+	}
+	return out
+}
+
+func TestIPMFFitsIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := intervalLowRank(rng, 30, 25, 3, 0.6, 0.3)
+	model, err := TrainIPMF(m, Config{Rank: 5, Epochs: 150, LearningRate: 0.01}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se, n float64
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			iv := m.At(i, j)
+			if iv.Lo == 0 && iv.Hi == 0 {
+				continue
+			}
+			d := model.Predict(i, j) - iv.Mid()
+			se += d * d
+			n++
+		}
+	}
+	rmse := math.Sqrt(se / n)
+	if rmse > 0.3 {
+		t.Fatalf("I-PMF midpoint RMSE = %.3f", rmse)
+	}
+}
+
+func TestAIPMFNotWorseThanIPMF(t *testing.T) {
+	// The paper's core claim for Section 5: alignment does not hurt, and
+	// with interval data it helps. Compare held-out midpoint RMSE.
+	rng := rand.New(rand.NewSource(4))
+	m := intervalLowRank(rng, 40, 30, 3, 0.5, 0.4)
+	// Hold out 20% of observed cells.
+	type c struct{ i, j int }
+	var obs []c
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			iv := m.At(i, j)
+			if iv.Lo != 0 || iv.Hi != 0 {
+				obs = append(obs, c{i, j})
+			}
+		}
+	}
+	rng.Shuffle(len(obs), func(a, b int) { obs[a], obs[b] = obs[b], obs[a] })
+	cut := len(obs) / 5
+	held := obs[:cut]
+	train := m.Clone()
+	for _, cc := range held {
+		train.Set(cc.i, cc.j, interval.Scalar(0))
+	}
+	cfg := Config{Rank: 5, Epochs: 120, LearningRate: 0.01}
+	evalModel := func(model *IntervalModel) float64 {
+		var se float64
+		for _, cc := range held {
+			d := model.Predict(cc.i, cc.j) - m.At(cc.i, cc.j).Mid()
+			se += d * d
+		}
+		return math.Sqrt(se / float64(len(held)))
+	}
+	ipmf, err := TrainIPMF(train, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aipmf, err := TrainAIPMF(train, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, ra := evalModel(ipmf), evalModel(aipmf)
+	if ra > ri*1.15 {
+		t.Fatalf("AI-PMF RMSE %.4f clearly worse than I-PMF %.4f", ra, ri)
+	}
+}
+
+func TestPredictInterval(t *testing.T) {
+	model := &IntervalModel{
+		U:   matrix.FromRows([][]float64{{1, 2}}),
+		VLo: matrix.FromRows([][]float64{{1, 0}}),
+		VHi: matrix.FromRows([][]float64{{2, 1}}),
+	}
+	lo, hi := model.PredictInterval(0, 0)
+	if lo != 1 || hi != 4 {
+		t.Fatalf("PredictInterval = [%g, %g], want [1, 4]", lo, hi)
+	}
+	if mid := model.Predict(0, 0); mid != 2.5 {
+		t.Fatalf("Predict = %g, want 2.5", mid)
+	}
+	// Swapped endpoints are reordered.
+	model.VLo, model.VHi = model.VHi, model.VLo
+	lo, hi = model.PredictInterval(0, 0)
+	if lo != 1 || hi != 4 {
+		t.Fatalf("swapped PredictInterval = [%g, %g]", lo, hi)
+	}
+}
+
+func TestObservedMasks(t *testing.T) {
+	m := matrix.New(2, 2)
+	m.Set(0, 1, 5)
+	if got := observedScalar(m); len(got) != 1 || got[0] != (cell{0, 1}) {
+		t.Fatalf("observedScalar = %v", got)
+	}
+	im := imatrix.New(2, 2)
+	im.Set(1, 0, interval.New(0, 2)) // Lo 0, Hi non-zero → observed
+	if got := observedInterval(im); len(got) != 1 || got[0] != (cell{1, 0}) {
+		t.Fatalf("observedInterval = %v", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := (Config{Rank: 3}).withDefaults()
+	if c.LearningRate != 0.005 || c.LambdaU != 0.05 || c.Epochs != 60 || c.AlignEvery != 1 {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}

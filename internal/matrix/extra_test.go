@@ -1,0 +1,83 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	m := FromRows([][]float64{{1.5, 2}, {3, 4}})
+	s := m.String()
+	if !strings.Contains(s, "1.5") || strings.Count(s, "\n") != 2 {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestDiagonalRectangular(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	d := m.Diagonal()
+	if len(d) != 2 || d[0] != 1 || d[1] != 5 {
+		t.Fatalf("Diagonal = %v", d)
+	}
+}
+
+func TestSetRowAndRowView(t *testing.T) {
+	m := New(2, 3)
+	m.SetRow(1, []float64{7, 8, 9})
+	if m.At(1, 2) != 9 {
+		t.Fatal("SetRow failed")
+	}
+	rv := m.RowView(1)
+	rv[0] = 70
+	if m.At(1, 0) != 70 {
+		t.Fatal("RowView not aliasing")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	m := New(2, 3)
+	check("FromRows empty", func() { FromRows(nil) })
+	check("FromRows ragged", func() { FromRows([][]float64{{1, 2}, {3}}) })
+	check("Mul", func() { Mul(m, m) })
+	check("MulT", func() { MulT(m, New(2, 4)) })
+	check("TMul", func() { TMul(m, New(3, 2)) })
+	check("Add", func() { Add(m, New(3, 2)) })
+	check("Sub", func() { Sub(m, New(3, 2)) })
+	check("Mean", func() { Mean(m, New(3, 2)) })
+	check("SetCol", func() { m.SetCol(0, []float64{1}) })
+	check("SetRow", func() { m.SetRow(0, []float64{1}) })
+	check("SubMatrix", func() { m.SubMatrix(0, 3, 0, 1) })
+}
+
+func TestInverseNotSquare(t *testing.T) {
+	if _, err := Inverse(New(2, 3)); err == nil {
+		t.Fatal("non-square Inverse accepted")
+	}
+	if _, err := Solve(New(2, 3), New(2, 1)); err == nil {
+		t.Fatal("non-square Solve accepted")
+	}
+	if _, err := Solve(New(2, 2), New(3, 1)); err == nil {
+		t.Fatal("mismatched Solve accepted")
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, New(2, 1)); err == nil {
+		t.Fatal("singular Solve accepted")
+	}
+}
+
+func TestEqualShapeMismatch(t *testing.T) {
+	if Equal(New(2, 2), New(2, 3), 1) {
+		t.Fatal("different shapes reported equal")
+	}
+}

@@ -1,0 +1,132 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrSingular is returned by Inverse and Solve when the matrix is
+// numerically singular.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// Inverse returns the inverse of the square matrix m computed by
+// Gauss-Jordan elimination with partial pivoting. It returns
+// ErrSingular when a pivot underflows.
+func Inverse(m *Dense) (*Dense, error) {
+	if m.Rows != m.Cols {
+		return nil, errors.New("matrix: Inverse: not square")
+	}
+	n := m.Rows
+	// Augmented [A | I] worked in place.
+	a := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Partial pivot: largest |a[row][col]| for row >= col.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		p := a.At(col, col)
+		scaleRow(a, col, 1/p)
+		scaleRow(inv, col, 1/p)
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			axpyRow(a, r, col, -f)
+			axpyRow(inv, r, col, -f)
+		}
+	}
+	return inv, nil
+}
+
+// Solve returns x solving a·x = b for square a (b may have multiple
+// columns), via Gaussian elimination with partial pivoting.
+func Solve(a, b *Dense) (*Dense, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("matrix: Solve: coefficient matrix not square")
+	}
+	if a.Rows != b.Rows {
+		return nil, errors.New("matrix: Solve: dimension mismatch")
+	}
+	n := a.Rows
+	lu := a.Clone()
+	x := b.Clone()
+	for col := 0; col < n; col++ {
+		pivot := col
+		best := math.Abs(lu.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(lu.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(lu, pivot, col)
+			swapRows(x, pivot, col)
+		}
+		for r := col + 1; r < n; r++ {
+			f := lu.At(r, col) / lu.At(col, col)
+			if f == 0 {
+				continue
+			}
+			axpyRow(lu, r, col, -f)
+			axpyRow(x, r, col, -f)
+		}
+	}
+	// Back substitution.
+	for col := n - 1; col >= 0; col-- {
+		p := lu.At(col, col)
+		scaleRow(x, col, 1/p)
+		scaleRow(lu, col, 1/p)
+		for r := 0; r < col; r++ {
+			f := lu.At(r, col)
+			if f == 0 {
+				continue
+			}
+			axpyRow(x, r, col, -f)
+			axpyRow(lu, r, col, -f)
+		}
+	}
+	return x, nil
+}
+
+func swapRows(m *Dense, i, j int) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func scaleRow(m *Dense, i int, s float64) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	for k := range ri {
+		ri[k] *= s
+	}
+}
+
+// axpyRow adds s times row j to row i.
+func axpyRow(m *Dense, i, j int, s float64) {
+	ri := m.Data[i*m.Cols : (i+1)*m.Cols]
+	rj := m.Data[j*m.Cols : (j+1)*m.Cols]
+	for k := range ri {
+		ri[k] += s * rj[k]
+	}
+}

@@ -1,0 +1,144 @@
+// Package metrics implements the evaluation measures used across the
+// paper's experiments: root-mean-square error (reconstruction and rating
+// prediction), macro-averaged F1 score (NN classification), and
+// normalized mutual information (clustering quality, via Cover & Thomas).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// RMSE returns the root-mean-square error between two equal-length
+// slices. It panics on length mismatch and returns 0 for empty input.
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("metrics: RMSE: %d vs %d values", len(pred), len(truth)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range pred {
+		d := pred[i] - truth[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred)))
+}
+
+// MatrixRMSE returns the RMSE between two flat float64 slices interpreted
+// as matrices (a convenience for dense reconstruction error).
+func MatrixRMSE(a, b []float64) float64 { return RMSE(a, b) }
+
+// F1Macro returns the macro-averaged F1 score of a multi-class
+// prediction: per-class F1 (harmonic mean of precision and recall, 0 when
+// undefined), averaged over the classes present in the ground truth.
+func F1Macro(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic(fmt.Sprintf("metrics: F1Macro: %d vs %d labels", len(pred), len(truth)))
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	classes := map[int]bool{}
+	for _, c := range truth {
+		classes[c] = true
+	}
+	tp := map[int]int{}
+	fp := map[int]int{}
+	fn := map[int]int{}
+	for i := range truth {
+		if pred[i] == truth[i] {
+			tp[truth[i]]++
+		} else {
+			fp[pred[i]]++
+			fn[truth[i]]++
+		}
+	}
+	var sum float64
+	for c := range classes {
+		p := safeDiv(float64(tp[c]), float64(tp[c]+fp[c]))
+		r := safeDiv(float64(tp[c]), float64(tp[c]+fn[c]))
+		if p+r > 0 {
+			sum += 2 * p * r / (p + r)
+		}
+	}
+	return sum / float64(len(classes))
+}
+
+// Accuracy returns the fraction of matching labels.
+func Accuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("metrics: Accuracy: length mismatch")
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	hit := 0
+	for i := range truth {
+		if pred[i] == truth[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// NMI returns the normalized mutual information between two labelings,
+// I(A;B) / sqrt(H(A)·H(B)), in [0, 1]. Identical (up to renaming)
+// labelings give 1; independent labelings give ≈0. If either labeling has
+// zero entropy, NMI is 1 when both are constant and 0 otherwise.
+func NMI(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: NMI: %d vs %d labels", len(a), len(b)))
+	}
+	n := float64(len(a))
+	if n == 0 {
+		return 0
+	}
+	ca := map[int]float64{}
+	cb := map[int]float64{}
+	joint := map[[2]int]float64{}
+	for i := range a {
+		ca[a[i]]++
+		cb[b[i]]++
+		joint[[2]int{a[i], b[i]}]++
+	}
+	ha := entropy(ca, n)
+	hb := entropy(cb, n)
+	if ha == 0 || hb == 0 {
+		if ha == 0 && hb == 0 {
+			return 1
+		}
+		return 0
+	}
+	var mi float64
+	for k, nij := range joint {
+		pij := nij / n
+		mi += pij * math.Log(pij*n*n/(ca[k[0]]*cb[k[1]]))
+	}
+	nmi := mi / math.Sqrt(ha*hb)
+	// Guard tiny floating point overshoot.
+	if nmi > 1 {
+		nmi = 1
+	}
+	if nmi < 0 {
+		nmi = 0
+	}
+	return nmi
+}
+
+func entropy(counts map[int]float64, n float64) float64 {
+	var h float64
+	for _, c := range counts {
+		p := c / n
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

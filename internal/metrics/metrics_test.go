@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Fatalf("identical RMSE = %g", got)
+	}
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMSE = %g", got)
+	}
+	if RMSE(nil, nil) != 0 {
+		t.Fatal("empty RMSE != 0")
+	}
+}
+
+func TestRMSEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestF1MacroPerfect(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2}
+	if got := F1Macro(truth, truth); got != 1 {
+		t.Fatalf("perfect F1 = %g", got)
+	}
+}
+
+func TestF1MacroKnown(t *testing.T) {
+	// Two classes; class 0: tp=1 fp=1 fn=1 → P=R=0.5 → F1=0.5.
+	// Class 1: tp=1 fp=1 fn=1 → F1=0.5. Macro = 0.5.
+	truth := []int{0, 0, 1, 1}
+	pred := []int{0, 1, 1, 0}
+	if got := F1Macro(pred, truth); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("F1 = %g, want 0.5", got)
+	}
+}
+
+func TestF1MacroAllWrong(t *testing.T) {
+	truth := []int{0, 0, 0}
+	pred := []int{1, 1, 1}
+	if got := F1Macro(pred, truth); got != 0 {
+		t.Fatalf("all-wrong F1 = %g", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("accuracy = %g", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy != 0")
+	}
+}
+
+func TestNMIIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if got := NMI(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI(a,a) = %g", got)
+	}
+	// Renamed labels still give 1.
+	b := []int{5, 5, 9, 9, 7, 7}
+	if got := NMI(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("NMI renamed = %g", got)
+	}
+}
+
+func TestNMIIndependent(t *testing.T) {
+	// Perfectly balanced independent labelings → MI 0.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 0, 1}
+	if got := NMI(a, b); got > 1e-9 {
+		t.Fatalf("independent NMI = %g", got)
+	}
+}
+
+func TestNMIConstantLabelings(t *testing.T) {
+	if got := NMI([]int{1, 1}, []int{2, 2}); got != 1 {
+		t.Fatalf("both constant = %g", got)
+	}
+	if got := NMI([]int{1, 1}, []int{0, 1}); got != 0 {
+		t.Fatalf("one constant = %g", got)
+	}
+}
+
+// Property: NMI is symmetric and within [0, 1].
+func TestPropNMI(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		x, y := NMI(a, b), NMI(b, a)
+		return math.Abs(x-y) < 1e-9 && x >= 0 && x <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: F1Macro and Accuracy are 1 exactly on perfect predictions and
+// bounded in [0, 1].
+func TestPropF1Bounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		truth := make([]int, n)
+		pred := make([]int, n)
+		for i := range truth {
+			truth[i] = rng.Intn(3)
+			pred[i] = rng.Intn(3)
+		}
+		f1 := F1Macro(pred, truth)
+		if f1 < 0 || f1 > 1 {
+			return false
+		}
+		return F1Macro(truth, truth) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,178 @@
+package nmf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/assign"
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+	"repro/internal/matrix"
+)
+
+func nonNegLowRank(rng *rand.Rand, n, m, k int) *matrix.Dense {
+	u := matrix.New(n, k)
+	v := matrix.New(m, k)
+	for i := range u.Data {
+		u.Data[i] = rng.Float64()
+	}
+	for i := range v.Data {
+		v.Data[i] = rng.Float64()
+	}
+	return matrix.MulT(u, v)
+}
+
+func TestNMFFitsLowRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := nonNegLowRank(rng, 20, 15, 3)
+	model, err := Train(m, Config{Rank: 3, Iterations: 400}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := matrix.Sub(m, model.Reconstruct()).Frobenius() / m.Frobenius()
+	if rel > 0.02 {
+		t.Fatalf("relative reconstruction error %.4f, want < 0.02", rel)
+	}
+}
+
+func TestNMFNonNegativityPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := nonNegLowRank(rng, 10, 8, 4)
+	model, err := Train(m, Config{Rank: 4, Iterations: 50}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range model.U.Data {
+		if v < 0 {
+			t.Fatal("negative U entry")
+		}
+	}
+	for _, v := range model.V.Data {
+		if v < 0 {
+			t.Fatal("negative V entry")
+		}
+	}
+}
+
+func TestNMFMonotoneLoss(t *testing.T) {
+	// Lee-Seung updates are non-increasing in the L2 loss; check loss
+	// after more iterations is not (significantly) larger.
+	rng := rand.New(rand.NewSource(3))
+	m := nonNegLowRank(rng, 15, 12, 3)
+	short, err := Train(m, Config{Rank: 3, Iterations: 10}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Train(m, Config{Rank: 3, Iterations: 200}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.Loss(m) > short.Loss(m)*1.0001 {
+		t.Fatalf("loss increased with iterations: %g -> %g", short.Loss(m), long.Loss(m))
+	}
+}
+
+func TestNMFRejectsNegativeInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := matrix.FromRows([][]float64{{1, -1}})
+	if _, err := Train(m, Config{Rank: 1}, rng); err == nil {
+		t.Fatal("negative input accepted")
+	}
+	if _, err := Train(m, Config{Rank: 0}, rng); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+}
+
+func intervalNonNeg(rng *rand.Rand, n, m, k int, halfSpan float64) *imatrix.IMatrix {
+	base := nonNegLowRank(rng, n, m, k)
+	out := imatrix.New(n, m)
+	for i := range base.Data {
+		v := base.Data[i]
+		lo := v - halfSpan
+		if lo < 0 {
+			lo = 0
+		}
+		out.Lo.Data[i] = lo
+		out.Hi.Data[i] = v + halfSpan
+	}
+	return out
+}
+
+func TestINMFFitsIntervals(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := intervalNonNeg(rng, 20, 15, 3, 0.05)
+	model, err := TrainInterval(m, Config{Rank: 4, Iterations: 400}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := model.Reconstruct()
+	if !rec.IsWellFormed() {
+		t.Fatal("reconstruction misordered")
+	}
+	relLo := matrix.Sub(m.Lo, rec.Lo).Frobenius() / m.Lo.Frobenius()
+	relHi := matrix.Sub(m.Hi, rec.Hi).Frobenius() / m.Hi.Frobenius()
+	if relLo > 0.05 || relHi > 0.05 {
+		t.Fatalf("interval reconstruction errors %.4f / %.4f", relLo, relHi)
+	}
+	// All factors non-negative.
+	for _, v := range model.U.Data {
+		if v < 0 {
+			t.Fatal("negative U")
+		}
+	}
+}
+
+func TestINMFRejectsNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := imatrix.New(2, 2)
+	m.Set(0, 0, interval.New(-1, 1))
+	if _, err := TrainInterval(m, Config{Rank: 1}, rng); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+}
+
+func TestAINMFFitsAndAligns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := intervalNonNeg(rng, 20, 15, 3, 0.05)
+	model, err := TrainIntervalAligned(m, Config{Rank: 4, Iterations: 200}, assign.Hungarian, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := model.Reconstruct()
+	relLo := matrix.Sub(m.Lo, rec.Lo).Frobenius() / m.Lo.Frobenius()
+	if relLo > 0.1 {
+		t.Fatalf("AI-NMF reconstruction error %.4f", relLo)
+	}
+	// Factors stay non-negative despite the alignment step.
+	for _, v := range model.VLo.Data {
+		if v < 0 {
+			t.Fatal("alignment broke non-negativity")
+		}
+	}
+	// Aligned V sides should be at least as mutually consistent as
+	// plain I-NMF's on the same data and seed.
+	plain, err := TrainInterval(m, Config{Rank: 4, Iterations: 200}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cosSum := func(im *IntervalModel) float64 {
+		var s float64
+		for _, c := range align.ColumnCosines(im.VLo, im.VHi) {
+			s += c
+		}
+		return s
+	}
+	if cosSum(model) < cosSum(plain)-1e-6 {
+		t.Fatalf("AI-NMF less aligned than I-NMF: %.4f vs %.4f", cosSum(model), cosSum(plain))
+	}
+}
+
+func TestAINMFRejectsNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := imatrix.New(2, 2)
+	m.Set(0, 0, interval.New(-1, 1))
+	if _, err := TrainIntervalAligned(m, Config{Rank: 1}, assign.Hungarian, rng); err == nil {
+		t.Fatal("negative interval accepted")
+	}
+}

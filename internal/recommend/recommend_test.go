@@ -1,0 +1,175 @@
+package recommend
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+)
+
+func ratingMatrix(t *testing.T, seed int64) (*imatrix.IMatrix, *dataset.RatingsData) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	rc := dataset.RatingsConfig{Users: 40, Items: 60, Genres: 6, NumRatings: 700, LatentRank: 4, Alpha: 0.4}
+	data, err := dataset.GenerateRatings(rc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data.UserGenreIntervals(), data
+}
+
+func TestBuildAndPredict(t *testing.T) {
+	m, _ := ratingMatrix(t, 1)
+	p, err := Build(m, core.ISVD4, core.Options{Rank: 3, Target: core.TargetB}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows() != 40 || p.Cols() != 6 {
+		t.Fatalf("shape %dx%d", p.Rows(), p.Cols())
+	}
+	v, err := p.Predict(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 1 || v > 5 {
+		t.Fatalf("prediction %g outside rating scale", v)
+	}
+	iv, err := p.PredictInterval(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo < 1 || iv.Hi > 5 {
+		t.Fatalf("interval %v outside scale", iv)
+	}
+}
+
+func TestPredictBounds(t *testing.T) {
+	m, _ := ratingMatrix(t, 2)
+	p, err := Build(m, core.ISVD0, core.Options{Rank: 2}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict(-1, 0); err == nil {
+		t.Error("negative row accepted")
+	}
+	if _, err := p.Predict(0, 99); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if _, err := p.TopN(99, 3, nil); err == nil {
+		t.Error("bad TopN row accepted")
+	}
+}
+
+func TestClampDisabled(t *testing.T) {
+	m := imatrix.New(2, 2)
+	m.Set(0, 0, interval.New(8, 12)) // outside 1..5
+	m.Set(1, 1, interval.Scalar(1))
+	d, err := core.Decompose(m, core.ISVD0, core.Options{Rank: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unclamped := FromDecomposition(d, 0, 0) // Max <= Min disables
+	v, err := unclamped.Predict(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 5 {
+		t.Fatalf("unclamped prediction %g unexpectedly small", v)
+	}
+	clamped := FromDecomposition(d, 1, 5)
+	v, _ = clamped.Predict(0, 0)
+	if v > 5 {
+		t.Fatalf("clamped prediction %g above max", v)
+	}
+}
+
+func TestTopNExcludesRated(t *testing.T) {
+	m, _ := ratingMatrix(t, 3)
+	p, err := Build(m, core.ISVD4, core.Options{Rank: 3, Target: core.TargetB}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exclude := map[int]bool{0: true, 1: true}
+	top, err := p.TopN(5, 3, exclude)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 {
+		t.Fatalf("TopN returned %d items", len(top))
+	}
+	for _, j := range top {
+		if exclude[j] {
+			t.Fatalf("excluded column %d recommended", j)
+		}
+	}
+	// Descending midpoint order.
+	prev, _ := p.Predict(5, top[0])
+	for _, j := range top[1:] {
+		v, _ := p.Predict(5, j)
+		if v > prev+1e-12 {
+			t.Fatalf("TopN not descending: %g after %g", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestEvaluateRMSEAndCoverage(t *testing.T) {
+	m, data := ratingMatrix(t, 4)
+	p, err := Build(m, core.ISVD4, core.Options{Rank: 4, Target: core.TargetB}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hold out observed user-genre cells (the paper predicts unknown
+	// ratings from the low-rank reconstruction).
+	var holdouts []Holdout
+	for _, r := range data.Ratings[:50] {
+		g := data.ItemGenre[r.Item]
+		holdouts = append(holdouts, Holdout{Row: r.User, Col: g, Value: r.Value})
+	}
+	rmse, err := p.EvaluateRMSE(holdouts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse < 0 || rmse > 4 {
+		t.Fatalf("implausible RMSE %g", rmse)
+	}
+	cov, err := p.CoverageRate(holdouts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov < 0 || cov > 1 {
+		t.Fatalf("coverage %g out of range", cov)
+	}
+	// TargetA reconstruction (interval factors) must cover at least as
+	// often as the all-scalar TargetC reconstruction (wider intervals).
+	pa, err := Build(m, core.ISVD4, core.Options{Rank: 4, Target: core.TargetA}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := Build(m, core.ISVD4, core.Options{Rank: 4, Target: core.TargetC}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covA, _ := pa.CoverageRate(holdouts)
+	covC, _ := pc.CoverageRate(holdouts)
+	if covA < covC-1e-9 {
+		t.Fatalf("interval target coverage %.3f below scalar target %.3f", covA, covC)
+	}
+}
+
+func TestEmptyHoldouts(t *testing.T) {
+	m, _ := ratingMatrix(t, 5)
+	p, err := Build(m, core.ISVD0, core.Options{Rank: 2}, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov, err := p.CoverageRate(nil); err != nil || cov != 0 {
+		t.Fatalf("empty coverage = %g, %v", cov, err)
+	}
+	if rmse, err := p.EvaluateRMSE(nil); err != nil || rmse != 0 {
+		t.Fatalf("empty RMSE = %g, %v", rmse, err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package simplex implements a dense two-phase primal simplex solver for
+// linear programs in the form
+//
+//	maximize cᵀx  subject to  A·x ≤ b,  x ≥ 0
+//
+// (b may be negative; equality constraints are expressed as two opposing
+// inequalities). It exists to support the paper's "LPx" competitor class
+// — the linear-programming-based interval eigen-decomposition of Deif and
+// Seif et al. — and uses Bland's rule for anti-cycling, so it favors
+// robustness over speed.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Solver failure modes.
+var (
+	ErrInfeasible     = errors.New("simplex: infeasible")
+	ErrUnbounded      = errors.New("simplex: unbounded")
+	ErrIterationLimit = errors.New("simplex: iteration limit exceeded")
+)
+
+const (
+	tol = 1e-9
+	// maxIterFactor bounds the simplex pivots at maxIterFactor·(m+n).
+	maxIterFactor = 50
+)
+
+// Problem is a linear program: maximize Cᵀx subject to A·x ≤ B, x ≥ 0.
+type Problem struct {
+	C []float64
+	A [][]float64
+	B []float64
+}
+
+// Validate reports structural errors.
+func (p Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return errors.New("simplex: empty objective")
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("simplex: %d constraint rows but %d bounds", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("simplex: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// Solve returns an optimal solution and objective value.
+func Solve(p Problem) (x []float64, obj float64, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	n := len(p.C)
+	m := len(p.A)
+
+	// Equality form: A·x + s = b with one slack per row. Rows with b < 0
+	// are negated (slack coefficient −1) and receive an artificial
+	// variable for the phase-1 basis.
+	type rowForm struct {
+		a     []float64
+		b     float64
+		slack float64 // +1 or −1
+	}
+	rows := make([]rowForm, m)
+	nArt := 0
+	for i := range p.A {
+		r := rowForm{a: append([]float64(nil), p.A[i]...), b: p.B[i], slack: 1}
+		if r.b < 0 {
+			for j := range r.a {
+				r.a[j] = -r.a[j]
+			}
+			r.b = -r.b
+			r.slack = -1
+			nArt++
+		}
+		rows[i] = r
+	}
+
+	// Tableau columns: n structural + m slack + nArt artificial + RHS.
+	total := n + m + nArt
+	t := make([][]float64, m+1)
+	for i := range t {
+		t[i] = make([]float64, total+1)
+	}
+	basis := make([]int, m)
+	artCols := map[int]bool{}
+	art := 0
+	for i, r := range rows {
+		copy(t[i][:n], r.a)
+		t[i][n+i] = r.slack
+		t[i][total] = r.b
+		if r.slack == 1 {
+			basis[i] = n + i
+		} else {
+			col := n + m + art
+			t[i][col] = 1
+			basis[i] = col
+			artCols[col] = true
+			art++
+		}
+	}
+	maxIter := maxIterFactor * (m + total)
+
+	if nArt > 0 {
+		// Phase 1: minimize the artificial sum ⇔ maximize −Σa. In the
+		// tableau the objective row stores −c, so each artificial column
+		// gets +1, then the basic artificials are priced out.
+		phase1 := t[m]
+		for j := range phase1 {
+			phase1[j] = 0
+		}
+		for col := range artCols {
+			phase1[col] = 1
+		}
+		for i, b := range basis {
+			if artCols[b] {
+				addRow(phase1, t[i], -1)
+			}
+		}
+		if err := iterate(t, basis, maxIter); err != nil {
+			return nil, 0, err
+		}
+		if t[m][total] < -tol {
+			return nil, 0, ErrInfeasible
+		}
+		// Drive any lingering artificials out of the basis.
+		for i, b := range basis {
+			if !artCols[b] {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+m; j++ {
+				if math.Abs(t[i][j]) > tol {
+					pivot(t, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				basis[i] = -1 // redundant row
+			}
+		}
+		// Remove artificial columns by zeroing them (cheap and safe).
+		for col := range artCols {
+			for i := range t {
+				t[i][col] = 0
+			}
+		}
+	}
+
+	// Phase 2 objective row: maximize cᵀx ⇒ row = −c, priced out.
+	objRow := t[m]
+	for j := range objRow {
+		objRow[j] = 0
+	}
+	for j := 0; j < n; j++ {
+		objRow[j] = -p.C[j]
+	}
+	for i, b := range basis {
+		if b >= 0 && b < n && math.Abs(objRow[b]) > 0 {
+			addRow(objRow, t[i], -objRow[b]/t[i][b])
+		}
+	}
+	if err := iterate(t, basis, maxIter); err != nil {
+		return nil, 0, err
+	}
+
+	x = make([]float64, n)
+	for i, b := range basis {
+		if b >= 0 && b < n {
+			x[b] = t[i][total]
+		}
+	}
+	return x, t[m][total], nil
+}
+
+// iterate runs primal simplex pivots with Bland's rule until optimal.
+func iterate(t [][]float64, basis []int, maxIter int) error {
+	m := len(basis)
+	total := len(t[0]) - 1
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column: first with negative reduced cost (Bland).
+		enter := -1
+		for j := 0; j < total; j++ {
+			if t[m][j] < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Leaving row: min ratio, ties broken by smallest basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if basis[i] < 0 || t[i][enter] <= tol {
+				continue
+			}
+			ratio := t[i][total] / t[i][enter]
+			if ratio < bestRatio-tol ||
+				(math.Abs(ratio-bestRatio) <= tol && (leave < 0 || basis[i] < basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		pivot(t, basis, leave, enter)
+	}
+	return ErrIterationLimit
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(t [][]float64, basis []int, leave, enter int) {
+	p := t[leave][enter]
+	row := t[leave]
+	for j := range row {
+		row[j] /= p
+	}
+	for i := range t {
+		if i == leave {
+			continue
+		}
+		if f := t[i][enter]; math.Abs(f) > 0 {
+			addRow(t[i], row, -f)
+		}
+	}
+	basis[leave] = enter
+}
+
+// addRow performs dst += f·src.
+func addRow(dst, src []float64, f float64) {
+	for j := range dst {
+		dst[j] += f * src[j]
+	}
+}

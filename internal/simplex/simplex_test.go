@@ -1,0 +1,171 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKnownLP(t *testing.T) {
+	// maximize 3x + 5y st x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+	p := Problem{
+		C: []float64{3, 5},
+		A: [][]float64{{1, 0}, {0, 2}, {3, 2}},
+		B: []float64{4, 12, 18},
+	}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-36) > 1e-6 || math.Abs(x[0]-2) > 1e-6 || math.Abs(x[1]-6) > 1e-6 {
+		t.Fatalf("x=%v obj=%g", x, obj)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// maximize -x st -x ≤ -2 (i.e. x ≥ 2) → x = 2, obj = -2.
+	p := Problem{C: []float64{-1}, A: [][]float64{{-1}}, B: []float64{-2}}
+	x, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-6 || math.Abs(obj+2) > 1e-6 {
+		t.Fatalf("x=%v obj=%g", x, obj)
+	}
+}
+
+func TestEqualityViaTwoInequalities(t *testing.T) {
+	// maximize x + y st x + y = 5 (two inequalities), x ≤ 3 → obj 5.
+	p := Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 1}, {-1, -1}, {1, 0}},
+		B: []float64{5, -5, 3},
+	}
+	_, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-5) > 1e-6 {
+		t.Fatalf("obj = %g", obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x ≤ 1 and x ≥ 3 simultaneously.
+	p := Problem{C: []float64{1}, A: [][]float64{{1}, {-1}}, B: []float64{1, -3}}
+	if _, _, err := Solve(p); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := Problem{C: []float64{1}, A: [][]float64{{-1}}, B: []float64{0}}
+	if _, _, err := Solve(p); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, _, err := Solve(Problem{}); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	p := Problem{C: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}
+	if _, _, err := Solve(p); err == nil {
+		t.Fatal("ragged constraint accepted")
+	}
+	p = Problem{C: []float64{1}, A: [][]float64{{1}}, B: []float64{1, 2}}
+	if _, _, err := Solve(p); err == nil {
+		t.Fatal("bound mismatch accepted")
+	}
+}
+
+func TestDegenerateTies(t *testing.T) {
+	// Degenerate vertex (multiple constraints meet); Bland's rule must
+	// still terminate at the optimum.
+	p := Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		B: []float64{1, 1, 1},
+	}
+	_, obj, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(obj-1) > 1e-6 {
+		t.Fatalf("obj = %g, want 1", obj)
+	}
+}
+
+// Property: solutions are feasible and no random feasible point beats the
+// reported optimum.
+func TestPropOptimality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(5)
+		p := Problem{C: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		for j := range p.C {
+			p.C[j] = rng.NormFloat64()
+		}
+		for i := range p.A {
+			p.A[i] = make([]float64, n)
+			for j := range p.A[i] {
+				p.A[i][j] = rng.NormFloat64()
+			}
+			p.B[i] = rng.Float64() * 5 // non-negative keeps x=0 feasible
+		}
+		x, obj, err := Solve(p)
+		if err == ErrUnbounded {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		// Feasibility.
+		for i := range p.A {
+			var s float64
+			for j := range x {
+				if x[j] < -1e-9 {
+					return false
+				}
+				s += p.A[i][j] * x[j]
+			}
+			if s > p.B[i]+1e-6 {
+				return false
+			}
+		}
+		// Sample feasible points; none should beat obj.
+		for trial := 0; trial < 30; trial++ {
+			cand := make([]float64, n)
+			for j := range cand {
+				cand[j] = rng.Float64() * 3
+			}
+			feas := true
+			var val float64
+			for i := range p.A {
+				var s float64
+				for j := range cand {
+					s += p.A[i][j] * cand[j]
+				}
+				if s > p.B[i]+1e-9 {
+					feas = false
+					break
+				}
+			}
+			if !feas {
+				continue
+			}
+			for j := range cand {
+				val += p.C[j] * cand[j]
+			}
+			if val > obj+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package ivmf (interval-valued matrix factorization) is the public API
+// of this repository: a Go implementation of "Matrix Factorization with
+// Interval-Valued Data" (Li, Di Mauro, Candan, Sapino).
+//
+// The package decomposes matrices whose entries are intervals [lo, hi]
+// rather than scalars — data arising from summarization, conflicting
+// sources, anonymization, or measurement imprecision — using the paper's
+// ISVD family (interval singular value decomposition, variants ISVD0-4
+// with output targets a/b/c) and AI-PMF (aligned interval probabilistic
+// matrix factorization), plus the NMF/I-NMF and LP-competitor baselines
+// used in its evaluation.
+//
+// Quick start:
+//
+//	m := ivmf.NewIntervalMatrix(rows, cols)
+//	m.Set(0, 0, ivmf.Interval{Lo: 0.8, Hi: 1.2})
+//	...
+//	d, err := ivmf.Decompose(m, ivmf.ISVD4, ivmf.Options{Rank: 10, Target: ivmf.TargetB})
+//	acc := d.Evaluate(m) // Definition 5 accuracy (harmonic mean)
+//
+// See examples/ for runnable programs and cmd/experiments for the
+// harness regenerating every table and figure of the paper.
+package ivmf
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+	"repro/internal/ipca"
+	"repro/internal/ipmf"
+	"repro/internal/lp"
+	"repro/internal/matrix"
+	"repro/internal/nmf"
+	"repro/internal/recommend"
+)
+
+// Interval is a closed interval [Lo, Hi]; Lo == Hi is a scalar.
+type Interval = interval.Interval
+
+// IntervalMatrix is a dense interval-valued matrix M† = [M*, M^*].
+type IntervalMatrix = imatrix.IMatrix
+
+// Matrix is a dense scalar matrix.
+type Matrix = matrix.Dense
+
+// NewIntervalMatrix allocates a zero interval matrix.
+func NewIntervalMatrix(rows, cols int) *IntervalMatrix { return imatrix.New(rows, cols) }
+
+// FromScalarMatrix lifts a scalar matrix to degenerate intervals.
+func FromScalarMatrix(m *Matrix) *IntervalMatrix { return imatrix.FromScalar(m) }
+
+// FromEndpoints wraps minimum and maximum endpoint matrices (no copy).
+func FromEndpoints(lo, hi *Matrix) *IntervalMatrix { return imatrix.FromEndpoints(lo, hi) }
+
+// NewMatrix allocates a zero scalar matrix.
+func NewMatrix(rows, cols int) *Matrix { return matrix.New(rows, cols) }
+
+// Decomposition methods (Section 4 of the paper).
+const (
+	ISVD0 = core.ISVD0 // average intervals, plain SVD (naive baseline)
+	ISVD1 = core.ISVD1 // decompose endpoints independently, then align
+	ISVD2 = core.ISVD2 // eigen-decompose interval Gram, solve U, align
+	ISVD3 = core.ISVD3 // align first, solve U† with interval algebra
+	ISVD4 = core.ISVD4 // ISVD3 plus V† recomputation (best accuracy)
+)
+
+// Decomposition output targets (Section 3.4).
+const (
+	TargetA = core.TargetA // interval U†, Σ†, V†
+	TargetB = core.TargetB // scalar U, V; interval Σ† (best H-mean)
+	TargetC = core.TargetC // all scalar
+)
+
+// Method selects an ISVD variant.
+type Method = core.Method
+
+// Target selects the output semantics.
+type Target = core.Target
+
+// Options configures Decompose.
+type Options = core.Options
+
+// Decomposition is the result of an interval-valued SVD; see
+// (*Decomposition).Reconstruct and (*Decomposition).Evaluate.
+type Decomposition = core.Decomposition
+
+// AccuracyResult carries the Definition 5 accuracy measures.
+type AccuracyResult = core.AccuracyResult
+
+// Decompose runs the selected ISVD method on m.
+func Decompose(m *IntervalMatrix, method Method, opts Options) (*Decomposition, error) {
+	return core.Decompose(m, method, opts)
+}
+
+// Accuracy scores a reconstruction against the original interval matrix.
+func Accuracy(orig, recon *IntervalMatrix) AccuracyResult { return core.Accuracy(orig, recon) }
+
+// LPOptions configures the LP competitor decomposition.
+type LPOptions = lp.Options
+
+// DecomposeLP runs the Deif/Seif linear-programming competitor
+// (Section 6.2 of the paper). It is orders of magnitude slower than ISVD
+// and only accurate for very small intervals.
+func DecomposeLP(m *IntervalMatrix, opts LPOptions) (*Decomposition, error) {
+	return lp.Decompose(m, opts)
+}
+
+// PMFConfig holds the hyper-parameters of the probabilistic factorizers.
+type PMFConfig = ipmf.Config
+
+// PMFModel is a trained scalar PMF model.
+type PMFModel = ipmf.Model
+
+// IntervalPMFModel is a trained I-PMF/AI-PMF model.
+type IntervalPMFModel = ipmf.IntervalModel
+
+// TrainPMF fits scalar probabilistic matrix factorization on the
+// non-zero cells of m.
+func TrainPMF(m *Matrix, cfg PMFConfig, rng *rand.Rand) (*PMFModel, error) {
+	return ipmf.TrainPMF(m, cfg, rng)
+}
+
+// TrainIPMF fits interval PMF (Shen et al.) without alignment.
+func TrainIPMF(m *IntervalMatrix, cfg PMFConfig, rng *rand.Rand) (*IntervalPMFModel, error) {
+	return ipmf.TrainIPMF(m, cfg, rng)
+}
+
+// TrainAIPMF fits the paper's aligned interval PMF.
+func TrainAIPMF(m *IntervalMatrix, cfg PMFConfig, rng *rand.Rand) (*IntervalPMFModel, error) {
+	return ipmf.TrainAIPMF(m, cfg, rng)
+}
+
+// NMFConfig holds NMF hyper-parameters.
+type NMFConfig = nmf.Config
+
+// NMFModel is a trained scalar NMF model.
+type NMFModel = nmf.Model
+
+// IntervalNMFModel is a trained I-NMF model.
+type IntervalNMFModel = nmf.IntervalModel
+
+// TrainNMF fits non-negative matrix factorization with Lee-Seung updates.
+func TrainNMF(m *Matrix, cfg NMFConfig, rng *rand.Rand) (*NMFModel, error) {
+	return nmf.Train(m, cfg, rng)
+}
+
+// TrainINMF fits the interval-valued NMF baseline of Shen et al.
+func TrainINMF(m *IntervalMatrix, cfg NMFConfig, rng *rand.Rand) (*IntervalNMFModel, error) {
+	return nmf.TrainInterval(m, cfg, rng)
+}
+
+// Methods lists the ISVD methods in order.
+func Methods() []Method { return core.Methods() }
+
+// Targets lists the decomposition targets in order.
+func Targets() []Target { return core.Targets() }
+
+// ValidateInput checks that an interval matrix has finite, well-ordered
+// endpoints (the precondition of Decompose).
+func ValidateInput(m *IntervalMatrix) error { return core.ValidateInput(m) }
+
+// PCAResult is the output of the interval PCA baselines.
+type PCAResult = ipca.Result
+
+// PCACenters runs the Centers interval PCA (PCA of the interval
+// midpoints with exact interval projections of the data boxes) — the
+// classical related-work baseline of Section 2.3 of the paper.
+func PCACenters(m *IntervalMatrix, rank int) (*PCAResult, error) { return ipca.Centers(m, rank) }
+
+// PCAVertices runs the Vertices interval PCA (moment-matching
+// approximation accounting for the interval widths in the covariance).
+func PCAVertices(m *IntervalMatrix, rank int) (*PCAResult, error) { return ipca.Vertices(m, rank) }
+
+// Recommender predicts ratings from a low-rank interval reconstruction
+// (the reconstruction-based prediction of Section 6.5 of the paper).
+type Recommender = recommend.Predictor
+
+// RecommendHoldout is a held-out observation for recommender evaluation.
+type RecommendHoldout = recommend.Holdout
+
+// NewRecommender decomposes the interval rating matrix and returns a
+// predictor over its reconstruction, clamped to [minRating, maxRating].
+func NewRecommender(ratings *IntervalMatrix, method Method, opts Options, minRating, maxRating float64) (*Recommender, error) {
+	return recommend.Build(ratings, method, opts, minRating, maxRating)
+}
