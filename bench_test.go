@@ -26,6 +26,7 @@ import (
 	"repro/internal/ipmf"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 )
 
 // benchConfig is the reduced-scale experiment configuration used by the
@@ -217,6 +218,79 @@ func BenchmarkHungarian(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		assign.SolveHungarian(score)
+	}
+}
+
+// BenchmarkMatMulParallel measures the worker pool's effect on the dense
+// matrix product at the paper's Table 2 scale (500x500): the serial
+// sub-benchmark pins the pool to one worker, parallel uses every core.
+// Results are bitwise identical between the two (see determinism_test.go).
+func BenchmarkMatMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	n := 500
+	x := matrix.New(n, n)
+	y := matrix.New(n, n)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+		y.Data[i] = rng.NormFloat64()
+	}
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bench.name, func(b *testing.B) {
+			parallel.SetWorkers(bench.workers)
+			defer parallel.SetWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matrix.Mul(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkIntervalMatMulParallel covers the endpoint interval product
+// (Supplementary Algorithm 1) at the 500x500 Table 2 scale.
+func BenchmarkIntervalMatMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	x := benchIntervalMatrix(rng, 500, 500)
+	y := benchIntervalMatrix(rng, 500, 500)
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bench.name, func(b *testing.B) {
+			parallel.SetWorkers(bench.workers)
+			defer parallel.SetWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				imatrix.MulEndpoints(x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkISVD4Parallel runs the full ISVD4 pipeline on the default
+// synthetic config (250x400, the Fig. 6 instance) serially vs on the
+// pool; the speedup comes from the Gram products, the sharded eigensolver
+// sweeps, and the interval solve/recompute products.
+func BenchmarkISVD4Parallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	m := dataset.MustGenerateUniform(dataset.DefaultSynthetic(), rng)
+	for _, bench := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(bench.name, func(b *testing.B) {
+			parallel.SetWorkers(bench.workers)
+			defer parallel.SetWorkers(0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Decompose(m, core.ISVD4, core.Options{Rank: 20, Target: core.TargetB}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -13,6 +13,7 @@
 //	-scale F     override the dataset scale factor
 //	-seed N      RNG seed (default 1)
 //	-lp          include the (slow) LP competitor class
+//	-workers N   bound the worker pool (0 = GOMAXPROCS)
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -31,7 +33,9 @@ func main() {
 	scale := flag.Float64("scale", 0, "override dataset scale")
 	seed := flag.Int64("seed", 0, "RNG seed")
 	withLP := flag.Bool("lp", false, "include the LP competitor class")
+	workers := flag.Int("workers", 0, "worker-pool goroutines (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
+	parallel.SetWorkers(*workers)
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -55,6 +59,9 @@ func main() {
 	}
 	if *withLP {
 		cfg.WithLP = true
+	}
+	if *workers > 0 {
+		cfg.Workers = *workers
 	}
 
 	ids := flag.Args()

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -27,8 +28,10 @@ func main() {
 	rank := flag.Int("rank", 0, "target rank (0 = full)")
 	method := flag.Int("method", 4, "ISVD variant 0-4")
 	target := flag.String("target", "b", "decomposition target: a, b, or c")
+	workers := flag.Int("workers", 0, "worker-pool goroutines (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 
+	parallel.SetWorkers(*workers)
 	if err := run(*in, *out, *rank, *method, *target); err != nil {
 		fmt.Fprintf(os.Stderr, "isvd: %v\n", err)
 		os.Exit(1)

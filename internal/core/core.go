@@ -94,6 +94,13 @@ type Options struct {
 	// (paper: "replace singular values smaller than 0.1 with zero";
 	// default 0.1).
 	PinvCutoff float64
+	// Workers bounds the goroutines this decomposition's own fan-outs
+	// (e.g. the concurrent endpoint eigen-decompositions) may use. Zero
+	// means the shared pool default (parallel.Workers(), settable globally
+	// via parallel.SetWorkers or the CLIs' -workers flag). The deep matrix
+	// kernels always use the shared pool; results are bitwise identical
+	// for any worker count.
+	Workers int
 	// ExactAlgebra switches ISVD2-4 and TargetA reconstruction from the
 	// paper's Algorithm 1 endpoint products (min/max over the endpoint
 	// matrix products — the reference implementation's semantics, and the

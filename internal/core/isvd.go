@@ -3,13 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"repro/internal/align"
 	"repro/internal/eig"
 	"repro/internal/imatrix"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // parts is the shared intermediate state of ISVD1-4 right before the
@@ -64,18 +64,15 @@ func DecomposeISVD1(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
 	opts = opts.withDefaults(m)
 	var tm Timings
 
-	// The two endpoint SVDs are independent; run them concurrently.
+	// The two endpoint SVDs are independent; run them concurrently on the
+	// shared pool, bounded by opts.Workers when set.
 	t0 := time.Now()
 	var svdLo, svdHi *eig.SVDResult
 	var errLo, errHi error
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		svdHi, errHi = eig.SVD(m.Hi)
-	}()
-	svdLo, errLo = eig.SVD(m.Lo)
-	wg.Wait()
+	parallel.DoWith(opts.Workers,
+		func() { svdLo, errLo = eig.SVD(m.Lo) },
+		func() { svdHi, errHi = eig.SVD(m.Hi) },
+	)
 	if errLo != nil {
 		return nil, fmt.Errorf("core: ISVD1: min side: %w", errLo)
 	}
@@ -115,10 +112,11 @@ func DecomposeISVD1(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
 // Gram matrices A† = M†ᵀ × M† (interval matrix multiplication), returning
 // per-side right singular vectors and singular values (sqrt of clamped
 // eigenvalues).
-func gramEig(m *imatrix.IMatrix, rank int, exact bool) (vLo, vHi *matrix.Dense, sLo, sHi []float64, pre, dec time.Duration, err error) {
+func gramEig(m *imatrix.IMatrix, opts Options) (vLo, vHi *matrix.Dense, sLo, sHi []float64, pre, dec time.Duration, err error) {
+	rank := opts.Rank
 	t0 := time.Now()
 	var a *imatrix.IMatrix
-	if exact {
+	if opts.ExactAlgebra {
 		a = imatrix.Mul(m.T(), m)
 	} else {
 		a = imatrix.MulEndpoints(m.T(), m)
@@ -126,19 +124,16 @@ func gramEig(m *imatrix.IMatrix, rank int, exact bool) (vLo, vHi *matrix.Dense, 
 	pre = time.Since(t0)
 
 	// The two endpoint eigen-decompositions are independent; run them
-	// concurrently (they dominate the decomposition cost, Figure 6b).
+	// concurrently on the shared pool, bounded by opts.Workers when set
+	// (they dominate the decomposition cost, Figure 6b).
 	t0 = time.Now()
 	var valsLo, valsHi []float64
 	var vecsLo, vecsHi *matrix.Dense
 	var errLo, errHi error
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		valsHi, vecsHi, errHi = eig.SymEig(a.Hi)
-	}()
-	valsLo, vecsLo, errLo = eig.SymEig(a.Lo)
-	wg.Wait()
+	parallel.DoWith(opts.Workers,
+		func() { valsLo, vecsLo, errLo = eig.SymEig(a.Lo) },
+		func() { valsHi, vecsHi, errHi = eig.SymEig(a.Hi) },
+	)
 	if errLo != nil {
 		return nil, nil, nil, nil, 0, 0, fmt.Errorf("eig of A*: %w", errLo)
 	}
@@ -191,7 +186,7 @@ func DecomposeISVD2(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
 	opts = opts.withDefaults(m)
 	var tm Timings
 
-	vLo, vHi, sLo, sHi, pre, dec, err := gramEig(m, opts.Rank, opts.ExactAlgebra)
+	vLo, vHi, sLo, sHi, pre, dec, err := gramEig(m, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: ISVD2: %w", err)
 	}
@@ -244,7 +239,7 @@ func invertAveraged(avg *matrix.Dense, opts Options) (*matrix.Dense, error) {
 // step: interval Gram eigen-decomposition, early ILSA, and interval
 // recovery of U† = M† × ((V†)ᵀ)⁻¹ × (Σ†)⁻¹.
 func isvd34Common(m *imatrix.IMatrix, opts Options, d *Decomposition, tm *Timings) (p parts, sigmaInv *matrix.Dense, err error) {
-	vLo, vHi, sLo, sHi, pre, dec, err := gramEig(m, opts.Rank, opts.ExactAlgebra)
+	vLo, vHi, sLo, sHi, pre, dec, err := gramEig(m, opts)
 	if err != nil {
 		return parts{}, nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 const maxSVDIterations = 75
@@ -76,16 +77,23 @@ func svdTall(in *matrix.Dense) (*SVDResult, error) {
 				h = f*g - s
 				a.Set(i, i, f-g)
 				if i != n-1 {
-					for j := l; j < n; j++ {
-						s = 0
-						for k := i; k < m; k++ {
-							s += a.At(k, i) * a.At(k, j)
+					// Each column j > i is reflected against the fixed
+					// Householder vector in column i, so the columns shard
+					// independently onto the pool (dot product and update
+					// keep their serial k order per column).
+					hh := h
+					parallel.For(n-l, parallel.Grain(4*(m-i)), func(jlo, jhi int) {
+						for j := l + jlo; j < l+jhi; j++ {
+							sj := 0.0
+							for k := i; k < m; k++ {
+								sj += a.At(k, i) * a.At(k, j)
+							}
+							fj := sj / hh
+							for k := i; k < m; k++ {
+								a.Set(k, j, a.At(k, j)+fj*a.At(k, i))
+							}
 						}
-						f = s / h
-						for k := i; k < m; k++ {
-							a.Set(k, j, a.At(k, j)+f*a.At(k, i))
-						}
-					}
+					})
 				}
 				for k := i; k < m; k++ {
 					a.Set(k, i, a.At(k, i)*scale)
@@ -112,15 +120,19 @@ func svdTall(in *matrix.Dense) (*SVDResult, error) {
 					rv1[k] = a.At(i, k) / h
 				}
 				if i != m-1 {
-					for j := l; j < m; j++ {
-						s = 0
-						for k := l; k < n; k++ {
-							s += a.At(j, k) * a.At(i, k)
+					// Rows j > i are reflected against the fixed row i;
+					// independent across j, sharded on the pool.
+					parallel.For(m-l, parallel.Grain(4*(n-l)), func(jlo, jhi int) {
+						for j := l + jlo; j < l+jhi; j++ {
+							sj := 0.0
+							for k := l; k < n; k++ {
+								sj += a.At(j, k) * a.At(i, k)
+							}
+							for k := l; k < n; k++ {
+								a.Set(j, k, a.At(j, k)+sj*rv1[k])
+							}
 						}
-						for k := l; k < n; k++ {
-							a.Set(j, k, a.At(j, k)+s*rv1[k])
-						}
-					}
+					})
 				}
 				for k := l; k < n; k++ {
 					a.Set(i, k, a.At(i, k)*scale)
@@ -137,15 +149,19 @@ func svdTall(in *matrix.Dense) (*SVDResult, error) {
 				for j := l; j < n; j++ {
 					v.Set(j, i, (a.At(i, j)/a.At(i, l))/g)
 				}
-				for j := l; j < n; j++ {
-					s = 0
-					for k := l; k < n; k++ {
-						s += a.At(i, k) * v.At(k, j)
+				// Columns j > i of V transform independently against the
+				// (already written) column i; sharded on the pool.
+				parallel.For(n-l, parallel.Grain(4*(n-l)), func(jlo, jhi int) {
+					for j := l + jlo; j < l+jhi; j++ {
+						sj := 0.0
+						for k := l; k < n; k++ {
+							sj += a.At(i, k) * v.At(k, j)
+						}
+						for k := l; k < n; k++ {
+							v.Set(k, j, v.At(k, j)+sj*v.At(k, i))
+						}
 					}
-					for k := l; k < n; k++ {
-						v.Set(k, j, v.At(k, j)+s*v.At(k, i))
-					}
-				}
+				})
 			}
 			for j := l; j < n; j++ {
 				v.Set(i, j, 0)
@@ -169,16 +185,21 @@ func svdTall(in *matrix.Dense) (*SVDResult, error) {
 		if g != 0 {
 			g = 1 / g
 			if i != n-1 {
-				for j := l; j < n; j++ {
-					s = 0
-					for k := l; k < m; k++ {
-						s += a.At(k, i) * a.At(k, j)
+				// Columns j > i transform independently against column i;
+				// sharded on the pool.
+				gg := g
+				parallel.For(n-l, parallel.Grain(4*(m-l)), func(jlo, jhi int) {
+					for j := l + jlo; j < l+jhi; j++ {
+						sj := 0.0
+						for k := l; k < m; k++ {
+							sj += a.At(k, i) * a.At(k, j)
+						}
+						fj := (sj / a.At(i, i)) * gg
+						for k := i; k < m; k++ {
+							a.Set(k, j, a.At(k, j)+fj*a.At(k, i))
+						}
 					}
-					f = (s / a.At(i, i)) * g
-					for k := i; k < m; k++ {
-						a.Set(k, j, a.At(k, j)+f*a.At(k, i))
-					}
-				}
+				})
 			}
 			for j := i; j < m; j++ {
 				a.Set(j, i, a.At(j, i)*g)

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // ErrNoConvergence is returned when an iterative eigen or SVD sweep fails
@@ -88,30 +89,47 @@ func tred2(z *matrix.Dense, d, e []float64) {
 				e[i] = scale * g
 				h -= f * g
 				ri[l] = f - g
+				// The e[j] dot products only read rows/columns <= l and
+				// write column i, so they are independent across j and
+				// shard onto the pool; the order-sensitive f reduction
+				// stays serial so the sum keeps its j order bitwise.
+				h2 := h
+				parallel.For(l+1, parallel.Grain(2*(l+1)), func(jlo, jhi int) {
+					for j := jlo; j < jhi; j++ {
+						rj := row(j)
+						rj[i] = ri[j] / h2
+						s := 0.0
+						for k := 0; k <= j; k++ {
+							s += rj[k] * ri[k]
+						}
+						for k := j + 1; k <= l; k++ {
+							s += a[k*n+j] * ri[k]
+						}
+						e[j] = s / h2
+					}
+				})
 				f = 0
 				for j := 0; j <= l; j++ {
-					rj := row(j)
-					rj[i] = ri[j] / h
-					g = 0
-					for k := 0; k <= j; k++ {
-						g += rj[k] * ri[k]
-					}
-					for k := j + 1; k <= l; k++ {
-						g += a[k*n+j] * ri[k]
-					}
-					e[j] = g / h
 					f += e[j] * ri[j]
 				}
 				hh := f / (h + h)
+				// Serial TRED2 interleaves the e[j] update with the row
+				// updates, but every row update only reads already-updated
+				// e entries (k <= j), so updating all of e first is the
+				// same arithmetic — and makes the row updates independent.
 				for j := 0; j <= l; j++ {
-					f = ri[j]
-					g = e[j] - hh*f
-					e[j] = g
-					rj := row(j)
-					for k := 0; k <= j; k++ {
-						rj[k] -= f*e[k] + g*ri[k]
-					}
+					e[j] -= hh * ri[j]
 				}
+				parallel.For(l+1, parallel.Grain(2*(l+1)), func(jlo, jhi int) {
+					for j := jlo; j < jhi; j++ {
+						fj := ri[j]
+						gj := e[j]
+						rj := row(j)
+						for k := 0; k <= j; k++ {
+							rj[k] -= fj*e[k] + gj*ri[k]
+						}
+					}
+				})
 			}
 		} else {
 			e[i] = ri[l]
@@ -128,25 +146,33 @@ func tred2(z *matrix.Dense, d, e []float64) {
 		l := i - 1
 		ri := row(i)
 		if d[i] != 0 {
-			for j := 0; j <= l; j++ {
-				g[j] = 0
-			}
-			for k := 0; k <= l; k++ {
-				rk := row(k)
-				if f := ri[k]; f != 0 {
-					for j := 0; j <= l; j++ {
-						g[j] += f * rk[j]
+			// Matvec g = Z[0..l,0..l]ᵀ·ri sharded over output entries j:
+			// each shard keeps the k loop outermost, so every g[j]
+			// accumulates in the same k order as the serial code.
+			parallel.For(l+1, parallel.Grain(2*(l+1)), func(jlo, jhi int) {
+				for j := jlo; j < jhi; j++ {
+					g[j] = 0
+				}
+				for k := 0; k <= l; k++ {
+					if f := ri[k]; f != 0 {
+						rk := row(k)
+						for j := jlo; j < jhi; j++ {
+							g[j] += f * rk[j]
+						}
 					}
 				}
-			}
-			for k := 0; k <= l; k++ {
-				rk := row(k)
-				if u := rk[i]; u != 0 {
-					for j := 0; j <= l; j++ {
-						rk[j] -= g[j] * u
+			})
+			// Rank-1 update Z[0..l,0..l] -= u·gᵀ sharded over rows k.
+			parallel.For(l+1, parallel.Grain(2*(l+1)), func(klo, khi int) {
+				for k := klo; k < khi; k++ {
+					rk := row(k)
+					if u := rk[i]; u != 0 {
+						for j := 0; j <= l; j++ {
+							rk[j] -= g[j] * u
+						}
 					}
 				}
-			}
+			})
 		}
 		d[i] = ri[i]
 		ri[i] = 1
@@ -161,7 +187,10 @@ func tred2(z *matrix.Dense, d, e []float64) {
 // subdiagonal e with e[0] unused) by the implicit-shift QL algorithm,
 // accumulating eigenvectors into z. This is the classical EISPACK TQL2.
 // The O(n³) Givens rotations of the eigenvector matrix are applied to a
-// transposed copy so each rotation touches two contiguous rows.
+// transposed copy so each rotation touches two contiguous rows. The
+// rotations stay serial: each one is an O(n) loop with ~6 flops per
+// element, far below the worker pool's profitable chunk size, and
+// successive rotations share a row so they cannot shard independently.
 func tql2(z *matrix.Dense, d, e []float64) error {
 	n := z.Rows
 	zt := z.T() // rows of zt are eigenvector columns of z

@@ -29,6 +29,12 @@ type Config struct {
 	// WithLP includes the (very slow) LP competitor class where the
 	// paper reports it.
 	WithLP bool
+	// Workers bounds the concurrent method-grid evaluations (each grid
+	// decomposition then runs its own endpoint fan-out serially, leaving
+	// the deep kernels to the shared pool's global helper budget). Zero
+	// means the shared pool default (GOMAXPROCS, or whatever
+	// parallel.SetWorkers configured).
+	Workers int
 }
 
 // Quick returns the fast default configuration used by `go test` and the

@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/imatrix"
 	"repro/internal/lp"
+	"repro/internal/parallel"
 )
 
 func init() {
@@ -69,28 +69,26 @@ func optionBHeader() []string {
 // avgHMean decomposes `trials` fresh matrices from gen and returns the
 // mean H-mean per methodTarget. Matrices are drawn sequentially from rng
 // (keeping runs deterministic for a given seed); the method grid is then
-// evaluated concurrently, since decompositions are independent and
-// deterministic.
-func avgHMean(gen func(*rand.Rand) *imatrix.IMatrix, mts []methodTarget, rank, trials int, rng *rand.Rand) ([]float64, error) {
+// evaluated on the shared worker pool — bounded concurrency, unlike the
+// old one-goroutine-per-method fan-out — which is safe because
+// decompositions are independent and deterministic.
+func avgHMean(gen func(*rand.Rand) *imatrix.IMatrix, mts []methodTarget, rank, trials, workers int, rng *rand.Rand) ([]float64, error) {
 	sums := make([]float64, len(mts))
 	for trial := 0; trial < trials; trial++ {
 		m := gen(rng)
 		hs := make([]float64, len(mts))
 		errs := make([]error, len(mts))
-		var wg sync.WaitGroup
-		for i, mt := range mts {
-			wg.Add(1)
-			go func(i int, mt methodTarget) {
-				defer wg.Done()
-				d, err := core.Decompose(m, mt.m, core.Options{Rank: rank, Target: mt.t})
+		parallel.ForWith(workers, len(mts), 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				mt := mts[i]
+				d, err := core.Decompose(m, mt.m, core.Options{Rank: rank, Target: mt.t, Workers: 1})
 				if err != nil {
 					errs[i] = fmt.Errorf("%s: %w", mt.label(), err)
-					return
+					continue
 				}
 				hs[i] = d.Evaluate(m).HMean
-			}(i, mt)
-		}
-		wg.Wait()
+			}
+		})
 		for i := range mts {
 			if errs[i] != nil {
 				return nil, errs[i]
@@ -169,7 +167,7 @@ func runFig5(cfg Config) (*Result, error) {
 func runFig6a(cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	mts := grid13()
-	h, err := avgHMean(defaultGen(dataset.DefaultSynthetic()), mts, defaultRank, cfg.Trials, rng)
+	h, err := avgHMean(defaultGen(dataset.DefaultSynthetic()), mts, defaultRank, cfg.Trials, cfg.Workers, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -240,7 +238,7 @@ func runTable2(cfg Config, paramName string, values []string, configs []dataset.
 	tbl := &table{header: append([]string{paramName}, optionBHeader()...)}
 	vals := map[string]float64{}
 	for vi, sc := range configs {
-		h, err := avgHMean(defaultGen(sc), optionBRow(), rank(sc), cfg.Trials, rng)
+		h, err := avgHMean(defaultGen(sc), optionBRow(), rank(sc), cfg.Trials, cfg.Workers, rng)
 		if err != nil {
 			return nil, err
 		}

@@ -12,7 +12,14 @@ import (
 
 	"repro/internal/interval"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
+
+// combineGrain is the elementwise grain of the parallel min/max combine
+// loops: combines are memory-bound, so chunks are kept at twice the
+// compute-kernel baseline (derived from parallel.Grain so retuning the
+// shared chunk size propagates here).
+var combineGrain = 2 * parallel.Grain(1)
 
 // IMatrix is an n×m interval-valued matrix stored as two parallel dense
 // matrices of the minimum (Lo) and maximum (Hi) endpoints.
@@ -137,28 +144,33 @@ func Mul(a, b *IMatrix) *IMatrix {
 	}
 	n, k, m := a.Rows(), a.Cols(), b.Cols()
 	out := New(n, m)
-	for i := 0; i < n; i++ {
-		aLo := a.Lo.RowView(i)
-		aHi := a.Hi.RowView(i)
-		oLo := out.Lo.RowView(i)
-		oHi := out.Hi.RowView(i)
-		for t := 0; t < k; t++ {
-			al, ah := aLo[t], aHi[t]
-			bLo := b.Lo.RowView(t)
-			bHi := b.Hi.RowView(t)
-			for j := 0; j < m; j++ {
-				bl, bh := bLo[j], bHi[j]
-				p1 := al * bl
-				p2 := al * bh
-				p3 := ah * bl
-				p4 := ah * bh
-				lo := math.Min(math.Min(p1, p2), math.Min(p3, p4))
-				hi := math.Max(math.Max(p1, p2), math.Max(p3, p4))
-				oLo[j] += lo
-				oHi[j] += hi
+	// Row-sharded on the shared pool: ~8 flops per inner element. Each
+	// output element accumulates in fixed t order within one goroutine,
+	// keeping results bitwise identical for any worker count.
+	parallel.For(n, parallel.Grain(8*k*m), func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			aLo := a.Lo.RowView(i)
+			aHi := a.Hi.RowView(i)
+			oLo := out.Lo.RowView(i)
+			oHi := out.Hi.RowView(i)
+			for t := 0; t < k; t++ {
+				al, ah := aLo[t], aHi[t]
+				bLo := b.Lo.RowView(t)
+				bHi := b.Hi.RowView(t)
+				for j := 0; j < m; j++ {
+					bl, bh := bLo[j], bHi[j]
+					p1 := al * bl
+					p2 := al * bh
+					p3 := ah * bl
+					p4 := ah * bh
+					lo := math.Min(math.Min(p1, p2), math.Min(p3, p4))
+					hi := math.Max(math.Max(p1, p2), math.Max(p3, p4))
+					oLo[j] += lo
+					oHi[j] += hi
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -173,16 +185,21 @@ func MulEndpoints(a, b *IMatrix) *IMatrix {
 	if a.Cols() != b.Rows() {
 		panic(fmt.Sprintf("imatrix: MulEndpoints: %dx%d · %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols()))
 	}
+	// The four endpoint products run one after another, each internally
+	// row-sharded across the full pool (running the four concurrently would
+	// oversubscribe the pool 4x and thrash caches for no wall-clock gain).
 	t1 := matrix.Mul(a.Lo, b.Lo)
 	t2 := matrix.Mul(a.Lo, b.Hi)
 	t3 := matrix.Mul(a.Hi, b.Lo)
 	t4 := matrix.Mul(a.Hi, b.Hi)
 	lo := matrix.New(a.Rows(), b.Cols())
 	hi := matrix.New(a.Rows(), b.Cols())
-	for i := range lo.Data {
-		lo.Data[i] = math.Min(math.Min(t1.Data[i], t2.Data[i]), math.Min(t3.Data[i], t4.Data[i]))
-		hi.Data[i] = math.Max(math.Max(t1.Data[i], t2.Data[i]), math.Max(t3.Data[i], t4.Data[i]))
-	}
+	parallel.For(len(lo.Data), combineGrain, func(flo, fhi int) {
+		for i := flo; i < fhi; i++ {
+			lo.Data[i] = math.Min(math.Min(t1.Data[i], t2.Data[i]), math.Min(t3.Data[i], t4.Data[i]))
+			hi.Data[i] = math.Max(math.Max(t1.Data[i], t2.Data[i]), math.Max(t3.Data[i], t4.Data[i]))
+		}
+	})
 	return &IMatrix{Lo: lo, Hi: hi}
 }
 
@@ -236,10 +253,12 @@ func MulEndpointsScalarLeft(s *matrix.Dense, a *IMatrix) *IMatrix {
 func minMaxCombine(t1, t2 *matrix.Dense) *IMatrix {
 	lo := matrix.New(t1.Rows, t1.Cols)
 	hi := matrix.New(t1.Rows, t1.Cols)
-	for i := range lo.Data {
-		lo.Data[i] = math.Min(t1.Data[i], t2.Data[i])
-		hi.Data[i] = math.Max(t1.Data[i], t2.Data[i])
-	}
+	parallel.For(len(lo.Data), combineGrain, func(flo, fhi int) {
+		for i := flo; i < fhi; i++ {
+			lo.Data[i] = math.Min(t1.Data[i], t2.Data[i])
+			hi.Data[i] = math.Max(t1.Data[i], t2.Data[i])
+		}
+	})
 	return &IMatrix{Lo: lo, Hi: hi}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/assign"
 	"repro/internal/imatrix"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // Config holds the hyper-parameters shared by PMF, I-PMF, and AI-PMF.
@@ -129,6 +130,50 @@ func (m *IntervalModel) PredictInterval(i, j int) (lo, hi float64) {
 // cell is one observed training entry.
 type cell struct{ i, j int }
 
+// runScheduler splits a shuffled cell sequence into maximal contiguous
+// runs in which no row or column repeats. Cells of one run touch disjoint
+// factor rows, so the run's SGD updates are order-independent and can be
+// sharded onto the worker pool with bitwise-identical results; executing
+// the runs in order visits cells in exactly the shuffled sequence order,
+// so training output is byte-for-byte the same as the serial loop for a
+// fixed seed and any worker count.
+type runScheduler struct {
+	rowMark, colMark []int
+	stamp            int
+}
+
+func newRunScheduler(rows, cols int) *runScheduler {
+	return &runScheduler{rowMark: make([]int, rows), colMark: make([]int, cols)}
+}
+
+// forEachRun invokes fn on each conflict-free run of obs, in order.
+func (s *runScheduler) forEachRun(obs []cell, fn func(run []cell)) {
+	start := 0
+	s.stamp++
+	for idx, c := range obs {
+		if s.rowMark[c.i] == s.stamp || s.colMark[c.j] == s.stamp {
+			fn(obs[start:idx])
+			start = idx
+			s.stamp++
+		}
+		s.rowMark[c.i] = s.stamp
+		s.colMark[c.j] = s.stamp
+	}
+	if start < len(obs) {
+		fn(obs[start:])
+	}
+}
+
+// sgdGrain returns the pool grain for an SGD run whose per-cell cost is
+// ~8 flops times rank. Conflict-free runs end after roughly
+// sqrt(min(rows, cols)) cells (birthday collision on a row or column), so
+// at typical CF dataset shapes every run is far below one chunk and the
+// epochs execute inline — the scheduler then buys bounded, deterministic
+// ordering rather than speedup; only very wide matrices yield runs long
+// enough to shard. It is a variable so tests can shrink the grain to
+// exercise the sharded path (see determinism_test.go in this package).
+var sgdGrain = func(rank int) int { return parallel.Grain(8 * rank) }
+
 // observedScalar lists the non-zero cells of a scalar matrix.
 func observedScalar(m *matrix.Dense) []cell {
 	var out []cell
@@ -178,23 +223,29 @@ func TrainPMF(m *matrix.Dense, cfg Config, rng *rand.Rand) (*Model, error) {
 	v := randFactor(m.Cols, r, rng)
 	obs := observedScalar(m)
 	lr := cfg.LearningRate
+	sched := newRunScheduler(m.Rows, m.Cols)
+	grain := sgdGrain(r)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(obs), func(a, b int) { obs[a], obs[b] = obs[b], obs[a] })
-		for _, c := range obs {
-			ui := u.RowView(c.i)
-			vj := v.RowView(c.j)
-			var pred float64
-			for t := 0; t < r; t++ {
-				pred += ui[t] * vj[t]
-			}
-			e := pred - m.At(c.i, c.j)
-			for t := 0; t < r; t++ {
-				gu := e*vj[t] + cfg.LambdaU*ui[t]
-				gv := e*ui[t] + cfg.LambdaV*vj[t]
-				ui[t] -= lr * gu
-				vj[t] -= lr * gv
-			}
-		}
+		sched.forEachRun(obs, func(run []cell) {
+			parallel.For(len(run), grain, func(lo, hi int) {
+				for _, c := range run[lo:hi] {
+					ui := u.RowView(c.i)
+					vj := v.RowView(c.j)
+					var pred float64
+					for t := 0; t < r; t++ {
+						pred += ui[t] * vj[t]
+					}
+					e := pred - m.At(c.i, c.j)
+					for t := 0; t < r; t++ {
+						gu := e*vj[t] + cfg.LambdaU*ui[t]
+						gv := e*ui[t] + cfg.LambdaV*vj[t]
+						ui[t] -= lr * gu
+						vj[t] -= lr * gv
+					}
+				}
+			})
+		})
 	}
 	return &Model{U: u, V: v}, nil
 }
@@ -213,28 +264,34 @@ func trainInterval(m *imatrix.IMatrix, cfg Config, rng *rand.Rand, alignEach boo
 	vHi := randFactor(m.Cols(), r, rng)
 	obs := observedInterval(m)
 	lr := cfg.LearningRate
+	sched := newRunScheduler(m.Rows(), m.Cols())
+	grain := sgdGrain(r)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(obs), func(a, b int) { obs[a], obs[b] = obs[b], obs[a] })
-		for _, c := range obs {
-			ui := u.RowView(c.i)
-			lo := vLo.RowView(c.j)
-			hi := vHi.RowView(c.j)
-			var pLo, pHi float64
-			for t := 0; t < r; t++ {
-				pLo += ui[t] * lo[t]
-				pHi += ui[t] * hi[t]
-			}
-			eLo := pLo - m.Lo.At(c.i, c.j)
-			eHi := pHi - m.Hi.At(c.i, c.j)
-			for t := 0; t < r; t++ {
-				gu := eLo*lo[t] + eHi*hi[t] + cfg.LambdaU*ui[t]
-				gLo := eLo*ui[t] + cfg.LambdaV*lo[t]
-				gHi := eHi*ui[t] + cfg.LambdaV*hi[t]
-				ui[t] -= lr * gu
-				lo[t] -= lr * gLo
-				hi[t] -= lr * gHi
-			}
-		}
+		sched.forEachRun(obs, func(run []cell) {
+			parallel.For(len(run), grain, func(rlo, rhi int) {
+				for _, c := range run[rlo:rhi] {
+					ui := u.RowView(c.i)
+					lo := vLo.RowView(c.j)
+					hi := vHi.RowView(c.j)
+					var pLo, pHi float64
+					for t := 0; t < r; t++ {
+						pLo += ui[t] * lo[t]
+						pHi += ui[t] * hi[t]
+					}
+					eLo := pLo - m.Lo.At(c.i, c.j)
+					eHi := pHi - m.Hi.At(c.i, c.j)
+					for t := 0; t < r; t++ {
+						gu := eLo*lo[t] + eHi*hi[t] + cfg.LambdaU*ui[t]
+						gLo := eLo*ui[t] + cfg.LambdaV*lo[t]
+						gHi := eHi*ui[t] + cfg.LambdaV*hi[t]
+						ui[t] -= lr * gu
+						lo[t] -= lr * gLo
+						hi[t] -= lr * gHi
+					}
+				}
+			})
+		})
 		// AI-PMF: re-align the V sides between epochs ("in each gradient
 		// descent iteration", Section 5). The alignment permutes/flips V*
 		// columns to match V^*; subsequent epochs let U co-adapt, pulling

@@ -2,13 +2,16 @@
 // used by every factorization in this repository: construction,
 // element access, arithmetic, transposition, norms, column operations,
 // and Gauss-Jordan inversion. Higher-level numerics (eigen, SVD,
-// pseudo-inverse) live in internal/eig to keep this package dependency
-// free.
+// pseudo-inverse) live in internal/eig; the only dependency here is the
+// shared worker pool of internal/parallel, which the O(n³) products are
+// sharded on (with a size cutoff so small matrices run serially).
 package matrix
 
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // Dense is an n×m dense matrix of float64 stored in row-major order.
@@ -136,66 +139,81 @@ func (m *Dense) T() *Dense {
 }
 
 // Mul returns the product a·b. It panics on incompatible shapes.
+//
+// The product is sharded over blocks of output rows on the shared worker
+// pool; each element's accumulation runs in fixed k order within one
+// goroutine, so the result is bitwise identical for any worker count.
 func Mul(a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matrix: Mul: %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
+	parallel.For(a.Rows, parallel.Grain(a.Cols*b.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// MulT returns a·bᵀ without materializing the transpose.
+// MulT returns a·bᵀ without materializing the transpose. Like Mul it is
+// sharded over output rows with a deterministic accumulation order.
 func MulT(a, b *Dense) *Dense {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("matrix: MulT: %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for j := 0; j < b.Rows; j++ {
-			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
+	parallel.For(a.Rows, parallel.Grain(a.Cols*b.Rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				out.Data[i*out.Cols+j] = s
 			}
-			out.Data[i*out.Cols+j] = s
 		}
-	}
+	})
 	return out
 }
 
-// TMul returns aᵀ·b without materializing the transpose.
+// TMul returns aᵀ·b without materializing the transpose. Output rows
+// (columns of a) are sharded across the pool; within a shard the k loop
+// stays outermost, preserving the serial per-element accumulation order
+// and the cache-friendly row-major scan of b.
 func TMul(a, b *Dense) *Dense {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("matrix: TMul: (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	out := New(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
-		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-			for j, bv := range brow {
-				orow[j] += av * bv
+	parallel.For(a.Cols, parallel.Grain(a.Rows*b.Cols), func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Data[k*a.Cols+lo : k*a.Cols+hi]
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for ii, av := range arow {
+				if av == 0 {
+					continue
+				}
+				i := lo + ii
+				orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/assign"
 	"repro/internal/imatrix"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // eps keeps the multiplicative-update denominators away from zero.
@@ -135,11 +136,15 @@ func TrainInterval(m *imatrix.IMatrix, cfg Config, rng *rand.Rand) (*IntervalMod
 	return &IntervalModel{U: u, VLo: vLo, VHi: vHi}, nil
 }
 
-// hadamardQuotient performs x ← x ∘ num / den elementwise in place.
+// hadamardQuotient performs x ← x ∘ num / den elementwise in place,
+// sharded on the shared pool (the matrix products feeding it already run
+// there; this keeps the whole Lee-Seung update parallel end to end).
 func hadamardQuotient(x, num, den *matrix.Dense) {
-	for i := range x.Data {
-		x.Data[i] *= num.Data[i] / (den.Data[i] + eps)
-	}
+	parallel.For(len(x.Data), parallel.Grain(1), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x.Data[i] *= num.Data[i] / (den.Data[i] + eps)
+		}
+	})
 }
 
 // TrainIntervalAligned fits AI-NMF: I-NMF with interval latent semantic

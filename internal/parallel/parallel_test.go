@@ -1,0 +1,196 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// coverage runs ForWith and returns a per-index visit count.
+func coverage(t *testing.T, workers, n, grain int) []int32 {
+	t.Helper()
+	visits := make([]int32, n)
+	ForWith(workers, n, grain, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("ForWith(%d, %d, %d): bad chunk [%d, %d)", workers, n, grain, lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&visits[i], 1)
+		}
+	})
+	return visits
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		for _, n := range []int{1, 2, 7, 100, 1001} {
+			for _, grain := range []int{0, 1, 3, 100, 5000} {
+				for i, c := range coverage(t, workers, n, grain) {
+					if c != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", workers, n, grain, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForEmptyRange(t *testing.T) {
+	called := false
+	For(0, 1, func(lo, hi int) { called = true })
+	For(-5, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("For called fn on an empty range")
+	}
+}
+
+func TestForWorkersExceedingRange(t *testing.T) {
+	// More workers than indices must not produce empty or duplicate chunks.
+	for i, c := range coverage(t, 32, 5, 1) {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForSingleWorkerRunsInline(t *testing.T) {
+	var calls int
+	ForWith(1, 100, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("single-worker chunk [%d, %d), want [0, 100)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("single-worker For made %d calls, want 1", calls)
+	}
+}
+
+func TestForGrainBoundsChunkCount(t *testing.T) {
+	var chunks atomic.Int32
+	ForWith(8, 100, 50, func(lo, hi int) {
+		chunks.Add(1)
+		if hi-lo < 50 {
+			t.Errorf("chunk [%d, %d) narrower than grain 50", lo, hi)
+		}
+	})
+	if got := chunks.Load(); got > 2 {
+		t.Fatalf("grain 50 over n=100 produced %d chunks, want <= 2", got)
+	}
+}
+
+// TestForGrainLowerBound pins the "at least grain indices" contract on
+// parameters where the 4x oversplit would otherwise round the chunk size
+// below grain (all chunks except the final remainder must honor it).
+func TestForGrainLowerBound(t *testing.T) {
+	for _, tc := range [][3]int{{8, 100, 30}, {3, 1000, 7}, {16, 129, 64}} {
+		workers, n, grain := tc[0], tc[1], tc[2]
+		var last atomic.Int32
+		ForWith(workers, n, grain, func(lo, hi int) {
+			if hi-lo < grain && hi != n {
+				t.Errorf("workers=%d n=%d grain=%d: non-final chunk [%d, %d) narrower than grain", workers, n, grain, lo, hi)
+			}
+			if hi == n {
+				last.Add(1)
+			}
+		})
+		if last.Load() != 1 {
+			t.Fatalf("workers=%d n=%d grain=%d: expected exactly one final chunk", workers, n, grain)
+		}
+	}
+}
+
+func TestDoRunsAllFunctions(t *testing.T) {
+	var ran [10]atomic.Bool
+	fns := make([]func(), len(ran))
+	for i := range fns {
+		i := i
+		fns[i] = func() { ran[i].Store(true) }
+	}
+	Do(fns...)
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Fatalf("Do skipped function %d", i)
+		}
+	}
+	Do() // no-op, must not hang
+}
+
+func TestSetWorkers(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	SetWorkers(-1) // resets to default
+	if got := Workers(); got < 1 {
+		t.Fatalf("Workers() = %d after reset, want >= 1", got)
+	}
+}
+
+func TestForPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	ForWith(4, 1000, 1, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+}
+
+// TestNestedForStaysBounded checks the global helper budget: nested
+// For calls must still cover every index exactly once while the number
+// of in-flight helper goroutines never exceeds Workers()-1.
+func TestNestedForStaysBounded(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	outer := make([]int32, 48)
+	ForWith(4, len(outer), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			inner := make([]int32, 100)
+			ForWith(4, len(inner), 1, func(a, b int) {
+				for j := a; j < b; j++ {
+					inner[j]++
+				}
+				if h := helpers.Load(); h > 3 {
+					t.Errorf("helper budget exceeded: %d in flight with Workers()=4", h)
+				}
+			})
+			for j, c := range inner {
+				if c != 1 {
+					t.Errorf("nested index %d visited %d times", j, c)
+				}
+			}
+			atomic.AddInt32(&outer[i], 1)
+		}
+	})
+	for i, c := range outer {
+		if c != 1 {
+			t.Fatalf("outer index %d visited %d times", i, c)
+		}
+	}
+}
+
+// TestForConcurrentSum exercises the pool under the race detector with a
+// shared output slice written at disjoint ranges.
+func TestForConcurrentSum(t *testing.T) {
+	n := 100000
+	out := make([]int, n)
+	For(n, 128, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i * 2
+		}
+	})
+	for i, v := range out {
+		if v != i*2 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}

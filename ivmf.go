@@ -33,6 +33,7 @@ import (
 	"repro/internal/lp"
 	"repro/internal/matrix"
 	"repro/internal/nmf"
+	"repro/internal/parallel"
 	"repro/internal/recommend"
 )
 
@@ -81,6 +82,13 @@ type Target = core.Target
 
 // Options configures Decompose.
 type Options = core.Options
+
+// SetWorkers bounds the goroutines of the shared worker pool every hot
+// kernel (matrix products, eigensolvers, factorization epochs) runs on.
+// n <= 0 resets to the default, GOMAXPROCS. Results are bitwise identical
+// for any worker count; per-decomposition bounds go through
+// Options.Workers instead.
+func SetWorkers(n int) { parallel.SetWorkers(n) }
 
 // Decomposition is the result of an interval-valued SVD; see
 // (*Decomposition).Reconstruct and (*Decomposition).Evaluate.
