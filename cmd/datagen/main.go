@@ -1,6 +1,8 @@
 // Command datagen emits the synthetic datasets used by the experiments
 // as interval CSV files (cells are "1.5" scalars or "1.0..2.5"
-// intervals), so they can be inspected or fed back through cmd/isvd.
+// intervals) or, with -format coo, as sparse interval COO files (header
+// "rows,cols", then "row,col,value" records for the observed cells), so
+// they can be inspected or fed back through cmd/isvd.
 //
 // Usage:
 //
@@ -8,16 +10,19 @@
 //	datagen -kind anonymized -rows 40 -cols 250 -privacy high > m.csv
 //	datagen -kind faces -scale 0.25 > faces.csv
 //	datagen -kind ratings -scale 0.1 > usergenre.csv
+//	datagen -kind ratings -scale 0.1 -density 0.02 -format coo > sparse.csv
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
 	"repro/internal/dataset"
 	"repro/internal/imatrix"
+	"repro/internal/sparse"
 )
 
 func main() {
@@ -29,21 +34,32 @@ func main() {
 	intensity := flag.Float64("intensity", 1, "interval intensity (uniform)")
 	privacy := flag.String("privacy", "medium", "high | medium | low (anonymized)")
 	scale := flag.Float64("scale", 0.25, "dataset scale (faces/ratings)")
+	density := flag.Float64("density", 0, "observed-cell fraction: ratings NumRatings override, or 1-zerofrac for uniform (0 = dataset default)")
+	format := flag.String("format", "csv", "csv (dense interval CSV) | coo (sparse interval COO)")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	flag.Parse()
 
-	if err := run(*kind, *rows, *cols, *zeroFrac, *intDensity, *intensity, *privacy, *scale, *seed); err != nil {
+	if err := run(os.Stdout, *kind, *rows, *cols, *zeroFrac, *intDensity, *intensity, *privacy, *scale, *density, *format, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(kind string, rows, cols int, zeroFrac, intDensity, intensity float64, privacy string, scale float64, seed int64) error {
+func run(w io.Writer, kind string, rows, cols int, zeroFrac, intDensity, intensity float64, privacy string, scale, density float64, format string, seed int64) error {
+	if density < 0 || density > 1 {
+		return fmt.Errorf("density %g outside [0, 1]", density)
+	}
+	if density > 0 && kind != "uniform" && kind != "ratings" {
+		return fmt.Errorf("-density is not supported for kind %q (only uniform and ratings)", kind)
+	}
 	rng := rand.New(rand.NewSource(seed))
 	var m *imatrix.IMatrix
 	var err error
 	switch kind {
 	case "uniform":
+		if density > 0 {
+			zeroFrac = 1 - density
+		}
 		m, err = dataset.GenerateUniform(dataset.SyntheticConfig{
 			Rows: rows, Cols: cols, ZeroFrac: zeroFrac,
 			IntervalDensity: intDensity, Intensity: intensity,
@@ -73,8 +89,18 @@ func run(kind string, rows, cols int, zeroFrac, intDensity, intensity float64, p
 			m = fd.Interval
 		}
 	case "ratings":
+		rc := dataset.MovieLensLike().Scaled(scale)
+		if density > 0 {
+			// WithDensity caps observed cells at half the matrix (the
+			// generator's termination bound); reject rather than
+			// silently emit a less dense matrix than asked for.
+			if density > 0.5 {
+				return fmt.Errorf("ratings density %g exceeds the generator maximum 0.5", density)
+			}
+			rc = rc.WithDensity(density)
+		}
 		var data *dataset.RatingsData
-		data, err = dataset.GenerateRatings(dataset.MovieLensLike().Scaled(scale), rng)
+		data, err = dataset.GenerateRatings(rc, rng)
 		if err == nil {
 			m = data.UserGenreIntervals()
 		}
@@ -84,5 +110,12 @@ func run(kind string, rows, cols int, zeroFrac, intDensity, intensity float64, p
 	if err != nil {
 		return err
 	}
-	return dataset.WriteIntervalCSV(os.Stdout, m)
+	switch format {
+	case "csv":
+		return dataset.WriteIntervalCSV(w, m)
+	case "coo":
+		return dataset.WriteIntervalCOO(w, sparse.FromIMatrix(m))
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
 }

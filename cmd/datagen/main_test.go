@@ -1,9 +1,16 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
 
 func TestRunKinds(t *testing.T) {
-	// Output goes to stdout; we only verify the generators succeed.
+	// We only verify the generators succeed and emit something parseable.
 	cases := []struct {
 		kind    string
 		privacy string
@@ -16,20 +23,90 @@ func TestRunKinds(t *testing.T) {
 		{"ratings", "medium"},
 	}
 	for _, c := range cases {
-		if err := run(c.kind, 8, 6, 0, 1, 1, c.privacy, 0.02, 1); err != nil {
+		var buf bytes.Buffer
+		if err := run(&buf, c.kind, 8, 6, 0, 1, 1, c.privacy, 0.02, 0, "csv", 1); err != nil {
 			t.Errorf("%s/%s: %v", c.kind, c.privacy, err)
+			continue
+		}
+		if _, err := dataset.ReadIntervalCSV(&buf); err != nil {
+			t.Errorf("%s/%s: unparseable output: %v", c.kind, c.privacy, err)
 		}
 	}
 }
 
+func TestRunCOOFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 1); err != nil {
+		t.Fatal(err)
+	}
+	m, err := dataset.ReadIntervalCOO(&buf)
+	if err != nil {
+		t.Fatalf("unparseable COO output: %v", err)
+	}
+	if m.NNZ() == 0 {
+		t.Error("COO output has no observed cells")
+	}
+}
+
+func TestRunDensityKnob(t *testing.T) {
+	nnz := func(density float64) int {
+		var buf bytes.Buffer
+		if err := run(&buf, "uniform", 20, 20, 0, 1, 1, "medium", 0.1, density, "coo", 1); err != nil {
+			t.Fatal(err)
+		}
+		m, err := dataset.ReadIntervalCOO(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.NNZ()
+	}
+	sparse, dense := nnz(0.05), nnz(0.9)
+	if sparse >= dense {
+		t.Errorf("density knob has no effect: nnz(0.05) = %d >= nnz(0.9) = %d", sparse, dense)
+	}
+	if sparse > 20*20/4 {
+		t.Errorf("5%% density produced %d of %d cells", sparse, 20*20)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
-	if err := run("nope", 8, 6, 0, 1, 1, "medium", 0.1, 1); err == nil {
+	if err := run(io.Discard, "nope", 8, 6, 0, 1, 1, "medium", 0.1, 0, "csv", 1); err == nil {
 		t.Error("unknown kind accepted")
 	}
-	if err := run("anonymized", 8, 6, 0, 1, 1, "nope", 0.1, 1); err == nil {
+	if err := run(io.Discard, "anonymized", 8, 6, 0, 1, 1, "nope", 0.1, 0, "csv", 1); err == nil {
 		t.Error("unknown privacy accepted")
 	}
-	if err := run("uniform", -1, 6, 0, 1, 1, "medium", 0.1, 1); err == nil {
+	if err := run(io.Discard, "uniform", -1, 6, 0, 1, 1, "medium", 0.1, 0, "csv", 1); err == nil {
 		t.Error("bad shape accepted")
+	}
+	if err := run(io.Discard, "uniform", 8, 6, 0, 1, 1, "medium", 0.1, 0, "nope", 1); err == nil {
+		t.Error("unknown format accepted")
+	}
+	for _, kind := range []string{"uniform", "ratings"} {
+		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, 1.5, "csv", 1); err == nil {
+			t.Errorf("%s: density > 1 accepted", kind)
+		}
+		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, -0.1, "csv", 1); err == nil {
+			t.Errorf("%s: negative density accepted", kind)
+		}
+	}
+	// The ratings generator caps observed cells at half the matrix, so
+	// densities in (0.5, 1] are rejected rather than silently clamped.
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.1, 0.8, "csv", 1); err == nil {
+		t.Error("ratings density > 0.5 accepted")
+	}
+	// Kinds without a density notion reject the flag instead of
+	// silently ignoring it.
+	for _, kind := range []string{"anonymized", "faces"} {
+		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, 0.05, "csv", 1); err == nil {
+			t.Errorf("%s: unsupported -density accepted", kind)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "csv", 1); err != nil {
+		t.Errorf("baseline ratings run failed: %v", err)
+	}
+	if !strings.Contains(buf.String(), ",") {
+		t.Error("ratings CSV output looks empty")
 	}
 }

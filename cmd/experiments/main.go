@@ -11,6 +11,7 @@
 //	-full        paper-scale run (100 trials, full datasets, LP on)
 //	-trials N    override the trial count
 //	-scale F     override the dataset scale factor
+//	-density F   override the ratings observed-cell fraction (sparse CSR paths)
 //	-seed N      RNG seed (default 1)
 //	-lp          include the (slow) LP competitor class
 //	-workers N   bound the worker pool (0 = GOMAXPROCS)
@@ -19,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -31,15 +33,19 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale configuration")
 	trials := flag.Int("trials", 0, "override trial count")
 	scale := flag.Float64("scale", 0, "override dataset scale")
+	density := flag.Float64("density", 0, "override ratings observed-cell fraction (0 = dataset default)")
 	seed := flag.Int64("seed", 0, "RNG seed")
 	withLP := flag.Bool("lp", false, "include the LP competitor class")
 	workers := flag.Int("workers", 0, "worker-pool goroutines (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
 
+	// -list short-circuits before any flag validation: the listing must
+	// print regardless of what other flags hold.
 	if *list {
-		for _, id := range experiments.IDs() {
-			fmt.Printf("%-8s %s\n", id, experiments.Describe(id))
+		if err := run(os.Stdout, experiments.Config{}, nil, true); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -54,6 +60,15 @@ func main() {
 	if *scale > 0 {
 		cfg.Scale = *scale
 	}
+	if *density > 0 {
+		// The ratings generator caps observed cells at half the matrix;
+		// reject rather than silently run at a lower density than asked.
+		if *density > 0.5 {
+			fmt.Fprintf(os.Stderr, "-density %g exceeds the ratings generator maximum 0.5\n", *density)
+			os.Exit(2)
+		}
+		cfg.Density = *density
+	}
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
@@ -64,10 +79,22 @@ func main() {
 		cfg.Workers = *workers
 	}
 
-	ids := flag.Args()
+	if err := run(os.Stdout, cfg, flag.Args(), false); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the listed experiments (or prints the id listing) to w.
+func run(w io.Writer, cfg experiments.Config, ids []string, list bool) error {
+	if list {
+		for _, id := range experiments.IDs() {
+			fmt.Fprintf(w, "%-8s %s\n", id, experiments.Describe(id))
+		}
+		return nil
+	}
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "no experiment ids given; use -list to see them or 'all' to run everything")
-		os.Exit(2)
+		return fmt.Errorf("no experiment ids given; use -list to see them or 'all' to run everything")
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
@@ -76,9 +103,9 @@ func main() {
 		start := time.Now()
 		res, err := experiments.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "error: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("== %s — %s (%.1fs) ==\n%s\n", res.ID, res.Title, time.Since(start).Seconds(), res.Text)
+		fmt.Fprintf(w, "== %s — %s (%.1fs) ==\n%s\n", res.ID, res.Title, time.Since(start).Seconds(), res.Text)
 	}
+	return nil
 }

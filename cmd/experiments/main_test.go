@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func tinyConfig() experiments.Config {
+	return experiments.Config{Seed: 1, Trials: 1, Scale: 0.06, Density: 0.05}
+}
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, tinyConfig(), nil, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range experiments.IDs() {
+		if !strings.Contains(out, id) {
+			t.Errorf("listing missing id %q", id)
+		}
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, tinyConfig(), []string{"fig10"}, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== fig10") {
+		t.Errorf("output missing experiment banner:\n%s", out)
+	}
+	if !strings.Contains(out, "RMSE") {
+		t.Errorf("fig10 output missing RMSE table:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, tinyConfig(), nil, false); err == nil {
+		t.Error("missing ids accepted")
+	}
+	if err := run(&buf, tinyConfig(), []string{"nope"}, false); err == nil {
+		t.Error("unknown id accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package ivmf_test
+
+// Smoke tests for the runnable examples: each examples/* main must
+// build and exit 0 with non-empty output. Examples are the de-facto
+// public-API tutorials, so a signature change that breaks one should
+// fail the suite, not a user.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	bin := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			exe := filepath.Join(bin, name)
+			build := exec.Command("go", "build", "-o", exe, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			out, err := exec.Command(exe).CombinedOutput()
+			if err != nil {
+				t.Fatalf("run failed: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

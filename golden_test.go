@@ -1,0 +1,148 @@
+package ivmf_test
+
+// Golden-file regression tests: fixed fixture matrices live under
+// testdata/ together with the expected ISVD1/ISVD4 singular values and
+// AI-PMF RMSE in golden.json, so numeric drift introduced by a refactor
+// of any kernel in the pipeline is caught immediately. The tolerance is
+// tight (1e-9 relative) but not bitwise: Go reserves the right to fuse
+// multiply-adds on some architectures, so exact bit equality across
+// platforms is not guaranteed — bitwise invariance across worker counts
+// on one platform is pinned separately by determinism_test.go.
+//
+// After an *intended* numeric change, regenerate with:
+//
+//	go test -run TestGolden -update-golden .
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/ipmf"
+	"repro/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json with freshly computed values")
+
+const goldenPath = "testdata/golden.json"
+
+type goldenValues struct {
+	ISVD1SigmaLo []float64 `json:"isvd1_sigma_lo"`
+	ISVD1SigmaHi []float64 `json:"isvd1_sigma_hi"`
+	ISVD4SigmaLo []float64 `json:"isvd4_sigma_lo"`
+	ISVD4SigmaHi []float64 `json:"isvd4_sigma_hi"`
+	AIPMFRMSE    float64   `json:"aipmf_rmse"`
+}
+
+// computeGolden produces every golden value from the committed fixtures.
+func computeGolden(t *testing.T) goldenValues {
+	t.Helper()
+	uf, err := os.Open("testdata/golden_uniform.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer uf.Close()
+	m, err := dataset.ReadIntervalCSV(uf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g goldenValues
+	opts := core.Options{Rank: 6, Target: core.TargetB}
+	for _, run := range []struct {
+		method core.Method
+		lo, hi *[]float64
+	}{
+		{core.ISVD1, &g.ISVD1SigmaLo, &g.ISVD1SigmaHi},
+		{core.ISVD4, &g.ISVD4SigmaLo, &g.ISVD4SigmaHi},
+	} {
+		d, err := core.Decompose(m, run.method, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		*run.lo = d.Sigma.Lo.Diagonal()
+		*run.hi = d.Sigma.Hi.Diagonal()
+	}
+
+	rf, err := os.Open("testdata/golden_ratings.coo.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	ratings, err := dataset.ReadIntervalCOO(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ipmf.TrainAIPMFCSR(ratings, ipmf.Config{Rank: 4, Epochs: 40, LearningRate: 0.02}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pred, truth []float64
+	ratings.ForEachRow(func(i int, cols []int, lo, hi []float64) {
+		for p, j := range cols {
+			pred = append(pred, model.Predict(i, j))
+			truth = append(truth, (lo[p]+hi[p])/2)
+		}
+	})
+	g.AIPMFRMSE = metrics.RMSE(pred, truth)
+	return g
+}
+
+func relClose(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func compareSeries(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, golden has %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !relClose(got[i], want[i], 1e-9) {
+			t.Errorf("%s[%d] = %.15g, golden %.15g (drift %.2e)", label, i, got[i], want[i], got[i]-want[i])
+		}
+	}
+}
+
+func TestGoldenValues(t *testing.T) {
+	got := computeGolden(t)
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	var want goldenValues
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	compareSeries(t, "ISVD1.Sigma.Lo", got.ISVD1SigmaLo, want.ISVD1SigmaLo)
+	compareSeries(t, "ISVD1.Sigma.Hi", got.ISVD1SigmaHi, want.ISVD1SigmaHi)
+	compareSeries(t, "ISVD4.Sigma.Lo", got.ISVD4SigmaLo, want.ISVD4SigmaLo)
+	compareSeries(t, "ISVD4.Sigma.Hi", got.ISVD4SigmaHi, want.ISVD4SigmaHi)
+	if !relClose(got.AIPMFRMSE, want.AIPMFRMSE, 1e-9) {
+		t.Errorf("AI-PMF RMSE = %.15g, golden %.15g", got.AIPMFRMSE, want.AIPMFRMSE)
+	}
+	// Sanity: singular values are positive and descending at the
+	// midpoint, so a truncated or permuted golden file cannot pass.
+	for i := 1; i < len(got.ISVD4SigmaLo); i++ {
+		prev := (got.ISVD4SigmaLo[i-1] + got.ISVD4SigmaHi[i-1]) / 2
+		cur := (got.ISVD4SigmaLo[i] + got.ISVD4SigmaHi[i]) / 2
+		if cur > prev+1e-9 {
+			t.Errorf("ISVD4 midpoint singular values not descending at %d: %g > %g", i, cur, prev)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sparse"
+)
+
+// Interval COO format: a CSV whose first record is the matrix shape
+// "rows,cols" and whose remaining records are one observed cell each,
+// "row,col,value" with the value in the interval cell syntax of
+// ReadIntervalCSV ("1.5" or "1.0..2.5"). Only observed cells are stored,
+// so a 1%-dense ratings matrix costs 1% of the dense CSV — this is the
+// on-disk form the sparse ratings paths load.
+
+// WriteIntervalCOO writes the stored cells of m in the interval COO
+// format, in row-major order.
+func WriteIntervalCOO(w io.Writer, m *sparse.ICSR) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{strconv.Itoa(m.Rows), strconv.Itoa(m.Cols)}); err != nil {
+		return err
+	}
+	var werr error
+	m.ForEachRow(func(i int, cols []int, lo, hi []float64) {
+		if werr != nil {
+			return
+		}
+		for p, j := range cols {
+			cell := formatFloat(lo[p])
+			if hi[p] != lo[p] {
+				cell = formatFloat(lo[p]) + ".." + formatFloat(hi[p])
+			}
+			if err := cw.Write([]string{strconv.Itoa(i), strconv.Itoa(j), cell}); err != nil {
+				werr = err
+				return
+			}
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadIntervalCOO parses the interval COO format into a sparse interval
+// matrix. Malformed shapes, out-of-range or duplicate cells, and
+// misordered intervals (lo > hi) are errors.
+func ReadIntervalCOO(r io.Reader) (*sparse.ICSR, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // header is 2 fields, cells are 3
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: empty COO file")
+	}
+	header := records[0]
+	if len(header) != 2 {
+		return nil, fmt.Errorf("dataset: COO header has %d fields, want 2 (rows,cols)", len(header))
+	}
+	rows, err := parseDim(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("dataset: COO rows: %w", err)
+	}
+	cols, err := parseDim(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("dataset: COO cols: %w", err)
+	}
+	ts := make([]sparse.ITriplet, 0, len(records)-1)
+	for k, rec := range records[1:] {
+		if len(rec) != 3 {
+			return nil, fmt.Errorf("dataset: COO record %d has %d fields, want 3", k+1, len(rec))
+		}
+		i, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: COO record %d: bad row %q", k+1, rec[0])
+		}
+		j, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: COO record %d: bad col %q", k+1, rec[1])
+		}
+		lo, hi, err := parseCell(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: COO record %d: %w", k+1, err)
+		}
+		ts = append(ts, sparse.ITriplet{Row: i, Col: j, Lo: lo, Hi: hi})
+	}
+	m, err := sparse.FromICOO(rows, cols, ts)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	if !m.IsWellFormed() {
+		return nil, fmt.Errorf("dataset: COO contains misordered intervals (lo > hi)")
+	}
+	return m, nil
+}
+
+// maxCOODim bounds the declared matrix shape so a malformed or hostile
+// header cannot force a multi-gigabyte row-pointer allocation before the
+// cell count is even known.
+const maxCOODim = 1 << 24
+
+func parseDim(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad dimension %q", s)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("non-positive dimension %d", n)
+	}
+	if n > maxCOODim {
+		return 0, fmt.Errorf("dimension %d exceeds limit %d", n, maxCOODim)
+	}
+	return n, nil
+}

@@ -1,0 +1,109 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestIntervalCOORoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rc := RatingsConfig{Users: 30, Items: 40, Genres: 5, NumRatings: 90, LatentRank: 3, Alpha: 0.4}
+	data, err := GenerateRatings(rc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := data.CFIntervalsCSR()
+
+	var buf bytes.Buffer
+	if err := WriteIntervalCOO(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadIntervalCOO(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows != m.Rows || back.Cols != m.Cols || back.NNZ() != m.NNZ() {
+		t.Fatalf("shape/NNZ mismatch: %dx%d/%d vs %dx%d/%d",
+			back.Rows, back.Cols, back.NNZ(), m.Rows, m.Cols, m.NNZ())
+	}
+	for p := range m.ColInd {
+		if back.ColInd[p] != m.ColInd[p] || back.Lo[p] != m.Lo[p] || back.Hi[p] != m.Hi[p] {
+			t.Fatalf("entry %d differs after round trip", p)
+		}
+	}
+}
+
+func TestReadIntervalCOOErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"bad header width", "3\n"},
+		{"bad rows", "x,3\n"},
+		{"zero cols", "3,0\n"},
+		{"huge dims", "99999999999,3\n"},
+		{"record width", "2,2\n0,0\n"},
+		{"bad row index", "2,2\nx,0,1\n"},
+		{"bad col index", "2,2\n0,x,1\n"},
+		{"bad cell", "2,2\n0,0,abc\n"},
+		{"out of range", "2,2\n2,0,1\n"},
+		{"duplicate", "2,2\n0,0,1\n0,0,2\n"},
+		{"misordered", "2,2\n0,0,5..1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadIntervalCOO(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCFIntervalsCSRMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rc := MovieLensLike().Scaled(0.03)
+	data, err := GenerateRatings(rc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromDense := sparse.FromIMatrix(data.CFIntervals())
+	direct := data.CFIntervalsCSR()
+	if fromDense.NNZ() != direct.NNZ() {
+		t.Fatalf("NNZ %d vs %d", fromDense.NNZ(), direct.NNZ())
+	}
+	for p := range fromDense.ColInd {
+		if fromDense.ColInd[p] != direct.ColInd[p] ||
+			fromDense.Lo[p] != direct.Lo[p] || fromDense.Hi[p] != direct.Hi[p] {
+			t.Fatalf("entry %d differs between dense and direct CSR construction", p)
+		}
+	}
+
+	scalarDense := sparse.FromDense(data.UserItemScalar())
+	scalarDirect := data.UserItemCSR()
+	if scalarDense.NNZ() != scalarDirect.NNZ() {
+		t.Fatalf("scalar NNZ %d vs %d", scalarDense.NNZ(), scalarDirect.NNZ())
+	}
+	for p := range scalarDense.ColInd {
+		if scalarDense.ColInd[p] != scalarDirect.ColInd[p] || scalarDense.Val[p] != scalarDirect.Val[p] {
+			t.Fatalf("scalar entry %d differs", p)
+		}
+	}
+}
+
+func TestWithDensity(t *testing.T) {
+	rc := RatingsConfig{Users: 100, Items: 200, Genres: 5, NumRatings: 999, LatentRank: 3, Alpha: 0.4}
+	if got := rc.WithDensity(0.01).NumRatings; got != 200 {
+		t.Errorf("1%% density: NumRatings = %d, want 200", got)
+	}
+	if got := rc.WithDensity(0).NumRatings; got != 1 {
+		t.Errorf("zero density: NumRatings = %d, want 1", got)
+	}
+	if got := rc.WithDensity(1).NumRatings; got != 100*200/2 {
+		t.Errorf("full density: NumRatings = %d, want cap %d", got, 100*200/2)
+	}
+	if err := rc.WithDensity(0.05).Validate(); err != nil {
+		t.Errorf("WithDensity produced invalid config: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -70,19 +71,34 @@ func ReadIntervalCSV(r io.Reader) (*imatrix.IMatrix, error) {
 func parseCell(cell string) (lo, hi float64, err error) {
 	cell = strings.TrimSpace(cell)
 	if idx := strings.Index(cell, ".."); idx >= 0 {
-		lo, err = strconv.ParseFloat(cell[:idx], 64)
+		lo, err = parseFinite(cell[:idx])
 		if err != nil {
 			return 0, 0, fmt.Errorf("bad lower endpoint %q", cell[:idx])
 		}
-		hi, err = strconv.ParseFloat(cell[idx+2:], 64)
+		hi, err = parseFinite(cell[idx+2:])
 		if err != nil {
 			return 0, 0, fmt.Errorf("bad upper endpoint %q", cell[idx+2:])
 		}
 		return lo, hi, nil
 	}
-	v, err := strconv.ParseFloat(cell, 64)
+	v, err := parseFinite(cell)
 	if err != nil {
 		return 0, 0, fmt.Errorf("bad scalar %q", cell)
 	}
 	return v, v, nil
+}
+
+// parseFinite parses a float and rejects NaN and infinities: non-finite
+// endpoints violate the precondition of every decomposition downstream
+// (core.ValidateInput, interval.IsValid), so the parsers refuse them at
+// the boundary.
+func parseFinite(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/imatrix"
 	"repro/internal/interval"
 	"repro/internal/matrix"
+	"repro/internal/sparse"
 )
 
 // RatingsConfig describes a synthetic ratings workload standing in for
@@ -67,6 +68,27 @@ func (c RatingsConfig) Scaled(f float64) RatingsConfig {
 	if limit := s.Users * s.Items / 2; s.NumRatings > limit {
 		s.NumRatings = limit
 	}
+	return s
+}
+
+// WithDensity returns a copy of the config whose observed-cell count is
+// d·Users·Items (clamped to [1, Users·Items/2]) — the density knob the
+// sparse experiments turn: at 1-5% density a ratings matrix is
+// realistically sparse and the CSR paths carry the workload. The upper
+// clamp is the generator's termination bound: beyond half density the
+// rejection sampler degrades, so densities above 0.5 run at 0.5 —
+// callers that must not silently lose density should validate first
+// (cmd/datagen and cmd/experiments reject d > 0.5).
+func (c RatingsConfig) WithDensity(d float64) RatingsConfig {
+	s := c
+	n := int(d * float64(c.Users) * float64(c.Items))
+	if n < 1 {
+		n = 1
+	}
+	if limit := c.Users * c.Items / 2; n > limit {
+		n = limit
+	}
+	s.NumRatings = n
 	return s
 }
 
@@ -215,6 +237,23 @@ func (d *RatingsData) UserItemScalar() *matrix.Dense {
 	return m
 }
 
+// UserItemCSR returns the user-item ratings in CSR form without
+// materializing the dense matrix: O(NNZ) memory instead of
+// O(Users·Items). The entry order matches sparse.FromDense of
+// UserItemScalar, so training on either is bitwise identical.
+func (d *RatingsData) UserItemCSR() *sparse.CSR {
+	ts := make([]sparse.Triplet, len(d.Ratings))
+	for k, r := range d.Ratings {
+		ts[k] = sparse.Triplet{Row: r.User, Col: r.Item, Val: r.Value}
+	}
+	m, err := sparse.FromCOO(d.Config.Users, d.Config.Items, ts)
+	if err != nil {
+		// The generator guarantees in-range, duplicate-free cells.
+		panic(fmt.Sprintf("dataset: UserItemCSR: %v", err))
+	}
+	return m
+}
+
 // CFIntervals applies the collaborative-filtering interval construction
 // of Supplementary F.2 to the observed cells: for rating X_ij,
 // S_ij collects every rating by user i or for item j, and
@@ -228,6 +267,25 @@ func (d *RatingsData) CFIntervals() *imatrix.IMatrix {
 		out.Set(r.User, r.Item, interval.New(r.Value-delta, r.Value+delta))
 	}
 	return out
+}
+
+// CFIntervalsCSR is CFIntervals in CSR form, computed straight from the
+// rating list: the dense user-item matrix is never allocated, and each
+// stored interval is the same [X_ij − δ, X_ij + δ] value CFIntervals
+// produces, so sparse.FromIMatrix(d.CFIntervals()) and this function
+// agree entry for entry.
+func (d *RatingsData) CFIntervalsCSR() *sparse.ICSR {
+	cfg := d.Config
+	ts := make([]sparse.ITriplet, len(d.Ratings))
+	for k, r := range d.Ratings {
+		delta := cfg.Alpha * d.unionStd(r.User, r.Item, r.Value)
+		ts[k] = sparse.ITriplet{Row: r.User, Col: r.Item, Lo: r.Value - delta, Hi: r.Value + delta}
+	}
+	m, err := sparse.FromICOO(cfg.Users, cfg.Items, ts)
+	if err != nil {
+		panic(fmt.Sprintf("dataset: CFIntervalsCSR: %v", err))
+	}
+	return m
 }
 
 // unionStd computes the standard deviation of the union of user u's

@@ -29,6 +29,14 @@ type Config struct {
 	// WithLP includes the (very slow) LP competitor class where the
 	// paper reports it.
 	WithLP bool
+	// Density overrides the observed-cell fraction of the ratings
+	// generators (0 = each dataset's published count). At 0.01-0.05 the
+	// rating matrices are realistically sparse and the experiment
+	// harness exercises the CSR training paths at production-like
+	// sparsity. Values above 0.5 are clamped to 0.5, the ratings
+	// generator's maximum (see dataset.RatingsConfig.WithDensity);
+	// cmd/experiments rejects them outright.
+	Density float64
 	// Workers bounds the concurrent method-grid evaluations (each grid
 	// decomposition then runs its own endpoint fan-out serially, leaving
 	// the deep kernels to the shared pool's global helper budget). Zero

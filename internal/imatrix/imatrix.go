@@ -192,15 +192,7 @@ func MulEndpoints(a, b *IMatrix) *IMatrix {
 	t2 := matrix.Mul(a.Lo, b.Hi)
 	t3 := matrix.Mul(a.Hi, b.Lo)
 	t4 := matrix.Mul(a.Hi, b.Hi)
-	lo := matrix.New(a.Rows(), b.Cols())
-	hi := matrix.New(a.Rows(), b.Cols())
-	parallel.For(len(lo.Data), combineGrain, func(flo, fhi int) {
-		for i := flo; i < fhi; i++ {
-			lo.Data[i] = math.Min(math.Min(t1.Data[i], t2.Data[i]), math.Min(t3.Data[i], t4.Data[i]))
-			hi.Data[i] = math.Max(math.Max(t1.Data[i], t2.Data[i]), math.Max(t3.Data[i], t4.Data[i]))
-		}
-	})
-	return &IMatrix{Lo: lo, Hi: hi}
+	return MinMaxCombine4(t1, t2, t3, t4)
 }
 
 // MulScalarRight returns the exact interval product a × s for a scalar
@@ -240,23 +232,48 @@ func MulScalarLeft(s *matrix.Dense, a *IMatrix) *IMatrix {
 func MulEndpointsScalarRight(a *IMatrix, s *matrix.Dense) *IMatrix {
 	t1 := matrix.Mul(a.Lo, s)
 	t2 := matrix.Mul(a.Hi, s)
-	return minMaxCombine(t1, t2)
+	return MinMaxCombine(t1, t2)
 }
 
 // MulEndpointsScalarLeft is the endpoint counterpart of MulScalarLeft.
 func MulEndpointsScalarLeft(s *matrix.Dense, a *IMatrix) *IMatrix {
 	t1 := matrix.Mul(s, a.Lo)
 	t2 := matrix.Mul(s, a.Hi)
-	return minMaxCombine(t1, t2)
+	return MinMaxCombine(t1, t2)
 }
 
-func minMaxCombine(t1, t2 *matrix.Dense) *IMatrix {
+// MinMaxCombine returns the elementwise interval [min(t1, t2),
+// max(t1, t2)] of two equal-shape matrices — the endpoint combine of
+// Supplementary Algorithm 1, shared by every endpoint product here and
+// by the sparse kernels of internal/sparse.
+func MinMaxCombine(t1, t2 *matrix.Dense) *IMatrix {
+	if t1.Rows != t2.Rows || t1.Cols != t2.Cols {
+		panic(fmt.Sprintf("imatrix: MinMaxCombine: %dx%d vs %dx%d", t1.Rows, t1.Cols, t2.Rows, t2.Cols))
+	}
 	lo := matrix.New(t1.Rows, t1.Cols)
 	hi := matrix.New(t1.Rows, t1.Cols)
 	parallel.For(len(lo.Data), combineGrain, func(flo, fhi int) {
 		for i := flo; i < fhi; i++ {
 			lo.Data[i] = math.Min(t1.Data[i], t2.Data[i])
 			hi.Data[i] = math.Max(t1.Data[i], t2.Data[i])
+		}
+	})
+	return &IMatrix{Lo: lo, Hi: hi}
+}
+
+// MinMaxCombine4 is MinMaxCombine over four operands.
+func MinMaxCombine4(t1, t2, t3, t4 *matrix.Dense) *IMatrix {
+	for _, t := range []*matrix.Dense{t2, t3, t4} {
+		if t1.Rows != t.Rows || t1.Cols != t.Cols {
+			panic(fmt.Sprintf("imatrix: MinMaxCombine4: %dx%d vs %dx%d", t1.Rows, t1.Cols, t.Rows, t.Cols))
+		}
+	}
+	lo := matrix.New(t1.Rows, t1.Cols)
+	hi := matrix.New(t1.Rows, t1.Cols)
+	parallel.For(len(lo.Data), combineGrain, func(flo, fhi int) {
+		for i := flo; i < fhi; i++ {
+			lo.Data[i] = math.Min(math.Min(t1.Data[i], t2.Data[i]), math.Min(t3.Data[i], t4.Data[i]))
+			hi.Data[i] = math.Max(math.Max(t1.Data[i], t2.Data[i]), math.Max(t3.Data[i], t4.Data[i]))
 		}
 	})
 	return &IMatrix{Lo: lo, Hi: hi}

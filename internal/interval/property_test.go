@@ -1,0 +1,131 @@
+package interval
+
+// Property-based tests for the Sunaga interval algebra: randomized checks
+// of the axioms the decomposition code silently relies on — inclusion
+// correctness (member points stay inside derived intervals), lo <= hi
+// preservation, and inclusion monotonicity of the endpoint-combine
+// multiplication (a ⊆ a', b ⊆ b' ⇒ a·b ⊆ a'·b').
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const propTrials = 2000
+
+// propInterval draws an interval with endpoints in [-scale, scale];
+// about one in five is degenerate (scalar).
+func propInterval(rng *rand.Rand, scale float64) Interval {
+	a := (rng.Float64()*2 - 1) * scale
+	if rng.Intn(5) == 0 {
+		return Scalar(a)
+	}
+	b := (rng.Float64()*2 - 1) * scale
+	return FromUnordered(a, b)
+}
+
+// propMember draws a member point of a.
+func propMember(rng *rand.Rand, a Interval) float64 {
+	return a.Lo + rng.Float64()*(a.Hi-a.Lo)
+}
+
+func TestPropOrderedEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 0; n < propTrials; n++ {
+		a := propInterval(rng, 10)
+		b := propInterval(rng, 10)
+		for _, c := range []struct {
+			name string
+			iv   Interval
+		}{
+			{"Add", a.Add(b)}, {"Sub", a.Sub(b)}, {"Mul", a.Mul(b)},
+			{"Sq", a.Sq()}, {"Neg", a.Neg()}, {"Hull", a.Hull(b)},
+			{"Scale", a.Scale(rng.NormFloat64() * 3)},
+			{"Clamp", a.Clamp(-1, 1)},
+		} {
+			if c.iv.Lo > c.iv.Hi {
+				t.Fatalf("trial %d: %s(%v, %v) = %v misordered", n, c.name, a, b, c.iv)
+			}
+		}
+	}
+}
+
+func TestPropInclusionCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const tol = 1e-9
+	for n := 0; n < propTrials; n++ {
+		a := propInterval(rng, 10)
+		b := propInterval(rng, 10)
+		x := propMember(rng, a)
+		y := propMember(rng, b)
+		checks := []struct {
+			name string
+			iv   Interval
+			v    float64
+		}{
+			{"Add", a.Add(b), x + y},
+			{"Sub", a.Sub(b), x - y},
+			{"Mul", a.Mul(b), x * y},
+			{"Sq", a.Sq(), x * x},
+			{"Neg", a.Neg(), -x},
+			{"Hull", a.Hull(b), x},
+		}
+		for _, c := range checks {
+			if c.v < c.iv.Lo-tol || c.v > c.iv.Hi+tol {
+				t.Fatalf("trial %d: %s member %g escapes %v (a=%v x=%g, b=%v y=%g)",
+					n, c.name, c.v, c.iv, a, x, b, y)
+			}
+		}
+	}
+}
+
+func TestPropMulMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const tol = 1e-9
+	widen := func(a Interval) Interval {
+		return Interval{Lo: a.Lo - rng.Float64(), Hi: a.Hi + rng.Float64()}
+	}
+	for n := 0; n < propTrials; n++ {
+		a := propInterval(rng, 10)
+		b := propInterval(rng, 10)
+		aw, bw := widen(a), widen(b)
+		inner := a.Mul(b)
+		outer := aw.Mul(bw)
+		if inner.Lo < outer.Lo-tol || inner.Hi > outer.Hi+tol {
+			t.Fatalf("trial %d: Mul not inclusion monotone: %v·%v = %v outside %v·%v = %v",
+				n, a, b, inner, aw, bw, outer)
+		}
+	}
+}
+
+func TestPropSqTighterThanMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for n := 0; n < propTrials; n++ {
+		a := propInterval(rng, 10)
+		sq, mul := a.Sq(), a.Mul(a)
+		if sq.Lo < mul.Lo || sq.Hi > mul.Hi {
+			t.Fatalf("trial %d: Sq(%v) = %v escapes Mul = %v", n, a, sq, mul)
+		}
+		if sq.Lo < 0 {
+			t.Fatalf("trial %d: Sq(%v) has negative lower bound %g", n, a, sq.Lo)
+		}
+	}
+}
+
+func TestPropMidSpanConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const tol = 1e-12
+	for n := 0; n < propTrials; n++ {
+		a := propInterval(rng, 10)
+		if got := a.Mid() - a.Radius(); math.Abs(got-a.Lo) > tol*math.Max(1, math.Abs(a.Lo)) {
+			t.Fatalf("trial %d: Mid-Radius = %g, want Lo = %g", n, got, a.Lo)
+		}
+		if got := a.Span(); math.Abs(got-2*a.Radius()) > tol*math.Max(1, got) {
+			t.Fatalf("trial %d: Span = %g, want 2·Radius = %g", n, got, 2*a.Radius())
+		}
+		if !a.Contains(a.Mid()) {
+			t.Fatalf("trial %d: midpoint of %v not contained", n, a)
+		}
+	}
+}

@@ -6,7 +6,12 @@
 //
 // All variants treat zero cells as unobserved (the indicator I_ij of the
 // PMF likelihood) and train with stochastic gradient descent over the
-// observed cells.
+// observed cells. The observation list is built from CSR row structure
+// (internal/sparse) and carries the observed values, so the epochs never
+// scan or index dense storage: the TrainXxxCSR entry points train
+// directly on sparse ratings with O(NNZ) memory and per-epoch cost, and
+// the dense entry points compress first, producing bitwise-identical
+// models.
 package ipmf
 
 import (
@@ -18,6 +23,7 @@ import (
 	"repro/internal/imatrix"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	"repro/internal/sparse"
 )
 
 // Config holds the hyper-parameters shared by PMF, I-PMF, and AI-PMF.
@@ -127,8 +133,14 @@ func (m *IntervalModel) PredictInterval(i, j int) (lo, hi float64) {
 	return a, b
 }
 
-// cell is one observed training entry.
-type cell struct{ i, j int }
+// cell is one observed training entry carrying its value(s), so the SGD
+// epochs read the observation list directly — a contiguous, cache-
+// friendly scan — instead of indexing back into matrix storage. Scalar
+// training uses lo only; interval training uses both endpoints.
+type cell struct {
+	i, j   int
+	lo, hi float64
+}
 
 // runScheduler splits a shuffled cell sequence into maximal contiguous
 // runs in which no row or column repeats. Cells of one run touch disjoint
@@ -174,22 +186,42 @@ func (s *runScheduler) forEachRun(obs []cell, fn func(run []cell)) {
 // exercise the sharded path (see determinism_test.go in this package).
 var sgdGrain = func(rank int) int { return parallel.Grain(8 * rank) }
 
-// observedScalar lists the non-zero cells of a scalar matrix.
+// observedScalar lists the non-zero cells of a dense scalar matrix in
+// row-major order — the same sequence observedCSR produces for the
+// compressed matrix, so dense and sparse training see identical
+// observation lists (pinned by TestTrainPMFCSRBitwiseEqualsDense).
 func observedScalar(m *matrix.Dense) []cell {
 	var out []cell
 	for i := 0; i < m.Rows; i++ {
-		row := m.RowView(i)
-		for j, v := range row {
+		for j, v := range m.RowView(i) {
 			if v != 0 {
-				out = append(out, cell{i, j})
+				out = append(out, cell{i: i, j: j, lo: v})
 			}
 		}
 	}
 	return out
 }
 
-// observedInterval lists the cells of an interval matrix where either
-// endpoint is non-zero.
+// observedCSR lists a sparse scalar matrix's stored cells in CSR row
+// order. Explicitly stored zeros are skipped: zero means unobserved (the
+// indicator I_ij) regardless of storage, so a hand-built CSR with zero
+// entries trains identically to its dense expansion.
+func observedCSR(m *sparse.CSR) []cell {
+	out := make([]cell, 0, m.NNZ())
+	m.ForEachRow(func(i int, cols []int, vals []float64) {
+		for p, j := range cols {
+			if vals[p] == 0 {
+				continue
+			}
+			out = append(out, cell{i: i, j: j, lo: vals[p]})
+		}
+	})
+	return out
+}
+
+// observedInterval lists the cells of a dense interval matrix where
+// either endpoint is non-zero, in the same row-major order as
+// observedICSR on the compressed matrix.
 func observedInterval(m *imatrix.IMatrix) []cell {
 	var out []cell
 	for i := 0; i < m.Rows(); i++ {
@@ -197,10 +229,26 @@ func observedInterval(m *imatrix.IMatrix) []cell {
 		hi := m.Hi.RowView(i)
 		for j := range lo {
 			if lo[j] != 0 || hi[j] != 0 {
-				out = append(out, cell{i, j})
+				out = append(out, cell{i: i, j: j, lo: lo[j], hi: hi[j]})
 			}
 		}
 	}
+	return out
+}
+
+// observedICSR lists a sparse interval matrix's stored cells in CSR row
+// order, skipping entries where both endpoints are zero (unobserved,
+// matching the observedInterval predicate on dense storage).
+func observedICSR(m *sparse.ICSR) []cell {
+	out := make([]cell, 0, m.NNZ())
+	m.ForEachRow(func(i int, cols []int, lo, hi []float64) {
+		for p, j := range cols {
+			if lo[p] == 0 && hi[p] == 0 {
+				continue
+			}
+			out = append(out, cell{i: i, j: j, lo: lo[p], hi: hi[p]})
+		}
+	})
 	return out
 }
 
@@ -214,16 +262,30 @@ func randFactor(rows, cols int, rng *rand.Rand) *matrix.Dense {
 
 // TrainPMF fits the scalar PMF baseline on the non-zero cells of m.
 func TrainPMF(m *matrix.Dense, cfg Config, rng *rand.Rand) (*Model, error) {
+	return trainScalar(m.Rows, m.Cols, observedScalar(m), cfg, rng)
+}
+
+// TrainPMFCSR fits the scalar PMF baseline on a sparse ratings matrix.
+// For a CSR compressed from a dense matrix the result is bitwise
+// identical to TrainPMF on that matrix: the observation sequence, the
+// shuffles, and every floating-point update coincide.
+func TrainPMFCSR(m *sparse.CSR, cfg Config, rng *rand.Rand) (*Model, error) {
+	return trainScalar(m.Rows, m.Cols, observedCSR(m), cfg, rng)
+}
+
+// trainScalar is the shared scalar SGD loop: the epochs iterate the
+// observation list (built from CSR row structure) and never touch matrix
+// storage, so the cost per epoch scales with NNZ, not rows·cols.
+func trainScalar(rows, cols int, obs []cell, cfg Config, rng *rand.Rand) (*Model, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(cfg.Rank); err != nil {
 		return nil, err
 	}
 	r := cfg.Rank
-	u := randFactor(m.Rows, r, rng)
-	v := randFactor(m.Cols, r, rng)
-	obs := observedScalar(m)
+	u := randFactor(rows, r, rng)
+	v := randFactor(cols, r, rng)
 	lr := cfg.LearningRate
-	sched := newRunScheduler(m.Rows, m.Cols)
+	sched := newRunScheduler(rows, cols)
 	grain := sgdGrain(r)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(obs), func(a, b int) { obs[a], obs[b] = obs[b], obs[a] })
@@ -236,7 +298,7 @@ func TrainPMF(m *matrix.Dense, cfg Config, rng *rand.Rand) (*Model, error) {
 					for t := 0; t < r; t++ {
 						pred += ui[t] * vj[t]
 					}
-					e := pred - m.At(c.i, c.j)
+					e := pred - c.lo
 					for t := 0; t < r; t++ {
 						gu := e*vj[t] + cfg.LambdaU*ui[t]
 						gv := e*ui[t] + cfg.LambdaV*vj[t]
@@ -252,19 +314,19 @@ func TrainPMF(m *matrix.Dense, cfg Config, rng *rand.Rand) (*Model, error) {
 
 // trainInterval is the shared I-PMF/AI-PMF loop (Section 5; Supplementary
 // Algorithm 15). When alignEvery > 0 the V† sides are re-aligned by ILSA,
-// making it AI-PMF.
-func trainInterval(m *imatrix.IMatrix, cfg Config, rng *rand.Rand, alignEach bool) (*IntervalModel, error) {
+// making it AI-PMF. Like trainScalar, the epochs iterate the observation
+// list directly; matrix storage is only read once to build it.
+func trainInterval(rows, cols int, obs []cell, cfg Config, rng *rand.Rand, alignEach bool) (*IntervalModel, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(cfg.Rank); err != nil {
 		return nil, err
 	}
 	r := cfg.Rank
-	u := randFactor(m.Rows(), r, rng)
-	vLo := randFactor(m.Cols(), r, rng)
-	vHi := randFactor(m.Cols(), r, rng)
-	obs := observedInterval(m)
+	u := randFactor(rows, r, rng)
+	vLo := randFactor(cols, r, rng)
+	vHi := randFactor(cols, r, rng)
 	lr := cfg.LearningRate
-	sched := newRunScheduler(m.Rows(), m.Cols())
+	sched := newRunScheduler(rows, cols)
 	grain := sgdGrain(r)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(obs), func(a, b int) { obs[a], obs[b] = obs[b], obs[a] })
@@ -279,8 +341,8 @@ func trainInterval(m *imatrix.IMatrix, cfg Config, rng *rand.Rand, alignEach boo
 						pLo += ui[t] * lo[t]
 						pHi += ui[t] * hi[t]
 					}
-					eLo := pLo - m.Lo.At(c.i, c.j)
-					eHi := pHi - m.Hi.At(c.i, c.j)
+					eLo := pLo - c.lo
+					eHi := pHi - c.hi
 					for t := 0; t < r; t++ {
 						gu := eLo*lo[t] + eHi*hi[t] + cfg.LambdaU*ui[t]
 						gLo := eLo*ui[t] + cfg.LambdaV*lo[t]
@@ -327,10 +389,23 @@ func realign(vLo, vHi *matrix.Dense, method assign.Method) {
 
 // TrainIPMF fits I-PMF (no alignment).
 func TrainIPMF(m *imatrix.IMatrix, cfg Config, rng *rand.Rand) (*IntervalModel, error) {
-	return trainInterval(m, cfg, rng, false)
+	return trainInterval(m.Rows(), m.Cols(), observedInterval(m), cfg, rng, false)
 }
 
 // TrainAIPMF fits the paper's aligned interval PMF.
 func TrainAIPMF(m *imatrix.IMatrix, cfg Config, rng *rand.Rand) (*IntervalModel, error) {
-	return trainInterval(m, cfg, rng, true)
+	return trainInterval(m.Rows(), m.Cols(), observedInterval(m), cfg, rng, true)
+}
+
+// TrainIPMFCSR fits I-PMF on sparse interval ratings. For an ICSR
+// compressed from a dense interval matrix the result is bitwise identical
+// to TrainIPMF on that matrix.
+func TrainIPMFCSR(m *sparse.ICSR, cfg Config, rng *rand.Rand) (*IntervalModel, error) {
+	return trainInterval(m.Rows, m.Cols, observedICSR(m), cfg, rng, false)
+}
+
+// TrainAIPMFCSR fits AI-PMF on sparse interval ratings, bitwise identical
+// to TrainAIPMF on the dense expansion.
+func TrainAIPMFCSR(m *sparse.ICSR, cfg Config, rng *rand.Rand) (*IntervalModel, error) {
+	return trainInterval(m.Rows, m.Cols, observedICSR(m), cfg, rng, true)
 }

@@ -171,12 +171,12 @@ func TestPredictInterval(t *testing.T) {
 func TestObservedMasks(t *testing.T) {
 	m := matrix.New(2, 2)
 	m.Set(0, 1, 5)
-	if got := observedScalar(m); len(got) != 1 || got[0] != (cell{0, 1}) {
+	if got := observedScalar(m); len(got) != 1 || got[0] != (cell{i: 0, j: 1, lo: 5}) {
 		t.Fatalf("observedScalar = %v", got)
 	}
 	im := imatrix.New(2, 2)
 	im.Set(1, 0, interval.New(0, 2)) // Lo 0, Hi non-zero → observed
-	if got := observedInterval(im); len(got) != 1 || got[0] != (cell{1, 0}) {
+	if got := observedInterval(im); len(got) != 1 || got[0] != (cell{i: 1, j: 0, lo: 0, hi: 2}) {
 		t.Fatalf("observedInterval = %v", got)
 	}
 }

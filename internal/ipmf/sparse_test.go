@@ -1,0 +1,156 @@
+package ipmf
+
+// Dense-vs-sparse training equivalence: the CSR entry points must produce
+// bitwise-identical models to the dense ones for the same seed, because
+// CSR compression preserves the row-major observation order and the cells
+// carry the exact stored values.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+	"repro/internal/sparse"
+)
+
+func sparseScalarFixture(rng *rand.Rand, rows, cols int, density float64) *matrix.Dense {
+	m := matrix.New(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < density {
+			m.Data[i] = float64(rng.Intn(5) + 1)
+		}
+	}
+	return m
+}
+
+func sparseIntervalFixture(rng *rand.Rand, rows, cols int, density float64) *imatrix.IMatrix {
+	m := imatrix.New(rows, cols)
+	for i := range m.Lo.Data {
+		if rng.Float64() < density {
+			v := float64(rng.Intn(5) + 1)
+			m.Lo.Data[i] = v - rng.Float64()
+			m.Hi.Data[i] = v + rng.Float64()
+		}
+	}
+	return m
+}
+
+func equalDense(t *testing.T, label string, a, b *matrix.Dense) {
+	t.Helper()
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("%s: element %d differs bitwise: %v vs %v", label, i, a.Data[i], b.Data[i])
+		}
+	}
+}
+
+func TestTrainPMFCSRBitwiseEqualsDense(t *testing.T) {
+	m := sparseScalarFixture(rand.New(rand.NewSource(21)), 40, 55, 0.05)
+	cfg := Config{Rank: 5, Epochs: 6, LearningRate: 0.01}
+	dense, err := TrainPMF(m, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := TrainPMFCSR(sparse.FromDense(m), cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalDense(t, "U", dense.U, sp.U)
+	equalDense(t, "V", dense.V, sp.V)
+}
+
+func TestTrainIntervalCSRBitwiseEqualsDense(t *testing.T) {
+	m := sparseIntervalFixture(rand.New(rand.NewSource(22)), 35, 48, 0.05)
+	cfg := Config{Rank: 5, Epochs: 6, LearningRate: 0.01}
+	csr := sparse.FromIMatrix(m)
+
+	for _, tc := range []struct {
+		name   string
+		dense  func() (*IntervalModel, error)
+		sparse func() (*IntervalModel, error)
+	}{
+		{"IPMF",
+			func() (*IntervalModel, error) { return TrainIPMF(m, cfg, rand.New(rand.NewSource(8))) },
+			func() (*IntervalModel, error) { return TrainIPMFCSR(csr, cfg, rand.New(rand.NewSource(8))) }},
+		{"AIPMF",
+			func() (*IntervalModel, error) { return TrainAIPMF(m, cfg, rand.New(rand.NewSource(8))) },
+			func() (*IntervalModel, error) { return TrainAIPMFCSR(csr, cfg, rand.New(rand.NewSource(8))) }},
+	} {
+		d, err := tc.dense()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := tc.sparse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		equalDense(t, tc.name+".U", d.U, s.U)
+		equalDense(t, tc.name+".VLo", d.VLo, s.VLo)
+		equalDense(t, tc.name+".VHi", d.VHi, s.VHi)
+	}
+}
+
+// TestStoredZerosAreUnobserved pins the zero-cell contract on sparse
+// storage: an explicitly stored zero entry (legal in a hand-built CSR)
+// must not train as an observed rating of 0 — the model must match
+// training on the same matrix with the zero entries absent.
+func TestStoredZerosAreUnobserved(t *testing.T) {
+	withZero, err := sparse.FromICOO(4, 4, []sparse.ITriplet{
+		{Row: 0, Col: 1, Lo: 2, Hi: 3},
+		{Row: 1, Col: 0, Lo: 0, Hi: 0}, // stored but unobserved
+		{Row: 2, Col: 3, Lo: 4, Hi: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := sparse.FromICOO(4, 4, []sparse.ITriplet{
+		{Row: 0, Col: 1, Lo: 2, Hi: 3},
+		{Row: 2, Col: 3, Lo: 4, Hi: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Rank: 2, Epochs: 5, LearningRate: 0.01}
+	a, err := TrainAIPMFCSR(withZero, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainAIPMFCSR(without, cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalDense(t, "U", a.U, b.U)
+	equalDense(t, "VLo", a.VLo, b.VLo)
+	equalDense(t, "VHi", a.VHi, b.VHi)
+
+	scalarWithZero, err := sparse.NewCSR(2, 2, []int{0, 2, 2}, []int{0, 1}, []float64{3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs := observedCSR(scalarWithZero); len(obs) != 1 || obs[0] != (cell{i: 0, j: 0, lo: 3}) {
+		t.Fatalf("stored zero treated as observation: %v", obs)
+	}
+}
+
+// TestObservedOrderMatchesCSRStructure pins that the observation list is
+// exactly the CSR row scan — the property the run scheduler and the
+// bitwise dense/sparse equivalence both rest on.
+func TestObservedOrderMatchesCSRStructure(t *testing.T) {
+	m := sparseScalarFixture(rand.New(rand.NewSource(23)), 12, 18, 0.2)
+	obs := observedScalar(m)
+	csr := sparse.FromDense(m)
+	if len(obs) != csr.NNZ() {
+		t.Fatalf("len(obs) = %d, NNZ = %d", len(obs), csr.NNZ())
+	}
+	k := 0
+	csr.ForEachRow(func(i int, cols []int, vals []float64) {
+		for p, j := range cols {
+			c := obs[k]
+			if c.i != i || c.j != j || c.lo != vals[p] {
+				t.Fatalf("obs[%d] = %+v, want (%d, %d, %g)", k, c, i, j, vals[p])
+			}
+			k++
+		}
+	})
+}

@@ -5,21 +5,51 @@
 // unobserved ones, which is what makes low-rank reconstruction a
 // recommender. Predictions carry their interval, so callers can surface
 // the model's imprecision alongside the point estimate.
+//
+// Two prediction backends share one Predictor API: a materialized
+// interval reconstruction (Build/FromDecomposition — the paper's path)
+// and trained AI-PMF factors (BuildSparse/FromIntervalModel), which
+// compute each cell on demand from U_i·V†_j. The factor backend accepts
+// sparse CSR ratings and never materializes a dense matrix — memory is
+// O((rows+cols)·rank) instead of O(rows·cols), which is what makes it
+// usable on realistically sparse rating corpora.
 package recommend
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/imatrix"
 	"repro/internal/interval"
+	"repro/internal/ipmf"
 	"repro/internal/metrics"
+	"repro/internal/sparse"
 )
 
-// Predictor predicts ratings from a low-rank interval reconstruction.
+// source is a rating estimate provider: either a materialized
+// reconstruction (*imatrix.IMatrix satisfies it directly) or a lazy
+// factor product.
+type source interface {
+	Rows() int
+	Cols() int
+	At(i, j int) interval.Interval
+}
+
+// factorSource predicts from trained interval PMF factors on demand.
+type factorSource struct{ m *ipmf.IntervalModel }
+
+func (f factorSource) Rows() int { return f.m.U.Rows }
+func (f factorSource) Cols() int { return f.m.VLo.Rows }
+func (f factorSource) At(i, j int) interval.Interval {
+	lo, hi := f.m.PredictInterval(i, j)
+	return interval.Interval{Lo: lo, Hi: hi}
+}
+
+// Predictor predicts ratings from a low-rank interval source.
 type Predictor struct {
-	recon *imatrix.IMatrix
+	src source
 	// Min and Max clamp predictions to the rating scale; Max <= Min
 	// disables clamping.
 	Min, Max float64
@@ -36,27 +66,45 @@ func Build(ratings *imatrix.IMatrix, method core.Method, opts core.Options, minR
 	if err != nil {
 		return nil, fmt.Errorf("recommend: %w", err)
 	}
-	return &Predictor{recon: d.Reconstruct(), Min: minRating, Max: maxRating}, nil
+	return &Predictor{src: d.Reconstruct(), Min: minRating, Max: maxRating}, nil
 }
 
 // FromDecomposition wraps an existing decomposition.
 func FromDecomposition(d *core.Decomposition, minRating, maxRating float64) *Predictor {
-	return &Predictor{recon: d.Reconstruct(), Min: minRating, Max: maxRating}
+	return &Predictor{src: d.Reconstruct(), Min: minRating, Max: maxRating}
 }
 
-// Rows and Cols report the reconstruction shape.
-func (p *Predictor) Rows() int { return p.recon.Rows() }
+// FromIntervalModel wraps trained I-PMF/AI-PMF factors; every prediction
+// is computed on demand as U_i·V†_j, so no dense matrix is materialized.
+func FromIntervalModel(m *ipmf.IntervalModel, minRating, maxRating float64) *Predictor {
+	return &Predictor{src: factorSource{m}, Min: minRating, Max: maxRating}
+}
 
-// Cols reports the reconstruction width.
-func (p *Predictor) Cols() int { return p.recon.Cols() }
+// BuildSparse trains AI-PMF on a sparse interval rating matrix and
+// returns a factor-backed Predictor. Unlike Build it never densifies:
+// training iterates the stored cells (O(NNZ) per epoch) and the
+// predictor holds only the factors.
+func BuildSparse(ratings *sparse.ICSR, cfg ipmf.Config, rng *rand.Rand, minRating, maxRating float64) (*Predictor, error) {
+	m, err := ipmf.TrainAIPMFCSR(ratings, cfg, rng)
+	if err != nil {
+		return nil, fmt.Errorf("recommend: %w", err)
+	}
+	return FromIntervalModel(m, minRating, maxRating), nil
+}
+
+// Rows and Cols report the prediction matrix shape.
+func (p *Predictor) Rows() int { return p.src.Rows() }
+
+// Cols reports the prediction matrix width.
+func (p *Predictor) Cols() int { return p.src.Cols() }
 
 // PredictInterval returns the interval estimate for cell (i, j), clamped
 // to the rating scale.
 func (p *Predictor) PredictInterval(i, j int) (interval.Interval, error) {
-	if i < 0 || i >= p.recon.Rows() || j < 0 || j >= p.recon.Cols() {
-		return interval.Interval{}, fmt.Errorf("%w: (%d, %d) in %dx%d", ErrShape, i, j, p.recon.Rows(), p.recon.Cols())
+	if i < 0 || i >= p.src.Rows() || j < 0 || j >= p.src.Cols() {
+		return interval.Interval{}, fmt.Errorf("%w: (%d, %d) in %dx%d", ErrShape, i, j, p.src.Rows(), p.src.Cols())
 	}
-	iv := p.recon.At(i, j)
+	iv := p.src.At(i, j)
 	if p.Max > p.Min {
 		iv = iv.Clamp(p.Min, p.Max)
 	}
@@ -75,7 +123,7 @@ func (p *Predictor) Predict(i, j int) (float64, error) {
 // TopN returns the column indices of the n highest midpoint predictions
 // in row i, excluding the given already-rated columns.
 func (p *Predictor) TopN(i, n int, exclude map[int]bool) ([]int, error) {
-	if i < 0 || i >= p.recon.Rows() {
+	if i < 0 || i >= p.src.Rows() {
 		return nil, fmt.Errorf("%w: row %d", ErrShape, i)
 	}
 	type cand struct {
@@ -83,7 +131,7 @@ func (p *Predictor) TopN(i, n int, exclude map[int]bool) ([]int, error) {
 		v float64
 	}
 	var cands []cand
-	for j := 0; j < p.recon.Cols(); j++ {
+	for j := 0; j < p.src.Cols(); j++ {
 		if exclude[j] {
 			continue
 		}
@@ -108,6 +156,30 @@ func (p *Predictor) TopN(i, n int, exclude map[int]bool) ([]int, error) {
 		out[k] = cands[k].j
 	}
 	return out, nil
+}
+
+// TopNSparse is TopN with the exclusion set taken from the stored cells
+// of row i of the sparse ratings — the columns the user already rated —
+// so callers holding CSR ratings don't build an exclusion map by hand.
+func (p *Predictor) TopNSparse(i, n int, ratings *sparse.ICSR) ([]int, error) {
+	if ratings.Rows != p.src.Rows() || ratings.Cols != p.src.Cols() {
+		return nil, fmt.Errorf("%w: ratings %dx%d vs predictor %dx%d",
+			ErrShape, ratings.Rows, ratings.Cols, p.src.Rows(), p.src.Cols())
+	}
+	if i < 0 || i >= ratings.Rows {
+		return nil, fmt.Errorf("%w: row %d", ErrShape, i)
+	}
+	cols, lo, hi := ratings.RowView(i)
+	exclude := make(map[int]bool, len(cols))
+	for k, j := range cols {
+		// Explicitly stored [0, 0] cells are unobserved (the training
+		// convention of ipmf), so they stay recommendable.
+		if lo[k] == 0 && hi[k] == 0 {
+			continue
+		}
+		exclude[j] = true
+	}
+	return p.TopN(i, n, exclude)
 }
 
 // Holdout is a held-out observation for evaluation.

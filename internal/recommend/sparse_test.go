@@ -1,0 +1,117 @@
+package recommend
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ipmf"
+	"repro/internal/sparse"
+)
+
+func sparseRatings(t *testing.T, seed int64) *sparse.ICSR {
+	t.Helper()
+	m, _ := ratingMatrix(t, seed)
+	return sparse.FromIMatrix(m)
+}
+
+func TestBuildSparsePredicts(t *testing.T) {
+	r := sparseRatings(t, 6)
+	cfg := ipmf.Config{Rank: 4, Epochs: 20, LearningRate: 0.01}
+	p, err := BuildSparse(r, cfg, rand.New(rand.NewSource(1)), 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows() != r.Rows || p.Cols() != r.Cols {
+		t.Fatalf("shape %dx%d, want %dx%d", p.Rows(), p.Cols(), r.Rows, r.Cols)
+	}
+	for _, idx := range [][2]int{{0, 0}, {r.Rows - 1, r.Cols - 1}} {
+		iv, err := p.PredictInterval(idx[0], idx[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Lo < 1 || iv.Hi > 5 || iv.Lo > iv.Hi {
+			t.Fatalf("interval %v outside scale or misordered", iv)
+		}
+	}
+	if _, err := p.Predict(-1, 0); err == nil {
+		t.Error("negative row accepted")
+	}
+}
+
+// TestFactorSourceMatchesModel pins that the lazy factor source predicts
+// exactly what the underlying model predicts (endpoints ordered).
+func TestFactorSourceMatchesModel(t *testing.T) {
+	r := sparseRatings(t, 7)
+	cfg := ipmf.Config{Rank: 3, Epochs: 10, LearningRate: 0.01}
+	m, err := ipmf.TrainAIPMFCSR(r, cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FromIntervalModel(m, 0, 0) // clamping disabled
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			iv, err := p.PredictInterval(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo, hi := m.PredictInterval(i, j)
+			if iv.Lo != lo || iv.Hi != hi {
+				t.Fatalf("(%d, %d): source %v vs model [%g, %g]", i, j, iv, lo, hi)
+			}
+		}
+	}
+}
+
+func TestTopNSparseExcludesStoredCells(t *testing.T) {
+	r := sparseRatings(t, 8)
+	cfg := ipmf.Config{Rank: 4, Epochs: 20, LearningRate: 0.01}
+	p, err := BuildSparse(r, cfg, rand.New(rand.NewSource(3)), 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a user with at least one rated and one unrated genre.
+	user := -1
+	for i := 0; i < r.Rows; i++ {
+		cols, _, _ := r.RowView(i)
+		if len(cols) > 0 && len(cols) < r.Cols {
+			user = i
+			break
+		}
+	}
+	if user < 0 {
+		t.Skip("no user with mixed rated/unrated columns")
+	}
+	rated, _, _ := r.RowView(user)
+	top, err := p.TopNSparse(user, 2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range top {
+		for _, rc := range rated {
+			if j == rc {
+				t.Fatalf("rated column %d recommended", j)
+			}
+		}
+	}
+
+	if _, err := p.TopNSparse(-1, 2, r); err == nil {
+		t.Error("negative row accepted")
+	}
+	// A stored [0, 0] cell is unobserved by the training convention, so
+	// it must stay recommendable rather than be excluded.
+	zr, err := sparse.FromICOO(r.Rows, r.Cols, []sparse.ITriplet{{Row: user, Col: rated[0], Lo: 0, Hi: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := p.TopNSparse(user, r.Cols, zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != r.Cols {
+		t.Errorf("stored [0,0] cell excluded from recommendations: got %d of %d columns", len(all), r.Cols)
+	}
+	other := &sparse.ICSR{Rows: r.Rows + 1, Cols: r.Cols, RowPtr: make([]int, r.Rows+2)}
+	if _, err := p.TopNSparse(0, 2, other); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}

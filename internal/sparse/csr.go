@@ -1,0 +1,287 @@
+// Package sparse implements compressed sparse row (CSR) storage for the
+// ratings/CF paths, where matrices are overwhelmingly unobserved: a
+// scalar CSR and an interval ICSR whose lo/hi value arrays share one
+// index structure. Construction comes from dense matrices, interval
+// matrices, or COO triplets; the kernels (CSR·Dense products, transpose
+// products for the Gram step, endpoint min/max combines) run row-sharded
+// on the shared worker pool and are bitwise identical to their dense
+// counterparts in internal/matrix and internal/imatrix: the dense kernels
+// skip zero left-operand terms and accumulate each output element in
+// fixed k order, which is exactly the order a CSR row scan produces.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// CSR is a scalar matrix in compressed sparse row form: row i's stored
+// entries are ColInd[RowPtr[i]:RowPtr[i+1]] (column indices, strictly
+// ascending within the row) with values Val[RowPtr[i]:RowPtr[i+1]].
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int // len Rows+1
+	ColInd     []int // len NNZ
+	Val        []float64
+}
+
+// Triplet is one COO entry of a scalar sparse matrix.
+type Triplet struct {
+	Row, Col int
+	Val      float64
+}
+
+// NewCSR wraps raw CSR arrays (no copy) after validating the structure:
+// RowPtr must be non-decreasing from 0 to len(ColInd), and column indices
+// must be in range and strictly ascending within each row.
+func NewCSR(rows, cols int, rowPtr, colInd []int, val []float64) (*CSR, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: NewCSR(%d, %d): non-positive dimension", rows, cols)
+	}
+	if len(rowPtr) != rows+1 {
+		return nil, fmt.Errorf("sparse: NewCSR: len(RowPtr) = %d, want %d", len(rowPtr), rows+1)
+	}
+	if len(colInd) != len(val) {
+		return nil, fmt.Errorf("sparse: NewCSR: len(ColInd) = %d, len(Val) = %d", len(colInd), len(val))
+	}
+	if rowPtr[0] != 0 || rowPtr[rows] != len(colInd) {
+		return nil, fmt.Errorf("sparse: NewCSR: RowPtr spans [%d, %d], want [0, %d]", rowPtr[0], rowPtr[rows], len(colInd))
+	}
+	for i := 0; i < rows; i++ {
+		if rowPtr[i] > rowPtr[i+1] {
+			return nil, fmt.Errorf("sparse: NewCSR: RowPtr decreases at row %d", i)
+		}
+		for p := rowPtr[i]; p < rowPtr[i+1]; p++ {
+			if colInd[p] < 0 || colInd[p] >= cols {
+				return nil, fmt.Errorf("sparse: NewCSR: column %d out of range at row %d", colInd[p], i)
+			}
+			if p > rowPtr[i] && colInd[p] <= colInd[p-1] {
+				return nil, fmt.Errorf("sparse: NewCSR: columns not strictly ascending in row %d", i)
+			}
+		}
+	}
+	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColInd: colInd, Val: val}, nil
+}
+
+// FromDense compresses a dense matrix, storing every non-zero cell in
+// row-major order.
+func FromDense(m *matrix.Dense) *CSR {
+	rowPtr := make([]int, m.Rows+1)
+	nnz := 0
+	for _, v := range m.Data {
+		if v != 0 {
+			nnz++
+		}
+	}
+	colInd := make([]int, 0, nnz)
+	val := make([]float64, 0, nnz)
+	for i := 0; i < m.Rows; i++ {
+		for j, v := range m.RowView(i) {
+			if v != 0 {
+				colInd = append(colInd, j)
+				val = append(val, v)
+			}
+		}
+		rowPtr[i+1] = len(colInd)
+	}
+	return &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: rowPtr, ColInd: colInd, Val: val}
+}
+
+// FromCOO builds a CSR from COO triplets. The triplets are sorted by
+// (row, col) — the input order does not matter — and duplicates or
+// out-of-range indices are errors, so the result is uniquely determined
+// by the entry set.
+func FromCOO(rows, cols int, ts []Triplet) (*CSR, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: FromCOO(%d, %d): non-positive dimension", rows, cols)
+	}
+	sorted := make([]Triplet, len(ts))
+	copy(sorted, ts)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Row != sorted[b].Row {
+			return sorted[a].Row < sorted[b].Row
+		}
+		return sorted[a].Col < sorted[b].Col
+	})
+	rowPtr := make([]int, rows+1)
+	colInd := make([]int, 0, len(sorted))
+	val := make([]float64, 0, len(sorted))
+	for k, t := range sorted {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			return nil, fmt.Errorf("sparse: FromCOO: entry (%d, %d) outside %dx%d", t.Row, t.Col, rows, cols)
+		}
+		if k > 0 && t.Row == sorted[k-1].Row && t.Col == sorted[k-1].Col {
+			return nil, fmt.Errorf("sparse: FromCOO: duplicate entry (%d, %d)", t.Row, t.Col)
+		}
+		colInd = append(colInd, t.Col)
+		val = append(val, t.Val)
+		rowPtr[t.Row+1]++
+	}
+	for i := 0; i < rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return &CSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColInd: colInd, Val: val}, nil
+}
+
+// NNZ returns the number of stored entries.
+func (a *CSR) NNZ() int { return len(a.ColInd) }
+
+// RowView returns row i's stored column indices and values, sharing the
+// CSR's backing arrays.
+func (a *CSR) RowView(i int) (cols []int, vals []float64) {
+	lo, hi := a.RowPtr[i], a.RowPtr[i+1]
+	return a.ColInd[lo:hi], a.Val[lo:hi]
+}
+
+// ForEachRow invokes fn once per row, in order, with that row's stored
+// entries (views into the backing arrays).
+func (a *CSR) ForEachRow(fn func(i int, cols []int, vals []float64)) {
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowView(i)
+		fn(i, cols, vals)
+	}
+}
+
+// At returns element (i, j), 0 when unstored. Lookup is a binary search
+// over row i's columns.
+func (a *CSR) At(i, j int) float64 {
+	cols, vals := a.RowView(i)
+	p := sort.SearchInts(cols, j)
+	if p < len(cols) && cols[p] == j {
+		return vals[p]
+	}
+	return 0
+}
+
+// ToDense expands the CSR to a dense matrix.
+func (a *CSR) ToDense() *matrix.Dense {
+	out := matrix.New(a.Rows, a.Cols)
+	a.ForEachRow(func(i int, cols []int, vals []float64) {
+		row := out.RowView(i)
+		for p, j := range cols {
+			row[j] = vals[p]
+		}
+	})
+	return out
+}
+
+// T returns the transpose as a new CSR. The counting transpose emits each
+// output row's entries in ascending original-row order, so products
+// against the transpose accumulate in the same k order as the dense
+// kernels.
+func (a *CSR) T() *CSR {
+	nnz := a.NNZ()
+	rowPtr := make([]int, a.Cols+1)
+	for _, j := range a.ColInd {
+		rowPtr[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		rowPtr[j+1] += rowPtr[j]
+	}
+	colInd := make([]int, nnz)
+	val := make([]float64, nnz)
+	next := make([]int, a.Cols)
+	copy(next, rowPtr[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.RowView(i)
+		for p, j := range cols {
+			q := next[j]
+			next[j]++
+			colInd[q] = i
+			val[q] = vals[p]
+		}
+	}
+	return &CSR{Rows: a.Cols, Cols: a.Rows, RowPtr: rowPtr, ColInd: colInd, Val: val}
+}
+
+// mulGrain returns the row grain for a CSR product with out-width w:
+// the per-row cost is ~2·(nnz/rows)·w flops on average.
+func mulGrain(a *CSR, w int) int {
+	perRow := 2 * (a.NNZ()/a.Rows + 1) * w
+	return parallel.Grain(perRow)
+}
+
+// MulDense returns the product a·b for a dense right operand. Output rows
+// are sharded on the shared worker pool; within a row the stored entries
+// are scanned in ascending column order, which is exactly the term order
+// of matrix.Mul (it skips zero left factors), so the result is bitwise
+// identical to matrix.Mul(a.ToDense(), b) for any worker count.
+func MulDense(a *CSR, b *matrix.Dense) *matrix.Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: MulDense: %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := matrix.New(a.Rows, b.Cols)
+	parallel.For(a.Rows, mulGrain(a, b.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols, vals := a.RowView(i)
+			orow := out.RowView(i)
+			for p, k := range cols {
+				av := vals[p]
+				if av == 0 {
+					continue
+				}
+				brow := b.RowView(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Mul returns the product a·b of two CSR matrices as a dense matrix (the
+// products this package serves — Gram matrices, factor projections — are
+// dense even when both operands are sparse). Zero stored values of a are
+// skipped (matching matrix.Mul's left-factor skip); b contributes only
+// its stored entries, and its unstored cells would add exactly ±0, so
+// the result compares equal elementwise to matrix.Mul of the dense
+// expansions — only the sign of a zero can differ.
+func Mul(a, b *CSR) *matrix.Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: Mul: %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := matrix.New(a.Rows, b.Cols)
+	avgRowNNZ := b.NNZ()/b.Rows + 1
+	parallel.For(a.Rows, mulGrain(a, avgRowNNZ), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols, vals := a.RowView(i)
+			orow := out.RowView(i)
+			for p, k := range cols {
+				av := vals[p]
+				if av == 0 {
+					continue
+				}
+				bcols, bvals := b.RowView(k)
+				for q, j := range bcols {
+					orow[j] += av * bvals[q]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// TMul returns aᵀ·b as a dense matrix — the transpose product of the
+// Gram step (M†ᵀ·M† splits into endpoint products of this shape). It is
+// computed as Mul(a.T(), b): the counting transpose keeps each output
+// element's accumulation in ascending original-row order, matching
+// matrix.TMul's fixed k order.
+func TMul(a, b *CSR) *matrix.Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("sparse: TMul: (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	return Mul(a.T(), b)
+}
+
+// TMulDense returns aᵀ·b for a dense right operand, bitwise identical to
+// matrix.TMul(a.ToDense(), b).
+func TMulDense(a *CSR, b *matrix.Dense) *matrix.Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("sparse: TMulDense: (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	return MulDense(a.T(), b)
+}

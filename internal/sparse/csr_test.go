@@ -1,0 +1,196 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+	"repro/internal/matrix"
+)
+
+func randDense(rng *rand.Rand, rows, cols int, density float64) *matrix.Dense {
+	m := matrix.New(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < density {
+			m.Data[i] = rng.NormFloat64()
+		}
+	}
+	return m
+}
+
+func randIMatrix(rng *rand.Rand, rows, cols int, density float64) *imatrix.IMatrix {
+	m := imatrix.New(rows, cols)
+	for i := range m.Lo.Data {
+		if rng.Float64() < density {
+			v := rng.NormFloat64()
+			m.Lo.Data[i] = v
+			m.Hi.Data[i] = v + rng.Float64()
+		}
+	}
+	return m
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, density := range []float64{0, 0.03, 0.3, 1} {
+		m := randDense(rng, 17, 23, density)
+		c := FromDense(m)
+		back := c.ToDense()
+		for i, v := range m.Data {
+			if back.Data[i] != v {
+				t.Fatalf("density %g: element %d: %v != %v", density, i, back.Data[i], v)
+			}
+		}
+		wantNNZ := 0
+		for _, v := range m.Data {
+			if v != 0 {
+				wantNNZ++
+			}
+		}
+		if c.NNZ() != wantNNZ {
+			t.Fatalf("density %g: NNZ = %d, want %d", density, c.NNZ(), wantNNZ)
+		}
+	}
+}
+
+func TestAtAndRowView(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randDense(rng, 11, 13, 0.2)
+	c := FromDense(m)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if got, want := c.At(i, j), m.At(i, j); got != want {
+				t.Fatalf("At(%d, %d) = %v, want %v", i, j, got, want)
+			}
+		}
+		cols, vals := c.RowView(i)
+		if len(cols) != len(vals) {
+			t.Fatalf("row %d: len(cols) %d != len(vals) %d", i, len(cols), len(vals))
+		}
+		for p := 1; p < len(cols); p++ {
+			if cols[p] <= cols[p-1] {
+				t.Fatalf("row %d: columns not strictly ascending", i)
+			}
+		}
+	}
+}
+
+func TestFromCOO(t *testing.T) {
+	ts := []Triplet{{2, 1, 3}, {0, 2, 1}, {0, 0, 2}, {1, 1, -4}}
+	c, err := FromCOO(3, 3, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.FromRows([][]float64{{2, 0, 1}, {0, -4, 0}, {0, 3, 0}})
+	got := c.ToDense()
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: %v != %v", i, got.Data[i], want.Data[i])
+		}
+	}
+
+	if _, err := FromCOO(3, 3, []Triplet{{0, 0, 1}, {0, 0, 2}}); err == nil {
+		t.Error("duplicate entry accepted")
+	}
+	if _, err := FromCOO(3, 3, []Triplet{{3, 0, 1}}); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, err := FromCOO(3, 3, []Triplet{{0, -1, 1}}); err == nil {
+		t.Error("negative column accepted")
+	}
+	if _, err := FromCOO(0, 3, nil); err == nil {
+		t.Error("zero rows accepted")
+	}
+}
+
+func TestNewCSRValidation(t *testing.T) {
+	if _, err := NewCSR(2, 2, []int{0, 1, 2}, []int{0, 1}, []float64{1, 2}); err != nil {
+		t.Errorf("valid CSR rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		rowPtr []int
+		colInd []int
+		val    []float64
+	}{
+		{"short rowptr", []int{0, 2}, []int{0, 1}, []float64{1, 2}},
+		{"rowptr end mismatch", []int{0, 1, 1}, []int{0, 1}, []float64{1, 2}},
+		{"rowptr decreasing", []int{0, 2, 1}, []int{0, 1, 0}, []float64{1, 2, 3}},
+		{"col out of range", []int{0, 1, 2}, []int{0, 2}, []float64{1, 2}},
+		{"cols not ascending", []int{0, 2, 2}, []int{1, 0}, []float64{1, 2}},
+		{"val length mismatch", []int{0, 1, 2}, []int{0, 1}, []float64{1}},
+	}
+	for _, c := range cases {
+		if _, err := NewCSR(2, 2, c.rowPtr, c.colInd, c.val); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randDense(rng, 9, 14, 0.25)
+	got := FromDense(m).T().ToDense()
+	want := m.T()
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: %v != %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestICSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := randIMatrix(rng, 12, 9, 0.3)
+	c := FromIMatrix(m)
+	back := c.ToIMatrix()
+	for i := range m.Lo.Data {
+		if back.Lo.Data[i] != m.Lo.Data[i] || back.Hi.Data[i] != m.Hi.Data[i] {
+			t.Fatalf("element %d differs after round trip", i)
+		}
+	}
+	if !c.IsWellFormed() {
+		t.Error("well-formed matrix reported misordered")
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if got, want := c.At(i, j), m.At(i, j); got != want {
+				t.Fatalf("At(%d, %d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestFromICOO(t *testing.T) {
+	ts := []ITriplet{{1, 0, 1, 2}, {0, 1, -1, 0.5}}
+	c, err := FromICOO(2, 2, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(1, 0); got != (interval.Interval{Lo: 1, Hi: 2}) {
+		t.Errorf("At(1,0) = %v", got)
+	}
+	if got := c.At(0, 1); got != (interval.Interval{Lo: -1, Hi: 0.5}) {
+		t.Errorf("At(0,1) = %v", got)
+	}
+	if got := c.At(0, 0); got != (interval.Interval{}) {
+		t.Errorf("At(0,0) = %v, want zero", got)
+	}
+	if _, err := FromICOO(2, 2, []ITriplet{{0, 0, 1, 2}, {0, 0, 3, 4}}); err == nil {
+		t.Error("duplicate entry accepted")
+	}
+}
+
+func TestLoHiCSRShareStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randIMatrix(rng, 8, 8, 0.4)
+	c := FromIMatrix(m)
+	lo, hi := c.LoCSR(), c.HiCSR()
+	if &lo.RowPtr[0] != &hi.RowPtr[0] || &lo.ColInd[0] != &hi.ColInd[0] {
+		t.Error("endpoint CSRs do not share the index structure")
+	}
+	if &lo.Val[0] != &c.Lo[0] || &hi.Val[0] != &c.Hi[0] {
+		t.Error("endpoint CSRs do not alias the value arrays")
+	}
+}

@@ -1,0 +1,186 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/imatrix"
+	"repro/internal/interval"
+	"repro/internal/matrix"
+)
+
+// ICSR is an interval-valued sparse matrix in CSR form: one shared index
+// structure (RowPtr, ColInd) with parallel Lo and Hi value arrays. A
+// stored entry is the interval [Lo[p], Hi[p]]; unstored cells are the
+// scalar zero, matching the "zero means unobserved" convention of the
+// ratings/CF paths.
+type ICSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColInd     []int
+	Lo, Hi     []float64
+}
+
+// ITriplet is one COO entry of an interval sparse matrix.
+type ITriplet struct {
+	Row, Col int
+	Lo, Hi   float64
+}
+
+// FromIMatrix compresses an interval matrix, storing every cell where
+// either endpoint is non-zero (the observed-cell predicate of
+// ipmf.observedInterval) in row-major order.
+func FromIMatrix(m *imatrix.IMatrix) *ICSR {
+	rows, cols := m.Rows(), m.Cols()
+	rowPtr := make([]int, rows+1)
+	var colInd []int
+	var lo, hi []float64
+	for i := 0; i < rows; i++ {
+		lrow := m.Lo.RowView(i)
+		hrow := m.Hi.RowView(i)
+		for j := range lrow {
+			if lrow[j] != 0 || hrow[j] != 0 {
+				colInd = append(colInd, j)
+				lo = append(lo, lrow[j])
+				hi = append(hi, hrow[j])
+			}
+		}
+		rowPtr[i+1] = len(colInd)
+	}
+	return &ICSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColInd: colInd, Lo: lo, Hi: hi}
+}
+
+// FromICOO builds an ICSR from interval COO triplets, sorted by
+// (row, col); duplicates and out-of-range indices are errors.
+func FromICOO(rows, cols int, ts []ITriplet) (*ICSR, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("sparse: FromICOO(%d, %d): non-positive dimension", rows, cols)
+	}
+	sorted := make([]ITriplet, len(ts))
+	copy(sorted, ts)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Row != sorted[b].Row {
+			return sorted[a].Row < sorted[b].Row
+		}
+		return sorted[a].Col < sorted[b].Col
+	})
+	rowPtr := make([]int, rows+1)
+	colInd := make([]int, 0, len(sorted))
+	lo := make([]float64, 0, len(sorted))
+	hi := make([]float64, 0, len(sorted))
+	for k, t := range sorted {
+		if t.Row < 0 || t.Row >= rows || t.Col < 0 || t.Col >= cols {
+			return nil, fmt.Errorf("sparse: FromICOO: entry (%d, %d) outside %dx%d", t.Row, t.Col, rows, cols)
+		}
+		if k > 0 && t.Row == sorted[k-1].Row && t.Col == sorted[k-1].Col {
+			return nil, fmt.Errorf("sparse: FromICOO: duplicate entry (%d, %d)", t.Row, t.Col)
+		}
+		colInd = append(colInd, t.Col)
+		lo = append(lo, t.Lo)
+		hi = append(hi, t.Hi)
+		rowPtr[t.Row+1]++
+	}
+	for i := 0; i < rows; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	return &ICSR{Rows: rows, Cols: cols, RowPtr: rowPtr, ColInd: colInd, Lo: lo, Hi: hi}, nil
+}
+
+// NNZ returns the number of stored entries.
+func (a *ICSR) NNZ() int { return len(a.ColInd) }
+
+// RowView returns row i's stored column indices and endpoint values,
+// sharing the backing arrays.
+func (a *ICSR) RowView(i int) (cols []int, lo, hi []float64) {
+	p, q := a.RowPtr[i], a.RowPtr[i+1]
+	return a.ColInd[p:q], a.Lo[p:q], a.Hi[p:q]
+}
+
+// ForEachRow invokes fn once per row, in order, with that row's stored
+// entries (views into the backing arrays).
+func (a *ICSR) ForEachRow(fn func(i int, cols []int, lo, hi []float64)) {
+	for i := 0; i < a.Rows; i++ {
+		cols, lo, hi := a.RowView(i)
+		fn(i, cols, lo, hi)
+	}
+}
+
+// At returns element (i, j) as an interval; unstored cells are the
+// scalar zero.
+func (a *ICSR) At(i, j int) interval.Interval {
+	cols, lo, hi := a.RowView(i)
+	for p, c := range cols {
+		if c == j {
+			return interval.Interval{Lo: lo[p], Hi: hi[p]}
+		}
+		if c > j {
+			break
+		}
+	}
+	return interval.Interval{}
+}
+
+// IsWellFormed reports whether every stored entry satisfies Lo <= Hi.
+func (a *ICSR) IsWellFormed() bool {
+	for p, lo := range a.Lo {
+		if lo > a.Hi[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// LoCSR returns the minimum-endpoint matrix as a CSR sharing a's index
+// structure and Lo array (no copy). Entries whose Lo endpoint is zero
+// stay stored; the kernels skip zero values, so products are unaffected.
+func (a *ICSR) LoCSR() *CSR {
+	return &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: a.RowPtr, ColInd: a.ColInd, Val: a.Lo}
+}
+
+// HiCSR returns the maximum-endpoint matrix as a CSR sharing a's index
+// structure and Hi array (no copy).
+func (a *ICSR) HiCSR() *CSR {
+	return &CSR{Rows: a.Rows, Cols: a.Cols, RowPtr: a.RowPtr, ColInd: a.ColInd, Val: a.Hi}
+}
+
+// ToIMatrix expands the ICSR to a dense interval matrix.
+func (a *ICSR) ToIMatrix() *imatrix.IMatrix {
+	out := imatrix.New(a.Rows, a.Cols)
+	a.ForEachRow(func(i int, cols []int, lo, hi []float64) {
+		lrow := out.Lo.RowView(i)
+		hrow := out.Hi.RowView(i)
+		for p, j := range cols {
+			lrow[j] = lo[p]
+			hrow[j] = hi[p]
+		}
+	})
+	return out
+}
+
+// MulEndpointsDense is the sparse counterpart of
+// imatrix.MulEndpointsScalarRight (Supplementary Algorithm 1 with a
+// scalar right operand): the two endpoint products a.Lo·s and a.Hi·s,
+// combined elementwise by imatrix.MinMaxCombine. The result is bitwise
+// identical to the imatrix version on a.ToIMatrix().
+func MulEndpointsDense(a *ICSR, s *matrix.Dense) *imatrix.IMatrix {
+	t1 := MulDense(a.LoCSR(), s)
+	t2 := MulDense(a.HiCSR(), s)
+	return imatrix.MinMaxCombine(t1, t2)
+}
+
+// GramEndpoints returns the endpoint Gram product aᵀ×a of Supplementary
+// Algorithm 1: the four transpose endpoint products combined elementwise
+// by min and max — the Gram step of the ISVD2-4 pipelines, fed from
+// sparse storage. It is elementwise identical to
+// imatrix.MulEndpoints(m.T(), m) for m = a.ToIMatrix() (skipped zero
+// terms contribute exactly ±0, so values compare equal; only the sign of
+// a zero can differ).
+func GramEndpoints(a *ICSR) *imatrix.IMatrix {
+	loT := a.LoCSR().T()
+	hiT := a.HiCSR().T()
+	t1 := Mul(loT, a.LoCSR())
+	t2 := Mul(loT, a.HiCSR())
+	t3 := Mul(hiT, a.LoCSR())
+	t4 := Mul(hiT, a.HiCSR())
+	return imatrix.MinMaxCombine4(t1, t2, t3, t4)
+}

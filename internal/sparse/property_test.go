@@ -1,0 +1,150 @@
+package sparse
+
+// Sparse-vs-dense equivalence properties: for random matrices at any
+// density, the CSR kernels must match the dense kernels of
+// internal/matrix and internal/imatrix elementwise (bitwise up to the
+// sign of zero — skipped zero terms contribute exactly ±0), for any
+// worker count. This is the contract that lets the ratings/CF paths swap
+// storage without perturbing a single reproduced number.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+var densities = []float64{0.01, 0.05, 0.3, 1.0}
+
+func withWorkers(n int, fn func()) {
+	parallel.SetWorkers(n)
+	defer parallel.SetWorkers(0)
+	fn()
+}
+
+func denseEqual(t *testing.T, label string, got, want *matrix.Dense) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("%s: element %d: %v != %v", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func imatrixEqual(t *testing.T, label string, got, want *imatrix.IMatrix) {
+	t.Helper()
+	denseEqual(t, label+".Lo", got.Lo, want.Lo)
+	denseEqual(t, label+".Hi", got.Hi, want.Hi)
+}
+
+func TestMulDenseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, density := range densities {
+		a := randDense(rng, 43, 61, density)
+		b := randDense(rng, 61, 29, 1)
+		csr := FromDense(a)
+		want := matrix.Mul(a, b)
+		for _, w := range []int{1, 3, 8} {
+			withWorkers(w, func() {
+				denseEqual(t, "MulDense", MulDense(csr, b), want)
+			})
+		}
+	}
+}
+
+func TestTMulDenseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, density := range densities {
+		a := randDense(rng, 57, 31, density)
+		b := randDense(rng, 57, 23, 1)
+		csr := FromDense(a)
+		want := matrix.TMul(a, b)
+		for _, w := range []int{1, 3, 8} {
+			withWorkers(w, func() {
+				denseEqual(t, "TMulDense", TMulDense(csr, b), want)
+			})
+		}
+	}
+}
+
+func TestSparseMulMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, density := range densities {
+		a := randDense(rng, 37, 41, density)
+		b := randDense(rng, 41, 33, density)
+		want := matrix.Mul(a, b)
+		ac, bc := FromDense(a), FromDense(b)
+		for _, w := range []int{1, 3, 8} {
+			withWorkers(w, func() {
+				denseEqual(t, "Mul", Mul(ac, bc), want)
+				denseEqual(t, "TMul", TMul(FromDense(a.T()), bc), matrix.TMul(a.T(), b))
+			})
+		}
+	}
+}
+
+func TestMulEndpointsDenseMatchesIMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, density := range densities {
+		m := randIMatrix(rng, 39, 27, density)
+		s := randDense(rng, 27, 17, 1)
+		csr := FromIMatrix(m)
+		want := imatrix.MulEndpointsScalarRight(m, s)
+		for _, w := range []int{1, 3, 8} {
+			withWorkers(w, func() {
+				imatrixEqual(t, "MulEndpointsDense", MulEndpointsDense(csr, s), want)
+			})
+		}
+	}
+}
+
+func TestGramEndpointsMatchesIMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, density := range densities {
+		m := randIMatrix(rng, 45, 21, density)
+		csr := FromIMatrix(m)
+		want := imatrix.MulEndpoints(m.T(), m)
+		for _, w := range []int{1, 3, 8} {
+			withWorkers(w, func() {
+				imatrixEqual(t, "GramEndpoints", GramEndpoints(csr), want)
+			})
+		}
+	}
+}
+
+// TestFromCOOMatchesFromDense pins that the two construction routes agree
+// for any entry set: compressing a dense matrix and building from its
+// non-zero triplets (in scrambled order) yield identical structures.
+func TestFromCOOMatchesFromDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, density := range densities {
+		m := randDense(rng, 19, 26, density)
+		var ts []Triplet
+		for i := 0; i < m.Rows; i++ {
+			for j, v := range m.RowView(i) {
+				if v != 0 {
+					ts = append(ts, Triplet{Row: i, Col: j, Val: v})
+				}
+			}
+		}
+		rng.Shuffle(len(ts), func(a, b int) { ts[a], ts[b] = ts[b], ts[a] })
+		fromCOO, err := FromCOO(m.Rows, m.Cols, ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fromDense := FromDense(m)
+		if fromCOO.NNZ() != fromDense.NNZ() {
+			t.Fatalf("NNZ %d != %d", fromCOO.NNZ(), fromDense.NNZ())
+		}
+		for p := range fromDense.ColInd {
+			if fromCOO.ColInd[p] != fromDense.ColInd[p] || fromCOO.Val[p] != fromDense.Val[p] {
+				t.Fatalf("entry %d differs between COO and dense construction", p)
+			}
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/nmf"
 	"repro/internal/parallel"
 	"repro/internal/recommend"
+	"repro/internal/sparse"
 )
 
 // Interval is a closed interval [Lo, Hi]; Lo == Hi is a scalar.
@@ -57,6 +58,25 @@ func FromEndpoints(lo, hi *Matrix) *IntervalMatrix { return imatrix.FromEndpoint
 
 // NewMatrix allocates a zero scalar matrix.
 func NewMatrix(rows, cols int) *Matrix { return matrix.New(rows, cols) }
+
+// SparseIntervalMatrix is an interval matrix in compressed sparse row
+// form: one index structure shared by the lo/hi value arrays, with
+// unstored cells meaning "unobserved" (the zero-cell convention of the
+// ratings paths). Storage is O(NNZ) instead of O(rows·cols).
+type SparseIntervalMatrix = sparse.ICSR
+
+// SparseEntry is one observed cell of a sparse interval matrix.
+type SparseEntry = sparse.ITriplet
+
+// NewSparseIntervalMatrix builds a sparse interval matrix from observed
+// entries (any order; duplicates are errors).
+func NewSparseIntervalMatrix(rows, cols int, entries []SparseEntry) (*SparseIntervalMatrix, error) {
+	return sparse.FromICOO(rows, cols, entries)
+}
+
+// Compress converts a dense interval matrix to sparse form, storing
+// every cell where either endpoint is non-zero.
+func Compress(m *IntervalMatrix) *SparseIntervalMatrix { return sparse.FromIMatrix(m) }
 
 // Decomposition methods (Section 4 of the paper).
 const (
@@ -140,6 +160,18 @@ func TrainAIPMF(m *IntervalMatrix, cfg PMFConfig, rng *rand.Rand) (*IntervalPMFM
 	return ipmf.TrainAIPMF(m, cfg, rng)
 }
 
+// TrainIPMFSparse fits I-PMF directly on sparse ratings: per-epoch cost
+// and memory scale with the observed-cell count, and for a compressed
+// dense matrix the result is bitwise identical to TrainIPMF.
+func TrainIPMFSparse(m *SparseIntervalMatrix, cfg PMFConfig, rng *rand.Rand) (*IntervalPMFModel, error) {
+	return ipmf.TrainIPMFCSR(m, cfg, rng)
+}
+
+// TrainAIPMFSparse fits AI-PMF directly on sparse ratings.
+func TrainAIPMFSparse(m *SparseIntervalMatrix, cfg PMFConfig, rng *rand.Rand) (*IntervalPMFModel, error) {
+	return ipmf.TrainAIPMFCSR(m, cfg, rng)
+}
+
 // NMFConfig holds NMF hyper-parameters.
 type NMFConfig = nmf.Config
 
@@ -192,4 +224,14 @@ type RecommendHoldout = recommend.Holdout
 // predictor over its reconstruction, clamped to [minRating, maxRating].
 func NewRecommender(ratings *IntervalMatrix, method Method, opts Options, minRating, maxRating float64) (*Recommender, error) {
 	return recommend.Build(ratings, method, opts, minRating, maxRating)
+}
+
+// NewSparseRecommender trains AI-PMF on sparse ratings and returns a
+// factor-backed predictor: predictions are computed on demand from
+// U_i·V†_j, so memory stays O((rows+cols)·rank) — no dense rating or
+// reconstruction matrix is ever materialized. Use
+// (*Recommender).TopNSparse to recommend with the rated cells of the
+// sparse matrix excluded.
+func NewSparseRecommender(ratings *SparseIntervalMatrix, cfg PMFConfig, rng *rand.Rand, minRating, maxRating float64) (*Recommender, error) {
+	return recommend.BuildSparse(ratings, cfg, rng, minRating, maxRating)
 }
