@@ -1,0 +1,57 @@
+package ivmf_test
+
+// Allocation regression guards for the workspace-reuse PR: the NMF
+// multiplicative-update loop and the ISVD4 pipeline must stay at least
+// 50% below their pre-blocking allocation counts (nmf.Train: 1006
+// objects/run at the seed for this shape, ISVD4: 2994). The savings
+// come from the destination-passing kernels (internal/matrix), the
+// fused endpoint products (internal/imatrix), and the hoisted sweep
+// closures in internal/eig. Runs are pinned to one worker so counts
+// are deterministic.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/matrix"
+	"repro/internal/nmf"
+	"repro/internal/parallel"
+)
+
+func TestNMFTrainAllocationBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := matrix.New(60, 45)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := nmf.Train(m, nmf.Config{Rank: 6, Iterations: 50}, rand.New(rand.NewSource(2))); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Seed baseline: 1006. Workspace reuse leaves ~8 pool-closure
+	// allocations per iteration plus setup.
+	if allocs > 503 {
+		t.Fatalf("nmf.Train allocated %.0f objects/run, want <= 503 (50%% of the 1006 pre-workspace baseline)", allocs)
+	}
+}
+
+func TestISVD4AllocationBudget(t *testing.T) {
+	m := dataset.MustGenerateUniform(dataset.DefaultSynthetic(), rand.New(rand.NewSource(4)))
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := core.Decompose(m, core.ISVD4, core.Options{Rank: 20, Target: core.TargetB}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Seed baseline: 2994, dominated by per-iteration sweep closures in
+	// the eigensolver plus the four endpoint-product temporaries.
+	if allocs > 1497 {
+		t.Fatalf("ISVD4 allocated %.0f objects/run, want <= 1497 (50%% of the 2994 pre-blocking baseline)", allocs)
+	}
+}

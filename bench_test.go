@@ -27,6 +27,7 @@ import (
 	"repro/internal/ipmf"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
+	"repro/internal/nmf"
 	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
@@ -198,6 +199,7 @@ func BenchmarkISVD(b *testing.B) {
 	m := dataset.MustGenerateUniform(dataset.DefaultSynthetic(), rng)
 	for _, method := range core.Methods() {
 		b.Run(method.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Decompose(m, method, core.Options{Rank: 20, Target: core.TargetB}); err != nil {
 					b.Fatal(err)
@@ -420,6 +422,137 @@ func BenchmarkCFPredict(b *testing.B) {
 			truth[k] = r.Value
 		}
 		b.ReportMetric(metrics.RMSE(pred, truth), "trainRMSE")
+	}
+}
+
+// --- Blocked/fused kernel benchmarks ---
+
+// reportGFLOPS attaches a GFLOP/s metric computed from the per-iteration
+// flop count, so kernel regressions show up as a throughput number that
+// is comparable across matrix sizes.
+func reportGFLOPS(b *testing.B, flopsPerOp float64) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(flopsPerOp*float64(b.N)/s/1e9, "GFLOP/s")
+	}
+}
+
+// BenchmarkKernelMul measures the cache-blocked dense product on one
+// worker at the paper-relevant 256–1024² sizes (CI smoke runs one
+// iteration of each; BENCH_kernels.json pins the committed baseline).
+func BenchmarkKernelMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(20))
+	for _, n := range []int{256, 512, 1024} {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			parallel.SetWorkers(1)
+			defer parallel.SetWorkers(0)
+			x := matrix.New(n, n)
+			y := matrix.New(n, n)
+			for i := range x.Data {
+				x.Data[i] = rng.NormFloat64()
+				y.Data[i] = rng.NormFloat64()
+			}
+			dst := matrix.New(n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matrix.MulInto(dst, x, y)
+			}
+			reportGFLOPS(b, 2*float64(n)*float64(n)*float64(n))
+		})
+	}
+}
+
+// BenchmarkKernelTMul covers the transpose product of the Gram step.
+func BenchmarkKernelTMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(21))
+	n := 512
+	x := matrix.New(n, n)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := matrix.New(n, n)
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.TMulInto(dst, x, x)
+	}
+	reportGFLOPS(b, 2*float64(n)*float64(n)*float64(n))
+}
+
+// BenchmarkKernelMulT covers the a·bᵀ reconstruction product.
+func BenchmarkKernelMulT(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	n := 512
+	x := matrix.New(n, n)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	dst := matrix.New(n, n)
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.MulTInto(dst, x, x)
+	}
+	reportGFLOPS(b, 2*float64(n)*float64(n)*float64(n))
+}
+
+// BenchmarkKernelMulEndpoints measures the fused Algorithm 1 endpoint
+// product: four candidate products and the min/max combine in one pass,
+// allocs/op shows the four matrix-sized temporaries are gone.
+func BenchmarkKernelMulEndpoints(b *testing.B) {
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{256, 512} {
+		b.Run(fmt.Sprintf("%d", n), func(b *testing.B) {
+			parallel.SetWorkers(1)
+			defer parallel.SetWorkers(0)
+			x := benchIntervalMatrix(rng, n, n)
+			y := benchIntervalMatrix(rng, n, n)
+			dst := imatrix.New(n, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				imatrix.MulEndpointsInto(dst, x, y)
+			}
+			reportGFLOPS(b, 8*float64(n)*float64(n)*float64(n))
+		})
+	}
+}
+
+// BenchmarkKernelGramEndpoints measures the fused endpoint Gram kernel
+// at the tall-thin shape of the ISVD Gram step.
+func BenchmarkKernelGramEndpoints(b *testing.B) {
+	rng := rand.New(rand.NewSource(24))
+	m := benchIntervalMatrix(rng, 1024, 256)
+	dst := imatrix.New(256, 256)
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imatrix.GramEndpointsInto(dst, m)
+	}
+	reportGFLOPS(b, 8*1024*256*256)
+}
+
+// BenchmarkNMFTrain pins the workspace-reuse win in the NMF
+// multiplicative-update path (allocs/op is the headline: the update
+// loop itself no longer allocates matrices).
+func BenchmarkNMFTrain(b *testing.B) {
+	rng := rand.New(rand.NewSource(25))
+	m := matrix.New(120, 90)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nmf.Train(m, nmf.Config{Rank: 10, Iterations: 60}, rand.New(rand.NewSource(26))); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

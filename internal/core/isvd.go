@@ -119,7 +119,10 @@ func gramEig(m *imatrix.IMatrix, opts Options) (vLo, vHi *matrix.Dense, sLo, sHi
 	if opts.ExactAlgebra {
 		a = imatrix.Mul(m.T(), m)
 	} else {
-		a = imatrix.MulEndpoints(m.T(), m)
+		// Fused endpoint Gram kernel: no transposed endpoint copies, no
+		// four dense temporaries — bitwise identical to
+		// imatrix.MulEndpoints(m.T(), m).
+		a = imatrix.GramEndpoints(m)
 	}
 	pre = time.Since(t0)
 

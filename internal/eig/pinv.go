@@ -26,7 +26,11 @@ func PInv(a *matrix.Dense, cutoff float64) (*matrix.Dense, error) {
 			cutoff = float64(dim) * res.S[0] * 1e-15
 		}
 	}
-	// pinv = V · diag(1/s) · Uᵀ for s > cutoff.
+	// pinv = V · diag(1/s) · Uᵀ for s > cutoff: scale V's columns by the
+	// inverted singular values, then run the blocked MulT kernel —
+	// out[i][j] = Σ_t (V[i][t]·inv[t]) · U[j][t] in the same ascending t
+	// order as the former triple loop (bitwise identical for the finite
+	// factors an SVD produces), but cache-blocked and pool-sharded.
 	k := len(res.S)
 	inv := make([]float64, k)
 	for i, s := range res.S {
@@ -34,20 +38,15 @@ func PInv(a *matrix.Dense, cutoff float64) (*matrix.Dense, error) {
 			inv[i] = 1 / s
 		}
 	}
-	// out[i][j] = Σ_t V[i][t] * inv[t] * U[j][t]
-	out := matrix.New(a.Cols, a.Rows)
+	vs := matrix.New(a.Cols, k)
 	for i := 0; i < a.Cols; i++ {
-		for t := 0; t < k; t++ {
-			vit := res.V.At(i, t) * inv[t]
-			if vit == 0 {
-				continue
-			}
-			for j := 0; j < a.Rows; j++ {
-				out.Data[i*out.Cols+j] += vit * res.U.At(j, t)
-			}
+		row := res.V.RowView(i)
+		out := vs.RowView(i)
+		for t, v := range row[:k] {
+			out[t] = v * inv[t]
 		}
 	}
-	return out, nil
+	return matrix.MulTInto(matrix.New(a.Cols, a.Rows), vs, res.U), nil
 }
 
 // Cond2 returns the 2-norm condition number σ_max/σ_min of a.

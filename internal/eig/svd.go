@@ -58,6 +58,70 @@ func svdTall(in *matrix.Dense) (*SVDResult, error) {
 	var anorm, g, scale float64
 	var l int
 
+	// Pool sweep bodies, hoisted out of the iteration loops and reused
+	// via the sv* variables so each sweep costs one closure allocation
+	// per SVD instead of one per iteration (each parallel.For returns
+	// before the variables are rewritten, so sharing is race-free).
+	var (
+		svI, svL int
+		svF      float64
+	)
+	// Each column j > svI is reflected against the fixed Householder
+	// vector in column svI, so the columns shard independently onto the
+	// pool (dot product and update keep their serial k order per column).
+	colReflect := func(jlo, jhi int) {
+		for j := svL + jlo; j < svL+jhi; j++ {
+			sj := 0.0
+			for k := svI; k < m; k++ {
+				sj += a.At(k, svI) * a.At(k, j)
+			}
+			fj := sj / svF
+			for k := svI; k < m; k++ {
+				a.Set(k, j, a.At(k, j)+fj*a.At(k, svI))
+			}
+		}
+	}
+	// Rows j > svI are reflected against the fixed row svI; independent
+	// across j, sharded on the pool.
+	rowReflect := func(jlo, jhi int) {
+		for j := svL + jlo; j < svL+jhi; j++ {
+			sj := 0.0
+			for k := svL; k < n; k++ {
+				sj += a.At(j, k) * a.At(svI, k)
+			}
+			for k := svL; k < n; k++ {
+				a.Set(j, k, a.At(j, k)+sj*rv1[k])
+			}
+		}
+	}
+	// Columns j > svI of V transform independently against the (already
+	// written) column svI; sharded on the pool.
+	vAccumulate := func(jlo, jhi int) {
+		for j := svL + jlo; j < svL+jhi; j++ {
+			sj := 0.0
+			for k := svL; k < n; k++ {
+				sj += a.At(svI, k) * v.At(k, j)
+			}
+			for k := svL; k < n; k++ {
+				v.Set(k, j, v.At(k, j)+sj*v.At(k, svI))
+			}
+		}
+	}
+	// Columns j > svI transform independently against column svI;
+	// sharded on the pool.
+	uAccumulate := func(jlo, jhi int) {
+		for j := svL + jlo; j < svL+jhi; j++ {
+			sj := 0.0
+			for k := svL; k < m; k++ {
+				sj += a.At(k, svI) * a.At(k, j)
+			}
+			fj := (sj / a.At(svI, svI)) * svF
+			for k := svI; k < m; k++ {
+				a.Set(k, j, a.At(k, j)+fj*a.At(k, svI))
+			}
+		}
+	}
+
 	// Householder reduction to bidiagonal form.
 	for i := 0; i < n; i++ {
 		l = i + 1
@@ -77,23 +141,8 @@ func svdTall(in *matrix.Dense) (*SVDResult, error) {
 				h = f*g - s
 				a.Set(i, i, f-g)
 				if i != n-1 {
-					// Each column j > i is reflected against the fixed
-					// Householder vector in column i, so the columns shard
-					// independently onto the pool (dot product and update
-					// keep their serial k order per column).
-					hh := h
-					parallel.For(n-l, parallel.Grain(4*(m-i)), func(jlo, jhi int) {
-						for j := l + jlo; j < l+jhi; j++ {
-							sj := 0.0
-							for k := i; k < m; k++ {
-								sj += a.At(k, i) * a.At(k, j)
-							}
-							fj := sj / hh
-							for k := i; k < m; k++ {
-								a.Set(k, j, a.At(k, j)+fj*a.At(k, i))
-							}
-						}
-					})
+					svI, svL, svF = i, l, h
+					parallel.For(n-l, parallel.Grain(4*(m-i)), colReflect)
 				}
 				for k := i; k < m; k++ {
 					a.Set(k, i, a.At(k, i)*scale)
@@ -120,19 +169,8 @@ func svdTall(in *matrix.Dense) (*SVDResult, error) {
 					rv1[k] = a.At(i, k) / h
 				}
 				if i != m-1 {
-					// Rows j > i are reflected against the fixed row i;
-					// independent across j, sharded on the pool.
-					parallel.For(m-l, parallel.Grain(4*(n-l)), func(jlo, jhi int) {
-						for j := l + jlo; j < l+jhi; j++ {
-							sj := 0.0
-							for k := l; k < n; k++ {
-								sj += a.At(j, k) * a.At(i, k)
-							}
-							for k := l; k < n; k++ {
-								a.Set(j, k, a.At(j, k)+sj*rv1[k])
-							}
-						}
-					})
+					svI, svL = i, l
+					parallel.For(m-l, parallel.Grain(4*(n-l)), rowReflect)
 				}
 				for k := l; k < n; k++ {
 					a.Set(i, k, a.At(i, k)*scale)
@@ -149,19 +187,8 @@ func svdTall(in *matrix.Dense) (*SVDResult, error) {
 				for j := l; j < n; j++ {
 					v.Set(j, i, (a.At(i, j)/a.At(i, l))/g)
 				}
-				// Columns j > i of V transform independently against the
-				// (already written) column i; sharded on the pool.
-				parallel.For(n-l, parallel.Grain(4*(n-l)), func(jlo, jhi int) {
-					for j := l + jlo; j < l+jhi; j++ {
-						sj := 0.0
-						for k := l; k < n; k++ {
-							sj += a.At(i, k) * v.At(k, j)
-						}
-						for k := l; k < n; k++ {
-							v.Set(k, j, v.At(k, j)+sj*v.At(k, i))
-						}
-					}
-				})
+				svI, svL = i, l
+				parallel.For(n-l, parallel.Grain(4*(n-l)), vAccumulate)
 			}
 			for j := l; j < n; j++ {
 				v.Set(i, j, 0)
@@ -185,21 +212,8 @@ func svdTall(in *matrix.Dense) (*SVDResult, error) {
 		if g != 0 {
 			g = 1 / g
 			if i != n-1 {
-				// Columns j > i transform independently against column i;
-				// sharded on the pool.
-				gg := g
-				parallel.For(n-l, parallel.Grain(4*(m-l)), func(jlo, jhi int) {
-					for j := l + jlo; j < l+jhi; j++ {
-						sj := 0.0
-						for k := l; k < m; k++ {
-							sj += a.At(k, i) * a.At(k, j)
-						}
-						fj := (sj / a.At(i, i)) * gg
-						for k := i; k < m; k++ {
-							a.Set(k, j, a.At(k, j)+fj*a.At(k, i))
-						}
-					}
-				})
+				svI, svL, svF = i, l, g
+				parallel.For(n-l, parallel.Grain(4*(m-l)), uAccumulate)
 			}
 			for j := i; j < m; j++ {
 				a.Set(j, i, a.At(j, i)*g)
@@ -323,7 +337,10 @@ func svdTall(in *matrix.Dense) (*SVDResult, error) {
 	return &SVDResult{U: a, S: w, V: v}, nil
 }
 
-// sortSVD permutes the decomposition so singular values descend.
+// sortSVD permutes the decomposition so singular values descend. The
+// permutation is applied in place by walking its cycles with a single
+// column buffer (pure data movement — no matrix-sized temporaries and
+// no arithmetic, so results are unchanged bitwise).
 func sortSVD(u *matrix.Dense, w []float64, v *matrix.Dense) {
 	n := len(w)
 	idx := make([]int, n)
@@ -331,31 +348,52 @@ func sortSVD(u *matrix.Dense, w []float64, v *matrix.Dense) {
 		idx[i] = i
 	}
 	sort.SliceStable(idx, func(a, b int) bool { return w[idx[a]] > w[idx[b]] })
-	permuted := false
-	for i, j := range idx {
-		if i != j {
-			permuted = true
-			break
-		}
-	}
-	if !permuted {
-		return
-	}
-	w2 := make([]float64, n)
-	u2 := matrix.New(u.Rows, u.Cols)
-	v2 := matrix.New(v.Rows, v.Cols)
-	for newJ, oldJ := range idx {
-		w2[newJ] = w[oldJ]
+	buf := make([]float64, u.Rows+v.Rows+1)
+	// Walk the cycles of newJ -> idx[newJ]: save the cycle head, shift
+	// each (w, u-col, v-col) triple from its source slot, restore the
+	// head at the cycle's end. idx entries are marked done with -1.
+	saveCol := func(j int) {
+		buf[0] = w[j]
 		for i := 0; i < u.Rows; i++ {
-			u2.Set(i, newJ, u.At(i, oldJ))
+			buf[1+i] = u.Data[i*u.Cols+j]
 		}
 		for i := 0; i < v.Rows; i++ {
-			v2.Set(i, newJ, v.At(i, oldJ))
+			buf[1+u.Rows+i] = v.Data[i*v.Cols+j]
 		}
 	}
-	copy(w, w2)
-	copy(u.Data, u2.Data)
-	copy(v.Data, v2.Data)
+	moveCol := func(dst, src int) {
+		w[dst] = w[src]
+		for i := 0; i < u.Rows; i++ {
+			u.Data[i*u.Cols+dst] = u.Data[i*u.Cols+src]
+		}
+		for i := 0; i < v.Rows; i++ {
+			v.Data[i*v.Cols+dst] = v.Data[i*v.Cols+src]
+		}
+	}
+	restoreCol := func(j int) {
+		w[j] = buf[0]
+		for i := 0; i < u.Rows; i++ {
+			u.Data[i*u.Cols+j] = buf[1+i]
+		}
+		for i := 0; i < v.Rows; i++ {
+			v.Data[i*v.Cols+j] = buf[1+u.Rows+i]
+		}
+	}
+	for start := 0; start < n; start++ {
+		if idx[start] < 0 || idx[start] == start {
+			continue
+		}
+		saveCol(start)
+		j := start
+		for idx[j] != start {
+			src := idx[j]
+			moveCol(j, src)
+			idx[j] = -1
+			j = src
+		}
+		restoreCol(j)
+		idx[j] = -1
+	}
 }
 
 // canonicalizeSVDSigns orients each (u_j, v_j) pair so the

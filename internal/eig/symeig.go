@@ -66,6 +66,48 @@ func tred2(z *matrix.Dense, d, e []float64) {
 	n := z.Rows
 	a := z.Data
 	row := func(i int) []float64 { return a[i*n : (i+1)*n] }
+	// The sweep bodies below are hoisted out of the i loop and reused
+	// via the sw* variables, so each O(n) sweep costs one closure
+	// allocation per tred2 call instead of one per iteration (the pool
+	// call finishes before the variables are rewritten, so sharing them
+	// is race-free). This is the dominant allocation source of SymEig.
+	var (
+		swI, swL int
+		swRow    []float64
+		swH      float64
+	)
+	// The e[j] dot products only read rows/columns <= swL and write
+	// column swI, so they are independent across j and shard onto the
+	// pool; the order-sensitive f reduction stays serial so the sum
+	// keeps its j order bitwise.
+	eDots := func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			rj := row(j)
+			rj[swI] = swRow[j] / swH
+			s := 0.0
+			for k := 0; k <= j; k++ {
+				s += rj[k] * swRow[k]
+			}
+			for k := j + 1; k <= swL; k++ {
+				s += a[k*n+j] * swRow[k]
+			}
+			e[j] = s / swH
+		}
+	}
+	// Serial TRED2 interleaves the e[j] update with the row updates,
+	// but every row update only reads already-updated e entries
+	// (k <= j), so updating all of e first is the same arithmetic —
+	// and makes the row updates independent.
+	rowUpdates := func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			fj := swRow[j]
+			gj := e[j]
+			rj := row(j)
+			for k := 0; k <= j; k++ {
+				rj[k] -= fj*e[k] + gj*swRow[k]
+			}
+		}
+	}
 	for i := n - 1; i >= 1; i-- {
 		l := i - 1
 		ri := row(i)
@@ -89,47 +131,17 @@ func tred2(z *matrix.Dense, d, e []float64) {
 				e[i] = scale * g
 				h -= f * g
 				ri[l] = f - g
-				// The e[j] dot products only read rows/columns <= l and
-				// write column i, so they are independent across j and
-				// shard onto the pool; the order-sensitive f reduction
-				// stays serial so the sum keeps its j order bitwise.
-				h2 := h
-				parallel.For(l+1, parallel.Grain(2*(l+1)), func(jlo, jhi int) {
-					for j := jlo; j < jhi; j++ {
-						rj := row(j)
-						rj[i] = ri[j] / h2
-						s := 0.0
-						for k := 0; k <= j; k++ {
-							s += rj[k] * ri[k]
-						}
-						for k := j + 1; k <= l; k++ {
-							s += a[k*n+j] * ri[k]
-						}
-						e[j] = s / h2
-					}
-				})
+				swI, swL, swRow, swH = i, l, ri, h
+				parallel.For(l+1, parallel.Grain(2*(l+1)), eDots)
 				f = 0
 				for j := 0; j <= l; j++ {
 					f += e[j] * ri[j]
 				}
 				hh := f / (h + h)
-				// Serial TRED2 interleaves the e[j] update with the row
-				// updates, but every row update only reads already-updated
-				// e entries (k <= j), so updating all of e first is the
-				// same arithmetic — and makes the row updates independent.
 				for j := 0; j <= l; j++ {
 					e[j] -= hh * ri[j]
 				}
-				parallel.For(l+1, parallel.Grain(2*(l+1)), func(jlo, jhi int) {
-					for j := jlo; j < jhi; j++ {
-						fj := ri[j]
-						gj := e[j]
-						rj := row(j)
-						for k := 0; k <= j; k++ {
-							rj[k] -= fj*e[k] + gj*ri[k]
-						}
-					}
-				})
+				parallel.For(l+1, parallel.Grain(2*(l+1)), rowUpdates)
 			}
 		} else {
 			e[i] = ri[l]
@@ -141,38 +153,42 @@ func tred2(z *matrix.Dense, d, e []float64) {
 	// Accumulation phase, restructured for row-contiguous access:
 	// g = Z[0..l,0..l]ᵀ·ri is a row-wise matvec and the update
 	// Z[0..l,0..l] -= u·gᵀ (u = column i) a row-wise rank-1 update.
+	// Both sweep bodies are hoisted and reused like the ones above.
 	g := make([]float64, n)
+	// Matvec g = Z[0..l,0..l]ᵀ·swRow sharded over output entries j:
+	// each shard keeps the k loop outermost, so every g[j] accumulates
+	// in the same k order as the serial code.
+	matvec := func(jlo, jhi int) {
+		for j := jlo; j < jhi; j++ {
+			g[j] = 0
+		}
+		for k := 0; k <= swL; k++ {
+			if f := swRow[k]; f != 0 {
+				rk := row(k)
+				for j := jlo; j < jhi; j++ {
+					g[j] += f * rk[j]
+				}
+			}
+		}
+	}
+	// Rank-1 update Z[0..l,0..l] -= u·gᵀ sharded over rows k.
+	rank1 := func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			rk := row(k)
+			if u := rk[swI]; u != 0 {
+				for j := 0; j <= swL; j++ {
+					rk[j] -= g[j] * u
+				}
+			}
+		}
+	}
 	for i := 0; i < n; i++ {
 		l := i - 1
 		ri := row(i)
 		if d[i] != 0 {
-			// Matvec g = Z[0..l,0..l]ᵀ·ri sharded over output entries j:
-			// each shard keeps the k loop outermost, so every g[j]
-			// accumulates in the same k order as the serial code.
-			parallel.For(l+1, parallel.Grain(2*(l+1)), func(jlo, jhi int) {
-				for j := jlo; j < jhi; j++ {
-					g[j] = 0
-				}
-				for k := 0; k <= l; k++ {
-					if f := ri[k]; f != 0 {
-						rk := row(k)
-						for j := jlo; j < jhi; j++ {
-							g[j] += f * rk[j]
-						}
-					}
-				}
-			})
-			// Rank-1 update Z[0..l,0..l] -= u·gᵀ sharded over rows k.
-			parallel.For(l+1, parallel.Grain(2*(l+1)), func(klo, khi int) {
-				for k := klo; k < khi; k++ {
-					rk := row(k)
-					if u := rk[i]; u != 0 {
-						for j := 0; j <= l; j++ {
-							rk[j] -= g[j] * u
-						}
-					}
-				}
-			})
+			swI, swL, swRow = i, l, ri
+			parallel.For(l+1, parallel.Grain(2*(l+1)), matvec)
+			parallel.For(l+1, parallel.Grain(2*(l+1)), rank1)
 		}
 		d[i] = ri[i]
 		ri[i] = 1
@@ -253,7 +269,7 @@ func tql2(z *matrix.Dense, d, e []float64) error {
 			e[m] = 0
 		}
 	}
-	copy(z.Data, zt.T().Data)
+	matrix.TransposeInto(z, zt) // write the accumulated vectors back without an intermediate copy
 	return nil
 }
 

@@ -1,0 +1,262 @@
+// Fused endpoint-product kernels (Supplementary Algorithm 1). The
+// classical formulation materializes four full-size scalar products of
+// the endpoint matrices and then makes a fifth pass combining them with
+// min/max. The kernels here compute the four candidate products
+// tile-by-tile and combine them in place: two of the four accumulator
+// panels live directly in the destination's Lo/Hi storage and the other
+// two in an O(tile) scratch buffer, so the only full-size writes are
+// the one min and one max per output element — no matrix-sized
+// temporaries, no separate combine pass.
+//
+// Determinism/bitwise contract: each of the four per-element sums
+// accumulates in ascending k order across ascending k tiles — exactly
+// the order of matrix.Mul — and the final combine evaluates the same
+// min/max expression as MinMaxCombine4 with the operands in the same
+// positions. The fused results are therefore bitwise identical to the
+// unfused four-product implementations for any worker count and any
+// tile size.
+package imatrix
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// Tile sizes of the fused endpoint kernels: fusedKC×fusedJC bounds the
+// two right-operand panels held hot across a row sweep, fusedIC×fusedJC
+// the four accumulator panels (two in dst, two in scratch). Variables
+// so the fused tests can pin correctness at several tile shapes.
+var (
+	fusedIC = 64
+	fusedKC = 64
+	fusedJC = 256
+)
+
+// setFusedTiles overrides the fused tile sizes (test hook).
+func setFusedTiles(ic, kc, jc int) {
+	if ic < 1 || kc < 1 || jc < 1 {
+		panic("imatrix: setFusedTiles: non-positive tile size")
+	}
+	fusedIC, fusedKC, fusedJC = ic, kc, jc
+}
+
+func checkDstIMatrix(op string, dst *IMatrix, rows, cols int, operands ...*IMatrix) {
+	if dst.Rows() != rows || dst.Cols() != cols {
+		panic(fmt.Sprintf("imatrix: %s: dst is %dx%d, want %dx%d", op, dst.Rows(), dst.Cols(), rows, cols))
+	}
+	for _, m := range operands {
+		if &dst.Lo.Data[0] == &m.Lo.Data[0] || &dst.Hi.Data[0] == &m.Hi.Data[0] {
+			panic(fmt.Sprintf("imatrix: %s: dst aliases an operand", op))
+		}
+	}
+}
+
+func zeroFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// MulEndpointsInto computes the Algorithm 1 endpoint product a × b into
+// dst (overwriting it) and returns dst. It is bitwise identical to
+// MulEndpoints for any worker count and tile size, with O(tile) scratch
+// instead of four matrix-sized temporaries. dst must not alias a or b.
+func MulEndpointsInto(dst, a, b *IMatrix) *IMatrix {
+	if a.Cols() != b.Rows() {
+		panic(fmt.Sprintf("imatrix: MulEndpointsInto: %dx%d · %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols()))
+	}
+	checkDstIMatrix("MulEndpointsInto", dst, a.Rows(), b.Cols(), a, b)
+	kDim, n := a.Cols(), b.Cols()
+	zeroFloats(dst.Lo.Data)
+	zeroFloats(dst.Hi.Data)
+	parallel.For(a.Rows(), parallel.Grain(8*kDim*n), func(rlo, rhi int) {
+		// Per-shard scratch for the aLo·bHi and aHi·bLo accumulator
+		// panels; aLo·bLo and aHi·bHi accumulate directly in dst.
+		scratch := make([]float64, 2*fusedIC*fusedJC)
+		for it := rlo; it < rhi; it += fusedIC {
+			iEnd := min(it+fusedIC, rhi)
+			for jc := 0; jc < n; jc += fusedJC {
+				jEnd := min(jc+fusedJC, n)
+				fusedPanelMul(dst, a, b, scratch, it, iEnd, jc, jEnd, kDim)
+			}
+		}
+	})
+	return dst
+}
+
+// fusedPanelMul accumulates the four endpoint products for output rows
+// [it, iEnd) × columns [jc, jEnd) over the full ascending k range, then
+// min/max-combines them in place.
+func fusedPanelMul(dst, a, b *IMatrix, scratch []float64, it, iEnd, jc, jEnd, kDim int) {
+	w := jEnd - jc
+	rows := iEnd - it
+	t2 := scratch[:rows*w]
+	t3 := scratch[len(scratch)/2 : len(scratch)/2+rows*w]
+	zeroFloats(t2)
+	zeroFloats(t3)
+	aCols, bCols := a.Cols(), b.Cols()
+	for kc := 0; kc < kDim; kc += fusedKC {
+		kEnd := min(kc+fusedKC, kDim)
+		for i := it; i < iEnd; i++ {
+			alRow := a.Lo.Data[i*aCols : (i+1)*aCols]
+			ahRow := a.Hi.Data[i*aCols : (i+1)*aCols]
+			t1row := dst.Lo.Data[i*bCols+jc : i*bCols+jEnd]
+			t4row := dst.Hi.Data[i*bCols+jc : i*bCols+jEnd]
+			t2row := t2[(i-it)*w : (i-it+1)*w]
+			t3row := t3[(i-it)*w : (i-it+1)*w]
+			t1row, t4row = t1row[:w], t4row[:w]
+			for k := kc; k < kEnd; k++ {
+				al, ah := alRow[k], ahRow[k]
+				blRow := b.Lo.Data[k*bCols+jc : k*bCols+jEnd]
+				bhRow := b.Hi.Data[k*bCols+jc : k*bCols+jEnd]
+				blRow, bhRow = blRow[:w], bhRow[:w]
+				for j, bl := range blRow {
+					bh := bhRow[j]
+					t1row[j] += al * bl
+					t2row[j] += al * bh
+					t3row[j] += ah * bl
+					t4row[j] += ah * bh
+				}
+			}
+		}
+	}
+	combinePanel4(dst, t2, t3, it, iEnd, jc, jEnd)
+}
+
+// combinePanel4 replaces the (t1, t4) accumulators stored in dst.Lo and
+// dst.Hi with the elementwise min/max over all four candidate products,
+// evaluating exactly the MinMaxCombine4 expression.
+func combinePanel4(dst *IMatrix, t2, t3 []float64, it, iEnd, jc, jEnd int) {
+	w := jEnd - jc
+	cols := dst.Cols()
+	for i := it; i < iEnd; i++ {
+		loRow := dst.Lo.Data[i*cols+jc : i*cols+jEnd]
+		hiRow := dst.Hi.Data[i*cols+jc : i*cols+jEnd]
+		t2row := t2[(i-it)*w : (i-it+1)*w]
+		t3row := t3[(i-it)*w : (i-it+1)*w]
+		loRow, hiRow, t3row = loRow[:w], hiRow[:w], t3row[:w]
+		for j, p2 := range t2row {
+			p1, p3, p4 := loRow[j], t3row[j], hiRow[j]
+			loRow[j] = math.Min(math.Min(p1, p2), math.Min(p3, p4))
+			hiRow[j] = math.Max(math.Max(p1, p2), math.Max(p3, p4))
+		}
+	}
+}
+
+// GramEndpoints returns the endpoint Gram product m.T() × m of
+// Supplementary Algorithm 1 — the Gram step of the ISVD2-4 pipelines —
+// without materializing the transposed endpoint matrices. It is bitwise
+// identical to MulEndpoints(m.T(), m).
+func GramEndpoints(m *IMatrix) *IMatrix {
+	return GramEndpointsInto(New(m.Cols(), m.Cols()), m)
+}
+
+// GramEndpointsInto is GramEndpoints into a caller-supplied dst (shape
+// m.Cols()×m.Cols(), not aliasing m). The four products are TMul-shaped
+// — out[i][j] = Σ_k m[k][i]·m[k][j] with the k loop outermost ascending,
+// the same per-element order as Mul against the materialized transpose —
+// fused tile-by-tile exactly like MulEndpointsInto.
+func GramEndpointsInto(dst, m *IMatrix) *IMatrix {
+	checkDstIMatrix("GramEndpointsInto", dst, m.Cols(), m.Cols(), m)
+	kDim, n := m.Rows(), m.Cols()
+	zeroFloats(dst.Lo.Data)
+	zeroFloats(dst.Hi.Data)
+	parallel.For(n, parallel.Grain(8*kDim*n), func(rlo, rhi int) {
+		scratch := make([]float64, 2*fusedIC*fusedJC)
+		for it := rlo; it < rhi; it += fusedIC {
+			iEnd := min(it+fusedIC, rhi)
+			for jc := 0; jc < n; jc += fusedJC {
+				jEnd := min(jc+fusedJC, n)
+				fusedPanelGram(dst, m, scratch, it, iEnd, jc, jEnd, kDim)
+			}
+		}
+	})
+	return dst
+}
+
+// fusedPanelGram accumulates the four endpoint Gram products for output
+// rows [it, iEnd) × columns [jc, jEnd): the left operand is the
+// transpose of m read column-wise as contiguous row segments.
+func fusedPanelGram(dst, m *IMatrix, scratch []float64, it, iEnd, jc, jEnd, kDim int) {
+	w := jEnd - jc
+	rows := iEnd - it
+	t2 := scratch[:rows*w]
+	t3 := scratch[len(scratch)/2 : len(scratch)/2+rows*w]
+	zeroFloats(t2)
+	zeroFloats(t3)
+	cols := m.Cols()
+	for kc := 0; kc < kDim; kc += fusedKC {
+		kEnd := min(kc+fusedKC, kDim)
+		for k := kc; k < kEnd; k++ {
+			// Row k of m sliced at the output-row range (left operand
+			// values, contiguous) and at the j panel (right operand).
+			alSeg := m.Lo.Data[k*cols+it : k*cols+iEnd]
+			ahSeg := m.Hi.Data[k*cols+it : k*cols+iEnd]
+			blRow := m.Lo.Data[k*cols+jc : k*cols+jEnd]
+			bhRow := m.Hi.Data[k*cols+jc : k*cols+jEnd]
+			blRow, bhRow = blRow[:w], bhRow[:w]
+			for ii, al := range alSeg {
+				ah := ahSeg[ii]
+				i := it + ii
+				t1row := dst.Lo.Data[i*cols+jc : i*cols+jEnd]
+				t4row := dst.Hi.Data[i*cols+jc : i*cols+jEnd]
+				t2row := t2[ii*w : (ii+1)*w]
+				t3row := t3[ii*w : (ii+1)*w]
+				t1row, t4row = t1row[:w], t4row[:w]
+				for j, bl := range blRow {
+					bh := bhRow[j]
+					t1row[j] += al * bl
+					t2row[j] += al * bh
+					t3row[j] += ah * bl
+					t4row[j] += ah * bh
+				}
+			}
+		}
+	}
+	combinePanel4(dst, t2, t3, it, iEnd, jc, jEnd)
+}
+
+// MulEndpointsScalarRightInto is the fused MulEndpointsScalarRight: the
+// two endpoint products a.Lo·s and a.Hi·s accumulate directly into
+// dst.Lo and dst.Hi and are min/max-swapped in place — no temporaries
+// and one combine per element. Bitwise identical to
+// MulEndpointsScalarRight for any worker count and tile size.
+func MulEndpointsScalarRightInto(dst *IMatrix, a *IMatrix, s *matrix.Dense) *IMatrix {
+	if a.Cols() != s.Rows {
+		panic(fmt.Sprintf("imatrix: MulEndpointsScalarRightInto: %dx%d · %dx%d", a.Rows(), a.Cols(), s.Rows, s.Cols))
+	}
+	checkDstIMatrix("MulEndpointsScalarRightInto", dst, a.Rows(), s.Cols, a)
+	matrix.MulInto(dst.Lo, a.Lo, s)
+	matrix.MulInto(dst.Hi, a.Hi, s)
+	minMaxInPlace(dst)
+	return dst
+}
+
+// MulEndpointsScalarLeftInto is the fused MulEndpointsScalarLeft.
+func MulEndpointsScalarLeftInto(dst *IMatrix, s *matrix.Dense, a *IMatrix) *IMatrix {
+	if s.Cols != a.Rows() {
+		panic(fmt.Sprintf("imatrix: MulEndpointsScalarLeftInto: %dx%d · %dx%d", s.Rows, s.Cols, a.Rows(), a.Cols()))
+	}
+	checkDstIMatrix("MulEndpointsScalarLeftInto", dst, s.Rows, a.Cols(), a)
+	matrix.MulInto(dst.Lo, s, a.Lo)
+	matrix.MulInto(dst.Hi, s, a.Hi)
+	minMaxInPlace(dst)
+	return dst
+}
+
+// minMaxInPlace sorts every (Lo, Hi) entry pair with the exact
+// math.Min/math.Max expressions of MinMaxCombine, sharded like the
+// combine loops.
+func minMaxInPlace(dst *IMatrix) {
+	lo, hi := dst.Lo.Data, dst.Hi.Data
+	parallel.For(len(lo), combineGrain, func(flo, fhi int) {
+		for i := flo; i < fhi; i++ {
+			a, b := lo[i], hi[i]
+			lo[i] = math.Min(a, b)
+			hi[i] = math.Max(a, b)
+		}
+	})
+}

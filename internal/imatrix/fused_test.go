@@ -1,0 +1,211 @@
+package imatrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+)
+
+// unfusedMulEndpoints is the pre-fusion reference implementation: four
+// full scalar endpoint products followed by an elementwise combine. The
+// fused kernels must match it bitwise at every shape, worker count, and
+// tile size.
+func unfusedMulEndpoints(a, b *IMatrix) *IMatrix {
+	t1 := matrix.Mul(a.Lo, b.Lo)
+	t2 := matrix.Mul(a.Lo, b.Hi)
+	t3 := matrix.Mul(a.Hi, b.Lo)
+	t4 := matrix.Mul(a.Hi, b.Hi)
+	return MinMaxCombine4(t1, t2, t3, t4)
+}
+
+func unfusedScalarRight(a *IMatrix, s *matrix.Dense) *IMatrix {
+	return MinMaxCombine(matrix.Mul(a.Lo, s), matrix.Mul(a.Hi, s))
+}
+
+func unfusedScalarLeft(s *matrix.Dense, a *IMatrix) *IMatrix {
+	return MinMaxCombine(matrix.Mul(s, a.Lo), matrix.Mul(s, a.Hi))
+}
+
+func randomIMatrix(rng *rand.Rand, r, c int) *IMatrix {
+	m := New(r, c)
+	for i := range m.Lo.Data {
+		if rng.Intn(6) == 0 {
+			continue // keep exact zero intervals in the mix
+		}
+		v := rng.NormFloat64()
+		m.Lo.Data[i] = v
+		m.Hi.Data[i] = v + rng.Float64()
+	}
+	return m
+}
+
+func requireIMatrixBits(t *testing.T, label string, want, got *IMatrix) {
+	t.Helper()
+	if want.Rows() != got.Rows() || want.Cols() != got.Cols() {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows(), got.Cols(), want.Rows(), want.Cols())
+	}
+	for i := range want.Lo.Data {
+		if math.Float64bits(want.Lo.Data[i]) != math.Float64bits(got.Lo.Data[i]) ||
+			math.Float64bits(want.Hi.Data[i]) != math.Float64bits(got.Hi.Data[i]) {
+			t.Fatalf("%s: element %d differs bitwise: [%v, %v] vs [%v, %v]", label, i,
+				got.Lo.Data[i], got.Hi.Data[i], want.Lo.Data[i], want.Hi.Data[i])
+		}
+	}
+}
+
+// withFusedTiles runs fn under temporary fused-kernel tile sizes.
+func withFusedTiles(ic, kc, jc int, fn func()) {
+	oi, ok, oj := fusedIC, fusedKC, fusedJC
+	defer func() { setFusedTiles(oi, ok, oj) }()
+	setFusedTiles(ic, kc, jc)
+	fn()
+}
+
+// TestFusedEndpointsBitwiseAcrossTilesAndWorkers pins the acceptance
+// criterion: the fused endpoint kernels are bitwise identical to the
+// unfused four-product formulation across worker counts {1, 3, 8} and
+// several tile configurations, at shapes straddling the tile edges.
+func TestFusedEndpointsBitwiseAcrossTilesAndWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	a := randomIMatrix(rng, 65, 67)
+	b := randomIMatrix(rng, 67, 61)
+	s := matrix.New(67, 23)
+	for i := range s.Data {
+		s.Data[i] = rng.NormFloat64()
+	}
+	sl := matrix.New(31, 65)
+	for i := range sl.Data {
+		sl.Data[i] = rng.NormFloat64()
+	}
+	wantMul := unfusedMulEndpoints(a, b)
+	wantGram := unfusedMulEndpoints(a.T(), a)
+	wantRight := unfusedScalarRight(a, s)
+	wantLeft := unfusedScalarLeft(sl, a)
+	tiles := []struct{ ic, kc, jc int }{
+		{1, 1, 1},
+		{3, 5, 7},
+		{64, 64, 256},
+	}
+	for _, tc := range tiles {
+		for _, workers := range []int{1, 3, 8} {
+			withFusedTiles(tc.ic, tc.kc, tc.jc, func() {
+				parallel.SetWorkers(workers)
+				defer parallel.SetWorkers(0)
+				requireIMatrixBits(t, "MulEndpoints", wantMul, MulEndpoints(a, b))
+				requireIMatrixBits(t, "GramEndpoints", wantGram, GramEndpoints(a))
+				requireIMatrixBits(t, "ScalarRight", wantRight, MulEndpointsScalarRight(a, s))
+				requireIMatrixBits(t, "ScalarLeft", wantLeft, MulEndpointsScalarLeft(sl, a))
+			})
+		}
+	}
+}
+
+// TestFusedEndpointsSmallShapes sweeps edge shapes (1×n, n×1, primes)
+// under tiny tiles so partial panels in every dimension are exercised.
+func TestFusedEndpointsSmallShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	dims := []int{1, 2, 3, 5, 8, 13}
+	withFusedTiles(4, 4, 4, func() {
+		for _, m := range dims {
+			for _, k := range dims {
+				for _, n := range dims {
+					a := randomIMatrix(rng, m, k)
+					b := randomIMatrix(rng, k, n)
+					requireIMatrixBits(t, "MulEndpoints", unfusedMulEndpoints(a, b), MulEndpoints(a, b))
+					requireIMatrixBits(t, "GramEndpoints", unfusedMulEndpoints(a.T(), a), GramEndpoints(a))
+				}
+			}
+		}
+	})
+}
+
+// TestGramEndpointsMatchesTransposedMul pins that GramEndpoints is an
+// exact drop-in for the MulEndpoints(m.T(), m) call it replaced in the
+// ISVD and LP pipelines.
+func TestGramEndpointsMatchesTransposedMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	m := randomIMatrix(rng, 150, 73)
+	requireIMatrixBits(t, "Gram", MulEndpoints(m.T(), m), GramEndpoints(m))
+}
+
+// TestMulEndpointsIntoOverwritesDst pins destination-passing semantics.
+func TestMulEndpointsIntoOverwritesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	a := randomIMatrix(rng, 19, 23)
+	b := randomIMatrix(rng, 23, 17)
+	dst := New(19, 17)
+	for i := range dst.Lo.Data {
+		dst.Lo.Data[i] = math.NaN()
+		dst.Hi.Data[i] = math.Inf(1)
+	}
+	requireIMatrixBits(t, "Into", unfusedMulEndpoints(a, b), MulEndpointsInto(dst, a, b))
+
+	gdst := New(23, 23)
+	for i := range gdst.Lo.Data {
+		gdst.Lo.Data[i] = math.Inf(-1)
+	}
+	requireIMatrixBits(t, "GramInto", unfusedMulEndpoints(a.T(), a), GramEndpointsInto(gdst, a))
+}
+
+// TestFusedEndpointsAllocations pins the tentpole's allocation claim:
+// MulEndpointsInto into a reused destination performs O(1) small
+// allocations (per-shard tile scratch), never four matrix-sized
+// temporaries. Run serially so the count is deterministic.
+func TestFusedEndpointsAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	a := randomIMatrix(rng, 96, 96)
+	b := randomIMatrix(rng, 96, 96)
+	dst := New(96, 96)
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	allocs := testing.AllocsPerRun(10, func() {
+		MulEndpointsInto(dst, a, b)
+	})
+	// One tile-scratch allocation per pool chunk (serial: one chunk),
+	// plus closure bookkeeping. The unfused version allocated 4 full
+	// matrices + 2 outputs + combine slices (10+).
+	if allocs > 4 {
+		t.Fatalf("MulEndpointsInto allocated %.0f objects per run, want <= 4", allocs)
+	}
+	gram := New(96, 96)
+	allocs = testing.AllocsPerRun(10, func() {
+		GramEndpointsInto(gram, a)
+	})
+	if allocs > 4 {
+		t.Fatalf("GramEndpointsInto allocated %.0f objects per run, want <= 4", allocs)
+	}
+	sdst := New(96, 96)
+	s := matrix.New(96, 96)
+	allocs = testing.AllocsPerRun(10, func() {
+		MulEndpointsScalarRightInto(sdst, a, s)
+	})
+	// Pool-closure bookkeeping only — no matrix-sized temporaries.
+	if allocs > 4 {
+		t.Fatalf("MulEndpointsScalarRightInto allocated %.0f objects per run, want <= 4", allocs)
+	}
+}
+
+// TestFusedEndpointsPanics pins the shape/alias guards.
+func TestFusedEndpointsPanics(t *testing.T) {
+	a := New(3, 4)
+	b := New(4, 5)
+	for name, fn := range map[string]func(){
+		"shape":     func() { MulEndpointsInto(New(3, 4), a, b) },
+		"incompat":  func() { MulEndpointsInto(New(3, 3), a, New(3, 3)) },
+		"aliasA":    func() { MulEndpointsInto(a, a, New(4, 3)) },
+		"gramShape": func() { GramEndpointsInto(New(3, 3), a) },
+		"badTile":   func() { setFusedTiles(1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -185,14 +185,10 @@ func MulEndpoints(a, b *IMatrix) *IMatrix {
 	if a.Cols() != b.Rows() {
 		panic(fmt.Sprintf("imatrix: MulEndpoints: %dx%d · %dx%d", a.Rows(), a.Cols(), b.Rows(), b.Cols()))
 	}
-	// The four endpoint products run one after another, each internally
-	// row-sharded across the full pool (running the four concurrently would
-	// oversubscribe the pool 4x and thrash caches for no wall-clock gain).
-	t1 := matrix.Mul(a.Lo, b.Lo)
-	t2 := matrix.Mul(a.Lo, b.Hi)
-	t3 := matrix.Mul(a.Hi, b.Lo)
-	t4 := matrix.Mul(a.Hi, b.Hi)
-	return MinMaxCombine4(t1, t2, t3, t4)
+	// Fused kernel (fused.go): the four endpoint products are computed
+	// tile-by-tile and min/max-combined in place, with O(tile) scratch
+	// instead of four matrix-sized temporaries plus a combine pass.
+	return MulEndpointsInto(New(a.Rows(), b.Cols()), a, b)
 }
 
 // MulScalarRight returns the exact interval product a × s for a scalar
@@ -230,16 +226,12 @@ func MulScalarLeft(s *matrix.Dense, a *IMatrix) *IMatrix {
 // ISVD3/ISVD4, and it produces much tighter (though not inclusion-
 // complete) intervals than the exact product when spans are large.
 func MulEndpointsScalarRight(a *IMatrix, s *matrix.Dense) *IMatrix {
-	t1 := matrix.Mul(a.Lo, s)
-	t2 := matrix.Mul(a.Hi, s)
-	return MinMaxCombine(t1, t2)
+	return MulEndpointsScalarRightInto(New(a.Rows(), s.Cols), a, s)
 }
 
 // MulEndpointsScalarLeft is the endpoint counterpart of MulScalarLeft.
 func MulEndpointsScalarLeft(s *matrix.Dense, a *IMatrix) *IMatrix {
-	t1 := matrix.Mul(s, a.Lo)
-	t2 := matrix.Mul(s, a.Hi)
-	return MinMaxCombine(t1, t2)
+	return MulEndpointsScalarLeftInto(New(s.Rows, a.Cols()), s, a)
 }
 
 // MinMaxCombine returns the elementwise interval [min(t1, t2),

@@ -105,7 +105,7 @@ func Vertices(m *imatrix.IMatrix, rank int) (*Result, error) {
 // transpose).
 func (r *Result) ReconstructMid() *matrix.Dense {
 	scoreMid := r.Scores.Mid()
-	recon := matrix.MulT(scoreMid, r.Axes.T().T()) // scores·axesᵀ
+	recon := matrix.MulT(scoreMid, r.Axes) // scores·axesᵀ
 	for i := 0; i < recon.Rows; i++ {
 		row := recon.RowView(i)
 		for j := range row {
@@ -169,11 +169,7 @@ func covariance(m *matrix.Dense, means []float64) *matrix.Dense {
 		}
 	}
 	cov := matrix.TMul(centered, centered)
-	inv := 1 / float64(m.Rows)
-	for i := range cov.Data {
-		cov.Data[i] *= inv
-	}
-	return cov
+	return matrix.ScaleInto(cov, 1/float64(m.Rows), cov)
 }
 
 func clampNonNegative(vals []float64) []float64 {

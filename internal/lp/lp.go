@@ -28,6 +28,7 @@ import (
 	"repro/internal/eig"
 	"repro/internal/imatrix"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 	"repro/internal/simplex"
 )
 
@@ -63,8 +64,8 @@ func Decompose(m *imatrix.IMatrix, opts Options) (*core.Decomposition, error) {
 		return nil, fmt.Errorf("%w: dim %d > %d", ErrTooLarge, dim, opts.MaxDim)
 	}
 
-	// Interval Gram matrix, center and radius.
-	a := imatrix.MulEndpoints(m.T(), m)
+	// Interval Gram matrix, center and radius (fused endpoint kernel).
+	a := imatrix.GramEndpoints(m)
 	ac := a.Mid()
 	delta := matrix.Sub(a.Hi, a.Lo).Scale(0.5)
 
@@ -89,17 +90,24 @@ func Decompose(m *imatrix.IMatrix, opts Options) (*core.Decomposition, error) {
 			rowBound[i] += delta.At(i, j)
 		}
 	}
-	for k := 0; k < r; k++ {
-		// Deif eigenvalue bound, clamped non-negative for a Gram matrix.
-		lamLo := math.Max(vals[k]-rho, 0)
-		lamHi := math.Max(vals[k]+rho, 0)
-		sLo[k] = math.Sqrt(lamLo)
-		sHi[k] = math.Sqrt(lamHi)
+	// The per-rank-dimension eigenpair bounds are independent — each one
+	// is 2·dim simplex solves against its own constraint copy — so they
+	// shard onto the worker pool with grain 1 (every iteration is far
+	// heavier than scheduling cost). Each iteration writes only its own
+	// column/slot, so results are deterministic for any worker count.
+	parallel.For(r, 1, func(klo, khi int) {
+		for k := klo; k < khi; k++ {
+			// Deif eigenvalue bound, clamped non-negative for a Gram matrix.
+			lamLo := math.Max(vals[k]-rho, 0)
+			lamHi := math.Max(vals[k]+rho, 0)
+			sLo[k] = math.Sqrt(lamLo)
+			sHi[k] = math.Sqrt(lamHi)
 
-		lo, hi := eigenvectorBox(ac, delta, rowBound, vals[k], vecs.Col(k))
-		vLo.SetCol(k, lo)
-		vHi.SetCol(k, hi)
-	}
+			lo, hi := eigenvectorBox(ac, delta, rowBound, vals[k], vecs.Col(k))
+			vLo.SetCol(k, lo)
+			vHi.SetCol(k, hi)
+		}
+	})
 
 	// Recover U per side from the SVD identity (as in ISVD2).
 	uLo := recoverU(m.Lo, vLo, sLo)

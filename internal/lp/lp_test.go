@@ -10,6 +10,7 @@ import (
 	"repro/internal/imatrix"
 	"repro/internal/interval"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 func TestDecomposeScalarInput(t *testing.T) {
@@ -133,5 +134,50 @@ func TestEigenvectorBoxContainsCenter(t *testing.T) {
 	if dw.V.TotalSpan() < d.V.TotalSpan() {
 		t.Fatalf("wider input gave narrower eigenvector boxes: %g vs %g",
 			dw.V.TotalSpan(), d.V.TotalSpan())
+	}
+}
+
+// TestDecomposeBitwiseAcrossWorkerCounts pins that sharding the
+// per-rank-dimension simplex solves onto the worker pool does not
+// perturb a single bit: each rank dimension's bounds are computed
+// independently and written to disjoint slots.
+func TestDecomposeBitwiseAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := dataset.DefaultSynthetic()
+	cfg.Rows, cfg.Cols = 24, 12
+	cfg.Intensity = 0.01
+	m := dataset.MustGenerateUniform(cfg, rng)
+	opts := Options{Rank: 6, Target: core.TargetB}
+
+	decompose := func(workers int) *core.Decomposition {
+		parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(0)
+		d, err := Decompose(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	serial := decompose(1)
+	for _, w := range []int{3, 8} {
+		par := decompose(w)
+		for _, pair := range []struct {
+			name      string
+			want, got *matrix.Dense
+		}{
+			{"U.Lo", serial.U.Lo, par.U.Lo},
+			{"U.Hi", serial.U.Hi, par.U.Hi},
+			{"V.Lo", serial.V.Lo, par.V.Lo},
+			{"V.Hi", serial.V.Hi, par.V.Hi},
+			{"Sigma.Lo", serial.Sigma.Lo, par.Sigma.Lo},
+			{"Sigma.Hi", serial.Sigma.Hi, par.Sigma.Hi},
+		} {
+			for i := range pair.want.Data {
+				if pair.want.Data[i] != pair.got.Data[i] {
+					t.Fatalf("workers=%d: %s element %d differs: %v vs %v",
+						w, pair.name, i, pair.got.Data[i], pair.want.Data[i])
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,364 @@
+// Blocked, destination-passing compute kernels. Every O(n³) product in
+// this file tiles its loops to L2-sized panels and unrolls rows into a
+// register micro-kernel, while preserving the repository's determinism
+// contract: each output ELEMENT accumulates its terms in ascending k
+// order inside a single accumulator, exactly as the naive triple loop
+// does, so results are bitwise identical to the unblocked kernels for
+// any worker count and any tile size. Only the interleaving between
+// elements changes — never the per-element floating-point operation
+// order.
+//
+// The Into variants overwrite a caller-supplied destination instead of
+// allocating, which lets iteration-heavy consumers (the NMF
+// multiplicative updates, the eig pseudo-inverse, the ISVD solve steps)
+// reuse workspaces across iterations. The allocating entry points in
+// matrix.go (Mul, MulT, TMul, Add, Sub, Scale) are thin wrappers over
+// these.
+//
+// NaN/±Inf semantics: the kernels never skip terms with a zero left
+// factor, so 0·NaN = NaN and 0·±Inf = NaN propagate into the output per
+// IEEE 754 (see TestMulPropagatesNaNInf). Zero-skipping survives only in
+// internal/sparse, whose inputs are validated finite at the boundary.
+// For finite operands, skipping a zero term adds exactly ±0 to an
+// accumulator that is never −0, so the removal changed no finite result
+// bitwise.
+package matrix
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// Tile sizes of the blocked kernels. blockKC×blockJC (the right-operand
+// panel held hot across a row sweep) is sized for L2: 128×256 float64 =
+// 256 KiB. blockIC bounds the output/left panel a k sweep revisits.
+// They are variables so the tile-boundary tests can pin correctness at
+// several (including degenerate) tile shapes; correctness and bitwise
+// output never depend on them.
+var (
+	blockIC = 64
+	blockKC = 128
+	blockJC = 256
+)
+
+// setBlockSizes overrides the tile sizes (test hook). Non-positive
+// values panic: the kernels assume at least one index per tile.
+func setBlockSizes(ic, kc, jc int) {
+	if ic < 1 || kc < 1 || jc < 1 {
+		panic("matrix: setBlockSizes: non-positive tile size")
+	}
+	blockIC, blockKC, blockJC = ic, kc, jc
+}
+
+func checkDst(op string, dst *Dense, rows, cols int, operands ...*Dense) {
+	if dst.Rows != rows || dst.Cols != cols {
+		panic(fmt.Sprintf("matrix: %s: dst is %dx%d, want %dx%d", op, dst.Rows, dst.Cols, rows, cols))
+	}
+	for _, m := range operands {
+		if &dst.Data[0] == &m.Data[0] {
+			panic(fmt.Sprintf("matrix: %s: dst aliases an operand", op))
+		}
+	}
+}
+
+func zeroFloats(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// MulInto computes dst = a·b into the caller-supplied dst (overwriting
+// it) and returns dst. dst must have shape a.Rows×b.Cols and must not
+// alias a or b. The product is sharded over output rows on the shared
+// worker pool and cache-blocked inside each shard; see the package
+// comment in this file for the determinism contract.
+func MulInto(dst, a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: MulInto: %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkDst("MulInto", dst, a.Rows, b.Cols, a, b)
+	zeroFloats(dst.Data)
+	parallel.For(a.Rows, parallel.Grain(2*a.Cols*b.Cols), func(lo, hi int) {
+		mulRange(dst, a, b, lo, hi)
+	})
+	return dst
+}
+
+// mulRange accumulates dst[rlo:rhi] = a[rlo:rhi]·b with three-level
+// blocking: j panels of blockJC (output/right-operand width), k panels
+// of blockKC processed in ascending order (so per-element accumulation
+// order is the full ascending k sweep), and rows in groups of four so
+// each loaded b element feeds four outputs from registers.
+func mulRange(dst, a, b *Dense, rlo, rhi int) {
+	kDim, n := a.Cols, b.Cols
+	for jc := 0; jc < n; jc += blockJC {
+		jEnd := min(jc+blockJC, n)
+		for kc := 0; kc < kDim; kc += blockKC {
+			kEnd := min(kc+blockKC, kDim)
+			i := rlo
+			for ; i+4 <= rhi; i += 4 {
+				mulPanel4(dst, a, b, i, jc, jEnd, kc, kEnd)
+			}
+			for ; i < rhi; i++ {
+				mulPanel1(dst, a, b, i, jc, jEnd, kc, kEnd)
+			}
+		}
+	}
+}
+
+// mulPanel4 is the register micro-kernel: four output rows × one j
+// panel × one k panel, with the k loop unrolled four-wide. Each output
+// element loads once, receives its four k terms as SEPARATE rounded
+// additions in ascending k order (preserving the naive per-element
+// operation sequence bitwise), and stores once — quartering the
+// destination read-modify-write traffic while every loaded b element
+// feeds four rows.
+func mulPanel4(dst, a, b *Dense, i, j0, j1, k0, k1 int) {
+	w := j1 - j0
+	o0 := dst.Data[i*dst.Cols+j0 : i*dst.Cols+j1 : i*dst.Cols+j1]
+	o1 := dst.Data[(i+1)*dst.Cols+j0 : (i+1)*dst.Cols+j1 : (i+1)*dst.Cols+j1]
+	o2 := dst.Data[(i+2)*dst.Cols+j0 : (i+2)*dst.Cols+j1 : (i+2)*dst.Cols+j1]
+	o3 := dst.Data[(i+3)*dst.Cols+j0 : (i+3)*dst.Cols+j1 : (i+3)*dst.Cols+j1]
+	a0 := a.Data[i*a.Cols : (i+1)*a.Cols]
+	a1 := a.Data[(i+1)*a.Cols : (i+2)*a.Cols]
+	a2 := a.Data[(i+2)*a.Cols : (i+3)*a.Cols]
+	a3 := a.Data[(i+3)*a.Cols : (i+4)*a.Cols]
+	k := k0
+	for ; k+4 <= k1; k += 4 {
+		b0 := b.Data[k*b.Cols+j0 : k*b.Cols+j1]
+		b1 := b.Data[(k+1)*b.Cols+j0 : (k+1)*b.Cols+j1]
+		b2 := b.Data[(k+2)*b.Cols+j0 : (k+2)*b.Cols+j1]
+		b3 := b.Data[(k+3)*b.Cols+j0 : (k+3)*b.Cols+j1]
+		b0, b1, b2, b3 = b0[:w], b1[:w], b2[:w], b3[:w]
+		a00, a01, a02, a03 := a0[k], a0[k+1], a0[k+2], a0[k+3]
+		a10, a11, a12, a13 := a1[k], a1[k+1], a1[k+2], a1[k+3]
+		a20, a21, a22, a23 := a2[k], a2[k+1], a2[k+2], a2[k+3]
+		a30, a31, a32, a33 := a3[k], a3[k+1], a3[k+2], a3[k+3]
+		for j, bv0 := range b0 {
+			bv1, bv2, bv3 := b1[j], b2[j], b3[j]
+			t := o0[j]
+			t += a00 * bv0
+			t += a01 * bv1
+			t += a02 * bv2
+			t += a03 * bv3
+			o0[j] = t
+			t = o1[j]
+			t += a10 * bv0
+			t += a11 * bv1
+			t += a12 * bv2
+			t += a13 * bv3
+			o1[j] = t
+			t = o2[j]
+			t += a20 * bv0
+			t += a21 * bv1
+			t += a22 * bv2
+			t += a23 * bv3
+			o2[j] = t
+			t = o3[j]
+			t += a30 * bv0
+			t += a31 * bv1
+			t += a32 * bv2
+			t += a33 * bv3
+			o3[j] = t
+		}
+	}
+	for ; k < k1; k++ {
+		av0, av1, av2, av3 := a0[k], a1[k], a2[k], a3[k]
+		brow := b.Data[k*b.Cols+j0 : k*b.Cols+j1]
+		brow = brow[:w]
+		for j, bv := range brow {
+			o0[j] += av0 * bv
+			o1[j] += av1 * bv
+			o2[j] += av2 * bv
+			o3[j] += av3 * bv
+		}
+	}
+}
+
+// mulPanel1 handles the <4 row remainder of a shard.
+func mulPanel1(dst, a, b *Dense, i, j0, j1, k0, k1 int) {
+	w := j1 - j0
+	orow := dst.Data[i*dst.Cols+j0 : i*dst.Cols+j1 : i*dst.Cols+j1]
+	arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+	for k := k0; k < k1; k++ {
+		av := arow[k]
+		brow := b.Data[k*b.Cols+j0 : k*b.Cols+j1]
+		brow = brow[:w]
+		for j, bv := range brow {
+			orow[j] += av * bv
+		}
+	}
+}
+
+// MulTInto computes dst = a·bᵀ into dst (shape a.Rows×b.Rows) without
+// materializing the transpose. Every output element is a dot product of
+// two contiguous rows, accumulated in a single register over the full
+// ascending k range — identical order to the unblocked MulT. Rows of a
+// are tiled so the four-column group of b rows stays cache-resident
+// across an a panel.
+func MulTInto(dst, a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: MulTInto: %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkDst("MulTInto", dst, a.Rows, b.Rows, a, b)
+	kDim := a.Cols
+	parallel.For(a.Rows, parallel.Grain(2*a.Cols*b.Rows), func(rlo, rhi int) {
+		for ib := rlo; ib < rhi; ib += blockIC {
+			iEnd := min(ib+blockIC, rhi)
+			j := 0
+			for ; j+4 <= b.Rows; j += 4 {
+				b0 := b.Data[j*b.Cols : j*b.Cols+kDim]
+				b1 := b.Data[(j+1)*b.Cols : (j+1)*b.Cols+kDim]
+				b2 := b.Data[(j+2)*b.Cols : (j+2)*b.Cols+kDim]
+				b3 := b.Data[(j+3)*b.Cols : (j+3)*b.Cols+kDim]
+				for i := ib; i < iEnd; i++ {
+					arow := a.Data[i*a.Cols : i*a.Cols+kDim]
+					var s0, s1, s2, s3 float64
+					for k, av := range arow {
+						s0 += av * b0[k]
+						s1 += av * b1[k]
+						s2 += av * b2[k]
+						s3 += av * b3[k]
+					}
+					orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+					orow[j] = s0
+					orow[j+1] = s1
+					orow[j+2] = s2
+					orow[j+3] = s3
+				}
+			}
+			for ; j < b.Rows; j++ {
+				brow := b.Data[j*b.Cols : j*b.Cols+kDim]
+				for i := ib; i < iEnd; i++ {
+					arow := a.Data[i*a.Cols : i*a.Cols+kDim]
+					var s float64
+					for k, av := range arow {
+						s += av * brow[k]
+					}
+					dst.Data[i*dst.Cols+j] = s
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// TMulInto computes dst = aᵀ·b into dst (shape a.Cols×b.Cols) without
+// materializing the transpose. Output rows (columns of a) are sharded
+// on the pool; inside a shard the output is tiled blockIC×blockJC so an
+// output panel stays hot across its k sweep, with k panels ascending —
+// per-element accumulation is the full ascending k order of the
+// unblocked TMul.
+func TMulInto(dst, a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("matrix: TMulInto: (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkDst("TMulInto", dst, a.Cols, b.Cols, a, b)
+	zeroFloats(dst.Data)
+	kDim, n := a.Rows, b.Cols
+	parallel.For(a.Cols, parallel.Grain(2*a.Rows*b.Cols), func(rlo, rhi int) {
+		for ib := rlo; ib < rhi; ib += blockIC {
+			iEnd := min(ib+blockIC, rhi)
+			for jc := 0; jc < n; jc += blockJC {
+				jEnd := min(jc+blockJC, n)
+				w := jEnd - jc
+				for kc := 0; kc < kDim; kc += blockKC {
+					kEnd := min(kc+blockKC, kDim)
+					k := kc
+					// Four k indices per pass: each output element is
+					// loaded once, receives its four terms as separate
+					// rounded additions in ascending k order, and is
+					// stored once (same per-element sequence as the
+					// one-k remainder loop below).
+					for ; k+4 <= kEnd; k += 4 {
+						a0 := a.Data[k*a.Cols+ib : k*a.Cols+iEnd]
+						a1 := a.Data[(k+1)*a.Cols+ib : (k+1)*a.Cols+iEnd]
+						a2 := a.Data[(k+2)*a.Cols+ib : (k+2)*a.Cols+iEnd]
+						a3 := a.Data[(k+3)*a.Cols+ib : (k+3)*a.Cols+iEnd]
+						b0 := b.Data[k*b.Cols+jc : k*b.Cols+jEnd]
+						b1 := b.Data[(k+1)*b.Cols+jc : (k+1)*b.Cols+jEnd]
+						b2 := b.Data[(k+2)*b.Cols+jc : (k+2)*b.Cols+jEnd]
+						b3 := b.Data[(k+3)*b.Cols+jc : (k+3)*b.Cols+jEnd]
+						b0, b1, b2, b3 = b0[:w], b1[:w], b2[:w], b3[:w]
+						for ii, av0 := range a0 {
+							av1, av2, av3 := a1[ii], a2[ii], a3[ii]
+							orow := dst.Data[(ib+ii)*dst.Cols+jc : (ib+ii)*dst.Cols+jEnd]
+							orow = orow[:w]
+							for j, bv0 := range b0 {
+								t := orow[j]
+								t += av0 * bv0
+								t += av1 * b1[j]
+								t += av2 * b2[j]
+								t += av3 * b3[j]
+								orow[j] = t
+							}
+						}
+					}
+					for ; k < kEnd; k++ {
+						arow := a.Data[k*a.Cols+ib : k*a.Cols+iEnd]
+						brow := b.Data[k*b.Cols+jc : k*b.Cols+jEnd]
+						brow = brow[:w]
+						for ii, av := range arow {
+							orow := dst.Data[(ib+ii)*dst.Cols+jc : (ib+ii)*dst.Cols+jEnd]
+							orow = orow[:w]
+							for j, bv := range brow {
+								orow[j] += av * bv
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return dst
+}
+
+// AddInto computes dst = a + b elementwise. dst may alias a or b.
+func AddInto(dst, a, b *Dense) *Dense {
+	checkSameShape("AddInto", a, b)
+	checkSameShape("AddInto", dst, a)
+	for i, v := range a.Data {
+		dst.Data[i] = v + b.Data[i]
+	}
+	return dst
+}
+
+// SubInto computes dst = a - b elementwise. dst may alias a or b.
+func SubInto(dst, a, b *Dense) *Dense {
+	checkSameShape("SubInto", a, b)
+	checkSameShape("SubInto", dst, a)
+	for i, v := range a.Data {
+		dst.Data[i] = v - b.Data[i]
+	}
+	return dst
+}
+
+// ScaleInto computes dst = s·a elementwise. dst may alias a.
+func ScaleInto(dst *Dense, s float64, a *Dense) *Dense {
+	checkSameShape("ScaleInto", dst, a)
+	for i, v := range a.Data {
+		dst.Data[i] = s * v
+	}
+	return dst
+}
+
+// TransposeInto computes dst = aᵀ into dst (shape a.Cols×a.Rows), in
+// cache-friendly square tiles. dst must not alias a.
+func TransposeInto(dst, a *Dense) *Dense {
+	checkDst("TransposeInto", dst, a.Cols, a.Rows, a)
+	const tile = 32
+	for i0 := 0; i0 < a.Rows; i0 += tile {
+		i1 := min(i0+tile, a.Rows)
+		for j0 := 0; j0 < a.Cols; j0 += tile {
+			j1 := min(j0+tile, a.Cols)
+			for i := i0; i < i1; i++ {
+				arow := a.Data[i*a.Cols+j0 : i*a.Cols+j1]
+				for jj, v := range arow {
+					dst.Data[(j0+jj)*dst.Cols+i] = v
+				}
+			}
+		}
+	}
+	return dst
+}

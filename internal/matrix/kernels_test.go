@@ -1,0 +1,245 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// naiveMul is the unblocked reference: per element, terms accumulate in
+// ascending k order with no zero-skipping. The blocked kernels must be
+// bitwise equal to this at every shape, worker count, and tile size.
+func naiveMul(a, b *Dense) *Dense {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func naiveMulT(a, b *Dense) *Dense {
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(j, k)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func naiveTMul(a, b *Dense) *Dense {
+	out := New(a.Cols, b.Cols)
+	for i := 0; i < a.Cols; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Rows; k++ {
+				s += a.At(k, i) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := New(r, c)
+	for i := range m.Data {
+		// Mix in exact zeros so the no-skip contract is exercised.
+		if rng.Intn(5) == 0 {
+			continue
+		}
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func requireBitwiseEqual(t *testing.T, label string, want, got *Dense) {
+	t.Helper()
+	if want.Rows != got.Rows || want.Cols != got.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		// NaN-aware bitwise comparison.
+		if math.Float64bits(want.Data[i]) != math.Float64bits(got.Data[i]) {
+			t.Fatalf("%s: element %d differs bitwise: %v vs %v", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// withTiles runs fn under temporary kernel tile sizes.
+func withTiles(ic, kc, jc int, fn func()) {
+	oi, ok, oj := blockIC, blockKC, blockJC
+	defer func() { setBlockSizes(oi, ok, oj) }()
+	setBlockSizes(ic, kc, jc)
+	fn()
+}
+
+// TestBlockedKernelsExhaustiveShapes sweeps small shapes that straddle
+// tile edges — 1×n, n×1, primes, exact multiples, multiples±1 — under
+// deliberately tiny tile sizes so every edge path (remainder rows,
+// partial j panels, partial k panels) runs within the sweep, and checks
+// the blocked kernels bitwise against the naive reference.
+func TestBlockedKernelsExhaustiveShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	dims := []int{1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17}
+	withTiles(4, 4, 4, func() {
+		for _, m := range dims {
+			for _, k := range dims {
+				for _, n := range dims {
+					a := randomDense(rng, m, k)
+					b := randomDense(rng, k, n)
+					requireBitwiseEqual(t, "Mul", naiveMul(a, b), Mul(a, b))
+					bt := randomDense(rng, n, k)
+					requireBitwiseEqual(t, "MulT", naiveMulT(a, bt), MulT(a, bt))
+					c := randomDense(rng, m, n)
+					requireBitwiseEqual(t, "TMul", naiveTMul(a, c), TMul(a, c))
+				}
+			}
+		}
+	})
+}
+
+// TestBlockedKernelsTileAndWorkerInvariance pins the determinism
+// contract: the blocked kernels are bitwise identical to the naive
+// reference for every worker count in {1, 3, 8} crossed with tile
+// configurations from degenerate (1×1×1) through production defaults.
+func TestBlockedKernelsTileAndWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// 67 and 131 are primes straddling the default 64/128 tile edges.
+	a := randomDense(rng, 67, 131)
+	b := randomDense(rng, 131, 67)
+	c := randomDense(rng, 131, 59)
+	wantMul := naiveMul(a, b)
+	wantMulT := naiveMulT(a, a)
+	wantTMul := naiveTMul(b, c)
+	tiles := []struct{ ic, kc, jc int }{
+		{1, 1, 1},
+		{3, 5, 7},
+		{64, 128, 256},
+		{1024, 1024, 1024}, // one tile covers everything
+	}
+	for _, tc := range tiles {
+		for _, workers := range []int{1, 3, 8} {
+			withTiles(tc.ic, tc.kc, tc.jc, func() {
+				parallel.SetWorkers(workers)
+				defer parallel.SetWorkers(0)
+				requireBitwiseEqual(t, "Mul", wantMul, Mul(a, b))
+				requireBitwiseEqual(t, "MulT", wantMulT, MulT(a, a))
+				requireBitwiseEqual(t, "TMul", wantTMul, TMul(b, c))
+			})
+		}
+	}
+}
+
+// TestIntoKernelsOverwriteDst pins destination-passing semantics: the
+// Into variants fully overwrite whatever dst held before.
+func TestIntoKernelsOverwriteDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := randomDense(rng, 23, 31)
+	b := randomDense(rng, 31, 19)
+	poison := func(r, c int) *Dense {
+		d := New(r, c)
+		for i := range d.Data {
+			d.Data[i] = math.NaN()
+		}
+		return d
+	}
+	requireBitwiseEqual(t, "MulInto", naiveMul(a, b), MulInto(poison(23, 19), a, b))
+	requireBitwiseEqual(t, "MulTInto", naiveMulT(a, a), MulTInto(poison(23, 23), a, a))
+	requireBitwiseEqual(t, "TMulInto", naiveTMul(a, a), TMulInto(poison(31, 31), a, a))
+	requireBitwiseEqual(t, "AddInto", Add(a, a), AddInto(poison(23, 31), a, a))
+	requireBitwiseEqual(t, "SubInto", Sub(a, a), SubInto(poison(23, 31), a, a))
+	requireBitwiseEqual(t, "ScaleInto", a.Scale(2.5), ScaleInto(poison(23, 31), 2.5, a))
+	requireBitwiseEqual(t, "TransposeInto", a.T(), TransposeInto(poison(31, 23), a))
+}
+
+// TestElementwiseIntoAliasing pins that the elementwise Into kernels
+// accept dst aliasing an operand (the in-place accumulate pattern the
+// NMF workspaces rely on).
+func TestElementwiseIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := randomDense(rng, 9, 11)
+	b := randomDense(rng, 9, 11)
+	want := Add(a, b)
+	got := a.Clone()
+	AddInto(got, got, b)
+	requireBitwiseEqual(t, "AddInto-aliased", want, got)
+
+	wantSub := Sub(a, b)
+	got = a.Clone()
+	SubInto(got, got, b)
+	requireBitwiseEqual(t, "SubInto-aliased", wantSub, got)
+
+	wantScale := a.Scale(-3)
+	got = a.Clone()
+	ScaleInto(got, -3, got)
+	requireBitwiseEqual(t, "ScaleInto-aliased", wantScale, got)
+}
+
+// TestMulIntoPanics pins the shape and aliasing guards of the product
+// Into kernels, which overwrite dst and therefore must not share it
+// with an operand.
+func TestMulIntoPanics(t *testing.T) {
+	a := New(3, 4)
+	b := New(4, 5)
+	for name, fn := range map[string]func(){
+		"shape":       func() { MulInto(New(3, 4), a, b) },
+		"aliasA":      func() { MulInto(a, a, New(4, 4)) },
+		"aliasB":      func() { MulInto(b, New(4, 4), b) },
+		"mulTShape":   func() { MulTInto(New(5, 5), a, New(5, 4)) },
+		"tMulShape":   func() { TMulInto(New(5, 5), a, New(3, 5)) },
+		"transpose":   func() { TransposeInto(New(3, 4), a) },
+		"badTile":     func() { setBlockSizes(0, 1, 1) },
+		"incompatMul": func() { MulInto(New(3, 3), a, New(3, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestMulPropagatesNaNInf pins the satellite fix: a zero left factor no
+// longer skips the term, so 0·NaN and 0·±Inf propagate as NaN per
+// IEEE 754 instead of being silently dropped.
+func TestMulPropagatesNaNInf(t *testing.T) {
+	// Row of zeros times a column containing NaN / +Inf / -Inf.
+	a := FromRows([][]float64{{0, 0, 0}})
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b := FromRows([][]float64{{1}, {v}, {2}})
+		if got := Mul(a, b).At(0, 0); !math.IsNaN(got) {
+			t.Errorf("Mul: 0·%v accumulated to %v, want NaN", v, got)
+		}
+		// TMul: zero column in a, NaN/Inf row in b.
+		at := a.T() // 3x1 zero column
+		if got := TMul(at, b).At(0, 0); !math.IsNaN(got) {
+			t.Errorf("TMul: 0·%v accumulated to %v, want NaN", v, got)
+		}
+		// MulT: dot of zero row with NaN/Inf row.
+		if got := MulT(a, b.T()).At(0, 0); !math.IsNaN(got) {
+			t.Errorf("MulT: 0·%v accumulated to %v, want NaN", v, got)
+		}
+	}
+	// Finite inputs with zeros are unaffected: the extra ±0 terms can
+	// never move an accumulator that is never -0.
+	rng := rand.New(rand.NewSource(45))
+	x := randomDense(rng, 12, 17)
+	y := randomDense(rng, 17, 9)
+	requireBitwiseEqual(t, "finite", naiveMul(x, y), Mul(x, y))
+}

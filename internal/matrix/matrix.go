@@ -10,8 +10,6 @@ package matrix
 import (
 	"fmt"
 	"math"
-
-	"repro/internal/parallel"
 )
 
 // Dense is an n×m dense matrix of float64 stored in row-major order.
@@ -128,122 +126,56 @@ func (m *Dense) Diagonal() []float64 {
 
 // T returns the transpose of m as a new matrix.
 func (m *Dense) T() *Dense {
-	out := New(m.Cols, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		ri := m.Data[i*m.Cols : (i+1)*m.Cols]
-		for j, v := range ri {
-			out.Data[j*out.Cols+i] = v
-		}
-	}
-	return out
+	return TransposeInto(New(m.Cols, m.Rows), m)
 }
 
 // Mul returns the product a·b. It panics on incompatible shapes.
 //
-// The product is sharded over blocks of output rows on the shared worker
-// pool; each element's accumulation runs in fixed k order within one
-// goroutine, so the result is bitwise identical for any worker count.
+// The product runs on the cache-blocked kernel of MulInto: sharded over
+// blocks of output rows on the shared worker pool, with each element's
+// accumulation in fixed ascending k order within one goroutine, so the
+// result is bitwise identical for any worker count and tile size. Zero
+// left factors are NOT skipped: 0·NaN and 0·±Inf propagate as NaN.
 func Mul(a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matrix: Mul: %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
-	parallel.For(a.Rows, parallel.Grain(a.Cols*b.Cols), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	})
-	return out
+	return MulInto(New(a.Rows, b.Cols), a, b)
 }
 
-// MulT returns a·bᵀ without materializing the transpose. Like Mul it is
-// sharded over output rows with a deterministic accumulation order.
+// MulT returns a·bᵀ without materializing the transpose, on the blocked
+// kernel of MulTInto (same determinism and NaN semantics as Mul).
 func MulT(a, b *Dense) *Dense {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("matrix: MulT: %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Rows)
-	parallel.For(a.Rows, parallel.Grain(a.Cols*b.Rows), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*a.Cols : (i+1)*a.Cols]
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Data[j*b.Cols : (j+1)*b.Cols]
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				out.Data[i*out.Cols+j] = s
-			}
-		}
-	})
-	return out
+	return MulTInto(New(a.Rows, b.Rows), a, b)
 }
 
-// TMul returns aᵀ·b without materializing the transpose. Output rows
-// (columns of a) are sharded across the pool; within a shard the k loop
-// stays outermost, preserving the serial per-element accumulation order
-// and the cache-friendly row-major scan of b.
+// TMul returns aᵀ·b without materializing the transpose, on the blocked
+// kernel of TMulInto (same determinism and NaN semantics as Mul).
 func TMul(a, b *Dense) *Dense {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("matrix: TMul: (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Cols, b.Cols)
-	parallel.For(a.Cols, parallel.Grain(a.Rows*b.Cols), func(lo, hi int) {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Data[k*a.Cols+lo : k*a.Cols+hi]
-			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
-			for ii, av := range arow {
-				if av == 0 {
-					continue
-				}
-				i := lo + ii
-				orow := out.Data[i*out.Cols : (i+1)*out.Cols]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	})
-	return out
+	return TMulInto(New(a.Cols, b.Cols), a, b)
 }
 
 // Add returns a + b elementwise.
 func Add(a, b *Dense) *Dense {
 	checkSameShape("Add", a, b)
-	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v + b.Data[i]
-	}
-	return out
+	return AddInto(New(a.Rows, a.Cols), a, b)
 }
 
 // Sub returns a - b elementwise.
 func Sub(a, b *Dense) *Dense {
 	checkSameShape("Sub", a, b)
-	out := New(a.Rows, a.Cols)
-	for i, v := range a.Data {
-		out.Data[i] = v - b.Data[i]
-	}
-	return out
+	return SubInto(New(a.Rows, a.Cols), a, b)
 }
 
 // Scale returns s·m as a new matrix.
 func (m *Dense) Scale(s float64) *Dense {
-	out := New(m.Rows, m.Cols)
-	for i, v := range m.Data {
-		out.Data[i] = s * v
-	}
-	return out
+	return ScaleInto(New(m.Rows, m.Cols), s, m)
 }
 
 // Mean returns the elementwise mean (a + b) / 2.

@@ -77,14 +77,24 @@ func Train(m *matrix.Dense, cfg Config, rng *rand.Rand) (*Model, error) {
 	}
 	u := randNonNegative(m.Rows, cfg.Rank, rng)
 	v := randNonNegative(m.Cols, cfg.Rank, rng)
+	// Workspaces reused across every multiplicative update: the blocked
+	// Into kernels overwrite them, so the iteration loop allocates
+	// nothing (same arithmetic, same bitwise results as the allocating
+	// kernels).
+	r := cfg.Rank
+	mv := matrix.New(m.Rows, r)
+	uvv := matrix.New(m.Rows, r)
+	mtu := matrix.New(m.Cols, r)
+	vuu := matrix.New(m.Cols, r)
+	gram := matrix.New(r, r)
 	for it := 0; it < cfg.Iterations; it++ {
 		// U update.
-		mv := matrix.Mul(m, v)
-		uvv := matrix.Mul(u, matrix.TMul(v, v))
+		matrix.MulInto(mv, m, v)
+		matrix.MulInto(uvv, u, matrix.TMulInto(gram, v, v))
 		hadamardQuotient(u, mv, uvv)
 		// V update.
-		mtu := matrix.TMul(m, u)
-		vuu := matrix.Mul(v, matrix.TMul(u, u))
+		matrix.TMulInto(mtu, m, u)
+		matrix.MulInto(vuu, v, matrix.TMulInto(gram, u, u))
 		hadamardQuotient(v, mtu, vuu)
 	}
 	return &Model{U: u, V: v}, nil
@@ -123,17 +133,61 @@ func TrainInterval(m *imatrix.IMatrix, cfg Config, rng *rand.Rand) (*IntervalMod
 	u := randNonNegative(m.Rows(), cfg.Rank, rng)
 	vLo := randNonNegative(m.Cols(), cfg.Rank, rng)
 	vHi := randNonNegative(m.Cols(), cfg.Rank, rng)
+	ws := newIntervalWorkspace(m.Rows(), m.Cols(), cfg.Rank)
 	for it := 0; it < cfg.Iterations; it++ {
-		// U update couples both sides.
-		num := matrix.Add(matrix.Mul(m.Lo, vLo), matrix.Mul(m.Hi, vHi))
-		den := matrix.Mul(u, matrix.Add(matrix.TMul(vLo, vLo), matrix.TMul(vHi, vHi)))
-		hadamardQuotient(u, num, den)
-		// Per-side V updates.
-		utu := matrix.TMul(u, u)
-		hadamardQuotient(vLo, matrix.TMul(m.Lo, u), matrix.Mul(vLo, utu))
-		hadamardQuotient(vHi, matrix.TMul(m.Hi, u), matrix.Mul(vHi, utu))
+		ws.update(m, u, vLo, vHi)
 	}
 	return &IntervalModel{U: u, VLo: vLo, VHi: vHi}, nil
+}
+
+// intervalWorkspace holds the reusable buffers of one coupled I-NMF
+// multiplicative update, so the iteration loop is allocation-free.
+type intervalWorkspace struct {
+	num, num2 *matrix.Dense // n×r numerator terms
+	den       *matrix.Dense // n×r denominator
+	gram      *matrix.Dense // r×r V Gram accumulators
+	gram2     *matrix.Dense // r×r second Gram term / UᵀU
+	mtv       *matrix.Dense // m×r per-side numerators
+	vg        *matrix.Dense // m×r per-side denominators
+}
+
+func newIntervalWorkspace(n, m, r int) *intervalWorkspace {
+	return &intervalWorkspace{
+		num:   matrix.New(n, r),
+		num2:  matrix.New(n, r),
+		den:   matrix.New(n, r),
+		gram:  matrix.New(r, r),
+		gram2: matrix.New(r, r),
+		mtv:   matrix.New(m, r),
+		vg:    matrix.New(m, r),
+	}
+}
+
+// update performs one coupled multiplicative update in place — the same
+// arithmetic (and bitwise results) as the allocating formulation
+//
+//	U   ← U ∘ (M*·V* + M^*·V^*) / (U·(V*ᵀ·V* + V^*ᵀ·V^*))
+//	V*  ← V* ∘ (M*ᵀ·U) / (V*·Uᵀ·U),   V^* analogously,
+//
+// with every product routed through the blocked Into kernels.
+func (ws *intervalWorkspace) update(m *imatrix.IMatrix, u, vLo, vHi *matrix.Dense) {
+	// U update couples both sides.
+	matrix.MulInto(ws.num, m.Lo, vLo)
+	matrix.MulInto(ws.num2, m.Hi, vHi)
+	matrix.AddInto(ws.num, ws.num, ws.num2)
+	matrix.TMulInto(ws.gram, vLo, vLo)
+	matrix.TMulInto(ws.gram2, vHi, vHi)
+	matrix.AddInto(ws.gram, ws.gram, ws.gram2)
+	matrix.MulInto(ws.den, u, ws.gram)
+	hadamardQuotient(u, ws.num, ws.den)
+	// Per-side V updates.
+	matrix.TMulInto(ws.gram, u, u)
+	matrix.TMulInto(ws.mtv, m.Lo, u)
+	matrix.MulInto(ws.vg, vLo, ws.gram)
+	hadamardQuotient(vLo, ws.mtv, ws.vg)
+	matrix.TMulInto(ws.mtv, m.Hi, u)
+	matrix.MulInto(ws.vg, vHi, ws.gram)
+	hadamardQuotient(vHi, ws.mtv, ws.vg)
 }
 
 // hadamardQuotient performs x ← x ∘ num / den elementwise in place,
@@ -173,13 +227,9 @@ func TrainIntervalAligned(m *imatrix.IMatrix, cfg Config, method assign.Method, 
 	if alignEvery < 1 {
 		alignEvery = 1
 	}
+	ws := newIntervalWorkspace(m.Rows(), m.Cols(), cfg.Rank)
 	for it := 0; it < cfg.Iterations; it++ {
-		num := matrix.Add(matrix.Mul(m.Lo, vLo), matrix.Mul(m.Hi, vHi))
-		den := matrix.Mul(u, matrix.Add(matrix.TMul(vLo, vLo), matrix.TMul(vHi, vHi)))
-		hadamardQuotient(u, num, den)
-		utu := matrix.TMul(u, u)
-		hadamardQuotient(vLo, matrix.TMul(m.Lo, u), matrix.Mul(vLo, utu))
-		hadamardQuotient(vHi, matrix.TMul(m.Hi, u), matrix.Mul(vHi, utu))
+		ws.update(m, u, vLo, vHi)
 		if it >= cfg.Iterations/4 && it < cfg.Iterations-1 && (it+1)%alignEvery == 0 {
 			res := align.ILSA(vHi, vLo, method)
 			var matched, identity float64

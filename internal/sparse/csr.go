@@ -5,9 +5,13 @@
 // matrices, or COO triplets; the kernels (CSR·Dense products, transpose
 // products for the Gram step, endpoint min/max combines) run row-sharded
 // on the shared worker pool and are bitwise identical to their dense
-// counterparts in internal/matrix and internal/imatrix: the dense kernels
-// skip zero left-operand terms and accumulate each output element in
-// fixed k order, which is exactly the order a CSR row scan produces.
+// counterparts in internal/matrix and internal/imatrix for finite
+// operands: both accumulate each output element in fixed ascending k
+// order — exactly the order a CSR row scan produces — and the zero terms
+// a CSR omits contribute exactly ±0 to a dense accumulator that is never
+// -0. (The dense kernels no longer skip zero left factors, so 0·NaN
+// propagates there; this package keeps the skip because its inputs are
+// validated finite at the parse/construction boundary.)
 package sparse
 
 import (
@@ -206,9 +210,10 @@ func mulGrain(a *CSR, w int) int {
 
 // MulDense returns the product a·b for a dense right operand. Output rows
 // are sharded on the shared worker pool; within a row the stored entries
-// are scanned in ascending column order, which is exactly the term order
-// of matrix.Mul (it skips zero left factors), so the result is bitwise
-// identical to matrix.Mul(a.ToDense(), b) for any worker count.
+// are scanned in ascending column order — the term order of matrix.Mul —
+// so for finite operands the result is bitwise identical to
+// matrix.Mul(a.ToDense(), b) for any worker count (the terms a CSR omits
+// add exactly ±0 in the dense kernel).
 func MulDense(a *CSR, b *matrix.Dense) *matrix.Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("sparse: MulDense: %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -236,8 +241,8 @@ func MulDense(a *CSR, b *matrix.Dense) *matrix.Dense {
 // Mul returns the product a·b of two CSR matrices as a dense matrix (the
 // products this package serves — Gram matrices, factor projections — are
 // dense even when both operands are sparse). Zero stored values of a are
-// skipped (matching matrix.Mul's left-factor skip); b contributes only
-// its stored entries, and its unstored cells would add exactly ±0, so
+// skipped, and b contributes only its stored entries; every term either
+// skip drops would add exactly ±0 in matrix.Mul, so for finite operands
 // the result compares equal elementwise to matrix.Mul of the dense
 // expansions — only the sign of a zero can differ.
 func Mul(a, b *CSR) *matrix.Dense {

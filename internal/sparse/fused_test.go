@@ -1,0 +1,71 @@
+package sparse
+
+// Tests for the fused ICSR endpoint kernels: the shared-structure
+// transpose and the no-dense-temporary allocation contract. Elementwise
+// equivalence against the dense imatrix path is pinned across densities
+// and worker counts in property_test.go.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// TestICSRTransposeSharedStructure pins that ICSR.T moves both endpoint
+// arrays through one counting transpose: it must agree entry-for-entry
+// with transposing the Lo and Hi CSR views separately.
+func TestICSRTransposeSharedStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, density := range densities {
+		m := randIMatrix(rng, 37, 23, density)
+		a := FromIMatrix(m)
+		at := a.T()
+		if at.Rows != a.Cols || at.Cols != a.Rows {
+			t.Fatalf("T: shape %dx%d, want %dx%d", at.Rows, at.Cols, a.Cols, a.Rows)
+		}
+		loT, hiT := a.LoCSR().T(), a.HiCSR().T()
+		for i := 0; i <= at.Rows; i++ {
+			if at.RowPtr[i] != loT.RowPtr[i] {
+				t.Fatalf("T: RowPtr[%d] = %d, want %d", i, at.RowPtr[i], loT.RowPtr[i])
+			}
+		}
+		for p := range at.ColInd {
+			if at.ColInd[p] != loT.ColInd[p] || at.Lo[p] != loT.Val[p] || at.Hi[p] != hiT.Val[p] {
+				t.Fatalf("T: entry %d = (%d, %v, %v), want (%d, %v, %v)",
+					p, at.ColInd[p], at.Lo[p], at.Hi[p], loT.ColInd[p], loT.Val[p], hiT.Val[p])
+			}
+		}
+		// Round trip through the dense expansion.
+		imatrixEqual(t, "T-dense", at.ToIMatrix(), m.T())
+	}
+}
+
+// TestFusedSparseGramAllocations pins that GramEndpoints no longer
+// materializes four dense temporaries: beyond the output interval
+// matrix and the one shared-structure transpose, only O(cols) per-shard
+// scratch is allocated.
+func TestFusedSparseGramAllocations(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	m := randIMatrix(rng, 120, 60, 0.1)
+	a := FromIMatrix(m)
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	allocs := testing.AllocsPerRun(10, func() {
+		GramEndpoints(a)
+	})
+	// Output (2 Dense + backing + IMatrix), transpose arrays, two
+	// scratch rows, pool closure. The unfused version allocated four
+	// dense 60x60 products, two CSR transposes, and combine outputs —
+	// 25+ objects.
+	if allocs > 20 {
+		t.Fatalf("GramEndpoints allocated %.0f objects per run, want <= 20", allocs)
+	}
+	s := randDense(rng, 60, 20, 1)
+	allocs = testing.AllocsPerRun(10, func() {
+		MulEndpointsDense(a, s)
+	})
+	if allocs > 12 {
+		t.Fatalf("MulEndpointsDense allocated %.0f objects per run, want <= 12", allocs)
+	}
+}

@@ -2,11 +2,13 @@ package sparse
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/imatrix"
 	"repro/internal/interval"
 	"repro/internal/matrix"
+	"repro/internal/parallel"
 )
 
 // ICSR is an interval-valued sparse matrix in CSR form: one shared index
@@ -157,30 +159,129 @@ func (a *ICSR) ToIMatrix() *imatrix.IMatrix {
 	return out
 }
 
+// T returns the transpose as a new ICSR: one counting transpose of the
+// shared index structure moving both endpoint arrays together (the
+// unfused formulation transposed the Lo and Hi CSRs separately). Like
+// CSR.T it emits each output row's entries in ascending original-row
+// order, so products against the transpose accumulate in the same k
+// order as the dense kernels.
+func (a *ICSR) T() *ICSR {
+	nnz := a.NNZ()
+	rowPtr := make([]int, a.Cols+1)
+	for _, j := range a.ColInd {
+		rowPtr[j+1]++
+	}
+	for j := 0; j < a.Cols; j++ {
+		rowPtr[j+1] += rowPtr[j]
+	}
+	colInd := make([]int, nnz)
+	lo := make([]float64, nnz)
+	hi := make([]float64, nnz)
+	next := make([]int, a.Cols)
+	copy(next, rowPtr[:a.Cols])
+	for i := 0; i < a.Rows; i++ {
+		cols, lov, hiv := a.RowView(i)
+		for p, j := range cols {
+			q := next[j]
+			next[j]++
+			colInd[q] = i
+			lo[q] = lov[p]
+			hi[q] = hiv[p]
+		}
+	}
+	return &ICSR{Rows: a.Cols, Cols: a.Rows, RowPtr: rowPtr, ColInd: colInd, Lo: lo, Hi: hi}
+}
+
 // MulEndpointsDense is the sparse counterpart of
 // imatrix.MulEndpointsScalarRight (Supplementary Algorithm 1 with a
-// scalar right operand): the two endpoint products a.Lo·s and a.Hi·s,
-// combined elementwise by imatrix.MinMaxCombine. The result is bitwise
-// identical to the imatrix version on a.ToIMatrix().
+// scalar right operand), fused: the two endpoint products a.Lo·s and
+// a.Hi·s accumulate directly into the output's Lo and Hi storage in one
+// sweep over the stored entries, then each entry pair is min/max-sorted
+// in place — no dense temporaries and no separate combine pass. The
+// result is bitwise identical to the imatrix version on a.ToIMatrix()
+// for finite operands (the stored-zero skip adds only ±0 terms there).
 func MulEndpointsDense(a *ICSR, s *matrix.Dense) *imatrix.IMatrix {
-	t1 := MulDense(a.LoCSR(), s)
-	t2 := MulDense(a.HiCSR(), s)
-	return imatrix.MinMaxCombine(t1, t2)
+	if a.Cols != s.Rows {
+		panic(fmt.Sprintf("sparse: MulEndpointsDense: %dx%d · %dx%d", a.Rows, a.Cols, s.Rows, s.Cols))
+	}
+	out := imatrix.New(a.Rows, s.Cols)
+	w := s.Cols
+	parallel.For(a.Rows, mulGrain(a.LoCSR(), 2*w), func(rlo, rhi int) {
+		for i := rlo; i < rhi; i++ {
+			cols, lov, hiv := a.RowView(i)
+			t1 := out.Lo.Data[i*w : (i+1)*w]
+			t2 := out.Hi.Data[i*w : (i+1)*w]
+			for p, k := range cols {
+				brow := s.Data[k*w : (k+1)*w]
+				if alv := lov[p]; alv != 0 {
+					for j, bv := range brow {
+						t1[j] += alv * bv
+					}
+				}
+				if ahv := hiv[p]; ahv != 0 {
+					for j, bv := range brow {
+						t2[j] += ahv * bv
+					}
+				}
+			}
+			for j, v := range t1 {
+				t1[j] = math.Min(v, t2[j])
+				t2[j] = math.Max(v, t2[j])
+			}
+		}
+	})
+	return out
 }
 
 // GramEndpoints returns the endpoint Gram product aᵀ×a of Supplementary
-// Algorithm 1: the four transpose endpoint products combined elementwise
-// by min and max — the Gram step of the ISVD2-4 pipelines, fed from
-// sparse storage. It is elementwise identical to
+// Algorithm 1 — the Gram step of the ISVD2-4 pipelines, fed from sparse
+// storage — fused: one shared-structure transpose replaces the two
+// per-endpoint CSR transposes, and the four candidate products are
+// accumulated per output row (two in the output's Lo/Hi storage, two in
+// an O(cols) per-shard scratch) and min/max-combined in registers with
+// one write per output element, instead of materializing four dense
+// temporaries plus a fifth combine pass. It is elementwise identical to
 // imatrix.MulEndpoints(m.T(), m) for m = a.ToIMatrix() (skipped zero
 // terms contribute exactly ±0, so values compare equal; only the sign of
 // a zero can differ).
 func GramEndpoints(a *ICSR) *imatrix.IMatrix {
-	loT := a.LoCSR().T()
-	hiT := a.HiCSR().T()
-	t1 := Mul(loT, a.LoCSR())
-	t2 := Mul(loT, a.HiCSR())
-	t3 := Mul(hiT, a.LoCSR())
-	t4 := Mul(hiT, a.HiCSR())
-	return imatrix.MinMaxCombine4(t1, t2, t3, t4)
+	at := a.T()
+	n := a.Cols
+	out := imatrix.New(n, n)
+	avgRowNNZ := a.NNZ()/a.Rows + 1
+	parallel.For(n, mulGrain(at.LoCSR(), 4*avgRowNNZ), func(rlo, rhi int) {
+		// Scratch rows for the Lo·Hi and Hi·Lo candidate products; the
+		// Lo·Lo and Hi·Hi candidates accumulate directly in out.
+		t2 := make([]float64, n)
+		t3 := make([]float64, n)
+		for i := rlo; i < rhi; i++ {
+			cols, lov, hiv := at.RowView(i)
+			t1 := out.Lo.Data[i*n : (i+1)*n]
+			t4 := out.Hi.Data[i*n : (i+1)*n]
+			for p, k := range cols {
+				bcols, blv, bhv := a.RowView(k)
+				// Per-product stored-zero skips, matching the unfused
+				// sparse.Mul semantics product by product.
+				if alv := lov[p]; alv != 0 {
+					for q, j := range bcols {
+						t1[j] += alv * blv[q]
+						t2[j] += alv * bhv[q]
+					}
+				}
+				if ahv := hiv[p]; ahv != 0 {
+					for q, j := range bcols {
+						t3[j] += ahv * blv[q]
+						t4[j] += ahv * bhv[q]
+					}
+				}
+			}
+			for j, p1 := range t1 {
+				p2, p3, p4 := t2[j], t3[j], t4[j]
+				t1[j] = math.Min(math.Min(p1, p2), math.Min(p3, p4))
+				t4[j] = math.Max(math.Max(p1, p2), math.Max(p3, p4))
+				t2[j], t3[j] = 0, 0
+			}
+		}
+	})
+	return out
 }
