@@ -11,10 +11,12 @@ package ivmf_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/eig"
 	"repro/internal/matrix"
 	"repro/internal/nmf"
 	"repro/internal/parallel"
@@ -53,5 +55,37 @@ func TestISVD4AllocationBudget(t *testing.T) {
 	// the eigensolver plus the four endpoint-product temporaries.
 	if allocs > 1497 {
 		t.Fatalf("ISVD4 allocated %.0f objects/run, want <= 1497 (50%% of the 2994 pre-blocking baseline)", allocs)
+	}
+}
+
+// TestWideSVDAllocationBudget guards the wide-matrix branch of eig.SVD:
+// the transpose is written once into a workspace that the tall-matrix
+// core then consumes in place (TransposeInto + svdTallOwned), instead of
+// allocating a transposed copy and cloning it again. For this 80×200
+// input the decomposition allocates ~193 KB/run; reintroducing the extra
+// m·n clone (+128 KB) trips the budget.
+func TestWideSVDAllocationBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := matrix.New(80, 200)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+	if _, err := eig.SVD(m); err != nil {
+		t.Fatal(err)
+	}
+	const runs = 10
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		if _, err := eig.SVD(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	bytesPerRun := float64(after.TotalAlloc-before.TotalAlloc) / runs
+	if bytesPerRun > 250000 {
+		t.Fatalf("wide SVD allocated %.0f bytes/run, want <= 250000 (one transpose workspace, no extra clone)", bytesPerRun)
 	}
 }

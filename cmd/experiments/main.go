@@ -13,6 +13,7 @@
 //	-scale F     override the dataset scale factor
 //	-density F   override the ratings observed-cell fraction (sparse CSR paths)
 //	-seed N      RNG seed (default 1)
+//	-solver S    eigen/SVD backend: auto (default), full, or truncated
 //	-lp          include the (slow) LP competitor class
 //	-workers N   bound the worker pool (0 = GOMAXPROCS)
 package main
@@ -24,6 +25,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/eig"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 )
@@ -36,6 +38,7 @@ func main() {
 	density := flag.Float64("density", 0, "override ratings observed-cell fraction (0 = dataset default)")
 	seed := flag.Int64("seed", 0, "RNG seed")
 	withLP := flag.Bool("lp", false, "include the LP competitor class")
+	solver := flag.String("solver", "auto", "eigen/SVD backend of the ISVD/PCA decompositions (the LP competitor always uses the full solver): auto, full, or truncated")
 	workers := flag.Int("workers", 0, "worker-pool goroutines (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 	parallel.SetWorkers(*workers)
@@ -78,6 +81,12 @@ func main() {
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}
+	sv, err := eig.ParseSolver(*solver)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	cfg.Solver = sv
 
 	if err := run(os.Stdout, cfg, flag.Args(), false); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/eig"
 	"repro/internal/parallel"
 )
 
@@ -28,22 +29,27 @@ func main() {
 	rank := flag.Int("rank", 0, "target rank (0 = full)")
 	method := flag.Int("method", 4, "ISVD variant 0-4")
 	target := flag.String("target", "b", "decomposition target: a, b, or c")
+	solver := flag.String("solver", "auto", "eigen/SVD backend: auto, full, or truncated (auto picks the truncated rank-r solver when -rank is small relative to the matrix)")
 	workers := flag.Int("workers", 0, "worker-pool goroutines (0 = GOMAXPROCS); results are identical for any value")
 	flag.Parse()
 
 	parallel.SetWorkers(*workers)
-	if err := run(*in, *out, *rank, *method, *target); err != nil {
+	if err := run(*in, *out, *rank, *method, *target, *solver); err != nil {
 		fmt.Fprintf(os.Stderr, "isvd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, rank, method int, target string) error {
+func run(in, out string, rank, method int, target, solver string) error {
 	if in == "" {
 		return fmt.Errorf("-in is required")
 	}
 	if method < 0 || method > 4 {
 		return fmt.Errorf("-method must be 0-4, got %d", method)
+	}
+	sv, err := eig.ParseSolver(solver)
+	if err != nil {
+		return err
 	}
 	var tgt core.Target
 	switch target {
@@ -67,7 +73,7 @@ func run(in, out string, rank, method int, target string) error {
 		return err
 	}
 
-	d, err := core.Decompose(m, core.Method(method), core.Options{Rank: rank, Target: tgt})
+	d, err := core.Decompose(m, core.Method(method), core.Options{Rank: rank, Target: tgt, Solver: sv})
 	if err != nil {
 		return err
 	}

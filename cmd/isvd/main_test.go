@@ -20,7 +20,7 @@ const sample = "1,2..3,0.5\n0.9..1.1,2,0.6\n2,4..4.2,1.2\n0.4,1,0.3\n"
 func TestRunDecomposes(t *testing.T) {
 	in := writeTemp(t, sample)
 	out := filepath.Join(t.TempDir(), "recon.csv")
-	if err := run(in, out, 2, 4, "b"); err != nil {
+	if err := run(in, out, 2, 4, "b", "auto"); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -36,29 +36,43 @@ func TestRunAllMethodsTargets(t *testing.T) {
 	in := writeTemp(t, sample)
 	for m := 0; m <= 4; m++ {
 		for _, tgt := range []string{"a", "b", "c"} {
-			if err := run(in, "", 2, m, tgt); err != nil {
+			if err := run(in, "", 2, m, tgt, "auto"); err != nil {
 				t.Fatalf("method %d target %s: %v", m, tgt, err)
 			}
 		}
 	}
 }
 
+func TestRunSolverFlag(t *testing.T) {
+	in := writeTemp(t, sample)
+	// Both forced backends must decompose the sample; a bogus value is
+	// rejected before any work happens.
+	for _, sv := range []string{"full", "truncated"} {
+		if err := run(in, "", 2, 4, "b", sv); err != nil {
+			t.Fatalf("solver %s: %v", sv, err)
+		}
+	}
+	if err := run(in, "", 2, 4, "b", "bogus"); err == nil {
+		t.Error("bogus solver accepted")
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	in := writeTemp(t, sample)
-	if err := run("", "", 2, 4, "b"); err == nil {
+	if err := run("", "", 2, 4, "b", "auto"); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if err := run(in, "", 2, 9, "b"); err == nil {
+	if err := run(in, "", 2, 9, "b", "auto"); err == nil {
 		t.Error("bad method accepted")
 	}
-	if err := run(in, "", 2, 4, "z"); err == nil {
+	if err := run(in, "", 2, 4, "z", "auto"); err == nil {
 		t.Error("bad target accepted")
 	}
-	if err := run(filepath.Join(t.TempDir(), "missing.csv"), "", 2, 4, "b"); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "missing.csv"), "", 2, 4, "b", "auto"); err == nil {
 		t.Error("missing file accepted")
 	}
 	bad := writeTemp(t, "1,abc\n")
-	if err := run(bad, "", 2, 4, "b"); err == nil {
+	if err := run(bad, "", 2, 4, "b", "auto"); err == nil {
 		t.Error("bad CSV accepted")
 	}
 }

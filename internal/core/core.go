@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/assign"
+	"repro/internal/eig"
 	"repro/internal/imatrix"
 )
 
@@ -101,6 +102,16 @@ type Options struct {
 	// kernels always use the shared pool; results are bitwise identical
 	// for any worker count.
 	Workers int
+	// Solver routes the endpoint SVD / Gram eigen-decompositions:
+	// eig.SolverAuto (the zero value) picks the truncated rank-r subspace
+	// solver when Rank plus its oversampling is below a third of the
+	// operator dimension and the full O(n³) solver otherwise;
+	// eig.SolverFull and eig.SolverTruncated force a path. The truncated
+	// solver matches the full one to 1e-9 relative tolerance and falls
+	// back to it automatically when the spectrum is too flat to converge,
+	// so auto never changes results beyond that tolerance. Either way the
+	// output is bitwise identical for any worker count.
+	Solver eig.Solver
 	// ExactAlgebra switches ISVD2-4 and TargetA reconstruction from the
 	// paper's Algorithm 1 endpoint products (min/max over the endpoint
 	// matrix products — the reference implementation's semantics, and the
@@ -111,9 +122,13 @@ type Options struct {
 }
 
 func (o Options) withDefaults(m *imatrix.IMatrix) Options {
-	maxRank := m.Rows()
-	if m.Cols() < maxRank {
-		maxRank = m.Cols()
+	return o.withDefaultsDims(m.Rows(), m.Cols())
+}
+
+func (o Options) withDefaultsDims(rows, cols int) Options {
+	maxRank := rows
+	if cols < maxRank {
+		maxRank = cols
 	}
 	if o.Rank <= 0 || o.Rank > maxRank {
 		o.Rank = maxRank

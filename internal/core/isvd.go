@@ -21,27 +21,145 @@ type parts struct {
 	SLo, SHi []float64
 }
 
+// operand abstracts the input storage of the ISVD pipelines — dense
+// (imatrix.IMatrix) or sparse CSR (sparse.ICSR, see sparse.go) — behind
+// the handful of products the algorithms apply to the input matrix
+// itself. Everything downstream of these calls operates on n×r / m×r
+// factor matrices, so one pipeline serves both storages; the sparse
+// implementation keeps every operation O(NNZ)-shaped and never
+// materializes a dense Gram matrix on the truncated path.
+type operand interface {
+	rows() int
+	cols() int
+	// svdMid decomposes the interval midpoint matrix at opts.Rank under
+	// the routed solver (ISVD0).
+	svdMid(opts Options) (res *eig.SVDResult, pre, dec time.Duration, err error)
+	// svdEndpoints decomposes both endpoint matrices concurrently at
+	// opts.Rank under the routed solver (ISVD1). The results are fully
+	// owned by the caller (no aliasing of solver internals).
+	svdEndpoints(opts Options) (lo, hi *eig.SVDResult, err error)
+	// gramEig eigen-decomposes both endpoint Gram matrices A† = M†ᵀ×M†
+	// under the routed solver (ISVD2-4).
+	gramEig(opts Options) (vLo, vHi *matrix.Dense, sLo, sHi []float64, pre, dec time.Duration, err error)
+	// mulEndpointsRight returns the interval product M† × s for a scalar
+	// right operand, with the algebra selected by opts.ExactAlgebra.
+	mulEndpointsRight(s *matrix.Dense, opts Options) *imatrix.IMatrix
+	// mulEndpointsLeft returns s × M† for a scalar left operand.
+	mulEndpointsLeft(s *matrix.Dense, opts Options) *imatrix.IMatrix
+	// applyLo / applyHi return M_side · v (ISVD2 U recovery).
+	applyLo(v *matrix.Dense) *matrix.Dense
+	applyHi(v *matrix.Dense) *matrix.Dense
+}
+
+// denseOperand is the dense-storage operand; its methods reproduce the
+// pre-abstraction pipeline kernel for kernel.
+type denseOperand struct{ m *imatrix.IMatrix }
+
+func (o denseOperand) rows() int { return o.m.Rows() }
+func (o denseOperand) cols() int { return o.m.Cols() }
+
+func (o denseOperand) svdMid(opts Options) (*eig.SVDResult, time.Duration, time.Duration, error) {
+	t0 := time.Now()
+	avg := o.m.Mid()
+	pre := time.Since(t0)
+	t0 = time.Now()
+	res, err := solverSVD(avg, opts.Rank, opts.Solver)
+	return res, pre, time.Since(t0), err
+}
+
+func (o denseOperand) svdEndpoints(opts Options) (lo, hi *eig.SVDResult, err error) {
+	// The two endpoint SVDs are independent; run them concurrently on the
+	// shared pool, bounded by opts.Workers when set.
+	var errLo, errHi error
+	parallel.DoWith(opts.Workers,
+		func() { lo, errLo = solverSVD(o.m.Lo, opts.Rank, opts.Solver) },
+		func() { hi, errHi = solverSVD(o.m.Hi, opts.Rank, opts.Solver) },
+	)
+	if errLo != nil {
+		return nil, nil, fmt.Errorf("min side: %w", errLo)
+	}
+	if errHi != nil {
+		return nil, nil, fmt.Errorf("max side: %w", errHi)
+	}
+	return lo, hi, nil
+}
+
+func (o denseOperand) gramEig(opts Options) (*matrix.Dense, *matrix.Dense, []float64, []float64, time.Duration, time.Duration, error) {
+	return gramEig(o.m, opts)
+}
+
+func (o denseOperand) mulEndpointsRight(s *matrix.Dense, opts Options) *imatrix.IMatrix {
+	if opts.ExactAlgebra {
+		return imatrix.MulScalarRight(o.m, s)
+	}
+	return imatrix.MulEndpointsScalarRight(o.m, s)
+}
+
+func (o denseOperand) mulEndpointsLeft(s *matrix.Dense, opts Options) *imatrix.IMatrix {
+	if opts.ExactAlgebra {
+		return imatrix.MulScalarLeft(s, o.m)
+	}
+	return imatrix.MulEndpointsScalarLeft(s, o.m)
+}
+
+func (o denseOperand) applyLo(v *matrix.Dense) *matrix.Dense { return matrix.Mul(o.m.Lo, v) }
+func (o denseOperand) applyHi(v *matrix.Dense) *matrix.Dense { return matrix.Mul(o.m.Hi, v) }
+
+// solverSVD runs one endpoint SVD under the routed solver, truncated to
+// rank (eig.SVDWith: truncated subspace solver when the routing selects
+// it, full decomposition otherwise or on non-convergence fallback).
+func solverSVD(a *matrix.Dense, rank int, solver eig.Solver) (*eig.SVDResult, error) {
+	return eig.SVDWith(a, rank, solver)
+}
+
+// truncatedGramPair runs the truncated symmetric eigensolver on the two
+// endpoint Gram operators concurrently (bounded by workers) and converts
+// eigenvalues to singular values. A non-convergence on either side fails
+// the pair as a whole so both endpoints stay on the same solver.
+func truncatedGramPair(opLo, opHi eig.SymOp, rank, workers int) (vLo, vHi *matrix.Dense, sLo, sHi []float64, err error) {
+	var valsLo, valsHi []float64
+	var errLo, errHi error
+	parallel.DoWith(workers,
+		func() { valsLo, vLo, errLo = eig.TruncatedSymEig(opLo, rank) },
+		func() { valsHi, vHi, errHi = eig.TruncatedSymEig(opHi, rank) },
+	)
+	if errLo != nil {
+		return nil, nil, nil, nil, errLo
+	}
+	if errHi != nil {
+		return nil, nil, nil, nil, errHi
+	}
+	return vLo, vHi, sqrtClamped(valsLo), sqrtClamped(valsHi), nil
+}
+
+// nonNegativeDense reports whether every element of d is >= 0.
+func nonNegativeDense(d *matrix.Dense) bool {
+	for _, v := range d.Data {
+		if v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // DecomposeISVD0 implements the naive average-and-decompose strategy
 // (Section 4.1): plain SVD of the interval midpoint matrix. The result is
 // scalar-valued and therefore only compatible with TargetC semantics, but
 // it is returned under whatever target was requested, with degenerate
 // intervals.
 func DecomposeISVD0(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
-	opts = opts.withDefaults(m)
-	var tm Timings
-	t0 := time.Now()
-	avg := m.Mid()
-	tm.Preprocess = time.Since(t0)
+	return decomposeISVD0(denseOperand{m}, opts.withDefaults(m))
+}
 
-	t0 = time.Now()
-	res, err := eig.SVD(avg)
+func decomposeISVD0(op operand, opts Options) (*Decomposition, error) {
+	var tm Timings
+	res, pre, dec, err := op.svdMid(opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: ISVD0: %w", err)
 	}
-	res = res.Truncate(opts.Rank)
-	tm.Decompose = time.Since(t0)
+	tm.Preprocess, tm.Decompose = pre, dec
 
-	t0 = time.Now()
+	t0 := time.Now()
 	d := &Decomposition{
 		Method:       ISVD0,
 		Target:       opts.Target,
@@ -61,33 +179,25 @@ func DecomposeISVD0(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
 // maximum-side factors are permuted and sign-flipped by ILSA to align
 // with the minimum side.
 func DecomposeISVD1(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
-	opts = opts.withDefaults(m)
-	var tm Timings
+	return decomposeISVD1(denseOperand{m}, opts.withDefaults(m))
+}
 
-	// The two endpoint SVDs are independent; run them concurrently on the
-	// shared pool, bounded by opts.Workers when set.
+func decomposeISVD1(op operand, opts Options) (*Decomposition, error) {
+	var tm Timings
 	t0 := time.Now()
-	var svdLo, svdHi *eig.SVDResult
-	var errLo, errHi error
-	parallel.DoWith(opts.Workers,
-		func() { svdLo, errLo = eig.SVD(m.Lo) },
-		func() { svdHi, errHi = eig.SVD(m.Hi) },
-	)
-	if errLo != nil {
-		return nil, fmt.Errorf("core: ISVD1: min side: %w", errLo)
+	svdLo, svdHi, err := op.svdEndpoints(opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: ISVD1: %w", err)
 	}
-	if errHi != nil {
-		return nil, fmt.Errorf("core: ISVD1: max side: %w", errHi)
-	}
-	svdLo = svdLo.Truncate(opts.Rank)
-	svdHi = svdHi.Truncate(opts.Rank)
 	tm.Decompose = time.Since(t0)
 
 	d := &Decomposition{Method: ISVD1, Target: opts.Target, Rank: opts.Rank, ExactAlgebra: opts.ExactAlgebra}
 
+	// The SVD results are fully owned (Truncate and the truncated solver
+	// both return fresh storage), so ILSA may mutate them in place.
 	t0 = time.Now()
-	uHi := svdHi.U.Clone()
-	vHi := svdHi.V.Clone()
+	uHi := svdHi.U
+	vHi := svdHi.V
 	d.CosVUnaligned = align.ColumnCosines(svdLo.V, vHi)
 	res := align.ILSA(svdLo.V, vHi, opts.Assign)
 	res.Apply(uHi, vHi, nil)
@@ -96,9 +206,9 @@ func DecomposeISVD1(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
 	tm.Align = time.Since(t0)
 
 	p := parts{
-		U:   imatrix.FromEndpoints(svdLo.U.Clone(), uHi),
-		V:   imatrix.FromEndpoints(svdLo.V.Clone(), vHi),
-		SLo: append([]float64(nil), svdLo.S...),
+		U:   imatrix.FromEndpoints(svdLo.U, uHi),
+		V:   imatrix.FromEndpoints(svdLo.V, vHi),
+		SLo: svdLo.S,
 		SHi: sHi,
 	}
 	t0 = time.Now()
@@ -111,21 +221,70 @@ func DecomposeISVD1(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
 // gramEig computes the truncated eigen-decomposition of both endpoint
 // Gram matrices A† = M†ᵀ × M† (interval matrix multiplication), returning
 // per-side right singular vectors and singular values (sqrt of clamped
-// eigenvalues).
+// eigenvalues). Solver routing: when Options.Solver selects the truncated
+// path and the data is entrywise non-negative (so the Algorithm 1 endpoint
+// Gram collapses to [Loᵀ·Lo, Hiᵀ·Hi]), the Gram matrices are never
+// materialized — each side runs matrix-free on a Gram operator at
+// O(n·m·r) total. Otherwise the interval Gram is built as before and the
+// truncated solver (or, for the full path and on non-convergence
+// fallback, the full SymEig) runs on its endpoints.
 func gramEig(m *imatrix.IMatrix, opts Options) (vLo, vHi *matrix.Dense, sLo, sHi []float64, pre, dec time.Duration, err error) {
-	rank := opts.Rank
-	t0 := time.Now()
-	var a *imatrix.IMatrix
-	if opts.ExactAlgebra {
-		a = imatrix.Mul(m.T(), m)
-	} else {
+	matrixFree := func() (eig.SymOp, eig.SymOp) {
+		if opts.ExactAlgebra || !nonNegativeDense(m.Lo) {
+			return nil, nil
+		}
+		return eig.NewGramOp(eig.NewDenseOp(m.Lo)), eig.NewGramOp(eig.NewDenseOp(m.Hi))
+	}
+	materialize := func() *imatrix.IMatrix {
+		if opts.ExactAlgebra {
+			return imatrix.Mul(m.T(), m)
+		}
 		// Fused endpoint Gram kernel: no transposed endpoint copies, no
 		// four dense temporaries — bitwise identical to
 		// imatrix.MulEndpoints(m.T(), m).
-		a = imatrix.GramEndpoints(m)
+		return imatrix.GramEndpoints(m)
 	}
+	return gramEigRouted(opts, m.Cols(), matrixFree, materialize)
+}
+
+// gramEigRouted is the solver-routing pipeline shared by the dense and
+// sparse operands' gramEig: an optional matrix-free truncated attempt on
+// the endpoint Gram operators (matrixFree returns nils when the data
+// does not qualify — mixed signs, where the min/max-combined Gram is not
+// [LoᵀLo, HiᵀHi], or exact algebra), then the materialized interval Gram
+// under the routed solver. After a matrix-free non-convergence the
+// materialized attempt skips straight to the full solver: for qualifying
+// data its endpoints are exactly the operators that just failed, so a
+// truncated retry would only burn a second iteration budget on the same
+// spectrum. On the materialized mixed-sign path SymEigWith's signed-top
+// certificate guards indefiniteness, falling back to the full solver
+// whenever the negative spectrum would make truncation unsound.
+func gramEigRouted(opts Options, n int, matrixFree func() (eig.SymOp, eig.SymOp), materialize func() *imatrix.IMatrix) (vLo, vHi *matrix.Dense, sLo, sHi []float64, pre, dec time.Duration, err error) {
+	rank := opts.Rank
+	useTrunc := opts.Solver.UseTruncated(rank, n)
+
+	if useTrunc {
+		if opLo, opHi := matrixFree(); opLo != nil {
+			t0 := time.Now()
+			vLo, vHi, sLo, sHi, err = truncatedGramPair(opLo, opHi, rank, opts.Workers)
+			if err == nil {
+				return vLo, vHi, sLo, sHi, 0, time.Since(t0), nil
+			}
+			if err != eig.ErrNoConvergence {
+				return nil, nil, nil, nil, 0, 0, fmt.Errorf("truncated eig of A†: %w", err)
+			}
+			useTrunc = false
+		}
+	}
+
+	t0 := time.Now()
+	a := materialize()
 	pre = time.Since(t0)
 
+	solver := opts.Solver
+	if !useTrunc {
+		solver = eig.SolverFull
+	}
 	// The two endpoint eigen-decompositions are independent; run them
 	// concurrently on the shared pool, bounded by opts.Workers when set
 	// (they dominate the decomposition cost, Figure 6b).
@@ -134,8 +293,8 @@ func gramEig(m *imatrix.IMatrix, opts Options) (vLo, vHi *matrix.Dense, sLo, sHi
 	var vecsLo, vecsHi *matrix.Dense
 	var errLo, errHi error
 	parallel.DoWith(opts.Workers,
-		func() { valsLo, vecsLo, errLo = eig.SymEig(a.Lo) },
-		func() { valsHi, vecsHi, errHi = eig.SymEig(a.Hi) },
+		func() { valsLo, vecsLo, errLo = eig.SymEigWith(a.Lo, rank, solver) },
+		func() { valsHi, vecsHi, errHi = eig.SymEigWith(a.Hi, rank, solver) },
 	)
 	if errLo != nil {
 		return nil, nil, nil, nil, 0, 0, fmt.Errorf("eig of A*: %w", errLo)
@@ -145,11 +304,9 @@ func gramEig(m *imatrix.IMatrix, opts Options) (vLo, vHi *matrix.Dense, sLo, sHi
 	}
 	dec = time.Since(t0)
 
-	vLo = vecsLo.SubMatrix(0, vecsLo.Rows, 0, rank)
-	vHi = vecsHi.SubMatrix(0, vecsHi.Rows, 0, rank)
-	sLo = sqrtClamped(valsLo[:rank])
-	sHi = sqrtClamped(valsHi[:rank])
-	return vLo, vHi, sLo, sHi, pre, dec, nil
+	sLo = sqrtClamped(valsLo)
+	sHi = sqrtClamped(valsHi)
+	return vecsLo, vecsHi, sLo, sHi, pre, dec, nil
 }
 
 func sqrtClamped(vals []float64) []float64 {
@@ -162,13 +319,13 @@ func sqrtClamped(vals []float64) []float64 {
 	return out
 }
 
-// recoverU computes U = M · V · diag(1/s) for one endpoint side. For the
-// orthonormal V returned by the symmetric eigensolver this equals the
-// paper's U = M·(Vᵀ)⁻¹·Σ⁻¹ (the pseudo-inverse of the transpose of an
+// recoverUFrom turns mv = M · V into U = M · V · diag(1/s) for one
+// endpoint side, scaling mv's columns in place. For the orthonormal V
+// returned by the symmetric eigensolver this equals the paper's
+// U = M·(Vᵀ)⁻¹·Σ⁻¹ (the pseudo-inverse of the transpose of an
 // orthonormal-column matrix is the matrix itself). Zero singular values
 // yield zero columns.
-func recoverU(m, v *matrix.Dense, s []float64) *matrix.Dense {
-	mv := matrix.Mul(m, v)
+func recoverUFrom(mv *matrix.Dense, s []float64) *matrix.Dense {
 	for j, sv := range s {
 		invS := 0.0
 		if sv != 0 {
@@ -186,18 +343,21 @@ func recoverU(m, v *matrix.Dense, s []float64) *matrix.Dense {
 // recovered per side from the SVD identity, and only then are the latent
 // spaces aligned.
 func DecomposeISVD2(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
-	opts = opts.withDefaults(m)
+	return decomposeISVD2(denseOperand{m}, opts.withDefaults(m))
+}
+
+func decomposeISVD2(op operand, opts Options) (*Decomposition, error) {
 	var tm Timings
 
-	vLo, vHi, sLo, sHi, pre, dec, err := gramEig(m, opts)
+	vLo, vHi, sLo, sHi, pre, dec, err := op.gramEig(opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: ISVD2: %w", err)
 	}
 	tm.Preprocess, tm.Decompose = pre, dec
 
 	t0 := time.Now()
-	uLo := recoverU(m.Lo, vLo, sLo)
-	uHi := recoverU(m.Hi, vHi, sHi)
+	uLo := recoverUFrom(op.applyLo(vLo), sLo)
+	uHi := recoverUFrom(op.applyHi(vHi), sHi)
 	tm.Solve = time.Since(t0)
 
 	d := &Decomposition{Method: ISVD2, Target: opts.Target, Rank: opts.Rank, ExactAlgebra: opts.ExactAlgebra}
@@ -226,7 +386,10 @@ func DecomposeISVD2(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
 
 // invertAveraged inverts the midpoint of an interval factor matrix,
 // falling back to the Moore-Penrose pseudo-inverse when the matrix is
-// rectangular or ill-conditioned (Section 4.4.2.2).
+// rectangular or ill-conditioned (Section 4.4.2.2). The pseudo-inverse
+// runs under the routed solver, bounded at opts.Rank triplets on the
+// truncated path (the inverted factors have rank at most opts.Rank by
+// construction).
 func invertAveraged(avg *matrix.Dense, opts Options) (*matrix.Dense, error) {
 	if avg.Rows == avg.Cols && eig.Cond2(avg) <= opts.CondThreshold {
 		inv, err := matrix.Inverse(avg)
@@ -235,14 +398,14 @@ func invertAveraged(avg *matrix.Dense, opts Options) (*matrix.Dense, error) {
 		}
 		// Singular despite the condition estimate: fall through to pinv.
 	}
-	return eig.PInv(avg, opts.PinvCutoff)
+	return eig.PInvWith(avg, opts.PinvCutoff, opts.Solver, opts.Rank)
 }
 
 // isvd34Common runs the shared ISVD3/ISVD4 pipeline through the solve
 // step: interval Gram eigen-decomposition, early ILSA, and interval
 // recovery of U† = M† × ((V†)ᵀ)⁻¹ × (Σ†)⁻¹.
-func isvd34Common(m *imatrix.IMatrix, opts Options, d *Decomposition, tm *Timings) (p parts, sigmaInv *matrix.Dense, err error) {
-	vLo, vHi, sLo, sHi, pre, dec, err := gramEig(m, opts)
+func isvd34Common(op operand, opts Options, d *Decomposition, tm *Timings) (p parts, sigmaInv *matrix.Dense, err error) {
+	vLo, vHi, sLo, sHi, pre, dec, err := op.gramEig(opts)
 	if err != nil {
 		return parts{}, nil, err
 	}
@@ -266,12 +429,7 @@ func isvd34Common(m *imatrix.IMatrix, opts Options, d *Decomposition, tm *Timing
 	sigmaInv = imatrix.InverseDiag(sigma) // r×r scalar (Algorithm 4)
 	// U† = M† × ((V†)ᵀ)⁻¹ × (Σ†)⁻¹ with scalar right operand.
 	right := matrix.Mul(vInv.T(), sigmaInv)
-	var u *imatrix.IMatrix
-	if opts.ExactAlgebra {
-		u = imatrix.MulScalarRight(m, right)
-	} else {
-		u = imatrix.MulEndpointsScalarRight(m, right)
-	}
+	u := op.mulEndpointsRight(right, opts)
 	d.CosURecovered = align.ColumnCosines(u.Lo, u.Hi)
 	tm.Solve = time.Since(t0)
 
@@ -280,10 +438,13 @@ func isvd34Common(m *imatrix.IMatrix, opts Options, d *Decomposition, tm *Timing
 
 // DecomposeISVD3 implements decompose-align-solve (Section 4.4).
 func DecomposeISVD3(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
-	opts = opts.withDefaults(m)
+	return decomposeISVD3(denseOperand{m}, opts.withDefaults(m))
+}
+
+func decomposeISVD3(op operand, opts Options) (*Decomposition, error) {
 	d := &Decomposition{Method: ISVD3, Target: opts.Target, Rank: opts.Rank, ExactAlgebra: opts.ExactAlgebra}
 	var tm Timings
-	p, _, err := isvd34Common(m, opts, d, &tm)
+	p, _, err := isvd34Common(op, opts, d, &tm)
 	if err != nil {
 		return nil, fmt.Errorf("core: ISVD3: %w", err)
 	}
@@ -299,10 +460,13 @@ func DecomposeISVD3(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
 // recomputed as V† = [(Σ†)⁻¹ × (U†)⁻¹ × M†]ᵀ, which tightens the V
 // intervals by propagating the alignment benefits of the U side.
 func DecomposeISVD4(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
-	opts = opts.withDefaults(m)
+	return decomposeISVD4(denseOperand{m}, opts.withDefaults(m))
+}
+
+func decomposeISVD4(op operand, opts Options) (*Decomposition, error) {
 	d := &Decomposition{Method: ISVD4, Target: opts.Target, Rank: opts.Rank, ExactAlgebra: opts.ExactAlgebra}
 	var tm Timings
-	p, sigmaInv, err := isvd34Common(m, opts, d, &tm)
+	p, sigmaInv, err := isvd34Common(op, opts, d, &tm)
 	if err != nil {
 		return nil, fmt.Errorf("core: ISVD4: %w", err)
 	}
@@ -313,12 +477,7 @@ func DecomposeISVD4(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
 		return nil, fmt.Errorf("core: ISVD4: inverting U: %w", err)
 	}
 	left := matrix.Mul(sigmaInv, uInv)
-	var vT *imatrix.IMatrix // r×m
-	if opts.ExactAlgebra {
-		vT = imatrix.MulScalarLeft(left, m)
-	} else {
-		vT = imatrix.MulEndpointsScalarLeft(left, m)
-	}
+	vT := op.mulEndpointsLeft(left, opts) // r×m
 	p.V = vT.T()
 	d.CosVRecomputed = align.ColumnCosines(p.V.Lo, p.V.Hi)
 	tm.Solve += time.Since(t0)

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/eig"
+	"repro/internal/imatrix"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// sparseDecayICSR builds a non-negative sparse interval matrix with
+// geometrically decaying singular spectrum: a sum of scaled rank-1
+// patches on random supports (values |N(0,1)|, spans 10%), the regime the
+// truncated Gram-free path serves. Duplicate cells accumulate.
+func sparseDecayICSR(rng *rand.Rand, rows, cols int, density float64) *sparse.ICSR {
+	type cell struct{ r, c int }
+	acc := map[cell]float64{}
+	k := rows
+	if cols < k {
+		k = cols
+	}
+	sr := int(density * float64(rows))
+	sc := int(density * float64(cols))
+	if sr < 1 {
+		sr = 1
+	}
+	if sc < 1 {
+		sc = 1
+	}
+	scale := 1.0
+	for j := 0; j < k; j++ {
+		ris := rng.Perm(rows)[:sr]
+		cis := rng.Perm(cols)[:sc]
+		uv := make([]float64, sr)
+		vv := make([]float64, sc)
+		for i := range uv {
+			uv[i] = math.Abs(rng.NormFloat64())
+		}
+		for i := range vv {
+			vv[i] = math.Abs(rng.NormFloat64())
+		}
+		for x, ri := range ris {
+			for y, ci := range cis {
+				acc[cell{ri, ci}] += scale * uv[x] * vv[y]
+			}
+		}
+		scale *= 0.7
+		if scale < 1e-4 {
+			scale = 1e-4
+		}
+	}
+	ts := make([]sparse.ITriplet, 0, len(acc))
+	for c, v := range acc {
+		ts = append(ts, sparse.ITriplet{Row: c.r, Col: c.c, Lo: v, Hi: v * 1.1})
+	}
+	m, err := sparse.FromICOO(rows, cols, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// TestDecomposeSparseMatchesDense pins the storage-equivalence contract:
+// for every method and both routed solvers, DecomposeSparse on an ICSR
+// agrees with Decompose on its dense expansion. On the truncated path the
+// CSR operator kernels accumulate in the dense kernels' exact term order,
+// so factors match to near machine precision.
+func TestDecomposeSparseMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	sm := sparseDecayICSR(rng, 50, 120, 0.05)
+	dm := sm.ToIMatrix()
+	for _, solver := range []eig.Solver{eig.SolverTruncated, eig.SolverFull} {
+		for _, method := range Methods() {
+			opts := Options{Rank: 6, Target: TargetB, Solver: solver}
+			ds, err := DecomposeSparse(sm, method, opts)
+			if err != nil {
+				t.Fatalf("%v/%v sparse: %v", method, solver, err)
+			}
+			dd, err := Decompose(dm, method, opts)
+			if err != nil {
+				t.Fatalf("%v/%v dense: %v", method, solver, err)
+			}
+			sigS := ds.Sigma.Lo.Diagonal()
+			sigD := dd.Sigma.Lo.Diagonal()
+			scale := math.Max(sigD[0], 1e-300)
+			for i := range sigS {
+				if math.Abs(sigS[i]-sigD[i]) > 1e-9*scale {
+					t.Errorf("%v/%v: σ_lo[%d] sparse %.15g vs dense %.15g", method, solver, i, sigS[i], sigD[i])
+				}
+			}
+			for i, v := range ds.U.Lo.Data {
+				if d := math.Abs(v - dd.U.Lo.Data[i]); d > 1e-8 {
+					t.Fatalf("%v/%v: U.Lo[%d] sparse %g vs dense %g", method, solver, i, v, dd.U.Lo.Data[i])
+				}
+			}
+			for i, v := range ds.V.Hi.Data {
+				if d := math.Abs(v - dd.V.Hi.Data[i]); d > 1e-8 {
+					t.Fatalf("%v/%v: V.Hi[%d] sparse %g vs dense %g", method, solver, i, v, dd.V.Hi.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSolverAgreementDense pins the full-vs-truncated contract end to
+// end on the dense pipeline: singular values at 1e-9 relative, factors at
+// 1e-6 (eigenvector accuracy degrades with the local spectral gap).
+func TestSolverAgreementDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	sm := sparseDecayICSR(rng, 40, 150, 0.3)
+	m := sm.ToIMatrix()
+	for _, method := range []Method{ISVD2, ISVD3, ISVD4} {
+		full, err := Decompose(m, method, Options{Rank: 8, Target: TargetB, Solver: eig.SolverFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trunc, err := Decompose(m, method, Options{Rank: 8, Target: TargetB, Solver: eig.SolverTruncated})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, ts := full.Sigma.Lo.Diagonal(), trunc.Sigma.Lo.Diagonal()
+		for i := range fs {
+			if math.Abs(fs[i]-ts[i]) > 1e-9*fs[0] {
+				t.Errorf("%v: σ[%d] full %.15g vs truncated %.15g", method, i, fs[i], ts[i])
+			}
+		}
+		for i, v := range full.U.Lo.Data {
+			if math.Abs(v-trunc.U.Lo.Data[i]) > 1e-6 {
+				t.Fatalf("%v: U[%d] full %g vs truncated %g", method, i, v, trunc.U.Lo.Data[i])
+			}
+		}
+	}
+}
+
+// TestSolverAgreementMixedSign covers the indefinite-Gram route: with
+// intervals straddling zero the min/max-combined endpoint Grams are
+// indefinite, so the truncated path must either converge to the correct
+// signed-top pairs (certificate) or fall back to the full solver —
+// silent divergence beyond 1e-9 would mean the certificate failed.
+func TestSolverAgreementMixedSign(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	m := imatrix.New(40, 160)
+	base := sparseDecayICSR(rng, 40, 160, 0.4).ToIMatrix()
+	for i, lo := range base.Lo.Data {
+		// Center the decayed data so entries straddle zero and widen.
+		v := lo - 0.4
+		m.Lo.Data[i] = v - 0.15
+		m.Hi.Data[i] = v + 0.15
+	}
+	for _, method := range []Method{ISVD2, ISVD4} {
+		full, err := Decompose(m, method, Options{Rank: 8, Target: TargetB, Solver: eig.SolverFull})
+		if err != nil {
+			t.Fatal(err)
+		}
+		trunc, err := Decompose(m, method, Options{Rank: 8, Target: TargetB, Solver: eig.SolverTruncated})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, ts := full.Sigma.Hi.Diagonal(), trunc.Sigma.Hi.Diagonal()
+		for i := range fs {
+			if math.Abs(fs[i]-ts[i]) > 1e-9*math.Max(fs[0], 1) {
+				t.Errorf("%v: σ_hi[%d] full %.15g vs truncated %.15g", method, i, fs[i], ts[i])
+			}
+		}
+	}
+}
+
+// TestDecomposeSparseNeverMaterializesGram is the allocs/bytes regression
+// guard of the tentpole: an end-to-end sparse ISVD4 at truncated-solver
+// rank must allocate far less than one endpoint Gram matrix would take
+// (cols² float64s), proving the Gram matrices are applied matrix-free.
+// A regression to the materialized path (including a silent truncated-
+// solver fallback) blows the budget by an order of magnitude.
+func TestDecomposeSparseNeverMaterializesGram(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	const rows, cols = 60, 800
+	sm := sparseDecayICSR(rng, rows, cols, 0.02)
+	opts := Options{Rank: 6, Target: TargetB} // Solver zero value: auto
+	parallel.SetWorkers(1)
+	defer parallel.SetWorkers(0)
+
+	// Warm up (and fail early on errors) outside the measurement.
+	if _, err := DecomposeSparse(sm, ISVD4, opts); err != nil {
+		t.Fatal(err)
+	}
+	const runs = 5
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < runs; i++ {
+		if _, err := DecomposeSparse(sm, ISVD4, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	bytesPerRun := float64(after.TotalAlloc-before.TotalAlloc) / runs
+
+	gramBytes := float64(cols * cols * 8) // one endpoint Gram matrix
+	if bytesPerRun > gramBytes/2 {
+		t.Fatalf("sparse ISVD4 allocated %.0f bytes/run, want well below one %dx%d Gram matrix (%.0f bytes) — the Gram-free path regressed",
+			bytesPerRun, cols, cols, gramBytes)
+	}
+}
+
+// TestDecomposeSparseValidation covers the sparse input checks.
+func TestDecomposeSparseValidation(t *testing.T) {
+	bad, err := sparse.FromICOO(3, 3, []sparse.ITriplet{{Row: 0, Col: 0, Lo: 2, Hi: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecomposeSparse(bad, ISVD4, Options{Rank: 1}); err == nil {
+		t.Error("misordered interval accepted")
+	}
+	nan, err := sparse.FromICOO(3, 3, []sparse.ITriplet{{Row: 1, Col: 1, Lo: math.NaN(), Hi: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecomposeSparse(nan, ISVD4, Options{Rank: 1}); err == nil {
+		t.Error("NaN endpoint accepted")
+	}
+	ok, err := sparse.FromICOO(3, 3, []sparse.ITriplet{{Row: 0, Col: 0, Lo: 1, Hi: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecomposeSparse(ok, ISVD4, Options{Rank: 1, ExactAlgebra: true}); err == nil {
+		t.Error("ExactAlgebra accepted on sparse storage")
+	}
+	if _, err := DecomposeSparse(ok, Method(9), Options{Rank: 1}); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+// TestDecomposeSparseBitwiseAcrossWorkerCounts extends the repository's
+// determinism contract to the sparse truncated pipeline.
+func TestDecomposeSparseBitwiseAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	sm := sparseDecayICSR(rng, 60, 200, 0.05)
+	opts := Options{Rank: 7, Target: TargetB, Solver: eig.SolverTruncated}
+
+	var serial *Decomposition
+	parallel.SetWorkers(1)
+	var err error
+	serial, err = DecomposeSparse(sm, ISVD4, opts)
+	parallel.SetWorkers(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{3, 8} {
+		parallel.SetWorkers(w)
+		par, err := DecomposeSparse(sm, ISVD4, opts)
+		parallel.SetWorkers(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range serial.U.Lo.Data {
+			if par.U.Lo.Data[i] != v {
+				t.Fatalf("workers=%d: U.Lo[%d] differs bitwise", w, i)
+			}
+		}
+		for i, v := range serial.Sigma.Hi.Data {
+			if par.Sigma.Hi.Data[i] != v {
+				t.Fatalf("workers=%d: Sigma.Hi[%d] differs bitwise", w, i)
+			}
+		}
+		for i, v := range serial.V.Lo.Data {
+			if par.V.Lo.Data[i] != v {
+				t.Fatalf("workers=%d: V.Lo[%d] differs bitwise", w, i)
+			}
+		}
+	}
+}

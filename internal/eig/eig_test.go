@@ -174,9 +174,9 @@ func TestSVDTruncate(t *testing.T) {
 	if tr.U.Cols != 2 || tr.V.Cols != 2 || len(tr.S) != 2 {
 		t.Fatal("Truncate dimensions wrong")
 	}
-	// Truncating to more than available is a no-op.
-	if res.Truncate(100) != res {
-		t.Fatal("over-truncate should return original")
+	// Truncating to more than available clamps to a full (independent) copy.
+	if full := res.Truncate(100); len(full.S) != len(res.S) || full.U.Cols != res.U.Cols {
+		t.Fatal("over-truncate should return a full-rank copy")
 	}
 	// Eckart–Young sanity: rank-2 approximation error equals sqrt(Σ_{i>2} σ²).
 	recon := matrix.Mul(matrix.Mul(tr.U, matrix.Diag(tr.S)), tr.V.T())
@@ -187,6 +187,54 @@ func TestSVDTruncate(t *testing.T) {
 	got := matrix.Sub(a, recon).Frobenius()
 	if math.Abs(got-math.Sqrt(tail)) > 1e-9 {
 		t.Fatalf("Eckart–Young violated: err %g vs %g", got, math.Sqrt(tail))
+	}
+}
+
+// TestSVDTruncateOwnership pins the uniform ownership contract of
+// Truncate: the truncation never shares backing storage with the
+// receiver, for any rank — including the over-truncate clamp, which used
+// to return the receiver itself while smaller ranks returned copies that
+// still aliased S.
+func TestSVDTruncateOwnership(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	a := randDense(r, 9, 5)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rank := range []int{1, 3, 5, 100} {
+		tr := res.Truncate(rank)
+		origS := append([]float64(nil), res.S...)
+		origU := res.U.Clone()
+		origV := res.V.Clone()
+		// Mutating the truncation must not touch the original...
+		for i := range tr.S {
+			tr.S[i] = -1
+		}
+		for i := range tr.U.Data {
+			tr.U.Data[i] = -7
+		}
+		for i := range tr.V.Data {
+			tr.V.Data[i] = -7
+		}
+		for i, v := range res.S {
+			if v != origS[i] {
+				t.Fatalf("rank %d: mutating truncated S corrupted the original", rank)
+			}
+		}
+		if !matrix.Equal(res.U, origU, 0) || !matrix.Equal(res.V, origV, 0) {
+			t.Fatalf("rank %d: mutating truncated U/V corrupted the original", rank)
+		}
+		// ...and mutating the original must not touch a fresh truncation.
+		tr2 := res.Truncate(rank)
+		want := append([]float64(nil), tr2.S...)
+		res.S[0] = 1e300
+		res.U.Data[0] = 1e300
+		if tr2.S[0] != want[0] || tr2.U.Data[0] == 1e300 {
+			t.Fatalf("rank %d: mutating the original corrupted the truncation", rank)
+		}
+		res.S[0] = origS[0]
+		res.U.Data[0] = origU.Data[0]
 	}
 }
 

@@ -13,7 +13,20 @@ import (
 // of your own. A cutoff <= 0 selects the conventional machine-precision
 // threshold max(m,n)·σ₁·1e-15.
 func PInv(a *matrix.Dense, cutoff float64) (*matrix.Dense, error) {
-	res, err := SVD(a)
+	return PInvWith(a, cutoff, SolverFull, 0)
+}
+
+// PInvWith is PInv with an explicit solver choice. rank bounds the
+// truncated decomposition (0 or anything at or above min(m, n) means the
+// full minimum dimension); when the truncated path is taken, singular
+// triplets beyond rank are treated as zero — callers that know their
+// matrix has at most rank meaningful singular values (the ISVD factor
+// inversions) lose nothing. SolverAuto only routes to the truncated
+// solver when rank is well below min(m, n) (see Solver.UseTruncated), and
+// any truncated non-convergence falls back to the full decomposition, so
+// PInvWith never fails where PInv would succeed.
+func PInvWith(a *matrix.Dense, cutoff float64, solver Solver, rank int) (*matrix.Dense, error) {
+	res, err := SVDWith(a, rank, solver)
 	if err != nil {
 		return nil, err
 	}

@@ -23,33 +23,41 @@ type SVDResult struct {
 // implicit-shift QR on the bidiagonal). The input is not modified.
 func SVD(a *matrix.Dense) (*SVDResult, error) {
 	if a.Rows >= a.Cols {
-		return svdTall(a)
+		return svdTallOwned(a.Clone())
 	}
-	// Wide matrix: decompose the transpose and swap factors.
-	res, err := svdTall(a.T())
+	// Wide matrix: decompose the transpose and swap factors. The
+	// transpose is written once into a fresh workspace that svdTallOwned
+	// then consumes in place (it becomes U) — the former a.T() followed
+	// by an internal Clone allocated and copied the m·n buffer twice.
+	at := matrix.TransposeInto(matrix.New(a.Cols, a.Rows), a)
+	res, err := svdTallOwned(at)
 	if err != nil {
 		return nil, err
 	}
 	return &SVDResult{U: res.V, S: res.S, V: res.U}, nil
 }
 
-// Truncate returns the rank-r truncation of the decomposition (shared
-// backing arrays are not copied for S; U and V are new matrices).
+// Truncate returns the rank-r truncation of the decomposition as a fully
+// independent copy: U, V, and S never alias the receiver's storage, for
+// any rank (a rank at or above len(S) returns a full copy). Mutating the
+// truncation therefore never corrupts the original, and vice versa —
+// pinned by TestSVDTruncateOwnership.
 func (r *SVDResult) Truncate(rank int) *SVDResult {
-	if rank >= len(r.S) {
-		return r
+	if rank > len(r.S) {
+		rank = len(r.S)
 	}
 	return &SVDResult{
 		U: r.U.SubMatrix(0, r.U.Rows, 0, rank),
-		S: r.S[:rank],
+		S: append([]float64(nil), r.S[:rank]...),
 		V: r.V.SubMatrix(0, r.V.Rows, 0, rank),
 	}
 }
 
-// svdTall computes the SVD of a matrix with Rows >= Cols.
-func svdTall(in *matrix.Dense) (*SVDResult, error) {
-	m, n := in.Rows, in.Cols
-	a := in.Clone() // becomes U
+// svdTallOwned computes the SVD of a matrix with Rows >= Cols, consuming
+// its argument: a is overwritten in place and becomes U in the result.
+// Callers that need their matrix afterwards pass a.Clone().
+func svdTallOwned(a *matrix.Dense) (*SVDResult, error) {
+	m, n := a.Rows, a.Cols
 	v := matrix.New(n, n)
 	w := make([]float64, n)
 	rv1 := make([]float64, n)

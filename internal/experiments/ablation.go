@@ -42,7 +42,7 @@ func runAblationAlgebra(cfg Config) (*Result, error) {
 			for trial := 0; trial < cfg.Trials; trial++ {
 				m := dataset.MustGenerateUniform(sc, rng)
 				d, err := core.Decompose(m, core.ISVD4, core.Options{
-					Rank: defaultRank, Target: core.TargetA, ExactAlgebra: exact,
+					Rank: defaultRank, Target: core.TargetA, ExactAlgebra: exact, Solver: cfg.Solver,
 				})
 				if err != nil {
 					return nil, err
@@ -89,7 +89,7 @@ func runAblationAssign(cfg Config) (*Result, error) {
 		for trial := 0; trial < cfg.Trials; trial++ {
 			m := dataset.MustGenerateUniform(dataset.DefaultSynthetic(), rng)
 			d, err := core.Decompose(m, core.ISVD4, core.Options{
-				Rank: defaultRank, Target: core.TargetB, Assign: am,
+				Rank: defaultRank, Target: core.TargetB, Assign: am, Solver: cfg.Solver,
 			})
 			if err != nil {
 				return nil, err
@@ -122,7 +122,7 @@ func runAblationTarget(cfg Config) (*Result, error) {
 			var sum float64
 			for trial := 0; trial < cfg.Trials; trial++ {
 				m := dataset.MustGenerateUniform(sc, rng)
-				d, err := core.Decompose(m, core.ISVD4, core.Options{Rank: defaultRank, Target: target})
+				d, err := core.Decompose(m, core.ISVD4, core.Options{Rank: defaultRank, Target: target, Solver: cfg.Solver})
 				if err != nil {
 					return nil, err
 				}

@@ -37,7 +37,7 @@ func hMeanOrderTable(gen func(*rand.Rand) *imatrix.IMatrix, fullRank int, cfg Co
 	}
 	cols := make([][]float64, len(ranks))
 	for ri, r := range ranks {
-		h, err := avgHMean(gen, mts, r, cfg.Trials, cfg.Workers, rng)
+		h, err := avgHMean(gen, mts, r, cfg.Trials, cfg.Workers, cfg.Solver, rng)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/eig"
 )
 
 // Config controls the scale of an experiment run.
@@ -43,6 +45,14 @@ type Config struct {
 	// means the shared pool default (GOMAXPROCS, or whatever
 	// parallel.SetWorkers configured).
 	Workers int
+	// Solver routes every decomposition's eigen/SVD backend
+	// (core.Options.Solver): the zero value is eig.SolverAuto; cmd/
+	// experiments' -solver flag forces full or truncated, and the two
+	// must agree on every reproduced number to the experiment tables'
+	// precision (pinned at 1e-6 by the cmd tests on fig5 — a
+	// decomposition-driven experiment — and fig10, whose SGD-only CF
+	// path must stay untouched by the knob).
+	Solver eig.Solver
 }
 
 // Quick returns the fast default configuration used by `go test` and the

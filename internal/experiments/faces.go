@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/eig"
 	"repro/internal/imatrix"
 	"repro/internal/matrix"
 	"repro/internal/metrics"
@@ -55,11 +56,11 @@ type faceMethod struct {
 	run func(fd *dataset.FaceData, rank int, rng *rand.Rand) (*imatrix.IMatrix, *matrix.Dense, error)
 }
 
-func isvdFaceMethod(m core.Method, t core.Target) faceMethod {
+func isvdFaceMethod(m core.Method, t core.Target, solver eig.Solver) faceMethod {
 	return faceMethod{
 		name: methodTarget{m, t}.label(),
 		run: func(fd *dataset.FaceData, rank int, _ *rand.Rand) (*imatrix.IMatrix, *matrix.Dense, error) {
-			d, err := core.Decompose(fd.Interval, m, core.Options{Rank: rank, Target: t})
+			d, err := core.Decompose(fd.Interval, m, core.Options{Rank: rank, Target: t, Solver: solver})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -111,10 +112,10 @@ func runFig8a(cfg Config) (*Result, error) {
 		}
 	}
 	methods := []faceMethod{
-		isvdFaceMethod(core.ISVD0, core.TargetC),
-		isvdFaceMethod(core.ISVD1, core.TargetB),
-		isvdFaceMethod(core.ISVD4, core.TargetB),
-		isvdFaceMethod(core.ISVD4, core.TargetC),
+		isvdFaceMethod(core.ISVD0, core.TargetC, cfg.Solver),
+		isvdFaceMethod(core.ISVD1, core.TargetB, cfg.Solver),
+		isvdFaceMethod(core.ISVD4, core.TargetB, cfg.Solver),
+		isvdFaceMethod(core.ISVD4, core.TargetC, cfg.Solver),
 		nmfFaceMethod(),
 		inmfFaceMethod(),
 	}
@@ -163,12 +164,12 @@ func classificationRanks(cfg Config, maxRank int) []int {
 	return ranks
 }
 
-func classificationMethods() []faceMethod {
+func classificationMethods(solver eig.Solver) []faceMethod {
 	return []faceMethod{
-		isvdFaceMethod(core.ISVD0, core.TargetC),
-		isvdFaceMethod(core.ISVD1, core.TargetB),
-		isvdFaceMethod(core.ISVD2, core.TargetB),
-		isvdFaceMethod(core.ISVD4, core.TargetB),
+		isvdFaceMethod(core.ISVD0, core.TargetC, solver),
+		isvdFaceMethod(core.ISVD1, core.TargetB, solver),
+		isvdFaceMethod(core.ISVD2, core.TargetB, solver),
+		isvdFaceMethod(core.ISVD4, core.TargetB, solver),
 		nmfFaceMethod(),
 		inmfFaceMethod(),
 	}
@@ -207,7 +208,7 @@ func runFig8b(cfg Config) (*Result, error) {
 
 	tbl := &table{header: append([]string{"method"}, ranksHeader(ranks)...)}
 	vals := map[string]float64{}
-	for _, fm := range classificationMethods() {
+	for _, fm := range classificationMethods(cfg.Solver) {
 		cells := []string{fm.name}
 		for _, r := range ranks {
 			feat, _, err := fm.run(fd, r, rng)
@@ -239,7 +240,7 @@ func runFig8c(cfg Config) (*Result, error) {
 	ranks := classificationRanks(cfg, min(fd.Scalar.Rows, fd.Scalar.Cols))
 	tbl := &table{header: append([]string{"method"}, ranksHeader(ranks)...)}
 	vals := map[string]float64{}
-	for _, fm := range classificationMethods() {
+	for _, fm := range classificationMethods(cfg.Solver) {
 		cells := []string{fm.name}
 		for _, r := range ranks {
 			feat, _, err := fm.run(fd, r, rng)
@@ -299,7 +300,7 @@ func runTable3(cfg Config) (*Result, error) {
 		}
 		// ISVD2-b rank-20 features.
 		start := time.Now()
-		d, err := core.Decompose(fd.Interval, core.ISVD2, core.Options{Rank: min(20, fd.Scalar.Rows), Target: core.TargetB})
+		d, err := core.Decompose(fd.Interval, core.ISVD2, core.Options{Rank: min(20, fd.Scalar.Rows), Target: core.TargetB, Solver: cfg.Solver})
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/eig"
 	"repro/internal/imatrix"
 	"repro/internal/lp"
 	"repro/internal/parallel"
@@ -72,7 +73,7 @@ func optionBHeader() []string {
 // evaluated on the shared worker pool — bounded concurrency, unlike the
 // old one-goroutine-per-method fan-out — which is safe because
 // decompositions are independent and deterministic.
-func avgHMean(gen func(*rand.Rand) *imatrix.IMatrix, mts []methodTarget, rank, trials, workers int, rng *rand.Rand) ([]float64, error) {
+func avgHMean(gen func(*rand.Rand) *imatrix.IMatrix, mts []methodTarget, rank, trials, workers int, solver eig.Solver, rng *rand.Rand) ([]float64, error) {
 	sums := make([]float64, len(mts))
 	for trial := 0; trial < trials; trial++ {
 		m := gen(rng)
@@ -81,7 +82,7 @@ func avgHMean(gen func(*rand.Rand) *imatrix.IMatrix, mts []methodTarget, rank, t
 		parallel.ForWith(workers, len(mts), 1, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				mt := mts[i]
-				d, err := core.Decompose(m, mt.m, core.Options{Rank: rank, Target: mt.t, Workers: 1})
+				d, err := core.Decompose(m, mt.m, core.Options{Rank: rank, Target: mt.t, Workers: 1, Solver: solver})
 				if err != nil {
 					errs[i] = fmt.Errorf("%s: %w", mt.label(), err)
 					continue
@@ -117,7 +118,7 @@ func runFig3(cfg Config) (*Result, error) {
 	after := make([]float64, defaultRank)
 	for trial := 0; trial < cfg.Trials; trial++ {
 		m := gen(rng)
-		d, err := core.Decompose(m, core.ISVD1, core.Options{Rank: defaultRank, Target: core.TargetB})
+		d, err := core.Decompose(m, core.ISVD1, core.Options{Rank: defaultRank, Target: core.TargetB, Solver: cfg.Solver})
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +144,7 @@ func runFig5(cfg Config) (*Result, error) {
 	vAfter := make([]float64, defaultRank)
 	for trial := 0; trial < cfg.Trials; trial++ {
 		m := gen(rng)
-		d, err := core.Decompose(m, core.ISVD4, core.Options{Rank: defaultRank, Target: core.TargetB})
+		d, err := core.Decompose(m, core.ISVD4, core.Options{Rank: defaultRank, Target: core.TargetB, Solver: cfg.Solver})
 		if err != nil {
 			return nil, err
 		}
@@ -167,7 +168,7 @@ func runFig5(cfg Config) (*Result, error) {
 func runFig6a(cfg Config) (*Result, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	mts := grid13()
-	h, err := avgHMean(defaultGen(dataset.DefaultSynthetic()), mts, defaultRank, cfg.Trials, cfg.Workers, rng)
+	h, err := avgHMean(defaultGen(dataset.DefaultSynthetic()), mts, defaultRank, cfg.Trials, cfg.Workers, cfg.Solver, rng)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +209,7 @@ func runFig6b(cfg Config) (*Result, error) {
 	for trial := 0; trial < cfg.Trials; trial++ {
 		m := gen(rng)
 		for i, method := range methods {
-			d, err := core.Decompose(m, method, core.Options{Rank: defaultRank, Target: core.TargetB})
+			d, err := core.Decompose(m, method, core.Options{Rank: defaultRank, Target: core.TargetB, Solver: cfg.Solver})
 			if err != nil {
 				return nil, err
 			}
@@ -238,7 +239,7 @@ func runTable2(cfg Config, paramName string, values []string, configs []dataset.
 	tbl := &table{header: append([]string{paramName}, optionBHeader()...)}
 	vals := map[string]float64{}
 	for vi, sc := range configs {
-		h, err := avgHMean(defaultGen(sc), optionBRow(), rank(sc), cfg.Trials, cfg.Workers, rng)
+		h, err := avgHMean(defaultGen(sc), optionBRow(), rank(sc), cfg.Trials, cfg.Workers, cfg.Solver, rng)
 		if err != nil {
 			return nil, err
 		}

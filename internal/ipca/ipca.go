@@ -41,26 +41,41 @@ var ErrBadRank = errors.New("ipca: rank out of range")
 // Centers runs the Centers interval PCA: the principal axes are the
 // eigenvectors of the covariance of the interval midpoints, and each
 // data box projects to the exact interval of dot products between the
-// box and the axis.
+// box and the axis. The eigensolver is auto-routed: the truncated rank-r
+// subspace solver when rank is well below the column count, the full
+// solver otherwise (CentersWith forces a choice).
 func Centers(m *imatrix.IMatrix, rank int) (*Result, error) {
+	return CentersWith(m, rank, eig.SolverAuto)
+}
+
+// CentersWith is Centers with an explicit eigensolver choice.
+func CentersWith(m *imatrix.IMatrix, rank int, solver eig.Solver) (*Result, error) {
 	if rank <= 0 || rank > m.Cols() {
 		return nil, fmt.Errorf("%w: %d with %d columns", ErrBadRank, rank, m.Cols())
 	}
 	mid := m.Mid()
 	means := columnMeans(mid)
 	cov := covariance(mid, means)
-	vals, vecs, err := eig.SymEig(cov)
+	vals, axes, err := topEig(cov, rank, solver)
 	if err != nil {
 		return nil, fmt.Errorf("ipca: Centers: %w", err)
 	}
-	axes := vecs.SubMatrix(0, vecs.Rows, 0, rank)
 	res := &Result{
 		Axes:        axes,
-		Variances:   clampNonNegative(vals[:rank]),
+		Variances:   clampNonNegative(vals),
 		CenterMeans: means,
 	}
 	res.Scores = projectBoxes(m, axes, means)
 	return res, nil
+}
+
+// topEig returns the rank leading eigenpairs of the (symmetric PSD)
+// covariance matrix under the routed solver (eig.SymEigWith): covariance
+// spectra decay, so the truncated path converges in a handful of sweeps
+// at O(m²·r) instead of O(m³), falling back to the full solver on flat
+// spectra.
+func topEig(cov *matrix.Dense, rank int, solver eig.Solver) ([]float64, *matrix.Dense, error) {
+	return eig.SymEigWith(cov, rank, solver)
 }
 
 // Vertices runs the moment-matching approximation of the Vertices
@@ -69,6 +84,11 @@ func Centers(m *imatrix.IMatrix, rank int) (*Result, error) {
 // a box contributes an independent uniform spread), so the axes account
 // for the interval widths, not just the centers.
 func Vertices(m *imatrix.IMatrix, rank int) (*Result, error) {
+	return VerticesWith(m, rank, eig.SolverAuto)
+}
+
+// VerticesWith is Vertices with an explicit eigensolver choice.
+func VerticesWith(m *imatrix.IMatrix, rank int, solver eig.Solver) (*Result, error) {
 	if rank <= 0 || rank > m.Cols() {
 		return nil, fmt.Errorf("%w: %d with %d columns", ErrBadRank, rank, m.Cols())
 	}
@@ -85,14 +105,13 @@ func Vertices(m *imatrix.IMatrix, rank int) (*Result, error) {
 		}
 		cov.Set(j, j, cov.At(j, j)+s/(3*n))
 	}
-	vals, vecs, err := eig.SymEig(cov)
+	vals, axes, err := topEig(cov, rank, solver)
 	if err != nil {
 		return nil, fmt.Errorf("ipca: Vertices: %w", err)
 	}
-	axes := vecs.SubMatrix(0, vecs.Rows, 0, rank)
 	res := &Result{
 		Axes:        axes,
-		Variances:   clampNonNegative(vals[:rank]),
+		Variances:   clampNonNegative(vals),
 		CenterMeans: means,
 	}
 	res.Scores = projectBoxes(m, axes, means)

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/eig"
 	"repro/internal/imatrix"
 	"repro/internal/interval"
 	"repro/internal/matrix"
@@ -184,5 +185,63 @@ func TestPropAxesOrthonormal(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCentersWithSolverAgreement pins the solver routing of the PCA
+// paths: forced truncated and forced full runs agree on variances at 1e-9
+// relative and on axes up to sign, on data with a low-rank covariance.
+func TestCentersWithSolverAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// 200 rows in 80 columns concentrated on 5 latent directions, so the
+	// covariance spectrum decays sharply past rank 5.
+	lat := matrix.New(200, 5)
+	load := matrix.New(80, 5)
+	for i := range lat.Data {
+		lat.Data[i] = rng.NormFloat64()
+	}
+	for i := range load.Data {
+		load.Data[i] = rng.NormFloat64()
+	}
+	base := matrix.MulT(lat, load)
+	m := imatrix.New(200, 80)
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 80; j++ {
+			v := base.At(i, j)
+			m.Set(i, j, interval.New(v, v+0.01))
+		}
+	}
+	for name, with := range map[string]func(*imatrix.IMatrix, int, eig.Solver) (*Result, error){
+		"Centers": CentersWith, "Vertices": VerticesWith,
+	} {
+		full, err := with(m, 4, eig.SolverFull)
+		if err != nil {
+			t.Fatalf("%s full: %v", name, err)
+		}
+		trunc, err := with(m, 4, eig.SolverTruncated)
+		if err != nil {
+			t.Fatalf("%s truncated: %v", name, err)
+		}
+		for i := range full.Variances {
+			if math.Abs(full.Variances[i]-trunc.Variances[i]) > 1e-9*full.Variances[0] {
+				t.Errorf("%s: variance %d full %.15g vs truncated %.15g", name, i, full.Variances[i], trunc.Variances[i])
+			}
+		}
+		for j := 0; j < 4; j++ {
+			var dot float64
+			for i := 0; i < 80; i++ {
+				dot += full.Axes.At(i, j) * trunc.Axes.At(i, j)
+			}
+			if math.Abs(math.Abs(dot)-1) > 1e-7 {
+				t.Errorf("%s: axis %d |cos| = %.12g", name, j, math.Abs(dot))
+			}
+		}
+		// Scores must agree too (they are linear in the axes).
+		for _, c := range [][2]int{{0, 0}, {150, 3}} {
+			fi, ti := full.Scores.At(c[0], c[1]), trunc.Scores.At(c[0], c[1])
+			if math.Abs(fi.Lo-ti.Lo) > 1e-6 || math.Abs(fi.Hi-ti.Hi) > 1e-6 {
+				t.Errorf("%s: score (%d,%d) full %v vs truncated %v", name, c[0], c[1], fi, ti)
+			}
+		}
 	}
 }

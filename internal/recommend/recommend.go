@@ -18,12 +18,14 @@ package recommend
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/imatrix"
 	"repro/internal/interval"
 	"repro/internal/ipmf"
+	"repro/internal/matrix"
 	"repro/internal/metrics"
 	"repro/internal/sparse"
 )
@@ -90,6 +92,112 @@ func BuildSparse(ratings *sparse.ICSR, cfg ipmf.Config, rng *rand.Rand, minRatin
 		return nil, fmt.Errorf("recommend: %w", err)
 	}
 	return FromIntervalModel(m, minRating, maxRating), nil
+}
+
+// decompSource predicts cells lazily from ISVD factors, reproducing
+// Reconstruct's per-cell values (Supplementary Algorithms 12-14) without
+// ever materializing the rows×cols reconstruction: memory stays
+// O((rows+cols)·rank). For TargetB/C the factors are the averaged scalar
+// U/V with the (interval) core diagonal; for TargetA the inner U†×Σ†
+// endpoint product is a diagonal scaling precomputed per cell of U, and
+// each lookup min/max-combines the four endpoint dot products of
+// Algorithm 1 — the same candidate set the materialized path combines.
+type decompSource struct {
+	d *core.Decomposition
+	// TargetB/C: scalar factors and core diagonals.
+	u, v     *matrix.Dense
+	sLo, sHi []float64
+	// TargetA: W = U†×Σ† endpoint product (n×r) and V†.
+	w, va *imatrix.IMatrix
+}
+
+func newDecompSource(d *core.Decomposition) (*decompSource, error) {
+	s := &decompSource{d: d}
+	switch d.Target {
+	case core.TargetB, core.TargetC:
+		s.u = d.U.Mid()
+		s.v = d.V.Mid()
+		s.sLo = d.Sigma.Lo.Diagonal()
+		s.sHi = d.Sigma.Hi.Diagonal()
+	case core.TargetA:
+		if d.ExactAlgebra {
+			return nil, fmt.Errorf("recommend: lazy TargetA prediction supports endpoint algebra only")
+		}
+		// Σ† is diagonal, so each W entry is the min/max over the four
+		// endpoint scalar products of one U entry with one σ interval.
+		r := d.Rank
+		s.w = imatrix.New(d.U.Rows(), r)
+		for i := 0; i < d.U.Rows(); i++ {
+			for k := 0; k < r; k++ {
+				ul, uh := d.U.Lo.At(i, k), d.U.Hi.At(i, k)
+				gl, gh := d.Sigma.Lo.At(k, k), d.Sigma.Hi.At(k, k)
+				p1, p2, p3, p4 := ul*gl, ul*gh, uh*gl, uh*gh
+				s.w.Lo.Set(i, k, math.Min(math.Min(p1, p2), math.Min(p3, p4)))
+				s.w.Hi.Set(i, k, math.Max(math.Max(p1, p2), math.Max(p3, p4)))
+			}
+		}
+		s.va = d.V
+	default:
+		return nil, fmt.Errorf("recommend: unknown target %v", d.Target)
+	}
+	return s, nil
+}
+
+func (s *decompSource) Rows() int { return s.d.U.Rows() }
+func (s *decompSource) Cols() int { return s.d.V.Rows() }
+
+func (s *decompSource) At(i, j int) interval.Interval {
+	switch s.d.Target {
+	case core.TargetC:
+		var p float64
+		for k := 0; k < s.d.Rank; k++ {
+			p += s.u.At(i, k) * ((s.sLo[k] + s.sHi[k]) / 2) * s.v.At(j, k)
+		}
+		return interval.Interval{Lo: p, Hi: p}
+	case core.TargetB:
+		var lo, hi float64
+		for k := 0; k < s.d.Rank; k++ {
+			uv := s.u.At(i, k) * s.v.At(j, k)
+			lo += s.sLo[k] * uv
+			hi += s.sHi[k] * uv
+		}
+		if lo > hi { // AverageReplace semantics of the materialized path
+			m := (lo + hi) / 2
+			return interval.Interval{Lo: m, Hi: m}
+		}
+		return interval.Interval{Lo: lo, Hi: hi}
+	default: // TargetA, endpoint algebra
+		var c11, c12, c21, c22 float64
+		for k := 0; k < s.d.Rank; k++ {
+			wl, wh := s.w.Lo.At(i, k), s.w.Hi.At(i, k)
+			vl, vh := s.va.Lo.At(j, k), s.va.Hi.At(j, k)
+			c11 += wl * vl
+			c12 += wl * vh
+			c21 += wh * vl
+			c22 += wh * vh
+		}
+		lo := math.Min(math.Min(c11, c12), math.Min(c21, c22))
+		hi := math.Max(math.Max(c11, c12), math.Max(c21, c22))
+		return interval.Interval{Lo: lo, Hi: hi}
+	}
+}
+
+// BuildSparseISVD decomposes sparse interval ratings with the selected
+// ISVD method (core.DecomposeSparse: CSR kernels throughout; with the
+// default auto solver the endpoint Gram matrices are applied matrix-free
+// and never materialized) and returns a lazily-evaluating Predictor over
+// the factor reconstruction — no rows×cols matrix is ever built, so
+// memory stays O(NNZ + (rows+cols)·rank) end to end.
+func BuildSparseISVD(ratings *sparse.ICSR, method core.Method, opts core.Options, minRating, maxRating float64) (*Predictor, error) {
+	d, err := core.DecomposeSparse(ratings, method, opts)
+	if err != nil {
+		return nil, fmt.Errorf("recommend: %w", err)
+	}
+	src, err := newDecompSource(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{src: src, Min: minRating, Max: maxRating}, nil
 }
 
 // Rows and Cols report the prediction matrix shape.

@@ -1,9 +1,11 @@
 package recommend
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/ipmf"
 	"repro/internal/sparse"
 )
@@ -113,5 +115,51 @@ func TestTopNSparseExcludesStoredCells(t *testing.T) {
 	other := &sparse.ICSR{Rows: r.Rows + 1, Cols: r.Cols, RowPtr: make([]int, r.Rows+2)}
 	if _, err := p.TopNSparse(0, 2, other); err == nil {
 		t.Error("shape mismatch accepted")
+	}
+}
+
+// TestBuildSparseISVDMatchesDense pins the lazy factor source of the
+// ISVD-backed sparse recommender against the materialized reconstruction
+// of the dense path, cell by cell, for every target.
+func TestBuildSparseISVDMatchesDense(t *testing.T) {
+	r := sparseRatings(t, 8)
+	dense := r.ToIMatrix()
+	for _, tgt := range []core.Target{core.TargetA, core.TargetB, core.TargetC} {
+		opts := core.Options{Rank: 3, Target: tgt}
+		sp, err := BuildSparseISVD(r, core.ISVD4, opts, 1, 5)
+		if err != nil {
+			t.Fatalf("target %v: %v", tgt, err)
+		}
+		dp, err := Build(dense, core.ISVD4, opts, 1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.Rows() != dp.Rows() || sp.Cols() != dp.Cols() {
+			t.Fatalf("target %v: shape mismatch", tgt)
+		}
+		for i := 0; i < sp.Rows(); i += 3 {
+			for j := 0; j < sp.Cols(); j += 5 {
+				siv, err := sp.PredictInterval(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				div, err := dp.PredictInterval(i, j)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(siv.Lo-div.Lo) > 1e-6 || math.Abs(siv.Hi-div.Hi) > 1e-6 {
+					t.Fatalf("target %v cell (%d,%d): sparse %v vs dense %v", tgt, i, j, siv, div)
+				}
+			}
+		}
+		// TopNSparse must work over the lazy source (the dense user-genre
+		// rows may have every column rated, so only the upper bound holds).
+		st, err := sp.TopNSparse(0, 3, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st) > 3 {
+			t.Fatalf("target %v: TopNSparse returned %d items", tgt, len(st))
+		}
 	}
 }

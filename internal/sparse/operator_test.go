@@ -1,0 +1,145 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+)
+
+func randSparseICSR(rng *rand.Rand, rows, cols int, density float64, signed bool) *ICSR {
+	var ts []ITriplet
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			v := rng.Float64()*4 + 1
+			if signed && rng.Float64() < 0.5 {
+				v = -v
+			}
+			ts = append(ts, ITriplet{Row: i, Col: j, Lo: v, Hi: v + rng.Float64()})
+		}
+	}
+	m, err := FromICOO(rows, cols, ts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestMulDenseIntoMatchesMulDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSparseICSR(rng, 30, 50, 0.1, true).LoCSR()
+	b := matrix.New(50, 7)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	want := MulDense(a, b)
+	dst := matrix.New(30, 7)
+	for i := range dst.Data {
+		dst.Data[i] = 1e9 // must be overwritten, not accumulated into
+	}
+	got := MulDenseInto(dst, a, b)
+	for i, v := range want.Data {
+		if got.Data[i] != v {
+			t.Fatalf("element %d: %v vs %v", i, got.Data[i], v)
+		}
+	}
+}
+
+// TestOperatorMatchesDenseKernels pins the operator contract the
+// truncated solvers rely on: Apply/ApplyT are bitwise identical to the
+// dense blocked kernels on the dense expansion.
+func TestOperatorMatchesDenseKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sm := randSparseICSR(rng, 40, 60, 0.08, true)
+	a := sm.LoCSR()
+	ad := a.ToDense()
+	op := NewOperator(a)
+	if r, c := op.Dims(); r != 40 || c != 60 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+	x := matrix.New(60, 9)
+	y := matrix.New(40, 9)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range y.Data {
+		y.Data[i] = rng.NormFloat64()
+	}
+	got := matrix.New(40, 9)
+	op.Apply(got, x)
+	want := matrix.Mul(ad, x)
+	for i, v := range want.Data {
+		if got.Data[i] != v {
+			t.Fatalf("Apply element %d differs bitwise: %v vs %v", i, got.Data[i], v)
+		}
+	}
+	gotT := matrix.New(60, 9)
+	op.ApplyT(gotT, y)
+	wantT := matrix.TMul(ad, y)
+	for i, v := range wantT.Data {
+		if gotT.Data[i] != v {
+			t.Fatalf("ApplyT element %d differs bitwise: %v vs %v", i, gotT.Data[i], v)
+		}
+	}
+}
+
+func TestMidCSRAndNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pos := randSparseICSR(rng, 10, 12, 0.3, false)
+	if !pos.NonNegative() {
+		t.Error("positive matrix reported negative")
+	}
+	neg := randSparseICSR(rng, 10, 12, 0.3, true)
+	hasNeg := false
+	for _, lo := range neg.Lo {
+		if lo < 0 {
+			hasNeg = true
+		}
+	}
+	if hasNeg && neg.NonNegative() {
+		t.Error("signed matrix reported non-negative")
+	}
+	mid := pos.MidCSR()
+	want := pos.ToIMatrix().Mid()
+	if got := mid.ToDense(); !matrix.Equal(got, want, 0) {
+		t.Error("MidCSR disagrees with the dense midpoint")
+	}
+	// Shared index structure, fresh values.
+	if &mid.ColInd[0] != &pos.ColInd[0] {
+		t.Error("MidCSR copied the index structure")
+	}
+	mid.Val[0] = 1e18
+	if pos.Lo[0] == 1e18 || pos.Hi[0] == 1e18 {
+		t.Error("MidCSR aliases the endpoint arrays")
+	}
+}
+
+// TestMulDenseEndpointsMatchesIMatrix pins the fused scalar-left endpoint
+// product against the dense imatrix kernel on the dense expansion.
+func TestMulDenseEndpointsMatchesIMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, workers := range []int{1, 3, 8} {
+		sm := randSparseICSR(rng, 35, 55, 0.12, true)
+		s := matrix.New(6, 35)
+		for i := range s.Data {
+			s.Data[i] = rng.NormFloat64()
+		}
+		want := imatrix.MulEndpointsScalarLeft(s, sm.ToIMatrix())
+		var got *imatrix.IMatrix
+		withWorkers(workers, func() { got = MulDenseEndpoints(s, sm) })
+		for i, v := range want.Lo.Data {
+			if got.Lo.Data[i] != v {
+				t.Fatalf("workers=%d: Lo[%d] %v vs %v", workers, i, got.Lo.Data[i], v)
+			}
+		}
+		for i, v := range want.Hi.Data {
+			if got.Hi.Data[i] != v {
+				t.Fatalf("workers=%d: Hi[%d] %v vs %v", workers, i, got.Hi.Data[i], v)
+			}
+		}
+	}
+}

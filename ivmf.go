@@ -26,6 +26,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/eig"
 	"repro/internal/imatrix"
 	"repro/internal/interval"
 	"repro/internal/ipca"
@@ -103,6 +104,24 @@ type Target = core.Target
 // Options configures Decompose.
 type Options = core.Options
 
+// Solver selects the eigen/SVD backend of a decomposition
+// (Options.Solver): SolverAuto (the zero value) routes to the truncated
+// rank-r subspace solver when Rank is small relative to the matrix and to
+// the full O(n³) decomposition otherwise; the two agree to 1e-9 relative
+// tolerance and are each bitwise reproducible for any worker count.
+type Solver = eig.Solver
+
+// Solver choices for Options.Solver.
+const (
+	SolverAuto      = eig.SolverAuto      // truncated when profitable (default)
+	SolverFull      = eig.SolverFull      // always the full decomposition
+	SolverTruncated = eig.SolverTruncated // always the truncated solver
+)
+
+// ParseSolver parses "auto", "full", or "truncated" (the CLIs' -solver
+// flag values).
+func ParseSolver(s string) (Solver, error) { return eig.ParseSolver(s) }
+
 // SetWorkers bounds the goroutines of the shared worker pool every hot
 // kernel (matrix products, eigensolvers, factorization epochs) runs on.
 // n <= 0 resets to the default, GOMAXPROCS. Results are bitwise identical
@@ -120,6 +139,18 @@ type AccuracyResult = core.AccuracyResult
 // Decompose runs the selected ISVD method on m.
 func Decompose(m *IntervalMatrix, method Method, opts Options) (*Decomposition, error) {
 	return core.Decompose(m, method, opts)
+}
+
+// DecomposeSparse runs the selected ISVD method directly on sparse
+// interval storage: all products against the input run on CSR kernels,
+// and with the default auto solver the endpoint Gram matrices are applied
+// matrix-free and never materialized — transient memory is
+// O(NNZ + (rows+cols)·rank) instead of O(cols²). The memory bound holds
+// for spectra the truncated solver converges on (decay past rank); a
+// flat spectrum or a full-solver routing falls back to materializing the
+// dense Gram rather than failing — see core.DecomposeSparse.
+func DecomposeSparse(m *SparseIntervalMatrix, method Method, opts Options) (*Decomposition, error) {
+	return core.DecomposeSparse(m, method, opts)
 }
 
 // Accuracy scores a reconstruction against the original interval matrix.
@@ -234,4 +265,13 @@ func NewRecommender(ratings *IntervalMatrix, method Method, opts Options, minRat
 // sparse matrix excluded.
 func NewSparseRecommender(ratings *SparseIntervalMatrix, cfg PMFConfig, rng *rand.Rand, minRating, maxRating float64) (*Recommender, error) {
 	return recommend.BuildSparse(ratings, cfg, rng, minRating, maxRating)
+}
+
+// NewSparseISVDRecommender decomposes sparse ratings with an ISVD method
+// (DecomposeSparse) and returns a lazily-evaluating predictor over the
+// factor reconstruction: with the default auto solver nothing dense of
+// the matrix shape is ever built — not the ratings, not the Gram
+// matrices, not the reconstruction.
+func NewSparseISVDRecommender(ratings *SparseIntervalMatrix, method Method, opts Options, minRating, maxRating float64) (*Recommender, error) {
+	return recommend.BuildSparseISVD(ratings, method, opts, minRating, maxRating)
 }
