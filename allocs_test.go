@@ -10,6 +10,7 @@ package ivmf_test
 // are deterministic.
 
 import (
+	"math"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -17,9 +18,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eig"
+	"repro/internal/imatrix"
 	"repro/internal/matrix"
 	"repro/internal/nmf"
 	"repro/internal/parallel"
+	"repro/internal/recommend"
+	"repro/internal/sparse"
 )
 
 func TestNMFTrainAllocationBudget(t *testing.T) {
@@ -55,6 +59,52 @@ func TestISVD4AllocationBudget(t *testing.T) {
 	// the eigensolver plus the four endpoint-product temporaries.
 	if allocs > 1497 {
 		t.Fatalf("ISVD4 allocated %.0f objects/run, want <= 1497 (50%% of the 2994 pre-blocking baseline)", allocs)
+	}
+}
+
+// TestTopNAllocationBudget guards the serving-path TopN rewrite: the
+// size-n selection heap lives in preallocated Predictor scratch, so a
+// warmed-up TopN call allocates only its result slice (the pre-heap
+// implementation appended every unexcluded column into a fresh
+// candidate slice — ~10 allocations per call at 200 columns, growing
+// with the catalog).
+func TestTopNAllocationBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := matrix.New(50, 4)
+	y := matrix.New(4, 200)
+	for i := range x.Data {
+		x.Data[i] = math.Abs(rng.NormFloat64())
+	}
+	for i := range y.Data {
+		y.Data[i] = math.Abs(rng.NormFloat64())
+	}
+	lo := matrix.Mul(x, y)
+	ratings := sparse.FromIMatrix(imatrix.FromEndpoints(lo, lo.Scale(1.2)))
+	p, err := recommend.BuildSparseISVD(ratings, core.ISVD2, core.Options{Rank: 4, Target: core.TargetB}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TopN(7, 10, nil); err != nil { // warm the scratch heap
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := p.TopN(7, 10, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("TopN allocated %.1f objects/call, want <= 2 (result slice only)", allocs)
+	}
+	// TopNSparse excludes the row's stored cells with an advancing
+	// pointer over the sorted CSR columns — no exclusion map, so the
+	// same budget holds.
+	allocs = testing.AllocsPerRun(20, func() {
+		if _, err := p.TopNSparse(7, 10, ratings); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Fatalf("TopNSparse allocated %.1f objects/call, want <= 2 (result slice only)", allocs)
 	}
 }
 

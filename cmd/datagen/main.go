@@ -11,6 +11,16 @@
 //	datagen -kind faces -scale 0.25 > faces.csv
 //	datagen -kind ratings -scale 0.1 > usergenre.csv
 //	datagen -kind ratings -scale 0.1 -density 0.02 -format coo > sparse.csv
+//	datagen -kind ratings -scale 0.1 -format coo -batches 5 -out stream
+//
+// With -batches N the generated matrix is split (stable seed split:
+// the same flags always produce the same split) into a base COO file
+// plus N delta COO files of arriving cell batches — the reproducible
+// input of the streaming-update scenario (cmd/experiments stream):
+// <out>.base.coo.csv holds the matrix with the streamed cells removed,
+// and <out>.delta.K.coo.csv (K = 1..N) each hold one arriving batch in
+// the delta COO format of internal/dataset (together ~10% of the
+// observed cells).
 package main
 
 import (
@@ -36,18 +46,29 @@ func main() {
 	scale := flag.Float64("scale", 0.25, "dataset scale (faces/ratings)")
 	density := flag.Float64("density", 0, "observed-cell fraction: ratings NumRatings override, or 1-zerofrac for uniform (0 = dataset default)")
 	format := flag.String("format", "csv", "csv (dense interval CSV) | coo (sparse interval COO)")
+	batches := flag.Int("batches", 0, "emit a base COO file plus N delta files for the streaming scenario (requires -format coo and -out)")
+	out := flag.String("out", "", "output file prefix for -batches (files <out>.base.coo.csv, <out>.delta.K.coo.csv)")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	flag.Parse()
 
-	if err := run(os.Stdout, *kind, *rows, *cols, *zeroFrac, *intDensity, *intensity, *privacy, *scale, *density, *format, *seed); err != nil {
+	if err := run(os.Stdout, *kind, *rows, *cols, *zeroFrac, *intDensity, *intensity, *privacy, *scale, *density, *format, *batches, *out, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, kind string, rows, cols int, zeroFrac, intDensity, intensity float64, privacy string, scale, density float64, format string, seed int64) error {
+func run(w io.Writer, kind string, rows, cols int, zeroFrac, intDensity, intensity float64, privacy string, scale, density float64, format string, batches int, out string, seed int64) error {
 	if density < 0 || density > 1 {
 		return fmt.Errorf("density %g outside [0, 1]", density)
+	}
+	if batches < 0 {
+		return fmt.Errorf("batches %d negative", batches)
+	}
+	if batches > 0 && format != "coo" {
+		return fmt.Errorf("-batches requires -format coo")
+	}
+	if batches > 0 && out == "" {
+		return fmt.Errorf("-batches requires -out (the files <out>.base.coo.csv and <out>.delta.K.coo.csv are written)")
 	}
 	if density > 0 && kind != "uniform" && kind != "ratings" {
 		return fmt.Errorf("-density is not supported for kind %q (only uniform and ratings)", kind)
@@ -114,8 +135,60 @@ func run(w io.Writer, kind string, rows, cols int, zeroFrac, intDensity, intensi
 	case "csv":
 		return dataset.WriteIntervalCSV(w, m)
 	case "coo":
+		if batches > 0 {
+			return writeBatches(w, sparse.FromIMatrix(m), batches, out, rng)
+		}
 		return dataset.WriteIntervalCOO(w, sparse.FromIMatrix(m))
 	default:
 		return fmt.Errorf("unknown format %q", format)
 	}
+}
+
+// streamFrac is the fraction of observed cells -batches carves out of
+// the base matrix as the arriving stream.
+const streamFrac = 0.10
+
+// writeBatches splits the observed cells of m into a base matrix and
+// `batches` arriving cell batches (dataset.StreamSplit — a stable seed
+// split: the shuffle comes from the same seeded generator as the data,
+// so identical flags produce identical files), writing
+// <out>.base.coo.csv and <out>.delta.K.coo.csv. A summary of the
+// written files goes to w.
+func writeBatches(w io.Writer, m *sparse.ICSR, batches int, out string, rng *rand.Rand) error {
+	base, deltas, err := dataset.StreamSplit(m, streamFrac, batches, rng)
+	if err != nil {
+		return err
+	}
+	baseM, err := sparse.FromICOO(m.Rows, m.Cols, base)
+	if err != nil {
+		return err
+	}
+	writeFile := func(name string, emit func(io.Writer) error) error {
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, name)
+		return nil
+	}
+	if err := writeFile(out+".base.coo.csv", func(fw io.Writer) error {
+		return dataset.WriteIntervalCOO(fw, baseM)
+	}); err != nil {
+		return err
+	}
+	for k, batch := range deltas {
+		if err := writeFile(fmt.Sprintf("%s.delta.%d.coo.csv", out, k+1), func(fw io.Writer) error {
+			return dataset.WriteDeltaCOO(fw, m.Rows, m.Cols, batch)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -24,7 +27,7 @@ func TestRunKinds(t *testing.T) {
 	}
 	for _, c := range cases {
 		var buf bytes.Buffer
-		if err := run(&buf, c.kind, 8, 6, 0, 1, 1, c.privacy, 0.02, 0, "csv", 1); err != nil {
+		if err := run(&buf, c.kind, 8, 6, 0, 1, 1, c.privacy, 0.02, 0, "csv", 0, "", 1); err != nil {
 			t.Errorf("%s/%s: %v", c.kind, c.privacy, err)
 			continue
 		}
@@ -36,7 +39,7 @@ func TestRunKinds(t *testing.T) {
 
 func TestRunCOOFormat(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 1); err != nil {
+	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 0, "", 1); err != nil {
 		t.Fatal(err)
 	}
 	m, err := dataset.ReadIntervalCOO(&buf)
@@ -51,7 +54,7 @@ func TestRunCOOFormat(t *testing.T) {
 func TestRunDensityKnob(t *testing.T) {
 	nnz := func(density float64) int {
 		var buf bytes.Buffer
-		if err := run(&buf, "uniform", 20, 20, 0, 1, 1, "medium", 0.1, density, "coo", 1); err != nil {
+		if err := run(&buf, "uniform", 20, 20, 0, 1, 1, "medium", 0.1, density, "coo", 0, "", 1); err != nil {
 			t.Fatal(err)
 		}
 		m, err := dataset.ReadIntervalCOO(&buf)
@@ -70,43 +73,135 @@ func TestRunDensityKnob(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(io.Discard, "nope", 8, 6, 0, 1, 1, "medium", 0.1, 0, "csv", 1); err == nil {
+	if err := run(io.Discard, "nope", 8, 6, 0, 1, 1, "medium", 0.1, 0, "csv", 0, "", 1); err == nil {
 		t.Error("unknown kind accepted")
 	}
-	if err := run(io.Discard, "anonymized", 8, 6, 0, 1, 1, "nope", 0.1, 0, "csv", 1); err == nil {
+	if err := run(io.Discard, "anonymized", 8, 6, 0, 1, 1, "nope", 0.1, 0, "csv", 0, "", 1); err == nil {
 		t.Error("unknown privacy accepted")
 	}
-	if err := run(io.Discard, "uniform", -1, 6, 0, 1, 1, "medium", 0.1, 0, "csv", 1); err == nil {
+	if err := run(io.Discard, "uniform", -1, 6, 0, 1, 1, "medium", 0.1, 0, "csv", 0, "", 1); err == nil {
 		t.Error("bad shape accepted")
 	}
-	if err := run(io.Discard, "uniform", 8, 6, 0, 1, 1, "medium", 0.1, 0, "nope", 1); err == nil {
+	if err := run(io.Discard, "uniform", 8, 6, 0, 1, 1, "medium", 0.1, 0, "nope", 0, "", 1); err == nil {
 		t.Error("unknown format accepted")
 	}
 	for _, kind := range []string{"uniform", "ratings"} {
-		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, 1.5, "csv", 1); err == nil {
+		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, 1.5, "csv", 0, "", 1); err == nil {
 			t.Errorf("%s: density > 1 accepted", kind)
 		}
-		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, -0.1, "csv", 1); err == nil {
+		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, -0.1, "csv", 0, "", 1); err == nil {
 			t.Errorf("%s: negative density accepted", kind)
 		}
 	}
 	// The ratings generator caps observed cells at half the matrix, so
 	// densities in (0.5, 1] are rejected rather than silently clamped.
-	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.1, 0.8, "csv", 1); err == nil {
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.1, 0.8, "csv", 0, "", 1); err == nil {
 		t.Error("ratings density > 0.5 accepted")
 	}
 	// Kinds without a density notion reject the flag instead of
 	// silently ignoring it.
 	for _, kind := range []string{"anonymized", "faces"} {
-		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, 0.05, "csv", 1); err == nil {
+		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, 0.05, "csv", 0, "", 1); err == nil {
 			t.Errorf("%s: unsupported -density accepted", kind)
 		}
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "csv", 1); err != nil {
+	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "csv", 0, "", 1); err != nil {
 		t.Errorf("baseline ratings run failed: %v", err)
 	}
 	if !strings.Contains(buf.String(), ",") {
 		t.Error("ratings CSV output looks empty")
+	}
+}
+
+func TestBatchesStableSplit(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "stream")
+	var buf bytes.Buffer
+	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 3, prefix, 7); err != nil {
+		t.Fatal(err)
+	}
+	// Four files listed: base plus three deltas.
+	files := strings.Fields(buf.String())
+	if len(files) != 4 {
+		t.Fatalf("wrote %d files, want 4: %v", len(files), files)
+	}
+	baseF, err := os.Open(prefix + ".base.coo.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer baseF.Close()
+	base, err := dataset.ReadIntervalCOO(baseF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replaying every delta onto the base reproduces the full matrix.
+	cur := base
+	total := 0
+	for k := 1; k <= 3; k++ {
+		df, err := os.Open(fmt.Sprintf("%s.delta.%d.coo.csv", prefix, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := dataset.ReadDeltaCOO(df, base.Rows, base.Cols)
+		df.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(ts)
+		cur, err = cur.ApplyPatch(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if total == 0 {
+		t.Fatal("deltas carried no cells")
+	}
+	var full bytes.Buffer
+	if err := run(&full, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 0, "", 7); err != nil {
+		t.Fatal(err)
+	}
+	want, err := dataset.ReadIntervalCOO(strings.NewReader(full.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.NNZ() != want.NNZ() || cur.Rows != want.Rows || cur.Cols != want.Cols {
+		t.Fatalf("replayed matrix %dx%d nnz %d, want %dx%d nnz %d",
+			cur.Rows, cur.Cols, cur.NNZ(), want.Rows, want.Cols, want.NNZ())
+	}
+	for p := range want.ColInd {
+		if cur.ColInd[p] != want.ColInd[p] || cur.Lo[p] != want.Lo[p] || cur.Hi[p] != want.Hi[p] {
+			t.Fatalf("replayed matrix differs at entry %d", p)
+		}
+	}
+	// Stable split: the same flags reproduce byte-identical files.
+	prefix2 := filepath.Join(dir, "again")
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 3, prefix2, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".base.coo.csv", ".delta.1.coo.csv", ".delta.2.coo.csv", ".delta.3.coo.csv"} {
+		a, err := os.ReadFile(prefix + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(prefix2 + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("split not stable: %s differs", suffix)
+		}
+	}
+}
+
+func TestBatchesFlagValidation(t *testing.T) {
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "csv", 2, "x", 1); err == nil {
+		t.Error("-batches with csv format accepted")
+	}
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "coo", 2, "", 1); err == nil {
+		t.Error("-batches without -out accepted")
+	}
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "coo", -1, "", 1); err == nil {
+		t.Error("negative -batches accepted")
 	}
 }

@@ -5,6 +5,10 @@
 //	experiments -list
 //	experiments [flags] <id>...     # e.g. fig6a table2a fig10
 //	experiments [flags] all
+//	experiments stream              # streaming-update scenario: per-batch
+//	                                # incremental-update latency vs full
+//	                                # redecomposition (BENCH_update.json
+//	                                # holds the committed baseline)
 //
 // Flags:
 //

@@ -112,6 +112,22 @@ type Options struct {
 	// so auto never changes results beyond that tolerance. Either way the
 	// output is bitwise identical for any worker count.
 	Solver eig.Solver
+	// Updatable retains the endpoint factor states and a sparse copy of
+	// the input in the returned Decomposition so Update/UpdateSparse can
+	// fold arriving batches (appended rows/cols, cell patches) into the
+	// factors at delta cost instead of re-decomposing. Unsupported with
+	// ExactAlgebra, and ISVD2-4 additionally require entrywise
+	// non-negative endpoints (see core/update.go).
+	Updatable bool
+	// Refresh selects the incremental-update refresh policy (read by
+	// Update, not Decompose): RefreshAuto (default) re-solves with a
+	// warm-started truncated decomposition when the accumulated
+	// discarded singular mass exceeds RefreshBudget; RefreshNever and
+	// RefreshAlways force a policy.
+	Refresh Refresh
+	// RefreshBudget is the RefreshAuto threshold on the accumulated
+	// relative discarded singular mass (0 = the 1% default).
+	RefreshBudget float64
 	// ExactAlgebra switches ISVD2-4 and TargetA reconstruction from the
 	// paper's Algorithm 1 endpoint products (min/max over the endpoint
 	// matrix products — the reference implementation's semantics, and the
@@ -181,6 +197,10 @@ type Decomposition struct {
 	CosVRecomputed []float64 // V side after ISVD4 recomputation (Figure 5b)
 
 	Timings Timings
+
+	// state retains the incremental-update engine state when the
+	// decomposition was produced with Options.Updatable (see update.go).
+	state *updState
 }
 
 // ValidateInput checks that an interval matrix is a legal decomposition

@@ -10,6 +10,7 @@ import (
 	"repro/internal/imatrix"
 	"repro/internal/matrix"
 	"repro/internal/parallel"
+	"repro/internal/sparse"
 )
 
 // parts is the shared intermediate state of ISVD1-4 right before the
@@ -49,6 +50,10 @@ type operand interface {
 	// applyLo / applyHi return M_side · v (ISVD2 U recovery).
 	applyLo(v *matrix.Dense) *matrix.Dense
 	applyHi(v *matrix.Dense) *matrix.Dense
+	// toICSR returns the input as sparse interval storage — the
+	// authoritative matrix copy the incremental-update engine retains
+	// (Options.Updatable, update.go).
+	toICSR() *sparse.ICSR
 }
 
 // denseOperand is the dense-storage operand; its methods reproduce the
@@ -104,6 +109,7 @@ func (o denseOperand) mulEndpointsLeft(s *matrix.Dense, opts Options) *imatrix.I
 
 func (o denseOperand) applyLo(v *matrix.Dense) *matrix.Dense { return matrix.Mul(o.m.Lo, v) }
 func (o denseOperand) applyHi(v *matrix.Dense) *matrix.Dense { return matrix.Mul(o.m.Hi, v) }
+func (o denseOperand) toICSR() *sparse.ICSR                  { return sparse.FromIMatrix(o.m) }
 
 // solverSVD runs one endpoint SVD under the routed solver, truncated to
 // rank (eig.SVDWith: truncated subspace solver when the routing selects
@@ -148,6 +154,9 @@ func nonNegativeDense(d *matrix.Dense) bool {
 // it is returned under whatever target was requested, with degenerate
 // intervals.
 func DecomposeISVD0(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
+	if err := validateUpdatable(ISVD0, opts, func() bool { return nonNegativeDense(m.Lo) }); err != nil {
+		return nil, err
+	}
 	return decomposeISVD0(denseOperand{m}, opts.withDefaults(m))
 }
 
@@ -169,6 +178,9 @@ func decomposeISVD0(op operand, opts Options) (*Decomposition, error) {
 		Sigma:        imatrix.DiagFromValues(res.S),
 		V:            imatrix.FromScalar(res.V),
 	}
+	if opts.Updatable {
+		captureState(d, op, opts, nil, nil, res)
+	}
 	tm.Construct = time.Since(t0)
 	d.Timings = tm
 	return d, nil
@@ -179,6 +191,9 @@ func decomposeISVD0(op operand, opts Options) (*Decomposition, error) {
 // maximum-side factors are permuted and sign-flipped by ILSA to align
 // with the minimum side.
 func DecomposeISVD1(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
+	if err := validateUpdatable(ISVD1, opts, func() bool { return nonNegativeDense(m.Lo) }); err != nil {
+		return nil, err
+	}
 	return decomposeISVD1(denseOperand{m}, opts.withDefaults(m))
 }
 
@@ -192,6 +207,11 @@ func decomposeISVD1(op operand, opts Options) (*Decomposition, error) {
 	tm.Decompose = time.Since(t0)
 
 	d := &Decomposition{Method: ISVD1, Target: opts.Target, Rank: opts.Rank, ExactAlgebra: opts.ExactAlgebra}
+	if opts.Updatable {
+		// Captured before ILSA: the update engine maintains true (not
+		// yet permuted) endpoint SVDs, and ILSA mutates the hi side next.
+		captureState(d, op, opts, svdLo, svdHi, nil)
+	}
 
 	// The SVD results are fully owned (Truncate and the truncated solver
 	// both return fresh storage), so ILSA may mutate them in place.
@@ -343,6 +363,9 @@ func recoverUFrom(mv *matrix.Dense, s []float64) *matrix.Dense {
 // recovered per side from the SVD identity, and only then are the latent
 // spaces aligned.
 func DecomposeISVD2(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
+	if err := validateUpdatable(ISVD2, opts, func() bool { return nonNegativeDense(m.Lo) }); err != nil {
+		return nil, err
+	}
 	return decomposeISVD2(denseOperand{m}, opts.withDefaults(m))
 }
 
@@ -361,6 +384,13 @@ func decomposeISVD2(op operand, opts Options) (*Decomposition, error) {
 	tm.Solve = time.Since(t0)
 
 	d := &Decomposition{Method: ISVD2, Target: opts.Target, Rank: opts.Rank, ExactAlgebra: opts.ExactAlgebra}
+	if opts.Updatable {
+		// uLo/uHi are the endpoint SVDs' left factors (M·V·Σ⁻¹), so the
+		// pre-align triples are exactly the per-side factor states.
+		captureState(d, op, opts,
+			&eig.SVDResult{U: uLo, S: sLo, V: vLo},
+			&eig.SVDResult{U: uHi, S: sHi, V: vHi}, nil)
+	}
 
 	t0 = time.Now()
 	d.CosVUnaligned = align.ColumnCosines(vLo, vHi)
@@ -411,6 +441,17 @@ func isvd34Common(op operand, opts Options, d *Decomposition, tm *Timings) (p pa
 	}
 	tm.Preprocess, tm.Decompose = pre, dec
 
+	if opts.Updatable {
+		// ISVD3/4 never form the per-side left factors; recover them here
+		// (one endpoint product per side) so the update engine holds full
+		// endpoint SVD triples. Captured before ILSA mutates the hi side.
+		uLo := recoverUFrom(op.applyLo(vLo), sLo)
+		uHi := recoverUFrom(op.applyHi(vHi), sHi)
+		captureState(d, op, opts,
+			&eig.SVDResult{U: uLo, S: sLo, V: vLo},
+			&eig.SVDResult{U: uHi, S: sHi, V: vHi}, nil)
+	}
+
 	t0 := time.Now()
 	d.CosVUnaligned = align.ColumnCosines(vLo, vHi)
 	res := align.ILSA(vLo, vHi, opts.Assign)
@@ -438,6 +479,9 @@ func isvd34Common(op operand, opts Options, d *Decomposition, tm *Timings) (p pa
 
 // DecomposeISVD3 implements decompose-align-solve (Section 4.4).
 func DecomposeISVD3(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
+	if err := validateUpdatable(ISVD3, opts, func() bool { return nonNegativeDense(m.Lo) }); err != nil {
+		return nil, err
+	}
 	return decomposeISVD3(denseOperand{m}, opts.withDefaults(m))
 }
 
@@ -460,6 +504,9 @@ func decomposeISVD3(op operand, opts Options) (*Decomposition, error) {
 // recomputed as V† = [(Σ†)⁻¹ × (U†)⁻¹ × M†]ᵀ, which tightens the V
 // intervals by propagating the alignment benefits of the U side.
 func DecomposeISVD4(m *imatrix.IMatrix, opts Options) (*Decomposition, error) {
+	if err := validateUpdatable(ISVD4, opts, func() bool { return nonNegativeDense(m.Lo) }); err != nil {
+		return nil, err
+	}
 	return decomposeISVD4(denseOperand{m}, opts.withDefaults(m))
 }
 

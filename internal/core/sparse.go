@@ -82,6 +82,8 @@ func (o sparseOperand) applyHi(v *matrix.Dense) *matrix.Dense {
 	return sparse.MulDense(o.m.HiCSR(), v)
 }
 
+func (o sparseOperand) toICSR() *sparse.ICSR { return o.m }
+
 // sparseSVD decomposes one endpoint CSR at the given rank: through the
 // matrix-free truncated solver when the routing selects it (O(NNZ·r) per
 // sweep, never densified), through the full dense solver on a one-off
@@ -144,6 +146,9 @@ func DecomposeSparse(m *sparse.ICSR, method Method, opts Options) (*Decompositio
 	opts = opts.withDefaultsDims(m.Rows, m.Cols)
 	if opts.ExactAlgebra {
 		return nil, fmt.Errorf("core: DecomposeSparse: ExactAlgebra requires dense storage (use Decompose on m.ToIMatrix())")
+	}
+	if err := validateUpdatable(method, opts, m.NonNegative); err != nil {
+		return nil, err
 	}
 	op := sparseOperand{m}
 	switch method {

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/eig"
+	"repro/internal/imatrix"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+	"repro/internal/update"
+)
+
+// Incremental factor updates: a decomposition produced with
+// Options.Updatable retains the truncated endpoint factor states (the
+// per-side U, Σ, V of the endpoint matrices) plus an authoritative
+// sparse copy of the input, and Update folds an arriving batch — new
+// rows, new columns, or a sparse cell patch — into those states with the
+// Brand-style low-rank updates of internal/update, then re-runs the
+// method's align/solve/construct stages from the factors. Per batch that
+// costs O((n+m)·r·c + (r+c)³) for the factor fold plus the method's
+// factor-sized downstream work (ISVD3/4 additionally pay one O(NNZ·r)
+// interval product for the U† recovery), instead of a full
+// re-decomposition's many O(NNZ·r) solver sweeps.
+//
+// Each additive update discards singular mass when the batch pushes
+// content past the kept rank; the engine accumulates the discarded
+// fraction and, under the default RefreshAuto policy, schedules a
+// warm-started truncated re-solve (eig.TruncatedSVDOpts seeded with the
+// current factors — one or two sweeps on drifted data) when the running
+// total trips Options.RefreshBudget. The additive path, the refresh
+// path, and the downstream stages all run on the deterministic kernels,
+// so updated decompositions are bitwise identical for any worker count.
+
+// Refresh selects the refresh policy of incremental updates
+// (Options.Refresh).
+type Refresh int
+
+const (
+	// RefreshAuto (the zero value) applies the additive factor update
+	// and schedules a warm-started truncated re-solve when the
+	// accumulated discarded singular mass exceeds Options.RefreshBudget.
+	RefreshAuto Refresh = iota
+	// RefreshNever always applies the additive update, letting the
+	// caller manage accuracy (Decomposition.UpdateResidual exposes the
+	// accumulated budget use).
+	RefreshNever
+	// RefreshAlways re-solves on every batch (warm-started, so still far
+	// cheaper than a cold decomposition) — the most accurate and most
+	// expensive policy.
+	RefreshAlways
+)
+
+// String returns "auto", "never", or "always".
+func (r Refresh) String() string {
+	switch r {
+	case RefreshAuto:
+		return "auto"
+	case RefreshNever:
+		return "never"
+	case RefreshAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("Refresh(%d)", int(r))
+	}
+}
+
+// defaultRefreshBudget is the RefreshAuto threshold on the accumulated
+// relative discarded singular mass: 1% of the spectrum's Frobenius norm
+// keeps reconstruction drift well under typical evaluation tolerances
+// while letting many small batches through between refreshes.
+const defaultRefreshBudget = 0.01
+
+// Delta is a batch modification to a decomposed matrix. Any combination
+// of the fields may be set; they apply in order AppendRows, AppendCols,
+// Patch, so Patch indices (and AppendCols row counts) refer to the
+// post-append shape.
+type Delta struct {
+	// AppendRows appends new rows at the bottom (c×cols).
+	AppendRows *sparse.ICSR
+	// AppendCols appends new columns at the right ((rows+appended)×c).
+	AppendCols *sparse.ICSR
+	// Patch sets cells to new interval values (absolute set semantics —
+	// the engine derives the additive factor delta from the stored
+	// values). Duplicate cells within one batch are an error.
+	Patch []sparse.ITriplet
+}
+
+func (dl Delta) empty() bool {
+	return dl.AppendRows == nil && dl.AppendCols == nil && len(dl.Patch) == 0
+}
+
+// updState is the retained engine state of an updatable decomposition:
+// the authoritative sparse matrix, the per-side truncated factor states,
+// and the accumulated refresh-budget use. States are functional — every
+// Update builds a new one — so an old Decomposition keeps serving while
+// (or after) an updated one is built.
+type updState struct {
+	opts Options      // resolved decompose options (rank, target, solver…)
+	m    *sparse.ICSR // current matrix
+	// Endpoint factor states: mid for ISVD0, lo/hi for ISVD1-4.
+	lo, hi, mid *eig.SVDResult
+	// resAcc is the accumulated relative discarded singular mass since
+	// the last refresh (the RefreshAuto budget variable).
+	resAcc float64
+}
+
+// Updatable reports whether this decomposition retains the incremental
+// engine state (it was produced with Options.Updatable, or by Update).
+func (d *Decomposition) Updatable() bool { return d.state != nil }
+
+// UpdateResidual returns the accumulated relative discarded singular
+// mass since the last full solve or refresh — the fraction of
+// Options.RefreshBudget already spent. Zero for non-updatable
+// decompositions.
+func (d *Decomposition) UpdateResidual() float64 {
+	if d.state == nil {
+		return 0
+	}
+	return d.state.resAcc
+}
+
+// validateUpdatable rejects Updatable configurations the factor-state
+// engine cannot serve: exact interval algebra (the state pipeline runs
+// the endpoint min/max kernels), and ISVD2-4 on data with negative
+// endpoints — the interval Gram then does not separate into the
+// per-endpoint Grams the factor states represent.
+// nonNegative is queried lazily, only for the configurations that need
+// the O(m·n) endpoint scan (Updatable ISVD2-4).
+func validateUpdatable(method Method, opts Options, nonNegative func() bool) error {
+	if !opts.Updatable {
+		return nil
+	}
+	if opts.ExactAlgebra {
+		return fmt.Errorf("core: Updatable requires endpoint algebra (ExactAlgebra is unsupported)")
+	}
+	if method >= ISVD2 && method <= ISVD4 && !nonNegative() {
+		return fmt.Errorf("core: Updatable %v requires entrywise non-negative endpoints (the interval Gram must separate per endpoint); use ISVD0/ISVD1 or drop Updatable", method)
+	}
+	return nil
+}
+
+// captureState records the incremental engine state on d. Factors are
+// deep-cloned: the pipeline mutates the hi side in place during ILSA,
+// and callers own the returned Decomposition.
+func captureState(d *Decomposition, op operand, opts Options, lo, hi, mid *eig.SVDResult) {
+	st := &updState{opts: opts, m: op.toICSR()}
+	if mid != nil {
+		st.mid = sanitizeState(cloneSVD(mid))
+	}
+	if lo != nil {
+		st.lo = sanitizeState(cloneSVD(lo))
+	}
+	if hi != nil {
+		st.hi = sanitizeState(cloneSVD(hi))
+	}
+	d.state = st
+}
+
+// stateSigmaTol clamps captured singular values below stateSigmaTol
+// times the largest to zero: a rank-r truncation of lower-rank data
+// leaves eigen-rounding noise in the trailing values — Gram eigenvalues
+// carry ~eps·λ₁ absolute noise, so their square roots sit at ~√eps·σ₁ ≈
+// 1.5e-8·σ₁ — and ISVD2-4's U recovery divides by them, producing
+// garbage non-orthogonal factor columns. The update engine's invariant
+// is "factor columns are orthonormal or exactly zero per zero singular
+// value", so noise-level triples are zeroed on capture; the cut sits an
+// order of magnitude above the noise floor and an order below the
+// engine's 1e-6 agreement contract.
+const stateSigmaTol = 1e-7
+
+// sanitizeState enforces the update-engine factor invariant on a freshly
+// captured state, in place: singular values at rounding-noise level
+// become exactly zero along with their U and V columns.
+func sanitizeState(f *eig.SVDResult) *eig.SVDResult {
+	var smax float64
+	for _, s := range f.S {
+		if s > smax {
+			smax = s
+		}
+	}
+	for j, s := range f.S {
+		if s > stateSigmaTol*smax {
+			continue
+		}
+		f.S[j] = 0
+		for i := 0; i < f.U.Rows; i++ {
+			f.U.Data[i*f.U.Cols+j] = 0
+		}
+		for i := 0; i < f.V.Rows; i++ {
+			f.V.Data[i*f.V.Cols+j] = 0
+		}
+	}
+	return f
+}
+
+// cloneSVD deep-copies a factor triple; Truncate at full rank is
+// already documented as a fully independent copy.
+func cloneSVD(f *eig.SVDResult) *eig.SVDResult { return f.Truncate(len(f.S)) }
+
+// UpdateSparse folds a batch delta into an updatable decomposition and
+// returns the refreshed decomposition; it is Decomposition.Update as a
+// free function, mirroring DecomposeSparse.
+func UpdateSparse(d *Decomposition, delta Delta, opts Options) (*Decomposition, error) {
+	return d.Update(delta, opts)
+}
+
+// Update folds a batch delta into this updatable decomposition: the
+// sparse matrix copy absorbs the delta, the endpoint factor states take
+// a Brand-style low-rank update (or a warm-started truncated re-solve,
+// per opts.Refresh and the accumulated residual budget), and the
+// method's align/solve/construct stages re-run from the factors. The
+// receiver is not modified — it keeps serving — and the returned
+// decomposition carries the advanced state for the next batch.
+//
+// opts controls the update step only: Refresh and RefreshBudget select
+// the refresh policy, Workers bounds this update's fan-outs (zero
+// falls back to the decompose-time setting). The structural options —
+// Rank, Target, Assign, Solver, thresholds — are fixed at decompose
+// time and ignored here.
+func (d *Decomposition) Update(delta Delta, opts Options) (*Decomposition, error) {
+	st := d.state
+	if st == nil {
+		return nil, fmt.Errorf("core: Update: decomposition does not carry update state (decompose with Options.Updatable)")
+	}
+	base := st.opts
+	workers := opts.Workers
+	if workers == 0 {
+		workers = base.Workers
+	}
+	budget := opts.RefreshBudget
+	if budget == 0 {
+		budget = defaultRefreshBudget
+	}
+	if delta.empty() {
+		return nil, fmt.Errorf("core: Update: empty delta")
+	}
+	if err := validateDelta(d.Method, delta); err != nil {
+		return nil, fmt.Errorf("core: Update: %w", err)
+	}
+
+	m2 := st.m
+	lo, hi, mid := st.lo, st.hi, st.mid
+	resAcc := st.resAcc
+	rank := base.Rank
+
+	// account folds one side's discarded mass into the running budget as
+	// a fraction of that side's spectral Frobenius norm.
+	account := func(f *eig.SVDResult, disc float64) {
+		if disc == 0 {
+			return
+		}
+		var norm float64
+		for _, s := range f.S {
+			norm += s * s
+		}
+		if norm == 0 {
+			resAcc = math.Inf(1)
+			return
+		}
+		resAcc += disc / math.Sqrt(norm)
+	}
+
+	// sideUpdate applies one batch stage to every maintained factor side
+	// (lo/hi pair concurrently, or the single mid side for ISVD0).
+	sideUpdate := func(stage func(f *eig.SVDResult, side int) (*eig.SVDResult, float64, error)) error {
+		if mid != nil {
+			nf, disc, err := stage(mid, sideMid)
+			if err != nil {
+				return err
+			}
+			account(nf, disc)
+			mid = nf
+			return nil
+		}
+		nlo, nhi, discLo, discHi, err := update.Pair(workers,
+			func() (*eig.SVDResult, float64, error) { return stage(lo, sideLo) },
+			func() (*eig.SVDResult, float64, error) { return stage(hi, sideHi) },
+		)
+		if err != nil {
+			return err
+		}
+		account(nlo, discLo)
+		account(nhi, discHi)
+		lo, hi = nlo, nhi
+		return nil
+	}
+
+	if delta.AppendRows != nil {
+		b := delta.AppendRows
+		if err := ValidateSparseInput(b); err != nil {
+			return nil, fmt.Errorf("core: Update: appended rows: %w", err)
+		}
+		next, err := sparse.AppendRows(m2, b)
+		if err != nil {
+			return nil, fmt.Errorf("core: Update: %w", err)
+		}
+		if err := sideUpdate(func(f *eig.SVDResult, side int) (*eig.SVDResult, float64, error) {
+			return update.AppendRows(f, sideDense(b, side), rank)
+		}); err != nil {
+			return nil, fmt.Errorf("core: Update: append rows: %w", err)
+		}
+		m2 = next
+	}
+	if delta.AppendCols != nil {
+		b := delta.AppendCols
+		if err := ValidateSparseInput(b); err != nil {
+			return nil, fmt.Errorf("core: Update: appended cols: %w", err)
+		}
+		next, err := sparse.AppendCols(m2, b)
+		if err != nil {
+			return nil, fmt.Errorf("core: Update: %w", err)
+		}
+		if err := sideUpdate(func(f *eig.SVDResult, side int) (*eig.SVDResult, float64, error) {
+			return update.AppendCols(f, sideDense(b, side), rank)
+		}); err != nil {
+			return nil, fmt.Errorf("core: Update: append cols: %w", err)
+		}
+		m2 = next
+	}
+	if len(delta.Patch) > 0 {
+		// Derive the additive per-side deltas from the currently stored
+		// values (set semantics in, additive factor update out), then
+		// apply the patch to the matrix.
+		next, err := m2.ApplyPatch(delta.Patch)
+		if err != nil {
+			return nil, fmt.Errorf("core: Update: %w", err)
+		}
+		adds := make([][]sparse.Triplet, 3)
+		for _, t := range delta.Patch {
+			if math.IsNaN(t.Lo) || math.IsInf(t.Lo, 0) || math.IsNaN(t.Hi) || math.IsInf(t.Hi, 0) {
+				return nil, fmt.Errorf("core: Update: patch cell (%d, %d) has NaN or Inf endpoints", t.Row, t.Col)
+			}
+			if t.Lo > t.Hi {
+				return nil, fmt.Errorf("core: Update: patch cell (%d, %d) is misordered (lo > hi)", t.Row, t.Col)
+			}
+			old := m2.At(t.Row, t.Col)
+			for side, dv := range [3]float64{
+				sideLo:  t.Lo - old.Lo,
+				sideHi:  t.Hi - old.Hi,
+				sideMid: (t.Lo+t.Hi)/2 - (old.Lo+old.Hi)/2,
+			} {
+				if dv != 0 {
+					adds[side] = append(adds[side], sparse.Triplet{Row: t.Row, Col: t.Col, Val: dv})
+				}
+			}
+		}
+		if err := sideUpdate(func(f *eig.SVDResult, side int) (*eig.SVDResult, float64, error) {
+			return update.CellPatch(f, adds[side], rank)
+		}); err != nil {
+			return nil, fmt.Errorf("core: Update: patch: %w", err)
+		}
+		m2 = next
+	}
+
+	// Refresh policy: re-solve the factor states from the updated matrix
+	// with a warm-started truncated solve when the policy (or the
+	// accumulated residual budget) calls for it.
+	needRefresh := false
+	switch opts.Refresh {
+	case RefreshAlways:
+		needRefresh = true
+	case RefreshNever:
+	default:
+		needRefresh = resAcc > budget
+	}
+	if needRefresh {
+		if mid != nil {
+			nf, err := warmSolve(m2.MidCSR(), mid, rank, base.Solver)
+			if err != nil {
+				return nil, fmt.Errorf("core: Update: refresh: %w", err)
+			}
+			mid = nf
+		} else {
+			var nlo, nhi *eig.SVDResult
+			var errLo, errHi error
+			parallel.DoWith(workers,
+				func() { nlo, errLo = warmSolve(m2.LoCSR(), lo, rank, base.Solver) },
+				func() { nhi, errHi = warmSolve(m2.HiCSR(), hi, rank, base.Solver) },
+			)
+			if errLo != nil {
+				return nil, fmt.Errorf("core: Update: refresh min side: %w", errLo)
+			}
+			if errHi != nil {
+				return nil, fmt.Errorf("core: Update: refresh max side: %w", errHi)
+			}
+			lo, hi = nlo, nhi
+		}
+		resAcc = 0
+	}
+
+	// Re-run the method's pipeline from the updated factor states; the
+	// operand answers the decomposition steps from the factors and the
+	// solve-step products from the updated matrix. The per-call Workers
+	// override applies to this re-run but must not stick to the chain:
+	// the captured state's options are restored below.
+	reopts := base
+	reopts.Workers = workers
+	op := updateOperand{m: m2, lo: lo, hi: hi, mid: mid}
+	var d2 *Decomposition
+	var err error
+	switch d.Method {
+	case ISVD0:
+		d2, err = decomposeISVD0(op, reopts)
+	case ISVD1:
+		d2, err = decomposeISVD1(op, reopts)
+	case ISVD2:
+		d2, err = decomposeISVD2(op, reopts)
+	case ISVD3:
+		d2, err = decomposeISVD3(op, reopts)
+	case ISVD4:
+		d2, err = decomposeISVD4(op, reopts)
+	default:
+		return nil, fmt.Errorf("core: Update: unsupported method %v", d.Method)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d2.state.resAcc = resAcc
+	d2.state.opts.Workers = base.Workers
+	return d2, nil
+}
+
+// validateDelta rejects deltas the maintained factor states cannot
+// absorb: for ISVD2-4 the data must stay entrywise non-negative (see
+// validateUpdatable).
+func validateDelta(method Method, delta Delta) error {
+	if method < ISVD2 || method > ISVD4 {
+		return nil
+	}
+	check := func(m *sparse.ICSR, what string) error {
+		if m != nil && !m.NonNegative() {
+			return fmt.Errorf("%s introduce negative endpoints; updatable %v requires non-negative data", what, method)
+		}
+		return nil
+	}
+	if err := check(delta.AppendRows, "appended rows"); err != nil {
+		return err
+	}
+	if err := check(delta.AppendCols, "appended cols"); err != nil {
+		return err
+	}
+	for _, t := range delta.Patch {
+		if t.Lo < 0 {
+			return fmt.Errorf("patch cell (%d, %d) introduces a negative endpoint; updatable %v requires non-negative data", t.Row, t.Col, method)
+		}
+	}
+	return nil
+}
+
+// Factor sides of the update engine.
+const (
+	sideLo = iota
+	sideHi
+	sideMid
+)
+
+// sideDense densifies one endpoint (or the midpoint) of a sparse batch
+// block — batches are small, so the dense block the factor update needs
+// is c×n (or m×c) transient.
+func sideDense(b *sparse.ICSR, side int) *matrix.Dense {
+	switch side {
+	case sideLo:
+		return b.LoCSR().ToDense()
+	case sideHi:
+		return b.HiCSR().ToDense()
+	default:
+		return b.MidCSR().ToDense()
+	}
+}
+
+// updateOperand plugs the maintained factor states into the shared
+// ISVD0-4 pipeline: the decomposition steps (svdMid, svdEndpoints,
+// gramEig) are answered from the factors without any iteration — that
+// is the entire point of the incremental engine — while the solve-step
+// products (the ISVD2 U recovery and the ISVD3/4 interval algebra) run
+// against the updated sparse matrix on the CSR kernels, exactly like
+// sparseOperand. Align, solve, and construct therefore re-run unchanged
+// on updated inputs, so an updated decomposition agrees with a full
+// re-decomposition to the accuracy of the factor states themselves.
+type updateOperand struct {
+	m           *sparse.ICSR
+	lo, hi, mid *eig.SVDResult
+}
+
+func (o updateOperand) rows() int            { return o.m.Rows }
+func (o updateOperand) cols() int            { return o.m.Cols }
+func (o updateOperand) toICSR() *sparse.ICSR { return o.m }
+
+func (o updateOperand) svdMid(opts Options) (*eig.SVDResult, time.Duration, time.Duration, error) {
+	return cloneSVD(o.mid), 0, 0, nil
+}
+
+func (o updateOperand) svdEndpoints(opts Options) (*eig.SVDResult, *eig.SVDResult, error) {
+	// Clones: the pipeline's ILSA step mutates the hi side in place.
+	return cloneSVD(o.lo), cloneSVD(o.hi), nil
+}
+
+func (o updateOperand) gramEig(opts Options) (vLo, vHi *matrix.Dense, sLo, sHi []float64, pre, dec time.Duration, err error) {
+	return o.lo.V.Clone(), o.hi.V.Clone(),
+		append([]float64(nil), o.lo.S...), append([]float64(nil), o.hi.S...),
+		0, 0, nil
+}
+
+func (o updateOperand) mulEndpointsRight(s *matrix.Dense, opts Options) *imatrix.IMatrix {
+	return sparse.MulEndpointsDense(o.m, s)
+}
+
+func (o updateOperand) mulEndpointsLeft(s *matrix.Dense, opts Options) *imatrix.IMatrix {
+	return sparse.MulDenseEndpoints(s, o.m)
+}
+
+func (o updateOperand) applyLo(v *matrix.Dense) *matrix.Dense {
+	return sparse.MulDense(o.m.LoCSR(), v)
+}
+
+func (o updateOperand) applyHi(v *matrix.Dense) *matrix.Dense {
+	return sparse.MulDense(o.m.HiCSR(), v)
+}
+
+// warmSolve re-decomposes one factor side from the updated matrix,
+// seeded with the current factors: on drifted data the warm-started
+// truncated solver converges in a sweep or two. Falls back to the cold
+// routed solver (and ultimately the dense full solver) when the
+// truncated iteration is not profitable or does not converge.
+func warmSolve(csr *sparse.CSR, prev *eig.SVDResult, rank int, solver eig.Solver) (*eig.SVDResult, error) {
+	minDim := csr.Rows
+	if csr.Cols < minDim {
+		minDim = csr.Cols
+	}
+	if rank > minDim {
+		rank = minDim
+	}
+	if solver.UseTruncated(rank, minDim) {
+		res, err := eig.TruncatedSVDOpts(sparse.NewOperator(csr), rank,
+			eig.Options{StartU: prev.U, StartV: prev.V})
+		if err == nil {
+			return res, nil
+		}
+		if err != eig.ErrNoConvergence {
+			return nil, err
+		}
+	}
+	return sparseSVD(csr, rank, eig.SolverFull)
+}

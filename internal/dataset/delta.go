@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/sparse"
+)
+
+// StreamSplit partitions the stored cells of m into a base cell set and
+// `batches` arriving cell batches carrying ~frac of the cells in total
+// (at least one cell per batch): the reproducible stream split shared by
+// cmd/datagen's -batches files and the experiments streaming scenario.
+// The split is a pure function of (m, frac, batches, rng state): a
+// deterministic shuffle with the stream taken from the tail, so the base
+// keeps a uniform sample, then a contiguous even split into batches.
+func StreamSplit(m *sparse.ICSR, frac float64, batches int, rng *rand.Rand) (base []sparse.ITriplet, deltas [][]sparse.ITriplet, err error) {
+	if batches <= 0 {
+		return nil, nil, fmt.Errorf("dataset: StreamSplit: %d batches", batches)
+	}
+	cells := make([]sparse.ITriplet, 0, m.NNZ())
+	m.ForEachRow(func(i int, cols []int, lo, hi []float64) {
+		for p, j := range cols {
+			cells = append(cells, sparse.ITriplet{Row: i, Col: j, Lo: lo[p], Hi: hi[p]})
+		}
+	})
+	streamN := int(float64(len(cells)) * frac)
+	if streamN < batches {
+		streamN = batches
+	}
+	if streamN >= len(cells) {
+		return nil, nil, fmt.Errorf("dataset: StreamSplit: matrix has %d observed cells, too few for %d batches", len(cells), batches)
+	}
+	rng.Shuffle(len(cells), func(a, b int) { cells[a], cells[b] = cells[b], cells[a] })
+	base, stream := cells[:len(cells)-streamN], cells[len(cells)-streamN:]
+	deltas = make([][]sparse.ITriplet, batches)
+	for k := 0; k < batches; k++ {
+		deltas[k] = stream[k*len(stream)/batches : (k+1)*len(stream)/batches]
+	}
+	return base, deltas, nil
+}
+
+// Delta COO format: the same CSV layout as the interval COO format —
+// header "rows,cols", then "row,col,value" records — but interpreted as
+// a cell-patch batch against a base matrix of known shape: the header
+// must match the base dimensions exactly (a hostile or stale delta file
+// cannot silently resize the matrix), every record patches one cell
+// inside the base shape, and duplicate cells within one batch are
+// errors (a batch must be an unambiguous set of cell assignments).
+// cmd/datagen's -batches flag emits these files; core.Delta.Patch
+// consumes the triplets.
+
+// WriteDeltaCOO writes a patch batch in the delta COO format for a base
+// matrix of the given shape; sparse.FromICOO sorts the triplets by
+// (row, col) — so the output is uniquely determined by the batch's cell
+// set — and rejects out-of-range and duplicate cells, and misordered or
+// non-finite intervals are rejected here: everything ReadDeltaCOO would
+// refuse fails at write time, not when the persisted file is consumed.
+func WriteDeltaCOO(w io.Writer, rows, cols int, ts []sparse.ITriplet) error {
+	for _, t := range ts {
+		if math.IsNaN(t.Lo) || math.IsInf(t.Lo, 0) || math.IsNaN(t.Hi) || math.IsInf(t.Hi, 0) {
+			return fmt.Errorf("dataset: WriteDeltaCOO: cell (%d, %d) has a non-finite endpoint", t.Row, t.Col)
+		}
+		if t.Lo > t.Hi {
+			return fmt.Errorf("dataset: WriteDeltaCOO: cell (%d, %d) is misordered (lo > hi)", t.Row, t.Col)
+		}
+	}
+	m, err := sparse.FromICOO(rows, cols, ts)
+	if err != nil {
+		return fmt.Errorf("dataset: WriteDeltaCOO: %w", err)
+	}
+	return WriteIntervalCOO(w, m)
+}
+
+// ReadDeltaCOO parses a delta COO file as a patch batch against a base
+// matrix of the given shape. The file's header must match the base
+// shape; out-of-range cells, duplicate patches, misordered intervals,
+// and non-finite values are errors. Triplets are returned sorted by
+// (row, col).
+func ReadDeltaCOO(r io.Reader, rows, cols int) ([]sparse.ITriplet, error) {
+	// The shared reader already enforces in-range indices (against the
+	// header shape), duplicate-free cells, finite values, and ordered
+	// intervals; the delta layer adds the base-shape pin.
+	m, err := ReadIntervalCOO(r)
+	if err != nil {
+		return nil, err
+	}
+	if m.Rows != rows || m.Cols != cols {
+		return nil, fmt.Errorf("dataset: delta header %dx%d does not match base matrix %dx%d", m.Rows, m.Cols, rows, cols)
+	}
+	ts := make([]sparse.ITriplet, 0, m.NNZ())
+	m.ForEachRow(func(i int, colInd []int, lo, hi []float64) {
+		for p, j := range colInd {
+			ts = append(ts, sparse.ITriplet{Row: i, Col: j, Lo: lo[p], Hi: hi[p]})
+		}
+	})
+	return ts, nil
+}

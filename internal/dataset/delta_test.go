@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+func TestDeltaCOORoundTrip(t *testing.T) {
+	ts := []sparse.ITriplet{
+		{Row: 2, Col: 1, Lo: 1.5, Hi: 1.5},
+		{Row: 0, Col: 4, Lo: -2, Hi: 3},
+		{Row: 2, Col: 0, Lo: 0, Hi: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteDeltaCOO(&buf, 5, 6, ts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDeltaCOO(&buf, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("got %d patches, want 3", len(back))
+	}
+	// Sorted by (row, col).
+	want := []sparse.ITriplet{
+		{Row: 0, Col: 4, Lo: -2, Hi: 3},
+		{Row: 2, Col: 0, Lo: 0, Hi: 0},
+		{Row: 2, Col: 1, Lo: 1.5, Hi: 1.5},
+	}
+	for k := range want {
+		if back[k] != want[k] {
+			t.Fatalf("patch %d: got %+v want %+v", k, back[k], want[k])
+		}
+	}
+}
+
+func TestDeltaCOOValidation(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"header mismatch rows", "6,6\n0,0,1\n"},
+		{"header mismatch cols", "5,7\n0,0,1\n"},
+		{"out of range", "5,6\n5,0,1\n"},
+		{"duplicate", "5,6\n1,1,1\n1,1,2\n"},
+		{"misordered", "5,6\n0,0,3..1\n"},
+		{"non-finite", "5,6\n0,0,Inf\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ReadDeltaCOO(strings.NewReader(tc.in), 5, 6); err == nil {
+			t.Errorf("%s: accepted %q", tc.name, tc.in)
+		}
+	}
+	// Empty batch is legal.
+	ts, err := ReadDeltaCOO(strings.NewReader("5,6\n"), 5, 6)
+	if err != nil || len(ts) != 0 {
+		t.Errorf("empty batch: %v, %d patches", err, len(ts))
+	}
+	// Writer rejects out-of-range cells too.
+	var buf bytes.Buffer
+	if err := WriteDeltaCOO(&buf, 2, 2, []sparse.ITriplet{{Row: 2, Col: 0}}); err == nil {
+		t.Error("WriteDeltaCOO accepted out-of-range cell")
+	}
+}

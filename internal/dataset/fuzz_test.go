@@ -55,6 +55,65 @@ func FuzzReadIntervalCSV(f *testing.F) {
 	})
 }
 
+func FuzzReadDeltaCOO(f *testing.F) {
+	seeds := []string{
+		"4,3\n0,0,1\n3,2,2..3\n",  // in-range patches
+		"4,3\n",                   // empty batch
+		"4,3\n0,0,1\n0,0,2\n",     // duplicate patch
+		"4,3\n4,0,1\n",            // row at base boundary (out of range)
+		"4,3\n0,3,1\n",            // col at base boundary
+		"5,3\n0,0,1\n",            // header taller than base
+		"4,4\n0,0,1\n",            // header wider than base
+		"4,3\n-1,0,1\n",           // negative index
+		"4,3\n0,0,5..1\n",         // misordered interval
+		"4,3\n0,0,NaN\n",          // non-finite value
+		"99999999999,3\n0,0,1\n",  // hostile header
+		"16777217,3\n",            // above the dim cap
+		"x,3\n", "4\n", "4,3,9\n", // malformed headers
+		"4,3\n0,0\n", "4,3\na,0,1\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	const baseRows, baseCols = 4, 3
+	f.Fuzz(func(t *testing.T, in string) {
+		ts, err := ReadDeltaCOO(strings.NewReader(in), baseRows, baseCols)
+		if err != nil {
+			return
+		}
+		// Accepted batch: every patch targets a base cell, no duplicates,
+		// ordered finite intervals, and a write/read round trip preserves
+		// the set.
+		for k, p := range ts {
+			if p.Row < 0 || p.Row >= baseRows || p.Col < 0 || p.Col >= baseCols {
+				t.Fatalf("accepted out-of-range patch (%d, %d) from %q", p.Row, p.Col, in)
+			}
+			if p.Lo > p.Hi {
+				t.Fatalf("accepted misordered patch from %q", in)
+			}
+			if k > 0 && ts[k-1].Row == p.Row && ts[k-1].Col == p.Col {
+				t.Fatalf("accepted duplicate patch (%d, %d) from %q", p.Row, p.Col, in)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteDeltaCOO(&buf, baseRows, baseCols, ts); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadDeltaCOO(&buf, baseRows, baseCols)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if len(back) != len(ts) {
+			t.Fatalf("round trip count %d, want %d", len(back), len(ts))
+		}
+		for k := range ts {
+			if back[k] != ts[k] {
+				t.Fatalf("round trip patch %d differs", k)
+			}
+		}
+	})
+}
+
 func FuzzReadIntervalCOO(f *testing.F) {
 	seeds := []string{
 		"2,2\n0,0,1\n1,1,2..3\n",

@@ -209,6 +209,31 @@ func (g *coGramOp) ApplySym(dst, x *matrix.Dense) {
 	g.op.Apply(dst, g.work)
 }
 
+// Options configures the truncated solvers beyond the target rank; the
+// zero value reproduces the cold-start behavior of TruncatedSymEig and
+// TruncatedSVD exactly.
+type Options struct {
+	// Start seeds TruncatedSymEigOpts' subspace iteration with an initial
+	// block of column vectors (dim×k, k ≥ 1) instead of the fixed random
+	// start — typically the eigenvector block of a previous decomposition
+	// of a drifted operator, which converges in one or two sweeps instead
+	// of from scratch. Columns beyond the iteration block size are
+	// ignored; when k is below the block size the remaining directions
+	// are filled from the fixed seeded generator, so the iteration always
+	// carries the full oversampled block. The result is bitwise
+	// deterministic given the same Start for any worker count.
+	Start *matrix.Dense
+	// StartU (rows×k) and StartV (cols×k) seed TruncatedSVDOpts from a
+	// previous decomposition's singular factors. The solver iterates on
+	// the Gram operator of the smaller side, so it uses StartV when
+	// rows ≥ cols and StartU otherwise; the unused side may be nil.
+	StartU, StartV *matrix.Dense
+	// Sweeps, when non-nil, receives the number of subspace sweeps the
+	// iteration ran (diagnostics: the warm-start win is exactly the
+	// sweeps it saves).
+	Sweeps *int
+}
+
 const (
 	// truncSeed seeds the starting block. It is a fixed constant — the
 	// deterministic-replay contract of this repository forbids
@@ -249,9 +274,22 @@ func truncMaxIter(n, b int) int {
 // spectra too flat to converge within the iteration budget it returns
 // ErrNoConvergence; callers fall back to the full solver.
 func TruncatedSymEig(op SymOp, rank int) (vals []float64, vecs *matrix.Dense, err error) {
+	return TruncatedSymEigOpts(op, rank, Options{})
+}
+
+// TruncatedSymEigOpts is TruncatedSymEig with solver options: with a warm
+// Start block (the eigenvectors of a previous decomposition of a drifted
+// operator) the iteration begins inside — or near — the invariant
+// subspace it is chasing and typically converges in one or two sweeps,
+// which is the refresh path of the incremental-update engine
+// (internal/update, core.UpdateSparse).
+func TruncatedSymEigOpts(op SymOp, rank int, o Options) (vals []float64, vecs *matrix.Dense, err error) {
 	n := op.Dim()
 	if rank <= 0 || rank > n {
 		return nil, nil, fmt.Errorf("eig: TruncatedSymEig: rank %d out of range for dimension %d", rank, n)
+	}
+	if o.Start != nil && o.Start.Rows != n {
+		return nil, nil, fmt.Errorf("eig: TruncatedSymEig: start block has %d rows, want %d", o.Start.Rows, n)
 	}
 	b := rank + Oversample(rank)
 	if b > n {
@@ -265,9 +303,25 @@ func TruncatedSymEig(op SymOp, rank int) (vals []float64, vecs *matrix.Dense, er
 	av := matrix.New(n, b) // their images A·V = Z·W
 	t := matrix.New(b, b)  // projected operator QᵀAQ
 
-	// Deterministic start: fixed seed, serial fill in index order.
+	// Deterministic start: warm-start columns first (in order), then the
+	// fixed-seed serial fill for the remaining block directions. The rng
+	// stream depends only on how many rows it fills, so the start block
+	// is a pure function of (op dims, rank, o.Start).
+	warm := 0
+	if o.Start != nil {
+		warm = o.Start.Cols
+		if warm > b {
+			warm = b
+		}
+		for j := 0; j < warm; j++ {
+			row := qt.RowView(j)
+			for i := 0; i < n; i++ {
+				row[i] = o.Start.Data[i*o.Start.Cols+j]
+			}
+		}
+	}
 	rng := rand.New(rand.NewSource(truncSeed))
-	for i := range qt.Data {
+	for i := warm * n; i < len(qt.Data); i++ {
 		qt.Data[i] = rng.NormFloat64()
 	}
 	orthonormalizeRows(qt)
@@ -277,6 +331,9 @@ func TruncatedSymEig(op SymOp, rank int) (vals []float64, vecs *matrix.Dense, er
 	prevRes := math.Inf(1)
 	stalled := 0
 	for iter := 0; iter < maxIter; iter++ {
+		if o.Sweeps != nil {
+			*o.Sweeps = iter + 1
+		}
 		op.ApplySym(z, q)
 		matrix.TMulInto(t, q, z)
 		symmetrizeInPlace(t)
@@ -362,6 +419,16 @@ func TruncatedSymEig(op SymOp, rank int) (vals []float64, vecs *matrix.Dense, er
 // columns in the recovered factor. Returns ErrNoConvergence like
 // TruncatedSymEig.
 func TruncatedSVD(op Op, rank int) (*SVDResult, error) {
+	return TruncatedSVDOpts(op, rank, Options{})
+}
+
+// TruncatedSVDOpts is TruncatedSVD with solver options: Options.StartU /
+// StartV seed the internal Gram-operator subspace iteration from a
+// previous decomposition's factors (the solver picks StartV when
+// rows ≥ cols, StartU otherwise), so a re-solve of a drifted matrix — the
+// warm-refresh path of the incremental-update engine — converges in a
+// sweep or two instead of from scratch.
+func TruncatedSVDOpts(op Op, rank int, o Options) (*SVDResult, error) {
 	m, n := op.Dims()
 	minDim := m
 	if n < minDim {
@@ -371,7 +438,7 @@ func TruncatedSVD(op Op, rank int) (*SVDResult, error) {
 		return nil, fmt.Errorf("eig: TruncatedSVD: rank %d out of range for %dx%d", rank, m, n)
 	}
 	if m >= n {
-		vals, v, err := TruncatedSymEig(NewGramOp(op), rank)
+		vals, v, err := TruncatedSymEigOpts(NewGramOp(op), rank, Options{Start: o.StartV, Sweeps: o.Sweeps})
 		if err != nil {
 			return nil, err
 		}
@@ -382,7 +449,7 @@ func TruncatedSVD(op Op, rank int) (*SVDResult, error) {
 		canonicalizeSVDSigns(u, v)
 		return &SVDResult{U: u, S: s, V: v}, nil
 	}
-	vals, u, err := TruncatedSymEig(NewCoGramOp(op), rank)
+	vals, u, err := TruncatedSymEigOpts(NewCoGramOp(op), rank, Options{Start: o.StartU, Sweeps: o.Sweeps})
 	if err != nil {
 		return nil, err
 	}

@@ -226,3 +226,23 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatalf("Full: %+v", f)
 	}
 }
+
+func TestStreamScenario(t *testing.T) {
+	// A tiny run: the scenario must produce per-batch speedups, a
+	// near-zero RefreshAuto gap (warm refresh resets drift), and an
+	// additive-path gap that the residual column accounts for.
+	cfg := Config{Seed: 1, Trials: 1, Scale: 0.1}
+	res, err := Run("stream", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["speedup_mean"] <= 1 {
+		t.Errorf("additive update not faster than full recompute: mean speedup %.2f", res.Values["speedup_mean"])
+	}
+	if res.Values["recon_gap_auto"] > 1e-6 {
+		t.Errorf("RefreshAuto gap %g, want <= 1e-6 (warm refresh must track the recompute)", res.Values["recon_gap_auto"])
+	}
+	if !strings.Contains(res.Text, "speedup") {
+		t.Error("missing speedup column")
+	}
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+func init() {
+	register("stream", "Streaming updates: per-batch latency of the incremental factor engine vs full redecomposition (ratings arriving in B batches)", runStream)
+}
+
+// streamBatches is the number of arriving batches the scenario replays;
+// together the batches carry streamHoldout of the observed cells.
+const (
+	streamBatches = 5
+	streamHoldout = 0.10
+)
+
+// runStream replays the production scenario of the ROADMAP's batched
+// decomposition service: a ratings matrix is decomposed once, then new
+// ratings arrive in batches and each batch is (a) folded into the
+// decomposition with core's incremental factor-update engine and
+// (b) absorbed by a full re-decomposition, timing both. The decisive
+// comparison is the per-batch latency ratio — the additive update costs
+// O(delta), the full recompute O(NNZ·r) per solver sweep — and the
+// engine's output is pinned against the recompute at 1e-6 by the core
+// property tests, so this experiment reports timing, residual-budget
+// use, and the reconstruction gap as a sanity line.
+func runStream(cfg Config) (*Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rc := ratingsConfig(cfg, dataset.MovieLensLike())
+	data, err := dataset.GenerateRatings(rc, rng)
+	if err != nil {
+		return nil, err
+	}
+	full := data.CFIntervalsCSR()
+
+	// Stable split: hold out streamHoldout of the observed cells as the
+	// arriving stream, in streamBatches batches (the same split datagen
+	// -batches writes to disk).
+	baseCells, deltas, err := dataset.StreamSplit(full, streamHoldout, streamBatches, rng)
+	if err != nil {
+		return nil, fmt.Errorf("stream: %w", err)
+	}
+	base, err := sparse.FromICOO(full.Rows, full.Cols, baseCells)
+	if err != nil {
+		return nil, err
+	}
+
+	rank := 10
+	if m := min(full.Rows, full.Cols); rank > m {
+		rank = m
+	}
+	opts := core.Options{Rank: rank, Target: core.TargetB, Solver: cfg.Solver, Workers: cfg.Workers, Updatable: true}
+	refOpts := opts
+	refOpts.Updatable = false
+
+	t0 := time.Now()
+	d, err := core.DecomposeSparse(base, core.ISVD4, opts)
+	if err != nil {
+		return nil, err
+	}
+	coldTime := time.Since(t0)
+
+	tbl := &table{header: []string{"batch", "cells", "update_ms", "full_ms", "speedup", "residual"}}
+	vals := map[string]float64{"cold_ms": coldTime.Seconds() * 1000}
+	cur := base
+	dAuto := d
+	var speedups []float64
+	var lastRef *core.Decomposition
+	var autoTotal time.Duration
+	streamN := 0
+	for _, b := range deltas {
+		streamN += len(b)
+	}
+	for k := 0; k < streamBatches; k++ {
+		batch := deltas[k]
+		delta := core.Delta{Patch: batch}
+
+		// The additive chain: pure factor updates, no refreshes — the
+		// O(delta) latency floor of the engine.
+		t0 = time.Now()
+		d2, err := d.Update(delta, core.Options{Refresh: core.RefreshNever, Workers: cfg.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("stream: batch %d: %w", k+1, err)
+		}
+		updTime := time.Since(t0)
+
+		// The default-policy chain: RefreshAuto re-solves (warm-started)
+		// whenever the accumulated residual trips the 1% budget, bounding
+		// drift at the cost of refresh batches.
+		t0 = time.Now()
+		dAuto, err = dAuto.Update(delta, core.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("stream: auto batch %d: %w", k+1, err)
+		}
+		autoTotal += time.Since(t0)
+
+		cur, err = cur.ApplyPatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		// The baseline pays exactly what a non-streaming consumer would:
+		// no Updatable state capture.
+		t0 = time.Now()
+		lastRef, err = core.DecomposeSparse(cur, core.ISVD4, refOpts)
+		if err != nil {
+			return nil, err
+		}
+		fullTime := time.Since(t0)
+
+		sp := fullTime.Seconds() / math.Max(updTime.Seconds(), 1e-9)
+		speedups = append(speedups, sp)
+		tbl.addRow(fmt.Sprintf("%d", k+1), fmt.Sprintf("%d", len(batch)),
+			fmt.Sprintf("%.2f", updTime.Seconds()*1000), fmt.Sprintf("%.2f", fullTime.Seconds()*1000),
+			fmt.Sprintf("%.1fx", sp), fmt.Sprintf("%.2e", d2.UpdateResidual()))
+		d = d2
+	}
+	additiveGap := reconstructionGap(d, lastRef)
+	autoGap := reconstructionGap(dAuto, lastRef)
+	vals["speedup_mean"] = mean(speedups)
+	vals["recon_gap_additive"] = additiveGap
+	vals["recon_gap_auto"] = autoGap
+	text := fmt.Sprintf(
+		"%d x %d ratings, %d observed cells; base decomposition (ISVD4, r=%d, %s solver): %.1f ms\n"+
+			"%d batches streaming %d held-out cells through Decomposition.Update:\n%s"+
+			"final gap vs full recompute: additive-only %.2e (exact-rank deltas agree to 1e-6; full-spectrum\n"+
+			"data accumulates residual, tracked above), RefreshAuto %.2e at %.1f ms/batch (the 1%% budget\n"+
+			"schedules warm refreshes; on this flat CF spectrum the warm solve falls back to the full\n"+
+			"solver — the warm-start win on decaying spectra is pinned in BENCH_update.json)\n",
+		full.Rows, full.Cols, full.NNZ(), rank, cfg.Solver, coldTime.Seconds()*1000,
+		streamBatches, streamN, tbl.String(),
+		additiveGap, autoGap, autoTotal.Seconds()*1000/streamBatches)
+	return &Result{Text: text, Values: vals}, nil
+}
+
+// reconstructionGap returns the relative Frobenius distance between two
+// decompositions' interval reconstructions.
+func reconstructionGap(a, b *core.Decomposition) float64 {
+	ra, rb := a.Reconstruct(), b.Reconstruct()
+	var diff, norm float64
+	for i := range ra.Lo.Data {
+		d := ra.Lo.Data[i] - rb.Lo.Data[i]
+		diff += d * d
+		d = ra.Hi.Data[i] - rb.Hi.Data[i]
+		diff += d * d
+		norm += rb.Lo.Data[i]*rb.Lo.Data[i] + rb.Hi.Data[i]*rb.Hi.Data[i]
+	}
+	return math.Sqrt(diff) / math.Max(1, math.Sqrt(norm))
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/imatrix"
@@ -49,7 +50,10 @@ func (f factorSource) At(i, j int) interval.Interval {
 	return interval.Interval{Lo: lo, Hi: hi}
 }
 
-// Predictor predicts ratings from a low-rank interval source.
+// Predictor predicts ratings from a low-rank interval source. All
+// prediction methods (Predict, PredictInterval, TopN, TopNSparse) are
+// safe for concurrent use; ApplyDelta mutates the predictor and needs
+// external synchronization (see its doc).
 type Predictor struct {
 	src source
 	// Min and Max clamp predictions to the rating scale; Max <= Min
@@ -200,6 +204,40 @@ func BuildSparseISVD(ratings *sparse.ICSR, method core.Method, opts core.Options
 	return &Predictor{src: src, Min: minRating, Max: maxRating}, nil
 }
 
+// ApplyDelta folds a batch of arriving ratings (new cells, edited
+// cells, or appended users/items as rows/cols) into a live predictor
+// without rebuilding it: the underlying updatable decomposition absorbs
+// the delta through core's incremental factor-update engine
+// (Decomposition.Update — O(delta)-shaped, not O(dataset)) and the
+// predictor re-derives its lazy factor source from the result. Requires
+// a factor-backed ISVD predictor built from an updatable decomposition
+// (BuildSparseISVD with Options.Updatable). opts carries the update
+// policy knobs (Refresh, RefreshBudget, Workers).
+//
+// On error the predictor is left unchanged; on success prediction shape
+// may grow (appended rows/cols become predictable immediately).
+//
+// ApplyDelta mutates the predictor and must be externally synchronized
+// with concurrent Predict/PredictInterval/TopN calls. For lock-free
+// serving, update a decomposition on the side (it is functional — the
+// old one keeps serving) and swap in a fresh predictor instead.
+func (p *Predictor) ApplyDelta(delta core.Delta, opts core.Options) error {
+	ds, ok := p.src.(*decompSource)
+	if !ok {
+		return fmt.Errorf("recommend: ApplyDelta requires a factor-backed ISVD predictor (BuildSparseISVD)")
+	}
+	d2, err := ds.d.Update(delta, opts)
+	if err != nil {
+		return fmt.Errorf("recommend: ApplyDelta: %w", err)
+	}
+	src, err := newDecompSource(d2)
+	if err != nil {
+		return fmt.Errorf("recommend: ApplyDelta: %w", err)
+	}
+	p.src = src
+	return nil
+}
+
 // Rows and Cols report the prediction matrix shape.
 func (p *Predictor) Rows() int { return p.src.Rows() }
 
@@ -228,42 +266,107 @@ func (p *Predictor) Predict(i, j int) (float64, error) {
 	return iv.Mid(), nil
 }
 
+// topCand is one entry of TopN's bounded selection heap.
+type topCand struct {
+	j int
+	v float64
+}
+
+// worseThan orders the selection heap: the root is the candidate to
+// evict. Lower midpoint is worse; on ties the larger column index is
+// worse, so equal-valued predictions surface in ascending column order —
+// the ordering of the pre-heap selection-sort implementation.
+func (a topCand) worseThan(b topCand) bool {
+	return a.v < b.v || (a.v == b.v && a.j > b.j)
+}
+
+// topScratchPool recycles TopN selection heaps across calls and
+// goroutines: the serving path stays allocation-free (beyond the result
+// slice) without giving up the Predictor's concurrent-use contract.
+var topScratchPool = sync.Pool{New: func() any {
+	s := make([]topCand, 0, 64)
+	return &s
+}}
+
 // TopN returns the column indices of the n highest midpoint predictions
-// in row i, excluding the given already-rated columns.
+// in row i, excluding the given already-rated columns. It keeps a
+// size-n min-heap over the scanned columns (O(cols·log n), preallocated
+// scratch reused across calls) instead of materializing and
+// selection-sorting every candidate — the difference between O(cols)
+// transient garbage per request and none, on the hot serving path.
 func (p *Predictor) TopN(i, n int, exclude map[int]bool) ([]int, error) {
+	return p.topNSkip(i, n, func(j int) bool { return exclude[j] })
+}
+
+// topNSkip is the heap-selection core of TopN/TopNSparse; skip is
+// queried once per column in ascending order.
+func (p *Predictor) topNSkip(i, n int, skip func(j int) bool) ([]int, error) {
 	if i < 0 || i >= p.src.Rows() {
 		return nil, fmt.Errorf("%w: row %d", ErrShape, i)
 	}
-	type cand struct {
-		j int
-		v float64
+	if n < 0 {
+		n = 0
 	}
-	var cands []cand
+	sp := topScratchPool.Get().(*[]topCand)
+	h := (*sp)[:0]
 	for j := 0; j < p.src.Cols(); j++ {
-		if exclude[j] {
+		if skip(j) {
 			continue
 		}
 		iv, _ := p.PredictInterval(i, j)
-		cands = append(cands, cand{j, iv.Mid()})
-	}
-	// Partial selection sort: n is small.
-	if n > len(cands) {
-		n = len(cands)
-	}
-	for k := 0; k < n; k++ {
-		best := k
-		for t := k + 1; t < len(cands); t++ {
-			if cands[t].v > cands[best].v {
-				best = t
-			}
+		c := topCand{j: j, v: iv.Mid()}
+		if len(h) < n {
+			h = append(h, c)
+			siftUp(h, len(h)-1)
+			continue
 		}
-		cands[k], cands[best] = cands[best], cands[k]
+		if n == 0 || !h[0].worseThan(c) {
+			continue
+		}
+		h[0] = c
+		siftDown(h, 0)
 	}
-	out := make([]int, n)
-	for k := 0; k < n; k++ {
-		out[k] = cands[k].j
+	// Drain the heap worst-first into the output back-to-front: the
+	// result descends by midpoint, ascending column on ties.
+	out := make([]int, len(h))
+	full := h
+	for k := len(h) - 1; k >= 0; k-- {
+		out[k] = h[0].j
+		h[0] = h[k]
+		h = h[:k]
+		siftDown(h, 0)
 	}
+	*sp = full[:0]
+	topScratchPool.Put(sp)
 	return out, nil
+}
+
+func siftUp(h []topCand, k int) {
+	for k > 0 {
+		parent := (k - 1) / 2
+		if !h[k].worseThan(h[parent]) {
+			return
+		}
+		h[k], h[parent] = h[parent], h[k]
+		k = parent
+	}
+}
+
+func siftDown(h []topCand, k int) {
+	for {
+		worst := k
+		if l := 2*k + 1; l < len(h) && h[l].worseThan(h[worst]) {
+			worst = l
+		}
+		if r := 2*k + 2; r < len(h) && h[r].worseThan(h[worst]) {
+			worst = r
+		}
+		if worst == k {
+			return
+		}
+		h[k], h[worst] = h[worst], h[k]
+		k = worst
+	}
 }
 
 // TopNSparse is TopN with the exclusion set taken from the stored cells
@@ -277,17 +380,22 @@ func (p *Predictor) TopNSparse(i, n int, ratings *sparse.ICSR) ([]int, error) {
 	if i < 0 || i >= ratings.Rows {
 		return nil, fmt.Errorf("%w: row %d", ErrShape, i)
 	}
+	// The stored columns are sorted ascending and topNSkip queries
+	// columns in ascending order, so one advancing pointer replaces an
+	// exclusion map — no per-call transient allocation on this serving
+	// path. Explicitly stored [0, 0] cells are unobserved (the training
+	// convention of ipmf), so they stay recommendable.
 	cols, lo, hi := ratings.RowView(i)
-	exclude := make(map[int]bool, len(cols))
-	for k, j := range cols {
-		// Explicitly stored [0, 0] cells are unobserved (the training
-		// convention of ipmf), so they stay recommendable.
-		if lo[k] == 0 && hi[k] == 0 {
-			continue
+	next := 0
+	return p.topNSkip(i, n, func(j int) bool {
+		for next < len(cols) && cols[next] < j {
+			next++
 		}
-		exclude[j] = true
-	}
-	return p.TopN(i, n, exclude)
+		if next < len(cols) && cols[next] == j {
+			return lo[next] != 0 || hi[next] != 0
+		}
+		return false
+	})
 }
 
 // Holdout is a held-out observation for evaluation.

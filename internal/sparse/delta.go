@@ -1,0 +1,128 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta application for the streaming paths: an ICSR is immutable in
+// this package's kernels, so arriving batches produce a new matrix that
+// shares nothing with the old one — the decomposition engine
+// (internal/core) can keep serving from the previous matrix while the
+// updated one is built. All three operations cost O(NNZ + delta) and
+// are entirely serial (index-ordered merges), hence trivially
+// deterministic.
+
+// ApplyPatch returns a new ICSR with the given cell patches applied
+// under set semantics: a patched cell's interval becomes exactly
+// [t.Lo, t.Hi], whether the cell was previously stored or not (patching
+// an unstored cell inserts it; patching to [0, 0] stores an explicit
+// zero, this package's "observed zero" convention). The patch may arrive
+// in any order; duplicate cells within one patch and out-of-range
+// indices are errors.
+func (a *ICSR) ApplyPatch(ts []ITriplet) (*ICSR, error) {
+	sorted := make([]ITriplet, len(ts))
+	copy(sorted, ts)
+	sort.Slice(sorted, func(x, y int) bool {
+		if sorted[x].Row != sorted[y].Row {
+			return sorted[x].Row < sorted[y].Row
+		}
+		return sorted[x].Col < sorted[y].Col
+	})
+	for k, t := range sorted {
+		if t.Row < 0 || t.Row >= a.Rows || t.Col < 0 || t.Col >= a.Cols {
+			return nil, fmt.Errorf("sparse: ApplyPatch: cell (%d, %d) outside %dx%d", t.Row, t.Col, a.Rows, a.Cols)
+		}
+		if k > 0 && t.Row == sorted[k-1].Row && t.Col == sorted[k-1].Col {
+			return nil, fmt.Errorf("sparse: ApplyPatch: duplicate cell (%d, %d)", t.Row, t.Col)
+		}
+	}
+	out := &ICSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols,
+		RowPtr: make([]int, a.Rows+1),
+		ColInd: make([]int, 0, a.NNZ()+len(sorted)),
+		Lo:     make([]float64, 0, a.NNZ()+len(sorted)),
+		Hi:     make([]float64, 0, a.NNZ()+len(sorted)),
+	}
+	p := 0 // next patch entry
+	for i := 0; i < a.Rows; i++ {
+		cols, lo, hi := a.RowView(i)
+		q := 0 // next stored entry of row i
+		for q < len(cols) || (p < len(sorted) && sorted[p].Row == i) {
+			patchNext := p < len(sorted) && sorted[p].Row == i &&
+				(q >= len(cols) || sorted[p].Col <= cols[q])
+			if patchNext {
+				if q < len(cols) && sorted[p].Col == cols[q] {
+					q++ // patched over an existing cell
+				}
+				out.ColInd = append(out.ColInd, sorted[p].Col)
+				out.Lo = append(out.Lo, sorted[p].Lo)
+				out.Hi = append(out.Hi, sorted[p].Hi)
+				p++
+				continue
+			}
+			out.ColInd = append(out.ColInd, cols[q])
+			out.Lo = append(out.Lo, lo[q])
+			out.Hi = append(out.Hi, hi[q])
+			q++
+		}
+		out.RowPtr[i+1] = len(out.ColInd)
+	}
+	return out, nil
+}
+
+// AppendRows returns [a; b]: b's rows appended below a's. The column
+// counts must match.
+func AppendRows(a, b *ICSR) (*ICSR, error) {
+	if a.Cols != b.Cols {
+		return nil, fmt.Errorf("sparse: AppendRows: %d cols below %d cols", b.Cols, a.Cols)
+	}
+	out := &ICSR{
+		Rows:   a.Rows + b.Rows,
+		Cols:   a.Cols,
+		RowPtr: make([]int, a.Rows+b.Rows+1),
+		ColInd: make([]int, 0, a.NNZ()+b.NNZ()),
+		Lo:     make([]float64, 0, a.NNZ()+b.NNZ()),
+		Hi:     make([]float64, 0, a.NNZ()+b.NNZ()),
+	}
+	out.ColInd = append(append(out.ColInd, a.ColInd...), b.ColInd...)
+	out.Lo = append(append(out.Lo, a.Lo...), b.Lo...)
+	out.Hi = append(append(out.Hi, a.Hi...), b.Hi...)
+	copy(out.RowPtr, a.RowPtr)
+	base := a.NNZ()
+	for i := 0; i <= b.Rows; i++ {
+		out.RowPtr[a.Rows+i] = base + b.RowPtr[i]
+	}
+	return out, nil
+}
+
+// AppendCols returns [a b]: b's columns appended to the right of a's.
+// The row counts must match.
+func AppendCols(a, b *ICSR) (*ICSR, error) {
+	if a.Rows != b.Rows {
+		return nil, fmt.Errorf("sparse: AppendCols: %d rows beside %d rows", b.Rows, a.Rows)
+	}
+	out := &ICSR{
+		Rows:   a.Rows,
+		Cols:   a.Cols + b.Cols,
+		RowPtr: make([]int, a.Rows+1),
+		ColInd: make([]int, 0, a.NNZ()+b.NNZ()),
+		Lo:     make([]float64, 0, a.NNZ()+b.NNZ()),
+		Hi:     make([]float64, 0, a.NNZ()+b.NNZ()),
+	}
+	for i := 0; i < a.Rows; i++ {
+		cols, lo, hi := a.RowView(i)
+		out.ColInd = append(out.ColInd, cols...)
+		out.Lo = append(out.Lo, lo...)
+		out.Hi = append(out.Hi, hi...)
+		bcols, blo, bhi := b.RowView(i)
+		for p, j := range bcols {
+			out.ColInd = append(out.ColInd, a.Cols+j)
+			out.Lo = append(out.Lo, blo[p])
+			out.Hi = append(out.Hi, bhi[p])
+		}
+		out.RowPtr[i+1] = len(out.ColInd)
+	}
+	return out, nil
+}

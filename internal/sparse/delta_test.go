@@ -1,0 +1,145 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/imatrix"
+)
+
+func randomICSR(rows, cols, nnz int, rng *rand.Rand) *ICSR {
+	m := imatrix.New(rows, cols)
+	for k := 0; k < nnz; k++ {
+		i, j := rng.Intn(rows), rng.Intn(cols)
+		lo := rng.NormFloat64()
+		m.Lo.Set(i, j, lo)
+		m.Hi.Set(i, j, lo+rng.Float64())
+	}
+	return FromIMatrix(m)
+}
+
+// TestApplyPatchMatchesDense: patching the ICSR equals patching the
+// dense expansion cell-for-cell, for stored and unstored targets.
+func TestApplyPatchMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randomICSR(12, 9, 30, rng)
+	want := a.ToIMatrix()
+	patch := []ITriplet{
+		{Row: 0, Col: 0, Lo: 5, Hi: 6},      // likely unstored corner
+		{Row: 3, Col: 4, Lo: -1, Hi: 1},     // arbitrary cell
+		{Row: 11, Col: 8, Lo: 2.5, Hi: 2.5}, // last cell
+		{Row: 7, Col: 2, Lo: 0, Hi: 0},      // explicit observed zero
+	}
+	for _, p := range patch {
+		want.Lo.Set(p.Row, p.Col, p.Lo)
+		want.Hi.Set(p.Row, p.Col, p.Hi)
+	}
+	got, err := a.ApplyPatch(patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 9; j++ {
+			g := got.At(i, j)
+			if g.Lo != want.Lo.At(i, j) || g.Hi != want.Hi.At(i, j) {
+				t.Fatalf("cell (%d,%d): got [%g,%g] want [%g,%g]", i, j, g.Lo, g.Hi, want.Lo.At(i, j), want.Hi.At(i, j))
+			}
+		}
+	}
+	// The [0,0] patch must be STORED (observed zero), not dropped.
+	found := false
+	cols, lo, hi := got.RowView(7)
+	for p, c := range cols {
+		if c == 2 && lo[p] == 0 && hi[p] == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("explicit [0,0] patch was not stored")
+	}
+	// Structure stays valid CSR (strictly ascending columns).
+	for i := 0; i < got.Rows; i++ {
+		cs, _, _ := got.RowView(i)
+		for p := 1; p < len(cs); p++ {
+			if cs[p] <= cs[p-1] {
+				t.Fatalf("row %d: columns not strictly ascending", i)
+			}
+		}
+	}
+	// The original is untouched.
+	orig := randomICSR(12, 9, 30, rand.New(rand.NewSource(41)))
+	for p := range a.Lo {
+		if a.Lo[p] != orig.Lo[p] || a.Hi[p] != orig.Hi[p] || a.ColInd[p] != orig.ColInd[p] {
+			t.Fatal("ApplyPatch mutated its receiver")
+		}
+	}
+}
+
+func TestApplyPatchErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := randomICSR(5, 5, 8, rng)
+	if _, err := a.ApplyPatch([]ITriplet{{Row: 5, Col: 0}}); err == nil {
+		t.Error("out-of-range row accepted")
+	}
+	if _, err := a.ApplyPatch([]ITriplet{{Row: 0, Col: -1}}); err == nil {
+		t.Error("negative col accepted")
+	}
+	if _, err := a.ApplyPatch([]ITriplet{{Row: 1, Col: 1, Lo: 1, Hi: 1}, {Row: 1, Col: 1, Lo: 2, Hi: 2}}); err == nil {
+		t.Error("duplicate patch cell accepted")
+	}
+}
+
+func TestAppendRowsCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	a := randomICSR(6, 8, 20, rng)
+	b := randomICSR(3, 8, 10, rng)
+	rowsOut, err := AppendRows(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowsOut.Rows != 9 || rowsOut.Cols != 8 || rowsOut.NNZ() != a.NNZ()+b.NNZ() {
+		t.Fatalf("AppendRows shape/nnz wrong: %dx%d nnz %d", rowsOut.Rows, rowsOut.Cols, rowsOut.NNZ())
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 8; j++ {
+			if rowsOut.At(i, j) != a.At(i, j) {
+				t.Fatalf("AppendRows changed base cell (%d,%d)", i, j)
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 8; j++ {
+			if rowsOut.At(6+i, j) != b.At(i, j) {
+				t.Fatalf("AppendRows misplaced new cell (%d,%d)", i, j)
+			}
+		}
+	}
+
+	c := randomICSR(6, 4, 9, rng)
+	colsOut, err := AppendCols(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colsOut.Rows != 6 || colsOut.Cols != 12 || colsOut.NNZ() != a.NNZ()+c.NNZ() {
+		t.Fatalf("AppendCols shape/nnz wrong: %dx%d nnz %d", colsOut.Rows, colsOut.Cols, colsOut.NNZ())
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 8; j++ {
+			if colsOut.At(i, j) != a.At(i, j) {
+				t.Fatalf("AppendCols changed base cell (%d,%d)", i, j)
+			}
+		}
+		for j := 0; j < 4; j++ {
+			if colsOut.At(i, 8+j) != c.At(i, j) {
+				t.Fatalf("AppendCols misplaced new cell (%d,%d)", i, j)
+			}
+		}
+	}
+
+	if _, err := AppendRows(a, c); err == nil {
+		t.Error("AppendRows accepted mismatched cols")
+	}
+	if _, err := AppendCols(a, b); err == nil {
+		t.Error("AppendCols accepted mismatched rows")
+	}
+}

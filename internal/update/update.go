@@ -1,0 +1,466 @@
+// Package update implements deterministic low-rank singular-value
+// decomposition updates in the style of Brand's incremental SVD: given
+// the truncated factors (U, Σ, V) of a matrix A, an arriving batch —
+// appended rows, appended columns, or a sparse additive cell patch — is
+// folded into the factors without ever re-decomposing A. Each batch
+// costs O((m+n)·r·c + (r+c)³) for batch rank c against the O(NNZ·r) per
+// sweep (times many sweeps) of a from-scratch truncated solve, which is
+// what converts a streaming service's per-update cost from "size of the
+// dataset" to "size of the delta".
+//
+// The mechanics are the classical three steps: (1) project the batch
+// onto the existing factors and extract the out-of-subspace component
+// with in-order Gram-Schmidt (serial, index-ordered — the
+// bitwise-determinism contract of this repository), extending the left
+// and right bases by at most c orthonormal directions; (2) assemble the
+// small (r+c)×(r+c) core matrix and decompose it through the existing
+// dense eig.SymEig (as the eigensolver of KᵀK, with the left factor
+// recovered by one small product); (3) rotate the extended bases by the
+// core factors and truncate back to the target rank. All O(matrix-dim)
+// products run on the pool-sharded blocked kernels of internal/matrix,
+// so every update is bitwise identical for any worker count.
+//
+// Exactness: when the current factors are an exact SVD of A (A has rank
+// at most r) and the kept rank covers the batch-extended rank, the
+// update is exact up to rounding. Otherwise each truncation discards
+// singular mass; the per-update Discarded return value measures it, and
+// the engine in internal/core accumulates it against a residual budget
+// to schedule warm-started full refreshes (eig.TruncatedSVDOpts with
+// Options.StartU/StartV).
+package update
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/eig"
+	"repro/internal/matrix"
+	"repro/internal/parallel"
+	"repro/internal/sparse"
+)
+
+// gsDropTol is the relative column-collapse threshold of the in-order
+// Gram-Schmidt basis extension, matching the truncated solver's: a batch
+// direction whose out-of-subspace component is below gsDropTol times its
+// original norm carries no new subspace information and is dropped (its
+// coefficients stay in the core matrix, so nothing is lost).
+const gsDropTol = 1e-13
+
+// AppendRows returns the rank-truncated SVD of [A; B] given the factors
+// f of A and the new rows b (c×n). rank <= 0 keeps len(f.S); any rank is
+// clamped to the extended core size r+c (and the updated matrix
+// dimensions). The second return value is the Frobenius mass of the
+// singular values the truncation discarded.
+func AppendRows(f *eig.SVDResult, b *matrix.Dense, rank int) (*eig.SVDResult, float64, error) {
+	m, n, r := f.U.Rows, f.V.Rows, len(f.S)
+	if b.Cols != n {
+		return nil, 0, fmt.Errorf("update: AppendRows: batch has %d cols, want %d", b.Cols, n)
+	}
+	c := b.Rows
+	rank = clampRank(rank, r, r+c, m+c, n)
+
+	// Project the new rows onto the right factor: W = B·V (coefficients
+	// inside span V), C = B − W·Vᵀ (out-of-subspace component), with one
+	// re-orthogonalization pass for numerical stability.
+	w := matrix.Mul(b, f.V)                   // c×r
+	cm := matrix.Sub(b, matrix.MulT(w, f.V))  // c×n
+	w2 := matrix.Mul(cm, f.V)                 // c×r
+	cm = matrix.Sub(cm, matrix.MulT(w2, f.V)) // re-orth pass
+	w = matrix.AddInto(w, w, w2)
+
+	// In-order Gram-Schmidt over the residual rows: C = Rc·Qcᵀ with Qc
+	// n×c orthonormal (rows of qct) and Rc c×c lower triangular.
+	qct, rc := gsRows(cm)
+
+	// Core matrix K = [diag(S) 0; W Rc], so [A; B] = diag(U, I)·K·[V Qc]ᵀ.
+	k := matrix.New(r+c, r+c)
+	for i := 0; i < r; i++ {
+		k.Data[i*(r+c)+i] = f.S[i]
+	}
+	for i := 0; i < c; i++ {
+		krow := k.RowView(r + i)
+		copy(krow[:r], w.RowView(i))
+		copy(krow[r:], rc.RowView(i))
+	}
+
+	uk, s, vk, disc, err := coreSVD(k, rank)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Rotate: U' = diag(U, I)·Uk (top block U·Uk_top, bottom block copied
+	// from Uk's trailing rows), V' = V·Vk_top + Qc·Vk_bot.
+	u := matrix.New(m+c, rank)
+	top := matrix.Mul(f.U, uk.SubMatrix(0, r, 0, rank))
+	copy(u.Data[:m*rank], top.Data)
+	copy(u.Data[m*rank:], uk.Data[r*rank:])
+	v := matrix.Add(
+		matrix.Mul(f.V, vk.SubMatrix(0, r, 0, rank)),
+		matrix.TMul(qct, vk.SubMatrix(r, r+c, 0, rank)),
+	)
+	canonicalizePairSigns(u, v)
+	return &eig.SVDResult{U: u, S: s, V: v}, disc, nil
+}
+
+// AppendCols returns the rank-truncated SVD of [A B] given the factors f
+// of A and the new columns b (m×c): the transposed counterpart of
+// AppendRows (swap the factor sides, append bᵀ as rows, swap back).
+func AppendCols(f *eig.SVDResult, b *matrix.Dense, rank int) (*eig.SVDResult, float64, error) {
+	if b.Rows != f.U.Rows {
+		return nil, 0, fmt.Errorf("update: AppendCols: batch has %d rows, want %d", b.Rows, f.U.Rows)
+	}
+	res, disc, err := AppendRows(&eig.SVDResult{U: f.V, S: f.S, V: f.U}, b.T(), rank)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &eig.SVDResult{U: res.V, S: res.S, V: res.U}, disc, nil
+}
+
+// LowRank returns the rank-truncated SVD of A + p·qᵀ given the factors f
+// of A and the batch factors p (m×c), q (n×c). This is the general
+// additive form; CellPatch builds (p, q) from sparse cell deltas.
+func LowRank(f *eig.SVDResult, p, q *matrix.Dense, rank int) (*eig.SVDResult, float64, error) {
+	m, n, r := f.U.Rows, f.V.Rows, len(f.S)
+	if p.Rows != m || q.Rows != n || p.Cols != q.Cols {
+		return nil, 0, fmt.Errorf("update: LowRank: batch %dx%d · (%dx%d)ᵀ against %dx%d factors",
+			p.Rows, p.Cols, q.Rows, q.Cols, m, n)
+	}
+	c := p.Cols
+	rank = clampRank(rank, r, r+c, m, n)
+
+	// Extend each basis: coefficients inside the current factors plus an
+	// in-order Gram-Schmidt orthonormalization of the residual, with one
+	// re-orthogonalization pass against the factors.
+	mc, pj, rj := extendBasis(f.U, p) // mc r×c, pj m×c, rj c×c
+	nc, qk, rk := extendBasis(f.V, q) // nc r×c, qk n×c, rk c×c
+
+	// Core K = [diag(S) 0; 0 0] + [M; Rj]·[N; Rk]ᵀ of size (r+c)².
+	wp := stack(mc, rj)
+	wq := stack(nc, rk)
+	k := matrix.MulT(wp, wq)
+	for i := 0; i < r; i++ {
+		k.Data[i*(r+c)+i] += f.S[i]
+	}
+
+	uk, s, vk, disc, err := coreSVD(k, rank)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	u := matrix.Add(
+		matrix.Mul(f.U, uk.SubMatrix(0, r, 0, rank)),
+		matrix.Mul(pj, uk.SubMatrix(r, r+c, 0, rank)),
+	)
+	v := matrix.Add(
+		matrix.Mul(f.V, vk.SubMatrix(0, r, 0, rank)),
+		matrix.Mul(qk, vk.SubMatrix(r, r+c, 0, rank)),
+	)
+	canonicalizePairSigns(u, v)
+	return &eig.SVDResult{U: u, S: s, V: v}, disc, nil
+}
+
+// CellPatch returns the rank-truncated SVD of A + ΔA where ΔA holds the
+// additive cell deltas of patch (value semantics: ΔA[i][j] += Val).
+// Duplicate cells and out-of-range indices are errors. The patch is
+// factored as p·qᵀ over its distinct rows or distinct columns, whichever
+// is fewer, so the batch rank c is min(#rows touched, #cols touched).
+func CellPatch(f *eig.SVDResult, patch []sparse.Triplet, rank int) (*eig.SVDResult, float64, error) {
+	m, n := f.U.Rows, f.V.Rows
+	if len(patch) == 0 {
+		if rank <= 0 || rank > len(f.S) {
+			rank = len(f.S)
+		}
+		return f.Truncate(rank), 0, nil
+	}
+	sorted := make([]sparse.Triplet, len(patch))
+	copy(sorted, patch)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Row != sorted[b].Row {
+			return sorted[a].Row < sorted[b].Row
+		}
+		return sorted[a].Col < sorted[b].Col
+	})
+	rowSet := map[int]int{}
+	colSet := map[int]int{}
+	for i, t := range sorted {
+		if t.Row < 0 || t.Row >= m || t.Col < 0 || t.Col >= n {
+			return nil, 0, fmt.Errorf("update: CellPatch: cell (%d, %d) outside %dx%d", t.Row, t.Col, m, n)
+		}
+		if i > 0 && t.Row == sorted[i-1].Row && t.Col == sorted[i-1].Col {
+			return nil, 0, fmt.Errorf("update: CellPatch: duplicate cell (%d, %d)", t.Row, t.Col)
+		}
+		if _, ok := rowSet[t.Row]; !ok {
+			rowSet[t.Row] = len(rowSet)
+		}
+		if _, ok := colSet[t.Col]; !ok {
+			colSet[t.Col] = len(colSet)
+		}
+	}
+	// Group on the smaller side: by rows, p's columns are row indicators
+	// and q carries the per-row delta values; by columns, symmetrically.
+	// Group indices follow first-appearance order over the (row, col)
+	// sorted patch, so the factorization is uniquely determined by the
+	// cell set.
+	var p, q *matrix.Dense
+	if len(rowSet) <= len(colSet) {
+		c := len(rowSet)
+		p = matrix.New(m, c)
+		q = matrix.New(n, c)
+		for _, t := range sorted {
+			g := rowSet[t.Row]
+			p.Set(t.Row, g, 1)
+			q.Set(t.Col, g, t.Val)
+		}
+	} else {
+		c := len(colSet)
+		p = matrix.New(m, c)
+		q = matrix.New(n, c)
+		for _, t := range sorted {
+			g := colSet[t.Col]
+			q.Set(t.Col, g, 1)
+			p.Set(t.Row, g, t.Val)
+		}
+	}
+	return LowRank(f, p, q, rank)
+}
+
+// Pair applies one update step to both endpoint factor sides of an
+// interval matrix concurrently on the shared pool (bounded by workers;
+// 0 = pool default) — the interval flavor of the updates above: ISVD0-4
+// maintain a (lo, hi) factor pair, and the downstream interval algebra
+// (the imatrix min/max combine kernels in internal/core) re-combines the
+// updated pair. Errors on either side fail the pair as a whole so the
+// two endpoints always advance in lockstep.
+func Pair(workers int, loFn, hiFn func() (*eig.SVDResult, float64, error)) (lo, hi *eig.SVDResult, discLo, discHi float64, err error) {
+	var errLo, errHi error
+	parallel.DoWith(workers,
+		func() { lo, discLo, errLo = loFn() },
+		func() { hi, discHi, errHi = hiFn() },
+	)
+	if errLo != nil {
+		return nil, nil, 0, 0, fmt.Errorf("min side: %w", errLo)
+	}
+	if errHi != nil {
+		return nil, nil, 0, 0, fmt.Errorf("max side: %w", errHi)
+	}
+	return lo, hi, discLo, discHi, nil
+}
+
+// clampRank resolves the kept rank: non-positive keeps the current rank
+// r; everything is clamped to the extended core size and the updated
+// matrix dimensions.
+func clampRank(rank, r, coreDim, rows, cols int) int {
+	if rank <= 0 {
+		rank = r
+	}
+	if rank > coreDim {
+		rank = coreDim
+	}
+	if rank > rows {
+		rank = rows
+	}
+	if rank > cols {
+		rank = cols
+	}
+	return rank
+}
+
+// extendBasis projects the batch block p (dim×c) onto the orthonormal
+// columns of u (dim×r) and Gram-Schmidt-extends the basis with the
+// residual: p = u·m + j·r with j's columns orthonormal (or zero where a
+// batch direction lies inside the existing subspace). The projections
+// run on the pool-sharded kernels; the in-order column sweep is serial,
+// index-ordered, and therefore bitwise deterministic.
+func extendBasis(u, p *matrix.Dense) (m, j, r *matrix.Dense) {
+	m = matrix.TMul(u, p)                  // r×c coefficients
+	res := matrix.Sub(p, matrix.Mul(u, m)) // dim×c residual
+	m2 := matrix.TMul(u, res)              // re-orthogonalization pass
+	res = matrix.Sub(res, matrix.Mul(u, m2))
+	m = matrix.AddInto(m, m, m2)
+	j, r = gsCols(res)
+	return m, j, r
+}
+
+// gsCols orthonormalizes the columns of a in order (modified
+// Gram-Schmidt with one re-orthogonalization pass), returning q with
+// orthonormal-or-zero columns and the upper-triangular r with a = q·r.
+// Columns that collapse below gsDropTol of their original norm are
+// zeroed: their content lies in the span of the previous columns and is
+// fully carried by r's off-diagonal coefficients.
+func gsCols(a *matrix.Dense) (q, r *matrix.Dense) {
+	dim, c := a.Rows, a.Cols
+	q = a.Clone()
+	r = matrix.New(c, c)
+	col := make([]float64, dim)
+	for jc := 0; jc < c; jc++ {
+		for i := 0; i < dim; i++ {
+			col[i] = q.Data[i*c+jc]
+		}
+		orig := vecNorm(col)
+		for pass := 0; pass < 2; pass++ {
+			for prev := 0; prev < jc; prev++ {
+				var d float64
+				for i := 0; i < dim; i++ {
+					d += col[i] * q.Data[i*c+prev]
+				}
+				for i := 0; i < dim; i++ {
+					col[i] -= d * q.Data[i*c+prev]
+				}
+				r.Data[prev*c+jc] += d
+			}
+		}
+		norm := vecNorm(col)
+		if norm <= orig*gsDropTol || norm == 0 {
+			for i := 0; i < dim; i++ {
+				q.Data[i*c+jc] = 0
+			}
+			continue
+		}
+		r.Data[jc*c+jc] = norm
+		inv := 1 / norm
+		for i := 0; i < dim; i++ {
+			q.Data[i*c+jc] = col[i] * inv
+		}
+	}
+	return q, r
+}
+
+// gsRows is gsCols over the rows of a (the append-rows orientation):
+// a = r·q with q's rows orthonormal-or-zero and r lower triangular.
+func gsRows(a *matrix.Dense) (q, r *matrix.Dense) {
+	c := a.Rows
+	q = a.Clone()
+	r = matrix.New(c, c)
+	for jr := 0; jr < c; jr++ {
+		row := q.RowView(jr)
+		orig := vecNorm(row)
+		for pass := 0; pass < 2; pass++ {
+			for prev := 0; prev < jr; prev++ {
+				prow := q.RowView(prev)
+				var d float64
+				for i, v := range row {
+					d += v * prow[i]
+				}
+				for i := range row {
+					row[i] -= d * prow[i]
+				}
+				r.Data[jr*c+prev] += d
+			}
+		}
+		norm := vecNorm(row)
+		if norm <= orig*gsDropTol || norm == 0 {
+			for i := range row {
+				row[i] = 0
+			}
+			continue
+		}
+		r.Data[jr*c+jr] = norm
+		inv := 1 / norm
+		for i := range row {
+			row[i] *= inv
+		}
+	}
+	return q, r
+}
+
+// coreGramTol clamps eigenvalues of KᵀK below coreGramTol·λmax to zero:
+// squaring the core matrix floors its spectral resolution at
+// ~eps·σmax², so anything below is rounding noise, not signal —
+// without the clamp a singular value that is exactly zero resurfaces
+// as ~√eps·σmax garbage.
+const coreGramTol = 1e-12
+
+// coreSVD decomposes the small (r+c)×(r+c) core matrix k through the
+// existing dense eig.SymEig — the eigensolver of KᵀK yields the right
+// factor and singular values, and one small product recovers the left
+// factor (K·Vk·Σ⁻¹, zero columns for zero singular values, the recoverU
+// convention of internal/core). Returns the rank-truncated factors and
+// the Frobenius mass of the discarded singular values.
+func coreSVD(k *matrix.Dense, rank int) (uk *matrix.Dense, s []float64, vk *matrix.Dense, discarded float64, err error) {
+	g := matrix.TMul(k, k)
+	vals, vecs, err := eig.SymEig(g)
+	if err != nil {
+		return nil, nil, nil, 0, fmt.Errorf("update: core eigensolve: %w", err)
+	}
+	floor := coreGramTol * math.Max(vals[0], 0)
+	var discSq float64
+	for _, ev := range vals[rank:] {
+		if ev > floor {
+			discSq += ev
+		}
+	}
+	discarded = math.Sqrt(discSq)
+	s = make([]float64, rank)
+	for i, ev := range vals[:rank] {
+		if ev > floor {
+			s[i] = math.Sqrt(ev)
+		}
+	}
+	vk = vecs.SubMatrix(0, k.Rows, 0, rank)
+	uk = matrix.Mul(k, vk)
+	for j, sv := range s {
+		inv := 0.0
+		if sv != 0 {
+			inv = 1 / sv
+		}
+		for i := 0; i < uk.Rows; i++ {
+			uk.Data[i*uk.Cols+j] *= inv
+		}
+		if sv == 0 {
+			// Null directions get exactly-zero factor columns (uk is
+			// already zero via inv = 0). The eigensolver's null-space
+			// vectors are orthonormal but arbitrary — in particular they
+			// mix extension-basis indices whose basis column was dropped
+			// as dependent, which would rotate non-unit columns into the
+			// updated V and silently break the orthonormal-factor
+			// invariant the NEXT update relies on (its projection step
+			// assumes B − (B·V)·Vᵀ removes the span-V component). A zero
+			// column is inert in every product and keeps the invariant:
+			// factor columns are orthonormal or exactly zero.
+			for i := 0; i < vk.Rows; i++ {
+				vk.Data[i*vk.Cols+j] = 0
+			}
+		}
+	}
+	return uk, s, vk, discarded, nil
+}
+
+// canonicalizePairSigns orients each (u_j, v_j) column pair so the
+// largest-magnitude entry of v_j is non-negative — the sign convention
+// of eig.SVD, so updated factors and full re-decompositions agree in
+// orientation wherever their vectors agree.
+func canonicalizePairSigns(u, v *matrix.Dense) {
+	for j := 0; j < v.Cols; j++ {
+		best, bestAbs := 0.0, 0.0
+		for i := 0; i < v.Rows; i++ {
+			if a := math.Abs(v.At(i, j)); a > bestAbs {
+				bestAbs, best = a, v.At(i, j)
+			}
+		}
+		if best < 0 {
+			for i := 0; i < v.Rows; i++ {
+				v.Set(i, j, -v.At(i, j))
+			}
+			for i := 0; i < u.Rows; i++ {
+				u.Set(i, j, -u.At(i, j))
+			}
+		}
+	}
+}
+
+// stack vertically concatenates top (r×c) over bottom (c×c).
+func stack(top, bottom *matrix.Dense) *matrix.Dense {
+	out := matrix.New(top.Rows+bottom.Rows, top.Cols)
+	copy(out.Data[:len(top.Data)], top.Data)
+	copy(out.Data[len(top.Data):], bottom.Data)
+	return out
+}
+
+func vecNorm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
