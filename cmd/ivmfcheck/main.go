@@ -1,0 +1,36 @@
+// Command ivmfcheck is the repository's static-analysis suite: a vet
+// multichecker that mechanically enforces the three contracts the
+// numeric subsystems are built on — bitwise determinism for any worker
+// count (detorder), allocation-free Into-kernel hot paths (noalloc),
+// disjoint row-range writes under the worker pool (poolshard) — plus
+// the destination-aliasing convention of the Into kernels (intoalias).
+//
+// Run it standalone:
+//
+//	go build -o bin/ivmfcheck ./cmd/ivmfcheck
+//	./bin/ivmfcheck ./...
+//
+// or as a vet tool (what CI gates on):
+//
+//	go vet -vettool=$PWD/bin/ivmfcheck ./...
+//
+// See README.md "Correctness tooling" for the //ivmf:deterministic and
+// //ivmf:noalloc annotations the suite keys on.
+package main
+
+import (
+	"repro/internal/analysis/checker"
+	"repro/internal/analysis/detorder"
+	"repro/internal/analysis/intoalias"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/poolshard"
+)
+
+func main() {
+	checker.Main(
+		detorder.Analyzer,
+		noalloc.Analyzer,
+		poolshard.Analyzer,
+		intoalias.Analyzer,
+	)
+}

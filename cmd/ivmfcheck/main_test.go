@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles the ivmfcheck binary once per test run.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "ivmfcheck")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/ivmfcheck")
+	cmd.Dir = "../.." // repo root, where go.mod lives
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building ivmfcheck: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// vet runs `go vet -vettool=bin ./...` inside the given fixture module
+// and returns the exit code plus combined output.
+func vet(t *testing.T, bin, fixture string) (int, string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", fixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	// The fixture modules have no dependencies; keep the child hermetic
+	// so a network-less environment cannot fail module resolution.
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GOPROXY=off")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err = cmd.Run()
+	if err == nil {
+		return 0, out.String()
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), out.String()
+	}
+	t.Fatalf("running go vet: %v\n%s", err, out.String())
+	return -1, ""
+}
+
+// TestVetToolFixtures drives the built binary through cmd/go's
+// -vettool protocol over two tiny modules: a contract-violating one
+// that must fail with the expected findings, and a conforming one that
+// must pass clean.
+func TestVetToolFixtures(t *testing.T) {
+	bin := buildTool(t)
+
+	t.Run("dirty", func(t *testing.T) {
+		code, out := vet(t, bin, "dirty")
+		if code == 0 {
+			t.Fatalf("dirty fixture passed vet; output:\n%s", out)
+		}
+		for _, want := range []string{
+			"range over map in deterministic function SumValues",
+			"make allocates in noalloc function Copy",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("output missing %q:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("clean", func(t *testing.T) {
+		code, out := vet(t, bin, "clean")
+		if code != 0 {
+			t.Fatalf("clean fixture failed vet (exit %d):\n%s", code, out)
+		}
+		if strings.Contains(out, "ivmf") {
+			t.Errorf("clean fixture produced findings:\n%s", out)
+		}
+	})
+}
+
+// TestStandaloneDelegation checks the direct-invocation path: given a
+// package pattern instead of a .cfg file, the binary re-executes
+// itself under go vet and propagates the failure.
+func TestStandaloneDelegation(t *testing.T) {
+	bin := buildTool(t)
+	dir, err := filepath.Abs(filepath.Join("testdata", "dirty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod", "GOPROXY=off")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("standalone run over dirty fixture succeeded; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "range over map in deterministic function SumValues") {
+		t.Errorf("standalone output missing finding:\n%s", out)
+	}
+}

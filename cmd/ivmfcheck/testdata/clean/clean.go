@@ -1,0 +1,15 @@
+// Package fixture is a minimal module that satisfies every ivmfcheck
+// contract: the annotated function iterates slices only, allocates
+// nothing, and touches no clocks or random state.
+//
+//ivmf:deterministic
+package fixture
+
+//ivmf:noalloc
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,19 @@
+// Package fixture deliberately violates two ivmfcheck contracts so the
+// integration test can assert a nonzero exit and the exact findings.
+package fixture
+
+//ivmf:deterministic
+func SumValues(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+//ivmf:noalloc
+func Copy(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}

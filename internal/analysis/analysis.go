@@ -1,0 +1,91 @@
+// Package analysis is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough Analyzer/Pass/Diagnostic
+// surface for this repository's ivmfcheck suite to be written in the
+// standard shape, without importing x/tools (the module has no external
+// dependencies, and the checkers need nothing beyond go/ast and
+// go/types).
+//
+// An Analyzer inspects one type-checked package at a time and reports
+// position-tagged diagnostics. Analyzers in this repository are
+// stateless and independent: there are no inter-analyzer result
+// dependencies and no cross-package facts — every contract they enforce
+// (see internal/analysis/directive) is checkable from a single
+// package's syntax and types. That restriction is what makes the
+// stdlib-only driver in internal/analysis/checker sufficient.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check. It mirrors the x/tools type
+// of the same name so the checkers could be ported to a real
+// golang.org/x/tools/go/analysis driver by changing only imports.
+type Analyzer struct {
+	// Name identifies the analyzer; it is used as the command-line
+	// flag that enables it. Must be a valid Go identifier, lower case.
+	Name string
+
+	// Doc is the one-line summary followed by a detailed description.
+	Doc string
+
+	// Run applies the analyzer to a single package.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package
+// and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position and a message. Messages are
+// complete sentences without a trailing period, per vet convention.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Validate checks that the analyzers are well formed (non-empty
+// lower-case identifier names, unique, runnable) and returns the first
+// problem found.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		if a == nil {
+			return fmt.Errorf("nil *Analyzer")
+		}
+		if a.Name == "" || strings.ToLower(a.Name) != a.Name || strings.ContainsAny(a.Name, " \t-") {
+			return fmt.Errorf("analyzer %q has an invalid name (want lower-case identifier)", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			return fmt.Errorf("analyzer %q is undocumented", a.Name)
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analyzer %q has no Run function", a.Name)
+		}
+	}
+	return nil
+}

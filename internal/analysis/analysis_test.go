@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func runnable(name string) *Analyzer {
+	return &Analyzer{Name: name, Doc: "doc for " + name, Run: func(*Pass) error { return nil }}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := Validate([]*Analyzer{runnable("alpha"), runnable("beta")}); err != nil {
+		t.Fatalf("valid suite rejected: %v", err)
+	}
+	if err := Validate(nil); err != nil {
+		t.Fatalf("empty suite rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		as   []*Analyzer
+		want string
+	}{
+		{"nil analyzer", []*Analyzer{nil}, "nil"},
+		{"empty name", []*Analyzer{runnable("")}, "invalid name"},
+		{"upper case", []*Analyzer{runnable("DetOrder")}, "invalid name"},
+		{"hyphen", []*Analyzer{runnable("det-order")}, "invalid name"},
+		{"duplicate", []*Analyzer{runnable("a"), runnable("a")}, "duplicate"},
+		{"no doc", []*Analyzer{{Name: "a", Run: func(*Pass) error { return nil }}}, "undocumented"},
+		{"no run", []*Analyzer{{Name: "a", Doc: "d"}}, "no Run"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Validate(c.as)
+			if err == nil {
+				t.Fatal("invalid suite accepted")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,303 @@
+// Package analysistest runs an Analyzer over a GOPATH-style testdata
+// corpus and checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that the
+// corpora (and the tests over them) would port unchanged.
+//
+// Layout: <testdata>/src/<pkgpath>/*.go. Imports resolve first against
+// the corpus roots (so a corpus can ship tiny shadow packages for
+// "time", "math/rand", "fmt", or "parallel" and stay hermetic and
+// fast), then fall back to type-checking the real standard library from
+// GOROOT source.
+//
+// Expectations: a comment of the form
+//
+//	// want "regexp" `another regexp`
+//
+// on any line asserts that the analyzer reports, on that same line, one
+// diagnostic matching each listed pattern — and the harness also
+// asserts the converse, that every reported diagnostic is wanted.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// Run loads each package path from dir/src, applies the analyzer, and
+// reports want-mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		pkg, files, info, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		var got []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Errorf("%s: analyzer %s failed: %v", path, a.Name, err)
+			continue
+		}
+		checkWants(t, ld.fset, files, got)
+	}
+}
+
+// loader type-checks corpus packages, preferring corpus roots over the
+// real standard library so tests stay hermetic.
+type loader struct {
+	fset   *token.FileSet
+	root   string
+	pkgs   map[string]*entry
+	fallbk types.ImporterFrom
+}
+
+type entry struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+	err   error
+}
+
+func newLoader(srcRoot string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:   fset,
+		root:   srcRoot,
+		pkgs:   make(map[string]*entry),
+		fallbk: importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+func (ld *loader) load(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	e := ld.loadEntry(path)
+	return e.pkg, e.files, e.info, e.err
+}
+
+func (ld *loader) loadEntry(path string) *entry {
+	if e, ok := ld.pkgs[path]; ok {
+		return e
+	}
+	e := &entry{}
+	ld.pkgs[path] = e // set first: cycles fail in the type checker, not here
+
+	dir := filepath.Join(ld.root, filepath.FromSlash(path))
+	names, err := sortedGoFiles(dir)
+	if err != nil {
+		e.err = err
+		return e
+	}
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			e.err = err
+			return e
+		}
+		e.files = append(e.files, f)
+	}
+	e.info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{Importer: (*corpusImporter)(ld)}
+	e.pkg, e.err = conf.Check(path, ld.fset, e.files, e.info)
+	return e
+}
+
+// corpusImporter resolves imports for the loader: corpus packages by
+// path under the src root, everything else via the GOROOT source
+// importer.
+type corpusImporter loader
+
+func (ci *corpusImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(ci)
+	if dir := filepath.Join(ld.root, filepath.FromSlash(path)); dirExists(dir) {
+		e := ld.loadEntry(path)
+		return e.pkg, e.err
+	}
+	return ld.fallbk.Import(path)
+}
+
+func sortedGoFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
+// A want is one expected-diagnostic pattern at a file line.
+type want struct {
+	posn    string // "file:line" key
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, got []analysis.Diagnostic) {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := wantPatterns(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				pats, err := splitPatterns(rest)
+				if err != nil {
+					t.Errorf("%s: bad want comment: %v", key, err)
+					continue
+				}
+				for _, p := range pats {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", key, p, err)
+						continue
+					}
+					wants = append(wants, want{posn: key, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range got {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for i := range wants {
+			w := &wants[i]
+			if w.matched || w.posn != key {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic matching %q", w.posn, w.re)
+		}
+	}
+}
+
+// wantPatterns extracts the pattern list of a want comment: either the
+// whole comment is "// want <patterns>", or — so a corpus can attach an
+// expectation to a line whose *comment itself* is the subject under
+// test (a malformed //ivmf: directive) — a trailing "// want
+// <patterns>" marker inside the comment text.
+func wantPatterns(text string) (string, bool) {
+	if i := strings.Index(text, "// want "); i > 0 {
+		return text[i+len("// want "):], true
+	}
+	trimmed := strings.TrimLeft(strings.TrimPrefix(text, "//"), " \t")
+	if rest, ok := strings.CutPrefix(trimmed, "want "); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// splitPatterns parses the space-separated quoted regexps of a want
+// comment ("..." or `...`).
+func splitPatterns(s string) ([]string, error) {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			p, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+			pats = append(pats, p)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated %q", s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		default:
+			return nil, fmt.Errorf("expected quoted regexp, got %q", s)
+		}
+	}
+	if len(pats) == 0 {
+		return nil, fmt.Errorf("empty want comment")
+	}
+	return pats, nil
+}

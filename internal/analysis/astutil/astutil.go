@@ -1,0 +1,74 @@
+// Package astutil holds the small typed-AST resolution helpers shared
+// by the ivmfcheck analyzers.
+package astutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FuncObj resolves a call-position expression (identifier, selector, or
+// parenthesized form of either) to the *types.Func it uses, or nil if
+// it is not a direct reference to a named function or method.
+func FuncObj(info *types.Info, e ast.Expr) *types.Func {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[e].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[e.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// Callee resolves the callee of call to a *types.Func, or nil for
+// builtins, conversions, and calls through function-typed values.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	return FuncObj(info, call.Fun)
+}
+
+// IsBuiltinCall reports whether call invokes the universe-scope builtin
+// of the given name (make, new, append, panic, ...), resolved through
+// the type checker so shadowed identifiers do not count.
+func IsBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// PkgFunc reports whether f is the package-level function (no receiver)
+// named name in the package with the given import path.
+func PkgFunc(f *types.Func, path, name string) bool {
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == path && f.Name() == name
+}
+
+// IsTestFile reports whether f was parsed from a _test.go file. The
+// contract analyzers that police call shapes (poolshard, intoalias)
+// skip test files: the runtime guards they mirror (checkDst panics,
+// the race detector) still cover tests, and guard-rail tests must be
+// able to construct the very violations the guards reject.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// IsMapType reports whether t's underlying type (through named types)
+// is a map.
+func IsMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

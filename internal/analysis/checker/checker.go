@@ -1,0 +1,361 @@
+// Package checker is a standard-library-only driver for the analyzers
+// in internal/analysis: it speaks cmd/go's vet-tool protocol (the same
+// wire contract as golang.org/x/tools/go/analysis/unitchecker), so a
+// binary built on it runs under
+//
+//	go vet -vettool=$(which ivmfcheck) ./...
+//
+// and it also runs standalone: invoked with package patterns instead of
+// a .cfg file it re-execs itself through "go vet -vettool=<self>",
+// which delegates build-tag handling, test variants, caching, and
+// per-package scheduling to the go command instead of reimplementing a
+// package loader.
+//
+// Protocol recap (all driven by cmd/go):
+//
+//   - "<tool> -V=full" prints an identity line used for build caching;
+//   - "<tool> -flags" prints a JSON description of the tool's flags;
+//   - "<tool> [flags] <unit>.cfg" analyzes one package unit: the cfg
+//     JSON lists the unit's Go files and maps each import path to the
+//     export data of the already-compiled dependency, which this driver
+//     feeds to go/importer's gc importer. Diagnostics go to stderr as
+//     "file:line:col: message"; exit status 2 means findings.
+//
+// The suite's analyzers exchange no cross-package facts, so dependency
+// units (VetxOnly) are satisfied by writing an empty facts file without
+// parsing anything.
+package checker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Main is the entry point for a multichecker binary over the given
+// analyzers. It does not return.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+	if err := analysis.Validate(analyzers); err != nil {
+		log.Fatal(err)
+	}
+
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "%s: statically enforce the ivmf determinism/noalloc/pool-sharding contracts\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Usage: %s [-detorder] [-noalloc] [-poolshard] [-intoalias] [packages|unit.cfg]\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Run over package patterns (delegates to 'go vet -vettool=%s'),\n", progname)
+		fmt.Fprintf(os.Stderr, "or as a vet tool: go vet -vettool=$(command -v %s) ./...\n\n", progname)
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		fmt.Fprintln(os.Stderr, "\nFlags:")
+		flag.PrintDefaults()
+	}
+
+	flag.Var(versionFlag{}, "V", "print version and exit (-V=full, used by cmd/go)")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON (used by cmd/go)")
+	jsonOut := flag.Bool("json", false, "emit JSON diagnostics")
+	enable := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enable[a.Name] = flag.Bool(a.Name, false, "enable only the "+a.Name+" analyzer (default: all)")
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags(analyzers)
+		os.Exit(0)
+	}
+
+	// If any per-analyzer flag was set, run just that subset.
+	selected := analyzers
+	if anySet(enable) {
+		selected = nil
+		for _, a := range analyzers {
+			if *enable[a.Name] {
+				selected = append(selected, a)
+			}
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, err := AnalyzeUnit(args[0], selected, os.Stderr, *jsonOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if diags > 0 {
+			os.Exit(2)
+		}
+		os.Exit(0)
+	}
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	delegate(args)
+}
+
+// delegate re-execs through go vet so cmd/go handles package loading,
+// and propagates its exit status.
+func delegate(args []string) {
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatalf("cannot locate own executable for -vettool delegation: %v", err)
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		log.Fatalf("standalone mode needs the go tool on PATH: %v", err)
+	}
+	// Forward the original flags untouched: the flag names accepted
+	// here are exactly the ones go vet validates via the -flags
+	// handshake.
+	cmd := exec.Command(goTool, append([]string{"vet", "-vettool=" + self}, os.Args[1:]...)...)
+	cmd.Stdin, cmd.Stdout, cmd.Stderr = os.Stdin, os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		log.Fatal(err)
+	}
+	os.Exit(0)
+}
+
+// versionFlag implements -V=full, replicating the identity-line format
+// cmd/go's tool-ID probe parses (see unitchecker's versionFlag).
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		log.Fatalf("unsupported flag value: -V=%s (use -V=full)", s)
+	}
+	// The go command keys its vet result cache on this line, so it
+	// must change whenever the tool's behavior could: hash the binary.
+	progname := os.Args[0]
+	f, err := os.Open(progname)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+	os.Exit(0)
+	return nil
+}
+
+type jsonFlag struct {
+	Name  string
+	Bool  bool
+	Usage string
+}
+
+// printFlags answers cmd/go's "-flags" handshake: the JSON list of
+// flags the user may pass through "go vet".
+func printFlags(analyzers []*analysis.Analyzer) {
+	flags := []jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON diagnostics"}}
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: strings.SplitN(a.Doc, "\n", 2)[0]})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+func anySet(m map[string]*bool) bool {
+	for _, v := range m {
+		if *v {
+			return true
+		}
+	}
+	return false
+}
+
+// vetConfig mirrors the JSON configuration cmd/go writes for each
+// package unit (unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// AnalyzeUnit runs the analyzers over one vet unit described by
+// cfgFile, printing diagnostics to out. It returns the number of
+// diagnostics. Exported for the driver and for tests.
+func AnalyzeUnit(cfgFile string, analyzers []*analysis.Analyzer, out io.Writer, jsonOut bool) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+
+	// The suite exports no facts, so dependency units need only the
+	// (empty) facts file cmd/go expects.
+	if cfg.VetxOnly {
+		return 0, writeVetx(&cfg)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, writeVetx(&cfg)
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx(&cfg)
+		}
+		return 0, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	type finding struct {
+		analyzer string
+		d        analysis.Diagnostic
+	}
+	var findings []finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { findings = append(findings, finding{a.Name, d}) },
+		}
+		if err := a.Run(pass); err != nil {
+			return 0, fmt.Errorf("analyzer %s on %s: %v", a.Name, cfg.ImportPath, err)
+		}
+	}
+	sort.SliceStable(findings, func(i, j int) bool { return findings[i].d.Pos < findings[j].d.Pos })
+
+	if jsonOut {
+		// Same nesting shape as x/tools: {pkgID: {analyzer: [diag...]}}.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := make(map[string][]jsonDiag)
+		for _, f := range findings {
+			byAnalyzer[f.analyzer] = append(byAnalyzer[f.analyzer], jsonDiag{
+				Posn: fset.Position(f.d.Pos).String(), Message: f.d.Message,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(map[string]map[string][]jsonDiag{cfg.ID: byAnalyzer}); err != nil {
+			return 0, err
+		}
+	} else {
+		cwd, _ := os.Getwd()
+		for _, f := range findings {
+			posn := fset.Position(f.d.Pos)
+			file := posn.Filename
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+					file = rel
+				}
+			}
+			fmt.Fprintf(out, "%s:%d:%d: %s\n", file, posn.Line, posn.Column, f.d.Message)
+		}
+	}
+
+	if err := writeVetx(&cfg); err != nil {
+		return 0, err
+	}
+	return len(findings), nil
+}
+
+// writeVetx writes the (empty) facts file for dependent units.
+func writeVetx(cfg *vetConfig) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+}
+
+// typecheck type-checks the unit's files against the export data of
+// its already-compiled dependencies.
+func typecheck(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for import %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	tc := &types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

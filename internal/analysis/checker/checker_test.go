@@ -1,0 +1,202 @@
+package checker
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/detorder"
+	"repro/internal/analysis/intoalias"
+	"repro/internal/analysis/noalloc"
+	"repro/internal/analysis/poolshard"
+)
+
+// suite mirrors cmd/ivmfcheck's analyzer list.
+var suite = []*analysis.Analyzer{
+	detorder.Analyzer, noalloc.Analyzer, poolshard.Analyzer, intoalias.Analyzer,
+}
+
+func writeCfg(t *testing.T, dir string, cfg map[string]any) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestAnalyzeUnit drives the vet-protocol entry point over a one-file,
+// import-free unit: diagnostics found, plain output formatted, facts
+// file written.
+func TestAnalyzeUnit(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	const code = `package p
+
+//ivmf:deterministic
+func F(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "p.vetx")
+	cfg := writeCfg(t, dir, map[string]any{
+		"ID":         "p",
+		"Compiler":   "gc",
+		"ImportPath": "p",
+		"GoVersion":  "go1.24",
+		"GoFiles":    []string{src},
+		"VetxOutput": vetx,
+	})
+
+	var out strings.Builder
+	n, err := AnalyzeUnit(cfg, suite, &out, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d diagnostics, want 1:\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "range over map in deterministic function F") {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+	if !strings.Contains(out.String(), "p.go:6:") {
+		t.Errorf("output misses file:line:col position: %s", out.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file not written: %v", err)
+	}
+}
+
+// TestAnalyzeUnitJSON checks the -json output shape.
+func TestAnalyzeUnitJSON(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	const code = `package p
+
+//ivmf:noalloc
+func F(n int) []int {
+	return make([]int, n)
+}
+`
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	cfg := writeCfg(t, dir, map[string]any{
+		"ID":         "pid",
+		"ImportPath": "p",
+		"GoFiles":    []string{src},
+	})
+	var out strings.Builder
+	n, err := AnalyzeUnit(cfg, suite, &out, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("got %d diagnostics, want 1:\n%s", n, out.String())
+	}
+	var decoded map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, out.String())
+	}
+	diags := decoded["pid"]["noalloc"]
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "make allocates") {
+		t.Errorf("unexpected JSON diagnostics: %+v", decoded)
+	}
+}
+
+// TestAnalyzeUnitVetxOnly checks the facts-only fast path for
+// dependency units: nothing parsed, empty facts file written.
+func TestAnalyzeUnitVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "dep.vetx")
+	cfg := writeCfg(t, dir, map[string]any{
+		"ID":         "dep",
+		"ImportPath": "dep",
+		"GoFiles":    []string{filepath.Join(dir, "does-not-exist.go")},
+		"VetxOnly":   true,
+		"VetxOutput": vetx,
+	})
+	n, err := AnalyzeUnit(cfg, suite, &strings.Builder{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("VetxOnly unit reported %d diagnostics", n)
+	}
+	data, err := os.ReadFile(vetx)
+	if err != nil {
+		t.Fatalf("facts file not written: %v", err)
+	}
+	if len(data) != 0 {
+		t.Errorf("facts file should be empty, got %d bytes", len(data))
+	}
+}
+
+// TestAnalyzeUnitTypecheckFailure checks both sides of
+// SucceedOnTypecheckFailure.
+func TestAnalyzeUnitTypecheckFailure(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	if err := os.WriteFile(src, []byte("package p\n\nfunc F() { undefined() }\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	base := map[string]any{"ID": "p", "ImportPath": "p", "GoFiles": []string{src}}
+
+	cfg := writeCfg(t, dir, base)
+	if _, err := AnalyzeUnit(cfg, suite, &strings.Builder{}, false); err == nil {
+		t.Error("typecheck failure should be an error by default")
+	}
+
+	base["SucceedOnTypecheckFailure"] = true
+	cfg = writeCfg(t, dir, base)
+	if n, err := AnalyzeUnit(cfg, suite, &strings.Builder{}, false); err != nil || n != 0 {
+		t.Errorf("SucceedOnTypecheckFailure: got n=%d err=%v, want 0, nil", n, err)
+	}
+}
+
+// TestPrintFlagsShape pins the -flags handshake payload cmd/go parses.
+func TestPrintFlagsShape(t *testing.T) {
+	// printFlags writes to os.Stdout for cmd/go; re-derive the payload
+	// it marshals and validate the contract fields here.
+	flags := []jsonFlag{{Name: "json", Bool: true, Usage: "emit JSON diagnostics"}}
+	for _, a := range suite {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, f := range decoded {
+		names[f["Name"].(string)] = true
+		if _, ok := f["Bool"].(bool); !ok {
+			t.Errorf("flag %v missing Bool", f["Name"])
+		}
+	}
+	for _, want := range []string{"json", "detorder", "noalloc", "poolshard", "intoalias"} {
+		if !names[want] {
+			t.Errorf("flag %q missing from handshake", want)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package detorder defines an Analyzer enforcing the repository's
+// determinism contract: functions (or whole packages) annotated
+// //ivmf:deterministic must be bitwise-reproducible for any worker
+// count, so the analyzer flags the language- and library-level
+// nondeterminism sources inside them:
+//
+//   - range over a map (iteration order is randomized),
+//   - time.Now / time.Since (wall-clock dependence),
+//   - package-level math/rand and math/rand/v2 functions, which draw
+//     from shared, randomly-seeded global state (explicitly seeded
+//     rand.New(rand.NewSource(...)) generators are fine and are the
+//     repository idiom),
+//   - multi-case select statements (ready cases are chosen at random).
+//
+// detorder is also the designated owner of //ivmf: directive hygiene:
+// every malformed or misplaced directive collected by
+// internal/analysis/directive is reported here, so a typo'd annotation
+// is a CI failure rather than a silently disabled contract.
+package detorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astutil"
+	"repro/internal/analysis/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc: "flag nondeterminism sources (map range, time.Now, global math/rand, multi-case select) " +
+		"inside //ivmf:deterministic functions, and all malformed //ivmf: directives",
+	Run: run,
+}
+
+// randConstructors are the package-level math/rand functions that only
+// build explicitly-seeded generators and are therefore deterministic.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) error {
+	set := directive.Collect(pass.Fset, pass.Files)
+	for _, e := range set.Errors {
+		pass.Reportf(e.Pos, "%s", e.Message)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !set.FuncDeterministic(fd) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+
+	// Identifiers that are the Sel of a selector are resolved at the
+	// selector; visiting them again as bare idents would double-report.
+	selSel := make(map[*ast.Ident]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			selSel[sel.Sel] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if astutil.IsMapType(info.TypeOf(n.X)) {
+				pass.Reportf(n.Range,
+					"range over map in deterministic function %s: iteration order is randomized (iterate sorted keys instead)", fd.Name.Name)
+			}
+		case *ast.SelectStmt:
+			if len(n.Body.List) >= 2 {
+				pass.Reportf(n.Select,
+					"multi-case select in deterministic function %s: case choice among ready channels is randomized", fd.Name.Name)
+			}
+		case *ast.SelectorExpr:
+			checkFuncRef(pass, fd, info.Uses[n.Sel], n.Sel)
+		case *ast.Ident:
+			if !selSel[n] {
+				checkFuncRef(pass, fd, info.Uses[n], n)
+			}
+		}
+		return true
+	})
+}
+
+// checkFuncRef flags any reference (call or value use) to a wall-clock
+// or global-generator function.
+func checkFuncRef(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object, at *ast.Ident) {
+	f, ok := obj.(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (e.g. (*rand.Rand).Float64) are fine
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if f.Name() == "Now" || f.Name() == "Since" {
+			pass.Reportf(at.Pos(),
+				"time.%s in deterministic function %s: wall-clock values are not reproducible", f.Name(), fd.Name.Name)
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[f.Name()] {
+			pass.Reportf(at.Pos(),
+				"global %s.%s in deterministic function %s: draws from shared nondeterministic state (use an explicitly seeded rand.New(rand.NewSource(...)))",
+				f.Pkg().Name(), f.Name(), fd.Name.Name)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+// Package b carries //ivmf:deterministic on its package clause: every
+// function in the package is covered without per-function annotations.
+//
+//ivmf:deterministic
+package b
+
+func anyFunc(m map[int]int) int {
+	s := 0
+	for _, v := range m { // want `range over map in deterministic function anyFunc`
+		s += v
+	}
+	return s
+}
+
+func alsoCovered(xs []int) int {
+	s := 0
+	for _, v := range xs { // slices are ordered: no diagnostic
+		s += v
+	}
+	return s
+}

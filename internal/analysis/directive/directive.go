@@ -1,0 +1,187 @@
+// Package directive parses the repository's //ivmf: source annotations
+// — the machine-checkable contract markers that the ivmfcheck analyzers
+// enforce:
+//
+//	//ivmf:deterministic   (func decl or package clause)
+//	//ivmf:noalloc         (func decl only)
+//
+// A deterministic function must produce bitwise-identical results for
+// any worker count; detorder flags nondeterminism sources inside it. A
+// noalloc function is a steady-state hot path that must not allocate on
+// non-panicking paths; noalloc flags allocation sites inside it.
+//
+// The grammar is deliberately rigid so a typo cannot silently disable a
+// contract: a directive comment is exactly "//ivmf:" immediately
+// followed by a known directive name and nothing else (trailing spaces
+// tolerated). Anything that *looks like* an attempted directive —
+// unknown name, space between "//" and "ivmf:", a block comment, a
+// directive on a var/type declaration or loose inside a function body —
+// is collected as an Error, and the detorder analyzer (the suite's
+// designated owner of directive hygiene) reports every such Error as a
+// diagnostic. Malformed directives are therefore loud, never ignored.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Kinds records which directives are attached to one function.
+type Kinds struct {
+	Deterministic bool
+	NoAlloc       bool
+}
+
+// An Error is a malformed or misplaced directive.
+type Error struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Set holds the parsed directives of one package.
+type Set struct {
+	// PkgDeterministic is true if any file's package clause carries
+	// //ivmf:deterministic; the contract then covers every function in
+	// the package's non-test files (a deterministic package's tests
+	// are free to use maps, clocks, and shared rand; annotate test
+	// helpers individually if they need the contract).
+	PkgDeterministic bool
+
+	// Funcs maps annotated function declarations to their directives.
+	Funcs map[*ast.FuncDecl]Kinds
+
+	// Errors lists malformed/misplaced directives, in file order.
+	Errors []Error
+
+	// testFuncs marks functions declared in _test.go files, which the
+	// package-level annotation does not cover.
+	testFuncs map[*ast.FuncDecl]bool
+}
+
+// FuncDeterministic reports whether fd is covered by the deterministic
+// contract, either directly or through a package-clause annotation.
+func (s *Set) FuncDeterministic(fd *ast.FuncDecl) bool {
+	if s.Funcs[fd].Deterministic {
+		return true
+	}
+	return s.PkgDeterministic && !s.testFuncs[fd]
+}
+
+// FuncNoAlloc reports whether fd is covered by the noalloc contract.
+func (s *Set) FuncNoAlloc(fd *ast.FuncDecl) bool {
+	return s.Funcs[fd].NoAlloc
+}
+
+const prefix = "//ivmf:"
+
+// known directive names and where they may be attached.
+var known = map[string]struct{ pkgOK bool }{
+	"deterministic": {pkgOK: true},
+	"noalloc":       {pkgOK: false},
+}
+
+// Collect parses the //ivmf: directives of the given files (one
+// package). It never fails: malformed directives land in Set.Errors.
+func Collect(fset *token.FileSet, files []*ast.File) *Set {
+	s := &Set{
+		Funcs:     make(map[*ast.FuncDecl]Kinds),
+		testFuncs: make(map[*ast.FuncDecl]bool),
+	}
+	for _, f := range files {
+		inTest := strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && inTest {
+				s.testFuncs[fd] = true
+			}
+		}
+		collectFile(s, f)
+	}
+	return s
+}
+
+func collectFile(s *Set, f *ast.File) {
+	// Comment groups that legitimately may carry directives: the
+	// package doc and each function's doc.
+	attached := make(map[*ast.CommentGroup]string) // group -> "package" | "func"
+	funcOf := make(map[*ast.CommentGroup]*ast.FuncDecl)
+	if f.Doc != nil {
+		attached[f.Doc] = "package"
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+			attached[fd.Doc] = "func"
+			funcOf[fd.Doc] = fd
+		}
+	}
+
+	for _, cg := range f.Comments {
+		where := attached[cg]
+		for _, c := range cg.List {
+			name, errMsg := parseComment(c.Text)
+			if errMsg != "" {
+				s.Errors = append(s.Errors, Error{Pos: c.Pos(), Message: errMsg})
+				continue
+			}
+			if name == "" {
+				continue // not directive-like at all
+			}
+			switch where {
+			case "package":
+				if !known[name].pkgOK {
+					s.Errors = append(s.Errors, Error{Pos: c.Pos(),
+						Message: "ivmf directive " + prefix + name + " applies to functions, not packages"})
+					continue
+				}
+				s.PkgDeterministic = true
+			case "func":
+				fd := funcOf[cg]
+				k := s.Funcs[fd]
+				switch name {
+				case "deterministic":
+					k.Deterministic = true
+				case "noalloc":
+					k.NoAlloc = true
+				}
+				s.Funcs[fd] = k
+			default:
+				s.Errors = append(s.Errors, Error{Pos: c.Pos(),
+					Message: "misplaced ivmf directive: " + prefix + name + " must be in the doc comment of a function declaration or the package clause"})
+			}
+		}
+	}
+}
+
+// parseComment classifies one raw comment. It returns the directive
+// name for a well-formed directive, "" for an ordinary comment, or a
+// non-empty error message for anything that attempts to be a directive
+// but is malformed.
+func parseComment(text string) (name, errMsg string) {
+	if strings.HasPrefix(text, "/*") {
+		if strings.Contains(text, "ivmf:") {
+			return "", "ivmf directives must be line comments (//ivmf:name), not block comments"
+		}
+		return "", ""
+	}
+	rest, ok := strings.CutPrefix(text, prefix)
+	if !ok {
+		// "// ivmf:deterministic" is a classic typo that would
+		// silently disable the contract; flag any spaced variant.
+		trimmed := strings.TrimLeft(strings.TrimPrefix(text, "//"), " \t")
+		if strings.HasPrefix(trimmed, "ivmf:") && !strings.HasPrefix(text, prefix) {
+			return "", "malformed ivmf directive: no space is allowed between // and ivmf: (write " + prefix + "name)"
+		}
+		return "", ""
+	}
+	rest = strings.TrimRight(rest, " \t")
+	if rest == "" {
+		return "", "malformed ivmf directive: missing directive name after " + prefix
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		return "", "malformed ivmf directive " + prefix + rest[:i] + ": trailing text is not allowed (rationale goes in the doc comment)"
+	}
+	if _, ok := known[rest]; !ok {
+		return "", "unknown ivmf directive " + prefix + rest + " (known: deterministic, noalloc)"
+	}
+	return rest, ""
+}

@@ -1,0 +1,209 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, filename, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func collect(t *testing.T, src string) *Set {
+	t.Helper()
+	fset, f := parse(t, "p.go", src)
+	return Collect(fset, []*ast.File{f})
+}
+
+func errorMessages(s *Set) []string {
+	msgs := make([]string, len(s.Errors))
+	for i, e := range s.Errors {
+		msgs[i] = e.Message
+	}
+	return msgs
+}
+
+func TestWellFormedFuncDirectives(t *testing.T) {
+	s := collect(t, `package p
+
+// F is hot.
+//
+//ivmf:deterministic
+//ivmf:noalloc
+func F() {}
+
+func G() {}
+`)
+	if len(s.Errors) != 0 {
+		t.Fatalf("unexpected errors: %v", errorMessages(s))
+	}
+	var fF, fG *ast.FuncDecl
+	for fd := range s.Funcs {
+		if fd.Name.Name == "F" {
+			fF = fd
+		}
+	}
+	if fF == nil {
+		t.Fatal("F not collected")
+	}
+	if !s.FuncDeterministic(fF) || !s.FuncNoAlloc(fF) {
+		t.Errorf("F kinds = %+v, want both directives", s.Funcs[fF])
+	}
+	_ = fG
+	if s.PkgDeterministic {
+		t.Error("package should not be deterministic")
+	}
+}
+
+func TestPackageDeterministic(t *testing.T) {
+	s := collect(t, `// Package p is fully deterministic.
+//
+//ivmf:deterministic
+package p
+
+func F() {}
+`)
+	if len(s.Errors) != 0 {
+		t.Fatalf("unexpected errors: %v", errorMessages(s))
+	}
+	if !s.PkgDeterministic {
+		t.Fatal("package-clause directive not honored")
+	}
+}
+
+func TestPackageAnnotationSkipsTestFiles(t *testing.T) {
+	fset := token.NewFileSet()
+	lib, err := parser.ParseFile(fset, "p.go", `//ivmf:deterministic
+package p
+
+func Lib() {}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tst, err := parser.ParseFile(fset, "p_test.go", `package p
+
+func TestLib() {}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Collect(fset, []*ast.File{lib, tst})
+	var libFn, testFn *ast.FuncDecl
+	for _, f := range []*ast.File{lib, tst} {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				switch fd.Name.Name {
+				case "Lib":
+					libFn = fd
+				case "TestLib":
+					testFn = fd
+				}
+			}
+		}
+	}
+	if !s.FuncDeterministic(libFn) {
+		t.Error("package annotation should cover non-test functions")
+	}
+	if s.FuncDeterministic(testFn) {
+		t.Error("package annotation must not cover _test.go functions")
+	}
+}
+
+// TestMalformed pins the contract of the satellite task: every way of
+// getting an //ivmf: directive wrong is an error, never silence.
+func TestMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		src     string
+		wantErr string // substring of the single expected error
+	}{
+		{"unknown name", `package p
+
+//ivmf:frobnicate
+func F() {}
+`, "unknown ivmf directive"},
+		{"missing name", `package p
+
+//ivmf:
+func F() {}
+`, "missing directive name"},
+		{"trailing text", `package p
+
+//ivmf:deterministic because reasons
+func F() {}
+`, "trailing text is not allowed"},
+		{"space before ivmf", `package p
+
+// ivmf:deterministic
+func F() {}
+`, "no space is allowed between // and ivmf:"},
+		{"block comment", `package p
+
+/* ivmf:deterministic */
+func F() {}
+`, "must be line comments"},
+		{"noalloc on package", `//ivmf:noalloc
+package p
+`, "applies to functions, not packages"},
+		{"on var decl", `package p
+
+//ivmf:deterministic
+var X int
+`, "misplaced ivmf directive"},
+		{"inside function body", `package p
+
+func F() {
+	//ivmf:noalloc
+	_ = 1
+}
+`, "misplaced ivmf directive"},
+		{"floating comment", `package p
+
+//ivmf:deterministic
+
+func F() {}
+`, "misplaced ivmf directive"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := collect(t, c.src)
+			if len(s.Errors) != 1 {
+				t.Fatalf("got %d errors (%v), want 1", len(s.Errors), errorMessages(s))
+			}
+			if !strings.Contains(s.Errors[0].Message, c.wantErr) {
+				t.Errorf("error %q does not mention %q", s.Errors[0].Message, c.wantErr)
+			}
+			if !s.Errors[0].Pos.IsValid() {
+				t.Error("error has no position")
+			}
+			// A malformed directive never half-applies.
+			if s.PkgDeterministic || len(s.Funcs) != 0 {
+				t.Errorf("malformed directive took effect: pkg=%v funcs=%d", s.PkgDeterministic, len(s.Funcs))
+			}
+		})
+	}
+}
+
+func TestOrdinaryCommentsIgnored(t *testing.T) {
+	s := collect(t, `package p
+
+// This function mentions determinism and ivmf prose without being a
+// directive; see the ivmf: spec elsewhere. Not flagged: the prefix
+// "//ivmf:" never occurs at a comment start.
+func F() {}
+`)
+	if len(s.Errors) != 0 || len(s.Funcs) != 0 || s.PkgDeterministic {
+		t.Errorf("prose comments misparsed: errors=%v funcs=%d pkg=%v",
+			errorMessages(s), len(s.Funcs), s.PkgDeterministic)
+	}
+}

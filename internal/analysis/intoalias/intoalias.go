@@ -1,0 +1,147 @@
+// Package intoalias defines an Analyzer for the destination-passing
+// kernel convention: every *Into function (matrix.MulInto,
+// imatrix.GramEndpointsInto, sparse.MulDenseInto, ...) takes an
+// explicit dst parameter that must not alias any source operand — the
+// kernels zero dst up front and accumulate into it tile by tile, so an
+// aliased call silently reads half-written output as input. The dense
+// kernels panic on exact aliasing at runtime (checkDst); this analyzer
+// is the static companion that catches the same bug at vet time, before
+// a test has to execute the call.
+//
+// A call is flagged when an argument bound to a parameter named dst is
+// syntactically the same pure reference (identifier / selector chain /
+// &-of either, resolved to the same root object) as another argument.
+// Distinct variables that alias through pointer copies are out of
+// scope, as are intentionally self-referential APIs — in-place kernels
+// in this repository take a single operand (minMaxInPlace-style) rather
+// than repeating it.
+//
+// Elementwise kernels are exempt: AddInto, SubInto, and ScaleInto
+// document "dst may alias" because output element i depends only on
+// input elements i, so in-place is well defined and the hot paths use
+// it deliberately (workspace reuse in the NMF multiplicative updates
+// and the ISVD solve steps). Every contracting or reshaping kernel
+// (Mul*, TMul*, Transpose*, Gram*, the imatrix endpoint fusions) reads
+// operand elements after writing different dst elements, so for those
+// the disjointness requirement is absolute.
+package intoalias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "intoalias",
+	Doc: "flag calls to destination-passing *Into kernels where the dst argument " +
+		"syntactically aliases a source operand",
+	Run: run,
+}
+
+// aliasSafe lists the elementwise Into kernels whose documented
+// contract permits dst to alias a source (dst[i] is computed from
+// operand element i alone). Name-keyed because the analyzer sees only
+// export data for out-of-package callees, never their doc comments.
+var aliasSafe = map[string]bool{
+	"AddInto":   true,
+	"SubInto":   true,
+	"ScaleInto": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if astutil.IsTestFile(pass.Fset, f) {
+			continue // panic-guard tests alias dst on purpose
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				checkCall(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	callee := astutil.Callee(pass.TypesInfo, call)
+	if callee == nil || !strings.HasSuffix(callee.Name(), "Into") || aliasSafe[callee.Name()] {
+		return
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != len(call.Args) {
+		return // variadic/spread shapes: stay quiet
+	}
+
+	type operand struct {
+		expr  ast.Expr
+		canon string
+		root  types.Object
+		isDst bool
+	}
+	ops := make([]operand, 0, len(call.Args)+1)
+	for i, arg := range call.Args {
+		canon, root := canonical(pass.TypesInfo, arg)
+		ops = append(ops, operand{arg, canon, root, sig.Params().At(i).Name() == "dst"})
+	}
+	// A method's receiver is a source operand too (dst.XxxInto shapes,
+	// should any appear).
+	if sig.Recv() != nil {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			canon, root := canonical(pass.TypesInfo, sel.X)
+			ops = append(ops, operand{sel.X, canon, root, false})
+		}
+	}
+
+	for _, dst := range ops {
+		if !dst.isDst || dst.canon == "" {
+			continue
+		}
+		for _, src := range ops {
+			if src.isDst || src.canon == "" {
+				continue
+			}
+			if src.canon == dst.canon && src.root == dst.root {
+				pass.Reportf(dst.expr.Pos(),
+					"%s: dst aliases source operand %s; destination-passing kernels require a disjoint dst",
+					callee.Name(), dst.canon)
+				break // one report per dst, however many operands repeat it
+			}
+		}
+	}
+}
+
+// canonical renders a pure reference expression (identifier, selector
+// chain, &-of either, parens) as a comparable string plus its root
+// object; impure expressions (calls, indexing, literals) return "".
+// The root object distinguishes shadowed names: two textually equal
+// chains only alias if their roots are the same declaration.
+func canonical(info *types.Info, e ast.Expr) (string, types.Object) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return canonical(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return "", nil
+		}
+		s, root := canonical(info, e.X)
+		if s == "" {
+			return "", nil
+		}
+		return "&" + s, root
+	case *ast.Ident:
+		return e.Name, info.Uses[e]
+	case *ast.SelectorExpr:
+		s, root := canonical(info, e.X)
+		if s == "" {
+			return "", nil
+		}
+		return s + "." + e.Sel.Name, root
+	}
+	return "", nil
+}

@@ -1,0 +1,12 @@
+package intoalias_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/intoalias"
+)
+
+func TestIntoalias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), intoalias.Analyzer, "a")
+}

@@ -1,0 +1,33 @@
+// Package a exercises the intoalias analyzer over local
+// destination-passing kernels (the real ones live in internal/matrix
+// and friends; the convention — a parameter named dst on a function
+// whose name ends in Into — is what the analyzer keys on).
+package a
+
+type Dense struct{ Data []float64 }
+
+func MulInto(dst, a, b *Dense) *Dense                  { return dst }
+func TransposeInto(dst, a *Dense) *Dense               { return dst }
+func ScaleInto(dst *Dense, s float64, a *Dense) *Dense { return dst }
+
+// plainInto has no dst parameter, so it is never checked.
+func plainInto(x, y *Dense) {}
+
+type wrap struct{ d *Dense }
+
+func calls(dst, a, b *Dense, w wrap, ms []*Dense) {
+	MulInto(dst, a, b)       // disjoint: fine
+	MulInto(dst, dst, b)     // want `MulInto: dst aliases source operand dst`
+	MulInto(a, a, a)         // want `MulInto: dst aliases source operand a`
+	TransposeInto(w.d, w.d)  // want `TransposeInto: dst aliases source operand w\.d`
+	MulInto(dst, a, a)       // sources may repeat (Gram shapes): fine
+	ScaleInto(a, 2, a)       // elementwise kernels document "dst may alias": fine
+	plainInto(a, a)          // no dst parameter: fine
+	MulInto(&Dense{}, a, b)  // literal dst: fine
+	MulInto(ms[0], ms[0], b) // indexed operands are impure: out of scope, fine
+	{
+		dst := a           // shadowed: a different object than the outer dst
+		MulInto(dst, b, b) // fine (and would be a false positive on text alone)
+		_ = dst
+	}
+}

@@ -1,0 +1,133 @@
+// Package noalloc defines an Analyzer enforcing the repository's
+// allocation-free contract: functions annotated //ivmf:noalloc are
+// steady-state hot paths (the MulInto / GramEndpointsInto / TopN-heap
+// family) whose non-panicking execution must not allocate. The analyzer
+// flags the syntactic allocation sites the dynamic budgets in
+// allocs_test.go can only sample:
+//
+//   - make and new,
+//   - append (growth cannot be bounded statically, so any append is a
+//     potential reallocation of the backing array),
+//   - escaping composite literals: &T{...}, and slice/map literals
+//     (which always allocate their backing store),
+//   - string concatenation (+ / += on strings),
+//   - calls into package fmt (formatting allocates).
+//
+// Arguments of panic(...) calls are exempt: a panicking shape-check may
+// format its message, since the contract covers only the non-panicking
+// steady state. The check is per-function and syntactic — callees are
+// not followed; allocs_test.go remains the dynamic, cross-call
+// backstop.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astutil"
+	"repro/internal/analysis/directive"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: "flag allocation sites (make, new, append, escaping composite literals, " +
+		"string concatenation, fmt calls) inside //ivmf:noalloc functions",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	set := directive.Collect(pass.Fset, pass.Files)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !set.FuncNoAlloc(fd) {
+				continue
+			}
+			w := &walker{pass: pass, fd: fd}
+			w.walk(fd.Body)
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+	fd   *ast.FuncDecl
+}
+
+func (w *walker) reportf(pos token.Pos, format string, args ...any) {
+	args = append(args, w.fd.Name.Name)
+	w.pass.Reportf(pos, format+" in noalloc function %s", args...)
+}
+
+// walk inspects n, skipping the arguments of panic(...) calls.
+func (w *walker) walk(n ast.Node) {
+	info := w.pass.TypesInfo
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if astutil.IsBuiltinCall(info, n, "panic") {
+				return false // panic paths are exempt from the contract
+			}
+			w.checkCall(n)
+		case *ast.CompositeLit:
+			w.checkCompositeLit(n)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					w.reportf(n.Pos(), "composite literal escapes to the heap via &")
+					return false // don't re-flag the literal itself
+				}
+			}
+		case *ast.BinaryExpr:
+			// Constant folds ("a"+"b") happen at compile time.
+			if n.Op == token.ADD && isString(info.TypeOf(n.X)) && info.Types[n].Value == nil {
+				w.reportf(n.OpPos, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.TypeOf(n.Lhs[0])) {
+				w.reportf(n.TokPos, "string concatenation allocates")
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) checkCall(call *ast.CallExpr) {
+	info := w.pass.TypesInfo
+	switch {
+	case astutil.IsBuiltinCall(info, call, "make"):
+		w.reportf(call.Pos(), "make allocates")
+	case astutil.IsBuiltinCall(info, call, "new"):
+		w.reportf(call.Pos(), "new allocates")
+	case astutil.IsBuiltinCall(info, call, "append"):
+		w.reportf(call.Pos(), "append may grow and reallocate its backing array")
+	default:
+		if f := astutil.Callee(info, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+			w.reportf(call.Pos(), "fmt.%s allocates", f.Name())
+		}
+	}
+}
+
+func (w *walker) checkCompositeLit(lit *ast.CompositeLit) {
+	t := w.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		w.reportf(lit.Pos(), "slice literal allocates its backing array")
+	case *types.Map:
+		w.reportf(lit.Pos(), "map literal allocates")
+	}
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,48 @@
+// Package a exercises the noalloc analyzer.
+package a
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+// bad gathers every flagged allocation site.
+//
+//ivmf:noalloc
+func bad(dst, xs []float64, name string) float64 {
+	buf := make([]float64, 4)   // want `make allocates`
+	p := new(point)             // want `new allocates`
+	xs = append(xs, 1)          // want `append may grow and reallocate`
+	lit := []float64{1, 2}      // want `slice literal allocates its backing array`
+	idx := map[string]int{}     // want `map literal allocates`
+	pp := &point{1, 2}          // want `composite literal escapes to the heap`
+	s := name + "!"             // want `string concatenation allocates`
+	s += name                   // want `string concatenation allocates`
+	msg := fmt.Sprintf("%v", s) // want `fmt\.Sprintf allocates`
+	_, _, _, _, _ = buf, p, lit, idx, pp
+	_ = msg
+	return xs[0] + dst[0]
+}
+
+// good is allocation-free on its steady-state path: indexed writes,
+// value composite literals, constant-folded strings, and a formatting
+// call that only runs on the exempt panic path.
+//
+//ivmf:noalloc
+func good(dst, a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mismatch: %d vs %d", len(a), len(b)))
+	}
+	pt := point{2, 3}                   // value literal: stays off the heap
+	const greeting = "hello " + "world" // constant fold: no runtime concat
+	for i := range a {
+		dst[i] = a[i]*pt.x + b[i]*pt.y
+	}
+	_ = greeting
+}
+
+// unannotated is the near-miss negative: allocation galore, no
+// contract, no diagnostics.
+func unannotated(name string) []int {
+	_ = fmt.Sprintf("%s", name+"!")
+	return append(make([]int, 0, 4), 1)
+}

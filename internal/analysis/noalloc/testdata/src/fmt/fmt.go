@@ -1,0 +1,6 @@
+// Package fmt is a minimal shadow of the standard library package so
+// the noalloc corpus type-checks hermetically.
+package fmt
+
+func Sprintf(format string, args ...any) string { return format }
+func Errorf(format string, args ...any) error   { return nil }

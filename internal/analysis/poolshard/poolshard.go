@@ -1,0 +1,225 @@
+// Package poolshard defines an Analyzer enforcing the worker-pool
+// sharding contract of internal/parallel: a closure passed to
+// parallel.For / parallel.ForWith runs concurrently over disjoint
+// [lo, hi) index ranges, so all of its writes must land in
+// index-addressed, range-disjoint storage. The analyzer flags the
+// shared-state write shapes that break that contract (racy under the
+// pool, and order-nondeterministic even when "benign"):
+//
+//   - assignment or ++/-- to a captured variable (the classic shared
+//     accumulator: sum += ... collected across chunks),
+//   - assignment to a field of a captured variable or through a
+//     captured pointer (same hazard, one indirection deeper),
+//   - index-assignment into a captured map (Go maps are not safe for
+//     concurrent writes even at disjoint keys),
+//   - append to a captured slice (appends race on the shared length
+//     and may reallocate the backing array mid-flight).
+//
+// Indexed writes into captured slices/arrays — s[i] = v, dst.Data[i*c+j]
+// = v — are the intended pattern and are allowed; the closure is
+// responsible for keeping indices inside its [lo, hi) shard, which the
+// determinism tests pin dynamically. Closure-local variables (declared
+// inside the closure, including its lo/hi parameters) are always fine.
+// parallel.Do / DoWith closures are exempt: each function there is a
+// distinct task, and writing one captured result slot per task (the
+// endpoint-pair idiom) is the intended use.
+package poolshard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/astutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolshard",
+	Doc: "flag closures passed to parallel.For/ForWith that write captured variables, " +
+		"captured maps, or append to captured slices instead of writing disjoint indexed ranges",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if astutil.IsTestFile(pass.Fset, f) {
+			continue // guard-rail tests construct violations on purpose
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isPoolFor(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					checkClosure(pass, lit)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPoolFor reports whether call invokes For or ForWith of a package
+// whose import path ends in "parallel" (repro/internal/parallel in the
+// real tree; plain "parallel" in test corpora).
+func isPoolFor(info *types.Info, call *ast.CallExpr) bool {
+	f := astutil.Callee(info, call)
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	if f.Name() != "For" && f.Name() != "ForWith" {
+		return false
+	}
+	path := f.Pkg().Path()
+	return path == "parallel" || pathBase(path) == "parallel"
+}
+
+func pathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+func checkClosure(pass *analysis.Pass, lit *ast.FuncLit) {
+	info := pass.TypesInfo
+	litScope := info.Scopes[lit.Type]
+
+	// local reports whether obj is declared inside the closure
+	// (parameters included). Package-level objects and enclosing
+	// function locals are captured shared state.
+	local := func(obj types.Object) bool {
+		if obj == nil || litScope == nil {
+			return true // unresolved: stay quiet
+		}
+		for s := obj.Parent(); s != nil; s = s.Parent() {
+			if s == litScope {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWrite(pass, info, local, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, info, local, n.X)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN { // for i, v = range ... over pre-declared vars
+				if n.Key != nil {
+					checkWrite(pass, info, local, n.Key)
+				}
+				if n.Value != nil {
+					checkWrite(pass, info, local, n.Value)
+				}
+			}
+		case *ast.CallExpr:
+			if astutil.IsBuiltinCall(info, n, "append") && len(n.Args) > 0 {
+				if root, indexed := writeTarget(info, n.Args[0]); root != nil && !indexed && !local(info.Uses[root]) {
+					pass.Reportf(n.Pos(),
+						"parallel.For closure appends to captured slice %s: appends race on the shared length and may reallocate (write disjoint indexed ranges instead)", root.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one assignment target inside a pool closure.
+func checkWrite(pass *analysis.Pass, info *types.Info, local func(types.Object) bool, lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+
+	// A map index-write is unsafe on captured maps no matter how the
+	// key is derived: flag it before the generic indexed-write pass.
+	if ix, ok := lhs.(*ast.IndexExpr); ok && astutil.IsMapType(info.TypeOf(ix.X)) {
+		if root, _ := writeTarget(info, ix.X); root != nil && !local(info.Uses[root]) {
+			pass.Reportf(lhs.Pos(),
+				"parallel.For closure writes captured map %s: maps are not safe for concurrent writes even at disjoint keys", root.Name)
+		}
+		return
+	}
+
+	root, indexed := writeTarget(info, lhs)
+	if root == nil || indexed {
+		return // indexed writes are the sharded-output pattern
+	}
+	obj := info.Uses[root]
+	if obj == nil {
+		return // := definition or unresolved: closure-local
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if local(obj) {
+		return
+	}
+	if root == lhs {
+		pass.Reportf(lhs.Pos(),
+			"parallel.For closure writes captured variable %s: chunks race and combine order is nondeterministic (write disjoint indexed ranges instead)", root.Name)
+	} else {
+		pass.Reportf(lhs.Pos(),
+			"parallel.For closure writes through captured %s: shared state across chunks (write disjoint indexed ranges instead)", root.Name)
+	}
+}
+
+// writeTarget walks an assignment target to its root identifier,
+// reporting whether the path passes through an index operation (which
+// makes it a permitted range-disjoint write).
+func writeTarget(info *types.Info, e ast.Expr) (root *ast.Ident, indexed bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, indexed
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			// pkg.Var resolves at the Sel, not the package name.
+			if _, isPkg := info.Uses[selRoot(x)].(*types.PkgName); isPkg {
+				return x.Sel, indexed
+			}
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			indexed = true
+			e = x.X
+		case *ast.SliceExpr:
+			indexed = true
+			e = x.X
+		default:
+			return nil, indexed
+		}
+	}
+}
+
+// selRoot returns the leftmost identifier of a selector chain, or nil.
+func selRoot(sel *ast.SelectorExpr) *ast.Ident {
+	e := ast.Expr(sel)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

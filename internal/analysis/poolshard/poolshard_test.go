@@ -1,0 +1,12 @@
+package poolshard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolshard"
+)
+
+func TestPoolshard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolshard.Analyzer, "a")
+}

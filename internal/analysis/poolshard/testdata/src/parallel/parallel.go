@@ -1,0 +1,14 @@
+// Package parallel is a minimal shadow of repro/internal/parallel so
+// the poolshard corpus type-checks hermetically; the analyzer matches
+// any package whose import path ends in "parallel".
+package parallel
+
+func For(n, grain int, fn func(lo, hi int)) { fn(0, n) }
+
+func ForWith(workers, n, grain int, fn func(lo, hi int)) { fn(0, n) }
+
+func Do(fns ...func()) {
+	for _, f := range fns {
+		f()
+	}
+}

@@ -21,6 +21,8 @@ type AccuracyResult struct {
 // Accuracy scores a reconstruction against the original interval matrix
 // per Definition 5: Δ(M, M̃) = ‖M − M̃‖_F / ‖M‖_F per endpoint,
 // Θ = max(0, 1-Δ), combined by harmonic mean.
+//
+//ivmf:deterministic
 func Accuracy(orig, recon *imatrix.IMatrix) AccuracyResult {
 	dLo := relativeError(orig.Lo, recon.Lo)
 	dHi := relativeError(orig.Hi, recon.Hi)
@@ -36,6 +38,8 @@ func Accuracy(orig, recon *imatrix.IMatrix) AccuracyResult {
 }
 
 // Evaluate is a convenience helper running Reconstruct and Accuracy.
+//
+//ivmf:deterministic
 func (d *Decomposition) Evaluate(orig *imatrix.IMatrix) AccuracyResult {
 	return Accuracy(orig, d.Reconstruct())
 }
@@ -43,6 +47,8 @@ func (d *Decomposition) Evaluate(orig *imatrix.IMatrix) AccuracyResult {
 // relativeError returns ‖a − b‖_F / ‖a‖_F, with the conventions that a
 // zero reference with zero error is perfect (0) and a zero reference with
 // any error is total (1).
+//
+//ivmf:deterministic
 func relativeError(a, b *matrix.Dense) float64 {
 	ref := a.Frobenius()
 	diff := matrix.Sub(a, b).Frobenius()
@@ -55,6 +61,7 @@ func relativeError(a, b *matrix.Dense) float64 {
 	return diff / ref
 }
 
+//ivmf:deterministic
 func clampAccuracy(delta float64) float64 {
 	if acc := 1 - delta; acc > 0 {
 		return acc
@@ -63,6 +70,8 @@ func clampAccuracy(delta float64) float64 {
 }
 
 // HarmonicMean returns 2ab/(a+b), or 0 when a+b is 0.
+//
+//ivmf:deterministic
 func HarmonicMean(a, b float64) float64 {
 	if a+b == 0 {
 		return 0

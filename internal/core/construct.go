@@ -8,6 +8,8 @@ import (
 // construct assembles the final U†, Σ†, V† matrices from the aligned
 // endpoint parts according to the decomposition target (Section 3.4 and
 // the "Renormalization" / "Restoring Intervals" rows of Figure 4).
+//
+//ivmf:deterministic
 func construct(d *Decomposition, p parts) {
 	switch d.Target {
 	case TargetA:
@@ -25,6 +27,8 @@ func construct(d *Decomposition, p parts) {
 // matrices and singular-value diagonals that were produced outside the
 // ISVD pipelines (e.g. by the LP competitor in internal/lp), applying the
 // same target-specific construction rules of Section 3.4.
+//
+//ivmf:deterministic
 func AssembleDecomposition(method Method, target Target, u, v *imatrix.IMatrix, sLo, sHi []float64) *Decomposition {
 	d := &Decomposition{Method: method, Target: target, Rank: len(sLo)}
 	construct(d, parts{U: u, V: v, SLo: sLo, SHi: sHi})
@@ -34,6 +38,8 @@ func AssembleDecomposition(method Method, target Target, u, v *imatrix.IMatrix, 
 // constructA keeps everything interval-valued (Section 3.4.1): endpoint
 // pairs become intervals, and misordered pairs are replaced by their
 // average.
+//
+//ivmf:deterministic
 func constructA(d *Decomposition, p parts) {
 	u := p.U.Clone()
 	v := p.V.Clone()
@@ -48,6 +54,8 @@ func constructA(d *Decomposition, p parts) {
 // their columns to unit length, returning the scalar factors and the
 // per-column rescale coefficients ρ_j = colNormU[j] · colNormV[j]
 // (Section 3.4.2 / Supplementary Algorithm 5).
+//
+//ivmf:deterministic
 func renormalizedFactors(p parts) (uAvg, vAvg *matrix.Dense, rho []float64) {
 	uAvg = p.U.Mid()
 	vAvg = p.V.Mid()
@@ -63,6 +71,8 @@ func renormalizedFactors(p parts) (uAvg, vAvg *matrix.Dense, rho []float64) {
 // constructB produces scalar factors and an interval core (Section
 // 3.4.2): U and V are the renormalized averaged factors and the core
 // endpoints are rescaled by ρ_j to absorb the renormalization.
+//
+//ivmf:deterministic
 func constructB(d *Decomposition, p parts) {
 	uAvg, vAvg, rho := renormalizedFactors(p)
 	sLo := make([]float64, len(p.SLo))
@@ -80,6 +90,8 @@ func constructB(d *Decomposition, p parts) {
 
 // constructC produces scalar factors and a scalar core (Section 3.4.3):
 // like TargetB but with each core interval replaced by its mean.
+//
+//ivmf:deterministic
 func constructC(d *Decomposition, p parts) {
 	uAvg, vAvg, rho := renormalizedFactors(p)
 	s := make([]float64, len(p.SLo))

@@ -9,6 +9,8 @@ import (
 // reconstruction semantics matching the decomposition target
 // (Supplementary Algorithms 12-14). The result is always an interval
 // matrix; for TargetC it is degenerate (scalar).
+//
+//ivmf:deterministic
 func (d *Decomposition) Reconstruct() *imatrix.IMatrix {
 	switch d.Target {
 	case TargetA:

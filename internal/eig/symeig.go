@@ -4,6 +4,8 @@
 // Golub-Reinsch singular value decomposition, the Moore-Penrose
 // pseudo-inverse, and 2-norm condition-number estimation. All results are
 // deterministic and sorted by descending eigen/singular value.
+//
+//ivmf:deterministic
 package eig
 
 import (

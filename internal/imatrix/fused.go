@@ -54,6 +54,7 @@ func checkDstIMatrix(op string, dst *IMatrix, rows, cols int, operands ...*IMatr
 	}
 }
 
+//ivmf:noalloc
 func zeroFloats(s []float64) {
 	for i := range s {
 		s[i] = 0
@@ -90,6 +91,8 @@ func MulEndpointsInto(dst, a, b *IMatrix) *IMatrix {
 // fusedPanelMul accumulates the four endpoint products for output rows
 // [it, iEnd) × columns [jc, jEnd) over the full ascending k range, then
 // min/max-combines them in place.
+//
+//ivmf:noalloc
 func fusedPanelMul(dst, a, b *IMatrix, scratch []float64, it, iEnd, jc, jEnd, kDim int) {
 	w := jEnd - jc
 	rows := iEnd - it
@@ -129,6 +132,8 @@ func fusedPanelMul(dst, a, b *IMatrix, scratch []float64, it, iEnd, jc, jEnd, kD
 // combinePanel4 replaces the (t1, t4) accumulators stored in dst.Lo and
 // dst.Hi with the elementwise min/max over all four candidate products,
 // evaluating exactly the MinMaxCombine4 expression.
+//
+//ivmf:noalloc
 func combinePanel4(dst *IMatrix, t2, t3 []float64, it, iEnd, jc, jEnd int) {
 	w := jEnd - jc
 	cols := dst.Cols()
@@ -180,6 +185,8 @@ func GramEndpointsInto(dst, m *IMatrix) *IMatrix {
 // fusedPanelGram accumulates the four endpoint Gram products for output
 // rows [it, iEnd) × columns [jc, jEnd): the left operand is the
 // transpose of m read column-wise as contiguous row segments.
+//
+//ivmf:noalloc
 func fusedPanelGram(dst, m *IMatrix, scratch []float64, it, iEnd, jc, jEnd, kDim int) {
 	w := jEnd - jc
 	rows := iEnd - it
@@ -250,6 +257,8 @@ func MulEndpointsScalarLeftInto(dst *IMatrix, s *matrix.Dense, a *IMatrix) *IMat
 // minMaxInPlace sorts every (Lo, Hi) entry pair with the exact
 // math.Min/math.Max expressions of MinMaxCombine, sharded like the
 // combine loops.
+//
+//ivmf:noalloc
 func minMaxInPlace(dst *IMatrix) {
 	lo, hi := dst.Lo.Data, dst.Hi.Data
 	parallel.For(len(lo), combineGrain, func(flo, fhi int) {

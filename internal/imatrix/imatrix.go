@@ -4,6 +4,8 @@
 // replacement of misordered entries (Algorithms 2-3), the inverse of a
 // non-negative interval-valued diagonal core matrix (Algorithm 4), and
 // assorted helpers (hulls, spans, midpoint extraction).
+//
+//ivmf:deterministic
 package imatrix
 
 import (

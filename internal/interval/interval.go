@@ -3,6 +3,8 @@
 // [lo, hi] with addition, subtraction, multiplication, span, and a small
 // set of helpers (midpoint, containment, scaling) used throughout the
 // interval-valued matrix decomposition code.
+//
+//ivmf:deterministic
 package interval
 
 import (

@@ -9,6 +9,8 @@
 // row-space embedding (principal axes and interval scores), not a full
 // U·Σ·Vᵀ factorization, which is exactly the limitation the paper's
 // introduction motivates ISVD with.
+//
+//ivmf:deterministic
 package ipca
 
 import (

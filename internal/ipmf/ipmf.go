@@ -12,6 +12,8 @@
 // directly on sparse ratings with O(NNZ) memory and per-epoch cost, and
 // the dense entry points compress first, producing bitwise-identical
 // models.
+//
+//ivmf:deterministic
 package ipmf
 
 import (

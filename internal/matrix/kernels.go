@@ -62,6 +62,7 @@ func checkDst(op string, dst *Dense, rows, cols int, operands ...*Dense) {
 	}
 }
 
+//ivmf:noalloc
 func zeroFloats(s []float64) {
 	for i := range s {
 		s[i] = 0
@@ -73,6 +74,8 @@ func zeroFloats(s []float64) {
 // alias a or b. The product is sharded over output rows on the shared
 // worker pool and cache-blocked inside each shard; see the package
 // comment in this file for the determinism contract.
+//
+//ivmf:noalloc
 func MulInto(dst, a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("matrix: MulInto: %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -90,6 +93,8 @@ func MulInto(dst, a, b *Dense) *Dense {
 // of blockKC processed in ascending order (so per-element accumulation
 // order is the full ascending k sweep), and rows in groups of four so
 // each loaded b element feeds four outputs from registers.
+//
+//ivmf:noalloc
 func mulRange(dst, a, b *Dense, rlo, rhi int) {
 	kDim, n := a.Cols, b.Cols
 	for jc := 0; jc < n; jc += blockJC {
@@ -114,6 +119,8 @@ func mulRange(dst, a, b *Dense, rlo, rhi int) {
 // operation sequence bitwise), and stores once — quartering the
 // destination read-modify-write traffic while every loaded b element
 // feeds four rows.
+//
+//ivmf:noalloc
 func mulPanel4(dst, a, b *Dense, i, j0, j1, k0, k1 int) {
 	w := j1 - j0
 	o0 := dst.Data[i*dst.Cols+j0 : i*dst.Cols+j1 : i*dst.Cols+j1]
@@ -177,6 +184,8 @@ func mulPanel4(dst, a, b *Dense, i, j0, j1, k0, k1 int) {
 }
 
 // mulPanel1 handles the <4 row remainder of a shard.
+//
+//ivmf:noalloc
 func mulPanel1(dst, a, b *Dense, i, j0, j1, k0, k1 int) {
 	w := j1 - j0
 	orow := dst.Data[i*dst.Cols+j0 : i*dst.Cols+j1 : i*dst.Cols+j1]
@@ -197,6 +206,8 @@ func mulPanel1(dst, a, b *Dense, i, j0, j1, k0, k1 int) {
 // ascending k range — identical order to the unblocked MulT. Rows of a
 // are tiled so the four-column group of b rows stays cache-resident
 // across an a panel.
+//
+//ivmf:noalloc
 func MulTInto(dst, a, b *Dense) *Dense {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("matrix: MulTInto: %dx%d · (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -250,6 +261,8 @@ func MulTInto(dst, a, b *Dense) *Dense {
 // output panel stays hot across its k sweep, with k panels ascending —
 // per-element accumulation is the full ascending k order of the
 // unblocked TMul.
+//
+//ivmf:noalloc
 func TMulInto(dst, a, b *Dense) *Dense {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("matrix: TMulInto: (%dx%d)ᵀ · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
@@ -315,6 +328,8 @@ func TMulInto(dst, a, b *Dense) *Dense {
 }
 
 // AddInto computes dst = a + b elementwise. dst may alias a or b.
+//
+//ivmf:noalloc
 func AddInto(dst, a, b *Dense) *Dense {
 	checkSameShape("AddInto", a, b)
 	checkSameShape("AddInto", dst, a)
@@ -325,6 +340,8 @@ func AddInto(dst, a, b *Dense) *Dense {
 }
 
 // SubInto computes dst = a - b elementwise. dst may alias a or b.
+//
+//ivmf:noalloc
 func SubInto(dst, a, b *Dense) *Dense {
 	checkSameShape("SubInto", a, b)
 	checkSameShape("SubInto", dst, a)
@@ -335,6 +352,8 @@ func SubInto(dst, a, b *Dense) *Dense {
 }
 
 // ScaleInto computes dst = s·a elementwise. dst may alias a.
+//
+//ivmf:noalloc
 func ScaleInto(dst *Dense, s float64, a *Dense) *Dense {
 	checkSameShape("ScaleInto", dst, a)
 	for i, v := range a.Data {
@@ -345,6 +364,8 @@ func ScaleInto(dst *Dense, s float64, a *Dense) *Dense {
 
 // TransposeInto computes dst = aᵀ into dst (shape a.Cols×a.Rows), in
 // cache-friendly square tiles. dst must not alias a.
+//
+//ivmf:noalloc
 func TransposeInto(dst, a *Dense) *Dense {
 	checkDst("TransposeInto", dst, a.Cols, a.Rows, a)
 	const tile = 32

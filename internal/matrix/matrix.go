@@ -5,6 +5,8 @@
 // pseudo-inverse) live in internal/eig; the only dependency here is the
 // shared worker pool of internal/parallel, which the O(n³) products are
 // sharded on (with a size cutoff so small matrices run serially).
+//
+//ivmf:deterministic
 package matrix
 
 import (

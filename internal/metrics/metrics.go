@@ -2,6 +2,16 @@
 // paper's experiments: root-mean-square error (reconstruction and rating
 // prediction), macro-averaged F1 score (NN classification), and
 // normalized mutual information (clustering quality, via Cover & Thomas).
+//
+// Every accumulation here iterates slices in index order — label sets
+// are remapped to dense ids in first-appearance order (labelIDs) rather
+// than ranged over as maps, so each metric value is bitwise reproducible
+// run to run. Before that rewrite, F1Macro and NMI summed per-class
+// terms in Go's randomized map iteration order, and floating-point
+// addition is not associative: the reported scores wobbled in the last
+// bits between runs (caught by ivmfcheck's detorder analyzer).
+//
+//ivmf:deterministic
 package metrics
 
 import (
@@ -40,30 +50,36 @@ func F1Macro(pred, truth []int) float64 {
 	if len(truth) == 0 {
 		return 0
 	}
-	classes := map[int]bool{}
+	ids, k := labelIDs(truth, pred)
+	tp := make([]int, k)
+	fp := make([]int, k)
+	fn := make([]int, k)
+	inTruth := make([]bool, k)
 	for _, c := range truth {
-		classes[c] = true
+		inTruth[ids[c]] = true
 	}
-	tp := map[int]int{}
-	fp := map[int]int{}
-	fn := map[int]int{}
 	for i := range truth {
 		if pred[i] == truth[i] {
-			tp[truth[i]]++
+			tp[ids[truth[i]]]++
 		} else {
-			fp[pred[i]]++
-			fn[truth[i]]++
+			fp[ids[pred[i]]]++
+			fn[ids[truth[i]]]++
 		}
 	}
 	var sum float64
-	for c := range classes {
-		p := safeDiv(float64(tp[c]), float64(tp[c]+fp[c]))
-		r := safeDiv(float64(tp[c]), float64(tp[c]+fn[c]))
+	classes := 0
+	for id := 0; id < k; id++ {
+		if !inTruth[id] {
+			continue // predicted-only labels contribute no class term
+		}
+		classes++
+		p := safeDiv(float64(tp[id]), float64(tp[id]+fp[id]))
+		r := safeDiv(float64(tp[id]), float64(tp[id]+fn[id]))
 		if p+r > 0 {
 			sum += 2 * p * r / (p + r)
 		}
 	}
-	return sum / float64(len(classes))
+	return sum / float64(classes)
 }
 
 // Accuracy returns the fraction of matching labels.
@@ -95,13 +111,16 @@ func NMI(a, b []int) float64 {
 	if n == 0 {
 		return 0
 	}
-	ca := map[int]float64{}
-	cb := map[int]float64{}
-	joint := map[[2]int]float64{}
+	ia, ka := labelIDs(a)
+	ib, kb := labelIDs(b)
+	ca := make([]float64, ka)
+	cb := make([]float64, kb)
+	joint := make([]float64, ka*kb)
 	for i := range a {
-		ca[a[i]]++
-		cb[b[i]]++
-		joint[[2]int{a[i], b[i]}]++
+		x, y := ia[a[i]], ib[b[i]]
+		ca[x]++
+		cb[y]++
+		joint[x*kb+y]++
 	}
 	ha := entropy(ca, n)
 	hb := entropy(cb, n)
@@ -112,9 +131,15 @@ func NMI(a, b []int) float64 {
 		return 0
 	}
 	var mi float64
-	for k, nij := range joint {
-		pij := nij / n
-		mi += pij * math.Log(pij*n*n/(ca[k[0]]*cb[k[1]]))
+	for x := 0; x < ka; x++ {
+		for y := 0; y < kb; y++ {
+			nij := joint[x*kb+y]
+			if nij == 0 {
+				continue
+			}
+			pij := nij / n
+			mi += pij * math.Log(pij*n*n/(ca[x]*cb[y]))
+		}
 	}
 	nmi := mi / math.Sqrt(ha*hb)
 	// Guard tiny floating point overshoot.
@@ -127,7 +152,24 @@ func NMI(a, b []int) float64 {
 	return nmi
 }
 
-func entropy(counts map[int]float64, n float64) float64 {
+// labelIDs remaps arbitrary int labels to dense ids 0..k-1 in order of
+// first appearance across the given slices, so downstream accumulations
+// can iterate slices in a fixed order instead of ranging over maps.
+func labelIDs(lists ...[]int) (map[int]int, int) {
+	ids := map[int]int{}
+	for _, xs := range lists {
+		for _, x := range xs {
+			if _, ok := ids[x]; !ok {
+				ids[x] = len(ids)
+			}
+		}
+	}
+	return ids, len(ids)
+}
+
+// entropy computes -Σ p·log p over per-label counts. Ids built by
+// labelIDs all appear at least once, so every count is positive.
+func entropy(counts []float64, n float64) float64 {
 	var h float64
 	for _, c := range counts {
 		p := c / n

@@ -6,6 +6,8 @@
 // V† = [V*, V^*] minimizing
 //
 //	‖M* − U·V*ᵀ‖²_F + ‖M^* − U·V^*ᵀ‖²_F.
+//
+//ivmf:deterministic
 package nmf
 
 import (

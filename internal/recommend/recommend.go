@@ -13,6 +13,8 @@
 // sparse CSR ratings and never materializes a dense matrix — memory is
 // O((rows+cols)·rank) instead of O(rows·cols), which is what makes it
 // usable on realistically sparse rating corpora.
+//
+//ivmf:deterministic
 package recommend
 
 import (

@@ -12,6 +12,8 @@
 // -0. (The dense kernels no longer skip zero left factors, so 0·NaN
 // propagates there; this package keeps the skip because its inputs are
 // validated finite at the parse/construction boundary.)
+//
+//ivmf:deterministic
 package sparse
 
 import (

@@ -18,6 +18,8 @@ import (
 // MulDenseInto computes dst = a·b for a dense right operand into the
 // caller-supplied dst (a.Rows×b.Cols), overwriting it. Same sharding,
 // accumulation order, and zero-skip semantics as MulDense.
+//
+//ivmf:noalloc
 func MulDenseInto(dst *matrix.Dense, a *CSR, b *matrix.Dense) *matrix.Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("sparse: MulDenseInto: %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))

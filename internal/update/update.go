@@ -27,6 +27,8 @@
 // the engine in internal/core accumulates it against a residual budget
 // to schedule warm-started full refreshes (eig.TruncatedSVDOpts with
 // Options.StartU/StartV).
+//
+//ivmf:deterministic
 package update
 
 import (
