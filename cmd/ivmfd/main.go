@@ -1,0 +1,92 @@
+// Command ivmfd is the batched interval-decomposition server: a
+// long-running daemon that admits decompose/update jobs into per-tenant
+// queues (payloads held as O(NNZ) sparse matrices), schedules them in
+// cost-budgeted batches across the shared worker pool, and serves
+// predictions from atomically swapped factor snapshots — the HTTP face
+// of internal/service.
+//
+// Usage:
+//
+//	ivmfd -addr :8080 -budget 4194304 -workers 0 -maxbody 16777216 -maxqueue 64
+//
+// Endpoints (see internal/service/server.go and README "Serving"):
+//
+//	POST /v1/jobs       GET /v1/jobs/{id}
+//	POST /v1/predict    GET /v1/predict    GET /v1/topn
+//	GET  /metrics       GET /healthz
+//
+// On SIGTERM or SIGINT the server drains: admission stops (503), every
+// already-admitted job runs to completion and publishes its snapshot,
+// then the HTTP listener shuts down. No admitted work is ever dropped.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	budget := flag.Int64("budget", 0, "scheduler cost budget per round in NNZ×rank units (0 = default)")
+	workers := flag.Int("workers", 0, "default per-job worker bound (0 = shared pool default)")
+	maxBody := flag.Int64("maxbody", 0, "max request body bytes (0 = default)")
+	maxQueue := flag.Int("maxqueue", 0, "max pending jobs per tenant (0 = default)")
+	drainTimeout := flag.Duration("draintimeout", 5*time.Minute, "max time to finish admitted jobs on shutdown")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := service.Config{
+		Budget:       *budget,
+		Workers:      *workers,
+		MaxBodyBytes: *maxBody,
+		MaxQueue:     *maxQueue,
+	}
+	if err := run(ctx, *addr, cfg, *drainTimeout, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "ivmfd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is cancelled, then drains and shuts down. When
+// ready is non-nil the bound listen address is sent on it once the
+// server is accepting (tests bind ":0").
+func run(ctx context.Context, addr string, cfg service.Config, drainTimeout time.Duration, ready chan<- string) error {
+	s := service.New(cfg)
+	s.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (the handler answers 503), let the
+	// executor finish every admitted job, then close the listener.
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.Drain(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return srv.Shutdown(dctx)
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestServeAndDrain boots the daemon on a loopback port, runs one
+// decompose job through the HTTP API, then cancels the context and
+// checks the drain path exits cleanly.
+func TestServeAndDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", service.Config{}, time.Minute, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	}
+
+	c := &service.Client{Base: "http://" + addr}
+	rctx, rcancel := context.WithTimeout(context.Background(), time.Minute)
+	defer rcancel()
+	if err := c.Health(rctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+	info, err := c.Submit(rctx, service.Request{
+		Tenant: "t", Kind: "decompose", Rank: 2, Target: "b", Min: 1, Max: 5,
+		COO: "4,3\n0,0,1\n1,1,2..3\n2,2,4\n3,0,5\n0,1,2\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info, err = c.WaitJob(rctx, info.ID, time.Millisecond); err != nil || info.State != service.JobDone {
+		t.Fatalf("job ended %+v (err %v)", info, err)
+	}
+	resp, err := c.Predict(rctx, "t", [][2]int{{0, 0}, {3, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != 1 || len(resp.Predictions) != 2 {
+		t.Fatalf("predict = %+v", resp)
+	}
+	metrics, err := c.Metrics(rctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, `ivmfd_jobs_admitted_total{kind="decompose"} 1`) {
+		t.Error("metrics missing the admission counter")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestRunBadAddr(t *testing.T) {
+	err := run(context.Background(), "256.256.256.256:99999", service.Config{}, time.Second, nil)
+	if err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

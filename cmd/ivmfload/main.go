@@ -1,0 +1,365 @@
+// Command ivmfload is the closed-loop load generator for ivmfd: N
+// simulated tenants each decompose a generated ratings matrix, then
+// replay a delta stream (the same StreamSplit batches cmd/datagen
+// -batches writes) while closed-loop predict workers hammer the serving
+// path. It reports per-run job accounting and predict latency quantiles
+// as JSON, and checks the service SLO: no admitted job lost, p99
+// predict latency within bound. BENCH_service.json in the repo root is
+// this tool's committed output.
+//
+// Usage:
+//
+//	ivmfload -tenants 1,4,16 -scale 0.1 -rank 10 -batches 3 > BENCH_service.json
+//	ivmfload -addr 127.0.0.1:8080 -tenants 4    # against a running ivmfd
+//
+// Without -addr each run boots its own in-process ivmfd on a loopback
+// port, so the numbers include the full HTTP round trip.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/service"
+	"repro/internal/sparse"
+)
+
+type loadConfig struct {
+	Addr     string  `json:"addr,omitempty"`
+	Scale    float64 `json:"scale"`
+	Rank     int     `json:"rank"`
+	Batches  int     `json:"batches"`
+	Hammers  int     `json:"hammersPerTenant"`
+	Cells    int     `json:"cellsPerPredict"`
+	Seed     int64   `json:"seed"`
+	SLOP99Ms float64 `json:"sloP99Ms"`
+}
+
+type jobStats struct {
+	Submitted int `json:"submitted"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Lost      int `json:"lost"`
+}
+
+type predictStats struct {
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	ThroughputRps float64 `json:"throughputRps"`
+	P50Ms         float64 `json:"p50Ms"`
+	P95Ms         float64 `json:"p95Ms"`
+	P99Ms         float64 `json:"p99Ms"`
+}
+
+type runResult struct {
+	Tenants     int          `json:"tenants"`
+	WallSeconds float64      `json:"wallSeconds"`
+	Jobs        jobStats     `json:"jobs"`
+	Predict     predictStats `json:"predict"`
+	SLOPass     bool         `json:"sloPass"`
+}
+
+type report struct {
+	Tool    string      `json:"tool"`
+	Config  loadConfig  `json:"config"`
+	Runs    []runResult `json:"runs"`
+	SLOPass bool        `json:"sloPass"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "target a running ivmfd (empty = in-process server per run)")
+	tenants := flag.String("tenants", "1,4,16", "comma-separated tenant counts, one run each")
+	scale := flag.Float64("scale", 0.1, "ratings dataset scale per tenant")
+	rank := flag.Int("rank", 10, "decomposition rank")
+	batches := flag.Int("batches", 3, "delta batches per tenant")
+	hammers := flag.Int("hammers", 2, "closed-loop predict workers per tenant")
+	cells := flag.Int("cells", 16, "cells per predict request")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	sloP99 := flag.Float64("slop99ms", 250, "SLO: p99 predict latency bound in ms")
+	out := flag.String("out", "", "output path (empty = stdout)")
+	flag.Parse()
+
+	cfg := loadConfig{Addr: *addr, Scale: *scale, Rank: *rank, Batches: *batches,
+		Hammers: *hammers, Cells: *cells, Seed: *seed, SLOP99Ms: *sloP99}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ivmfload: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := run(w, *tenants, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ivmfload: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, tenantList string, cfg loadConfig) error {
+	counts, err := parseCounts(tenantList)
+	if err != nil {
+		return err
+	}
+	if cfg.Batches < 1 || cfg.Hammers < 0 || cfg.Cells < 1 || cfg.Rank < 1 {
+		return fmt.Errorf("bad load shape: batches=%d hammers=%d cells=%d rank=%d",
+			cfg.Batches, cfg.Hammers, cfg.Cells, cfg.Rank)
+	}
+	rep := report{Tool: "cmd/ivmfload", Config: cfg, SLOPass: true}
+	for _, n := range counts {
+		res, err := runOne(n, cfg)
+		if err != nil {
+			return fmt.Errorf("%d tenants: %w", n, err)
+		}
+		rep.Runs = append(rep.Runs, res)
+		if !res.SLOPass {
+			rep.SLOPass = false
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func parseCounts(list string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(list, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad tenant count %q", f)
+		}
+		counts = append(counts, n)
+	}
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("empty tenant list")
+	}
+	return counts, nil
+}
+
+// tenantOutcome is one simulated tenant's accounting.
+type tenantOutcome struct {
+	jobs      jobStats
+	latencies []time.Duration // closed-loop predict latencies
+	predErrs  int
+	err       error
+}
+
+// runOne drives one load run at a given tenant count.
+func runOne(tenants int, cfg loadConfig) (runResult, error) {
+	base := cfg.Addr
+	var stopServer func() error
+	if base == "" {
+		var err error
+		base, stopServer, err = startServer()
+		if err != nil {
+			return runResult{}, err
+		}
+		defer func() {
+			if stopServer != nil {
+				_ = stopServer()
+			}
+		}()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	start := time.Now()
+	outcomes := make([]tenantOutcome, tenants)
+	var wg sync.WaitGroup
+	for t := 0; t < tenants; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			outcomes[t] = driveTenant(ctx, base, fmt.Sprintf("tenant-%d", t), cfg, cfg.Seed+int64(t))
+		}(t)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	res := runResult{Tenants: tenants, WallSeconds: wall.Seconds()}
+	var all []time.Duration
+	for _, o := range outcomes {
+		if o.err != nil {
+			return res, o.err
+		}
+		res.Jobs.Submitted += o.jobs.Submitted
+		res.Jobs.Done += o.jobs.Done
+		res.Jobs.Failed += o.jobs.Failed
+		res.Jobs.Lost += o.jobs.Lost
+		res.Predict.Errors += o.predErrs
+		all = append(all, o.latencies...)
+	}
+	res.Predict.Requests = len(all)
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.Predict.ThroughputRps = float64(len(all)) / wall.Seconds()
+		res.Predict.P50Ms = quantileMs(all, 0.50)
+		res.Predict.P95Ms = quantileMs(all, 0.95)
+		res.Predict.P99Ms = quantileMs(all, 0.99)
+	}
+	res.SLOPass = res.Jobs.Lost == 0 && res.Jobs.Failed == 0 &&
+		res.Predict.Errors == 0 && res.Predict.P99Ms <= cfg.SLOP99Ms
+	return res, nil
+}
+
+// startServer boots an in-process ivmfd on a loopback port.
+func startServer() (base string, stop func() error, err error) {
+	s := service.New(service.Config{})
+	s.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	stop = func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			return err
+		}
+		return srv.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// driveTenant replays one tenant's life: decompose the base matrix,
+// then apply the delta stream sequentially while closed-loop predict
+// workers measure serving latency.
+func driveTenant(ctx context.Context, base, tenant string, cfg loadConfig, seed int64) tenantOutcome {
+	var o tenantOutcome
+	rng := rand.New(rand.NewSource(seed))
+	data, err := dataset.GenerateRatings(dataset.MovieLensLike().Scaled(cfg.Scale), rng)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	m := data.CFIntervalsCSR()
+	baseCells, deltas, err := dataset.StreamSplit(m, 0.1, cfg.Batches, rng)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	baseCSR, err := sparse.FromICOO(m.Rows, m.Cols, baseCells)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	var sb strings.Builder
+	if err := dataset.WriteIntervalCOO(&sb, baseCSR); err != nil {
+		o.err = err
+		return o
+	}
+
+	c := &service.Client{Base: base}
+	submitAndWait := func(req service.Request) error {
+		info, err := c.Submit(ctx, req)
+		if err != nil {
+			return err
+		}
+		o.jobs.Submitted++
+		info, err = c.WaitJob(ctx, info.ID, 2*time.Millisecond)
+		if err != nil {
+			o.jobs.Lost++
+			return err
+		}
+		switch info.State {
+		case service.JobDone:
+			o.jobs.Done++
+		case service.JobFailed:
+			o.jobs.Failed++
+			return fmt.Errorf("job %d failed: %s", info.ID, info.Error)
+		default:
+			o.jobs.Lost++
+			return fmt.Errorf("job %d stuck in state %q", info.ID, info.State)
+		}
+		return nil
+	}
+
+	if err := submitAndWait(service.Request{
+		Tenant: tenant, Kind: "decompose", Method: "ISVD4", Rank: cfg.Rank,
+		Target: "b", Min: 1, Max: 5, COO: sb.String(),
+	}); err != nil {
+		o.err = err
+		return o
+	}
+
+	// Closed-loop predict hammers: each worker issues the next request
+	// as soon as the previous answer lands.
+	stop := make(chan struct{})
+	var hwg sync.WaitGroup
+	lat := make([][]time.Duration, cfg.Hammers)
+	errs := make([]int, cfg.Hammers)
+	for h := 0; h < cfg.Hammers; h++ {
+		hwg.Add(1)
+		go func(h int) {
+			defer hwg.Done()
+			hrng := rand.New(rand.NewSource(seed*1000 + int64(h)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cells := make([][2]int, cfg.Cells)
+				for i := range cells {
+					cells[i] = [2]int{hrng.Intn(m.Rows), hrng.Intn(m.Cols)}
+				}
+				t0 := time.Now()
+				if _, err := c.Predict(ctx, tenant, cells); err != nil {
+					errs[h]++
+					continue
+				}
+				lat[h] = append(lat[h], time.Since(t0))
+			}
+		}(h)
+	}
+
+	// The delta replay is the run's backbone: hammers run exactly as
+	// long as the tenant has stream traffic in flight.
+	var streamErr error
+	for k, patch := range deltas {
+		var db strings.Builder
+		if err := dataset.WriteDeltaCOO(&db, m.Rows, m.Cols, patch); err != nil {
+			streamErr = err
+			break
+		}
+		if err := submitAndWait(service.Request{
+			Tenant: tenant, Kind: "update", Delta: db.String(),
+		}); err != nil {
+			streamErr = fmt.Errorf("delta %d: %w", k, err)
+			break
+		}
+	}
+	close(stop)
+	hwg.Wait()
+	for h := 0; h < cfg.Hammers; h++ {
+		o.latencies = append(o.latencies, lat[h]...)
+		o.predErrs += errs[h]
+	}
+	o.err = streamErr
+	return o
+}
+
+// quantileMs reads the q-quantile of a sorted latency slice in ms.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}

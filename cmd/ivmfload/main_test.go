@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunSmall runs the full closed loop at a tiny scale: two runs (1
+// and 2 tenants), each decompose + 2 deltas with one predict hammer,
+// and checks the report: valid JSON, no lost or failed jobs, predicts
+// happened.
+func TestRunSmall(t *testing.T) {
+	cfg := loadConfig{
+		Scale: 0.03, Rank: 4, Batches: 2, Hammers: 1, Cells: 4,
+		Seed: 7, SLOP99Ms: 60_000, // generous bound: this asserts accounting, not speed
+	}
+	var sb strings.Builder
+	if err := run(&sb, "1,2", cfg); err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	if len(rep.Runs) != 2 || rep.Runs[0].Tenants != 1 || rep.Runs[1].Tenants != 2 {
+		t.Fatalf("runs = %+v", rep.Runs)
+	}
+	for _, r := range rep.Runs {
+		wantJobs := r.Tenants * (1 + cfg.Batches)
+		if r.Jobs.Submitted != wantJobs || r.Jobs.Done != wantJobs {
+			t.Errorf("%d tenants: jobs %+v, want %d submitted and done", r.Tenants, r.Jobs, wantJobs)
+		}
+		if r.Jobs.Lost != 0 || r.Jobs.Failed != 0 {
+			t.Errorf("%d tenants: lost/failed jobs: %+v", r.Tenants, r.Jobs)
+		}
+		if r.Predict.Requests == 0 || r.Predict.Errors != 0 {
+			t.Errorf("%d tenants: predict stats %+v", r.Tenants, r.Predict)
+		}
+		if !r.SLOPass {
+			t.Errorf("%d tenants: SLO failed: %+v", r.Tenants, r)
+		}
+	}
+	if !rep.SLOPass {
+		t.Error("report-level SLO failed")
+	}
+}
+
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts("1, 4,16")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 16 {
+		t.Fatalf("parseCounts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-1", "a", "1,,2"} {
+		if _, err := parseCounts(bad); err == nil {
+			t.Errorf("parseCounts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadShape(t *testing.T) {
+	if err := run(&strings.Builder{}, "1", loadConfig{Scale: 0.05, Rank: 0, Batches: 1, Cells: 1}); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if err := run(&strings.Builder{}, "1", loadConfig{Scale: 0.05, Rank: 2, Batches: 0, Cells: 1}); err == nil {
+		t.Error("0 batches accepted")
+	}
+}

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/assign"
@@ -233,6 +234,47 @@ func Decompose(m *imatrix.IMatrix, method Method, opts Options) (*Decomposition,
 		return DecomposeISVD4(m, opts)
 	default:
 		return nil, fmt.Errorf("core: unknown method %v", method)
+	}
+}
+
+// ParseMethod parses a method name as it appears in CLI flags and
+// service requests: "ISVD0".."ISVD4" (any case) or the bare digit.
+func ParseMethod(s string) (Method, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	t = strings.TrimPrefix(t, "ISVD")
+	if len(t) == 1 && t[0] >= '0' && t[0] <= '4' {
+		return Method(t[0] - '0'), nil
+	}
+	return 0, fmt.Errorf("core: unknown method %q (want ISVD0..ISVD4)", s)
+}
+
+// ParseTarget parses a decomposition target name: "a", "b", or "c"
+// (any case).
+func ParseTarget(s string) (Target, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "a":
+		return TargetA, nil
+	case "b":
+		return TargetB, nil
+	case "c":
+		return TargetC, nil
+	default:
+		return 0, fmt.Errorf("core: unknown target %q (want a, b, or c)", s)
+	}
+}
+
+// ParseRefresh parses a refresh policy name: "auto", "never", or
+// "always" (any case).
+func ParseRefresh(s string) (Refresh, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "auto":
+		return RefreshAuto, nil
+	case "never":
+		return RefreshNever, nil
+	case "always":
+		return RefreshAlways, nil
+	default:
+		return 0, fmt.Errorf("core: unknown refresh policy %q (want auto, never, or always)", s)
 	}
 }
 

@@ -1,0 +1,70 @@
+package core
+
+import "testing"
+
+func TestParseMethod(t *testing.T) {
+	good := map[string]Method{
+		"ISVD0": ISVD0, "isvd4": ISVD4, "IsVd2": ISVD2,
+		"3": ISVD3, " ISVD1 ": ISVD1,
+	}
+	for in, want := range good {
+		got, err := ParseMethod(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseMethod(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "ISVD5", "LP", "isvd", "5", "-1", "ISVD44"} {
+		if _, err := ParseMethod(in); err == nil {
+			t.Fatalf("ParseMethod(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseTarget(t *testing.T) {
+	good := map[string]Target{"a": TargetA, "B": TargetB, " c ": TargetC}
+	for in, want := range good {
+		got, err := ParseTarget(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseTarget(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "d", "ab"} {
+		if _, err := ParseTarget(in); err == nil {
+			t.Fatalf("ParseTarget(%q) accepted", in)
+		}
+	}
+}
+
+func TestParseRefresh(t *testing.T) {
+	good := map[string]Refresh{"auto": RefreshAuto, "NEVER": RefreshNever, " always ": RefreshAlways}
+	for in, want := range good {
+		got, err := ParseRefresh(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseRefresh(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "sometimes"} {
+		if _, err := ParseRefresh(in); err == nil {
+			t.Fatalf("ParseRefresh(%q) accepted", in)
+		}
+	}
+}
+
+// Round trip: every canonical String() parses back to itself.
+func TestParseRoundTrip(t *testing.T) {
+	for _, m := range Methods() {
+		if got, err := ParseMethod(m.String()); err != nil || got != m {
+			t.Fatalf("method %v round trip: %v, %v", m, got, err)
+		}
+	}
+	for _, tg := range Targets() {
+		if got, err := ParseTarget(tg.String()); err != nil || got != tg {
+			t.Fatalf("target %v round trip: %v, %v", tg, got, err)
+		}
+	}
+	for _, r := range []Refresh{RefreshAuto, RefreshNever, RefreshAlways} {
+		if got, err := ParseRefresh(r.String()); err != nil || got != r {
+			t.Fatalf("refresh %v round trip: %v, %v", r, got, err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package recommend
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ipmf"
+)
+
+// TestFromSparseDecomposition pins that wrapping an existing
+// decomposition serves bitwise what BuildSparseISVD serves for the same
+// input — the serving tier builds snapshots from decompositions it
+// already holds, and those snapshots must predict identically.
+func TestFromSparseDecomposition(t *testing.T) {
+	r := sparseRatings(t, 11)
+	opts := core.Options{Rank: 3, Target: core.TargetB}
+	d, err := core.DecomposeSparse(r, core.ISVD4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromSparseDecomposition(d, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := BuildSparseISVD(r, core.ISVD4, opts, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rows() != ref.Rows() || p.Cols() != ref.Cols() {
+		t.Fatalf("shape %dx%d, want %dx%d", p.Rows(), p.Cols(), ref.Rows(), ref.Cols())
+	}
+	for i := 0; i < p.Rows(); i++ {
+		for j := 0; j < p.Cols(); j++ {
+			got, err := p.PredictInterval(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.PredictInterval(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("cell (%d, %d): %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	if p.Decomposition() != d {
+		t.Fatalf("Decomposition() does not return the wrapped decomposition")
+	}
+}
+
+// TestDecompositionAccessorNonFactorBackend pins the nil contract for
+// predictors that do not wrap an ISVD decomposition.
+func TestDecompositionAccessorNonFactorBackend(t *testing.T) {
+	r := sparseRatings(t, 12)
+	p, err := BuildSparse(r, ipmf.Config{Rank: 3, Epochs: 5, LearningRate: 0.01},
+		rand.New(rand.NewSource(1)), 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Decomposition() != nil {
+		t.Fatalf("AI-PMF predictor reports a decomposition")
+	}
+}

@@ -206,6 +206,36 @@ func BuildSparseISVD(ratings *sparse.ICSR, method core.Method, opts core.Options
 	return &Predictor{src: src, Min: minRating, Max: maxRating}, nil
 }
 
+// FromSparseDecomposition wraps an existing ISVD decomposition into a
+// lazily-evaluating factor-backed Predictor — the BuildSparseISVD
+// source without re-decomposing. Predictions are computed per cell from
+// the factors (memory O((rows+cols)·rank), nothing dense is built),
+// bitwise identical to what BuildSparseISVD would serve for the same
+// decomposition. This is the serving tier's constructor: a job executor
+// that already holds the (updatable) decomposition builds each snapshot
+// predictor from it directly, and after a Decomposition.Update it wraps
+// the returned decomposition for the swapped-in snapshot. TargetA
+// decompositions must use endpoint algebra (the lazy source's only
+// unsupported configuration is ExactAlgebra TargetA).
+func FromSparseDecomposition(d *core.Decomposition, minRating, maxRating float64) (*Predictor, error) {
+	src, err := newDecompSource(d)
+	if err != nil {
+		return nil, err
+	}
+	return &Predictor{src: src, Min: minRating, Max: maxRating}, nil
+}
+
+// Decomposition returns the decomposition backing a factor-backed ISVD
+// predictor, or nil for other backends (materialized reconstructions,
+// AI-PMF factors). The serving tier uses it to fold the next delta into
+// the model a snapshot was built from.
+func (p *Predictor) Decomposition() *core.Decomposition {
+	if ds, ok := p.src.(*decompSource); ok {
+		return ds.d
+	}
+	return nil
+}
+
 // ApplyDelta folds a batch of arriving ratings (new cells, edited
 // cells, or appended users/items as rows/cols) into a live predictor
 // without rebuilding it: the underlying updatable decomposition absorbs

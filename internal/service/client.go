@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client is a small typed client for the ivmfd HTTP API, shared by the
+// load generator (cmd/ivmfload), the end-to-end tests, and external
+// callers.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTPClient is the transport; nil means http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one JSON request and decodes the response into out.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			return &APIError{Status: resp.StatusCode, Message: eb.Error}
+		}
+		return &APIError{Status: resp.StatusCode, Message: string(data)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Submit posts a job envelope and returns the queued job's info.
+func (c *Client) Submit(ctx context.Context, req Request) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &info)
+	return info, err
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id uint64) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/jobs/%d", id), nil, &info)
+	return info, err
+}
+
+// WaitJob polls a job until it reaches a terminal state (done or
+// failed) or ctx expires. A failed job is returned with a nil error —
+// inspect info.State.
+func (c *Client) WaitJob(ctx context.Context, id uint64, poll time.Duration) (JobInfo, error) {
+	if poll <= 0 {
+		poll = 2 * time.Millisecond
+	}
+	for {
+		info, err := c.Job(ctx, id)
+		if err != nil {
+			return info, err
+		}
+		if info.State == JobDone || info.State == JobFailed {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Predict posts a batch prediction request; all returned cells are
+// consistent with the single snapshot version in the response.
+func (c *Client) Predict(ctx context.Context, tenant string, cells [][2]int) (*PredictResponse, error) {
+	var resp PredictResponse
+	err := c.do(ctx, http.MethodPost, "/v1/predict", PredictRequest{Tenant: tenant, Cells: cells}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// TopN fetches the top-n columns for a row.
+func (c *Client) TopN(ctx context.Context, tenant string, row, n int) (*TopNResponse, error) {
+	var resp TopNResponse
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/v1/topn?tenant=%s&row=%d&n=%d", tenant, row, n), nil, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health probes /healthz; a draining or down server returns an error.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Metrics fetches the raw Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{Status: resp.StatusCode, Message: string(data)}
+	}
+	return string(data), nil
+}

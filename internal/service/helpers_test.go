@@ -1,0 +1,123 @@
+package service
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/sparse"
+)
+
+// decodeBody drains one JSON response body.
+func decodeBody(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// testMatrix builds a small deterministic interval ratings matrix with
+// strictly positive endpoints (so every ISVD method admits updates) and
+// at least one observation in every row and column.
+func testMatrix(tb testing.TB, seed int64, rows, cols int, density float64) *sparse.ICSR {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var ts []sparse.ITriplet
+	seen := make(map[[2]int]bool)
+	add := func(i, j int) {
+		if seen[[2]int{i, j}] {
+			return
+		}
+		seen[[2]int{i, j}] = true
+		mid := 1 + 4*rng.Float64()
+		w := 0.3 * rng.Float64()
+		ts = append(ts, sparse.ITriplet{Row: i, Col: j, Lo: mid - w, Hi: mid + w})
+	}
+	for i := 0; i < rows; i++ {
+		add(i, i%cols)
+	}
+	for j := 0; j < cols; j++ {
+		add(j%rows, j)
+	}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < density {
+				add(i, j)
+			}
+		}
+	}
+	m, err := sparse.FromICOO(rows, cols, ts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// cooText renders a matrix as the interval-COO payload of a decompose
+// request.
+func cooText(tb testing.TB, m *sparse.ICSR) string {
+	tb.Helper()
+	var sb strings.Builder
+	if err := dataset.WriteIntervalCOO(&sb, m); err != nil {
+		tb.Fatal(err)
+	}
+	return sb.String()
+}
+
+// deltaText renders a cell patch as the delta-COO payload of an update
+// request.
+func deltaText(tb testing.TB, rows, cols int, ts []sparse.ITriplet) string {
+	tb.Helper()
+	var sb strings.Builder
+	if err := dataset.WriteDeltaCOO(&sb, rows, cols, ts); err != nil {
+		tb.Fatal(err)
+	}
+	return sb.String()
+}
+
+// submitEnvelope pushes a Request through the same decode path the HTTP
+// handler uses, then into Submit.
+func submitEnvelope(s *Service, req Request) (JobInfo, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	jr, err := decodeRequest(data, s.cfg.MaxBodyBytes)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return s.Submit(jr)
+}
+
+func mustSubmit(tb testing.TB, s *Service, req Request) JobInfo {
+	tb.Helper()
+	info, err := submitEnvelope(s, req)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return info
+}
+
+// waitJob polls a job until it terminates, failing the test on a
+// JobFailed outcome.
+func waitJob(tb testing.TB, s *Service, id uint64) JobInfo {
+	tb.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := s.Job(id)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		switch info.State {
+		case JobDone:
+			return info
+		case JobFailed:
+			tb.Fatalf("job %d failed: %s", id, info.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tb.Fatalf("job %d did not finish", id)
+	return JobInfo{}
+}

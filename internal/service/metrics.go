@@ -1,0 +1,240 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// A tiny Prometheus-text-format metrics registry: counters, gauges, and
+// fixed-bucket histograms with at most one label per series. Hand-rolled
+// on the stdlib because the container carries no client library — the
+// exposition format is the stable contract, not the client API. Output
+// is rendered with sorted metric and label keys, so /metrics is
+// byte-deterministic for a given state (scrape diffs are meaningful).
+
+// latencyBuckets are the job/predict latency histogram upper bounds in
+// seconds; +Inf is implicit.
+var latencyBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// histogram is one labeled histogram series.
+type histogram struct {
+	counts []uint64 // per bucket, cumulative rendering happens at write
+	sum    float64
+	total  uint64
+}
+
+// metricMeta describes one metric family for the HELP/TYPE header.
+type metricMeta struct {
+	help string
+	typ  string // "counter", "gauge", "histogram"
+}
+
+// registry holds every service metric. All methods are safe for
+// concurrent use.
+type registry struct {
+	mu       sync.Mutex
+	meta     map[string]metricMeta
+	families []string                      // registration order; rendering sorts a copy
+	counters map[string]map[string]float64 // family -> label series -> value
+	gauges   map[string]map[string]float64
+	hists    map[string]map[string]*histogram
+}
+
+func newRegistry() *registry {
+	return &registry{
+		meta:     make(map[string]metricMeta),
+		counters: make(map[string]map[string]float64),
+		gauges:   make(map[string]map[string]float64),
+		hists:    make(map[string]map[string]*histogram),
+	}
+}
+
+// describe registers a metric family once; re-describing is a no-op.
+func (r *registry) describe(name, typ, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.meta[name]; ok {
+		return
+	}
+	r.meta[name] = metricMeta{help: help, typ: typ}
+	r.families = append(r.families, name)
+	switch typ {
+	case "counter":
+		r.counters[name] = make(map[string]float64)
+	case "gauge":
+		r.gauges[name] = make(map[string]float64)
+	case "histogram":
+		r.hists[name] = make(map[string]*histogram)
+	default:
+		panic("service: unknown metric type " + typ)
+	}
+}
+
+// label renders a single key="value" label set; empty key means no
+// labels. Values are restricted by the admission tenant grammar, so no
+// escaping is needed; the panic guards the invariant.
+func label(k, v string) string {
+	if k == "" {
+		return ""
+	}
+	if strings.ContainsAny(v, "\"\\\n") {
+		panic("service: metric label value needs escaping: " + v)
+	}
+	return k + `="` + v + `"`
+}
+
+func (r *registry) addCounter(name, labels string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name][labels] += v
+}
+
+func (r *registry) setGauge(name, labels string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name][labels] = v
+}
+
+func (r *registry) observe(name, labels string, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name][labels]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets))}
+		r.hists[name][labels] = h
+	}
+	for i, ub := range latencyBuckets {
+		if v <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.total++
+}
+
+// snapshotCounter reads one counter series (tests and SLO checks).
+func (r *registry) snapshotCounter(name, labels string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name][labels]
+}
+
+// write renders the registry in the Prometheus text exposition format.
+func (r *registry) write(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]string, len(r.families))
+	copy(fams, r.families)
+	sort.Strings(fams)
+	for _, name := range fams {
+		m := r.meta[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, m.help, name, m.typ); err != nil {
+			return err
+		}
+		switch m.typ {
+		case "counter", "gauge":
+			series := r.counters[name]
+			if m.typ == "gauge" {
+				series = r.gauges[name]
+			}
+			for _, lbl := range sortedKeys(series) {
+				if err := writeSeries(w, name, lbl, series[lbl]); err != nil {
+					return err
+				}
+			}
+		case "histogram":
+			for _, lbl := range sortedKeysH(r.hists[name]) {
+				h := r.hists[name][lbl]
+				var cum uint64
+				for i, ub := range latencyBuckets {
+					cum += h.counts[i]
+					le := label("le", strconv.FormatFloat(ub, 'g', -1, 64))
+					if err := writeSeries(w, name+"_bucket", joinLabels(lbl, le), float64(cum)); err != nil {
+						return err
+					}
+				}
+				if err := writeSeries(w, name+"_bucket", joinLabels(lbl, `le="+Inf"`), float64(h.total)); err != nil {
+					return err
+				}
+				if err := writeSeries(w, name+"_sum", lbl, h.sum); err != nil {
+					return err
+				}
+				if err := writeSeries(w, name+"_count", lbl, float64(h.total)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, name, labels string, v float64) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+	return err
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func sortedKeys(m map[string]float64) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+func sortedKeysH(m map[string]*histogram) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Service metric families.
+const (
+	mAdmitted   = "ivmfd_jobs_admitted_total"
+	mRejected   = "ivmfd_jobs_rejected_total"
+	mCompleted  = "ivmfd_jobs_completed_total"
+	mFailed     = "ivmfd_jobs_failed_total"
+	mCoalesced  = "ivmfd_jobs_coalesced_total"
+	mBatches    = "ivmfd_batches_scheduled_total"
+	mQueueDepth = "ivmfd_queue_depth"
+	mJobLatency = "ivmfd_job_latency_seconds"
+	mPredicts   = "ivmfd_predict_requests_total"
+	mPredCells  = "ivmfd_predict_cells_total"
+	mSnapVer    = "ivmfd_snapshot_version"
+)
+
+// newServiceRegistry describes the full ivmfd metric set.
+func newServiceRegistry() *registry {
+	r := newRegistry()
+	r.describe(mAdmitted, "counter", "Jobs admitted into the queues, by kind.")
+	r.describe(mRejected, "counter", "Jobs rejected at admission, by reason.")
+	r.describe(mCompleted, "counter", "Jobs completed successfully, by kind.")
+	r.describe(mFailed, "counter", "Jobs that failed during execution, by kind.")
+	r.describe(mCoalesced, "counter", "Update jobs merged into a shared execution unit.")
+	r.describe(mBatches, "counter", "Scheduling rounds that emitted a non-empty batch.")
+	r.describe(mQueueDepth, "gauge", "Pending jobs per tenant.")
+	r.describe(mJobLatency, "histogram", "Admission-to-completion job latency in seconds, by kind.")
+	r.describe(mPredicts, "counter", "Prediction requests served.")
+	r.describe(mPredCells, "counter", "Prediction cells computed.")
+	r.describe(mSnapVer, "gauge", "Current snapshot version per tenant.")
+	return r
+}

@@ -1,0 +1,100 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryWriteDeterministic(t *testing.T) {
+	r := newServiceRegistry()
+	r.addCounter(mAdmitted, label("kind", "decompose"), 1)
+	r.addCounter(mAdmitted, label("kind", "update"), 3)
+	r.setGauge(mQueueDepth, label("tenant", "t1"), 2)
+	r.observe(mJobLatency, label("kind", "update"), 0.25)
+	r.observe(mJobLatency, label("kind", "update"), 0.5)
+	r.observe(mJobLatency, label("kind", "update"), 99) // beyond all buckets
+
+	var a, b strings.Builder
+	if err := r.write(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.write(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two renders of the same state differ")
+	}
+
+	out := a.String()
+	for _, want := range []string{
+		"# HELP ivmfd_jobs_admitted_total Jobs admitted into the queues, by kind.",
+		"# TYPE ivmfd_jobs_admitted_total counter",
+		`ivmfd_jobs_admitted_total{kind="decompose"} 1`,
+		`ivmfd_jobs_admitted_total{kind="update"} 3`,
+		`ivmfd_queue_depth{tenant="t1"} 2`,
+		"# TYPE ivmfd_job_latency_seconds histogram",
+		// Buckets render cumulatively: 0.25 lands in le=0.25, 0.5 in
+		// le=0.5, and 99 only in +Inf.
+		`ivmfd_job_latency_seconds_bucket{kind="update",le="0.1"} 0`,
+		`ivmfd_job_latency_seconds_bucket{kind="update",le="0.25"} 1`,
+		`ivmfd_job_latency_seconds_bucket{kind="update",le="0.5"} 2`,
+		`ivmfd_job_latency_seconds_bucket{kind="update",le="10"} 2`,
+		`ivmfd_job_latency_seconds_bucket{kind="update",le="+Inf"} 3`,
+		`ivmfd_job_latency_seconds_sum{kind="update"} 99.75`,
+		`ivmfd_job_latency_seconds_count{kind="update"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition is missing %q\n%s", want, out)
+		}
+	}
+
+	// Families render in sorted order regardless of registration order.
+	if strings.Index(out, "ivmfd_batches_scheduled_total") > strings.Index(out, "ivmfd_queue_depth") {
+		t.Error("metric families are not sorted")
+	}
+
+	if got := r.snapshotCounter(mAdmitted, label("kind", "update")); got != 3 {
+		t.Errorf("snapshotCounter = %g, want 3", got)
+	}
+}
+
+func TestRegistryDescribeIdempotent(t *testing.T) {
+	r := newRegistry()
+	r.describe("x_total", "counter", "first")
+	r.describe("x_total", "counter", "second") // no-op
+	r.addCounter("x_total", "", 1)
+	var sb strings.Builder
+	if err := r.write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "# HELP x_total first\n") {
+		t.Errorf("re-describe overwrote metadata:\n%s", sb.String())
+	}
+	if strings.Count(sb.String(), "# HELP x_total") != 1 {
+		t.Errorf("family rendered more than once:\n%s", sb.String())
+	}
+}
+
+func TestRegistryUnknownTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("describe accepted an unknown metric type")
+		}
+	}()
+	newRegistry().describe("x", "summary", "unsupported")
+}
+
+func TestLabel(t *testing.T) {
+	if got := label("", "ignored"); got != "" {
+		t.Errorf("empty key: %q", got)
+	}
+	if got := label("kind", "update"); got != `kind="update"` {
+		t.Errorf("label = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("label accepted a value that needs escaping")
+		}
+	}()
+	label("k", `a"b`)
+}

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eig"
+	"repro/internal/service/sched"
+	"repro/internal/sparse"
+)
+
+// Request is the JSON job envelope of POST /v1/jobs. The matrix payload
+// rides embedded as interval-COO text (decompositions) or delta-COO
+// text (updates) — the same formats cmd/datagen writes and
+// dataset.ReadIntervalCOO/ReadDeltaCOO parse, so a recorded stream
+// replays against the service byte-for-byte.
+type Request struct {
+	// Tenant names the model; [A-Za-z0-9._-], at most 64 chars.
+	Tenant string `json:"tenant"`
+	// Kind is "decompose" or "update".
+	Kind string `json:"kind"`
+
+	// Decompose-only knobs. Method is "ISVD0".."ISVD4"; Rank 0 means
+	// full rank; Target is "a"/"b"/"c"; Solver is "auto"/"full"/
+	// "truncated"; Min/Max clamp served predictions (Max <= Min
+	// disables clamping).
+	Method string  `json:"method,omitempty"`
+	Rank   int     `json:"rank,omitempty"`
+	Target string  `json:"target,omitempty"`
+	Solver string  `json:"solver,omitempty"`
+	Min    float64 `json:"min,omitempty"`
+	Max    float64 `json:"max,omitempty"`
+
+	// Per-request execution knobs, valid for both kinds. Workers bounds
+	// the job's pool fan-outs (0 = server default); Refresh/
+	// RefreshBudget select the incremental refresh policy for updates.
+	Workers       int     `json:"workers,omitempty"`
+	Refresh       string  `json:"refresh,omitempty"`
+	RefreshBudget float64 `json:"refreshBudget,omitempty"`
+
+	// COO is the decompose payload: interval COO text
+	// ("rows,cols" header, then "row,col,value" records).
+	COO string `json:"coo,omitempty"`
+	// Delta is the update payload: delta COO text in the same layout;
+	// its header must match the tenant's model shape, and the records
+	// are applied as a cell patch (set semantics).
+	Delta string `json:"delta,omitempty"`
+}
+
+// jobRequest is a decoded, validated envelope: payloads parsed into
+// O(NNZ) sparse storage (the text is dropped), knobs resolved to their
+// internal types. This is what queues reside as.
+type jobRequest struct {
+	tenant string
+	kind   sched.Kind
+
+	// Decompose.
+	method   core.Method
+	opts     core.Options // rank/target/solver/workers; Updatable set at exec
+	min, max float64
+	base     *sparse.ICSR
+
+	// Update. patchRows/patchCols is the delta header shape, checked
+	// against the tenant's model at admission.
+	patch                []sparse.ITriplet
+	patchRows, patchCols int
+
+	// Shared update policy.
+	refresh       core.Refresh
+	refreshBudget float64
+	workers       int
+}
+
+// Boundary errors the HTTP layer maps to status codes.
+var (
+	errTooLarge  = errors.New("service: request body exceeds the size limit")
+	errDraining  = errors.New("service: draining, not admitting jobs")
+	errQueueFull = errors.New("service: tenant queue is full")
+	errNoModel   = errors.New("service: tenant has no model")
+	errNotFound  = errors.New("service: not found")
+)
+
+// tenantRE is the tenant-name grammar. Restricting names to this set
+// keeps them safe as metric label values and log tokens with no
+// escaping anywhere downstream.
+var tenantRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// decodeRequest parses and validates a job envelope. maxBytes caps the
+// raw body before any decoding, so a hostile size is rejected before
+// allocation; the embedded COO parsers additionally cap declared matrix
+// dimensions, so a small body cannot demand a huge allocation either.
+// The returned jobRequest carries payloads in sparse form only.
+func decodeRequest(data []byte, maxBytes int64) (*jobRequest, error) {
+	if int64(len(data)) > maxBytes {
+		return nil, fmt.Errorf("%w: %d bytes > %d", errTooLarge, len(data), maxBytes)
+	}
+	var req Request
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("service: bad request envelope: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("service: bad request envelope: trailing data")
+	}
+	return validateRequest(&req)
+}
+
+// validateRequest resolves an envelope into a jobRequest.
+func validateRequest(req *Request) (*jobRequest, error) {
+	if !tenantRE.MatchString(req.Tenant) {
+		return nil, fmt.Errorf("service: bad tenant %q (want 1-64 chars of [A-Za-z0-9._-])", req.Tenant)
+	}
+	jr := &jobRequest{tenant: req.Tenant, workers: req.Workers}
+	if req.Workers < 0 {
+		return nil, fmt.Errorf("service: negative workers %d", req.Workers)
+	}
+	if req.RefreshBudget < 0 || math.IsNaN(req.RefreshBudget) || math.IsInf(req.RefreshBudget, 0) {
+		return nil, fmt.Errorf("service: bad refreshBudget %g", req.RefreshBudget)
+	}
+	jr.refreshBudget = req.RefreshBudget
+	if req.Refresh != "" {
+		r, err := core.ParseRefresh(req.Refresh)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		jr.refresh = r
+	}
+
+	switch req.Kind {
+	case "decompose":
+		jr.kind = sched.Decompose
+		if req.Delta != "" {
+			return nil, fmt.Errorf("service: decompose request carries a delta payload")
+		}
+		method := req.Method
+		if method == "" {
+			method = "ISVD4"
+		}
+		m, err := core.ParseMethod(method)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		jr.method = m
+		if req.Rank < 0 {
+			return nil, fmt.Errorf("service: negative rank %d", req.Rank)
+		}
+		jr.opts = core.Options{Rank: req.Rank, Workers: req.Workers}
+		if req.Target != "" {
+			tg, err := core.ParseTarget(req.Target)
+			if err != nil {
+				return nil, fmt.Errorf("service: %w", err)
+			}
+			jr.opts.Target = tg
+		}
+		if req.Solver != "" {
+			sv, err := eig.ParseSolver(req.Solver)
+			if err != nil {
+				return nil, fmt.Errorf("service: %w", err)
+			}
+			jr.opts.Solver = sv
+		}
+		if math.IsNaN(req.Min) || math.IsInf(req.Min, 0) || math.IsNaN(req.Max) || math.IsInf(req.Max, 0) {
+			return nil, fmt.Errorf("service: non-finite rating clamp [%g, %g]", req.Min, req.Max)
+		}
+		jr.min, jr.max = req.Min, req.Max
+		base, err := dataset.ReadIntervalCOO(strings.NewReader(req.COO))
+		if err != nil {
+			return nil, fmt.Errorf("service: decompose payload: %w", err)
+		}
+		if base.NNZ() == 0 {
+			return nil, fmt.Errorf("service: decompose payload has no observed cells")
+		}
+		jr.base = base
+		return jr, nil
+
+	case "update":
+		jr.kind = sched.Update
+		if req.COO != "" || req.Method != "" || req.Target != "" || req.Solver != "" || req.Rank != 0 {
+			return nil, fmt.Errorf("service: update request carries decompose-only fields")
+		}
+		// The delta parses as a free-standing COO batch here (its own
+		// header bounds the indices); admission pins the header to the
+		// tenant's model shape, exactly like dataset.ReadDeltaCOO.
+		dm, err := dataset.ReadIntervalCOO(strings.NewReader(req.Delta))
+		if err != nil {
+			return nil, fmt.Errorf("service: update payload: %w", err)
+		}
+		if dm.NNZ() == 0 {
+			return nil, fmt.Errorf("service: update payload has no cells")
+		}
+		jr.patchRows, jr.patchCols = dm.Rows, dm.Cols
+		jr.patch = make([]sparse.ITriplet, 0, dm.NNZ())
+		dm.ForEachRow(func(i int, cols []int, lo, hi []float64) {
+			for p, j := range cols {
+				jr.patch = append(jr.patch, sparse.ITriplet{Row: i, Col: j, Lo: lo[p], Hi: hi[p]})
+			}
+		})
+		return jr, nil
+
+	default:
+		return nil, fmt.Errorf("service: unknown job kind %q (want decompose or update)", req.Kind)
+	}
+}

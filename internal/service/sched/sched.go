@@ -1,0 +1,196 @@
+// Package sched is the pure scheduling core of the batched
+// decomposition service: given a snapshot of the pending jobs and a
+// work budget, Schedule assembles the next execution batch. It is a
+// plain function of its inputs — no goroutines, no channels, no clock
+// reads (jobs carry their admission stamp; the service injects the
+// clock at admission time) — so every batching, priority, fairness,
+// and coalescing decision is exhaustively table-testable.
+//
+// The scheduling contract, in order of precedence:
+//
+//  1. Per-tenant FIFO: a tenant's jobs execute in admission order, and
+//     the scheduler never skips ahead past a job that does not fit —
+//     once a tenant's head job is deferred, the tenant contributes
+//     nothing more to this batch.
+//  2. No starvation: the first unit of every batch is chosen by
+//     fairness alone, and if that unit's head job exceeds the whole
+//     budget it is scheduled by itself. A job too large to ever share
+//     a batch therefore runs as soon as it becomes the oldest pending
+//     work, instead of being bypassed forever by smaller jobs.
+//  3. Fairness: units are drawn round-robin across tenants — the next
+//     unit comes from the tenant with the fewest units already in the
+//     batch, ties broken by the oldest pending job (smallest Seq).
+//  4. Budget: the batch's total admission-priced cost (NNZ×rank for
+//     decompositions, delta-NNZ×rank for updates) stays within the
+//     budget, except for the oversized-first-unit rule above. A
+//     non-positive budget degenerates to one job per batch.
+//  5. Coalescing: a run of consecutive coalescable jobs (cell-patch
+//     updates against the same tenant's model) collapses into one
+//     unit while the cumulative cost fits, so a burst of small deltas
+//     costs one pipeline re-run and one snapshot swap instead of many.
+//
+//ivmf:deterministic
+package sched
+
+import (
+	"sort"
+	"time"
+)
+
+// Kind classifies a job.
+type Kind int
+
+const (
+	// Decompose builds a tenant's model from a full COO payload.
+	Decompose Kind = iota
+	// Update folds a delta batch into the tenant's current model.
+	Update
+)
+
+// String returns "decompose" or "update".
+func (k Kind) String() string {
+	if k == Update {
+		return "update"
+	}
+	return "decompose"
+}
+
+// Job is one admitted unit of work as the scheduler sees it: identity,
+// ordering, and admission-priced cost. Payloads stay with the service —
+// the scheduler never needs them.
+type Job struct {
+	// ID is the service-assigned job identifier.
+	ID uint64
+	// Seq is the global admission sequence number; it totally orders
+	// jobs and is the scheduler's only notion of time.
+	Seq uint64
+	// Tenant names the model the job targets.
+	Tenant string
+	// Kind is the job class (Decompose or Update).
+	Kind Kind
+	// Cost is the admission-priced work estimate: NNZ×rank for a
+	// decomposition, delta-NNZ×rank for an update, clamped to at
+	// least 1 by the service.
+	Cost int64
+	// Coalescable marks jobs that may merge with adjacent coalescable
+	// jobs of the same tenant into one execution unit (cell-patch
+	// updates; appends and decompositions are never coalesced).
+	Coalescable bool
+	// Submitted is the admission stamp from the service's injected
+	// clock; the scheduler itself never reads it (Seq orders jobs),
+	// but it rides along for latency accounting.
+	Submitted time.Time
+}
+
+// Unit is one execution slot of a batch: a single job, or a coalesced
+// run of cell-patch updates against the same tenant's model.
+type Unit struct {
+	Tenant string
+	// Jobs holds the unit's jobs in admission order; len > 1 only for
+	// coalesced patch updates.
+	Jobs []Job
+	// Cost is the summed cost of Jobs.
+	Cost int64
+}
+
+// Batch is the scheduler's output: execution units in order, plus the
+// total admitted cost.
+type Batch struct {
+	Units []Unit
+	Cost  int64
+}
+
+// Jobs returns the batch's job count across all units.
+func (b Batch) Jobs() int {
+	n := 0
+	for _, u := range b.Units {
+		n += len(u.Jobs)
+	}
+	return n
+}
+
+// tenantState tracks one tenant's progress during batch assembly.
+type tenantState struct {
+	jobs    []Job // pending, Seq order
+	head    int   // next job index
+	taken   int   // units already in the batch
+	blocked bool  // head did not fit; FIFO forbids skipping past it
+}
+
+// Schedule assembles the next execution batch from the pending jobs
+// under the given cost budget, per the package contract. The pending
+// slice is not modified; the same inputs always produce the same batch.
+func Schedule(pending []Job, budget int64) Batch {
+	if len(pending) == 0 {
+		return Batch{}
+	}
+	// Order jobs globally by admission and group per tenant,
+	// first-appearance order (deterministic: appearance follows Seq).
+	sorted := make([]Job, len(pending))
+	copy(sorted, pending)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+	index := make(map[string]int)
+	states := make([]*tenantState, 0, 4)
+	for _, j := range sorted {
+		ti, ok := index[j.Tenant]
+		if !ok {
+			ti = len(states)
+			index[j.Tenant] = ti
+			states = append(states, &tenantState{})
+		}
+		states[ti].jobs = append(states[ti].jobs, j)
+	}
+
+	var batch Batch
+	remaining := budget
+	for {
+		best := -1
+		for ti, st := range states {
+			if st.blocked || st.head >= len(st.jobs) {
+				continue
+			}
+			if best == -1 {
+				best = ti
+				continue
+			}
+			bs := states[best]
+			if st.taken < bs.taken ||
+				(st.taken == bs.taken && st.jobs[st.head].Seq < bs.jobs[bs.head].Seq) {
+				best = ti
+			}
+		}
+		if best == -1 {
+			return batch
+		}
+		st := states[best]
+		head := st.jobs[st.head]
+		if head.Cost > remaining {
+			if len(batch.Units) == 0 {
+				// Oversized first unit: no budget will ever fit it, so
+				// it runs alone now that fairness picked it first.
+				return Batch{
+					Units: []Unit{{Tenant: head.Tenant, Jobs: []Job{head}, Cost: head.Cost}},
+					Cost:  head.Cost,
+				}
+			}
+			st.blocked = true
+			continue
+		}
+		unit := Unit{Tenant: head.Tenant, Jobs: []Job{head}, Cost: head.Cost}
+		remaining -= head.Cost
+		st.head++
+		for head.Coalescable && st.head < len(st.jobs) {
+			next := st.jobs[st.head]
+			if !next.Coalescable || next.Cost > remaining {
+				break
+			}
+			unit.Jobs = append(unit.Jobs, next)
+			unit.Cost += next.Cost
+			remaining -= next.Cost
+			st.head++
+		}
+		st.taken++
+		batch.Units = append(batch.Units, unit)
+		batch.Cost += unit.Cost
+	}
+}

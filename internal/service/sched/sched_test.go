@@ -1,0 +1,275 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// j builds a test job; Seq doubles as ID so expected batches read as
+// admission order.
+func j(seq uint64, tenant string, cost int64) Job {
+	return Job{ID: seq, Seq: seq, Tenant: tenant, Cost: cost,
+		Submitted: time.Unix(int64(seq), 0)} // injected stamps, no clock reads
+}
+
+// patch marks a job coalescable (a cell-patch update).
+func patch(seq uint64, tenant string, cost int64) Job {
+	job := j(seq, tenant, cost)
+	job.Kind = Update
+	job.Coalescable = true
+	return job
+}
+
+// ids flattens a batch into per-unit job ID lists for exact assertions.
+func ids(b Batch) [][]uint64 {
+	out := make([][]uint64, 0, len(b.Units))
+	for _, u := range b.Units {
+		unit := make([]uint64, 0, len(u.Jobs))
+		for _, job := range u.Jobs {
+			unit = append(unit, job.ID)
+		}
+		out = append(out, unit)
+	}
+	return out
+}
+
+func TestSchedule(t *testing.T) {
+	cases := []struct {
+		name    string
+		pending []Job
+		budget  int64
+		want    [][]uint64 // exact batch: one ID list per unit, in order
+		cost    int64
+	}{
+		{
+			name:    "empty queue",
+			pending: nil,
+			budget:  100,
+			want:    [][]uint64{},
+			cost:    0,
+		},
+		{
+			name:    "single job fits",
+			pending: []Job{j(1, "a", 40)},
+			budget:  100,
+			want:    [][]uint64{{1}},
+			cost:    40,
+		},
+		{
+			name:    "one oversized job is scheduled alone",
+			pending: []Job{j(1, "a", 500)},
+			budget:  100,
+			want:    [][]uint64{{1}},
+			cost:    500,
+		},
+		{
+			name: "oversized first pick excludes everything else",
+			// The oversized job is oldest, so fairness picks it first and
+			// it takes the whole round even though b's job would fit.
+			pending: []Job{j(1, "a", 500), j(2, "b", 10)},
+			budget:  100,
+			want:    [][]uint64{{1}},
+			cost:    500,
+		},
+		{
+			name:    "budget exactly met",
+			pending: []Job{j(1, "a", 60), j(2, "a", 40)},
+			budget:  100,
+			want:    [][]uint64{{1}, {2}},
+			cost:    100,
+		},
+		{
+			name:    "budget exceeded by one unit stops before it",
+			pending: []Job{j(1, "a", 60), j(2, "a", 41)},
+			budget:  100,
+			want:    [][]uint64{{1}},
+			cost:    60,
+		},
+		{
+			name: "per-tenant FIFO never skips past a deferred head",
+			// a's head (70) does not fit after a1; a's cheap third job
+			// (cost 5) must NOT jump the queue.
+			pending: []Job{j(1, "a", 60), j(2, "a", 70), j(3, "a", 5)},
+			budget:  100,
+			want:    [][]uint64{{1}},
+			cost:    60,
+		},
+		{
+			name: "per-tenant fairness round-robins across tenants",
+			pending: []Job{
+				j(1, "a", 10), j(2, "b", 10), j(3, "a", 10),
+				j(4, "b", 10), j(5, "a", 10), j(6, "b", 10),
+			},
+			budget: 40,
+			want:   [][]uint64{{1}, {2}, {3}, {4}},
+			cost:   40,
+		},
+		{
+			name: "fairness ties break by oldest pending job",
+			// Both tenants at zero units taken: b's head is older.
+			pending: []Job{j(2, "a", 10), j(1, "b", 10)},
+			budget:  100,
+			want:    [][]uint64{{1}, {2}},
+			cost:    20,
+		},
+		{
+			name: "large job behind small ones defers but does not starve (round 1)",
+			pending: []Job{
+				j(1, "b", 10), j(2, "a", 80),
+				j(3, "b", 10), j(4, "b", 10), j(5, "b", 10),
+			},
+			budget: 40,
+			// b1 first (oldest); a's 80 no longer fits and blocks; b
+			// fills the rest. The large job waits, it is not bypassed
+			// within its own tenant.
+			want: [][]uint64{{1}, {3}, {4}, {5}},
+			cost: 40,
+		},
+		{
+			name: "large job behind small ones runs next round (round 2)",
+			// Round 2 of the case above: the large job is now oldest, so
+			// fairness picks it first and it fits a fresh budget.
+			pending: []Job{j(2, "a", 80), j(6, "b", 10), j(7, "b", 10)},
+			budget:  80,
+			want:    [][]uint64{{2}},
+			cost:    80,
+		},
+		{
+			name: "delta coalescing merges a patch run into one unit",
+			pending: []Job{
+				patch(1, "a", 10), patch(2, "a", 10), patch(3, "a", 10),
+			},
+			budget: 100,
+			want:   [][]uint64{{1, 2, 3}},
+			cost:   30,
+		},
+		{
+			name: "coalescing stops at a non-coalescable job",
+			pending: []Job{
+				patch(1, "a", 10), patch(2, "a", 10),
+				j(3, "a", 10), patch(4, "a", 10),
+			},
+			budget: 100,
+			// The decompose at seq 3 breaks the run (it rebuilds the
+			// model, so the patches around it must not merge across it).
+			want: [][]uint64{{1, 2}, {3}, {4}},
+			cost: 40,
+		},
+		{
+			name: "coalescing is budget-bounded",
+			pending: []Job{
+				patch(1, "a", 40), patch(2, "a", 40), patch(3, "a", 40),
+			},
+			budget: 100,
+			want:   [][]uint64{{1, 2}},
+			cost:   80,
+		},
+		{
+			name: "coalescing never merges across tenants",
+			pending: []Job{
+				patch(1, "a", 10), patch(2, "b", 10), patch(3, "a", 10),
+			},
+			budget: 100,
+			// a's run is 1 then 3 (consecutive in a's own queue), b
+			// keeps its own unit.
+			want: [][]uint64{{1, 3}, {2}},
+			cost: 30,
+		},
+		{
+			name: "non-positive budget degenerates to one job per batch",
+			pending: []Job{
+				j(1, "a", 10), j(2, "b", 10),
+			},
+			budget: 0,
+			want:   [][]uint64{{1}},
+			cost:   10,
+		},
+		{
+			name: "unsorted input is ordered by Seq, not slice position",
+			pending: []Job{
+				j(3, "a", 10), j(1, "b", 10), j(2, "a", 10),
+			},
+			budget: 100,
+			want:   [][]uint64{{1}, {2}, {3}},
+			cost:   30,
+		},
+		{
+			name: "three tenants interleave by units taken then age",
+			pending: []Job{
+				j(1, "a", 10), j(2, "b", 10), j(3, "c", 10),
+				j(4, "a", 10), j(5, "c", 10),
+			},
+			budget: 50,
+			want:   [][]uint64{{1}, {2}, {3}, {4}, {5}},
+			cost:   50,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			before := make([]Job, len(tc.pending))
+			copy(before, tc.pending)
+			got := Schedule(tc.pending, tc.budget)
+			if gotIDs := ids(got); !reflect.DeepEqual(gotIDs, tc.want) {
+				t.Fatalf("batch units = %v, want %v", gotIDs, tc.want)
+			}
+			if got.Cost != tc.cost {
+				t.Fatalf("batch cost = %d, want %d", got.Cost, tc.cost)
+			}
+			if len(before) > 0 && !reflect.DeepEqual(tc.pending, before) {
+				t.Fatalf("Schedule mutated its input")
+			}
+			// Unit invariants: cost sums, tenant homogeneity, admission
+			// order inside units.
+			var total int64
+			for _, u := range got.Units {
+				var uc int64
+				for k, job := range u.Jobs {
+					uc += job.Cost
+					if job.Tenant != u.Tenant {
+						t.Fatalf("unit tenant %q holds job of tenant %q", u.Tenant, job.Tenant)
+					}
+					if k > 0 && u.Jobs[k-1].Seq >= job.Seq {
+						t.Fatalf("unit jobs out of admission order")
+					}
+				}
+				if uc != u.Cost {
+					t.Fatalf("unit cost %d, want sum %d", u.Cost, uc)
+				}
+				total += uc
+			}
+			if total != got.Cost {
+				t.Fatalf("batch cost %d, want sum of units %d", got.Cost, total)
+			}
+		})
+	}
+}
+
+// TestScheduleDeterministic pins that repeated calls over the same
+// pending snapshot emit the identical batch (the scheduler is a pure
+// function: no maps are ranged, no clocks read).
+func TestScheduleDeterministic(t *testing.T) {
+	pending := []Job{
+		patch(5, "c", 7), j(1, "a", 10), patch(4, "c", 7),
+		j(2, "b", 12), j(3, "a", 9), patch(6, "c", 7),
+	}
+	first := Schedule(pending, 30)
+	for run := 0; run < 50; run++ {
+		if got := Schedule(pending, 30); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: batch differs from first run", run)
+		}
+	}
+}
+
+func TestBatchJobs(t *testing.T) {
+	b := Schedule([]Job{patch(1, "a", 1), patch(2, "a", 1), j(3, "b", 1)}, 10)
+	if b.Jobs() != 3 {
+		t.Fatalf("Jobs() = %d, want 3", b.Jobs())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Decompose.String() != "decompose" || Update.String() != "update" {
+		t.Fatalf("Kind strings: %q, %q", Decompose.String(), Update.String())
+	}
+}

@@ -1,0 +1,294 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// HTTP API of the batched decomposition service (cmd/ivmfd):
+//
+//	POST /v1/jobs              submit a job (Request envelope) → 202 JobInfo
+//	GET  /v1/jobs/{id}         job status → JobInfo
+//	POST /v1/predict           batch predictions from one snapshot → PredictResponse
+//	GET  /v1/predict           single-cell variant (?tenant=&row=&col=)
+//	GET  /v1/topn              top-N columns for a row (?tenant=&row=&n=&exclude=1,2)
+//	GET  /metrics              Prometheus text exposition
+//	GET  /healthz              200 serving / 503 draining
+//
+// Every prediction response is computed from exactly one atomically
+// loaded snapshot and reports its version, so concurrent model swaps
+// never produce torn reads.
+
+// PredictRequest is the POST /v1/predict body.
+type PredictRequest struct {
+	Tenant string   `json:"tenant"`
+	Cells  [][2]int `json:"cells"` // [row, col] pairs
+}
+
+// Prediction is one predicted cell.
+type Prediction struct {
+	Row int     `json:"row"`
+	Col int     `json:"col"`
+	Lo  float64 `json:"lo"`
+	Hi  float64 `json:"hi"`
+	Mid float64 `json:"mid"`
+}
+
+// PredictResponse answers /v1/predict; all cells come from the single
+// snapshot identified by Version.
+type PredictResponse struct {
+	Tenant      string       `json:"tenant"`
+	Version     uint64       `json:"version"`
+	Predictions []Prediction `json:"predictions"`
+}
+
+// TopNResponse answers /v1/topn.
+type TopNResponse struct {
+	Tenant  string `json:"tenant"`
+	Version uint64 `json:"version"`
+	Row     int    `json:"row"`
+	Items   []int  `json:"items"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// maxPredictCells caps one predict request's cell list.
+const maxPredictCells = 4096
+
+// Handler returns the service's HTTP routes.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/predict", s.handlePredictGet)
+	mux.HandleFunc("GET /v1/topn", s.handleTopN)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// writeJSON emits one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps service errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, errTooLarge):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, errDraining):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, errQueueFull):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, errNoModel):
+		status = http.StatusConflict
+	case errors.Is(err, errNotFound):
+		status = http.StatusNotFound
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// MaxBytesReader stops a hostile stream at the transport;
+	// decodeRequest re-checks the decoded length so direct callers get
+	// the same boundary.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", errTooLarge, err))
+		return
+	}
+	req, err := decodeRequest(body, s.cfg.MaxBodyBytes)
+	if err != nil {
+		s.metrics.addCounter(mRejected, label("reason", reasonInvalid), 1)
+		writeError(w, err)
+		return
+	}
+	info, err := s.Submit(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, info)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, fmt.Errorf("service: bad job id %q", r.PathValue("id")))
+		return
+	}
+	info, err := s.Job(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// snapshotFor loads the serving snapshot for a tenant or reports the
+// request error.
+func (s *Service) snapshotFor(tenant string) (*Snapshot, error) {
+	if !tenantRE.MatchString(tenant) {
+		return nil, fmt.Errorf("service: bad tenant %q", tenant)
+	}
+	snap := s.Snapshot(tenant)
+	if snap == nil {
+		return nil, fmt.Errorf("%w: tenant %q has no serving model", errNotFound, tenant)
+	}
+	return snap, nil
+}
+
+// predictCells answers a cell list from one snapshot.
+func (s *Service) predictCells(snap *Snapshot, tenant string, cells [][2]int) (*PredictResponse, error) {
+	resp := &PredictResponse{
+		Tenant:      tenant,
+		Version:     snap.Version,
+		Predictions: make([]Prediction, 0, len(cells)),
+	}
+	for _, c := range cells {
+		iv, err := snap.Pred.PredictInterval(c[0], c[1])
+		if err != nil {
+			return nil, err
+		}
+		resp.Predictions = append(resp.Predictions, Prediction{
+			Row: c[0], Col: c[1], Lo: iv.Lo, Hi: iv.Hi, Mid: iv.Mid(),
+		})
+	}
+	s.metrics.addCounter(mPredicts, "", 1)
+	s.metrics.addCounter(mPredCells, "", float64(len(cells)))
+	return resp, nil
+}
+
+func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", errTooLarge, err))
+		return
+	}
+	var req PredictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, fmt.Errorf("service: bad predict request: %w", err))
+		return
+	}
+	if len(req.Cells) == 0 || len(req.Cells) > maxPredictCells {
+		writeError(w, fmt.Errorf("service: predict wants 1..%d cells, got %d", maxPredictCells, len(req.Cells)))
+		return
+	}
+	snap, err := s.snapshotFor(req.Tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.predictCells(snap, req.Tenant, req.Cells)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// intParam parses one required integer query parameter.
+func intParam(r *http.Request, name string) (int, error) {
+	v := r.URL.Query().Get(name)
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("service: bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+func (s *Service) handlePredictGet(w http.ResponseWriter, r *http.Request) {
+	row, err := intParam(r, "row")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	col, err := intParam(r, "col")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	tenant := r.URL.Query().Get("tenant")
+	snap, err := s.snapshotFor(tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.predictCells(snap, tenant, [][2]int{{row, col}})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleTopN(w http.ResponseWriter, r *http.Request) {
+	row, err := intParam(r, "row")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	n, err := intParam(r, "n")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if n < 0 || n > maxPredictCells {
+		writeError(w, fmt.Errorf("service: topn wants 0..%d items, got %d", maxPredictCells, n))
+		return
+	}
+	exclude := map[int]bool{}
+	if raw := r.URL.Query().Get("exclude"); raw != "" {
+		for _, f := range strings.Split(raw, ",") {
+			j, err := strconv.Atoi(f)
+			if err != nil {
+				writeError(w, fmt.Errorf("service: bad exclude entry %q", f))
+				return
+			}
+			exclude[j] = true
+		}
+	}
+	tenant := r.URL.Query().Get("tenant")
+	snap, err := s.snapshotFor(tenant)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	items, err := snap.Pred.TopN(row, n, exclude)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.metrics.addCounter(mPredicts, "", 1)
+	writeJSON(w, http.StatusOK, TopNResponse{
+		Tenant: tenant, Version: snap.Version, Row: row, Items: items,
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = s.metrics.write(w)
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}

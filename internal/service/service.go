@@ -1,0 +1,473 @@
+// Package service is the batched decomposition serving tier: a
+// long-running server that admits decomposition and update jobs into
+// per-tenant queues (payloads resident as O(NNZ) sparse matrices, never
+// dense), schedules them across the shared worker pool in cost-budgeted
+// batches (internal/service/sched — admission prices decompositions at
+// NNZ×rank and updates at delta-NNZ×rank), and serves predictions from
+// immutable factor-backed snapshots that swap atomically on job
+// completion. The update path rides core's incremental factor engine,
+// so arriving deltas cost O(delta), and because update states are
+// functional the previous snapshot keeps serving — without locks —
+// while its successor is being built: zero-downtime model refresh.
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/recommend"
+	"repro/internal/service/sched"
+	"repro/internal/sparse"
+)
+
+// Config tunes a Service. The zero value serves with the documented
+// defaults.
+type Config struct {
+	// Budget is the scheduler's per-round cost budget in admission
+	// units (NNZ×rank). 0 means DefaultBudget; negative degenerates to
+	// one job per round.
+	Budget int64
+	// MaxBodyBytes caps request bodies; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxQueue caps pending jobs per tenant; 0 means DefaultMaxQueue.
+	MaxQueue int
+	// Workers is the default per-job pool bound when a request does not
+	// set its own (0 = the shared pool default).
+	Workers int
+	// Clock is the injected time source (admission stamps, latency
+	// accounting); nil means time.Now. The scheduler itself never reads
+	// it — batches are a pure function of the queue snapshot.
+	Clock func() time.Time
+}
+
+// Service defaults.
+const (
+	DefaultBudget       = int64(1) << 22 // ~4M cost units per round
+	DefaultMaxBodyBytes = int64(16) << 20
+	DefaultMaxQueue     = 64
+)
+
+func (c Config) withDefaults() Config {
+	if c.Budget == 0 {
+		c.Budget = DefaultBudget
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// JobInfo is the externally visible job status.
+type JobInfo struct {
+	ID      uint64   `json:"id"`
+	Tenant  string   `json:"tenant"`
+	Kind    string   `json:"kind"`
+	State   JobState `json:"state"`
+	Cost    int64    `json:"cost"`
+	Error   string   `json:"error,omitempty"`
+	Version uint64   `json:"version,omitempty"` // snapshot the job published
+	// LatencyMs is admission→completion wall time, set on done/failed.
+	LatencyMs float64 `json:"latencyMs,omitempty"`
+}
+
+// jobRecord is the service-side job ledger entry: scheduling identity,
+// payload, and status.
+type jobRecord struct {
+	job  sched.Job
+	req  *jobRequest
+	info JobInfo
+}
+
+// tenantMeta is what admission remembers about a tenant's model before
+// the decomposition has even run: the declared shape and rank admit and
+// price subsequent updates without waiting for the model.
+type tenantMeta struct {
+	rows, cols int
+	rank       int
+	store      *snapStore
+}
+
+// Service is the batched decomposition service. Create with New, start
+// the executor with Start, stop with Drain.
+type Service struct {
+	cfg     Config
+	metrics *registry
+
+	mu       sync.Mutex
+	pending  []sched.Job
+	jobs     map[uint64]*jobRecord
+	tenants  map[string]*tenantMeta
+	seq      uint64
+	draining bool
+
+	wake     chan struct{}
+	loopDone chan struct{}
+	started  bool
+}
+
+// New builds a Service with the given configuration.
+func New(cfg Config) *Service {
+	return &Service{
+		cfg:      cfg.withDefaults(),
+		metrics:  newServiceRegistry(),
+		jobs:     make(map[uint64]*jobRecord),
+		tenants:  make(map[string]*tenantMeta),
+		wake:     make(chan struct{}, 1),
+		loopDone: make(chan struct{}),
+	}
+}
+
+// Start launches the executor loop. It must be called exactly once.
+func (s *Service) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		panic("service: Start called twice")
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.loop()
+}
+
+// Drain stops admission (new submissions fail with errDraining / HTTP
+// 503), lets every already-admitted job run to completion, and returns
+// when the executor has exited or ctx is done. No admitted job is ever
+// dropped.
+func (s *Service) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	started := s.started
+	s.mu.Unlock()
+	s.signalWake()
+	if !started {
+		return nil
+	}
+	select {
+	case <-s.loopDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether the service has begun shutting down.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Service) signalWake() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// rejection reasons for the rejected-jobs counter.
+const (
+	reasonDraining  = "draining"
+	reasonQueueFull = "queue_full"
+	reasonNoModel   = "no_model"
+	reasonShape     = "shape_mismatch"
+	reasonInvalid   = "invalid"
+)
+
+func (s *Service) reject(reason string, err error) (JobInfo, error) {
+	s.metrics.addCounter(mRejected, label("reason", reason), 1)
+	return JobInfo{}, err
+}
+
+// Submit admits a decoded job request: prices it, appends it to the
+// tenant's queue, and wakes the executor. It returns the queued job's
+// info or the admission error.
+func (s *Service) Submit(req *jobRequest) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return s.reject(reasonDraining, errDraining)
+	}
+	depth := 0
+	for _, j := range s.pending {
+		if j.Tenant == req.tenant {
+			depth++
+		}
+	}
+	if depth >= s.cfg.MaxQueue {
+		return s.reject(reasonQueueFull, fmt.Errorf("%w: %d pending jobs for %q", errQueueFull, depth, req.tenant))
+	}
+
+	meta := s.tenants[req.tenant]
+	var cost int64
+	switch req.kind {
+	case sched.Decompose:
+		rank := req.opts.Rank
+		if maxRank := min(req.base.Rows, req.base.Cols); rank <= 0 || rank > maxRank {
+			rank = maxRank
+		}
+		cost = int64(req.base.NNZ()) * int64(rank)
+		if meta == nil {
+			meta = &tenantMeta{store: &snapStore{}}
+			s.tenants[req.tenant] = meta
+		}
+		// Updates admitted after this job are judged against the new
+		// declared shape, whether or not the decomposition has run yet.
+		meta.rows, meta.cols, meta.rank = req.base.Rows, req.base.Cols, rank
+	case sched.Update:
+		if meta == nil {
+			return s.reject(reasonNoModel, fmt.Errorf("%w: %q (submit a decompose job first)", errNoModel, req.tenant))
+		}
+		if req.patchRows != meta.rows || req.patchCols != meta.cols {
+			return s.reject(reasonShape, fmt.Errorf("service: delta header %dx%d does not match model %dx%d",
+				req.patchRows, req.patchCols, meta.rows, meta.cols))
+		}
+		cost = int64(len(req.patch)) * int64(meta.rank)
+	}
+	if cost < 1 {
+		cost = 1
+	}
+
+	s.seq++
+	job := sched.Job{
+		ID:          s.seq,
+		Seq:         s.seq,
+		Tenant:      req.tenant,
+		Kind:        req.kind,
+		Cost:        cost,
+		Coalescable: req.kind == sched.Update,
+		Submitted:   s.cfg.Clock(),
+	}
+	rec := &jobRecord{job: job, req: req, info: JobInfo{
+		ID: job.ID, Tenant: job.Tenant, Kind: job.Kind.String(),
+		State: JobQueued, Cost: cost,
+	}}
+	s.jobs[job.ID] = rec
+	s.pending = append(s.pending, job)
+	s.metrics.addCounter(mAdmitted, label("kind", job.Kind.String()), 1)
+	s.metrics.setGauge(mQueueDepth, label("tenant", job.Tenant), float64(depth+1))
+	info := rec.info
+	s.signalWake()
+	return info, nil
+}
+
+// Job returns the status of a job by ID.
+func (s *Service) Job(id uint64) (JobInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.jobs[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("%w: job %d", errNotFound, id)
+	}
+	return rec.info, nil
+}
+
+// Snapshot returns the tenant's current serving snapshot, or nil when
+// the tenant has no completed model.
+func (s *Service) Snapshot(tenant string) *Snapshot {
+	s.mu.Lock()
+	meta := s.tenants[tenant]
+	s.mu.Unlock()
+	if meta == nil {
+		return nil
+	}
+	return meta.store.load()
+}
+
+// loop is the executor: it snapshots the queue, schedules one batch,
+// executes its units in order, and repeats; on drain it exits once the
+// queue is empty. Jobs execute one unit at a time — each decomposition
+// or update is internally parallel on the shared pool — so per-tenant
+// ordering is trivially preserved.
+func (s *Service) loop() {
+	defer close(s.loopDone)
+	for {
+		s.mu.Lock()
+		pending := make([]sched.Job, len(s.pending))
+		copy(pending, s.pending)
+		draining := s.draining
+		s.mu.Unlock()
+
+		if len(pending) == 0 {
+			if draining {
+				return
+			}
+			<-s.wake
+			continue
+		}
+		batch := sched.Schedule(pending, s.cfg.Budget)
+		s.metrics.addCounter(mBatches, "", 1)
+		for _, unit := range batch.Units {
+			s.execUnit(unit)
+		}
+	}
+}
+
+// finish records a unit's outcome for all its jobs and removes them
+// from the queue.
+func (s *Service) finish(unit sched.Unit, version uint64, err error) {
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	done := make(map[uint64]bool, len(unit.Jobs))
+	for _, j := range unit.Jobs {
+		done[j.ID] = true
+		rec := s.jobs[j.ID]
+		rec.info.LatencyMs = now.Sub(j.Submitted).Seconds() * 1e3
+		kind := label("kind", j.Kind.String())
+		if err != nil {
+			rec.info.State = JobFailed
+			rec.info.Error = err.Error()
+			s.metrics.addCounter(mFailed, kind, 1)
+		} else {
+			rec.info.State = JobDone
+			rec.info.Version = version
+			s.metrics.addCounter(mCompleted, kind, 1)
+		}
+		rec.req = nil // payload is no longer needed; release the memory
+		s.metrics.observe(mJobLatency, kind, now.Sub(j.Submitted).Seconds())
+	}
+	kept := s.pending[:0]
+	depth := 0
+	for _, j := range s.pending {
+		if !done[j.ID] {
+			kept = append(kept, j)
+			if j.Tenant == unit.Tenant {
+				depth++
+			}
+		}
+	}
+	s.pending = kept
+	s.metrics.setGauge(mQueueDepth, label("tenant", unit.Tenant), float64(depth))
+	if err == nil {
+		s.metrics.setGauge(mSnapVer, label("tenant", unit.Tenant), float64(version))
+	}
+}
+
+// execUnit runs one scheduled unit to completion and publishes the
+// resulting snapshot.
+func (s *Service) execUnit(unit sched.Unit) {
+	s.mu.Lock()
+	recs := make([]*jobRecord, len(unit.Jobs))
+	for i, j := range unit.Jobs {
+		recs[i] = s.jobs[j.ID]
+		recs[i].info.State = JobRunning
+	}
+	meta := s.tenants[unit.Tenant]
+	s.mu.Unlock()
+	if len(unit.Jobs) > 1 {
+		s.metrics.addCounter(mCoalesced, "", float64(len(unit.Jobs)-1))
+	}
+
+	version, err := s.runUnit(unit, recs, meta)
+	s.finish(unit, version, err)
+}
+
+// runUnit executes the unit's work: a decomposition, or a (possibly
+// coalesced) update run against the tenant's current snapshot.
+func (s *Service) runUnit(unit sched.Unit, recs []*jobRecord, meta *tenantMeta) (uint64, error) {
+	prev := meta.store.load()
+	var prevVersion uint64
+	if prev != nil {
+		prevVersion = prev.Version
+	}
+
+	switch unit.Jobs[0].Kind {
+	case sched.Decompose:
+		req := recs[0].req
+		opts := req.opts
+		opts.Updatable = true
+		if opts.Workers == 0 {
+			opts.Workers = s.cfg.Workers
+		}
+		d, err := core.DecomposeSparse(req.base, req.method, opts)
+		if err != nil {
+			return 0, err
+		}
+		pred, err := recommend.FromSparseDecomposition(d, req.min, req.max)
+		if err != nil {
+			return 0, err
+		}
+		next := &Snapshot{
+			Version: prevVersion + 1,
+			JobID:   unit.Jobs[0].ID,
+			Pred:    pred,
+			Decomp:  d,
+			Rows:    req.base.Rows,
+			Cols:    req.base.Cols,
+			Rank:    d.Rank,
+		}
+		meta.store.swap(next)
+		return next.Version, nil
+
+	case sched.Update:
+		if prev == nil {
+			return 0, fmt.Errorf("service: tenant %q has no completed model to update", unit.Tenant)
+		}
+		// Coalesced jobs merge into one cell patch with last-wins set
+		// semantics (later jobs overwrite earlier patches of the same
+		// cell), applied as a single factor update and one snapshot
+		// swap. The merge is deterministic: jobs in admission order,
+		// first-touch cell order.
+		last := recs[len(recs)-1].req
+		merged := make([]sparse.ITriplet, 0, len(recs[0].req.patch))
+		at := make(map[[2]int]int)
+		for _, rec := range recs {
+			for _, t := range rec.req.patch {
+				key := [2]int{t.Row, t.Col}
+				if i, ok := at[key]; ok {
+					merged[i] = t
+					continue
+				}
+				at[key] = len(merged)
+				merged = append(merged, t)
+			}
+		}
+		opts := core.Options{
+			Refresh:       last.refresh,
+			RefreshBudget: last.refreshBudget,
+			Workers:       last.workers,
+		}
+		if opts.Workers == 0 {
+			opts.Workers = s.cfg.Workers
+		}
+		d2, err := prev.Decomp.Update(core.Delta{Patch: merged}, opts)
+		if err != nil {
+			return 0, err
+		}
+		pred, err := recommend.FromSparseDecomposition(d2, prev.Pred.Min, prev.Pred.Max)
+		if err != nil {
+			return 0, err
+		}
+		next := &Snapshot{
+			Version: prevVersion + 1,
+			JobID:   unit.Jobs[len(unit.Jobs)-1].ID,
+			Pred:    pred,
+			Decomp:  d2,
+			Rows:    prev.Rows,
+			Cols:    prev.Cols,
+			Rank:    prev.Rank,
+		}
+		meta.store.swap(next)
+		return next.Version, nil
+	}
+	return 0, fmt.Errorf("service: unknown job kind")
+}

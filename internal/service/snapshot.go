@@ -1,0 +1,57 @@
+package service
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/recommend"
+)
+
+// Snapshot is one immutable serving state of a tenant's model: the
+// factor-backed predictor, the updatable decomposition it was derived
+// from, and the version stamp. Snapshots are never mutated after
+// publication — the job executor builds a complete replacement off to
+// the side (core's update states are functional, so the old
+// decomposition keeps serving while the new one is built) and swaps the
+// pointer in one atomic store. Readers that load a snapshot once and
+// answer entirely from it are therefore always internally consistent
+// with exactly one version, with zero locking on the serving path.
+type Snapshot struct {
+	// Version counts published states per tenant, starting at 1 for the
+	// first completed decomposition.
+	Version uint64
+	// JobID identifies the job whose completion published this state.
+	JobID uint64
+	// Pred serves /predict and /topn; safe for concurrent use.
+	Pred *recommend.Predictor
+	// Decomp is the updatable decomposition behind Pred; the executor
+	// folds the next delta into it.
+	Decomp *core.Decomposition
+	// Rows, Cols is the model shape; deltas must match it.
+	Rows, Cols int
+	// Rank is the decompose-time rank (update cost pricing).
+	Rank int
+}
+
+// snapStore publishes a tenant's current Snapshot. The zero value is an
+// empty store (no model yet).
+type snapStore struct {
+	p atomic.Pointer[Snapshot]
+}
+
+// load returns the current snapshot, or nil when no decomposition has
+// completed yet. The returned snapshot is immutable; answer whole
+// requests from one load.
+//
+//ivmf:deterministic
+func (s *snapStore) load() *Snapshot {
+	return s.p.Load()
+}
+
+// swap publishes next as the current snapshot. Only the job executor
+// calls it, and next must never be modified after the call.
+//
+//ivmf:deterministic
+func (s *snapStore) swap(next *Snapshot) {
+	s.p.Store(next)
+}

@@ -261,6 +261,16 @@ func Methods() []Method { return core.Methods() }
 // Targets lists the decomposition targets in order.
 func Targets() []Target { return core.Targets() }
 
+// ParseMethod parses "ISVD0".."ISVD4" (any case, with or without the
+// "ISVD" prefix) — the spelling of cmd flags and ivmfd job envelopes.
+func ParseMethod(s string) (Method, error) { return core.ParseMethod(s) }
+
+// ParseTarget parses "a", "b", or "c" (any case).
+func ParseTarget(s string) (Target, error) { return core.ParseTarget(s) }
+
+// ParseRefresh parses "auto", "never", or "always" (any case).
+func ParseRefresh(s string) (Refresh, error) { return core.ParseRefresh(s) }
+
 // ValidateInput checks that an interval matrix has finite, well-ordered
 // endpoints (the precondition of Decompose).
 func ValidateInput(m *IntervalMatrix) error { return core.ValidateInput(m) }
