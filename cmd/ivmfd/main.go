@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	ivmfd -addr :8080 -budget 4194304 -workers 0 -maxbody 16777216 -maxqueue 64
+//	ivmfd -addr :8080 -budget 4194304 -workers 0 -maxbody 16777216 -maxqueue 64 -data-dir /var/lib/ivmfd
 //
 // Endpoints (see internal/service/server.go and README "Serving"):
 //
@@ -15,9 +15,16 @@
 //	POST /v1/predict    GET /v1/predict    GET /v1/topn
 //	GET  /metrics       GET /healthz
 //
+// With -data-dir the server is crash-safe: every job's result is made
+// durable (snapshot or fsynced write-ahead record, see internal/store)
+// before the job is acknowledged, and a restart recovers all tenants to
+// exactly the acknowledged state — kill -9 loses at most unacknowledged
+// work.
+//
 // On SIGTERM or SIGINT the server drains: admission stops (503), every
-// already-admitted job runs to completion and publishes its snapshot,
-// then the HTTP listener shuts down. No admitted work is ever dropped.
+// already-admitted job runs to completion, publishes its snapshot, and
+// reaches disk, then the HTTP listener shuts down and the store closes.
+// No admitted work is ever dropped.
 package main
 
 import (
@@ -40,6 +47,7 @@ func main() {
 	workers := flag.Int("workers", 0, "default per-job worker bound (0 = shared pool default)")
 	maxBody := flag.Int64("maxbody", 0, "max request body bytes (0 = default)")
 	maxQueue := flag.Int("maxqueue", 0, "max pending jobs per tenant (0 = default)")
+	dataDir := flag.String("data-dir", "", "durable model store directory (empty = in-memory only)")
 	drainTimeout := flag.Duration("draintimeout", 5*time.Minute, "max time to finish admitted jobs on shutdown")
 	flag.Parse()
 
@@ -50,6 +58,7 @@ func main() {
 		Workers:      *workers,
 		MaxBodyBytes: *maxBody,
 		MaxQueue:     *maxQueue,
+		DataDir:      *dataDir,
 	}
 	if err := run(ctx, *addr, cfg, *drainTimeout, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "ivmfd: %v\n", err)
@@ -61,7 +70,12 @@ func main() {
 // ready is non-nil the bound listen address is sent on it once the
 // server is accepting (tests bind ":0").
 func run(ctx context.Context, addr string, cfg service.Config, drainTimeout time.Duration, ready chan<- string) error {
-	s := service.New(cfg)
+	// Open recovers every persisted tenant from cfg.DataDir before the
+	// listener accepts; without a data dir it is exactly New.
+	s, err := service.Open(cfg)
+	if err != nil {
+		return err
+	}
 	s.Start()
 
 	ln, err := net.Listen("tcp", addr)
@@ -82,11 +96,17 @@ func run(ctx context.Context, addr string, cfg service.Config, drainTimeout time
 	}
 
 	// Graceful drain: stop admitting (the handler answers 503), let the
-	// executor finish every admitted job, then close the listener.
+	// executor finish every admitted job — each one durable before it
+	// was acknowledged — then close the listener, and only then the
+	// store: in-flight predictions may serve zero-copy from mappings
+	// the store owns.
 	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := s.Drain(dctx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
-	return srv.Shutdown(dctx)
+	if err := srv.Shutdown(dctx); err != nil {
+		return err
+	}
+	return s.Close()
 }

@@ -26,6 +26,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -46,6 +47,9 @@ type loadConfig struct {
 	Cells    int     `json:"cellsPerPredict"`
 	Seed     int64   `json:"seed"`
 	SLOP99Ms float64 `json:"sloP99Ms"`
+	// DataDir makes the in-process server durable, measuring the
+	// write-ahead durability tax under load (ignored with Addr).
+	DataDir string `json:"dataDir,omitempty"`
 }
 
 type jobStats struct {
@@ -89,11 +93,13 @@ func main() {
 	cells := flag.Int("cells", 16, "cells per predict request")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	sloP99 := flag.Float64("slop99ms", 250, "SLO: p99 predict latency bound in ms")
+	dataDir := flag.String("data-dir", "", "durable store root for the in-process server (empty = in-memory)")
 	out := flag.String("out", "", "output path (empty = stdout)")
 	flag.Parse()
 
 	cfg := loadConfig{Addr: *addr, Scale: *scale, Rank: *rank, Batches: *batches,
-		Hammers: *hammers, Cells: *cells, Seed: *seed, SLOP99Ms: *sloP99}
+		Hammers: *hammers, Cells: *cells, Seed: *seed, SLOP99Ms: *sloP99,
+		DataDir: *dataDir}
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -163,8 +169,14 @@ func runOne(tenants int, cfg loadConfig) (runResult, error) {
 	base := cfg.Addr
 	var stopServer func() error
 	if base == "" {
+		dataDir := cfg.DataDir
+		if dataDir != "" {
+			// One store per run: tenant names repeat across runs, and a
+			// shared store would replay run N-1's models into run N.
+			dataDir = filepath.Join(dataDir, fmt.Sprintf("run-%d", tenants))
+		}
 		var err error
-		base, stopServer, err = startServer()
+		base, stopServer, err = startServer(dataDir)
 		if err != nil {
 			return runResult{}, err
 		}
@@ -216,9 +228,13 @@ func runOne(tenants int, cfg loadConfig) (runResult, error) {
 	return res, nil
 }
 
-// startServer boots an in-process ivmfd on a loopback port.
-func startServer() (base string, stop func() error, err error) {
-	s := service.New(service.Config{})
+// startServer boots an in-process ivmfd on a loopback port; a non-empty
+// dataDir makes it durable.
+func startServer(dataDir string) (base string, stop func() error, err error) {
+	s, err := service.Open(service.Config{DataDir: dataDir})
+	if err != nil {
+		return "", nil, err
+	}
 	s.Start()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -232,7 +248,10 @@ func startServer() (base string, stop func() error, err error) {
 		if err := s.Drain(ctx); err != nil {
 			return err
 		}
-		return srv.Shutdown(ctx)
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return s.Close()
 	}
 	return "http://" + ln.Addr().String(), stop, nil
 }

@@ -220,6 +220,13 @@ const (
 	mPredicts   = "ivmfd_predict_requests_total"
 	mPredCells  = "ivmfd_predict_cells_total"
 	mSnapVer    = "ivmfd_snapshot_version"
+
+	// Durable-store families (all zero unless the service runs with a
+	// data directory).
+	mStorePersist   = "ivmfd_store_persist_total"
+	mStoreRetries   = "ivmfd_store_persist_retries_total"
+	mStoreEvents    = "ivmfd_store_events_total"
+	mStoreRecovered = "ivmfd_store_recovered_tenants_total"
 )
 
 // newServiceRegistry describes the full ivmfd metric set.
@@ -236,5 +243,9 @@ func newServiceRegistry() *registry {
 	r.describe(mPredicts, "counter", "Prediction requests served.")
 	r.describe(mPredCells, "counter", "Prediction cells computed.")
 	r.describe(mSnapVer, "gauge", "Current snapshot version per tenant.")
+	r.describe(mStorePersist, "counter", "Durable store writes acknowledged, by op (snapshot, delta).")
+	r.describe(mStoreRetries, "counter", "Transient store-write failures retried, by op.")
+	r.describe(mStoreEvents, "counter", "Store degradation events (corruption quarantined, torn tails, deferred compactions), by kind.")
+	r.describe(mStoreRecovered, "counter", "Tenants recovered at boot, by outcome (ok, degraded, none).")
 	return r
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/recommend"
 	"repro/internal/service/sched"
 	"repro/internal/sparse"
+	"repro/internal/store"
 )
 
 // Config tunes a Service. The zero value serves with the documented
@@ -41,6 +42,26 @@ type Config struct {
 	// accounting); nil means time.Now. The scheduler itself never reads
 	// it — batches are a pure function of the queue snapshot.
 	Clock func() time.Time
+
+	// DataDir roots the crash-safe model store. When set (via Open),
+	// every job's result is made durable — snapshot for a decompose,
+	// fsynced write-ahead record for an update — before the job is
+	// acknowledged, and boot recovers all tenants from disk. Empty
+	// disables persistence.
+	DataDir string
+	// CompactEvery bounds a tenant's write-ahead log: at this many
+	// records the executor folds the log into a fresh snapshot
+	// generation. 0 means DefaultCompactEvery; negative disables
+	// compaction.
+	CompactEvery int
+	// PersistRetries is how many times a failed store write is retried
+	// before the job fails; PersistBackoff is the initial retry delay,
+	// doubling per attempt. Zero values mean the defaults.
+	PersistRetries int
+	PersistBackoff time.Duration
+	// StoreFS overrides the store's filesystem (fault-injection tests);
+	// nil means the real OS filesystem.
+	StoreFS store.FS
 }
 
 // Service defaults.
@@ -62,6 +83,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
+	}
+	if c.CompactEvery == 0 {
+		c.CompactEvery = DefaultCompactEvery
+	}
+	if c.PersistRetries == 0 {
+		c.PersistRetries = DefaultPersistRetries
+	}
+	if c.PersistRetries < 0 {
+		c.PersistRetries = 0
+	}
+	if c.PersistBackoff <= 0 {
+		c.PersistBackoff = DefaultPersistBackoff
 	}
 	return c
 }
@@ -111,6 +144,7 @@ type tenantMeta struct {
 type Service struct {
 	cfg     Config
 	metrics *registry
+	store   *store.Store // nil unless built by Open with a DataDir
 
 	mu       sync.Mutex
 	pending  []sched.Job
@@ -415,6 +449,18 @@ func (s *Service) runUnit(unit sched.Unit, recs []*jobRecord, meta *tenantMeta) 
 			Cols:    req.base.Cols,
 			Rank:    d.Rank,
 		}
+		if s.store != nil {
+			// Durability before acknowledgement: the snapshot reaches
+			// disk (fsync + atomic rename) before the job can report
+			// done or the model serve. On failure nothing is published.
+			err := s.persistSnapshot(unit.Tenant, d, store.SnapshotMeta{
+				Seq: next.Version, JobID: next.JobID,
+				MinRating: req.min, MaxRating: req.max,
+			})
+			if err != nil {
+				return 0, err
+			}
+		}
 		meta.store.swap(next)
 		return next.Version, nil
 
@@ -465,6 +511,19 @@ func (s *Service) runUnit(unit sched.Unit, recs []*jobRecord, meta *tenantMeta) 
 			Rows:    prev.Rows,
 			Cols:    prev.Cols,
 			Rank:    prev.Rank,
+		}
+		if s.store != nil {
+			// The merged patch and the refresh policy that shaped d2 go
+			// to the write-ahead log (fsynced) before the job can be
+			// acknowledged; replay re-derives d2 bitwise from them.
+			err := s.persistUpdate(unit.Tenant, next, &store.WALRecord{
+				Seq: next.Version, JobID: next.JobID,
+				Refresh: opts.Refresh, RefreshBudget: opts.RefreshBudget,
+				Delta: core.Delta{Patch: merged},
+			})
+			if err != nil {
+				return 0, err
+			}
 		}
 		meta.store.swap(next)
 		return next.Version, nil

@@ -1,0 +1,51 @@
+package sparse
+
+import "fmt"
+
+// CheckStructure validates the CSR index invariants of an interval
+// sparse matrix: positive dimensions, a monotone row-pointer array of
+// length Rows+1 starting at 0 and ending at NNZ, value arrays of
+// matching length, and per-row column indices that are in range and
+// strictly ascending. Every kernel in this package assumes these
+// invariants without checking; decoders reconstituting an ICSR from
+// untrusted bytes (the model store's snapshot reader) call this before
+// handing the matrix to anything else, so corruption surfaces as a
+// positioned error instead of an out-of-range panic deep in a product.
+func (a *ICSR) CheckStructure() error {
+	if a.Rows <= 0 || a.Cols <= 0 {
+		return fmt.Errorf("sparse: CheckStructure: non-positive shape %dx%d", a.Rows, a.Cols)
+	}
+	if len(a.RowPtr) != a.Rows+1 {
+		return fmt.Errorf("sparse: CheckStructure: RowPtr has %d entries, want %d", len(a.RowPtr), a.Rows+1)
+	}
+	if a.RowPtr[0] != 0 {
+		return fmt.Errorf("sparse: CheckStructure: RowPtr[0] = %d, want 0", a.RowPtr[0])
+	}
+	nnz := len(a.ColInd)
+	if len(a.Lo) != nnz || len(a.Hi) != nnz {
+		return fmt.Errorf("sparse: CheckStructure: %d column indices with %d/%d endpoint values", nnz, len(a.Lo), len(a.Hi))
+	}
+	if a.RowPtr[a.Rows] != nnz {
+		return fmt.Errorf("sparse: CheckStructure: RowPtr ends at %d, want NNZ %d", a.RowPtr[a.Rows], nnz)
+	}
+	for i := 0; i < a.Rows; i++ {
+		p, q := a.RowPtr[i], a.RowPtr[i+1]
+		if p > q {
+			return fmt.Errorf("sparse: CheckStructure: RowPtr decreases at row %d (%d > %d)", i, p, q)
+		}
+		if q > nnz {
+			return fmt.Errorf("sparse: CheckStructure: RowPtr[%d] = %d exceeds NNZ %d", i+1, q, nnz)
+		}
+		prev := -1
+		for _, j := range a.ColInd[p:q] {
+			if j < 0 || j >= a.Cols {
+				return fmt.Errorf("sparse: CheckStructure: row %d stores column %d outside 0..%d", i, j, a.Cols-1)
+			}
+			if j <= prev {
+				return fmt.Errorf("sparse: CheckStructure: row %d columns not strictly ascending at %d", i, j)
+			}
+			prev = j
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The store talks to disk exclusively through this narrow FS interface,
+// for one reason: crash-safety claims are only as good as their tests,
+// and testing them requires injecting write failures, fsync failures,
+// rename failures, and whole-process crashes at every point of the
+// write protocols. The production implementation (osFS) maps each call
+// onto the obvious os/syscall primitive; the test implementation
+// (MemFS) models a POSIX filesystem with separate volatile and durable
+// states, so a simulated crash drops exactly the bytes and namespace
+// changes a real power cut would drop — unsynced file contents, and
+// renames/creates whose parent directory was never fsynced.
+//
+// Paths use forward slashes at this interface; osFS converts to the
+// host convention.
+
+// FS is the filesystem surface the store needs. Implementations must be
+// safe for concurrent use.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string) error
+	// ReadDir lists the names (not full paths) in a directory, sorted
+	// ascending, so directory scans are deterministic.
+	ReadDir(path string) ([]string, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// Create opens a file for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenAppend opens a file for appending, creating it if missing.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newname with oldname. Durability of the
+	// new name requires a subsequent SyncDir of the parent.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate cuts a file to the given size (torn-tail repair).
+	Truncate(name string, size int64) error
+	// Size returns a file's current length in bytes.
+	Size(name string) (int64, error)
+	// SyncDir flushes a directory's entries, making renames, creates,
+	// and removes under it durable.
+	SyncDir(path string) error
+	// Mmap maps a file read-only, returning the bytes and an unmap
+	// function. Implementations without memory mapping return a heap
+	// copy and report zeroCopy false.
+	Mmap(name string) (data []byte, zeroCopy bool, unmap func() error, err error)
+}
+
+// File is an open store file.
+type File interface {
+	io.Writer
+	// Sync flushes the file's content to durable storage.
+	Sync() error
+	Close() error
+}
+
+// OS returns the production filesystem.
+func OS() FS { return osFS{} }
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string) error {
+	return os.MkdirAll(filepath.FromSlash(path), 0o755)
+}
+
+func (osFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(filepath.FromSlash(path))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(filepath.FromSlash(name))
+}
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(filepath.FromSlash(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(filepath.FromSlash(name), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldname, newname string) error {
+	return os.Rename(filepath.FromSlash(oldname), filepath.FromSlash(newname))
+}
+
+func (osFS) Remove(name string) error {
+	return os.Remove(filepath.FromSlash(name))
+}
+
+func (osFS) Truncate(name string, size int64) error {
+	return os.Truncate(filepath.FromSlash(name), size)
+}
+
+func (osFS) Size(name string) (int64, error) {
+	fi, err := os.Stat(filepath.FromSlash(name))
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(filepath.FromSlash(path))
+	if err != nil {
+		return err
+	}
+	// Directory fsync makes the entries themselves durable — without it
+	// a crash can roll back a completed rename.
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("store: sync dir %s: %w", path, serr)
+	}
+	return cerr
+}

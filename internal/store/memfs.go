@@ -1,0 +1,357 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory filesystem with POSIX crash semantics, built to
+// drive the store's kill-at-every-crash-point property tests. It keeps
+// two states per file — the volatile content (what the process sees)
+// and the durable content (what survives a power cut) — and two
+// namespaces (which names exist now vs. which name→file bindings have
+// been made durable by a directory sync). The rules mirror what
+// journaled POSIX filesystems guarantee:
+//
+//   - File.Sync copies the file's volatile content to its durable image.
+//   - Create, Rename, and Remove change the volatile namespace only;
+//     SyncDir(dir) commits the namespace of that directory.
+//   - Crash() drops everything volatile: files roll back to their last
+//     synced content (empty if never synced), and namespace changes
+//     whose directory was never synced roll back too — including
+//     completed renames.
+//
+// Fault injection: CrashAt(n, partial) makes the nth mutating operation
+// fail and freezes the filesystem (every later operation fails with
+// ErrInjectedCrash) until Crash() is called to simulate the reboot;
+// when the nth operation is a content write and partial is set, half
+// the bytes land first — a torn write. FailNext(op, err) injects one
+// transient error (no crash) for retry-path tests. OpCount() reports
+// the mutating operations of a clean run, which is what lets a test
+// enumerate every crash point exhaustively.
+type MemFS struct {
+	mu       sync.Mutex
+	files    map[string]*memInode // volatile namespace
+	durFiles map[string]*memInode // durable namespace
+	dirs     map[string]bool      // directories (durable immediately; see MkdirAll)
+
+	ops      int
+	crashAt  int
+	partial  bool
+	crashed  bool
+	failNext map[string]error
+}
+
+// memInode is one file's storage; namespaces bind names to inodes, so a
+// rename moves the binding, not the content.
+type memInode struct {
+	data   []byte // volatile content
+	dur    []byte // content as of the last File.Sync
+	synced bool
+}
+
+// ErrInjectedCrash is the error every filesystem operation returns once
+// an injected crash point has fired.
+var ErrInjectedCrash = errors.New("store: injected crash")
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:    make(map[string]*memInode),
+		durFiles: make(map[string]*memInode),
+		dirs:     make(map[string]bool),
+		failNext: make(map[string]error),
+	}
+}
+
+// CrashAt arms the crash point: the nth (1-based) subsequent mutating
+// operation fails and freezes the filesystem. partial makes a torn
+// write when that operation is a content write.
+func (m *MemFS) CrashAt(n int, partial bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ops = 0
+	m.crashAt = n
+	m.partial = partial
+}
+
+// FailNext injects one transient error for the next operation of the
+// given kind ("write", "sync", "rename", "create", "remove", "truncate",
+// "syncdir", "append"). The operation fails without any state change;
+// the one after succeeds.
+func (m *MemFS) FailNext(op string, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.failNext[op] = err
+}
+
+// OpCount reports the mutating operations executed since the last
+// CrashAt arm (or construction).
+func (m *MemFS) OpCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Crashed reports whether an injected crash point has fired.
+func (m *MemFS) Crashed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crashed
+}
+
+// Crash simulates the power cut and reboot: every volatile change is
+// dropped — unsynced file content, and namespace changes under
+// directories that were never SyncDir'd — and the filesystem becomes
+// usable again, serving the durable state.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashed = false
+	m.crashAt = 0
+	m.ops = 0
+	m.files = make(map[string]*memInode, len(m.durFiles))
+	for name, ino := range m.durFiles {
+		if ino.synced {
+			ino.data = append([]byte(nil), ino.dur...)
+		} else {
+			// Name durable, content never synced: the data didn't survive.
+			ino.data = nil
+		}
+		m.files[name] = ino
+	}
+}
+
+// step gates one mutating operation: transient injected error, crash
+// point, or pass.
+func (m *MemFS) step(op string) error {
+	if m.crashed {
+		return ErrInjectedCrash
+	}
+	if err, ok := m.failNext[op]; ok {
+		delete(m.failNext, op)
+		return err
+	}
+	m.ops++
+	if m.crashAt > 0 && m.ops == m.crashAt {
+		m.crashed = true
+		return fmt.Errorf("%w (op %d: %s)", ErrInjectedCrash, m.ops, op)
+	}
+	return nil
+}
+
+func (m *MemFS) MkdirAll(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step("mkdir"); err != nil {
+		return err
+	}
+	// Directories are modeled as durable on creation: the store creates
+	// each tenant directory once and the interesting crash surface is
+	// the files inside, not the mkdir itself.
+	for p != "." && p != "/" && p != "" {
+		m.dirs[p] = true
+		p = path.Dir(p)
+	}
+	return nil
+}
+
+func (m *MemFS) ReadDir(p string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrInjectedCrash
+	}
+	if !m.dirs[p] {
+		return nil, &os.PathError{Op: "readdir", Path: p, Err: os.ErrNotExist}
+	}
+	var names []string
+	for name := range m.files {
+		if path.Dir(name) == p {
+			names = append(names, path.Base(name))
+		}
+	}
+	for d := range m.dirs {
+		if path.Dir(d) == p {
+			names = append(names, path.Base(d))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return nil, ErrInjectedCrash
+	}
+	ino, ok := m.files[name]
+	if !ok {
+		return nil, &os.PathError{Op: "open", Path: name, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step("create"); err != nil {
+		return nil, err
+	}
+	ino := &memInode{}
+	m.files[name] = ino
+	return &memFile{fs: m, ino: ino}, nil
+}
+
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step("append"); err != nil {
+		return nil, err
+	}
+	ino, ok := m.files[name]
+	if !ok {
+		ino = &memInode{}
+		m.files[name] = ino
+	}
+	return &memFile{fs: m, ino: ino}, nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step("rename"); err != nil {
+		return err
+	}
+	ino, ok := m.files[oldname]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldname, Err: os.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	m.files[newname] = ino
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step("remove"); err != nil {
+		return err
+	}
+	if _, ok := m.files[name]; !ok {
+		return &os.PathError{Op: "remove", Path: name, Err: os.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step("truncate"); err != nil {
+		return err
+	}
+	ino, ok := m.files[name]
+	if !ok {
+		return &os.PathError{Op: "truncate", Path: name, Err: os.ErrNotExist}
+	}
+	if size < 0 || size > int64(len(ino.data)) {
+		return fmt.Errorf("store: memfs truncate %s to %d (len %d)", name, size, len(ino.data))
+	}
+	ino.data = ino.data[:size]
+	return nil
+}
+
+func (m *MemFS) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.crashed {
+		return 0, ErrInjectedCrash
+	}
+	ino, ok := m.files[name]
+	if !ok {
+		return 0, &os.PathError{Op: "stat", Path: name, Err: os.ErrNotExist}
+	}
+	return int64(len(ino.data)), nil
+}
+
+// SyncDir commits the directory's namespace: every binding under dir
+// becomes durable, every durable binding removed under dir is forgotten.
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.step("syncdir"); err != nil {
+		return err
+	}
+	for name := range m.durFiles {
+		if path.Dir(name) != dir {
+			continue
+		}
+		if _, ok := m.files[name]; !ok {
+			delete(m.durFiles, name)
+		}
+	}
+	for name, ino := range m.files {
+		if path.Dir(name) == dir {
+			m.durFiles[name] = ino
+		}
+	}
+	return nil
+}
+
+// Mmap returns a copy of the file: MemFS has no page cache to share, so
+// zeroCopy is false and the store's decoder takes the copying path.
+func (m *MemFS) Mmap(name string) ([]byte, bool, func() error, error) {
+	data, err := m.ReadFile(name)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return data, false, func() error { return nil }, nil
+}
+
+// memFile is an open MemFS file handle. Writes append (Create truncates
+// at open, matching the store's write protocols, which never seek).
+type memFile struct {
+	fs  *MemFS
+	ino *memInode
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.fs.step("write"); err != nil {
+		if errors.Is(err, ErrInjectedCrash) && f.fs.partial && len(p) > 1 {
+			// Torn write: half the payload reached the volatile page
+			// cache before the cut.
+			f.ino.data = append(f.ino.data, p[:len(p)/2]...)
+		}
+		return 0, err
+	}
+	f.ino.data = append(f.ino.data, p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.fs.step("sync"); err != nil {
+		return err
+	}
+	f.ino.dur = append([]byte(nil), f.ino.data...)
+	f.ino.synced = true
+	return nil
+}
+
+func (f *memFile) Close() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.fs.crashed {
+		return ErrInjectedCrash
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package store
+
+// Mmap on platforms without a usable mmap syscall falls back to a heap
+// read. Snapshots still load and serve identically; only the zero-copy
+// page-cache sharing is lost, and zeroCopy reports false so callers
+// never mistake the copy for a mapping.
+func (osFS) Mmap(name string) ([]byte, bool, func() error, error) {
+	data, err := osFS{}.ReadFile(name)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return data, false, func() error { return nil }, nil
+}

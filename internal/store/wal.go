@@ -1,0 +1,287 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/sparse"
+)
+
+// Write-ahead log format, version 1 ("IVMFWAL1"):
+//
+//	[0,8)   magic "IVMFWAL1"
+//	[8,16)  u64 generation — the snapshot this log extends
+//	records, each:
+//	  u32 payload length
+//	  u32 CRC32C of the payload
+//	  payload
+//
+// A record's payload is one applied delta plus the metadata needed to
+// replay it bitwise-identically:
+//
+//	u64 seq, u64 jobID
+//	u32 refresh policy, f64 refresh budget   (the Update options that
+//	                                          change results)
+//	u8 flags: bit0 append-rows, bit1 append-cols, bit2 patch
+//	per present ICSR: u32 rows, u32 cols, u64 nnz,
+//	                  i64 rowptr[rows+1], i64 colind[nnz],
+//	                  f64 lo[nnz], f64 hi[nnz]
+//	patch: u64 count, then per cell i64 row, i64 col, f64 lo, f64 hi
+//
+// Recovery tolerates a torn tail — a crash mid-append leaves a partial
+// final record — by scanning records in order and truncating the file
+// at the first one whose length prefix or checksum doesn't hold.
+// Anything before that point was fsynced before the job was
+// acknowledged, so no acknowledged update is ever lost.
+
+const (
+	walMagic     = "IVMFWAL1"
+	walHeaderLen = 16
+)
+
+// WALRecord is one replayable update.
+type WALRecord struct {
+	Seq           uint64
+	JobID         uint64
+	Refresh       core.Refresh
+	RefreshBudget float64
+	Delta         core.Delta
+}
+
+// EncodeWALRecord serializes one record payload (framing excluded).
+func EncodeWALRecord(rec *WALRecord) ([]byte, error) {
+	d := &rec.Delta
+	if d.AppendRows == nil && d.AppendCols == nil && len(d.Patch) == 0 {
+		return nil, fmt.Errorf("store: wal: empty delta")
+	}
+	b := make([]byte, 0, 64)
+	b = binary.LittleEndian.AppendUint64(b, rec.Seq)
+	b = binary.LittleEndian.AppendUint64(b, rec.JobID)
+	b = binary.LittleEndian.AppendUint32(b, uint32(rec.Refresh))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rec.RefreshBudget))
+	var flags byte
+	if d.AppendRows != nil {
+		flags |= 1
+	}
+	if d.AppendCols != nil {
+		flags |= 2
+	}
+	if len(d.Patch) > 0 {
+		flags |= 4
+	}
+	b = append(b, flags)
+	for _, a := range []*sparse.ICSR{d.AppendRows, d.AppendCols} {
+		if a == nil {
+			continue
+		}
+		b = binary.LittleEndian.AppendUint32(b, uint32(a.Rows))
+		b = binary.LittleEndian.AppendUint32(b, uint32(a.Cols))
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(a.ColInd)))
+		b = appendI64s(b, a.RowPtr)
+		b = appendI64s(b, a.ColInd)
+		b = appendF64s(b, a.Lo)
+		b = appendF64s(b, a.Hi)
+	}
+	if len(d.Patch) > 0 {
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(d.Patch)))
+		for _, t := range d.Patch {
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(t.Row)))
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(t.Col)))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Lo))
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Hi))
+		}
+	}
+	return b, nil
+}
+
+// DecodeWALRecord parses one record payload. Like the snapshot decoder
+// it never panics and bounds every allocation by the payload length.
+//
+//ivmf:deterministic
+func DecodeWALRecord(b []byte) (*WALRecord, error) {
+	r := &walReader{b: b}
+	rec := &WALRecord{}
+	rec.Seq = r.u64("seq")
+	rec.JobID = r.u64("jobID")
+	rec.Refresh = core.Refresh(r.u32("refresh"))
+	rec.RefreshBudget = math.Float64frombits(r.u64("refreshBudget"))
+	flags := r.u8("flags")
+	if r.err == nil && (flags == 0 || flags > 7) {
+		return nil, fmt.Errorf("store: wal: record flags %#x invalid at offset %d", flags, r.off-1)
+	}
+	if flags&1 != 0 {
+		rec.Delta.AppendRows = r.icsr("appendRows")
+	}
+	if flags&2 != 0 {
+		rec.Delta.AppendCols = r.icsr("appendCols")
+	}
+	if flags&4 != 0 {
+		count := r.u64("patch count")
+		// Each cell is 32 bytes on the wire, so the remaining payload
+		// bounds the allocation.
+		if r.err == nil && count*32 > uint64(len(r.b)-r.off) {
+			return nil, fmt.Errorf("store: wal: %d patch cells exceed %d remaining bytes at offset %d", count, len(r.b)-r.off, r.off)
+		}
+		if r.err == nil {
+			rec.Delta.Patch = make([]sparse.ITriplet, count)
+			for i := range rec.Delta.Patch {
+				rec.Delta.Patch[i] = sparse.ITriplet{
+					Row: r.i64("patch row"),
+					Col: r.i64("patch col"),
+					Lo:  math.Float64frombits(r.u64("patch lo")),
+					Hi:  math.Float64frombits(r.u64("patch hi")),
+				}
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.b) {
+		return nil, fmt.Errorf("store: wal: %d trailing bytes after record at offset %d", len(r.b)-r.off, r.off)
+	}
+	return rec, nil
+}
+
+// walReader is a sticky-error cursor over one record payload.
+type walReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *walReader) need(n int, field string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.err = fmt.Errorf("store: wal: truncated reading %s at offset %d", field, r.off)
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *walReader) u8(field string) byte {
+	s := r.need(1, field)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *walReader) u32(field string) uint32 {
+	s := r.need(4, field)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (r *walReader) u64(field string) uint64 {
+	s := r.need(8, field)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (r *walReader) i64(field string) int {
+	v := int64(r.u64(field))
+	if r.err == nil && int64(int(v)) != v {
+		r.err = fmt.Errorf("store: wal: %s = %d overflows int at offset %d", field, v, r.off-8)
+	}
+	return int(v)
+}
+
+// icsr reads one embedded interval CSR matrix, checking every declared
+// size against the remaining payload before allocating.
+func (r *walReader) icsr(field string) *sparse.ICSR {
+	rows := r.u32(field + " rows")
+	cols := r.u32(field + " cols")
+	nnz := r.u64(field + " nnz")
+	if r.err != nil {
+		return nil
+	}
+	if rows == 0 || cols == 0 {
+		r.err = fmt.Errorf("store: wal: %s has zero shape %dx%d at offset %d", field, rows, cols, r.off)
+		return nil
+	}
+	need, ok := mul64(uint64(rows)+1+3*nnz, 8)
+	if !ok || need > uint64(len(r.b)-r.off) {
+		r.err = fmt.Errorf("store: wal: %s sizes %dx%d/%d exceed %d remaining bytes at offset %d", field, rows, cols, nnz, len(r.b)-r.off, r.off)
+		return nil
+	}
+	a := &sparse.ICSR{Rows: int(rows), Cols: int(cols)}
+	var err error
+	if a.RowPtr, err = intView(r.need(int(rows+1)*8, field+" rowptr"), field+".RowPtr"); err != nil {
+		r.err = err
+		return nil
+	}
+	if a.ColInd, err = intView(r.need(int(nnz)*8, field+" colind"), field+".ColInd"); err != nil {
+		r.err = err
+		return nil
+	}
+	a.Lo = f64View(r.need(int(nnz)*8, field+" lo"), false)
+	a.Hi = f64View(r.need(int(nnz)*8, field+" hi"), false)
+	if r.err != nil {
+		return nil
+	}
+	if err := a.CheckStructure(); err != nil {
+		r.err = fmt.Errorf("store: wal: %s: %w", field, err)
+		return nil
+	}
+	return a
+}
+
+// walHeader builds the 16-byte file header for a generation.
+func walHeader(gen uint64) []byte {
+	b := make([]byte, 0, walHeaderLen)
+	b = append(b, walMagic...)
+	return binary.LittleEndian.AppendUint64(b, gen)
+}
+
+// frameWALRecord wraps a payload in the length+checksum frame.
+func frameWALRecord(payload []byte) []byte {
+	b := make([]byte, 0, 8+len(payload))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(payload, castagnoli))
+	return append(b, payload...)
+}
+
+// scanWAL walks a log image: it validates the header, then collects
+// record payloads until the first frame that doesn't hold — a torn tail
+// from a crash mid-append, or tail corruption. validLen is the byte
+// length of the intact prefix; the caller truncates the file there
+// before appending again. A corrupt header fails the whole file.
+//
+//ivmf:deterministic
+func scanWAL(data []byte) (gen uint64, payloads [][]byte, validLen int64, err error) {
+	if len(data) < walHeaderLen || string(data[:8]) != walMagic {
+		return 0, nil, 0, fmt.Errorf("store: wal: bad magic (have %d bytes)", len(data))
+	}
+	gen = binary.LittleEndian.Uint64(data[8:16])
+	off := walHeaderLen
+	for {
+		rest := data[off:]
+		if len(rest) < 8 {
+			break
+		}
+		plen := int(binary.LittleEndian.Uint32(rest[:4]))
+		want := binary.LittleEndian.Uint32(rest[4:8])
+		if plen <= 0 || plen > len(rest)-8 {
+			break
+		}
+		payload := rest[8 : 8+plen]
+		if crc32.Checksum(payload, castagnoli) != want {
+			break
+		}
+		payloads = append(payloads, payload)
+		off += 8 + plen
+	}
+	return gen, payloads, int64(off), nil
+}
