@@ -54,7 +54,7 @@ func FuzzServiceRequest(f *testing.F) {
 			return
 		}
 		// Accepted envelope: every admission invariant holds.
-		if !tenantRE.MatchString(jr.tenant) {
+		if !validTenant(jr.tenant) {
 			t.Fatalf("accepted tenant %q outside the grammar", jr.tenant)
 		}
 		switch jr.kind {

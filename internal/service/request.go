@@ -22,7 +22,8 @@ import (
 // dataset.ReadIntervalCOO/ReadDeltaCOO parse, so a recorded stream
 // replays against the service byte-for-byte.
 type Request struct {
-	// Tenant names the model; [A-Za-z0-9._-], at most 64 chars.
+	// Tenant names the model; [A-Za-z0-9._-], at most 64 chars,
+	// excluding "." and "..".
 	Tenant string `json:"tenant"`
 	// Kind is "decompose" or "update".
 	Kind string `json:"kind"`
@@ -92,6 +93,14 @@ var (
 // escaping anywhere downstream.
 var tenantRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
 
+// validTenant is the admission rule for tenant names: the grammar minus
+// the path-traversal names "." and "..", matching store.checkTenant —
+// rejecting them here keeps a decomposition for an unpersistable tenant
+// from running to completion only to fail at snapshot time.
+func validTenant(name string) bool {
+	return name != "." && name != ".." && tenantRE.MatchString(name)
+}
+
 // decodeRequest parses and validates a job envelope. maxBytes caps the
 // raw body before any decoding, so a hostile size is rejected before
 // allocation; the embedded COO parsers additionally cap declared matrix
@@ -115,8 +124,8 @@ func decodeRequest(data []byte, maxBytes int64) (*jobRequest, error) {
 
 // validateRequest resolves an envelope into a jobRequest.
 func validateRequest(req *Request) (*jobRequest, error) {
-	if !tenantRE.MatchString(req.Tenant) {
-		return nil, fmt.Errorf("service: bad tenant %q (want 1-64 chars of [A-Za-z0-9._-])", req.Tenant)
+	if !validTenant(req.Tenant) {
+		return nil, fmt.Errorf("service: bad tenant %q (want 1-64 chars of [A-Za-z0-9._-], not . or ..)", req.Tenant)
 	}
 	jr := &jobRequest{tenant: req.Tenant, workers: req.Workers}
 	if req.Workers < 0 {

@@ -59,6 +59,8 @@ func TestDecodeRequestRejects(t *testing.T) {
 		{"tenant with space", `{"tenant":"a b","kind":"decompose"}`, "bad tenant"},
 		{"tenant with slash", `{"tenant":"a/b","kind":"decompose"}`, "bad tenant"},
 		{"tenant too long", `{"tenant":"` + strings.Repeat("a", 65) + `","kind":"decompose"}`, "bad tenant"},
+		{"tenant dot", `{"tenant":".","kind":"decompose","coo":"1,1\n0,0,1\n"}`, "bad tenant"},
+		{"tenant dotdot", `{"tenant":"..","kind":"decompose","coo":"1,1\n0,0,1\n"}`, "bad tenant"},
 		{"bad kind", `{"tenant":"t","kind":"retrain"}`, "unknown job kind"},
 		{"missing kind", `{"tenant":"t"}`, "unknown job kind"},
 		{"decompose with delta", `{"tenant":"t","kind":"decompose","coo":"1,1\n0,0,1\n","delta":"1,1\n0,0,1\n"}`, "carries a delta"},

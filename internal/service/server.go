@@ -141,7 +141,7 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 // snapshotFor loads the serving snapshot for a tenant or reports the
 // request error.
 func (s *Service) snapshotFor(tenant string) (*Snapshot, error) {
-	if !tenantRE.MatchString(tenant) {
+	if !validTenant(tenant) {
 		return nil, fmt.Errorf("service: bad tenant %q", tenant)
 	}
 	snap := s.Snapshot(tenant)

@@ -44,6 +44,7 @@ type MemFS struct {
 	partial  bool
 	crashed  bool
 	failNext map[string]error
+	handles  int // file handles opened and not yet closed
 }
 
 // memInode is one file's storage; namespaces bind names to inodes, so a
@@ -102,6 +103,14 @@ func (m *MemFS) Crashed() bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.crashed
+}
+
+// OpenHandles reports the file handles opened (Create/OpenAppend) and
+// not yet closed — the store must never leak one.
+func (m *MemFS) OpenHandles() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.handles
 }
 
 // Crash simulates the power cut and reboot: every volatile change is
@@ -205,6 +214,7 @@ func (m *MemFS) Create(name string) (File, error) {
 	}
 	ino := &memInode{}
 	m.files[name] = ino
+	m.handles++
 	return &memFile{fs: m, ino: ino}, nil
 }
 
@@ -219,6 +229,7 @@ func (m *MemFS) OpenAppend(name string) (File, error) {
 		ino = &memInode{}
 		m.files[name] = ino
 	}
+	m.handles++
 	return &memFile{fs: m, ino: ino}, nil
 }
 
@@ -317,13 +328,17 @@ func (m *MemFS) Mmap(name string) ([]byte, bool, func() error, error) {
 // memFile is an open MemFS file handle. Writes append (Create truncates
 // at open, matching the store's write protocols, which never seek).
 type memFile struct {
-	fs  *MemFS
-	ino *memInode
+	fs     *MemFS
+	ino    *memInode
+	closed bool
 }
 
 func (f *memFile) Write(p []byte) (int, error) {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
+	if f.closed {
+		return 0, os.ErrClosed
+	}
 	if err := f.fs.step("write"); err != nil {
 		if errors.Is(err, ErrInjectedCrash) && f.fs.partial && len(p) > 1 {
 			// Torn write: half the payload reached the volatile page
@@ -339,6 +354,9 @@ func (f *memFile) Write(p []byte) (int, error) {
 func (f *memFile) Sync() error {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
 	if err := f.fs.step("sync"); err != nil {
 		return err
 	}
@@ -350,6 +368,11 @@ func (f *memFile) Sync() error {
 func (f *memFile) Close() error {
 	f.fs.mu.Lock()
 	defer f.fs.mu.Unlock()
+	if f.closed {
+		return os.ErrClosed
+	}
+	f.closed = true
+	f.fs.handles--
 	if f.fs.crashed {
 		return ErrInjectedCrash
 	}

@@ -184,6 +184,14 @@ func (s *Store) Recover(tenant string) (*Recovered, error) {
 		if err != nil {
 			s.onEvent(Event{Tenant: tenant, Kind: EventSnapshotCorrupt, Detail: err.Error()})
 			s.quarantine(tenant, snapName(gen))
+			// The generation's log goes with it: its records describe
+			// deltas on top of the snapshot just quarantined, so they can
+			// never be replayed again — and they must not be left where
+			// the timeline that reuses this generation number would
+			// append acknowledged records after them.
+			if _, serr := s.fs.Size(tdir + "/" + walName(gen)); serr == nil {
+				s.quarantine(tenant, walName(gen))
+			}
 			degraded = true
 			continue
 		}
@@ -191,6 +199,11 @@ func (s *Store) Recover(tenant string) (*Recovered, error) {
 			rec.Degraded = true
 			s.onEvent(Event{Tenant: tenant, Kind: EventDegraded,
 				Detail: fmt.Sprintf("serving generation %d", gen)})
+		}
+		if prev := s.tenants[tenant]; prev != nil && prev.wal != nil {
+			// Re-recovering an open tenant: release the superseded log
+			// handle instead of leaking it.
+			_ = prev.wal.Close()
 		}
 		s.tenants[tenant] = &tenantState{gen: gen, walRecords: rec.Replayed}
 		return rec, nil
@@ -337,6 +350,25 @@ func (s *Store) SaveSnapshot(tenant string, ps *core.PersistentState, meta Snaps
 	}
 	gen := t.gen + 1
 	final := tdir + "/" + snapName(gen)
+	// A log for the new generation can pre-exist if that generation was
+	// quarantined in an earlier lifetime (corrupt snapshot, degraded
+	// recovery) and the store re-reaches it: those records belong to the
+	// dead timeline and appending acknowledged records after them would
+	// corrupt the new timeline's replay. Remove the stale log and make
+	// the removal durable before the new snapshot name can become
+	// durable, so snap-<gen> never coexists on disk with a log it did
+	// not produce.
+	stale := tdir + "/" + walName(gen)
+	if _, serr := s.fs.Size(stale); serr == nil {
+		if err := s.fs.Remove(stale); err != nil {
+			return fmt.Errorf("store: save %s: remove stale log: %w", tenant, err)
+		}
+		if err := s.fs.SyncDir(tdir); err != nil {
+			return fmt.Errorf("store: save %s: %w", tenant, err)
+		}
+	} else if !errors.Is(serr, os.ErrNotExist) {
+		return fmt.Errorf("store: save %s: %w", tenant, serr)
+	}
 	tmp := final + ".tmp"
 	if err := s.writeFileDurable(tmp, data); err != nil {
 		return fmt.Errorf("store: save %s: %w", tenant, err)

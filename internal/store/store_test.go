@@ -430,6 +430,198 @@ func TestRecoverQuarantinesCorruptSnapshotAndDegrades(t *testing.T) {
 	}
 }
 
+// TestStaleWALNotReusedAfterDegradedRecovery pins the quarantined-
+// timeline regression: when snap-2 is corrupt, recovery degrades to
+// generation 1 — and generation 2's log, which described deltas on top
+// of the quarantined snapshot, must be quarantined with it. The next
+// timeline then re-reaches generation 2, and its acknowledged appends
+// must survive a crash instead of landing after the dead timeline's
+// records.
+func TestStaleWALNotReusedAfterDegradedRecovery(t *testing.T) {
+	fs := NewMemFS()
+	s, _ := Open("data", Options{FS: fs})
+	c := makeChain(t, core.ISVD4, 4)
+	ps0, _ := c.states[0].ExportState()
+	if err := s.SaveSnapshot("tt", ps0, SnapshotMeta{Seq: 1, JobID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range c.recs[:2] {
+		if _, err := s.AppendDelta("tt", rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps2, _ := c.states[2].ExportState()
+	if err := s.SaveSnapshot("tt", ps2, SnapshotMeta{Seq: 3, JobID: 101}); err != nil {
+		t.Fatal(err)
+	}
+	// This record (seq 4) goes into wal-2, the timeline about to die.
+	if _, err := s.AppendDelta("tt", c.recs[2]); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Corrupt snap-2: generation 2 is now a dead timeline.
+	snapPath := "data/tt/" + snapName(2)
+	data, err := fs.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	f, _ := fs.Create(snapPath)
+	f.Write(data)
+	f.Sync()
+	f.Close()
+	fs.SyncDir("data/tt")
+
+	s2, _ := Open("data", Options{FS: fs})
+	rec, err := s2.Recover("tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Degraded || rec.Gen != 1 || rec.Seq != 3 {
+		t.Fatalf("recovered meta = %+v", rec)
+	}
+	names, _ := fs.ReadDir("data/tt")
+	var walQuarantined, walLive bool
+	for _, n := range names {
+		walQuarantined = walQuarantined || n == walName(2)+".corrupt"
+		walLive = walLive || n == walName(2)
+	}
+	if !walQuarantined || walLive {
+		t.Fatalf("dead timeline's log not quarantined: %v", names)
+	}
+
+	// The new timeline re-reaches generation 2 and acknowledges two more
+	// records, then the machine dies.
+	ps, err := rec.Decomp.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.SaveSnapshot("tt", ps, SnapshotMeta{Seq: 3, JobID: 101}); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range c.recs[2:] {
+		if _, err := s2.AppendDelta("tt", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2.Close()
+	fs.Crash()
+
+	var events []Event
+	s3, _ := Open("data", Options{FS: fs, OnEvent: func(e Event) { events = append(events, e) }})
+	defer s3.Close()
+	again, err := s3.Recover("tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Seq != 5 || again.Gen != 2 || again.Replayed != 2 || again.Degraded {
+		t.Fatalf("acknowledged records lost after crash: %+v (events %v)", again, events)
+	}
+	bitwiseEqual(t, "new timeline", again.Decomp, c.states[4])
+	for _, e := range events {
+		t.Errorf("unexpected event %+v", e)
+	}
+}
+
+// TestSaveSnapshotRemovesStaleLog covers the belt-and-braces half of the
+// same fix: a store lifetime that never saw the quarantine (the snapshot
+// vanished in an earlier lifetime, its log did not) rebuilds generation
+// 1 from cold, and SaveSnapshot must clear the stale log before the new
+// snapshot name can coexist with it.
+func TestSaveSnapshotRemovesStaleLog(t *testing.T) {
+	fs := NewMemFS()
+	s, _ := Open("data", Options{FS: fs})
+	c := makeChain(t, core.ISVD4, 2)
+	ps0, _ := c.states[0].ExportState()
+	if err := s.SaveSnapshot("tt", ps0, SnapshotMeta{Seq: 1, JobID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range c.recs {
+		if _, err := s.AppendDelta("tt", rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// An earlier lifetime quarantined the snapshot but crashed before
+	// taking the log with it.
+	if err := fs.Rename("data/tt/"+snapName(1), "data/tt/"+snapName(1)+".corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	fs.SyncDir("data/tt")
+
+	s2, _ := Open("data", Options{FS: fs})
+	if _, err := s2.Recover("tt"); !errors.Is(err, ErrNoState) {
+		t.Fatalf("recover with no snapshot: %v", err)
+	}
+	// Cold boot: redecompose, persist generation 1 again, acknowledge
+	// one record, die.
+	if err := s2.SaveSnapshot("tt", ps0, SnapshotMeta{Seq: 1, JobID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.AppendDelta("tt", c.recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	fs.Crash()
+
+	s3, _ := Open("data", Options{FS: fs})
+	defer s3.Close()
+	rec, err := s3.Recover("tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 2 || rec.Replayed != 1 {
+		t.Fatalf("stale log polluted the new timeline: %+v", rec)
+	}
+	bitwiseEqual(t, "cold reboot", rec.Decomp, c.states[1])
+}
+
+// TestRecoverClosesPreviousLogHandle pins that re-recovering an open
+// tenant releases the superseded log handle instead of leaking it.
+func TestRecoverClosesPreviousLogHandle(t *testing.T) {
+	fs := NewMemFS()
+	s, _ := Open("data", Options{FS: fs})
+	c := makeChain(t, core.ISVD4, 2)
+	ps0, _ := c.states[0].ExportState()
+	if err := s.SaveSnapshot("tt", ps0, SnapshotMeta{Seq: 1, JobID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AppendDelta("tt", c.recs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.OpenHandles(); got != 1 {
+		t.Fatalf("open handles after append = %d, want 1 (the log)", got)
+	}
+	if _, err := s.Recover("tt"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.OpenHandles(); got != 0 {
+		t.Fatalf("open handles after re-recover = %d, want 0 (superseded log closed)", got)
+	}
+	// The reopened tenant keeps appending where the log left off.
+	if _, err := s.AppendDelta("tt", c.recs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.OpenHandles(); got != 0 {
+		t.Fatalf("open handles after close = %d, want 0", got)
+	}
+	s2, _ := Open("data", Options{FS: fs})
+	defer s2.Close()
+	rec, err := s2.Recover("tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 3 || rec.Replayed != 2 {
+		t.Fatalf("recovered meta = %+v", rec)
+	}
+	bitwiseEqual(t, "after reopen", rec.Decomp, c.states[2])
+}
+
 func TestAppendDeltaTransientFailureIsRetryable(t *testing.T) {
 	c := makeChain(t, core.ISVD4, 2)
 	for _, op := range []string{"write", "sync"} {
