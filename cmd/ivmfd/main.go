@@ -13,7 +13,7 @@
 //
 //	POST /v1/jobs       GET /v1/jobs/{id}
 //	POST /v1/predict    GET /v1/predict    GET /v1/topn
-//	GET  /metrics       GET /healthz
+//	GET  /metrics       GET /healthz       GET /readyz
 //
 // With -data-dir the server is crash-safe: every job's result is made
 // durable (snapshot or fsynced write-ahead record, see internal/store)
@@ -49,16 +49,18 @@ func main() {
 	maxQueue := flag.Int("maxqueue", 0, "max pending jobs per tenant (0 = default)")
 	dataDir := flag.String("data-dir", "", "durable model store directory (empty = in-memory only)")
 	drainTimeout := flag.Duration("draintimeout", 5*time.Minute, "max time to finish admitted jobs on shutdown")
+	reqTimeout := flag.Duration("reqtimeout", 0, "per-request deadline on read endpoints (0 = default, negative = disabled)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cfg := service.Config{
-		Budget:       *budget,
-		Workers:      *workers,
-		MaxBodyBytes: *maxBody,
-		MaxQueue:     *maxQueue,
-		DataDir:      *dataDir,
+		Budget:         *budget,
+		Workers:        *workers,
+		MaxBodyBytes:   *maxBody,
+		MaxQueue:       *maxQueue,
+		DataDir:        *dataDir,
+		RequestTimeout: *reqTimeout,
 	}
 	if err := run(ctx, *addr, cfg, *drainTimeout, nil); err != nil {
 		fmt.Fprintf(os.Stderr, "ivmfd: %v\n", err)
@@ -82,7 +84,17 @@ func run(ctx context.Context, addr string, cfg service.Config, drainTimeout time
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	// Server-side timeouts bound what a slow or hostile client can hold
+	// open: headers must arrive promptly, whole requests and responses
+	// are bounded generously (job payloads can be large but not
+	// unbounded), and idle keep-alive connections are reaped.
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	if ready != nil {

@@ -11,17 +11,36 @@
 //
 //	ivmfload -tenants 1,4,16 -scale 0.1 -rank 10 -batches 3 > BENCH_service.json
 //	ivmfload -addr 127.0.0.1:8080 -tenants 4    # against a running ivmfd
+//	ivmfload -chaos -tenants 4 -data-dir /tmp/chaos
 //
 // Without -addr each run boots its own in-process ivmfd on a loopback
 // port, so the numbers include the full HTTP round trip.
+//
+// Submissions carry deterministic Idempotency-Keys and the client
+// retries transient failures (429/503/connection errors, honoring
+// Retry-After), so every run also exercises the exactly-once admission
+// contract; retried and deduped submissions are reported separately.
+//
+// With -chaos (in-process server only) the run turns hostile while the
+// healthy tenants keep working: one designated chaos tenant gets
+// injected executor panics and store faults until it is quarantined, a
+// hostile-payload worker throws malformed/poisonous envelopes at
+// admission, a disconnect worker tears down connections mid-request,
+// and (when durable) the whole server is drained and restarted mid-run.
+// The run then asserts the isolation contract: no healthy job lost or
+// failed, no hostile payload accepted, and every healthy tenant's
+// served predictions bitwise-equal to the offline decompose+update
+// chain of its acknowledged jobs.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -33,7 +52,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/recommend"
 	"repro/internal/service"
 	"repro/internal/sparse"
 )
@@ -50,6 +71,8 @@ type loadConfig struct {
 	// DataDir makes the in-process server durable, measuring the
 	// write-ahead durability tax under load (ignored with Addr).
 	DataDir string `json:"dataDir,omitempty"`
+	// Chaos enables fault injection (in-process server only).
+	Chaos bool `json:"chaos,omitempty"`
 }
 
 type jobStats struct {
@@ -57,6 +80,11 @@ type jobStats struct {
 	Done      int `json:"done"`
 	Failed    int `json:"failed"`
 	Lost      int `json:"lost"`
+	// Retried counts client-side retry attempts (connection errors,
+	// 429/503); Deduped counts submissions answered from the server's
+	// idempotency ledger instead of admitting a duplicate.
+	Retried int `json:"retried"`
+	Deduped int `json:"deduped"`
 }
 
 type predictStats struct {
@@ -68,11 +96,27 @@ type predictStats struct {
 	P99Ms         float64 `json:"p99Ms"`
 }
 
+// chaosStats is the fault-injection accounting of a -chaos run. The
+// isolation contract requires HostileAccepted and BitwiseMismatches to
+// be zero; InjectedFailures and RejectedBusy are the faults landing
+// where they were aimed (the chaos tenant).
+type chaosStats struct {
+	InjectedFailures int `json:"injectedFailures"`
+	RejectedBusy     int `json:"rejectedBusy"`
+	HostileSent      int `json:"hostileSent"`
+	HostileAccepted  int `json:"hostileAccepted"`
+	Disconnects      int `json:"disconnects"`
+	Restarts         int `json:"restarts"`
+	BitwiseChecked   int `json:"bitwiseChecked"`
+	BitwiseMismatch  int `json:"bitwiseMismatch"`
+}
+
 type runResult struct {
 	Tenants     int          `json:"tenants"`
 	WallSeconds float64      `json:"wallSeconds"`
 	Jobs        jobStats     `json:"jobs"`
 	Predict     predictStats `json:"predict"`
+	Chaos       *chaosStats  `json:"chaos,omitempty"`
 	SLOPass     bool         `json:"sloPass"`
 }
 
@@ -94,12 +138,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	sloP99 := flag.Float64("slop99ms", 250, "SLO: p99 predict latency bound in ms")
 	dataDir := flag.String("data-dir", "", "durable store root for the in-process server (empty = in-memory)")
+	chaos := flag.Bool("chaos", false, "inject faults (panics, hostile payloads, disconnects, restart) and assert isolation")
 	out := flag.String("out", "", "output path (empty = stdout)")
 	flag.Parse()
 
 	cfg := loadConfig{Addr: *addr, Scale: *scale, Rank: *rank, Batches: *batches,
 		Hammers: *hammers, Cells: *cells, Seed: *seed, SLOP99Ms: *sloP99,
-		DataDir: *dataDir}
+		DataDir: *dataDir, Chaos: *chaos}
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -125,6 +170,9 @@ func run(w io.Writer, tenantList string, cfg loadConfig) error {
 		return fmt.Errorf("bad load shape: batches=%d hammers=%d cells=%d rank=%d",
 			cfg.Batches, cfg.Hammers, cfg.Cells, cfg.Rank)
 	}
+	if cfg.Chaos && cfg.Addr != "" {
+		return fmt.Errorf("-chaos needs the in-process server (drop -addr)")
+	}
 	rep := report{Tool: "cmd/ivmfload", Config: cfg, SLOPass: true}
 	for _, n := range counts {
 		res, err := runOne(n, cfg)
@@ -138,7 +186,13 @@ func run(w io.Writer, tenantList string, cfg loadConfig) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.SLOPass {
+		return fmt.Errorf("SLO violated")
+	}
+	return nil
 }
 
 func parseCounts(list string) ([]int, error) {
@@ -162,12 +216,35 @@ type tenantOutcome struct {
 	latencies []time.Duration // closed-loop predict latencies
 	predErrs  int
 	err       error
+
+	// Chaos accounting.
+	injectedFailures int
+	rejectedBusy     int
+	bitwiseChecked   bool
+	bitwiseMismatch  int
+}
+
+// tenantOpts tailors driveTenant for a chaos run.
+type tenantOpts struct {
+	// chaotic tolerates injected job failures and busy rejections
+	// instead of failing the run.
+	chaotic bool
+	// verify compares the final served state bitwise against the
+	// offline decompose+update chain.
+	verify bool
+	// afterDecompose fires once the tenant's model is published (the
+	// chaos harness arms its failpoints here, so the poison lands on
+	// updates, not the initial decompose).
+	afterDecompose func()
+	// afterUpdate fires after each acknowledged update (the restart
+	// trigger).
+	afterUpdate func()
 }
 
 // runOne drives one load run at a given tenant count.
 func runOne(tenants int, cfg loadConfig) (runResult, error) {
 	base := cfg.Addr
-	var stopServer func() error
+	var inp *inprocServer
 	if base == "" {
 		dataDir := cfg.DataDir
 		if dataDir != "" {
@@ -176,18 +253,32 @@ func runOne(tenants int, cfg loadConfig) (runResult, error) {
 			dataDir = filepath.Join(dataDir, fmt.Sprintf("run-%d", tenants))
 		}
 		var err error
-		base, stopServer, err = startServer(dataDir)
+		inp, err = startInproc(dataDir)
 		if err != nil {
 			return runResult{}, err
 		}
+		base = inp.base()
 		defer func() {
-			if stopServer != nil {
-				_ = stopServer()
+			if inp != nil {
+				_ = inp.stop()
 			}
 		}()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
+
+	var (
+		ch       *chaosHarness
+		chaosRes *chaosStats
+	)
+	opts := make([]tenantOpts, tenants)
+	if cfg.Chaos {
+		ch = newChaosHarness(inp, base)
+		for t := range opts {
+			opts[t] = ch.tenantOpts(t, tenants)
+		}
+		ch.start(ctx)
+	}
 
 	start := time.Now()
 	outcomes := make([]tenantOutcome, tenants)
@@ -196,13 +287,20 @@ func runOne(tenants int, cfg loadConfig) (runResult, error) {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			outcomes[t] = driveTenant(ctx, base, fmt.Sprintf("tenant-%d", t), cfg, cfg.Seed+int64(t))
+			outcomes[t] = driveTenant(ctx, base, fmt.Sprintf("tenant-%d", t), cfg, cfg.Seed+int64(t), opts[t])
 		}(t)
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if ch != nil {
+		var err error
+		chaosRes, err = ch.finish()
+		if err != nil {
+			return runResult{Tenants: tenants, Chaos: chaosRes}, err
+		}
+	}
 
-	res := runResult{Tenants: tenants, WallSeconds: wall.Seconds()}
+	res := runResult{Tenants: tenants, WallSeconds: wall.Seconds(), Chaos: chaosRes}
 	var all []time.Duration
 	for _, o := range outcomes {
 		if o.err != nil {
@@ -212,8 +310,18 @@ func runOne(tenants int, cfg loadConfig) (runResult, error) {
 		res.Jobs.Done += o.jobs.Done
 		res.Jobs.Failed += o.jobs.Failed
 		res.Jobs.Lost += o.jobs.Lost
+		res.Jobs.Retried += o.jobs.Retried
+		res.Jobs.Deduped += o.jobs.Deduped
 		res.Predict.Errors += o.predErrs
 		all = append(all, o.latencies...)
+		if chaosRes != nil {
+			chaosRes.InjectedFailures += o.injectedFailures
+			chaosRes.RejectedBusy += o.rejectedBusy
+			if o.bitwiseChecked {
+				chaosRes.BitwiseChecked++
+			}
+			chaosRes.BitwiseMismatch += o.bitwiseMismatch
+		}
 	}
 	res.Predict.Requests = len(all)
 	if len(all) > 0 {
@@ -223,44 +331,334 @@ func runOne(tenants int, cfg loadConfig) (runResult, error) {
 		res.Predict.P95Ms = quantileMs(all, 0.95)
 		res.Predict.P99Ms = quantileMs(all, 0.99)
 	}
-	res.SLOPass = res.Jobs.Lost == 0 && res.Jobs.Failed == 0 &&
-		res.Predict.Errors == 0 && res.Predict.P99Ms <= cfg.SLOP99Ms
+	res.SLOPass = res.Jobs.Lost == 0 && res.Jobs.Failed == 0 && res.Predict.Errors == 0
+	if chaosRes != nil {
+		// Under chaos the latency bound is waived (a mid-run restart
+		// legitimately stalls a few requests into their retry budget);
+		// the correctness contract is not.
+		res.SLOPass = res.SLOPass &&
+			chaosRes.HostileAccepted == 0 && chaosRes.BitwiseMismatch == 0
+	} else {
+		res.SLOPass = res.SLOPass && res.Predict.P99Ms <= cfg.SLOP99Ms
+	}
 	return res, nil
 }
 
-// startServer boots an in-process ivmfd on a loopback port; a non-empty
-// dataDir makes it durable.
-func startServer(dataDir string) (base string, stop func() error, err error) {
-	s, err := service.Open(service.Config{DataDir: dataDir})
+// inprocServer is the in-process ivmfd a run boots when no -addr is
+// given: service + listener, restartable on the same address so the
+// chaos harness can kill and recover it mid-run.
+type inprocServer struct {
+	mu      sync.Mutex
+	svc     *service.Service
+	srv     *http.Server
+	addr    string // pinned after the first bind
+	dataDir string
+}
+
+func startInproc(dataDir string) (*inprocServer, error) {
+	p := &inprocServer{dataDir: dataDir}
+	if err := p.open(""); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// open boots the service and listener; an empty addr binds a fresh
+// loopback port, otherwise the exact address is reused (restart).
+func (p *inprocServer) open(addr string) error {
+	s, err := service.Open(service.Config{DataDir: p.dataDir})
 	if err != nil {
-		return "", nil, err
+		return err
 	}
 	s.Start()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return "", nil, err
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	for attempt := 0; ; attempt++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		// A restart re-binds the port the dying listener just released;
+		// give the kernel a moment to finish the teardown.
+		if attempt >= 100 {
+			_ = s.Close()
+			return err
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 	srv := &http.Server{Handler: s.Handler()}
 	go func() { _ = srv.Serve(ln) }()
-	stop = func() error {
-		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-		defer cancel()
-		if err := s.Drain(ctx); err != nil {
-			return err
-		}
-		if err := srv.Shutdown(ctx); err != nil {
-			return err
-		}
-		return s.Close()
+	p.mu.Lock()
+	p.svc, p.srv, p.addr = s, srv, ln.Addr().String()
+	p.mu.Unlock()
+	return nil
+}
+
+func (p *inprocServer) base() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return "http://" + p.addr
+}
+
+func (p *inprocServer) service() *service.Service {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.svc
+}
+
+// stop drains admitted jobs, shuts the listener down, and closes the
+// store.
+func (p *inprocServer) stop() error {
+	p.mu.Lock()
+	s, srv := p.svc, p.srv
+	p.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		return err
 	}
-	return "http://" + ln.Addr().String(), stop, nil
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+// restart is the chaos kill: graceful drain (every acknowledged job is
+// already durable), full teardown, then recovery on the same address
+// from the same store. Clients ride it out on their retry budget.
+func (p *inprocServer) restart() error {
+	if err := p.stop(); err != nil {
+		return err
+	}
+	return p.open(p.addr)
+}
+
+// chaosHarness runs the background fault injectors of a -chaos run.
+type chaosHarness struct {
+	inp  *inprocServer
+	base string
+
+	mu     sync.Mutex
+	stats  chaosStats
+	errs   []error
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	armed  bool
+	kicked bool
+	kick   chan struct{} // restart trigger
+}
+
+func newChaosHarness(inp *inprocServer, base string) *chaosHarness {
+	return &chaosHarness{inp: inp, base: base, stop: make(chan struct{}), kick: make(chan struct{})}
+}
+
+// tenantOpts assigns roles: tenant 0 is the chaos tenant (poisoned,
+// tolerated), everyone else is healthy and bitwise-verified. The
+// restart trigger arms on the first healthy acknowledgement so the kill
+// lands mid-traffic.
+func (c *chaosHarness) tenantOpts(t, tenants int) tenantOpts {
+	if t == 0 && tenants > 1 {
+		return tenantOpts{chaotic: true, afterDecompose: c.armFailpoints}
+	}
+	return tenantOpts{verify: true, afterUpdate: c.kickRestart}
+}
+
+// armFailpoints poisons the chaos tenant once its model is up: enough
+// consecutive executor panics to trip quarantine, plus store faults
+// (absorbed by persist retry, feeding the breaker's failure counts).
+func (c *chaosHarness) armFailpoints() {
+	c.mu.Lock()
+	if c.armed {
+		c.mu.Unlock()
+		return
+	}
+	c.armed = true
+	c.mu.Unlock()
+	c.arm()
+}
+
+// arm installs the chaos tenant's failpoints on the current service
+// instance (called again after a restart — failpoints die with the
+// instance they were armed on).
+func (c *chaosHarness) arm() {
+	s := c.inp.service()
+	s.ArmFailpoint(service.FailExec, service.FailpointSpec{
+		Tenant: "tenant-0", Mode: service.FailPanic, Count: service.DefaultQuarantineAfter,
+	})
+	s.ArmFailpoint(service.FailPersist, service.FailpointSpec{
+		Tenant: "tenant-0", Mode: service.FailError, Count: 2,
+	})
+}
+
+// kickRestart fires the mid-run restart once (durable runs only).
+func (c *chaosHarness) kickRestart() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.kicked {
+		return
+	}
+	c.kicked = true
+	close(c.kick)
+}
+
+func (c *chaosHarness) start(ctx context.Context) {
+	c.wg.Add(2)
+	go c.hostileLoop(ctx)
+	go c.disconnectLoop(ctx)
+	if c.inp.dataDir != "" {
+		c.wg.Add(1)
+		go c.restartLoop(ctx)
+	}
+}
+
+// finish stops the injectors and returns the collected stats; injector
+// errors surface as bitwise mismatches would — by failing the run.
+func (c *chaosHarness) finish() (*chaosStats, error) {
+	close(c.stop)
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	if len(c.errs) > 0 {
+		return &st, c.errs[0]
+	}
+	return &st, nil
+}
+
+// hostilePayloads are admission envelopes that must all be rejected
+// 4xx: malformed JSON, unknown fields, traversal tenant names, bombs
+// declaring huge dimensions, and non-finite knobs.
+var hostilePayloads = []string{
+	`{"tenant":"h","kind":"decompose","coo":"2,2\n0,0,1\n"`, // truncated JSON
+	`{"tenant":"h","kind":"decompose","boom":1}`,            // unknown field
+	`{"tenant":"..","kind":"update","delta":"1,1\n0,0,1\n"}`,
+	`{"tenant":"h","kind":"decompose","coo":"999999999,999999999\n0,0,1\n"}`,
+	`{"tenant":"h","kind":"update","delta":"2,2\n0,0,nan\n"}`,
+	`{"tenant":"h","kind":"wat"}`,
+	`not json at all`,
+}
+
+// hostileLoop hurls poison at POST /v1/jobs. Any 2xx answer is a
+// contract violation; 4xx is the expected rejection; 5xx and transport
+// errors are the server being legitimately down mid-restart.
+func (c *chaosHarness) hostileLoop(ctx context.Context) {
+	defer c.wg.Done()
+	hc := &http.Client{Timeout: 5 * time.Second}
+	for i := 0; ; i++ {
+		select {
+		case <-c.stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+		body := hostilePayloads[i%len(hostilePayloads)]
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/jobs", strings.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := hc.Do(req)
+		if err != nil {
+			continue
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		c.mu.Lock()
+		c.stats.HostileSent++
+		if resp.StatusCode < 400 {
+			c.stats.HostileAccepted++
+		}
+		c.mu.Unlock()
+	}
+}
+
+// disconnectLoop opens raw connections, sends partial requests, and
+// slams them shut — the server must shrug (bounded read timeouts, no
+// goroutine pile-up).
+func (c *chaosHarness) disconnectLoop(ctx context.Context) {
+	defer c.wg.Done()
+	addr := strings.TrimPrefix(c.base, "http://")
+	for i := 0; ; i++ {
+		select {
+		case <-c.stop:
+			return
+		case <-ctx.Done():
+			return
+		case <-time.After(25 * time.Millisecond):
+		}
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			continue
+		}
+		switch i % 3 {
+		case 0: // headers promised, body never sent
+			fmt.Fprintf(conn, "POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 1000000\r\n\r\n{\"tenant\"")
+		case 1: // header line cut mid-token
+			fmt.Fprintf(conn, "GET /v1/topn?tenant=ten")
+		case 2: // immediate close
+		}
+		_ = conn.Close()
+		c.mu.Lock()
+		c.stats.Disconnects++
+		c.mu.Unlock()
+	}
+}
+
+// restartLoop waits for the first healthy acknowledgement, then kills
+// and recovers the server mid-run.
+func (c *chaosHarness) restartLoop(ctx context.Context) {
+	defer c.wg.Done()
+	select {
+	case <-c.stop:
+		return
+	case <-ctx.Done():
+		return
+	case <-c.kick:
+	}
+	if err := c.inp.restart(); err != nil {
+		c.mu.Lock()
+		c.errs = append(c.errs, fmt.Errorf("chaos restart: %w", err))
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	c.stats.Restarts++
+	rearm := c.armed
+	c.mu.Unlock()
+	if rearm {
+		c.arm()
+	}
+}
+
+// injectedFailure recognizes a job failure caused by the harness's own
+// faults (panic, injected store error, quarantine fallout) as opposed
+// to a real service bug.
+func injectedFailure(msg string) bool {
+	for _, marker := range []string{"panicked", "injected", "store unavailable", "deadline"} {
+		if strings.Contains(msg, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// busyRejection recognizes an admission rejection (backpressure,
+// quarantine, breaker) that the chaos tenant is expected to absorb.
+func busyRejection(err error) bool {
+	var apiErr *service.APIError
+	if !errors.As(err, &apiErr) {
+		return false
+	}
+	return apiErr.Status == http.StatusTooManyRequests || apiErr.Status == http.StatusServiceUnavailable
 }
 
 // driveTenant replays one tenant's life: decompose the base matrix,
 // then apply the delta stream sequentially while closed-loop predict
 // workers measure serving latency.
-func driveTenant(ctx context.Context, base, tenant string, cfg loadConfig, seed int64) tenantOutcome {
-	var o tenantOutcome
+func driveTenant(ctx context.Context, base, tenant string, cfg loadConfig, seed int64, topt tenantOpts) (o tenantOutcome) {
 	rng := rand.New(rand.NewSource(seed))
 	data, err := dataset.GenerateRatings(dataset.MovieLensLike().Scaled(cfg.Scale), rng)
 	if err != nil {
@@ -284,37 +682,62 @@ func driveTenant(ctx context.Context, base, tenant string, cfg loadConfig, seed 
 		return o
 	}
 
-	c := &service.Client{Base: base}
-	submitAndWait := func(req service.Request) error {
-		info, err := c.Submit(ctx, req)
+	// Retries are generous enough to ride out a full chaos restart
+	// (drain + recover) on connection errors alone; idempotency keys
+	// below make retried submissions exactly-once.
+	c := &service.Client{Base: base, Retry: &service.RetryPolicy{
+		MaxAttempts: 10, BaseBackoff: 25 * time.Millisecond, MaxBackoff: time.Second, Seed: seed,
+	}}
+	defer func() { o.jobs.Retried = int(c.Retries()) }()
+	jobN := 0
+	// submitAndWait returns (tolerated, err): tolerated means the job
+	// was sacrificed to an injected fault on the chaos tenant.
+	submitAndWait := func(req service.Request) (bool, error) {
+		jobN++
+		key := fmt.Sprintf("%s:%s:%d", tenant, req.Kind, jobN)
+		info, err := c.SubmitIdem(ctx, req, key)
 		if err != nil {
-			return err
+			if topt.chaotic && busyRejection(err) {
+				o.rejectedBusy++
+				return true, nil
+			}
+			return false, err
 		}
 		o.jobs.Submitted++
+		if info.Deduped {
+			o.jobs.Deduped++
+		}
 		info, err = c.WaitJob(ctx, info.ID, 2*time.Millisecond)
 		if err != nil {
 			o.jobs.Lost++
-			return err
+			return false, err
 		}
 		switch info.State {
 		case service.JobDone:
 			o.jobs.Done++
 		case service.JobFailed:
+			if topt.chaotic && injectedFailure(info.Error) {
+				o.injectedFailures++
+				return true, nil
+			}
 			o.jobs.Failed++
-			return fmt.Errorf("job %d failed: %s", info.ID, info.Error)
+			return false, fmt.Errorf("job %d failed: %s", info.ID, info.Error)
 		default:
 			o.jobs.Lost++
-			return fmt.Errorf("job %d stuck in state %q", info.ID, info.State)
+			return false, fmt.Errorf("job %d stuck in state %q", info.ID, info.State)
 		}
-		return nil
+		return false, nil
 	}
 
-	if err := submitAndWait(service.Request{
+	if _, err := submitAndWait(service.Request{
 		Tenant: tenant, Kind: "decompose", Method: "ISVD4", Rank: cfg.Rank,
 		Target: "b", Min: 1, Max: 5, COO: sb.String(),
 	}); err != nil {
 		o.err = err
 		return o
+	}
+	if topt.afterDecompose != nil {
+		topt.afterDecompose()
 	}
 
 	// Closed-loop predict hammers: each worker issues the next request
@@ -349,19 +772,27 @@ func driveTenant(ctx context.Context, base, tenant string, cfg loadConfig, seed 
 	}
 
 	// The delta replay is the run's backbone: hammers run exactly as
-	// long as the tenant has stream traffic in flight.
+	// long as the tenant has stream traffic in flight. acked tracks
+	// which deltas the server acknowledged — the offline chain below
+	// replays exactly those.
 	var streamErr error
+	acked := make([]bool, len(deltas))
 	for k, patch := range deltas {
 		var db strings.Builder
 		if err := dataset.WriteDeltaCOO(&db, m.Rows, m.Cols, patch); err != nil {
 			streamErr = err
 			break
 		}
-		if err := submitAndWait(service.Request{
+		tolerated, err := submitAndWait(service.Request{
 			Tenant: tenant, Kind: "update", Delta: db.String(),
-		}); err != nil {
+		})
+		if err != nil {
 			streamErr = fmt.Errorf("delta %d: %w", k, err)
 			break
+		}
+		acked[k] = !tolerated
+		if !tolerated && topt.afterUpdate != nil {
+			topt.afterUpdate()
 		}
 	}
 	close(stop)
@@ -371,7 +802,67 @@ func driveTenant(ctx context.Context, base, tenant string, cfg loadConfig, seed 
 		o.predErrs += errs[h]
 	}
 	o.err = streamErr
+
+	if topt.verify && o.err == nil {
+		checked, mismatches, err := verifyBitwise(ctx, c, tenant, cfg, baseCSR, deltas, acked, m.Rows, m.Cols, seed)
+		if err != nil {
+			o.err = err
+		} else if checked {
+			o.bitwiseChecked = true
+			o.bitwiseMismatch = mismatches
+		}
+	}
 	return o
+}
+
+// verifyBitwise replays the tenant's acknowledged chain offline — the
+// service's exact recipe: one updatable ISVD4 decomposition, one
+// functional Update per acked delta — and compares served predictions
+// bitwise (float64 equality, NaN-safe via math.Float64bits) on a
+// deterministic probe set. This is the serving contract under fire: no
+// panic, restart, or neighbor's quarantine may perturb a healthy
+// tenant's numbers by even one ulp.
+func verifyBitwise(ctx context.Context, c *service.Client, tenant string, cfg loadConfig,
+	baseCSR *sparse.ICSR, deltas [][]sparse.ITriplet, acked []bool, rows, cols int, seed int64) (bool, int, error) {
+	d, err := core.DecomposeSparse(baseCSR, core.ISVD4,
+		core.Options{Rank: cfg.Rank, Target: core.TargetB, Updatable: true})
+	if err != nil {
+		return false, 0, fmt.Errorf("offline decompose: %w", err)
+	}
+	for k, patch := range deltas {
+		if !acked[k] {
+			continue
+		}
+		d, err = d.Update(core.Delta{Patch: patch}, core.Options{})
+		if err != nil {
+			return false, 0, fmt.Errorf("offline update %d: %w", k, err)
+		}
+	}
+	pred, err := recommend.FromSparseDecomposition(d, 1, 5)
+	if err != nil {
+		return false, 0, err
+	}
+	prng := rand.New(rand.NewSource(seed + 7919))
+	probes := make([][2]int, 32)
+	for i := range probes {
+		probes[i] = [2]int{prng.Intn(rows), prng.Intn(cols)}
+	}
+	resp, err := c.Predict(ctx, tenant, probes)
+	if err != nil {
+		return false, 0, fmt.Errorf("verify predict: %w", err)
+	}
+	mismatches := 0
+	for i, p := range resp.Predictions {
+		iv, err := pred.PredictInterval(probes[i][0], probes[i][1])
+		if err != nil {
+			return false, 0, err
+		}
+		if math.Float64bits(p.Lo) != math.Float64bits(iv.Lo) ||
+			math.Float64bits(p.Hi) != math.Float64bits(iv.Hi) {
+			mismatches++
+		}
+	}
+	return true, mismatches, nil
 }
 
 // quantileMs reads the q-quantile of a sorted latency slice in ms.

@@ -1,0 +1,191 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRetryDelay pins the backoff schedule: exponential doubling from
+// base, equal-jitter, capped at max, and never below a server-sent
+// Retry-After hint.
+func TestRetryDelay(t *testing.T) {
+	const (
+		base = 50 * time.Millisecond
+		max  = 2 * time.Second
+	)
+	cases := []struct {
+		name       string
+		attempt    int
+		retryAfter time.Duration
+		jitter     float64
+		want       time.Duration
+	}{
+		{"first-no-jitter", 1, 0, 0, 25 * time.Millisecond},
+		{"first-mid-jitter", 1, 0, 0.5, 37500 * time.Microsecond},
+		{"first-full-jitter", 1, 0, 1, 50 * time.Millisecond},
+		{"second-doubles", 2, 0, 0, 50 * time.Millisecond},
+		{"third-doubles-again", 3, 0, 1, 200 * time.Millisecond},
+		{"capped-at-max", 10, 0, 1, max},
+		{"retry-after-wins", 1, 5 * time.Second, 0, 5 * time.Second},
+		{"retry-after-below-backoff", 3, 10 * time.Millisecond, 1, 200 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := retryDelay(tc.attempt, base, max, tc.retryAfter, tc.jitter)
+			if got != tc.want {
+				t.Fatalf("retryDelay(%d, ra=%v, j=%v) = %v, want %v",
+					tc.attempt, tc.retryAfter, tc.jitter, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0}, {"abc", 0}, {"-1", 0}, {"1.5", 0},
+		{"0", 0}, {"3", 3 * time.Second}, {"120", 2 * time.Minute},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.header); got != tc.want {
+			t.Fatalf("parseRetryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+// flakyHandler fails the first n requests with status, then succeeds.
+type flakyHandler struct {
+	fails      atomic.Int64
+	n          int64
+	status     int
+	retryAfter string
+	keys       chan string
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.keys != nil {
+		select {
+		case h.keys <- r.Header.Get("Idempotency-Key"):
+		default:
+		}
+	}
+	if h.fails.Add(1) <= h.n {
+		if h.retryAfter != "" {
+			w.Header().Set("Retry-After", h.retryAfter)
+		}
+		http.Error(w, `{"error":"busy"}`, h.status)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+	w.Write([]byte(`{"id":7,"state":"pending"}`))
+}
+
+func fastRetryClient(base string, attempts int) *Client {
+	return &Client{Base: base, Retry: &RetryPolicy{
+		MaxAttempts: attempts,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+		Seed:        1,
+	}}
+}
+
+// TestClientRetriesKeyedSubmit: a submit carrying an Idempotency-Key is
+// safe to retry — the client must absorb 429/503 responses, resend the
+// same key every attempt, and count the retries.
+func TestClientRetriesKeyedSubmit(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		h := &flakyHandler{n: 2, status: status, keys: make(chan string, 8)}
+		srv := httptest.NewServer(h)
+		c := fastRetryClient(srv.URL, 5)
+		info, err := c.SubmitIdem(context.Background(), Request{Tenant: "t", Kind: "update"}, "job:1")
+		srv.Close()
+		if err != nil {
+			t.Fatalf("status %d: SubmitIdem: %v", status, err)
+		}
+		if info.ID != 7 {
+			t.Fatalf("status %d: info = %+v", status, info)
+		}
+		if got := c.Retries(); got != 2 {
+			t.Fatalf("status %d: Retries() = %d, want 2", status, got)
+		}
+		close(h.keys)
+		var sent int
+		for k := range h.keys {
+			sent++
+			if k != "job:1" {
+				t.Fatalf("attempt %d sent Idempotency-Key %q", sent, k)
+			}
+		}
+		if sent != 3 {
+			t.Fatalf("server saw %d attempts, want 3", sent)
+		}
+	}
+}
+
+// TestClientDoesNotRetryUnkeyedSubmit: without an Idempotency-Key a
+// POST /v1/jobs is not known to be idempotent, so a 503 must surface
+// immediately rather than risk duplicate execution.
+func TestClientDoesNotRetryUnkeyedSubmit(t *testing.T) {
+	h := &flakyHandler{n: 1 << 30, status: http.StatusServiceUnavailable}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c := fastRetryClient(srv.URL, 5)
+	if _, err := c.Submit(context.Background(), Request{Tenant: "t", Kind: "update"}); err == nil {
+		t.Fatal("unkeyed Submit swallowed a 503")
+	}
+	if got := h.fails.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want exactly 1", got)
+	}
+	if got := c.Retries(); got != 0 {
+		t.Fatalf("Retries() = %d, want 0", got)
+	}
+}
+
+// TestClientRetriesReads: GETs are always idempotent and retried.
+func TestClientRetriesReads(t *testing.T) {
+	mux := http.NewServeMux()
+	var polls atomic.Int64
+	mux.HandleFunc("/v1/jobs/7", func(w http.ResponseWriter, r *http.Request) {
+		if polls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, `{"error":"busy"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte(`{"id":7,"state":"done"}`))
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := fastRetryClient(srv.URL, 5)
+	info, err := c.Job(context.Background(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != JobDone || polls.Load() != 2 {
+		t.Fatalf("info %+v after %d polls", info, polls.Load())
+	}
+}
+
+// TestClientHonorsContext: cancellation interrupts the backoff wait
+// instead of sleeping it out.
+func TestClientHonorsContext(t *testing.T) {
+	h := &flakyHandler{n: 1 << 30, status: http.StatusServiceUnavailable, retryAfter: "3600"}
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	c := fastRetryClient(srv.URL, 5)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.SubmitIdem(ctx, Request{Tenant: "t", Kind: "update"}, "k")
+	if err == nil {
+		t.Fatal("cancelled submit succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("client slept %v through a cancelled context", elapsed)
+	}
+}

@@ -11,7 +11,10 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/service/sched"
+	"repro/internal/sparse"
+	"repro/internal/store"
 )
 
 func FuzzServiceRequest(f *testing.F) {
@@ -88,6 +91,60 @@ func FuzzServiceRequest(f *testing.F) {
 		}
 		if jr.workers < 0 || jr.refreshBudget < 0 {
 			t.Fatalf("accepted negative knobs: workers=%d refreshBudget=%g", jr.workers, jr.refreshBudget)
+		}
+	})
+}
+
+// FuzzIdempotencyKey fuzzes the Idempotency-Key admission rule against
+// the store's persistence bound: any key the server accepts must fit
+// the on-disk formats and round-trip bit-exactly through a WAL record,
+// and the grammar must hold exactly (no control bytes, no spaces, no
+// over-length keys slip through).
+func FuzzIdempotencyKey(f *testing.F) {
+	f.Add("a")
+	f.Add("tenant:job:1")
+	f.Add("boot.2026-08-07_00")
+	f.Add(strings.Repeat("k", store.MaxIdemKeyLen))
+	f.Add(strings.Repeat("k", store.MaxIdemKeyLen+1))
+	f.Add("")
+	f.Add("bad key")
+	f.Add("ключ")
+	f.Add("nul\x00byte")
+	f.Add("newline\nkey")
+	f.Fuzz(func(t *testing.T, key string) {
+		ok := validIdemKey(key)
+		if !ok {
+			return
+		}
+		if len(key) < 1 || len(key) > store.MaxIdemKeyLen {
+			t.Fatalf("accepted key of length %d", len(key))
+		}
+		for i := 0; i < len(key); i++ {
+			c := key[i]
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+				c == '.', c == '_', c == ':', c == '-':
+			default:
+				t.Fatalf("accepted key with byte %q", c)
+			}
+		}
+		// Every accepted key must persist: encode a WAL record that acks
+		// it and decode it back unchanged.
+		rec := &store.WALRecord{
+			Seq: 1, JobID: 2,
+			Acked: []store.IdemAck{{JobID: 2, Key: key}},
+			Delta: core.Delta{Patch: []sparse.ITriplet{{Row: 0, Col: 0, Lo: 1, Hi: 2}}},
+		}
+		data, err := store.EncodeWALRecord(rec)
+		if err != nil {
+			t.Fatalf("accepted key %q does not encode: %v", key, err)
+		}
+		got, err := store.DecodeWALRecord(data)
+		if err != nil {
+			t.Fatalf("key %q: decode: %v", key, err)
+		}
+		if len(got.Acked) != 1 || got.Acked[0] != rec.Acked[0] {
+			t.Fatalf("key %q round-tripped as %+v", key, got.Acked)
 		}
 	})
 }

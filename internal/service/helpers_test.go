@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math/rand"
 	"net/http"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -11,6 +12,36 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/sparse"
 )
+
+// leakCheck snapshots the goroutine count; the returned func fails the
+// test if, after a grace period for asynchronous teardown, more
+// goroutines are alive than before — with full stack dumps so the
+// leaker is identifiable. Use as the FIRST defer so it runs after every
+// other cleanup:
+//
+//	defer leakCheck(t)()
+//	... Start / Drain / Shutdown / Close ...
+func leakCheck(tb testing.TB) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		if tb.Failed() {
+			return // don't pile a leak report on top of the real failure
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				sz := runtime.Stack(buf, true)
+				tb.Fatalf("goroutine leak: %d before, %d after\n%s", before, n, buf[:sz])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
 
 // decodeBody drains one JSON response body.
 func decodeBody(resp *http.Response, out any) error {
@@ -80,6 +111,12 @@ func deltaText(tb testing.TB, rows, cols int, ts []sparse.ITriplet) string {
 // submitEnvelope pushes a Request through the same decode path the HTTP
 // handler uses, then into Submit.
 func submitEnvelope(s *Service, req Request) (JobInfo, error) {
+	return submitEnvelopeIdem(s, req, "")
+}
+
+// submitEnvelopeIdem is submitEnvelope carrying an Idempotency-Key, the
+// way the HTTP handler attaches it after validation.
+func submitEnvelopeIdem(s *Service, req Request, key string) (JobInfo, error) {
 	data, err := json.Marshal(req)
 	if err != nil {
 		return JobInfo{}, err
@@ -88,6 +125,7 @@ func submitEnvelope(s *Service, req Request) (JobInfo, error) {
 	if err != nil {
 		return JobInfo{}, err
 	}
+	jr.idemKey = key
 	return s.Submit(jr)
 }
 

@@ -227,6 +227,16 @@ const (
 	mStoreRetries   = "ivmfd_store_persist_retries_total"
 	mStoreEvents    = "ivmfd_store_events_total"
 	mStoreRecovered = "ivmfd_store_recovered_tenants_total"
+
+	// Resilience families: fault isolation, quarantine, circuit
+	// breaker, idempotent admission.
+	mResPanics       = "ivmfd_resilience_panics_total"
+	mResDeadline     = "ivmfd_resilience_deadline_exceeded_total"
+	mResQuarantined  = "ivmfd_resilience_quarantined_tenants"
+	mResQuarTrans    = "ivmfd_resilience_quarantine_transitions_total"
+	mResBreaker      = "ivmfd_resilience_breaker_state"
+	mResBreakerTrans = "ivmfd_resilience_breaker_transitions_total"
+	mResIdemReplays  = "ivmfd_resilience_idempotent_replays_total"
 )
 
 // newServiceRegistry describes the full ivmfd metric set.
@@ -247,5 +257,12 @@ func newServiceRegistry() *registry {
 	r.describe(mStoreRetries, "counter", "Transient store-write failures retried, by op.")
 	r.describe(mStoreEvents, "counter", "Store degradation events (corruption quarantined, torn tails, deferred compactions), by kind.")
 	r.describe(mStoreRecovered, "counter", "Tenants recovered at boot, by outcome (ok, degraded, none).")
+	r.describe(mResPanics, "counter", "Job panics contained by the executor's recover guard, by tenant.")
+	r.describe(mResDeadline, "counter", "Execution units abandoned at their deadline, by tenant.")
+	r.describe(mResQuarantined, "gauge", "Tenants currently quarantined.")
+	r.describe(mResQuarTrans, "counter", "Quarantine transitions, by event (tripped, probe, cleared).")
+	r.describe(mResBreaker, "gauge", "Store circuit breaker state (0 closed, 1 half-open, 2 open).")
+	r.describe(mResBreakerTrans, "counter", "Store circuit breaker transitions, by destination state.")
+	r.describe(mResIdemReplays, "counter", "Submissions answered from the idempotency ledger without a new job.")
 	return r
 }

@@ -84,7 +84,8 @@ func (s *Service) recoverTenant(tenant string) error {
 		return err
 	}
 	rows, cols := rec.Decomp.U.Lo.Rows, rec.Decomp.V.Lo.Rows
-	meta := &tenantMeta{rows: rows, cols: cols, rank: rec.Decomp.Rank, store: &snapStore{}}
+	meta := s.newTenantMeta()
+	meta.rows, meta.cols, meta.rank = rows, cols, rec.Decomp.Rank
 	meta.store.swap(&Snapshot{
 		Version: rec.Seq,
 		JobID:   rec.JobID,
@@ -105,6 +106,23 @@ func (s *Service) recoverTenant(tenant string) error {
 		// persisted one keeps (tenant, seq) -> job attribution unique
 		// across restarts.
 		s.seq = rec.JobID
+	}
+	for _, a := range rec.Acked {
+		// Re-register durably acknowledged idempotency keys so a client
+		// retrying across the restart replays the original ack instead
+		// of re-running the job. The synthesized ledger entry answers
+		// GET /v1/jobs/{id} for it; the dedupe window is bounded by
+		// compaction (keys retired with an old generation are new work
+		// again).
+		if a.JobID > s.seq {
+			s.seq = a.JobID
+		}
+		if _, ok := s.jobs[a.JobID]; !ok {
+			s.jobs[a.JobID] = &jobRecord{info: JobInfo{
+				ID: a.JobID, Tenant: tenant, Kind: "recovered", State: JobDone,
+			}}
+		}
+		s.idem[idemMapKey(tenant, a.Key)] = a.JobID
 	}
 	s.mu.Unlock()
 	s.metrics.addCounter(mStoreRecovered, label("outcome", outcome), 1)
@@ -133,20 +151,28 @@ func (s *Service) storeEvent(ev store.Event) {
 // backoff: transient filesystem failures (the store repairs its log
 // before reusing it) should not fail a job that can succeed a moment
 // later, but retry is bounded so a dead disk fails jobs instead of
-// wedging the executor.
-func (s *Service) persist(op string, write func() error) error {
+// wedging the executor. The operation's final outcome — not each
+// attempt — feeds the circuit breaker, and an exhausted retry loop is
+// classified errStoreUnavailable so the failure never counts against
+// the tenant's quarantine.
+func (s *Service) persist(op, tenant string, write func() error) error {
 	backoff := s.cfg.PersistBackoff
 	var err error
 	for attempt := 0; ; attempt++ {
-		if err = write(); err == nil {
+		if err = s.failpoint(FailPersist, tenant); err == nil {
+			err = write()
+		}
+		if err == nil {
 			s.metrics.addCounter(mStorePersist, label("op", op), 1)
+			s.noteStoreOutcome(false)
 			return nil
 		}
 		if attempt >= s.cfg.PersistRetries {
-			return fmt.Errorf("service: persist %s: %w", op, err)
+			s.noteStoreOutcome(true)
+			return fmt.Errorf("%w: persist %s: %v", errStoreUnavailable, op, err)
 		}
 		s.metrics.addCounter(mStoreRetries, label("op", op), 1)
-		time.Sleep(backoff)
+		s.cfg.Sleep(backoff)
 		backoff *= 2
 	}
 }
@@ -158,7 +184,7 @@ func (s *Service) persistSnapshot(tenant string, d *core.Decomposition, meta sto
 	if err != nil {
 		return err
 	}
-	return s.persist("snapshot", func() error {
+	return s.persist("snapshot", tenant, func() error {
 		return s.store.SaveSnapshot(tenant, ps, meta)
 	})
 }
@@ -171,7 +197,7 @@ func (s *Service) persistSnapshot(tenant string, d *core.Decomposition, meta sto
 // and compaction retries on a later update.
 func (s *Service) persistUpdate(tenant string, next *Snapshot, rec *store.WALRecord) error {
 	var records int
-	err := s.persist("delta", func() error {
+	err := s.persist("delta", tenant, func() error {
 		n, err := s.store.AppendDelta(tenant, rec)
 		records = n
 		return err
@@ -183,6 +209,13 @@ func (s *Service) persistUpdate(tenant string, next *Snapshot, rec *store.WALRec
 		meta := store.SnapshotMeta{
 			Seq: next.Version, JobID: next.JobID,
 			MinRating: next.Pred.Min, MaxRating: next.Pred.Max,
+		}
+		// The compacted snapshot carries its publishing job's key so the
+		// dedupe window survives the log it retires.
+		for _, a := range rec.Acked {
+			if a.JobID == next.JobID {
+				meta.IdemKey = a.Key
+			}
 		}
 		if err := s.persistSnapshot(tenant, next.Decomp, meta); err != nil {
 			s.metrics.addCounter(mStoreEvents, label("kind", "compaction_deferred"), 1)

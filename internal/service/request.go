@@ -8,12 +8,14 @@ import (
 	"math"
 	"regexp"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/eig"
 	"repro/internal/service/sched"
 	"repro/internal/sparse"
+	"repro/internal/store"
 )
 
 // Request is the JSON job envelope of POST /v1/jobs. The matrix payload
@@ -77,16 +79,42 @@ type jobRequest struct {
 	refresh       core.Refresh
 	refreshBudget float64
 	workers       int
+
+	// idemKey is the submission's Idempotency-Key (empty = none);
+	// bytes estimates the payload's resident size for the admission
+	// byte budget.
+	idemKey string
+	bytes   int64
 }
 
 // Boundary errors the HTTP layer maps to status codes.
 var (
-	errTooLarge  = errors.New("service: request body exceeds the size limit")
-	errDraining  = errors.New("service: draining, not admitting jobs")
-	errQueueFull = errors.New("service: tenant queue is full")
-	errNoModel   = errors.New("service: tenant has no model")
-	errNotFound  = errors.New("service: not found")
+	errTooLarge    = errors.New("service: request body exceeds the size limit")
+	errDraining    = errors.New("service: draining, not admitting jobs")
+	errQueueFull   = errors.New("service: tenant queue is full")
+	errNoModel     = errors.New("service: tenant has no model")
+	errNotFound    = errors.New("service: not found")
+	errQuarantined = errors.New("service: tenant quarantined after consecutive job failures")
+	// errStoreUnavailable classifies store-outage failures: the circuit
+	// breaker's domain, never the tenant's fault.
+	errStoreUnavailable = errors.New("service: model store unavailable")
+	errPanic            = errors.New("service: job panicked")
+	errDeadline         = errors.New("service: job deadline exceeded")
 )
+
+// retryAfterError attaches a client retry hint to a rejection; the HTTP
+// layer renders it as a Retry-After header.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+func withRetryAfter(err error, after time.Duration) error {
+	return &retryAfterError{err: err, after: after}
+}
 
 // tenantRE is the tenant-name grammar. Restricting names to this set
 // keeps them safe as metric label values and log tokens with no
@@ -99,6 +127,17 @@ var tenantRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
 // from running to completion only to fail at snapshot time.
 func validTenant(name string) bool {
 	return name != "." && name != ".." && tenantRE.MatchString(name)
+}
+
+// idemKeyRE is the Idempotency-Key grammar: the tenant character set
+// plus ':' (clients commonly build keys like "tenant:job:17"), bounded
+// at store.MaxIdemKeyLen so every accepted key persists losslessly in
+// the WAL/snapshot meta.
+var idemKeyRE = regexp.MustCompile(`^[A-Za-z0-9._:-]{1,64}$`)
+
+// validIdemKey is the admission rule for idempotency keys.
+func validIdemKey(key string) bool {
+	return len(key) <= store.MaxIdemKeyLen && idemKeyRE.MatchString(key)
 }
 
 // decodeRequest parses and validates a job envelope. maxBytes caps the
@@ -188,6 +227,9 @@ func validateRequest(req *Request) (*jobRequest, error) {
 			return nil, fmt.Errorf("service: decompose payload has no observed cells")
 		}
 		jr.base = base
+		// Resident estimate: per-cell CSR storage (colind + two interval
+		// planes + triplet slack) plus the row pointer array.
+		jr.bytes = int64(base.NNZ())*40 + int64(base.Rows+1)*8
 		return jr, nil
 
 	case "update":
@@ -212,6 +254,7 @@ func validateRequest(req *Request) (*jobRequest, error) {
 				jr.patch = append(jr.patch, sparse.ITriplet{Row: i, Col: j, Lo: lo[p], Hi: hi[p]})
 			}
 		})
+		jr.bytes = int64(len(jr.patch)) * 40
 		return jr, nil
 
 	default:

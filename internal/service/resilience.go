@@ -1,0 +1,251 @@
+package service
+
+import "time"
+
+// Resilience state machines: the per-tenant poison-job quarantine and
+// the store circuit breaker. Both are plain data guarded by Service.mu
+// and advance only on explicit events with an injected clock — no
+// goroutines, no timers — so every transition is a pure function of
+// (state, event, now) and pins down in table tests. Cooldowns double on
+// repeated trips up to a fixed cap, so a persistently failing tenant or
+// disk backs off instead of oscillating.
+
+// Resilience defaults.
+const (
+	// DefaultQuarantineAfter quarantines a tenant after this many
+	// consecutive failed execution units; DefaultQuarantineCooldown is
+	// the first quarantine period.
+	DefaultQuarantineAfter    = 3
+	DefaultQuarantineCooldown = 30 * time.Second
+	// DefaultBreakerThreshold trips the store circuit breaker after this
+	// many consecutive exhausted persist operations;
+	// DefaultBreakerCooldown is the first open period.
+	DefaultBreakerThreshold = 3
+	DefaultBreakerCooldown  = 15 * time.Second
+	// cooldownGrowthCap bounds the exponential cooldown at cap × base.
+	cooldownGrowthCap = 8
+)
+
+// growCooldown doubles a cooldown up to cap times its base.
+//
+//ivmf:deterministic
+func growCooldown(cur, base time.Duration) time.Duration {
+	next := cur * 2
+	if limit := base * cooldownGrowthCap; next > limit {
+		next = limit
+	}
+	return next
+}
+
+// breakerState is the circuit breaker's phase, ordered so the metric
+// gauge reads 0 = closed, 1 = half-open, 2 = open.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "open"
+	}
+}
+
+// breaker is the store circuit breaker. Closed counts consecutive
+// persist failures; at threshold it opens, failing mutations fast while
+// predictions keep serving from snapshots. After the cooldown the next
+// execution transitions it half-open: that unit's persist is the probe,
+// closing the breaker on success and re-opening it (with a doubled
+// cooldown) on failure.
+type breaker struct {
+	threshold int
+	base      time.Duration
+
+	state    breakerState
+	failures int
+	cooldown time.Duration // next open period
+	until    time.Time     // open expiry, valid while state == breakerOpen
+}
+
+func newBreaker(threshold int, base time.Duration) *breaker {
+	return &breaker{threshold: threshold, base: base, cooldown: base}
+}
+
+// onFailure records one exhausted persist operation; it reports whether
+// the breaker transitioned to open.
+//
+//ivmf:deterministic
+func (b *breaker) onFailure(now time.Time) bool {
+	switch b.state {
+	case breakerClosed:
+		b.failures++
+		if b.failures < b.threshold {
+			return false
+		}
+	case breakerHalfOpen:
+		// The probe failed.
+	case breakerOpen:
+		// A unit that began before the trip finished failing; extend.
+	}
+	b.state = breakerOpen
+	b.until = now.Add(b.cooldown)
+	b.cooldown = growCooldown(b.cooldown, b.base)
+	return true
+}
+
+// onSuccess records one successful persist; it reports whether the
+// breaker transitioned to closed.
+//
+//ivmf:deterministic
+func (b *breaker) onSuccess() bool {
+	changed := b.state != breakerClosed
+	b.state = breakerClosed
+	b.failures = 0
+	b.cooldown = b.base
+	return changed
+}
+
+// allowExec gates one execution unit's persist path. While open and
+// unexpired it denies (the unit fails fast); once the cooldown expires
+// it transitions half-open and admits the unit as the probe.
+//
+//ivmf:deterministic
+func (b *breaker) allowExec(now time.Time) bool {
+	if b.state != breakerOpen {
+		return true
+	}
+	if now.Before(b.until) {
+		return false
+	}
+	b.state = breakerHalfOpen
+	return true
+}
+
+// allowAdmit gates mutation admission without mutating state: only an
+// unexpired open breaker rejects, with the remaining cooldown as the
+// retry hint. Half-open admits — queued work behind the probe either
+// rides a re-closed breaker or fails fast if the probe fails.
+//
+//ivmf:deterministic
+func (b *breaker) allowAdmit(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.state == breakerOpen && now.Before(b.until) {
+		return false, b.until.Sub(now)
+	}
+	return true, 0
+}
+
+// quarantine is the per-tenant poison-job guard. Consecutive failed
+// execution units count toward threshold; at threshold the tenant is
+// quarantined: admission rejects its submissions while the existing
+// snapshot keeps serving. After the cooldown exactly one probe job is
+// admitted; its success clears the quarantine, its failure re-trips
+// with a doubled cooldown.
+type quarantine struct {
+	threshold int
+	base      time.Duration
+
+	failures int
+	active   bool
+	probing  bool          // a probe job was admitted and has not finished
+	cooldown time.Duration // next quarantine period
+	until    time.Time     // quarantine expiry, valid while active
+}
+
+func newQuarantine(threshold int, base time.Duration) quarantine {
+	return quarantine{threshold: threshold, base: base, cooldown: base}
+}
+
+// onFailure records one failed execution unit; it reports whether the
+// tenant transitioned into quarantine (including a failed probe
+// re-tripping it).
+//
+//ivmf:deterministic
+func (q *quarantine) onFailure(now time.Time) bool {
+	q.probing = false
+	if !q.active {
+		q.failures++
+		if q.failures < q.threshold {
+			return false
+		}
+	}
+	q.active = true
+	q.until = now.Add(q.cooldown)
+	q.cooldown = growCooldown(q.cooldown, q.base)
+	return true
+}
+
+// onSuccess records one successful execution unit; it reports whether
+// an active quarantine was cleared.
+//
+//ivmf:deterministic
+func (q *quarantine) onSuccess() bool {
+	cleared := q.active
+	q.failures = 0
+	q.active = false
+	q.probing = false
+	q.cooldown = q.base
+	return cleared
+}
+
+// check gates admission without mutating state: an active quarantine
+// rejects until its cooldown expires, and keeps rejecting while the
+// single probe slot is taken.
+//
+//ivmf:deterministic
+func (q *quarantine) check(now time.Time) (ok bool, retryAfter time.Duration) {
+	if !q.active {
+		return true, 0
+	}
+	if now.Before(q.until) {
+		return false, q.until.Sub(now)
+	}
+	if q.probing {
+		return false, q.cooldown
+	}
+	return true, 0
+}
+
+// claimProbe marks the job being admitted as the quarantine probe. Call
+// it only after every other admission check has passed, so a rejected
+// submission can never consume the probe slot.
+//
+//ivmf:deterministic
+func (q *quarantine) claimProbe(now time.Time) bool {
+	if !q.active || now.Before(q.until) || q.probing {
+		return false
+	}
+	q.probing = true
+	return true
+}
+
+// unitDeadline computes a unit's execution deadline: base plus perCost
+// per admission cost unit, capped at max. Overflow saturates at max.
+//
+//ivmf:deterministic
+func unitDeadline(base, perCost time.Duration, cost int64, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0 // deadlines disabled
+	}
+	d := base
+	if perCost > 0 && cost > 0 {
+		extra := time.Duration(cost) * perCost
+		if extra/perCost != time.Duration(cost) || extra < 0 {
+			return max
+		}
+		d += extra
+		if d < 0 {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}

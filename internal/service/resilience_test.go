@@ -1,0 +1,213 @@
+package service
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Deterministic table tests over the resilience state machines. Both
+// machines advance only on explicit events with an injected clock, so
+// every transition here is exact — no sleeps, no races.
+
+// fakeClock is a hand-advanced time source for Config.Clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	at := func(d time.Duration) time.Time { return t0.Add(d) }
+	b := newBreaker(3, 10*time.Second)
+
+	// Failures below threshold stay closed.
+	if b.onFailure(at(0)) || b.onFailure(at(1*time.Second)) {
+		t.Fatal("breaker tripped below threshold")
+	}
+	if ok, _ := b.allowAdmit(at(1 * time.Second)); !ok {
+		t.Fatal("closed breaker rejected admission")
+	}
+	// Third consecutive failure opens.
+	if !b.onFailure(at(2 * time.Second)) {
+		t.Fatal("breaker did not trip at threshold")
+	}
+	if b.state != breakerOpen {
+		t.Fatalf("state %v, want open", b.state)
+	}
+	// Open and unexpired: admission rejected with the remaining
+	// cooldown, execution denied.
+	ok, after := b.allowAdmit(at(5 * time.Second))
+	if ok || after != 7*time.Second {
+		t.Fatalf("open admit = (%v, %v), want (false, 7s)", ok, after)
+	}
+	if b.allowExec(at(5 * time.Second)) {
+		t.Fatal("open breaker allowed execution before cooldown")
+	}
+	// Cooldown expiry: the next execution is the half-open probe.
+	if !b.allowExec(at(12 * time.Second)) {
+		t.Fatal("expired breaker denied the probe")
+	}
+	if b.state != breakerHalfOpen {
+		t.Fatalf("state %v, want half_open", b.state)
+	}
+	if ok, _ := b.allowAdmit(at(12 * time.Second)); !ok {
+		t.Fatal("half-open breaker rejected admission")
+	}
+	// Failed probe re-opens with a doubled cooldown.
+	if !b.onFailure(at(13 * time.Second)) {
+		t.Fatal("failed probe did not re-open")
+	}
+	if ok, after := b.allowAdmit(at(13 * time.Second)); ok || after != 20*time.Second {
+		t.Fatalf("re-opened admit = (%v, %v), want (false, 20s)", ok, after)
+	}
+	// Successful probe closes and resets the cooldown.
+	if !b.allowExec(at(40 * time.Second)) {
+		t.Fatal("expired breaker denied the second probe")
+	}
+	if !b.onSuccess() {
+		t.Fatal("probe success did not report the close")
+	}
+	if b.state != breakerClosed || b.failures != 0 || b.cooldown != 10*time.Second {
+		t.Fatalf("after close: %+v", b)
+	}
+	// Cooldown growth saturates at 8× base: trip repeatedly and check
+	// the open window never exceeds 80s.
+	now := at(100 * time.Second)
+	for i := 0; i < 10; i++ {
+		b.onFailure(now)
+		b.onFailure(now)
+		b.onFailure(now)
+		if b.state != breakerOpen {
+			t.Fatalf("trip %d: state %v", i, b.state)
+		}
+		if window := b.until.Sub(now); window > 80*time.Second {
+			t.Fatalf("trip %d: open window %v exceeds 8x base", i, window)
+		}
+		now = b.until
+		if !b.allowExec(now) {
+			t.Fatalf("trip %d: probe denied", i)
+		}
+	}
+}
+
+func TestQuarantineStateMachine(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	at := func(d time.Duration) time.Time { return t0.Add(d) }
+	q := newQuarantine(2, 10*time.Second)
+
+	if q.onFailure(at(0)) {
+		t.Fatal("quarantine tripped below threshold")
+	}
+	if ok, _ := q.check(at(0)); !ok {
+		t.Fatal("inactive quarantine rejected")
+	}
+	if !q.onFailure(at(time.Second)) {
+		t.Fatal("quarantine did not trip at threshold")
+	}
+	// Active and unexpired: rejected with the remaining cooldown, no
+	// probe slot.
+	if ok, after := q.check(at(3 * time.Second)); ok || after != 8*time.Second {
+		t.Fatalf("active check = (%v, %v), want (false, 8s)", ok, after)
+	}
+	if q.claimProbe(at(3 * time.Second)) {
+		t.Fatal("probe claimed before cooldown expiry")
+	}
+	// Expiry opens exactly one probe slot.
+	if ok, _ := q.check(at(11 * time.Second)); !ok {
+		t.Fatal("expired quarantine still rejecting")
+	}
+	if !q.claimProbe(at(11 * time.Second)) {
+		t.Fatal("probe not claimable after expiry")
+	}
+	if q.claimProbe(at(11 * time.Second)) {
+		t.Fatal("second probe claimed while the first is in flight")
+	}
+	if ok, after := q.check(at(11 * time.Second)); ok || after != 20*time.Second {
+		t.Fatalf("probing check = (%v, %v), want (false, 20s hint)", ok, after)
+	}
+	// Failed probe re-trips with the doubled cooldown.
+	if !q.onFailure(at(12 * time.Second)) {
+		t.Fatal("failed probe did not re-trip")
+	}
+	if ok, after := q.check(at(12 * time.Second)); ok || after != 20*time.Second {
+		t.Fatalf("re-tripped check = (%v, %v), want (false, 20s)", ok, after)
+	}
+	// Successful probe clears everything.
+	if !q.claimProbe(at(40 * time.Second)) {
+		t.Fatal("probe not claimable after second expiry")
+	}
+	if !q.onSuccess() {
+		t.Fatal("probe success did not report the clear")
+	}
+	if q.active || q.probing || q.failures != 0 || q.cooldown != 10*time.Second {
+		t.Fatalf("after clear: %+v", q)
+	}
+	// A cleared tenant needs the full threshold again.
+	if q.onFailure(at(50 * time.Second)) {
+		t.Fatal("cleared quarantine tripped on one failure")
+	}
+	if !q.onFailure(at(51 * time.Second)) {
+		t.Fatal("cleared quarantine did not re-trip at threshold")
+	}
+	if window := q.until.Sub(at(51 * time.Second)); window != 10*time.Second {
+		t.Fatalf("cooldown after clear %v, want reset to base", window)
+	}
+}
+
+func TestGrowCooldownCaps(t *testing.T) {
+	base := 10 * time.Second
+	cur := base
+	for i := 0; i < 20; i++ {
+		cur = growCooldown(cur, base)
+		if cur > 8*base {
+			t.Fatalf("step %d: cooldown %v exceeds 8x base", i, cur)
+		}
+	}
+	if cur != 8*base {
+		t.Fatalf("cooldown saturated at %v, want %v", cur, 8*base)
+	}
+}
+
+func TestUnitDeadline(t *testing.T) {
+	const maxD = 15 * time.Minute
+	cases := []struct {
+		name    string
+		base    time.Duration
+		perCost time.Duration
+		cost    int64
+		want    time.Duration
+	}{
+		{"disabled-zero", 0, time.Microsecond, 100, 0},
+		{"disabled-negative", -1, time.Microsecond, 100, 0},
+		{"base-only", time.Minute, 0, 100, time.Minute},
+		{"proportional", time.Minute, time.Microsecond, 1000, time.Minute + time.Millisecond},
+		{"capped", time.Minute, time.Second, 1 << 20, maxD},
+		{"overflow-saturates", time.Minute, time.Second, int64(1) << 62, maxD},
+		{"zero-cost", time.Minute, time.Microsecond, 0, time.Minute},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := unitDeadline(tc.base, tc.perCost, tc.cost, maxD); got != tc.want {
+				t.Fatalf("unitDeadline(%v, %v, %d, %v) = %v, want %v",
+					tc.base, tc.perCost, tc.cost, maxD, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,13 +1,16 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // HTTP API of the batched decomposition service (cmd/ivmfd):
@@ -18,11 +21,20 @@ import (
 //	GET  /v1/predict           single-cell variant (?tenant=&row=&col=)
 //	GET  /v1/topn              top-N columns for a row (?tenant=&row=&n=&exclude=1,2)
 //	GET  /metrics              Prometheus text exposition
-//	GET  /healthz              200 serving / 503 draining
+//	GET  /healthz              200 process alive / 503 draining
+//	GET  /readyz               200 accepting mutations / 503 degraded
 //
 // Every prediction response is computed from exactly one atomically
 // loaded snapshot and reports its version, so concurrent model swaps
 // never produce torn reads.
+//
+// Backpressure contract: queue- and byte-budget rejections answer 429,
+// quarantine and breaker rejections 503, both with a Retry-After header
+// in whole seconds. POST /v1/jobs accepts an Idempotency-Key header
+// ([A-Za-z0-9._:-]{1,64}); retrying a key whose submission was already
+// acknowledged replays the original JobInfo (200, Idempotency-Replayed:
+// true) instead of admitting a duplicate — including across a restart,
+// because acknowledged keys persist in the store's WAL/snapshot meta.
 
 // PredictRequest is the POST /v1/predict body.
 type PredictRequest struct {
@@ -73,6 +85,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/topn", s.handleTopN)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
 }
 
@@ -83,13 +96,23 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps service errors onto HTTP statuses.
+// writeError maps service errors onto HTTP statuses; rejections that
+// carry a retry hint gain a Retry-After header (whole seconds, rounded
+// up, at least 1).
 func writeError(w http.ResponseWriter, err error) {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		secs := int64((ra.after + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	status := http.StatusBadRequest
 	switch {
 	case errors.Is(err, errTooLarge):
 		status = http.StatusRequestEntityTooLarge
-	case errors.Is(err, errDraining):
+	case errors.Is(err, errDraining), errors.Is(err, errQuarantined), errors.Is(err, errStoreUnavailable):
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, errQueueFull):
 		status = http.StatusTooManyRequests
@@ -97,6 +120,8 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusConflict
 	case errors.Is(err, errNotFound):
 		status = http.StatusNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
@@ -116,9 +141,22 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if key := r.Header.Get("Idempotency-Key"); key != "" {
+		if !validIdemKey(key) {
+			s.metrics.addCounter(mRejected, label("reason", reasonInvalid), 1)
+			writeError(w, fmt.Errorf("service: bad Idempotency-Key (want 1-64 chars of [A-Za-z0-9._:-])"))
+			return
+		}
+		req.idemKey = key
+	}
 	info, err := s.Submit(req)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if info.Deduped {
+		w.Header().Set("Idempotency-Replayed", "true")
+		writeJSON(w, http.StatusOK, info)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, info)
@@ -151,14 +189,30 @@ func (s *Service) snapshotFor(tenant string) (*Snapshot, error) {
 	return snap, nil
 }
 
-// predictCells answers a cell list from one snapshot.
-func (s *Service) predictCells(snap *Snapshot, tenant string, cells [][2]int) (*PredictResponse, error) {
+// requestContext applies the configured per-request deadline to a
+// serving request's context.
+func (s *Service) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// predictCells answers a cell list from one snapshot, checking the
+// request deadline periodically so a slow batch cannot outlive its
+// context.
+func (s *Service) predictCells(ctx context.Context, snap *Snapshot, tenant string, cells [][2]int) (*PredictResponse, error) {
 	resp := &PredictResponse{
 		Tenant:      tenant,
 		Version:     snap.Version,
 		Predictions: make([]Prediction, 0, len(cells)),
 	}
-	for _, c := range cells {
+	for i, c := range cells {
+		if i%128 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("service: predict: %w", err)
+			}
+		}
 		iv, err := snap.Pred.PredictInterval(c[0], c[1])
 		if err != nil {
 			return nil, err
@@ -192,7 +246,9 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, err := s.predictCells(snap, req.Tenant, req.Cells)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, err := s.predictCells(ctx, snap, req.Tenant, req.Cells)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -227,7 +283,9 @@ func (s *Service) handlePredictGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp, err := s.predictCells(snap, tenant, [][2]int{{row, col}})
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	resp, err := s.predictCells(ctx, snap, tenant, [][2]int{{row, col}})
 	if err != nil {
 		writeError(w, err)
 		return
@@ -267,6 +325,12 @@ func (s *Service) handleTopN(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		writeError(w, fmt.Errorf("service: topn: %w", err))
+		return
+	}
 	items, err := snap.Pred.TopN(row, n, exclude)
 	if err != nil {
 		writeError(w, err)
@@ -291,4 +355,43 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Status string `json:"status"`
 	}{Status: "ok"})
+}
+
+// readyBody answers /readyz: distinct from /healthz, it reports whether
+// the server is accepting mutations at full capability — not draining,
+// store breaker not open, and which tenants are quarantined.
+type readyBody struct {
+	Status      string   `json:"status"`
+	Breaker     string   `json:"breaker,omitempty"`
+	Quarantined []string `json:"quarantined,omitempty"`
+}
+
+func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	draining := s.draining
+	storeOK := true
+	body := readyBody{}
+	if s.store != nil && s.brk != nil {
+		storeOK, _ = s.brk.allowAdmit(now)
+		body.Breaker = s.brk.state.String()
+	}
+	for name, meta := range s.tenants {
+		if ok, _ := meta.quar.check(now); !ok {
+			body.Quarantined = append(body.Quarantined, name)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(body.Quarantined)
+	status := http.StatusOK
+	body.Status = "ready"
+	switch {
+	case draining:
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case !storeOK:
+		body.Status = "store_open"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
 }

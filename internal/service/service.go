@@ -13,8 +13,10 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -62,6 +64,45 @@ type Config struct {
 	// StoreFS overrides the store's filesystem (fault-injection tests);
 	// nil means the real OS filesystem.
 	StoreFS store.FS
+
+	// Resilience knobs. Zero values mean the documented defaults;
+	// negative values disable the mechanism.
+
+	// DeadlineBase, DeadlinePerCost, and DeadlineMax bound a unit's
+	// execution time at base + perCost×cost, capped at max, under the
+	// injected clock/timer. A unit past its deadline fails (the tenant's
+	// previous snapshot keeps serving); DeadlineBase < 0 disables
+	// deadlines.
+	DeadlineBase    time.Duration
+	DeadlinePerCost time.Duration
+	DeadlineMax     time.Duration
+	// QuarantineAfter quarantines a tenant after this many consecutive
+	// failed execution units; QuarantineCooldown is the first rejection
+	// period (doubling per re-trip, capped). QuarantineAfter < 0
+	// disables quarantine.
+	QuarantineAfter    int
+	QuarantineCooldown time.Duration
+	// BreakerThreshold trips the store circuit breaker after this many
+	// consecutive exhausted persist operations; BreakerCooldown is the
+	// first open period. BreakerThreshold < 0 disables the breaker.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MaxPendingBytes caps the estimated resident payload bytes across
+	// all queued jobs; admission past it rejects with 429/Retry-After.
+	// < 0 disables the budget.
+	MaxPendingBytes int64
+	// RetryAfterHint is the Retry-After value attached to queue- and
+	// byte-budget rejections (quarantine/breaker rejections report their
+	// actual remaining cooldown).
+	RetryAfterHint time.Duration
+	// RequestTimeout bounds predict/topn request handling; < 0 disables
+	// the per-request deadline.
+	RequestTimeout time.Duration
+	// After is the injected deadline timer (nil = time.After); Sleep is
+	// the injected persist-backoff sleeper (nil = time.Sleep). Tests
+	// inject both to make timing paths deterministic.
+	After func(time.Duration) <-chan time.Time
+	Sleep func(time.Duration)
 }
 
 // Service defaults.
@@ -69,6 +110,17 @@ const (
 	DefaultBudget       = int64(1) << 22 // ~4M cost units per round
 	DefaultMaxBodyBytes = int64(16) << 20
 	DefaultMaxQueue     = 64
+
+	// DefaultDeadlineBase/PerCost/Max bound unit execution time.
+	DefaultDeadlineBase    = 2 * time.Minute
+	DefaultDeadlinePerCost = 2 * time.Microsecond
+	DefaultDeadlineMax     = 15 * time.Minute
+	// DefaultMaxPendingBytes caps resident queued payloads.
+	DefaultMaxPendingBytes = int64(256) << 20
+	// DefaultRetryAfterHint is the backpressure retry hint.
+	DefaultRetryAfterHint = time.Second
+	// DefaultRequestTimeout bounds predict/topn handling.
+	DefaultRequestTimeout = 30 * time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -96,6 +148,42 @@ func (c Config) withDefaults() Config {
 	if c.PersistBackoff <= 0 {
 		c.PersistBackoff = DefaultPersistBackoff
 	}
+	if c.DeadlineBase == 0 {
+		c.DeadlineBase = DefaultDeadlineBase
+	}
+	if c.DeadlinePerCost == 0 {
+		c.DeadlinePerCost = DefaultDeadlinePerCost
+	}
+	if c.DeadlineMax <= 0 {
+		c.DeadlineMax = DefaultDeadlineMax
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = DefaultQuarantineAfter
+	}
+	if c.QuarantineCooldown <= 0 {
+		c.QuarantineCooldown = DefaultQuarantineCooldown
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.MaxPendingBytes == 0 {
+		c.MaxPendingBytes = DefaultMaxPendingBytes
+	}
+	if c.RetryAfterHint <= 0 {
+		c.RetryAfterHint = DefaultRetryAfterHint
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.After == nil {
+		c.After = time.After
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
 	return c
 }
 
@@ -120,14 +208,19 @@ type JobInfo struct {
 	Version uint64   `json:"version,omitempty"` // snapshot the job published
 	// LatencyMs is admission→completion wall time, set on done/failed.
 	LatencyMs float64 `json:"latencyMs,omitempty"`
+	// Deduped reports that this response replays an earlier admission
+	// acknowledged under the same Idempotency-Key — no new job was
+	// created.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // jobRecord is the service-side job ledger entry: scheduling identity,
 // payload, and status.
 type jobRecord struct {
-	job  sched.Job
-	req  *jobRequest
-	info JobInfo
+	job   sched.Job
+	req   *jobRequest
+	bytes int64 // payload estimate charged against MaxPendingBytes
+	info  JobInfo
 }
 
 // tenantMeta is what admission remembers about a tenant's model before
@@ -137,6 +230,7 @@ type tenantMeta struct {
 	rows, cols int
 	rank       int
 	store      *snapStore
+	quar       quarantine
 }
 
 // Service is the batched decomposition service. Create with New, start
@@ -152,6 +246,17 @@ type Service struct {
 	tenants  map[string]*tenantMeta
 	seq      uint64
 	draining bool
+	// pendingBytes is the estimated resident payload total of queued
+	// jobs; idem maps tenant\x00key to the acknowledged job ID; brk is
+	// the store circuit breaker (nil when disabled or storeless);
+	// quarCount tracks the quarantined-tenants gauge.
+	pendingBytes int64
+	idem         map[string]uint64
+	brk          *breaker
+	quarCount    int
+
+	fpMu       sync.Mutex
+	failpoints map[string][]*armedFailpoint
 
 	wake     chan struct{}
 	loopDone chan struct{}
@@ -160,14 +265,19 @@ type Service struct {
 
 // New builds a Service with the given configuration.
 func New(cfg Config) *Service {
-	return &Service{
+	s := &Service{
 		cfg:      cfg.withDefaults(),
 		metrics:  newServiceRegistry(),
 		jobs:     make(map[uint64]*jobRecord),
 		tenants:  make(map[string]*tenantMeta),
+		idem:     make(map[string]uint64),
 		wake:     make(chan struct{}, 1),
 		loopDone: make(chan struct{}),
 	}
+	if s.cfg.BreakerThreshold > 0 {
+		s.brk = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown)
+	}
+	return s
 }
 
 // Start launches the executor loop. It must be called exactly once.
@@ -219,12 +329,28 @@ func (s *Service) signalWake() {
 
 // rejection reasons for the rejected-jobs counter.
 const (
-	reasonDraining  = "draining"
-	reasonQueueFull = "queue_full"
-	reasonNoModel   = "no_model"
-	reasonShape     = "shape_mismatch"
-	reasonInvalid   = "invalid"
+	reasonDraining    = "draining"
+	reasonQueueFull   = "queue_full"
+	reasonByteBudget  = "byte_budget"
+	reasonQuarantined = "quarantined"
+	reasonStoreOpen   = "store_open"
+	reasonNoModel     = "no_model"
+	reasonShape       = "shape_mismatch"
+	reasonInvalid     = "invalid"
 )
+
+// newTenantMeta builds a tenant's admission record with its quarantine
+// initialized from the service configuration.
+func (s *Service) newTenantMeta() *tenantMeta {
+	return &tenantMeta{
+		store: &snapStore{},
+		quar:  newQuarantine(s.cfg.QuarantineAfter, s.cfg.QuarantineCooldown),
+	}
+}
+
+// idemMapKey scopes an idempotency key to its tenant; NUL cannot appear
+// in either per the admission grammars.
+func idemMapKey(tenant, key string) string { return tenant + "\x00" + key }
 
 func (s *Service) reject(reason string, err error) (JobInfo, error) {
 	s.metrics.addCounter(mRejected, label("reason", reason), 1)
@@ -233,12 +359,39 @@ func (s *Service) reject(reason string, err error) (JobInfo, error) {
 
 // Submit admits a decoded job request: prices it, appends it to the
 // tenant's queue, and wakes the executor. It returns the queued job's
-// info or the admission error.
+// info or the admission error. A request whose idempotency key matches
+// an already-acknowledged admission replays that job's info (Deduped
+// set) instead of creating a new job — even while draining or
+// quarantined, so client retries converge.
 func (s *Service) Submit(req *jobRequest) (JobInfo, error) {
+	now := s.cfg.Clock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if req.idemKey != "" {
+		if id, ok := s.idem[idemMapKey(req.tenant, req.idemKey)]; ok {
+			if rec := s.jobs[id]; rec != nil {
+				info := rec.info
+				info.Deduped = true
+				s.metrics.addCounter(mResIdemReplays, "", 1)
+				return info, nil
+			}
+		}
+	}
 	if s.draining {
 		return s.reject(reasonDraining, errDraining)
+	}
+	meta := s.tenants[req.tenant]
+	if meta != nil && s.cfg.QuarantineAfter > 0 {
+		if ok, after := meta.quar.check(now); !ok {
+			return s.reject(reasonQuarantined, withRetryAfter(
+				fmt.Errorf("%w: tenant %q is failing jobs", errQuarantined, req.tenant), after))
+		}
+	}
+	if s.store != nil && s.brk != nil {
+		if ok, after := s.brk.allowAdmit(now); !ok {
+			return s.reject(reasonStoreOpen, withRetryAfter(
+				fmt.Errorf("%w: circuit open after consecutive persist failures", errStoreUnavailable), after))
+		}
 	}
 	depth := 0
 	for _, j := range s.pending {
@@ -247,10 +400,14 @@ func (s *Service) Submit(req *jobRequest) (JobInfo, error) {
 		}
 	}
 	if depth >= s.cfg.MaxQueue {
-		return s.reject(reasonQueueFull, fmt.Errorf("%w: %d pending jobs for %q", errQueueFull, depth, req.tenant))
+		return s.reject(reasonQueueFull, withRetryAfter(
+			fmt.Errorf("%w: %d pending jobs for %q", errQueueFull, depth, req.tenant), s.cfg.RetryAfterHint))
+	}
+	if s.cfg.MaxPendingBytes > 0 && s.pendingBytes > 0 && s.pendingBytes+req.bytes > s.cfg.MaxPendingBytes {
+		return s.reject(reasonByteBudget, withRetryAfter(
+			fmt.Errorf("%w: %d resident payload bytes", errQueueFull, s.pendingBytes), s.cfg.RetryAfterHint))
 	}
 
-	meta := s.tenants[req.tenant]
 	var cost int64
 	switch req.kind {
 	case sched.Decompose:
@@ -260,7 +417,7 @@ func (s *Service) Submit(req *jobRequest) (JobInfo, error) {
 		}
 		cost = int64(req.base.NNZ()) * int64(rank)
 		if meta == nil {
-			meta = &tenantMeta{store: &snapStore{}}
+			meta = s.newTenantMeta()
 			s.tenants[req.tenant] = meta
 		}
 		// Updates admitted after this job are judged against the new
@@ -279,6 +436,10 @@ func (s *Service) Submit(req *jobRequest) (JobInfo, error) {
 	if cost < 1 {
 		cost = 1
 	}
+	if s.cfg.QuarantineAfter > 0 && meta.quar.claimProbe(now) {
+		// This admission is the quarantined tenant's single probe job.
+		s.metrics.addCounter(mResQuarTrans, label("event", "probe"), 1)
+	}
 
 	s.seq++
 	job := sched.Job{
@@ -288,14 +449,18 @@ func (s *Service) Submit(req *jobRequest) (JobInfo, error) {
 		Kind:        req.kind,
 		Cost:        cost,
 		Coalescable: req.kind == sched.Update,
-		Submitted:   s.cfg.Clock(),
+		Submitted:   now,
 	}
-	rec := &jobRecord{job: job, req: req, info: JobInfo{
+	rec := &jobRecord{job: job, req: req, bytes: req.bytes, info: JobInfo{
 		ID: job.ID, Tenant: job.Tenant, Kind: job.Kind.String(),
 		State: JobQueued, Cost: cost,
 	}}
 	s.jobs[job.ID] = rec
 	s.pending = append(s.pending, job)
+	s.pendingBytes += req.bytes
+	if req.idemKey != "" {
+		s.idem[idemMapKey(req.tenant, req.idemKey)] = job.ID
+	}
 	s.metrics.addCounter(mAdmitted, label("kind", job.Kind.String()), 1)
 	s.metrics.setGauge(mQueueDepth, label("tenant", job.Tenant), float64(depth+1))
 	info := rec.info
@@ -356,7 +521,9 @@ func (s *Service) loop() {
 }
 
 // finish records a unit's outcome for all its jobs and removes them
-// from the queue.
+// from the queue. Outcomes feed the tenant's quarantine: any failure
+// except a store outage (the breaker's domain, not the tenant's fault)
+// counts toward tripping it, and a success clears it.
 func (s *Service) finish(unit sched.Unit, version uint64, err error) {
 	now := s.cfg.Clock()
 	s.mu.Lock()
@@ -376,6 +543,8 @@ func (s *Service) finish(unit sched.Unit, version uint64, err error) {
 			rec.info.Version = version
 			s.metrics.addCounter(mCompleted, kind, 1)
 		}
+		s.pendingBytes -= rec.bytes
+		rec.bytes = 0
 		rec.req = nil // payload is no longer needed; release the memory
 		s.metrics.observe(mJobLatency, kind, now.Sub(j.Submitted).Seconds())
 	}
@@ -394,30 +563,148 @@ func (s *Service) finish(unit sched.Unit, version uint64, err error) {
 	if err == nil {
 		s.metrics.setGauge(mSnapVer, label("tenant", unit.Tenant), float64(version))
 	}
+	if meta := s.tenants[unit.Tenant]; meta != nil && s.cfg.QuarantineAfter > 0 {
+		switch {
+		case err == nil:
+			if meta.quar.onSuccess() {
+				s.quarCount--
+				s.metrics.addCounter(mResQuarTrans, label("event", "cleared"), 1)
+			}
+		case errors.Is(err, errStoreUnavailable):
+			// A store outage is not the tenant's fault; the probe slot
+			// reopens without re-tripping.
+			meta.quar.probing = false
+		default:
+			wasActive := meta.quar.active
+			if meta.quar.onFailure(now) {
+				if !wasActive {
+					s.quarCount++
+				}
+				s.metrics.addCounter(mResQuarTrans, label("event", "tripped"), 1)
+			}
+		}
+		s.metrics.setGauge(mResQuarantined, "", float64(s.quarCount))
+	}
 }
 
 // execUnit runs one scheduled unit to completion and publishes the
-// resulting snapshot.
+// resulting snapshot. The unit runs under a recover guard and a
+// cost-proportional deadline; with the store breaker open it fails
+// fast instead of queueing behind a dead disk.
 func (s *Service) execUnit(unit sched.Unit) {
+	now := s.cfg.Clock()
 	s.mu.Lock()
-	recs := make([]*jobRecord, len(unit.Jobs))
+	reqs := make([]*jobRequest, len(unit.Jobs))
 	for i, j := range unit.Jobs {
-		recs[i] = s.jobs[j.ID]
-		recs[i].info.State = JobRunning
+		rec := s.jobs[j.ID]
+		rec.info.State = JobRunning
+		reqs[i] = rec.req
 	}
 	meta := s.tenants[unit.Tenant]
+	brkOK := true
+	if s.store != nil && s.brk != nil {
+		prev := s.brk.state
+		brkOK = s.brk.allowExec(now)
+		s.noteBreakerState(prev)
+	}
 	s.mu.Unlock()
+	if !brkOK {
+		s.finish(unit, 0, fmt.Errorf("%w: circuit open, failing fast", errStoreUnavailable))
+		return
+	}
 	if len(unit.Jobs) > 1 {
 		s.metrics.addCounter(mCoalesced, "", float64(len(unit.Jobs)-1))
 	}
 
-	version, err := s.runUnit(unit, recs, meta)
+	version, err := s.runGuarded(unit, reqs, meta)
 	s.finish(unit, version, err)
 }
 
+// noteBreakerState emits breaker metrics after a possible transition;
+// the caller holds s.mu and passes the state before the mutation.
+func (s *Service) noteBreakerState(prev breakerState) {
+	if s.brk.state != prev {
+		s.metrics.addCounter(mResBreakerTrans, label("to", s.brk.state.String()), 1)
+	}
+	s.metrics.setGauge(mResBreaker, "", float64(s.brk.state))
+}
+
+// noteStoreOutcome feeds one finished persist operation (after retries)
+// into the circuit breaker.
+func (s *Service) noteStoreOutcome(failed bool) {
+	if s.brk == nil {
+		return
+	}
+	now := s.cfg.Clock()
+	s.mu.Lock()
+	prev := s.brk.state
+	if failed {
+		s.brk.onFailure(now)
+	} else {
+		s.brk.onSuccess()
+	}
+	s.noteBreakerState(prev)
+	s.mu.Unlock()
+}
+
+// unitResult carries a guarded unit's outcome across the goroutine
+// boundary.
+type unitResult struct {
+	version uint64
+	err     error
+}
+
+// runGuarded executes the unit in its own goroutine with a recover
+// guard and a cost-proportional deadline. A panic fails only this unit;
+// a deadline overrun abandons it — the claimed flag guarantees an
+// abandoned unit can never persist or publish, so the ledger and the
+// durable chain never diverge. If publication already began when the
+// timer fires, the guard waits for it instead: a result that may reach
+// disk must also reach the ledger.
+func (s *Service) runGuarded(unit sched.Unit, reqs []*jobRequest, meta *tenantMeta) (uint64, error) {
+	claimed := new(atomic.Bool)
+	done := make(chan unitResult, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.metrics.addCounter(mResPanics, label("tenant", unit.Tenant), 1)
+				done <- unitResult{err: fmt.Errorf("%w: %v", errPanic, r)}
+			}
+		}()
+		if err := s.failpoint(FailExec, unit.Tenant); err != nil {
+			done <- unitResult{err: err}
+			return
+		}
+		v, err := s.runUnit(unit, reqs, meta, claimed)
+		done <- unitResult{version: v, err: err}
+	}()
+	limit := unitDeadline(s.cfg.DeadlineBase, s.cfg.DeadlinePerCost, unit.Cost, s.cfg.DeadlineMax)
+	var timeout <-chan time.Time
+	if limit > 0 {
+		timeout = s.cfg.After(limit)
+	}
+	select {
+	case res := <-done:
+		return res.version, res.err
+	case <-timeout:
+		if claimed.CompareAndSwap(false, true) {
+			// The unit never reached its publication point; abandon it.
+			// The goroutine may keep computing but can never persist a
+			// record or swap a snapshot.
+			s.metrics.addCounter(mResDeadline, label("tenant", unit.Tenant), 1)
+			return 0, fmt.Errorf("%w: %s unit over %v", errDeadline, unit.Tenant, limit)
+		}
+		res := <-done
+		return res.version, res.err
+	}
+}
+
 // runUnit executes the unit's work: a decomposition, or a (possibly
-// coalesced) update run against the tenant's current snapshot.
-func (s *Service) runUnit(unit sched.Unit, recs []*jobRecord, meta *tenantMeta) (uint64, error) {
+// coalesced) update run against the tenant's current snapshot. The
+// claimed flag is the publication gate shared with the deadline guard:
+// runUnit must win the claim before anything persists or publishes, so
+// an abandoned unit leaves no durable or served trace.
+func (s *Service) runUnit(unit sched.Unit, reqs []*jobRequest, meta *tenantMeta, claimed *atomic.Bool) (uint64, error) {
 	prev := meta.store.load()
 	var prevVersion uint64
 	if prev != nil {
@@ -426,7 +713,7 @@ func (s *Service) runUnit(unit sched.Unit, recs []*jobRecord, meta *tenantMeta) 
 
 	switch unit.Jobs[0].Kind {
 	case sched.Decompose:
-		req := recs[0].req
+		req := reqs[0]
 		opts := req.opts
 		opts.Updatable = true
 		if opts.Workers == 0 {
@@ -449,6 +736,9 @@ func (s *Service) runUnit(unit sched.Unit, recs []*jobRecord, meta *tenantMeta) 
 			Cols:    req.base.Cols,
 			Rank:    d.Rank,
 		}
+		if !claimed.CompareAndSwap(false, true) {
+			return 0, fmt.Errorf("%w: result discarded", errDeadline)
+		}
 		if s.store != nil {
 			// Durability before acknowledgement: the snapshot reaches
 			// disk (fsync + atomic rename) before the job can report
@@ -456,6 +746,7 @@ func (s *Service) runUnit(unit sched.Unit, recs []*jobRecord, meta *tenantMeta) 
 			err := s.persistSnapshot(unit.Tenant, d, store.SnapshotMeta{
 				Seq: next.Version, JobID: next.JobID,
 				MinRating: req.min, MaxRating: req.max,
+				IdemKey: req.idemKey,
 			})
 			if err != nil {
 				return 0, err
@@ -473,11 +764,11 @@ func (s *Service) runUnit(unit sched.Unit, recs []*jobRecord, meta *tenantMeta) 
 		// cell), applied as a single factor update and one snapshot
 		// swap. The merge is deterministic: jobs in admission order,
 		// first-touch cell order.
-		last := recs[len(recs)-1].req
-		merged := make([]sparse.ITriplet, 0, len(recs[0].req.patch))
+		last := reqs[len(reqs)-1]
+		merged := make([]sparse.ITriplet, 0, len(reqs[0].patch))
 		at := make(map[[2]int]int)
-		for _, rec := range recs {
-			for _, t := range rec.req.patch {
+		for _, req := range reqs {
+			for _, t := range req.patch {
 				key := [2]int{t.Row, t.Col}
 				if i, ok := at[key]; ok {
 					merged[i] = t
@@ -512,13 +803,25 @@ func (s *Service) runUnit(unit sched.Unit, recs []*jobRecord, meta *tenantMeta) 
 			Cols:    prev.Cols,
 			Rank:    prev.Rank,
 		}
+		if !claimed.CompareAndSwap(false, true) {
+			return 0, fmt.Errorf("%w: result discarded", errDeadline)
+		}
 		if s.store != nil {
 			// The merged patch and the refresh policy that shaped d2 go
 			// to the write-ahead log (fsynced) before the job can be
-			// acknowledged; replay re-derives d2 bitwise from them.
+			// acknowledged; replay re-derives d2 bitwise from them. The
+			// record also carries every coalesced job's idempotency key,
+			// so a restarted server still dedupes their retries.
+			var acked []store.IdemAck
+			for i, req := range reqs {
+				if req.idemKey != "" {
+					acked = append(acked, store.IdemAck{JobID: unit.Jobs[i].ID, Key: req.idemKey})
+				}
+			}
 			err := s.persistUpdate(unit.Tenant, next, &store.WALRecord{
 				Seq: next.Version, JobID: next.JobID,
 				Refresh: opts.Refresh, RefreshBudget: opts.RefreshBudget,
+				Acked: acked,
 				Delta: core.Delta{Patch: merged},
 			})
 			if err != nil {

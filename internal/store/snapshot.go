@@ -15,9 +15,9 @@ import (
 	"repro/internal/sparse"
 )
 
-// Snapshot file format, version 1 ("IVMFSNP1"):
+// Snapshot file format, version 2 ("IVMFSNP2"):
 //
-//	[0,8)            magic "IVMFSNP1"
+//	[0,8)            magic "IVMFSNP2"
 //	[8,12)           u32 header length H
 //	[12,12+H)        header (fixed little-endian fields, see snapHeader)
 //	[12+H,16+H)      u32 CRC32C of the header
@@ -45,7 +45,7 @@ import (
 // Int64 array order: M.RowPtr (n+1), M.ColInd (nnz).
 
 const (
-	snapMagic   = "IVMFSNP1"
+	snapMagic   = "IVMFSNP2"
 	snapMaxDiag = 4
 )
 
@@ -63,12 +63,16 @@ var hostLE = func() bool {
 // state: the per-tenant publish sequence number, the job that published
 // it, and the rating clamp the serving predictor was built with (so a
 // restart rebuilds a bitwise-identical predictor; MaxRating <=
-// MinRating means unclamped).
+// MinRating means unclamped). IdemKey, when non-empty, is the
+// idempotency key the publishing job was acknowledged under, so a
+// restarted server can answer a retried submission with the original
+// acknowledgement.
 type SnapshotMeta struct {
 	Seq       uint64
 	JobID     uint64
 	MinRating float64
 	MaxRating float64
+	IdemKey   string
 }
 
 // SnapshotPayload is a decoded snapshot: the complete persistent engine
@@ -99,6 +103,7 @@ type snapHeader struct {
 	jobID    uint64
 	minRat   float64
 	maxRat   float64
+	idemKey  string
 	resAcc   float64
 	n, m     uint32
 	nnz      uint64
@@ -256,7 +261,7 @@ func DecodeSnapshot(data []byte) (*SnapshotPayload, error) {
 	}
 	ps.M = &sparse.ICSR{Rows: int(h.n), Cols: int(h.m), RowPtr: rowPtr, ColInd: colInd, Lo: mLo, Hi: mHi}
 	return &SnapshotPayload{
-		Meta:     SnapshotMeta{Seq: h.seq, JobID: h.jobID, MinRating: h.minRat, MaxRating: h.maxRat},
+		Meta:     SnapshotMeta{Seq: h.seq, JobID: h.jobID, MinRating: h.minRat, MaxRating: h.maxRat, IdemKey: h.idemKey},
 		State:    ps,
 		ZeroCopy: zeroCopy,
 	}, nil
@@ -286,6 +291,7 @@ func headerFor(ps *core.PersistentState, meta SnapshotMeta) (*snapHeader, error)
 		jobID:   meta.JobID,
 		minRat:  meta.MinRating,
 		maxRat:  meta.MaxRating,
+		idemKey: meta.IdemKey,
 		resAcc:  ps.ResAcc,
 		n:       uint32(ps.M.Rows),
 		m:       uint32(ps.M.Cols),
@@ -296,6 +302,11 @@ func headerFor(ps *core.PersistentState, meta SnapshotMeta) (*snapHeader, error)
 			}
 			return 1
 		}(),
+	}
+	if h.idemKey != "" {
+		if err := checkIdemKey(h.idemKey); err != nil {
+			return nil, err
+		}
 	}
 	if ps.Opts.ExactAlgebra {
 		h.exactAlg = 1
@@ -320,7 +331,7 @@ func headerFor(ps *core.PersistentState, meta SnapshotMeta) (*snapHeader, error)
 
 // snapHeaderLen is the exact encoded header size; decode rejects any
 // other length, so format evolution must bump the magic.
-const snapHeaderLen = 15*4 + 9*8 + 2 // fifteen u32s, nine 8-byte fields, two bytes
+const snapHeaderLen = 15*4 + 9*8 + 2 + 1 + MaxIdemKeyLen // v1 fields + idem key length byte + fixed key field
 
 func (h *snapHeader) encode() []byte {
 	b := make([]byte, 0, snapHeaderLen)
@@ -342,6 +353,14 @@ func (h *snapHeader) encode() []byte {
 	u64(h.jobID)
 	f64(h.minRat)
 	f64(h.maxRat)
+	// Fixed-width idempotency key field: u8 length, then MaxIdemKeyLen
+	// bytes (key, zero padded) — fixed so the header length stays
+	// constant and decode keeps its exact-size check.
+	b = append(b, byte(len(h.idemKey)))
+	b = append(b, h.idemKey...)
+	for i := len(h.idemKey); i < MaxIdemKeyLen; i++ {
+		b = append(b, 0)
+	}
 	f64(h.resAcc)
 	u32(h.n)
 	u32(h.m)
@@ -380,6 +399,18 @@ func decodeHeader(b []byte) (*snapHeader, error) {
 	h.jobID = u64()
 	h.minRat = f64()
 	h.maxRat = f64()
+	klen := int(u8())
+	kraw := b[off : off+MaxIdemKeyLen]
+	off += MaxIdemKeyLen
+	if klen > MaxIdemKeyLen {
+		return nil, fmt.Errorf("store: snapshot: idempotency key length %d exceeds %d", klen, MaxIdemKeyLen)
+	}
+	for _, c := range kraw[klen:] {
+		if c != 0 {
+			return nil, fmt.Errorf("store: snapshot: nonzero padding in idempotency key field")
+		}
+	}
+	h.idemKey = string(kraw[:klen])
 	h.resAcc = f64()
 	h.n = u32()
 	h.m = u32()

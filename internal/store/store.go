@@ -97,6 +97,11 @@ type Recovered struct {
 	// recorded at snapshot time (Max <= Min means unclamped).
 	MinRating float64
 	MaxRating float64
+	// Acked lists the idempotency keys whose jobs are durably part of the
+	// recovered state: the snapshot's own key (if any) plus every key
+	// acknowledged by a replayed log record. The window is bounded by
+	// compaction — keys retired with an old generation are forgotten.
+	Acked []IdemAck
 	// Gen is the generation recovered from; Replayed counts log records
 	// applied on top of the snapshot. Degraded reports that a newer
 	// generation existed but was unreadable. ZeroCopy reports that the
@@ -241,6 +246,9 @@ func (s *Store) recoverGeneration(tenant string, gen uint64) (*Recovered, error)
 		Gen:       gen,
 		ZeroCopy:  zeroCopy,
 	}
+	if key := payload.Meta.IdemKey; key != "" {
+		rec.Acked = append(rec.Acked, IdemAck{JobID: payload.Meta.JobID, Key: key})
+	}
 	if err := s.replayWAL(tenant, gen, rec, payload.State.Opts); err != nil {
 		_ = unmap()
 		return nil, err
@@ -302,6 +310,7 @@ func (s *Store) replayWAL(tenant string, gen uint64, rec *Recovered, opts core.O
 		rec.Decomp = d2
 		rec.Seq = wr.Seq
 		rec.JobID = wr.JobID
+		rec.Acked = append(rec.Acked, wr.Acked...)
 		rec.Replayed++
 	}
 	if validLen < int64(len(data)) {

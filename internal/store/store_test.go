@@ -881,3 +881,53 @@ func TestCheckTenantRejectsTraversal(t *testing.T) {
 		}
 	}
 }
+
+// TestRecoverReturnsAckedKeys pins the idempotency window the service
+// rebuilds on restart: the snapshot's own key plus every key
+// acknowledged by a replayed log record, in log order.
+func TestRecoverReturnsAckedKeys(t *testing.T) {
+	fs := NewMemFS()
+	st, err := Open("data", Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, sp := testDecomp(t, core.ISVD4)
+	ps, err := d.ExportState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSnapshot("t", ps, SnapshotMeta{Seq: 1, JobID: 5, IdemKey: "boot:1"}); err != nil {
+		t.Fatal(err)
+	}
+	// One record acking one key, one coalesced record acking two.
+	if _, err := st.AppendDelta("t", &WALRecord{
+		Seq: 2, JobID: 6,
+		Acked: []IdemAck{{JobID: 6, Key: "u:1"}},
+		Delta: core.Delta{Patch: testPatch(sp, 1)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AppendDelta("t", &WALRecord{
+		Seq: 3, JobID: 8,
+		Acked: []IdemAck{{JobID: 7, Key: "u:2a"}, {JobID: 8, Key: "u:2b"}},
+		Delta: core.Delta{Patch: testPatch(sp, 2)},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.Recover("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []IdemAck{{5, "boot:1"}, {6, "u:1"}, {7, "u:2a"}, {8, "u:2b"}}
+	if len(rec.Acked) != len(want) {
+		t.Fatalf("Acked = %+v, want %+v", rec.Acked, want)
+	}
+	for i := range want {
+		if rec.Acked[i] != want[i] {
+			t.Fatalf("Acked[%d] = %+v, want %+v", i, rec.Acked[i], want[i])
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

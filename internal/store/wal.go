@@ -10,9 +10,9 @@ import (
 	"repro/internal/sparse"
 )
 
-// Write-ahead log format, version 1 ("IVMFWAL1"):
+// Write-ahead log format, version 2 ("IVMFWAL2"):
 //
-//	[0,8)   magic "IVMFWAL1"
+//	[0,8)   magic "IVMFWAL2"
 //	[8,16)  u64 generation — the snapshot this log extends
 //	records, each:
 //	  u32 payload length
@@ -25,6 +25,10 @@ import (
 //	u64 seq, u64 jobID
 //	u32 refresh policy, f64 refresh budget   (the Update options that
 //	                                          change results)
+//	u16 acked-key count, then per key: u64 jobID, u8 len, len bytes
+//	                                   (idempotency keys acknowledged
+//	                                    by this record, one per
+//	                                    coalesced job that carried one)
 //	u8 flags: bit0 append-rows, bit1 append-cols, bit2 patch
 //	per present ICSR: u32 rows, u32 cols, u64 nnz,
 //	                  i64 rowptr[rows+1], i64 colind[nnz],
@@ -38,9 +42,31 @@ import (
 // acknowledged, so no acknowledged update is ever lost.
 
 const (
-	walMagic     = "IVMFWAL1"
+	walMagic     = "IVMFWAL2"
 	walHeaderLen = 16
 )
+
+// MaxIdemKeyLen bounds an idempotency key's byte length in both on-disk
+// formats (the snapshot header reserves a fixed field of this size).
+const MaxIdemKeyLen = 64
+
+// IdemAck records that the job identified by JobID was acknowledged
+// under the client-supplied idempotency key Key. Persisting the pair
+// with the state the job produced lets a restarted server answer a
+// retried submission with the original acknowledgement instead of
+// running the job twice.
+type IdemAck struct {
+	JobID uint64
+	Key   string
+}
+
+// checkIdemKey validates one persisted idempotency key.
+func checkIdemKey(key string) error {
+	if key == "" || len(key) > MaxIdemKeyLen {
+		return fmt.Errorf("store: idempotency key length %d outside 1..%d", len(key), MaxIdemKeyLen)
+	}
+	return nil
+}
 
 // WALRecord is one replayable update.
 type WALRecord struct {
@@ -48,7 +74,10 @@ type WALRecord struct {
 	JobID         uint64
 	Refresh       core.Refresh
 	RefreshBudget float64
-	Delta         core.Delta
+	// Acked lists the idempotency keys acknowledged by this record —
+	// one entry per coalesced job whose submission carried a key.
+	Acked []IdemAck
+	Delta core.Delta
 }
 
 // EncodeWALRecord serializes one record payload (framing excluded).
@@ -62,6 +91,18 @@ func EncodeWALRecord(rec *WALRecord) ([]byte, error) {
 	b = binary.LittleEndian.AppendUint64(b, rec.JobID)
 	b = binary.LittleEndian.AppendUint32(b, uint32(rec.Refresh))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rec.RefreshBudget))
+	if len(rec.Acked) > math.MaxUint16 {
+		return nil, fmt.Errorf("store: wal: %d acked keys exceed %d", len(rec.Acked), math.MaxUint16)
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(rec.Acked)))
+	for _, a := range rec.Acked {
+		if err := checkIdemKey(a.Key); err != nil {
+			return nil, err
+		}
+		b = binary.LittleEndian.AppendUint64(b, a.JobID)
+		b = append(b, byte(len(a.Key)))
+		b = append(b, a.Key...)
+	}
 	var flags byte
 	if d.AppendRows != nil {
 		flags |= 1
@@ -108,6 +149,26 @@ func DecodeWALRecord(b []byte) (*WALRecord, error) {
 	rec.JobID = r.u64("jobID")
 	rec.Refresh = core.Refresh(r.u32("refresh"))
 	rec.RefreshBudget = math.Float64frombits(r.u64("refreshBudget"))
+	if count := int(r.u16("acked count")); r.err == nil && count > 0 {
+		// Each entry is at least 9 bytes (jobID + key length), so the
+		// remaining payload bounds the allocation.
+		if count*9 > len(r.b)-r.off {
+			return nil, fmt.Errorf("store: wal: %d acked keys exceed %d remaining bytes at offset %d", count, len(r.b)-r.off, r.off)
+		}
+		rec.Acked = make([]IdemAck, 0, count)
+		for i := 0; i < count; i++ {
+			jobID := r.u64("acked jobID")
+			klen := int(r.u8("acked key length"))
+			key := r.need(klen, "acked key")
+			if r.err != nil {
+				return nil, r.err
+			}
+			if err := checkIdemKey(string(key)); err != nil {
+				return nil, fmt.Errorf("%w at offset %d", err, r.off-klen)
+			}
+			rec.Acked = append(rec.Acked, IdemAck{JobID: jobID, Key: string(key)})
+		}
+	}
 	flags := r.u8("flags")
 	if r.err == nil && (flags == 0 || flags > 7) {
 		return nil, fmt.Errorf("store: wal: record flags %#x invalid at offset %d", flags, r.off-1)
@@ -172,6 +233,14 @@ func (r *walReader) u8(field string) byte {
 		return 0
 	}
 	return s[0]
+}
+
+func (r *walReader) u16(field string) uint16 {
+	s := r.need(2, field)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(s)
 }
 
 func (r *walReader) u32(field string) uint32 {
