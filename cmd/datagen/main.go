@@ -21,6 +21,15 @@
 // and <out>.delta.K.coo.csv (K = 1..N) each hold one arriving batch in
 // the delta COO format of internal/dataset (together ~10% of the
 // observed cells).
+//
+// Adding -window turns the stream into a sliding window: each delta
+// additionally carries tombstone records ("row,col,x") expiring exactly
+// as many of the oldest live cells as arrive, so replaying the batches
+// keeps the live-cell count constant — the reproducible input of the
+// sliding-window scenarios (cmd/experiments window, cmd/ivmfload
+// -scenario window):
+//
+//	datagen -kind ratings -scale 0.1 -format coo -batches 5 -window -out win
 package main
 
 import (
@@ -47,17 +56,18 @@ func main() {
 	density := flag.Float64("density", 0, "observed-cell fraction: ratings NumRatings override, or 1-zerofrac for uniform (0 = dataset default)")
 	format := flag.String("format", "csv", "csv (dense interval CSV) | coo (sparse interval COO)")
 	batches := flag.Int("batches", 0, "emit a base COO file plus N delta files for the streaming scenario (requires -format coo and -out)")
+	window := flag.Bool("window", false, "with -batches, emit sliding-window delta files: each batch carries arriving cells plus tombstones expiring equally many of the oldest live cells")
 	out := flag.String("out", "", "output file prefix for -batches (files <out>.base.coo.csv, <out>.delta.K.coo.csv)")
 	seed := flag.Int64("seed", 1, "RNG seed")
 	flag.Parse()
 
-	if err := run(os.Stdout, *kind, *rows, *cols, *zeroFrac, *intDensity, *intensity, *privacy, *scale, *density, *format, *batches, *out, *seed); err != nil {
+	if err := run(os.Stdout, *kind, *rows, *cols, *zeroFrac, *intDensity, *intensity, *privacy, *scale, *density, *format, *batches, *window, *out, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, kind string, rows, cols int, zeroFrac, intDensity, intensity float64, privacy string, scale, density float64, format string, batches int, out string, seed int64) error {
+func run(w io.Writer, kind string, rows, cols int, zeroFrac, intDensity, intensity float64, privacy string, scale, density float64, format string, batches int, window bool, out string, seed int64) error {
 	if density < 0 || density > 1 {
 		return fmt.Errorf("density %g outside [0, 1]", density)
 	}
@@ -69,6 +79,9 @@ func run(w io.Writer, kind string, rows, cols int, zeroFrac, intDensity, intensi
 	}
 	if batches > 0 && out == "" {
 		return fmt.Errorf("-batches requires -out (the files <out>.base.coo.csv and <out>.delta.K.coo.csv are written)")
+	}
+	if window && batches == 0 {
+		return fmt.Errorf("-window requires -batches")
 	}
 	if density > 0 && kind != "uniform" && kind != "ratings" {
 		return fmt.Errorf("-density is not supported for kind %q (only uniform and ratings)", kind)
@@ -136,7 +149,7 @@ func run(w io.Writer, kind string, rows, cols int, zeroFrac, intDensity, intensi
 		return dataset.WriteIntervalCSV(w, m)
 	case "coo":
 		if batches > 0 {
-			return writeBatches(w, sparse.FromIMatrix(m), batches, out, rng)
+			return writeBatches(w, sparse.FromIMatrix(m), batches, window, out, rng)
 		}
 		return dataset.WriteIntervalCOO(w, sparse.FromIMatrix(m))
 	default:
@@ -153,9 +166,20 @@ const streamFrac = 0.10
 // split: the shuffle comes from the same seeded generator as the data,
 // so identical flags produce identical files), writing
 // <out>.base.coo.csv and <out>.delta.K.coo.csv. A summary of the
-// written files goes to w.
-func writeBatches(w io.Writer, m *sparse.ICSR, batches int, out string, rng *rand.Rand) error {
-	base, deltas, err := dataset.StreamSplit(m, streamFrac, batches, rng)
+// written files goes to w. With window, each delta instead carries the
+// arriving cells plus tombstones expiring equally many of the oldest
+// live cells (dataset.WindowSplit), so replaying the batch files slides
+// a constant-size window over the stream.
+func writeBatches(w io.Writer, m *sparse.ICSR, batches int, window bool, out string, rng *rand.Rand) error {
+	var base []sparse.ITriplet
+	var deltas [][]sparse.ITriplet
+	var wbatches []dataset.DeltaBatch
+	var err error
+	if window {
+		base, wbatches, err = dataset.WindowSplit(m, streamFrac, batches, rng)
+	} else {
+		base, deltas, err = dataset.StreamSplit(m, streamFrac, batches, rng)
+	}
 	if err != nil {
 		return err
 	}
@@ -182,6 +206,17 @@ func writeBatches(w io.Writer, m *sparse.ICSR, batches int, out string, rng *ran
 		return dataset.WriteIntervalCOO(fw, baseM)
 	}); err != nil {
 		return err
+	}
+	if window {
+		for k, batch := range wbatches {
+			batch := batch
+			if err := writeFile(fmt.Sprintf("%s.delta.%d.coo.csv", out, k+1), func(fw io.Writer) error {
+				return dataset.WriteDeltaBatchCOO(fw, m.Rows, m.Cols, batch)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	for k, batch := range deltas {
 		if err := writeFile(fmt.Sprintf("%s.delta.%d.coo.csv", out, k+1), func(fw io.Writer) error {

@@ -27,7 +27,7 @@ func TestRunKinds(t *testing.T) {
 	}
 	for _, c := range cases {
 		var buf bytes.Buffer
-		if err := run(&buf, c.kind, 8, 6, 0, 1, 1, c.privacy, 0.02, 0, "csv", 0, "", 1); err != nil {
+		if err := run(&buf, c.kind, 8, 6, 0, 1, 1, c.privacy, 0.02, 0, "csv", 0, false, "", 1); err != nil {
 			t.Errorf("%s/%s: %v", c.kind, c.privacy, err)
 			continue
 		}
@@ -39,7 +39,7 @@ func TestRunKinds(t *testing.T) {
 
 func TestRunCOOFormat(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 0, "", 1); err != nil {
+	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 0, false, "", 1); err != nil {
 		t.Fatal(err)
 	}
 	m, err := dataset.ReadIntervalCOO(&buf)
@@ -54,7 +54,7 @@ func TestRunCOOFormat(t *testing.T) {
 func TestRunDensityKnob(t *testing.T) {
 	nnz := func(density float64) int {
 		var buf bytes.Buffer
-		if err := run(&buf, "uniform", 20, 20, 0, 1, 1, "medium", 0.1, density, "coo", 0, "", 1); err != nil {
+		if err := run(&buf, "uniform", 20, 20, 0, 1, 1, "medium", 0.1, density, "coo", 0, false, "", 1); err != nil {
 			t.Fatal(err)
 		}
 		m, err := dataset.ReadIntervalCOO(&buf)
@@ -73,40 +73,40 @@ func TestRunDensityKnob(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if err := run(io.Discard, "nope", 8, 6, 0, 1, 1, "medium", 0.1, 0, "csv", 0, "", 1); err == nil {
+	if err := run(io.Discard, "nope", 8, 6, 0, 1, 1, "medium", 0.1, 0, "csv", 0, false, "", 1); err == nil {
 		t.Error("unknown kind accepted")
 	}
-	if err := run(io.Discard, "anonymized", 8, 6, 0, 1, 1, "nope", 0.1, 0, "csv", 0, "", 1); err == nil {
+	if err := run(io.Discard, "anonymized", 8, 6, 0, 1, 1, "nope", 0.1, 0, "csv", 0, false, "", 1); err == nil {
 		t.Error("unknown privacy accepted")
 	}
-	if err := run(io.Discard, "uniform", -1, 6, 0, 1, 1, "medium", 0.1, 0, "csv", 0, "", 1); err == nil {
+	if err := run(io.Discard, "uniform", -1, 6, 0, 1, 1, "medium", 0.1, 0, "csv", 0, false, "", 1); err == nil {
 		t.Error("bad shape accepted")
 	}
-	if err := run(io.Discard, "uniform", 8, 6, 0, 1, 1, "medium", 0.1, 0, "nope", 0, "", 1); err == nil {
+	if err := run(io.Discard, "uniform", 8, 6, 0, 1, 1, "medium", 0.1, 0, "nope", 0, false, "", 1); err == nil {
 		t.Error("unknown format accepted")
 	}
 	for _, kind := range []string{"uniform", "ratings"} {
-		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, 1.5, "csv", 0, "", 1); err == nil {
+		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, 1.5, "csv", 0, false, "", 1); err == nil {
 			t.Errorf("%s: density > 1 accepted", kind)
 		}
-		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, -0.1, "csv", 0, "", 1); err == nil {
+		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, -0.1, "csv", 0, false, "", 1); err == nil {
 			t.Errorf("%s: negative density accepted", kind)
 		}
 	}
 	// The ratings generator caps observed cells at half the matrix, so
 	// densities in (0.5, 1] are rejected rather than silently clamped.
-	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.1, 0.8, "csv", 0, "", 1); err == nil {
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.1, 0.8, "csv", 0, false, "", 1); err == nil {
 		t.Error("ratings density > 0.5 accepted")
 	}
 	// Kinds without a density notion reject the flag instead of
 	// silently ignoring it.
 	for _, kind := range []string{"anonymized", "faces"} {
-		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, 0.05, "csv", 0, "", 1); err == nil {
+		if err := run(io.Discard, kind, 8, 6, 0, 1, 1, "medium", 0.1, 0.05, "csv", 0, false, "", 1); err == nil {
 			t.Errorf("%s: unsupported -density accepted", kind)
 		}
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "csv", 0, "", 1); err != nil {
+	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "csv", 0, false, "", 1); err != nil {
 		t.Errorf("baseline ratings run failed: %v", err)
 	}
 	if !strings.Contains(buf.String(), ",") {
@@ -118,7 +118,7 @@ func TestBatchesStableSplit(t *testing.T) {
 	dir := t.TempDir()
 	prefix := filepath.Join(dir, "stream")
 	var buf bytes.Buffer
-	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 3, prefix, 7); err != nil {
+	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 3, false, prefix, 7); err != nil {
 		t.Fatal(err)
 	}
 	// Four files listed: base plus three deltas.
@@ -143,13 +143,13 @@ func TestBatchesStableSplit(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ts, err := dataset.ReadDeltaCOO(df, base.Rows, base.Cols)
+		batch, err := dataset.ReadDeltaCOO(df, cur)
 		df.Close()
 		if err != nil {
 			t.Fatal(err)
 		}
-		total += len(ts)
-		cur, err = cur.ApplyPatch(ts)
+		total += len(batch.Patch)
+		cur, err = cur.ApplyPatch(batch.Patch)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +158,7 @@ func TestBatchesStableSplit(t *testing.T) {
 		t.Fatal("deltas carried no cells")
 	}
 	var full bytes.Buffer
-	if err := run(&full, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 0, "", 7); err != nil {
+	if err := run(&full, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 0, false, "", 7); err != nil {
 		t.Fatal(err)
 	}
 	want, err := dataset.ReadIntervalCOO(strings.NewReader(full.String()))
@@ -176,7 +176,7 @@ func TestBatchesStableSplit(t *testing.T) {
 	}
 	// Stable split: the same flags reproduce byte-identical files.
 	prefix2 := filepath.Join(dir, "again")
-	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 3, prefix2, 7); err != nil {
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 3, false, prefix2, 7); err != nil {
 		t.Fatal(err)
 	}
 	for _, suffix := range []string{".base.coo.csv", ".delta.1.coo.csv", ".delta.2.coo.csv", ".delta.3.coo.csv"} {
@@ -194,14 +194,104 @@ func TestBatchesStableSplit(t *testing.T) {
 	}
 }
 
+// TestWindowBatches pins the sliding-window split: replaying each delta
+// (patch arrivals, then tombstone expiries) onto the base keeps the
+// live-cell count constant, every tombstone lands on a stored cell, and
+// identical flags reproduce byte-identical files.
+func TestWindowBatches(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "window")
+	var buf bytes.Buffer
+	if err := run(&buf, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 3, true, prefix, 7); err != nil {
+		t.Fatal(err)
+	}
+	files := strings.Fields(buf.String())
+	if len(files) != 4 {
+		t.Fatalf("wrote %d files, want 4: %v", len(files), files)
+	}
+	baseF, err := os.Open(prefix + ".base.coo.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer baseF.Close()
+	cur, err := dataset.ReadIntervalCOO(baseF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := 0
+	for k := 1; k <= 3; k++ {
+		df, err := os.Open(fmt.Sprintf("%s.delta.%d.coo.csv", prefix, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := dataset.ReadDeltaCOO(df, cur)
+		df.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch.Patch) == 0 || len(batch.Tombstones) != len(batch.Patch) {
+			t.Fatalf("batch %d: %d arrivals, %d tombstones; want equal and nonzero",
+				k, len(batch.Patch), len(batch.Tombstones))
+		}
+		arrivals += len(batch.Patch)
+		before := cur.NNZ()
+		cur, err = cur.ApplyPatch(batch.Patch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// ReadDeltaCOO already proved each tombstone targets a stored
+		// cell; ApplyUnpatch enforces it again during the replay.
+		cur, err = cur.ApplyUnpatch(batch.Tombstones)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.NNZ() != before {
+			t.Fatalf("batch %d: window drifted from %d to %d live cells", k, before, cur.NNZ())
+		}
+	}
+	if arrivals == 0 {
+		t.Fatal("window deltas carried no cells")
+	}
+	// Stable split: the same flags reproduce byte-identical files.
+	prefix2 := filepath.Join(dir, "again")
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0.05, "coo", 3, true, prefix2, 7); err != nil {
+		t.Fatal(err)
+	}
+	for _, suffix := range []string{".base.coo.csv", ".delta.1.coo.csv", ".delta.2.coo.csv", ".delta.3.coo.csv"} {
+		a, err := os.ReadFile(prefix + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(prefix2 + suffix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("window split not stable: %s differs", suffix)
+		}
+	}
+	// Window deltas carry tombstone records that plain stream deltas
+	// never do.
+	d1, err := os.ReadFile(prefix + ".delta.1.coo.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(d1), ",x\n") {
+		t.Errorf("first window delta carries no tombstone records:\n%s", d1)
+	}
+}
+
 func TestBatchesFlagValidation(t *testing.T) {
-	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "csv", 2, "x", 1); err == nil {
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "coo", 0, true, "", 1); err == nil {
+		t.Error("-window without -batches accepted")
+	}
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "csv", 2, false, "x", 1); err == nil {
 		t.Error("-batches with csv format accepted")
 	}
-	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "coo", 2, "", 1); err == nil {
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "coo", 2, false, "", 1); err == nil {
 		t.Error("-batches without -out accepted")
 	}
-	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "coo", -1, "", 1); err == nil {
+	if err := run(io.Discard, "ratings", 8, 6, 0, 1, 1, "medium", 0.02, 0, "coo", -1, false, "", 1); err == nil {
 		t.Error("negative -batches accepted")
 	}
 }

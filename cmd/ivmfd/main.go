@@ -21,6 +21,14 @@
 // exactly the acknowledged state — kill -9 loses at most unacknowledged
 // work.
 //
+// Update jobs may slide a window: delta payloads carry tombstone
+// records ("row,col,x") expiring cells and an optional forgetting
+// factor λ, and the engine's numerical-health guardrails escalate
+// (warm refresh → windowed redecompose) before a degraded model can
+// serve. Per-tenant model health is exported as the
+// ivmfd_model_health_* gauge families on /metrics and in the /readyz
+// detail (see README "Sliding windows & model health").
+//
 // On SIGTERM or SIGINT the server drains: admission stops (503), every
 // already-admitted job runs to completion, publishes its snapshot, and
 // reaches disk, then the HTTP listener shuts down and the store closes.

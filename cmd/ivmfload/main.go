@@ -12,6 +12,7 @@
 //	ivmfload -tenants 1,4,16 -scale 0.1 -rank 10 -batches 3 > BENCH_service.json
 //	ivmfload -addr 127.0.0.1:8080 -tenants 4    # against a running ivmfd
 //	ivmfload -chaos -tenants 4 -data-dir /tmp/chaos
+//	ivmfload -window -chaos -tenants 4 -data-dir /tmp/win
 //
 // Without -addr each run boots its own in-process ivmfd on a loopback
 // port, so the numbers include the full HTTP round trip.
@@ -31,6 +32,17 @@
 // failed, no hostile payload accepted, and every healthy tenant's
 // served predictions bitwise-equal to the offline decompose+update
 // chain of its acknowledged jobs.
+//
+// With -window the replay turns into a sliding window: each delta
+// carries arriving cells plus tombstones expiring the oldest live cells
+// (dataset.WindowSplit), every batch decays the spectrum by λ, and an
+// injected arrive-and-expire cycle of a cell dwarfing the spectrum
+// forces an ill-conditioned downdate mid-stream. Verified tenants are
+// then checked at EVERY acknowledged version: served predictions must
+// stay bitwise-equal to the offline windowed chain (which replays the
+// same deltas under the same policies, including the guardrail
+// redecompose), never carry a non-finite value, and the injected
+// removal must visibly escalate rather than silently drift.
 package main
 
 import (
@@ -73,6 +85,9 @@ type loadConfig struct {
 	DataDir string `json:"dataDir,omitempty"`
 	// Chaos enables fault injection (in-process server only).
 	Chaos bool `json:"chaos,omitempty"`
+	// Window replays a sliding window (tombstone expiries + λ decay)
+	// with an injected ill-conditioned removal cycle.
+	Window bool `json:"window,omitempty"`
 }
 
 type jobStats struct {
@@ -109,6 +124,10 @@ type chaosStats struct {
 	Restarts         int `json:"restarts"`
 	BitwiseChecked   int `json:"bitwiseChecked"`
 	BitwiseMismatch  int `json:"bitwiseMismatch"`
+	// WindowRedecomposes counts guardrail redecomposes observed in the
+	// verified tenants' offline window chains (-window runs: the
+	// injected ill-conditioned removal must land here, visibly).
+	WindowRedecomposes int `json:"windowRedecomposes,omitempty"`
 }
 
 type runResult struct {
@@ -139,12 +158,13 @@ func main() {
 	sloP99 := flag.Float64("slop99ms", 250, "SLO: p99 predict latency bound in ms")
 	dataDir := flag.String("data-dir", "", "durable store root for the in-process server (empty = in-memory)")
 	chaos := flag.Bool("chaos", false, "inject faults (panics, hostile payloads, disconnects, restart) and assert isolation")
+	window := flag.Bool("window", false, "replay a sliding window (tombstone expiries + λ decay) with an injected ill-conditioned removal")
 	out := flag.String("out", "", "output path (empty = stdout)")
 	flag.Parse()
 
 	cfg := loadConfig{Addr: *addr, Scale: *scale, Rank: *rank, Batches: *batches,
 		Hammers: *hammers, Cells: *cells, Seed: *seed, SLOP99Ms: *sloP99,
-		DataDir: *dataDir, Chaos: *chaos}
+		DataDir: *dataDir, Chaos: *chaos, Window: *window}
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -218,10 +238,11 @@ type tenantOutcome struct {
 	err       error
 
 	// Chaos accounting.
-	injectedFailures int
-	rejectedBusy     int
-	bitwiseChecked   bool
-	bitwiseMismatch  int
+	injectedFailures   int
+	rejectedBusy       int
+	bitwiseChecked     bool
+	bitwiseMismatch    int
+	windowRedecomposes int
 }
 
 // tenantOpts tailors driveTenant for a chaos run.
@@ -321,6 +342,7 @@ func runOne(tenants int, cfg loadConfig) (runResult, error) {
 				chaosRes.BitwiseChecked++
 			}
 			chaosRes.BitwiseMismatch += o.bitwiseMismatch
+			chaosRes.WindowRedecomposes += o.windowRedecomposes
 		}
 	}
 	res.Predict.Requests = len(all)
@@ -666,7 +688,17 @@ func driveTenant(ctx context.Context, base, tenant string, cfg loadConfig, seed 
 		return o
 	}
 	m := data.CFIntervalsCSR()
-	baseCells, deltas, err := dataset.StreamSplit(m, 0.1, cfg.Batches, rng)
+	var baseCells []sparse.ITriplet
+	var ops []windowOp
+	if cfg.Window {
+		baseCells, ops, err = windowOps(m, cfg.Batches, rng)
+	} else {
+		var deltas [][]sparse.ITriplet
+		baseCells, deltas, err = dataset.StreamSplit(m, 0.1, cfg.Batches, rng)
+		for _, patch := range deltas {
+			ops = append(ops, windowOp{batch: dataset.DeltaBatch{Patch: patch}})
+		}
+	}
 	if err != nil {
 		o.err = err
 		return o
@@ -771,26 +803,54 @@ func driveTenant(ctx context.Context, base, tenant string, cfg loadConfig, seed 
 		}(h)
 	}
 
+	// Window runs verify at every acknowledged version: the offline
+	// chain advances in lockstep with the acknowledged updates, and a
+	// probe predict after each ack must match it bitwise.
+	var wv *windowVerifier
+	if topt.verify && cfg.Window {
+		wv, err = newWindowVerifier(baseCSR, cfg, m.Rows, m.Cols, seed)
+		if err != nil {
+			o.err = err
+			close(stop)
+			hwg.Wait()
+			return o
+		}
+	}
+
 	// The delta replay is the run's backbone: hammers run exactly as
 	// long as the tenant has stream traffic in flight. acked tracks
-	// which deltas the server acknowledged — the offline chain below
+	// which deltas the server acknowledged — the offline chain
 	// replays exactly those.
 	var streamErr error
-	acked := make([]bool, len(deltas))
-	for k, patch := range deltas {
-		var db strings.Builder
-		if err := dataset.WriteDeltaCOO(&db, m.Rows, m.Cols, patch); err != nil {
+	expiryAcked := false
+	acked := make([]bool, len(ops))
+	for k, op := range ops {
+		text, err := renderDelta(cfg.Window, m.Rows, m.Cols, op.batch)
+		if err != nil {
 			streamErr = err
 			break
 		}
 		tolerated, err := submitAndWait(service.Request{
-			Tenant: tenant, Kind: "update", Delta: db.String(),
+			Tenant: tenant, Kind: "update", Delta: text,
+			Forget: op.forget, Refresh: op.refresh, OrthoBudget: op.orthoBudget,
 		})
 		if err != nil {
 			streamErr = fmt.Errorf("delta %d: %w", k, err)
 			break
 		}
 		acked[k] = !tolerated
+		if acked[k] && op.injectedExpiry {
+			expiryAcked = true
+		}
+		if acked[k] && wv != nil {
+			mm, err := wv.step(ctx, c, tenant, op, text)
+			if err != nil {
+				streamErr = fmt.Errorf("delta %d: %w", k, err)
+				break
+			}
+			o.bitwiseChecked = true
+			o.bitwiseMismatch += mm
+		}
 		if !tolerated && topt.afterUpdate != nil {
 			topt.afterUpdate()
 		}
@@ -803,7 +863,18 @@ func driveTenant(ctx context.Context, base, tenant string, cfg loadConfig, seed 
 	}
 	o.err = streamErr
 
-	if topt.verify && o.err == nil {
+	if wv != nil && o.err == nil {
+		h := wv.d.Health()
+		o.windowRedecomposes = h.Redecomposes
+		if expiryAcked && h.Redecomposes == 0 {
+			o.err = fmt.Errorf("injected ill-conditioned removal was acknowledged but never escalated (health %+v)", h)
+		}
+	}
+	if topt.verify && !cfg.Window && o.err == nil {
+		var deltas [][]sparse.ITriplet
+		for _, op := range ops {
+			deltas = append(deltas, op.batch.Patch)
+		}
 		checked, mismatches, err := verifyBitwise(ctx, c, tenant, cfg, baseCSR, deltas, acked, m.Rows, m.Cols, seed)
 		if err != nil {
 			o.err = err
@@ -813,6 +884,175 @@ func driveTenant(ctx context.Context, base, tenant string, cfg loadConfig, seed 
 		}
 	}
 	return o
+}
+
+// windowOp is one sliding-window update of the replay: a delta batch
+// plus the engine policy knobs it is submitted with. Verified tenants
+// replay exactly these offline.
+type windowOp struct {
+	batch       dataset.DeltaBatch
+	forget      float64
+	refresh     string
+	orthoBudget float64
+	// injectedExpiry marks the expiry half of the injected
+	// ill-conditioned removal cycle: once acknowledged, the offline
+	// chain must show a guardrail redecompose.
+	injectedExpiry bool
+}
+
+// windowForget decays the window's spectrum a little on every regular
+// batch, so the WAL round-trips λ under fire.
+const windowForget = 0.95
+
+// violentMass is the magnitude of the injected arrive-and-expire cell:
+// orders of magnitude above the 1-5 rating spectrum, so its removal is
+// the near-σ_r cancellation the downdate guardrail exists for.
+const violentMass = 5e5
+
+// renderDelta writes one op's batch in the wire format of its mode: the
+// tombstone-capable batch format for window runs, the plain patch
+// format (byte-identical to earlier stream runs) otherwise.
+func renderDelta(window bool, rows, cols int, batch dataset.DeltaBatch) (string, error) {
+	var db strings.Builder
+	var err error
+	if window {
+		err = dataset.WriteDeltaBatchCOO(&db, rows, cols, batch)
+	} else {
+		err = dataset.WriteDeltaCOO(&db, rows, cols, batch.Patch)
+	}
+	return db.String(), err
+}
+
+// windowOps builds a tenant's sliding-window replay: the WindowSplit
+// batches (each decaying by λ), with an injected cycle after the first
+// batch — a cell dwarfing the spectrum arrives (the lax ortho budget
+// lets the violent append through additively), then expires under
+// refresh-never, forcing the ill-conditioned-downdate guardrail to
+// abandon the damaged chain and redecompose. The cycle uses a cell no
+// other op touches, so the rest of the window slides undisturbed.
+func windowOps(m *sparse.ICSR, batches int, rng *rand.Rand) ([]sparse.ITriplet, []windowOp, error) {
+	base, wbatches, err := dataset.WindowSplit(m, 0.1, batches, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	used := make(map[sparse.Cell]bool, m.NNZ())
+	for _, t := range base {
+		used[sparse.Cell{Row: t.Row, Col: t.Col}] = true
+	}
+	for _, b := range wbatches {
+		for _, t := range b.Patch {
+			used[sparse.Cell{Row: t.Row, Col: t.Col}] = true
+		}
+	}
+	spare, found := sparse.Cell{}, false
+	for i := 0; i < m.Rows && !found; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if !used[sparse.Cell{Row: i, Col: j}] {
+				spare, found = sparse.Cell{Row: i, Col: j}, true
+				break
+			}
+		}
+	}
+	if !found {
+		return nil, nil, fmt.Errorf("window: no untouched cell left for the injected removal")
+	}
+	ops := []windowOp{{batch: wbatches[0], forget: windowForget}}
+	ops = append(ops,
+		windowOp{batch: dataset.DeltaBatch{Patch: []sparse.ITriplet{
+			{Row: spare.Row, Col: spare.Col, Lo: violentMass, Hi: violentMass + violentMass/5},
+		}}, refresh: "never", orthoBudget: 1e6},
+		windowOp{batch: dataset.DeltaBatch{Tombstones: []sparse.Cell{spare}}, refresh: "never", injectedExpiry: true})
+	for _, b := range wbatches[1:] {
+		ops = append(ops, windowOp{batch: b, forget: windowForget})
+	}
+	return base, ops, nil
+}
+
+// windowVerifier advances the offline window chain in lockstep with the
+// server's acknowledged updates and compares served predictions bitwise
+// at every version — the serving contract of a sliding window: never a
+// stale, drifted, or non-finite number, even while the guardrails are
+// redecomposing underneath.
+type windowVerifier struct {
+	d      *core.Decomposition
+	probes [][2]int
+}
+
+func newWindowVerifier(baseCSR *sparse.ICSR, cfg loadConfig, rows, cols int, seed int64) (*windowVerifier, error) {
+	d, err := core.DecomposeSparse(baseCSR, core.ISVD4,
+		core.Options{Rank: cfg.Rank, Target: core.TargetB, Updatable: true})
+	if err != nil {
+		return nil, fmt.Errorf("offline decompose: %w", err)
+	}
+	prng := rand.New(rand.NewSource(seed + 7919))
+	probes := make([][2]int, 32)
+	for i := range probes {
+		probes[i] = [2]int{prng.Intn(rows), prng.Intn(cols)}
+	}
+	return &windowVerifier{d: d, probes: probes}, nil
+}
+
+// step replays one acknowledged op offline — parsing the exact wire
+// text so the cell order matches the server's — and probes the served
+// model against it. Returns the number of bitwise mismatches (a
+// non-finite served value counts as one: a poisoned snapshot must never
+// reach a client).
+func (v *windowVerifier) step(ctx context.Context, c *service.Client, tenant string, op windowOp, text string) (int, error) {
+	_, _, pb, err := dataset.ParseDeltaCOO(strings.NewReader(text))
+	if err != nil {
+		return 0, fmt.Errorf("offline parse: %w", err)
+	}
+	sortBatch(&pb)
+	opts := core.Options{OrthoBudget: op.orthoBudget}
+	if op.refresh != "" {
+		r, err := core.ParseRefresh(op.refresh)
+		if err != nil {
+			return 0, err
+		}
+		opts.Refresh = r
+	}
+	v.d, err = v.d.Update(core.Delta{Forget: op.forget, Patch: pb.Patch, Unpatch: pb.Tombstones}, opts)
+	if err != nil {
+		return 0, fmt.Errorf("offline update: %w", err)
+	}
+	pred, err := recommend.FromSparseDecomposition(v.d, 1, 5)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.Predict(ctx, tenant, v.probes)
+	if err != nil {
+		return 0, fmt.Errorf("verify predict: %w", err)
+	}
+	mismatches := 0
+	for i, p := range resp.Predictions {
+		iv, err := pred.PredictInterval(v.probes[i][0], v.probes[i][1])
+		if err != nil {
+			return 0, err
+		}
+		if math.IsNaN(p.Lo) || math.IsInf(p.Lo, 0) || math.IsNaN(p.Hi) || math.IsInf(p.Hi, 0) ||
+			math.Float64bits(p.Lo) != math.Float64bits(iv.Lo) ||
+			math.Float64bits(p.Hi) != math.Float64bits(iv.Hi) {
+			mismatches++
+		}
+	}
+	return mismatches, nil
+}
+
+// sortBatch orders a parsed batch exactly like the service's request
+// parser (dataset.ReadDeltaCOO order), keeping the chains comparable.
+func sortBatch(b *dataset.DeltaBatch) {
+	sort.Slice(b.Patch, func(a, c int) bool {
+		if b.Patch[a].Row != b.Patch[c].Row {
+			return b.Patch[a].Row < b.Patch[c].Row
+		}
+		return b.Patch[a].Col < b.Patch[c].Col
+	})
+	sort.Slice(b.Tombstones, func(a, c int) bool {
+		if b.Tombstones[a].Row != b.Tombstones[c].Row {
+			return b.Tombstones[a].Row < b.Tombstones[c].Row
+		}
+		return b.Tombstones[a].Col < b.Tombstones[c].Col
+	})
 }
 
 // verifyBitwise replays the tenant's acknowledged chain offline — the

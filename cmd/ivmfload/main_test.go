@@ -46,6 +46,57 @@ func TestRunSmall(t *testing.T) {
 	}
 }
 
+// TestWindowChaosRun is the sliding-window chaos contract end to end:
+// three tenants replay expire-heavy window deltas (tombstones + λ decay)
+// with an injected ill-conditioned removal each, while the chaos
+// harness panics the executor, hurls hostile payloads, tears down
+// connections, and kills/restarts the durable server mid-run. The two
+// healthy tenants are verified bitwise against the offline windowed
+// chain at every acknowledged version (non-finite served values count
+// as mismatches), and the injected removals must visibly escalate to a
+// redecompose — never silently drift.
+func TestWindowChaosRun(t *testing.T) {
+	cfg := loadConfig{
+		Scale: 0.05, Rank: 4, Batches: 2, Hammers: 1, Cells: 4,
+		Seed: 7, SLOP99Ms: 60_000, Window: true, Chaos: true,
+		DataDir: t.TempDir(),
+	}
+	var sb strings.Builder
+	if err := run(&sb, "3", cfg); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	if len(rep.Runs) != 1 {
+		t.Fatalf("runs = %+v", rep.Runs)
+	}
+	r := rep.Runs[0]
+	if r.Jobs.Failed != 0 || r.Jobs.Lost != 0 {
+		t.Errorf("healthy jobs lost/failed: %+v", r.Jobs)
+	}
+	ch := r.Chaos
+	if ch == nil {
+		t.Fatal("no chaos stats")
+	}
+	if ch.BitwiseChecked != 2 || ch.BitwiseMismatch != 0 {
+		t.Errorf("bitwise verification: %+v (want 2 tenants checked, 0 mismatches)", ch)
+	}
+	if ch.HostileAccepted != 0 {
+		t.Errorf("hostile payload accepted: %+v", ch)
+	}
+	if ch.WindowRedecomposes < 2 {
+		t.Errorf("injected ill-conditioned removals escalated %d times, want >= 2 (one per verified tenant)", ch.WindowRedecomposes)
+	}
+	if ch.Restarts != 1 {
+		t.Errorf("restarts = %d, want 1 (durable kill/restart mid-run)", ch.Restarts)
+	}
+	if !rep.SLOPass {
+		t.Error("SLO failed under window chaos")
+	}
+}
+
 func TestParseCounts(t *testing.T) {
 	got, err := parseCounts("1, 4,16")
 	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 16 {

@@ -129,6 +129,12 @@ type Options struct {
 	// RefreshBudget is the RefreshAuto threshold on the accumulated
 	// relative discarded singular mass (0 = the 1% default).
 	RefreshBudget float64
+	// OrthoBudget is the numerical-health guardrail on the factor
+	// states' orthogonality drift ‖QᵀQ−I‖∞, read by Update like Refresh
+	// and RefreshBudget (0 = the 1e-8 default). An update whose additive
+	// result drifts past it escalates to a full windowed redecompose,
+	// regardless of the Refresh policy — see core/update.go.
+	OrthoBudget float64
 	// ExactAlgebra switches ISVD2-4 and TargetA reconstruction from the
 	// paper's Algorithm 1 endpoint products (min/max over the endpoint
 	// matrix products — the reference implementation's semantics, and the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -73,11 +74,33 @@ func (r Refresh) String() string {
 // while letting many small batches through between refreshes.
 const defaultRefreshBudget = 0.01
 
+// defaultOrthoBudget is the Options.OrthoBudget default: factor states
+// whose ‖QᵀQ−I‖∞ drifts past it are rebuilt with a full windowed
+// redecompose. It matches the update package's downdate tolerance — an
+// order of magnitude above eigensolver rounding noise, two below the
+// engine's 1e-6 agreement contract.
+const defaultOrthoBudget = 1e-8
+
+// ErrPoisoned marks an update whose factors came out non-finite
+// (NaN/Inf). Update never returns such factors: the error leaves the
+// previous functional decomposition serving, so a poisoned state is
+// never published or persisted.
+var ErrPoisoned = errors.New("core: update produced non-finite factors")
+
 // Delta is a batch modification to a decomposed matrix. Any combination
-// of the fields may be set; they apply in order AppendRows, AppendCols,
-// Patch, so Patch indices (and AppendCols row counts) refer to the
-// post-append shape.
+// of the fields may be set; they apply in order Forget, AppendRows,
+// AppendCols, Patch, Unpatch, RemoveRows, RemoveCols. Patch, Unpatch,
+// and the removal index sets all address the post-append shape (and the
+// removals run last, so their indices are stable against everything
+// else in the same batch) — the natural sliding-window order: decay old
+// evidence, admit the new slice, then expire the old one.
 type Delta struct {
+	// Forget, when in (0, 1), is the exponential forgetting factor λ:
+	// the retained singular values and the stored matrix are scaled by
+	// λ before the other stages, so older evidence decays by λ per
+	// batch. Zero means no forgetting; λ = 1 is pinned as a bitwise
+	// no-op (no multiply runs anywhere).
+	Forget float64
 	// AppendRows appends new rows at the bottom (c×cols).
 	AppendRows *sparse.ICSR
 	// AppendCols appends new columns at the right ((rows+appended)×c).
@@ -86,10 +109,24 @@ type Delta struct {
 	// the engine derives the additive factor delta from the stored
 	// values). Duplicate cells within one batch are an error.
 	Patch []sparse.ITriplet
+	// Unpatch reverts cells to unobserved zero (tombstones). Every cell
+	// must currently be stored; a tombstone for a never-inserted cell
+	// is an error. A cell may not appear in both Patch and Unpatch of
+	// one batch.
+	Unpatch []sparse.Cell
+	// RemoveRows deletes rows (post-append indices, any order);
+	// surviving rows shift up. Duplicates and removing every row are
+	// errors.
+	RemoveRows []int
+	// RemoveCols deletes columns (post-append indices); surviving
+	// columns shift left.
+	RemoveCols []int
 }
 
 func (dl Delta) empty() bool {
-	return dl.AppendRows == nil && dl.AppendCols == nil && len(dl.Patch) == 0
+	return dl.Forget == 0 && dl.AppendRows == nil && dl.AppendCols == nil &&
+		len(dl.Patch) == 0 && len(dl.Unpatch) == 0 &&
+		len(dl.RemoveRows) == 0 && len(dl.RemoveCols) == 0
 }
 
 // updState is the retained engine state of an updatable decomposition:
@@ -105,6 +142,19 @@ type updState struct {
 	// resAcc is the accumulated relative discarded singular mass since
 	// the last refresh (the RefreshAuto budget variable).
 	resAcc float64
+
+	// Health counters (see Decomposition.Health). These are advisory
+	// diagnostics: no escalation decision reads them — decisions depend
+	// only on resAcc, the factors, the delta, and the per-call options,
+	// all of which survive persistence — so WAL replay reproduces the
+	// same refresh actions bitwise even though the counters restart at
+	// zero on recovery.
+	updates             int    // updates absorbed since decompose/import
+	updatesSinceRefresh int    // updates since the last warm or full refresh
+	refreshes           int    // warm-started truncated refreshes (ladder level 1)
+	redecomposes        int    // full windowed redecomposes (ladder level 2)
+	lastEscalation      string // "", "refresh", or "redecompose"
+	lastReason          string // human-readable trigger of the last escalation
 }
 
 // Updatable reports whether this decomposition retains the incremental
@@ -174,6 +224,8 @@ const stateSigmaTol = 1e-7
 // sanitizeState enforces the update-engine factor invariant on a freshly
 // captured state, in place: singular values at rounding-noise level
 // become exactly zero along with their U and V columns.
+//
+//ivmf:deterministic
 func sanitizeState(f *eig.SVDResult) *eig.SVDResult {
 	var smax float64
 	for _, s := range f.S {
@@ -203,6 +255,8 @@ func cloneSVD(f *eig.SVDResult) *eig.SVDResult { return f.Truncate(len(f.S)) }
 // UpdateSparse folds a batch delta into an updatable decomposition and
 // returns the refreshed decomposition; it is Decomposition.Update as a
 // free function, mirroring DecomposeSparse.
+//
+//ivmf:deterministic
 func UpdateSparse(d *Decomposition, delta Delta, opts Options) (*Decomposition, error) {
 	return d.Update(delta, opts)
 }
@@ -220,6 +274,8 @@ func UpdateSparse(d *Decomposition, delta Delta, opts Options) (*Decomposition, 
 // falls back to the decompose-time setting). The structural options —
 // Rank, Target, Assign, Solver, thresholds — are fixed at decompose
 // time and ignored here.
+//
+//ivmf:deterministic
 func (d *Decomposition) Update(delta Delta, opts Options) (*Decomposition, error) {
 	st := d.state
 	if st == nil {
@@ -234,11 +290,41 @@ func (d *Decomposition) Update(delta Delta, opts Options) (*Decomposition, error
 	if budget == 0 {
 		budget = defaultRefreshBudget
 	}
+	orthoBudget := opts.OrthoBudget
+	if orthoBudget == 0 {
+		orthoBudget = defaultOrthoBudget
+	}
 	if delta.empty() {
 		return nil, fmt.Errorf("core: Update: empty delta")
 	}
 	if err := validateDelta(d.Method, delta); err != nil {
 		return nil, fmt.Errorf("core: Update: %w", err)
+	}
+	if len(delta.Patch) > 0 && len(delta.Unpatch) > 0 {
+		patched := make(map[[2]int]bool, len(delta.Patch))
+		for _, t := range delta.Patch {
+			patched[[2]int{t.Row, t.Col}] = true
+		}
+		for _, cl := range delta.Unpatch {
+			if patched[[2]int{cl.Row, cl.Col}] {
+				return nil, fmt.Errorf("core: Update: cell (%d, %d) appears in both Patch and Unpatch", cl.Row, cl.Col)
+			}
+		}
+	}
+	// The window must not shrink below the decompose-time rank: the
+	// factor states keep up to Rank directions and every downstream
+	// stage sizes against it.
+	rows2, cols2 := d.state.m.Rows, d.state.m.Cols
+	if delta.AppendRows != nil {
+		rows2 += delta.AppendRows.Rows
+	}
+	if delta.AppendCols != nil {
+		cols2 += delta.AppendCols.Cols
+	}
+	rows2 -= len(delta.RemoveRows)
+	cols2 -= len(delta.RemoveCols)
+	if rows2 < d.state.opts.Rank || cols2 < d.state.opts.Rank {
+		return nil, fmt.Errorf("core: Update: delta shrinks the matrix to %dx%d, below rank %d", rows2, cols2, d.state.opts.Rank)
 	}
 
 	m2 := st.m
@@ -288,6 +374,26 @@ func (d *Decomposition) Update(delta Delta, opts Options) (*Decomposition, error
 		return nil
 	}
 
+	if lam := delta.Forget; lam != 0 {
+		if math.IsNaN(lam) || lam <= 0 || lam > 1 {
+			return nil, fmt.Errorf("core: Update: forgetting factor %v outside (0, 1]", lam)
+		}
+		// λ = 1 is pinned as a bitwise no-op: no multiply runs against
+		// either the matrix or the factors.
+		if lam != 1 {
+			next, err := m2.Scale(lam)
+			if err != nil {
+				return nil, fmt.Errorf("core: Update: %w", err)
+			}
+			if err := sideUpdate(func(f *eig.SVDResult, side int) (*eig.SVDResult, float64, error) {
+				nf, err := update.Forget(f, lam)
+				return nf, 0, err
+			}); err != nil {
+				return nil, fmt.Errorf("core: Update: forget: %w", err)
+			}
+			m2 = next
+		}
+	}
 	if delta.AppendRows != nil {
 		b := delta.AppendRows
 		if err := ValidateSparseInput(b); err != nil {
@@ -355,24 +461,140 @@ func (d *Decomposition) Update(delta Delta, opts Options) (*Decomposition, error
 		m2 = next
 	}
 
-	// Refresh policy: re-solve the factor states from the updated matrix
-	// with a warm-started truncated solve when the policy (or the
-	// accumulated residual budget) calls for it.
-	needRefresh := false
-	switch opts.Refresh {
-	case RefreshAlways:
-		needRefresh = true
-	case RefreshNever:
-	default:
-		needRefresh = resAcc > budget
+	// Downdate stages. An ill-conditioned removal damages the factor
+	// states but not the data, so instead of failing the update the
+	// additive chain is abandoned (dead): the remaining stages apply to
+	// the matrix only and the update escalates straight to a full
+	// windowed redecompose from the final matrix. This is the
+	// "route through the refresh machinery instead of returning
+	// garbage" guarantee, and it holds even under RefreshNever — the
+	// policy disables budget-driven refreshes, not the guardrails.
+	dead := false
+	deadReason := ""
+	downdate := func(what string, apply func() error) error {
+		if dead {
+			return nil
+		}
+		err := apply()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, update.ErrIllConditioned) {
+			dead = true
+			deadReason = fmt.Sprintf("%s: %v", what, err)
+			return nil
+		}
+		return fmt.Errorf("core: Update: %s: %w", what, err)
 	}
-	if needRefresh {
-		if mid != nil {
-			nf, err := warmSolve(m2.MidCSR(), mid, rank, base.Solver)
-			if err != nil {
-				return nil, fmt.Errorf("core: Update: refresh: %w", err)
+	if len(delta.Unpatch) > 0 {
+		// Per-side current values first: the factor unpatch subtracts
+		// exactly what the matrix stores (validated by ApplyUnpatch).
+		next, err := m2.ApplyUnpatch(delta.Unpatch)
+		if err != nil {
+			return nil, fmt.Errorf("core: Update: %w", err)
+		}
+		cells := make([][]sparse.Triplet, 3)
+		for _, cl := range delta.Unpatch {
+			old := m2.At(cl.Row, cl.Col)
+			for side, v := range [3]float64{
+				sideLo:  old.Lo,
+				sideHi:  old.Hi,
+				sideMid: (old.Lo + old.Hi) / 2,
+			} {
+				if v != 0 {
+					cells[side] = append(cells[side], sparse.Triplet{Row: cl.Row, Col: cl.Col, Val: v})
+				}
 			}
-			mid = nf
+		}
+		if err := downdate("unpatch", func() error {
+			return sideUpdate(func(f *eig.SVDResult, side int) (*eig.SVDResult, float64, error) {
+				return update.CellUnpatch(f, cells[side], rank)
+			})
+		}); err != nil {
+			return nil, err
+		}
+		m2 = next
+	}
+	if len(delta.RemoveRows) > 0 {
+		next, err := m2.RemoveRows(delta.RemoveRows)
+		if err != nil {
+			return nil, fmt.Errorf("core: Update: %w", err)
+		}
+		if err := downdate("remove rows", func() error {
+			return sideUpdate(func(f *eig.SVDResult, side int) (*eig.SVDResult, float64, error) {
+				return update.RemoveRows(f, delta.RemoveRows, rank)
+			})
+		}); err != nil {
+			return nil, err
+		}
+		m2 = next
+	}
+	if len(delta.RemoveCols) > 0 {
+		next, err := m2.RemoveCols(delta.RemoveCols)
+		if err != nil {
+			return nil, fmt.Errorf("core: Update: %w", err)
+		}
+		if err := downdate("remove cols", func() error {
+			return sideUpdate(func(f *eig.SVDResult, side int) (*eig.SVDResult, float64, error) {
+				return update.RemoveCols(f, delta.RemoveCols, rank)
+			})
+		}); err != nil {
+			return nil, err
+		}
+		m2 = next
+	}
+
+	// Numerical-health gate on the additive result: a non-finite factor
+	// must never be published — the typed ErrPoisoned leaves the
+	// previous functional decomposition serving — and the orthogonality
+	// drift feeds the escalation decision below.
+	drift := 0.0
+	if !dead {
+		for _, sd := range [...]struct {
+			name string
+			f    *eig.SVDResult
+		}{{"mid", mid}, {"min", lo}, {"max", hi}} {
+			if sd.f == nil {
+				continue
+			}
+			if err := update.CheckFinite(sd.f); err != nil {
+				return nil, fmt.Errorf("core: Update: %s side: %w: %v", sd.name, ErrPoisoned, err)
+			}
+			drift = math.Max(drift, math.Max(
+				update.OrthoResidual(sd.f.U, sd.f.S),
+				update.OrthoResidual(sd.f.V, sd.f.S)))
+		}
+	}
+
+	// Escalation ladder: additive (level 0) → warm-started truncated
+	// refresh (level 1) → full windowed redecompose (level 2). The
+	// triggers are monotone in severity — the budget policy requests
+	// level 1; hard numerical damage (ill-conditioned downdate,
+	// orthogonality drift past OrthoBudget, an unhealthy warm result)
+	// requests level 2 — and deterministic: they read only resAcc, the
+	// factor states, the delta, and the per-call options, all of which
+	// survive persistence, so WAL replay re-derives identical
+	// escalations.
+	level, reason := 0, ""
+	switch {
+	case dead:
+		level, reason = 2, deadReason
+	case drift > orthoBudget:
+		level, reason = 2, fmt.Sprintf("orthogonality drift %.3g exceeds budget %.3g", drift, orthoBudget)
+	case opts.Refresh == RefreshAlways:
+		level, reason = 1, "refresh-always policy"
+	case opts.Refresh == RefreshNever:
+	case resAcc > budget:
+		level, reason = 1, fmt.Sprintf("accumulated discarded mass %.3g exceeds budget %.3g", resAcc, budget)
+	}
+	warmed := false
+	if level == 1 {
+		var warmErr error
+		if mid != nil {
+			var nf *eig.SVDResult
+			if nf, warmErr = warmSolve(m2.MidCSR(), mid, rank, base.Solver); warmErr == nil {
+				mid = nf
+			}
 		} else {
 			var nlo, nhi *eig.SVDResult
 			var errLo, errHi error
@@ -380,15 +602,90 @@ func (d *Decomposition) Update(delta Delta, opts Options) (*Decomposition, error
 				func() { nlo, errLo = warmSolve(m2.LoCSR(), lo, rank, base.Solver) },
 				func() { nhi, errHi = warmSolve(m2.HiCSR(), hi, rank, base.Solver) },
 			)
-			if errLo != nil {
-				return nil, fmt.Errorf("core: Update: refresh min side: %w", errLo)
+			if warmErr = errLo; warmErr == nil {
+				warmErr = errHi
 			}
-			if errHi != nil {
-				return nil, fmt.Errorf("core: Update: refresh max side: %w", errHi)
+			if warmErr == nil {
+				lo, hi = nlo, nhi
 			}
-			lo, hi = nlo, nhi
 		}
-		resAcc = 0
+		if warmErr != nil {
+			level, reason = 2, fmt.Sprintf("warm refresh failed: %v", warmErr)
+		} else {
+			warmed = true
+			resAcc = 0
+			// Verify the warm result; an unhealthy refresh escalates to
+			// the full redecompose instead of being published.
+			wdrift := 0.0
+			for _, f := range [...]*eig.SVDResult{mid, lo, hi} {
+				if f == nil {
+					continue
+				}
+				if err := update.CheckFinite(f); err != nil {
+					level, reason = 2, fmt.Sprintf("warm refresh unhealthy: %v", err)
+					break
+				}
+				wdrift = math.Max(wdrift, math.Max(
+					update.OrthoResidual(f.U, f.S),
+					update.OrthoResidual(f.V, f.S)))
+			}
+			if level == 1 && wdrift > orthoBudget {
+				level, reason = 2, fmt.Sprintf("warm refresh drift %.3g exceeds budget %.3g", wdrift, orthoBudget)
+			}
+		}
+	}
+
+	// advanceHealth carries the chain's health counters onto the
+	// updated decomposition (d2's freshly captured state starts at
+	// zero). Counters are advisory; no decision above read them.
+	advanceHealth := func(d2 *Decomposition) {
+		s2 := d2.state
+		s2.updates = st.updates + 1
+		if level > 0 {
+			s2.updatesSinceRefresh = 0
+		} else {
+			s2.updatesSinceRefresh = st.updatesSinceRefresh + 1
+		}
+		s2.refreshes = st.refreshes
+		s2.redecomposes = st.redecomposes
+		s2.lastEscalation, s2.lastReason = st.lastEscalation, st.lastReason
+		if warmed {
+			s2.refreshes++
+			s2.lastEscalation, s2.lastReason = "refresh", reason
+		}
+		if level == 2 {
+			s2.redecomposes++
+			s2.lastEscalation, s2.lastReason = "redecompose", reason
+		}
+	}
+
+	if level == 2 {
+		// Full windowed redecompose: a cold decomposition of the current
+		// (windowed) matrix — no warm start, the complete pipeline —
+		// bitwise identical to DecomposeSparse on the same matrix, which
+		// is exactly the offline baseline the chaos harness compares
+		// against.
+		reopts := base
+		reopts.Workers = workers
+		d2, err := DecomposeSparse(m2, d.Method, reopts)
+		if err != nil {
+			return nil, fmt.Errorf("core: Update: redecompose: %w", err)
+		}
+		for _, sd := range [...]struct {
+			name string
+			f    *eig.SVDResult
+		}{{"mid", d2.state.mid}, {"min", d2.state.lo}, {"max", d2.state.hi}} {
+			if sd.f == nil {
+				continue
+			}
+			if err := update.CheckFinite(sd.f); err != nil {
+				return nil, fmt.Errorf("core: Update: redecompose %s side: %w: %v", sd.name, ErrPoisoned, err)
+			}
+		}
+		d2.state.resAcc = 0
+		d2.state.opts.Workers = base.Workers
+		advanceHealth(d2)
+		return d2, nil
 	}
 
 	// Re-run the method's pipeline from the updated factor states; the
@@ -420,12 +717,15 @@ func (d *Decomposition) Update(delta Delta, opts Options) (*Decomposition, error
 	}
 	d2.state.resAcc = resAcc
 	d2.state.opts.Workers = base.Workers
+	advanceHealth(d2)
 	return d2, nil
 }
 
 // validateDelta rejects deltas the maintained factor states cannot
 // absorb: for ISVD2-4 the data must stay entrywise non-negative (see
 // validateUpdatable).
+//
+//ivmf:deterministic
 func validateDelta(method Method, delta Delta) error {
 	if method < ISVD2 || method > ISVD4 {
 		return nil

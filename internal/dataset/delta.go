@@ -74,27 +74,6 @@ func WriteDeltaCOO(w io.Writer, rows, cols int, ts []sparse.ITriplet) error {
 	return WriteIntervalCOO(w, m)
 }
 
-// ReadDeltaCOO parses a delta COO file as a patch batch against a base
-// matrix of the given shape. The file's header must match the base
-// shape; out-of-range cells, duplicate patches, misordered intervals,
-// and non-finite values are errors. Triplets are returned sorted by
-// (row, col).
-func ReadDeltaCOO(r io.Reader, rows, cols int) ([]sparse.ITriplet, error) {
-	// The shared reader already enforces in-range indices (against the
-	// header shape), duplicate-free cells, finite values, and ordered
-	// intervals; the delta layer adds the base-shape pin.
-	m, err := ReadIntervalCOO(r)
-	if err != nil {
-		return nil, err
-	}
-	if m.Rows != rows || m.Cols != cols {
-		return nil, fmt.Errorf("dataset: delta header %dx%d does not match base matrix %dx%d", m.Rows, m.Cols, rows, cols)
-	}
-	ts := make([]sparse.ITriplet, 0, m.NNZ())
-	m.ForEachRow(func(i int, colInd []int, lo, hi []float64) {
-		for p, j := range colInd {
-			ts = append(ts, sparse.ITriplet{Row: i, Col: j, Lo: lo[p], Hi: hi[p]})
-		}
-	})
-	return ts, nil
-}
+// ReadDeltaCOO (window.go) parses delta COO files, including the
+// tombstone records of the sliding-window extension; WriteDeltaCOO
+// remains the patch-only writer for purely additive streams.

@@ -10,6 +10,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/sparse"
 )
 
 func FuzzReadIntervalCSV(f *testing.F) {
@@ -71,44 +73,93 @@ func FuzzReadDeltaCOO(f *testing.F) {
 		"16777217,3\n",            // above the dim cap
 		"x,3\n", "4\n", "4,3,9\n", // malformed headers
 		"4,3\n0,0\n", "4,3\na,0,1\n",
+		// Tombstone framings against the fixed base below.
+		"4,3\n0,0,x\n",          // tombstone for a stored cell
+		"4,3\n2,1,x\n",          // tombstone for a stored explicit zero
+		"4,3\n1,2,x\n",          // tombstone for a never-inserted cell
+		"4,3\n0,0,1\n0,0,x\n",   // cell both patched and tombstoned
+		"4,3\n0,0,x\n0,0,x\n",   // duplicate tombstone
+		"4,3\n4,0,x\n",          // tombstone out of range
+		"4,3\n0,0,X\n",          // wrong-case token is not a tombstone
+		"4,3\n0,0,xx\n",         // near-miss token
+		"4,3\n0,0,x\n3,2,1.5\n", // mixed tombstone and patch
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	const baseRows, baseCols = 4, 3
+	base, err := sparse.FromICOO(baseRows, baseCols, []sparse.ITriplet{
+		{Row: 0, Col: 0, Lo: 1, Hi: 2},
+		{Row: 2, Col: 1, Lo: 0, Hi: 0}, // stored explicit zero
+		{Row: 3, Col: 2, Lo: -1, Hi: 1},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
 	f.Fuzz(func(t *testing.T, in string) {
-		ts, err := ReadDeltaCOO(strings.NewReader(in), baseRows, baseCols)
+		batch, err := ReadDeltaCOO(strings.NewReader(in), base)
 		if err != nil {
 			return
 		}
-		// Accepted batch: every patch targets a base cell, no duplicates,
-		// ordered finite intervals, and a write/read round trip preserves
-		// the set.
-		for k, p := range ts {
+		// Accepted batch: every patch targets a base cell, no duplicate
+		// operations (a cell appears at most once, as a patch or a
+		// tombstone), ordered finite intervals, tombstones only for stored
+		// cells, and a write/read round trip preserves the operation set.
+		type key struct{ row, col int }
+		seen := make(map[key]bool, len(batch.Patch)+len(batch.Tombstones))
+		for _, p := range batch.Patch {
 			if p.Row < 0 || p.Row >= baseRows || p.Col < 0 || p.Col >= baseCols {
 				t.Fatalf("accepted out-of-range patch (%d, %d) from %q", p.Row, p.Col, in)
 			}
 			if p.Lo > p.Hi {
 				t.Fatalf("accepted misordered patch from %q", in)
 			}
-			if k > 0 && ts[k-1].Row == p.Row && ts[k-1].Col == p.Col {
-				t.Fatalf("accepted duplicate patch (%d, %d) from %q", p.Row, p.Col, in)
+			if seen[key{p.Row, p.Col}] {
+				t.Fatalf("accepted duplicate cell (%d, %d) from %q", p.Row, p.Col, in)
+			}
+			seen[key{p.Row, p.Col}] = true
+		}
+		for _, c := range batch.Tombstones {
+			if c.Row < 0 || c.Row >= baseRows || c.Col < 0 || c.Col >= baseCols {
+				t.Fatalf("accepted out-of-range tombstone (%d, %d) from %q", c.Row, c.Col, in)
+			}
+			if seen[key{c.Row, c.Col}] {
+				t.Fatalf("accepted duplicate cell (%d, %d) from %q", c.Row, c.Col, in)
+			}
+			seen[key{c.Row, c.Col}] = true
+			// At can't distinguish a stored zero from an unobserved
+			// cell, so check storedness against the row's column list.
+			cols, _, _ := base.RowView(c.Row)
+			stored := false
+			for _, j := range cols {
+				if j == c.Col {
+					stored = true
+				}
+			}
+			if !stored {
+				t.Fatalf("accepted tombstone for never-inserted cell (%d, %d) from %q", c.Row, c.Col, in)
 			}
 		}
 		var buf bytes.Buffer
-		if err := WriteDeltaCOO(&buf, baseRows, baseCols, ts); err != nil {
+		if err := WriteDeltaBatchCOO(&buf, baseRows, baseCols, batch); err != nil {
 			t.Fatalf("write-back failed: %v", err)
 		}
-		back, err := ReadDeltaCOO(&buf, baseRows, baseCols)
+		back, err := ReadDeltaCOO(&buf, base)
 		if err != nil {
 			t.Fatalf("round trip rejected: %v", err)
 		}
-		if len(back) != len(ts) {
-			t.Fatalf("round trip count %d, want %d", len(back), len(ts))
+		if len(back.Patch) != len(batch.Patch) || len(back.Tombstones) != len(batch.Tombstones) {
+			t.Fatalf("round trip counts %d/%d, want %d/%d",
+				len(back.Patch), len(back.Tombstones), len(batch.Patch), len(batch.Tombstones))
 		}
-		for k := range ts {
-			if back[k] != ts[k] {
+		for k := range batch.Patch {
+			if back.Patch[k] != batch.Patch[k] {
 				t.Fatalf("round trip patch %d differs", k)
+			}
+		}
+		for k := range batch.Tombstones {
+			if back.Tombstones[k] != batch.Tombstones[k] {
+				t.Fatalf("round trip tombstone %d differs", k)
 			}
 		}
 	})

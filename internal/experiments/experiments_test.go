@@ -246,3 +246,31 @@ func TestStreamScenario(t *testing.T) {
 		t.Error("missing speedup column")
 	}
 }
+
+func TestWindowScenario(t *testing.T) {
+	// The sliding-window replay: downdates must stay faster than the
+	// windowed recompute on average, the default-policy chain must track
+	// the recompute through its refreshes (expiries chew the residual
+	// budget far faster than pure arrivals), and the forgetting chain is
+	// pinned against a recompute of the explicitly decayed window.
+	cfg := Config{Seed: 1, Trials: 1, Scale: 0.1}
+	res, err := Run("window", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values["speedup_mean"] <= 1 {
+		t.Errorf("window update not faster than windowed recompute: mean speedup %.2f", res.Values["speedup_mean"])
+	}
+	if res.Values["recon_gap_auto"] > 1e-6 {
+		t.Errorf("RefreshAuto gap %g, want <= 1e-6", res.Values["recon_gap_auto"])
+	}
+	if res.Values["recon_gap_forget"] > 1e-6 {
+		t.Errorf("forgetting-chain gap %g, want <= 1e-6 vs the decayed window", res.Values["recon_gap_forget"])
+	}
+	if res.Values["auto_refreshes"] < 1 {
+		t.Error("sliding the window never tripped the refresh budget; the scenario is not exercising the guardrails")
+	}
+	if !strings.Contains(res.Text, "expire") {
+		t.Error("missing expire column")
+	}
+}

@@ -237,6 +237,15 @@ const (
 	mResBreaker      = "ivmfd_resilience_breaker_state"
 	mResBreakerTrans = "ivmfd_resilience_breaker_transitions_total"
 	mResIdemReplays  = "ivmfd_resilience_idempotent_replays_total"
+
+	// Model-health families: the numerical-health report of each
+	// tenant's update chain (core.Decomposition.Health), refreshed on
+	// every snapshot swap.
+	mHealthResidual     = "ivmfd_model_health_residual_budget_used"
+	mHealthOrtho        = "ivmfd_model_health_ortho_drift"
+	mHealthCond         = "ivmfd_model_health_condition"
+	mHealthSinceRefresh = "ivmfd_model_health_updates_since_refresh"
+	mHealthEscalations  = "ivmfd_model_health_escalations_total"
 )
 
 // newServiceRegistry describes the full ivmfd metric set.
@@ -264,5 +273,10 @@ func newServiceRegistry() *registry {
 	r.describe(mResBreaker, "gauge", "Store circuit breaker state (0 closed, 1 half-open, 2 open).")
 	r.describe(mResBreakerTrans, "counter", "Store circuit breaker transitions, by destination state.")
 	r.describe(mResIdemReplays, "counter", "Submissions answered from the idempotency ledger without a new job.")
+	r.describe(mHealthResidual, "gauge", "Accumulated relative discarded singular mass since the last refresh, per tenant.")
+	r.describe(mHealthOrtho, "gauge", "Worst factor orthogonality drift (max-norm of QtQ-I), per tenant.")
+	r.describe(mHealthCond, "gauge", "Estimated factor-state condition number, per tenant.")
+	r.describe(mHealthSinceRefresh, "gauge", "Updates absorbed since the last refresh or redecompose, per tenant.")
+	r.describe(mHealthEscalations, "counter", "Health-guardrail escalations, by level (refresh, redecompose).")
 	return r
 }

@@ -127,6 +127,9 @@ func (s *Service) recoverTenant(tenant string) error {
 	s.mu.Unlock()
 	s.metrics.addCounter(mStoreRecovered, label("outcome", outcome), 1)
 	s.metrics.setGauge(mSnapVer, label("tenant", tenant), float64(rec.Seq))
+	// Health counters reset with recovery (they are advisory, per-chain);
+	// the measured gauges reflect the recovered factors immediately.
+	s.publishHealth(tenant, core.Health{}, rec.Decomp.Health())
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"regexp"
+	"sort"
 	"strings"
 	"time"
 
@@ -43,17 +44,28 @@ type Request struct {
 
 	// Per-request execution knobs, valid for both kinds. Workers bounds
 	// the job's pool fan-outs (0 = server default); Refresh/
-	// RefreshBudget select the incremental refresh policy for updates.
+	// RefreshBudget select the incremental refresh policy for updates;
+	// OrthoBudget sets the orthogonality-drift guardrail (0 = engine
+	// default).
 	Workers       int     `json:"workers,omitempty"`
 	Refresh       string  `json:"refresh,omitempty"`
 	RefreshBudget float64 `json:"refreshBudget,omitempty"`
+	OrthoBudget   float64 `json:"orthoBudget,omitempty"`
+
+	// Forget is the update's sliding-window forgetting factor λ ∈
+	// (0, 1]: retained history is decayed by λ before the delta's cells
+	// apply. 0 (absent) and 1 both mean no decay; 1 is pinned as a
+	// bitwise no-op.
+	Forget float64 `json:"forget,omitempty"`
 
 	// COO is the decompose payload: interval COO text
 	// ("rows,cols" header, then "row,col,value" records).
 	COO string `json:"coo,omitempty"`
-	// Delta is the update payload: delta COO text in the same layout;
-	// its header must match the tenant's model shape, and the records
-	// are applied as a cell patch (set semantics).
+	// Delta is the update payload: delta COO text in the same layout,
+	// plus tombstone records ("row,col,x") that expire cells; its header
+	// must match the tenant's model shape, value records are applied as
+	// a cell patch (set semantics), and tombstones revert cells to
+	// unobserved.
 	Delta string `json:"delta,omitempty"`
 }
 
@@ -71,13 +83,18 @@ type jobRequest struct {
 	base     *sparse.ICSR
 
 	// Update. patchRows/patchCols is the delta header shape, checked
-	// against the tenant's model at admission.
+	// against the tenant's model at admission; unpatch lists tombstoned
+	// cells (their storedness is checked at execution, against the model
+	// the update actually runs on).
 	patch                []sparse.ITriplet
+	unpatch              []sparse.Cell
 	patchRows, patchCols int
 
 	// Shared update policy.
 	refresh       core.Refresh
 	refreshBudget float64
+	orthoBudget   float64
+	forget        float64
 	workers       int
 
 	// idemKey is the submission's Idempotency-Key (empty = none);
@@ -174,6 +191,14 @@ func validateRequest(req *Request) (*jobRequest, error) {
 		return nil, fmt.Errorf("service: bad refreshBudget %g", req.RefreshBudget)
 	}
 	jr.refreshBudget = req.RefreshBudget
+	if req.OrthoBudget < 0 || math.IsNaN(req.OrthoBudget) || math.IsInf(req.OrthoBudget, 0) {
+		return nil, fmt.Errorf("service: bad orthoBudget %g", req.OrthoBudget)
+	}
+	jr.orthoBudget = req.OrthoBudget
+	if req.Forget != 0 && !(req.Forget > 0 && req.Forget <= 1) || math.IsNaN(req.Forget) {
+		return nil, fmt.Errorf("service: bad forget %g (want 0 < λ <= 1)", req.Forget)
+	}
+	jr.forget = req.Forget
 	if req.Refresh != "" {
 		r, err := core.ParseRefresh(req.Refresh)
 		if err != nil {
@@ -187,6 +212,9 @@ func validateRequest(req *Request) (*jobRequest, error) {
 		jr.kind = sched.Decompose
 		if req.Delta != "" {
 			return nil, fmt.Errorf("service: decompose request carries a delta payload")
+		}
+		if req.Forget != 0 {
+			return nil, fmt.Errorf("service: decompose request carries an update-only forget factor")
 		}
 		method := req.Method
 		if method == "" {
@@ -237,24 +265,37 @@ func validateRequest(req *Request) (*jobRequest, error) {
 		if req.COO != "" || req.Method != "" || req.Target != "" || req.Solver != "" || req.Rank != 0 {
 			return nil, fmt.Errorf("service: update request carries decompose-only fields")
 		}
-		// The delta parses as a free-standing COO batch here (its own
-		// header bounds the indices); admission pins the header to the
-		// tenant's model shape, exactly like dataset.ReadDeltaCOO.
-		dm, err := dataset.ReadIntervalCOO(strings.NewReader(req.Delta))
+		// The delta parses as a free-standing batch here (its own header
+		// bounds the indices, tombstone records become unpatch cells);
+		// admission pins the header to the tenant's model shape, and the
+		// engine itself rejects tombstones for never-inserted cells when
+		// the update runs, exactly like dataset.ReadDeltaCOO.
+		rows, cols, batch, err := dataset.ParseDeltaCOO(strings.NewReader(req.Delta))
 		if err != nil {
 			return nil, fmt.Errorf("service: update payload: %w", err)
 		}
-		if dm.NNZ() == 0 {
+		if len(batch.Patch)+len(batch.Tombstones) == 0 && jr.forget == 0 {
 			return nil, fmt.Errorf("service: update payload has no cells")
 		}
-		jr.patchRows, jr.patchCols = dm.Rows, dm.Cols
-		jr.patch = make([]sparse.ITriplet, 0, dm.NNZ())
-		dm.ForEachRow(func(i int, cols []int, lo, hi []float64) {
-			for p, j := range cols {
-				jr.patch = append(jr.patch, sparse.ITriplet{Row: i, Col: j, Lo: lo[p], Hi: hi[p]})
+		jr.patchRows, jr.patchCols = rows, cols
+		// Sort exactly like dataset.ReadDeltaCOO so the served update
+		// chain stays bitwise-comparable to an offline replay of the same
+		// delta files.
+		sort.Slice(batch.Patch, func(a, b int) bool {
+			if batch.Patch[a].Row != batch.Patch[b].Row {
+				return batch.Patch[a].Row < batch.Patch[b].Row
 			}
+			return batch.Patch[a].Col < batch.Patch[b].Col
 		})
-		jr.bytes = int64(len(jr.patch)) * 40
+		sort.Slice(batch.Tombstones, func(a, b int) bool {
+			if batch.Tombstones[a].Row != batch.Tombstones[b].Row {
+				return batch.Tombstones[a].Row < batch.Tombstones[b].Row
+			}
+			return batch.Tombstones[a].Col < batch.Tombstones[b].Col
+		})
+		jr.patch = batch.Patch
+		jr.unpatch = batch.Tombstones
+		jr.bytes = int64(len(jr.patch))*40 + int64(len(jr.unpatch))*16
 		return jr, nil
 
 	default:

@@ -359,11 +359,25 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // readyBody answers /readyz: distinct from /healthz, it reports whether
 // the server is accepting mutations at full capability — not draining,
-// store breaker not open, and which tenants are quarantined.
+// store breaker not open, which tenants are quarantined, and each
+// serving model's numerical health.
 type readyBody struct {
-	Status      string   `json:"status"`
-	Breaker     string   `json:"breaker,omitempty"`
-	Quarantined []string `json:"quarantined,omitempty"`
+	Status      string                  `json:"status"`
+	Breaker     string                  `json:"breaker,omitempty"`
+	Quarantined []string                `json:"quarantined,omitempty"`
+	Health      map[string]tenantHealth `json:"health,omitempty"`
+}
+
+// tenantHealth is the /readyz rendering of core.Health for one tenant's
+// serving snapshot.
+type tenantHealth struct {
+	ResidualBudgetUsed  float64 `json:"residualBudgetUsed"`
+	OrthoDrift          float64 `json:"orthoDrift"`
+	Cond                float64 `json:"cond"`
+	UpdatesSinceRefresh int     `json:"updatesSinceRefresh"`
+	Refreshes           int     `json:"refreshes,omitempty"`
+	Redecomposes        int     `json:"redecomposes,omitempty"`
+	LastEscalation      string  `json:"lastEscalation,omitempty"`
 }
 
 func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
@@ -376,12 +390,34 @@ func (s *Service) handleReady(w http.ResponseWriter, _ *http.Request) {
 		storeOK, _ = s.brk.allowAdmit(now)
 		body.Breaker = s.brk.state.String()
 	}
+	snaps := make(map[string]*Snapshot)
 	for name, meta := range s.tenants {
 		if ok, _ := meta.quar.check(now); !ok {
 			body.Quarantined = append(body.Quarantined, name)
 		}
+		if snap := meta.store.load(); snap != nil {
+			snaps[name] = snap
+		}
 	}
 	s.mu.Unlock()
+	for name, snap := range snaps {
+		h := snap.Decomp.Health()
+		if !h.Updatable {
+			continue
+		}
+		if body.Health == nil {
+			body.Health = make(map[string]tenantHealth, len(snaps))
+		}
+		body.Health[name] = tenantHealth{
+			ResidualBudgetUsed:  h.ResidualBudgetUsed,
+			OrthoDrift:          h.OrthoDrift,
+			Cond:                h.Cond,
+			UpdatesSinceRefresh: h.UpdatesSinceRefresh,
+			Refreshes:           h.Refreshes,
+			Redecomposes:        h.Redecomposes,
+			LastEscalation:      h.LastEscalation,
+		}
+	}
 	sort.Strings(body.Quarantined)
 	status := http.StatusOK
 	body.Status = "ready"

@@ -431,7 +431,11 @@ func (s *Service) Submit(req *jobRequest) (JobInfo, error) {
 			return s.reject(reasonShape, fmt.Errorf("service: delta header %dx%d does not match model %dx%d",
 				req.patchRows, req.patchCols, meta.rows, meta.cols))
 		}
-		cost = int64(len(req.patch)) * int64(meta.rank)
+		cost = int64(len(req.patch)+len(req.unpatch)) * int64(meta.rank)
+		if cost < 1 {
+			// A forget-only update still decays every retained cell.
+			cost = int64(meta.rank)
+		}
 	}
 	if cost < 1 {
 		cost = 1
@@ -443,12 +447,16 @@ func (s *Service) Submit(req *jobRequest) (JobInfo, error) {
 
 	s.seq++
 	job := sched.Job{
-		ID:          s.seq,
-		Seq:         s.seq,
-		Tenant:      req.tenant,
-		Kind:        req.kind,
-		Cost:        cost,
-		Coalescable: req.kind == sched.Update,
+		ID:     s.seq,
+		Seq:    s.seq,
+		Tenant: req.tenant,
+		Kind:   req.kind,
+		Cost:   cost,
+		// Forget-carrying updates never coalesce: λ-decay does not
+		// commute with the last-wins cell merge (a cell patched before
+		// the decay and one patched after end up at different values), so
+		// such a job runs as its own unit, in admission order.
+		Coalescable: req.kind == sched.Update && req.forget == 0,
 		Submitted:   now,
 	}
 	rec := &jobRecord{job: job, req: req, bytes: req.bytes, info: JobInfo{
@@ -753,40 +761,62 @@ func (s *Service) runUnit(unit sched.Unit, reqs []*jobRequest, meta *tenantMeta,
 			}
 		}
 		meta.store.swap(next)
+		s.publishHealth(unit.Tenant, core.Health{}, d.Health())
 		return next.Version, nil
 
 	case sched.Update:
 		if prev == nil {
 			return 0, fmt.Errorf("service: tenant %q has no completed model to update", unit.Tenant)
 		}
-		// Coalesced jobs merge into one cell patch with last-wins set
-		// semantics (later jobs overwrite earlier patches of the same
-		// cell), applied as a single factor update and one snapshot
-		// swap. The merge is deterministic: jobs in admission order,
-		// first-touch cell order.
+		// Coalesced jobs merge into one batch with last-wins set
+		// semantics per cell — a later job's patch overwrites an earlier
+		// patch or tombstone of the same cell, and a later tombstone
+		// overwrites an earlier patch. The merge is deterministic: jobs
+		// in admission order, first-touch cell order. Forget-carrying
+		// jobs are never coalesced (see Submit), so λ belongs to the
+		// unit's single job when set.
 		last := reqs[len(reqs)-1]
-		merged := make([]sparse.ITriplet, 0, len(reqs[0].patch))
+		type cellOp struct {
+			t    sparse.ITriplet
+			tomb bool
+		}
+		ops := make([]cellOp, 0, len(reqs[0].patch)+len(reqs[0].unpatch))
 		at := make(map[[2]int]int)
+		place := func(key [2]int, op cellOp) {
+			if i, ok := at[key]; ok {
+				ops[i] = op
+				return
+			}
+			at[key] = len(ops)
+			ops = append(ops, op)
+		}
 		for _, req := range reqs {
 			for _, t := range req.patch {
-				key := [2]int{t.Row, t.Col}
-				if i, ok := at[key]; ok {
-					merged[i] = t
-					continue
-				}
-				at[key] = len(merged)
-				merged = append(merged, t)
+				place([2]int{t.Row, t.Col}, cellOp{t: t})
+			}
+			for _, c := range req.unpatch {
+				place([2]int{c.Row, c.Col}, cellOp{t: sparse.ITriplet{Row: c.Row, Col: c.Col}, tomb: true})
+			}
+		}
+		delta := core.Delta{Forget: last.forget}
+		for _, op := range ops {
+			if op.tomb {
+				delta.Unpatch = append(delta.Unpatch, sparse.Cell{Row: op.t.Row, Col: op.t.Col})
+			} else {
+				delta.Patch = append(delta.Patch, op.t)
 			}
 		}
 		opts := core.Options{
 			Refresh:       last.refresh,
 			RefreshBudget: last.refreshBudget,
+			OrthoBudget:   last.orthoBudget,
 			Workers:       last.workers,
 		}
 		if opts.Workers == 0 {
 			opts.Workers = s.cfg.Workers
 		}
-		d2, err := prev.Decomp.Update(core.Delta{Patch: merged}, opts)
+		prevHealth := prev.Decomp.Health()
+		d2, err := prev.Decomp.Update(delta, opts)
 		if err != nil {
 			return 0, err
 		}
@@ -807,11 +837,13 @@ func (s *Service) runUnit(unit sched.Unit, reqs []*jobRequest, meta *tenantMeta,
 			return 0, fmt.Errorf("%w: result discarded", errDeadline)
 		}
 		if s.store != nil {
-			// The merged patch and the refresh policy that shaped d2 go
-			// to the write-ahead log (fsynced) before the job can be
-			// acknowledged; replay re-derives d2 bitwise from them. The
-			// record also carries every coalesced job's idempotency key,
-			// so a restarted server still dedupes their retries.
+			// The merged delta and the policies that shaped d2 go to the
+			// write-ahead log (fsynced) before the job can be
+			// acknowledged; replay re-derives d2 bitwise from them —
+			// including any guardrail escalation, which reads only the
+			// persisted inputs. The record also carries every coalesced
+			// job's idempotency key, so a restarted server still dedupes
+			// their retries.
 			var acked []store.IdemAck
 			for i, req := range reqs {
 				if req.idemKey != "" {
@@ -821,15 +853,36 @@ func (s *Service) runUnit(unit sched.Unit, reqs []*jobRequest, meta *tenantMeta,
 			err := s.persistUpdate(unit.Tenant, next, &store.WALRecord{
 				Seq: next.Version, JobID: next.JobID,
 				Refresh: opts.Refresh, RefreshBudget: opts.RefreshBudget,
-				Acked: acked,
-				Delta: core.Delta{Patch: merged},
+				OrthoBudget: opts.OrthoBudget,
+				Acked:       acked,
+				Delta:       delta,
 			})
 			if err != nil {
 				return 0, err
 			}
 		}
 		meta.store.swap(next)
+		s.publishHealth(unit.Tenant, prevHealth, d2.Health())
 		return next.Version, nil
 	}
 	return 0, fmt.Errorf("service: unknown job kind")
+}
+
+// publishHealth exports one tenant's model-health report after a
+// snapshot swap: the measured gauges verbatim, and the escalation
+// counters as deltas against the pre-update report (the chain's
+// counters are cumulative; the metric families count escalations
+// observed by this process).
+func (s *Service) publishHealth(tenant string, prev, cur core.Health) {
+	lbl := label("tenant", tenant)
+	s.metrics.setGauge(mHealthResidual, lbl, cur.ResidualBudgetUsed)
+	s.metrics.setGauge(mHealthOrtho, lbl, cur.OrthoDrift)
+	s.metrics.setGauge(mHealthCond, lbl, cur.Cond)
+	s.metrics.setGauge(mHealthSinceRefresh, lbl, float64(cur.UpdatesSinceRefresh))
+	if n := cur.Refreshes - prev.Refreshes; n > 0 {
+		s.metrics.addCounter(mHealthEscalations, label("level", "refresh"), float64(n))
+	}
+	if n := cur.Redecomposes - prev.Redecomposes; n > 0 {
+		s.metrics.addCounter(mHealthEscalations, label("level", "redecompose"), float64(n))
+	}
 }

@@ -1,0 +1,173 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestApplyUnpatchMatchesDense: tombstoning stored cells equals zeroing
+// them in the dense expansion, the storage shrinks by exactly the
+// tombstone count, and the receiver is untouched.
+func TestApplyUnpatchMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := randomICSR(12, 9, 40, rng)
+	// Pick three stored cells (first of rows 2, 5, 9 — dense enough at
+	// nnz 40 that those rows are occupied for this seed).
+	var cells []Cell
+	for _, i := range []int{2, 5, 9} {
+		cols, _, _ := a.RowView(i)
+		if len(cols) == 0 {
+			t.Fatalf("seed row %d empty; pick another seed", i)
+		}
+		cells = append(cells, Cell{Row: i, Col: cols[0]})
+	}
+	got, err := a.ApplyUnpatch(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NNZ() != a.NNZ()-len(cells) {
+		t.Fatalf("NNZ %d, want %d", got.NNZ(), a.NNZ()-len(cells))
+	}
+	dead := make(map[Cell]bool, len(cells))
+	for _, c := range cells {
+		dead[c] = true
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			want := a.At(i, j)
+			if dead[Cell{Row: i, Col: j}] {
+				want.Lo, want.Hi = 0, 0
+			}
+			if got.At(i, j) != want {
+				t.Fatalf("cell (%d,%d) after unpatch: %v", i, j, got.At(i, j))
+			}
+		}
+		// Tombstoned cells revert to UNOBSERVED: no storage remains.
+		cols, _, _ := got.RowView(i)
+		for _, j := range cols {
+			if dead[Cell{Row: i, Col: j}] {
+				t.Fatalf("tombstoned cell (%d,%d) still stored", i, j)
+			}
+		}
+	}
+	orig := randomICSR(12, 9, 40, rand.New(rand.NewSource(53)))
+	for p := range a.Lo {
+		if a.Lo[p] != orig.Lo[p] || a.ColInd[p] != orig.ColInd[p] {
+			t.Fatal("ApplyUnpatch mutated its receiver")
+		}
+	}
+}
+
+func TestApplyUnpatchErrors(t *testing.T) {
+	a, err := FromICOO(4, 3, []ITriplet{
+		{Row: 0, Col: 0, Lo: 1, Hi: 2},
+		{Row: 2, Col: 1, Lo: 0, Hi: 0}, // stored explicit zero
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stored explicit zero is removable — storedness, not value,
+	// decides.
+	if _, err := a.ApplyUnpatch([]Cell{{Row: 2, Col: 1}}); err != nil {
+		t.Errorf("tombstone for stored zero rejected: %v", err)
+	}
+	for name, cells := range map[string][]Cell{
+		"never-inserted": {{Row: 1, Col: 1}},
+		"out-of-range":   {{Row: 4, Col: 0}},
+		"negative":       {{Row: 0, Col: -1}},
+		"duplicate":      {{Row: 0, Col: 0}, {Row: 0, Col: 0}},
+	} {
+		if _, err := a.ApplyUnpatch(cells); err == nil {
+			t.Errorf("ApplyUnpatch accepted %s tombstone", name)
+		}
+	}
+}
+
+// TestScale: every stored endpoint scales, structure is shared, and
+// non-positive or infinite factors are rejected.
+func TestScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	a := randomICSR(8, 6, 20, rng)
+	got, err := a.Scale(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range a.Lo {
+		if got.Lo[p] != 0.25*a.Lo[p] || got.Hi[p] != 0.25*a.Hi[p] {
+			t.Fatalf("entry %d: [%g,%g], want [%g,%g]", p, got.Lo[p], got.Hi[p], 0.25*a.Lo[p], 0.25*a.Hi[p])
+		}
+	}
+	if &got.RowPtr[0] != &a.RowPtr[0] {
+		t.Error("Scale copied the index structure; it should be shared")
+	}
+	for _, bad := range []float64{0, -1, mathInf()} {
+		if _, err := a.Scale(bad); err == nil {
+			t.Errorf("Scale(%g) accepted", bad)
+		}
+	}
+}
+
+func mathInf() float64 { x := 1.0; return x / (x - 1) }
+
+// TestRemoveRowsCols: removals against the dense expansion, with
+// surviving indices shifted and the index-set validation enforced.
+func TestRemoveRowsCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := randomICSR(9, 7, 25, rng)
+
+	rows := []int{8, 0, 4} // any order
+	gotR, err := a.RemoveRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotR.Rows != 6 || gotR.Cols != 7 {
+		t.Fatalf("RemoveRows shape %dx%d", gotR.Rows, gotR.Cols)
+	}
+	out := 0
+	for i := 0; i < 9; i++ {
+		if i == 0 || i == 4 || i == 8 {
+			continue
+		}
+		for j := 0; j < 7; j++ {
+			if gotR.At(out, j) != a.At(i, j) {
+				t.Fatalf("surviving row %d (was %d) cell %d differs", out, i, j)
+			}
+		}
+		out++
+	}
+
+	cols := []int{6, 2}
+	gotC, err := a.RemoveCols(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotC.Rows != 9 || gotC.Cols != 5 {
+		t.Fatalf("RemoveCols shape %dx%d", gotC.Rows, gotC.Cols)
+	}
+	for i := 0; i < 9; i++ {
+		out := 0
+		for j := 0; j < 7; j++ {
+			if j == 2 || j == 6 {
+				continue
+			}
+			if gotC.At(i, out) != a.At(i, j) {
+				t.Fatalf("surviving col %d (was %d) row %d differs", out, j, i)
+			}
+			out++
+		}
+	}
+
+	for name, idx := range map[string][]int{
+		"empty":        {},
+		"out-of-range": {9},
+		"duplicate":    {1, 1},
+		"remove-all":   {0, 1, 2, 3, 4, 5, 6, 7, 8},
+	} {
+		if _, err := a.RemoveRows(idx); err == nil {
+			t.Errorf("RemoveRows accepted %s index set", name)
+		}
+	}
+	if _, err := a.RemoveCols([]int{7}); err == nil {
+		t.Error("RemoveCols accepted out-of-range index")
+	}
+}

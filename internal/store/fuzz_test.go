@@ -67,6 +67,9 @@ func FuzzWALDecode(f *testing.F) {
 		{Patch: []sparse.ITriplet{{Row: 0, Col: 1, Lo: 1, Hi: 2}}},
 		{AppendRows: lowRankICSR(2, 7, 1, rand.New(rand.NewSource(4)))},
 		{AppendCols: lowRankICSR(11, 2, 1, rand.New(rand.NewSource(5)))},
+		{Unpatch: []sparse.Cell{{Row: 0, Col: 1}, {Row: 3, Col: 2}}},
+		{RemoveRows: []int{1, 4}, RemoveCols: []int{0}},
+		{Forget: 0.9},
 	} {
 		payload, err := EncodeWALRecord(&WALRecord{Seq: 2, JobID: 9, Delta: delta})
 		if err != nil {
@@ -94,8 +97,13 @@ func FuzzWALDecode(f *testing.F) {
 				t.Fatalf("accepted malformed ICSR: %v", err)
 			}
 		}
-		if rec.Delta.AppendRows == nil && rec.Delta.AppendCols == nil && len(rec.Delta.Patch) == 0 {
+		d := &rec.Delta
+		if d.AppendRows == nil && d.AppendCols == nil && len(d.Patch) == 0 &&
+			len(d.Unpatch) == 0 && len(d.RemoveRows) == 0 && len(d.RemoveCols) == 0 && d.Forget == 0 {
 			t.Fatal("accepted record with empty delta")
+		}
+		if d.Forget != 0 && !(d.Forget > 0 && d.Forget <= 1) {
+			t.Fatalf("accepted forgetting factor %v", d.Forget)
 		}
 	})
 }

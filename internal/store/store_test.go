@@ -1,6 +1,7 @@
 package store
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
@@ -158,9 +159,16 @@ func TestWALRecordRoundTrip(t *testing.T) {
 		{AppendRows: rows},
 		{AppendCols: cols},
 		{AppendRows: rows, AppendCols: cols, Patch: testPatch(rows, 1)},
+		{Unpatch: []sparse.Cell{{Row: 0, Col: 3}, {Row: 2, Col: 1}}},
+		{RemoveRows: []int{2, 5}},
+		{RemoveCols: []int{0, 1}},
+		{Forget: 0.875},
+		{Forget: 0.5, AppendRows: rows, Patch: testPatch(rows, 2),
+			Unpatch: []sparse.Cell{{Row: 1, Col: 1}}, RemoveRows: []int{7}, RemoveCols: []int{2}},
 	}
 	for i, delta := range cases {
-		rec := &WALRecord{Seq: uint64(i) + 2, JobID: 99, Refresh: core.RefreshNever, RefreshBudget: 0.25, Delta: delta}
+		rec := &WALRecord{Seq: uint64(i) + 2, JobID: 99, Refresh: core.RefreshNever,
+			RefreshBudget: 0.25, OrthoBudget: 1e-7, Delta: delta}
 		payload, err := EncodeWALRecord(rec)
 		if err != nil {
 			t.Fatal(err)
@@ -169,13 +177,30 @@ func TestWALRecordRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
-		if got.Seq != rec.Seq || got.JobID != 99 || got.Refresh != core.RefreshNever || got.RefreshBudget != 0.25 {
+		if got.Seq != rec.Seq || got.JobID != 99 || got.Refresh != core.RefreshNever ||
+			got.RefreshBudget != 0.25 || got.OrthoBudget != 1e-7 {
 			t.Fatalf("case %d: meta %+v", i, got)
 		}
 		if (got.Delta.AppendRows == nil) != (delta.AppendRows == nil) ||
 			(got.Delta.AppendCols == nil) != (delta.AppendCols == nil) ||
-			len(got.Delta.Patch) != len(delta.Patch) {
+			len(got.Delta.Patch) != len(delta.Patch) ||
+			got.Delta.Forget != delta.Forget {
 			t.Fatalf("case %d: delta shape mismatch", i)
+		}
+		for k, c := range delta.Unpatch {
+			if got.Delta.Unpatch[k] != c {
+				t.Fatalf("case %d: unpatch %d: %+v want %+v", i, k, got.Delta.Unpatch[k], c)
+			}
+		}
+		for k, idx := range delta.RemoveRows {
+			if got.Delta.RemoveRows[k] != idx {
+				t.Fatalf("case %d: removeRows mismatch", i)
+			}
+		}
+		for k, idx := range delta.RemoveCols {
+			if got.Delta.RemoveCols[k] != idx {
+				t.Fatalf("case %d: removeCols mismatch", i)
+			}
 		}
 		if _, err := DecodeWALRecord(payload[:len(payload)-1]); err == nil {
 			t.Errorf("case %d: truncated record decoded", i)
@@ -184,6 +209,119 @@ func TestWALRecordRoundTrip(t *testing.T) {
 	if _, err := EncodeWALRecord(&WALRecord{Seq: 1}); err == nil {
 		t.Error("empty delta encoded")
 	}
+	if _, err := EncodeWALRecord(&WALRecord{Seq: 1, Delta: core.Delta{Forget: 1.5}}); err == nil {
+		t.Error("out-of-range forgetting factor encoded")
+	}
+	if _, err := EncodeWALRecord(&WALRecord{Seq: 1, OrthoBudget: -1,
+		Delta: core.Delta{Patch: testPatch(rows, 1)}}); err == nil {
+		t.Error("negative ortho budget encoded")
+	}
+}
+
+// encodeWALRecordV2 reproduces the legacy v2 payload layout so the
+// compatibility tests can fabricate old logs without keeping dead
+// encoder code in the package proper.
+func encodeWALRecordV2(t *testing.T, rec *WALRecord) []byte {
+	t.Helper()
+	v3, err := EncodeWALRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v2 = v3 minus the two f64 fields (orthoBudget, forget) that sit
+	// after the 28-byte fixed prefix; valid only for v2-expressible
+	// records (no tombstones, no forgetting, zero ortho budget).
+	if rec.OrthoBudget != 0 || rec.Delta.Forget != 0 || len(rec.Delta.Unpatch) != 0 ||
+		len(rec.Delta.RemoveRows) != 0 || len(rec.Delta.RemoveCols) != 0 {
+		t.Fatal("record not expressible in WAL v2")
+	}
+	return append(append([]byte(nil), v3[:28]...), v3[44:]...)
+}
+
+func TestWALDecodeLegacyV2(t *testing.T) {
+	rows := lowRankICSR(2, 11, 1, rand.New(rand.NewSource(9)))
+	rec := &WALRecord{Seq: 2, JobID: 7, Refresh: core.RefreshAuto, RefreshBudget: 0.125,
+		Acked: []IdemAck{{JobID: 7, Key: "k-1"}},
+		Delta: core.Delta{AppendRows: rows, Patch: testPatch(rows, 1)}}
+	payload := encodeWALRecordV2(t, rec)
+	got, err := DecodeWALRecordVersion(payload, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 2 || got.JobID != 7 || got.Refresh != core.RefreshAuto ||
+		got.RefreshBudget != 0.125 || got.OrthoBudget != 0 || got.Delta.Forget != 0 {
+		t.Fatalf("legacy decode meta %+v", got)
+	}
+	if got.Delta.AppendRows == nil || len(got.Delta.Patch) != len(rec.Delta.Patch) || len(got.Acked) != 1 {
+		t.Fatalf("legacy decode delta %+v", got.Delta)
+	}
+	if _, err := DecodeWALRecordVersion(payload, 4); err == nil {
+		t.Fatal("unsupported version accepted")
+	}
+}
+
+func TestRecoverLegacyV2LogAndTranscode(t *testing.T) {
+	fs := NewMemFS()
+	s, _ := Open("data", Options{FS: fs})
+	c := makeChain(t, core.ISVD4, 3)
+	ps, _ := c.states[0].ExportState()
+	if err := s.SaveSnapshot("tt", ps, SnapshotMeta{Seq: 1, JobID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Fabricate the generation's log in the legacy v2 format, as a
+	// pre-upgrade server would have left it.
+	walPath := "data/tt/" + walName(1)
+	img := append([]byte(nil), walMagicV2...)
+	img = binary.LittleEndian.AppendUint64(img, 1)
+	for _, rec := range c.recs[:2] {
+		img = append(img, frameWALRecord(encodeWALRecordV2(t, rec))...)
+	}
+	f, err := fs.Create(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(img); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var events []Event
+	s2, _ := Open("data", Options{FS: fs, OnEvent: func(e Event) { events = append(events, e) }})
+	rec, err := s2.Recover("tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 3 || rec.Replayed != 2 {
+		t.Fatalf("recovered meta = %+v", rec)
+	}
+	bitwiseEqual(t, "legacy replay", rec.Decomp, c.states[2])
+	for _, e := range events {
+		t.Errorf("unexpected event %+v", e)
+	}
+	// Appending to the legacy log transcodes it to the current format
+	// first; the whole chain then recovers bitwise.
+	if _, err := s2.AppendDelta("tt", c.recs[2]); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	data, err := fs.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:8]) != walMagic {
+		t.Fatalf("log not transcoded: magic %q", data[:8])
+	}
+	s3, _ := Open("data", Options{FS: fs})
+	defer s3.Close()
+	rec3, err := s3.Recover("tt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.Seq != 4 || rec3.Replayed != 3 {
+		t.Fatalf("post-transcode meta = %+v", rec3)
+	}
+	bitwiseEqual(t, "post-transcode", rec3.Decomp, c.states[3])
 }
 
 // chain precomputes an update chain: states[0] is the base

@@ -10,9 +10,9 @@ import (
 	"repro/internal/sparse"
 )
 
-// Write-ahead log format, version 2 ("IVMFWAL2"):
+// Write-ahead log format, version 3 ("IVMFWAL3"):
 //
-//	[0,8)   magic "IVMFWAL2"
+//	[0,8)   magic "IVMFWAL3"
 //	[8,16)  u64 generation — the snapshot this log extends
 //	records, each:
 //	  u32 payload length
@@ -25,15 +25,27 @@ import (
 //	u64 seq, u64 jobID
 //	u32 refresh policy, f64 refresh budget   (the Update options that
 //	                                          change results)
+//	f64 ortho budget, f64 forget λ           (v3: the health guardrail
+//	                                          option and the delta's
+//	                                          forgetting factor, 0 =
+//	                                          absent for both)
 //	u16 acked-key count, then per key: u64 jobID, u8 len, len bytes
 //	                                   (idempotency keys acknowledged
 //	                                    by this record, one per
 //	                                    coalesced job that carried one)
-//	u8 flags: bit0 append-rows, bit1 append-cols, bit2 patch
+//	u8 flags: bit0 append-rows, bit1 append-cols, bit2 patch,
+//	          bit3 unpatch, bit4 remove-rows, bit5 remove-cols (v3)
 //	per present ICSR: u32 rows, u32 cols, u64 nnz,
 //	                  i64 rowptr[rows+1], i64 colind[nnz],
 //	                  f64 lo[nnz], f64 hi[nnz]
-//	patch: u64 count, then per cell i64 row, i64 col, f64 lo, f64 hi
+//	patch:   u64 count, then per cell i64 row, i64 col, f64 lo, f64 hi
+//	unpatch: u64 count, then per cell i64 row, i64 col      (v3)
+//	remove-rows, remove-cols: u64 count, then i64 indices   (v3)
+//
+// Version 2 ("IVMFWAL2") is decoded for recovery: it has no ortho
+// budget or forget fields (both read as 0 = absent) and only flag bits
+// 0..2. Appends always write v3; openWAL transcodes a surviving v2 log
+// to v3 before appending, so a log file is never mixed-version.
 //
 // Recovery tolerates a torn tail — a crash mid-append leaves a partial
 // final record — by scanning records in order and truncating the file
@@ -42,8 +54,14 @@ import (
 // acknowledged, so no acknowledged update is ever lost.
 
 const (
-	walMagic     = "IVMFWAL2"
+	walMagic     = "IVMFWAL3"
+	walMagicV2   = "IVMFWAL2"
 	walHeaderLen = 16
+
+	// walVersion is the version appends write; scanWAL reports which
+	// version a log file carries so records decode under their own
+	// layout.
+	walVersion = 3
 )
 
 // MaxIdemKeyLen bounds an idempotency key's byte length in both on-disk
@@ -74,23 +92,38 @@ type WALRecord struct {
 	JobID         uint64
 	Refresh       core.Refresh
 	RefreshBudget float64
+	// OrthoBudget is the orthogonality-drift guardrail the update ran
+	// under (core.Options.OrthoBudget; 0 = the engine default). Carried
+	// per record, like RefreshBudget, so replay re-derives the same
+	// escalation decisions.
+	OrthoBudget float64
 	// Acked lists the idempotency keys acknowledged by this record —
 	// one entry per coalesced job whose submission carried a key.
 	Acked []IdemAck
 	Delta core.Delta
 }
 
-// EncodeWALRecord serializes one record payload (framing excluded).
+// EncodeWALRecord serializes one record payload in the current (v3)
+// layout, framing excluded.
 func EncodeWALRecord(rec *WALRecord) ([]byte, error) {
 	d := &rec.Delta
-	if d.AppendRows == nil && d.AppendCols == nil && len(d.Patch) == 0 {
+	if d.AppendRows == nil && d.AppendCols == nil && len(d.Patch) == 0 &&
+		len(d.Unpatch) == 0 && len(d.RemoveRows) == 0 && len(d.RemoveCols) == 0 && d.Forget == 0 {
 		return nil, fmt.Errorf("store: wal: empty delta")
+	}
+	if d.Forget != 0 && !(d.Forget > 0 && d.Forget <= 1) {
+		return nil, fmt.Errorf("store: wal: forgetting factor %v outside (0, 1]", d.Forget)
+	}
+	if rec.OrthoBudget < 0 || math.IsNaN(rec.OrthoBudget) || math.IsInf(rec.OrthoBudget, 0) {
+		return nil, fmt.Errorf("store: wal: ortho budget %v invalid", rec.OrthoBudget)
 	}
 	b := make([]byte, 0, 64)
 	b = binary.LittleEndian.AppendUint64(b, rec.Seq)
 	b = binary.LittleEndian.AppendUint64(b, rec.JobID)
 	b = binary.LittleEndian.AppendUint32(b, uint32(rec.Refresh))
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rec.RefreshBudget))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rec.OrthoBudget))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(rec.Delta.Forget))
 	if len(rec.Acked) > math.MaxUint16 {
 		return nil, fmt.Errorf("store: wal: %d acked keys exceed %d", len(rec.Acked), math.MaxUint16)
 	}
@@ -112,6 +145,15 @@ func EncodeWALRecord(rec *WALRecord) ([]byte, error) {
 	}
 	if len(d.Patch) > 0 {
 		flags |= 4
+	}
+	if len(d.Unpatch) > 0 {
+		flags |= 8
+	}
+	if len(d.RemoveRows) > 0 {
+		flags |= 16
+	}
+	if len(d.RemoveCols) > 0 {
+		flags |= 32
 	}
 	b = append(b, flags)
 	for _, a := range []*sparse.ICSR{d.AppendRows, d.AppendCols} {
@@ -135,20 +177,59 @@ func EncodeWALRecord(rec *WALRecord) ([]byte, error) {
 			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(t.Hi))
 		}
 	}
+	if len(d.Unpatch) > 0 {
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(d.Unpatch)))
+		for _, c := range d.Unpatch {
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(c.Row)))
+			b = binary.LittleEndian.AppendUint64(b, uint64(int64(c.Col)))
+		}
+	}
+	for _, idx := range [][]int{d.RemoveRows, d.RemoveCols} {
+		if len(idx) == 0 {
+			continue
+		}
+		b = binary.LittleEndian.AppendUint64(b, uint64(len(idx)))
+		b = appendI64s(b, idx)
+	}
 	return b, nil
 }
 
-// DecodeWALRecord parses one record payload. Like the snapshot decoder
-// it never panics and bounds every allocation by the payload length.
+// DecodeWALRecord parses one record payload in the current (v3) layout.
+// Like the snapshot decoder it never panics and bounds every allocation
+// by the payload length.
 //
 //ivmf:deterministic
 func DecodeWALRecord(b []byte) (*WALRecord, error) {
+	return DecodeWALRecordVersion(b, walVersion)
+}
+
+// DecodeWALRecordVersion parses one record payload under the layout of
+// the given log version (as reported by scanWAL), so recovery can
+// replay logs written before the current format.
+//
+//ivmf:deterministic
+func DecodeWALRecordVersion(b []byte, version int) (*WALRecord, error) {
+	if version != 2 && version != 3 {
+		return nil, fmt.Errorf("store: wal: unsupported version %d", version)
+	}
 	r := &walReader{b: b}
 	rec := &WALRecord{}
 	rec.Seq = r.u64("seq")
 	rec.JobID = r.u64("jobID")
 	rec.Refresh = core.Refresh(r.u32("refresh"))
 	rec.RefreshBudget = math.Float64frombits(r.u64("refreshBudget"))
+	if version >= 3 {
+		rec.OrthoBudget = math.Float64frombits(r.u64("orthoBudget"))
+		rec.Delta.Forget = math.Float64frombits(r.u64("forget"))
+		if r.err == nil {
+			if rec.OrthoBudget < 0 || math.IsNaN(rec.OrthoBudget) || math.IsInf(rec.OrthoBudget, 0) {
+				return nil, fmt.Errorf("store: wal: ortho budget %v invalid", rec.OrthoBudget)
+			}
+			if f := rec.Delta.Forget; f != 0 && !(f > 0 && f <= 1) {
+				return nil, fmt.Errorf("store: wal: forgetting factor %v outside (0, 1]", f)
+			}
+		}
+	}
 	if count := int(r.u16("acked count")); r.err == nil && count > 0 {
 		// Each entry is at least 9 bytes (jobID + key length), so the
 		// remaining payload bounds the allocation.
@@ -169,9 +250,16 @@ func DecodeWALRecord(b []byte) (*WALRecord, error) {
 			rec.Acked = append(rec.Acked, IdemAck{JobID: jobID, Key: string(key)})
 		}
 	}
+	maxFlags := byte(7)
+	if version >= 3 {
+		maxFlags = 63
+	}
 	flags := r.u8("flags")
-	if r.err == nil && (flags == 0 || flags > 7) {
+	if r.err == nil && flags > maxFlags {
 		return nil, fmt.Errorf("store: wal: record flags %#x invalid at offset %d", flags, r.off-1)
+	}
+	if r.err == nil && flags == 0 && rec.Delta.Forget == 0 {
+		return nil, fmt.Errorf("store: wal: empty record at offset %d", r.off-1)
 	}
 	if flags&1 != 0 {
 		rec.Delta.AppendRows = r.icsr("appendRows")
@@ -196,6 +284,45 @@ func DecodeWALRecord(b []byte) (*WALRecord, error) {
 					Hi:  math.Float64frombits(r.u64("patch hi")),
 				}
 			}
+		}
+	}
+	if flags&8 != 0 {
+		count := r.u64("unpatch count")
+		// Each tombstone is 16 bytes on the wire.
+		if r.err == nil && count*16 > uint64(len(r.b)-r.off) {
+			return nil, fmt.Errorf("store: wal: %d unpatch cells exceed %d remaining bytes at offset %d", count, len(r.b)-r.off, r.off)
+		}
+		if r.err == nil {
+			rec.Delta.Unpatch = make([]sparse.Cell, count)
+			for i := range rec.Delta.Unpatch {
+				rec.Delta.Unpatch[i] = sparse.Cell{
+					Row: r.i64("unpatch row"),
+					Col: r.i64("unpatch col"),
+				}
+			}
+		}
+	}
+	for _, sec := range []struct {
+		bit  byte
+		name string
+		dst  *[]int
+	}{
+		{16, "removeRows", &rec.Delta.RemoveRows},
+		{32, "removeCols", &rec.Delta.RemoveCols},
+	} {
+		if flags&sec.bit == 0 {
+			continue
+		}
+		count := r.u64(sec.name + " count")
+		if r.err == nil && count*8 > uint64(len(r.b)-r.off) {
+			return nil, fmt.Errorf("store: wal: %d %s indices exceed %d remaining bytes at offset %d", count, sec.name, len(r.b)-r.off, r.off)
+		}
+		if r.err == nil {
+			idx := make([]int, count)
+			for i := range idx {
+				idx[i] = r.i64(sec.name + " index")
+			}
+			*sec.dst = idx
 		}
 	}
 	if r.err != nil {
@@ -326,12 +453,22 @@ func frameWALRecord(payload []byte) []byte {
 // record payloads until the first frame that doesn't hold — a torn tail
 // from a crash mid-append, or tail corruption. validLen is the byte
 // length of the intact prefix; the caller truncates the file there
-// before appending again. A corrupt header fails the whole file.
+// before appending again. A corrupt header fails the whole file. Both
+// the current magic and the legacy v2 magic are accepted; version
+// reports which layout the record payloads use.
 //
 //ivmf:deterministic
-func scanWAL(data []byte) (gen uint64, payloads [][]byte, validLen int64, err error) {
-	if len(data) < walHeaderLen || string(data[:8]) != walMagic {
-		return 0, nil, 0, fmt.Errorf("store: wal: bad magic (have %d bytes)", len(data))
+func scanWAL(data []byte) (gen uint64, version int, payloads [][]byte, validLen int64, err error) {
+	if len(data) < walHeaderLen {
+		return 0, 0, nil, 0, fmt.Errorf("store: wal: bad magic (have %d bytes)", len(data))
+	}
+	switch string(data[:8]) {
+	case walMagic:
+		version = walVersion
+	case walMagicV2:
+		version = 2
+	default:
+		return 0, 0, nil, 0, fmt.Errorf("store: wal: bad magic (have %d bytes)", len(data))
 	}
 	gen = binary.LittleEndian.Uint64(data[8:16])
 	off := walHeaderLen
@@ -352,5 +489,5 @@ func scanWAL(data []byte) (gen uint64, payloads [][]byte, validLen int64, err er
 		payloads = append(payloads, payload)
 		off += 8 + plen
 	}
-	return gen, payloads, int64(off), nil
+	return gen, version, payloads, int64(off), nil
 }

@@ -154,8 +154,22 @@ func DecomposeSparse(m *SparseIntervalMatrix, method Method, opts Options) (*Dec
 }
 
 // Delta is a batch modification to a decomposed matrix — appended rows,
-// appended columns, and/or a cell patch — consumed by Update.
+// appended columns, a cell patch, and/or the decremental sliding-window
+// operations (cell tombstones, row/column removal, forgetting factor) —
+// consumed by Update.
 type Delta = core.Delta
+
+// Tombstone addresses one cell a Delta.Unpatch reverts to unobserved (a
+// deletion has no value, only a position). The cell must currently be
+// stored: a tombstone for a never-inserted cell is an error.
+type Tombstone = sparse.Cell
+
+// Health is the numerical-health report of an updatable decomposition's
+// update chain (Decomposition.Health): residual budget use, factor
+// orthogonality drift, spectrum condition, and the counts of guardrail
+// escalations (warm refreshes, windowed full redecomposes) taken so
+// far.
+type Health = core.Health
 
 // Refresh selects the incremental-update refresh policy
 // (Options.Refresh): RefreshAuto (the zero value) re-solves with a
